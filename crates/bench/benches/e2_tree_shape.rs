@@ -1,0 +1,31 @@
+//! E2 — Proposition 2.1: cost of building the explicit decomposition tree `T(G, H)`
+//! across the instance families whose shape statistics the experiment table reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_core::instance::DualInstance;
+use qld_core::tree::{build_tree, BuildOptions};
+use qld_harness::workloads;
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_tree_shape");
+    for li in workloads::dual_instances() {
+        let inst = DualInstance::new(li.g.clone(), li.h.clone())
+            .unwrap()
+            .oriented()
+            .0;
+        group.bench_with_input(BenchmarkId::new("build_tree", &li.name), &inst, |b, inst| {
+            b.iter(|| {
+                let tree = build_tree(inst, &BuildOptions::default()).unwrap();
+                criterion::black_box(tree.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_tree_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3 — Theorem 4.1: time cost of the two space strategies of the quadratic-logspace
+//! solver on the growing matching family (the space numbers themselves are printed by
+//! `cargo run -p qld-harness --bin experiments -- --exp e3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_core::{QuadLogspaceSolver, SpaceStrategy};
+use qld_harness::workloads;
+
+fn bench_space_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_space");
+    for (li, measure_recompute) in workloads::space_scaling_instances() {
+        let chain = QuadLogspaceSolver::new(SpaceStrategy::MaterializeChain);
+        group.bench_with_input(
+            BenchmarkId::new("materialize-chain", &li.name),
+            &li,
+            |b, li| b.iter(|| criterion::black_box(chain.decide_with_space(&li.g, &li.h).unwrap())),
+        );
+        if measure_recompute {
+            let recompute = QuadLogspaceSolver::new(SpaceStrategy::Recompute);
+            group.bench_with_input(
+                BenchmarkId::new("recompute", &li.name),
+                &li,
+                |b, li| {
+                    b.iter(|| {
+                        criterion::black_box(recompute.decide_with_space(&li.g, &li.h).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_space_strategies
+}
+criterion_main!(benches);

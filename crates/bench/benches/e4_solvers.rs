@@ -1,0 +1,51 @@
+//! E4 — solver comparison: the decomposition solvers of `qld-core` against the
+//! classical baselines of `qld-fk`, on representative dual and non-dual instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_core::{BorosMakinoTreeSolver, DualitySolver, QuadLogspaceSolver};
+use qld_fk::{BergeSolver, FkASolver};
+use qld_hypergraph::generators;
+
+fn representative_instances() -> Vec<generators::LabelledInstance> {
+    let mut out = vec![
+        generators::matching_instance(3),
+        generators::matching_instance(5),
+        generators::threshold_instance(7, 3),
+        generators::self_dual_instance(3),
+        generators::graph_cover_instance("C7", generators::cycle_graph(7)),
+    ];
+    let broken: Vec<_> = out
+        .iter()
+        .enumerate()
+        .filter_map(|(i, li)| generators::perturb(li, generators::Perturbation::DropDualEdge, i))
+        .collect();
+    out.extend(broken);
+    out
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_solvers");
+    let solvers: Vec<Box<dyn DualitySolver>> = vec![
+        Box::new(BergeSolver::new()),
+        Box::new(FkASolver::new()),
+        Box::new(BorosMakinoTreeSolver::new()),
+        Box::new(QuadLogspaceSolver::default()),
+    ];
+    for li in representative_instances() {
+        for solver in &solvers {
+            group.bench_with_input(
+                BenchmarkId::new(solver.name(), &li.name),
+                &li,
+                |b, li| b.iter(|| criterion::black_box(solver.decide(&li.g, &li.h).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_solvers
+}
+criterion_main!(benches);

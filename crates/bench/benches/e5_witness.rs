@@ -1,0 +1,32 @@
+//! E5 — Corollary 4.1(2): producing a new-transversal witness on non-dual instances and
+//! minimizing it into a missing dual edge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_core::witness::missing_dual_edge;
+use qld_core::{DualitySolver, QuadLogspaceSolver};
+use qld_harness::workloads;
+
+fn bench_witness_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_witness");
+    let solver = QuadLogspaceSolver::default();
+    for li in workloads::non_dual_instances().into_iter().take(8) {
+        group.bench_with_input(BenchmarkId::new("decide+minimize", &li.name), &li, |b, li| {
+            b.iter(|| {
+                let result = solver.decide(&li.g, &li.h).unwrap();
+                let witness = result.witness().cloned();
+                let minimal = witness
+                    .as_ref()
+                    .and_then(|w| missing_dual_edge(&li.g, &li.h, w));
+                criterion::black_box((witness, minimal))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_witness_extraction
+}
+criterion_main!(benches);

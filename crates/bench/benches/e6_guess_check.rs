@@ -1,0 +1,45 @@
+//! E6 — Theorem 5.1: finding and verifying guess-and-check certificates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_core::guess_check::{find_certificate, verify_certificate};
+use qld_core::SpaceStrategy;
+use qld_harness::workloads;
+use qld_logspace::SpaceMeter;
+
+fn bench_guess_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_guess_check");
+    let meter = SpaceMeter::new();
+    for li in workloads::non_dual_instances().into_iter().take(8) {
+        group.bench_with_input(BenchmarkId::new("find", &li.name), &li, |b, li| {
+            b.iter(|| criterion::black_box(find_certificate(&li.g, &li.h, &meter).unwrap()))
+        });
+        if let Some(cert) = find_certificate(&li.g, &li.h, &meter).unwrap() {
+            group.bench_with_input(
+                BenchmarkId::new("verify", &li.name),
+                &(li, cert),
+                |b, (li, cert)| {
+                    b.iter(|| {
+                        criterion::black_box(
+                            verify_certificate(
+                                &li.g,
+                                &li.h,
+                                cert,
+                                SpaceStrategy::MaterializeChain,
+                                &meter,
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_guess_check
+}
+criterion_main!(benches);

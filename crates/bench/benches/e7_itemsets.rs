@@ -1,0 +1,32 @@
+//! E7 — Proposition 1.1: computing frequent-itemset borders by repeated dualization,
+//! against the level-wise (Apriori) baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_datamining::{apriori, dualize_and_advance};
+use qld_harness::workloads;
+
+fn bench_borders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_itemsets");
+    for (name, relation, z) in workloads::datamining_workloads() {
+        group.bench_with_input(
+            BenchmarkId::new("dualize-and-advance", &name),
+            &(relation.clone(), z),
+            |b, (relation, z)| {
+                b.iter(|| criterion::black_box(dualize_and_advance(relation, *z).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("apriori", &name),
+            &(relation, z),
+            |b, (relation, z)| b.iter(|| criterion::black_box(apriori(relation, *z))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_borders
+}
+criterion_main!(benches);

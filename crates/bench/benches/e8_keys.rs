@@ -1,0 +1,40 @@
+//! E8 — Proposition 1.2: enumerating minimal keys via duality, against brute force.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_core::QuadLogspaceSolver;
+use qld_harness::workloads;
+use qld_keys::{enumerate_minimal_keys_with, minimal_keys_brute, minimal_keys_exact};
+
+fn bench_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_keys");
+    for (name, table) in workloads::key_workloads() {
+        group.bench_with_input(
+            BenchmarkId::new("duality-enumeration", &name),
+            &table,
+            |b, table| {
+                b.iter(|| {
+                    criterion::black_box(
+                        enumerate_minimal_keys_with(table, &QuadLogspaceSolver::default())
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("transversal-batch", &name),
+            &table,
+            |b, table| b.iter(|| criterion::black_box(minimal_keys_exact(table))),
+        );
+        group.bench_with_input(BenchmarkId::new("brute-force", &name), &table, |b, table| {
+            b.iter(|| criterion::black_box(minimal_keys_brute(table)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_keys
+}
+criterion_main!(benches);

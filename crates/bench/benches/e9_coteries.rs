@@ -1,0 +1,31 @@
+//! E9 — Proposition 1.3: the coterie non-domination check (self-duality), against the
+//! exact dualization baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_coteries::check_domination;
+use qld_harness::workloads;
+use qld_hypergraph::transversal::is_self_dual_exact;
+
+fn bench_coteries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_coteries");
+    for (name, coterie) in workloads::coterie_workloads() {
+        group.bench_with_input(
+            BenchmarkId::new("duality-check", &name),
+            &coterie,
+            |b, coterie| b.iter(|| criterion::black_box(check_domination(coterie).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact-dualization", &name),
+            &coterie,
+            |b, coterie| b.iter(|| criterion::black_box(is_self_dual_exact(coterie.quorums()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_coteries
+}
+criterion_main!(benches);

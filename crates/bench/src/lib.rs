@@ -1,0 +1,20 @@
+//! # qld-bench
+//!
+//! Criterion benchmarks, one per experiment table/figure of `EXPERIMENTS.md`
+//! (E2–E9).  The benchmarks time exactly the workloads defined in
+//! `qld_harness::workloads`, so the rows of the experiment tables and the bench
+//! results refer to the same instances.
+//!
+//! Run with `cargo bench --workspace`; individual experiments with e.g.
+//! `cargo bench -p qld-bench --bench e4_solvers`.
+
+#![forbid(unsafe_code)]
+
+/// Shared Criterion configuration: short measurement windows so that the full suite
+/// regenerates every table-backing series in a few minutes.
+pub fn quick() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}

@@ -1,0 +1,185 @@
+//! Algorithm `decompose` (Theorem 4.1): enumerating the whole tree `T(G, H)` from path
+//! descriptors, in quadratic logspace.
+//!
+//! The paper's algorithm iterates over **all** path descriptors `π ∈ PD(I)` (and all
+//! consecutive pairs), calling `pathnode(I, π)` for each and printing the node / edge
+//! when the descriptor is valid.  Only the current descriptor and the registers of
+//! `pathnode` are ever held on the work tape, which gives the `O(log² n)` bound; the
+//! price is that the number of iterations is `(|V|·|G|)^{⌊log|H|⌋}`, i.e.
+//! quasi-polynomial.  [`decompose`] implements that literal algorithm (guarded by a
+//! descriptor-count limit), while [`decompose_pruned`] walks only the descriptors that
+//! actually name nodes — same output, polynomially fewer `pathnode` calls — and is what
+//! the solver uses.
+
+use crate::error::DualError;
+use crate::instance::DualInstance;
+use crate::node::NodeAttr;
+use crate::path::{
+    descriptor_space_size, enumerate_descriptors, max_branching, max_descriptor_length,
+    PathDescriptor,
+};
+use crate::pathnode::{pathnode, PathnodeOutcome, SpaceStrategy};
+use qld_logspace::SpaceMeter;
+
+/// The output of the `decompose` algorithm: the vertices (node attributes) and edges
+/// (pairs of labels) of `T(G, H)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecomposeOutput {
+    /// The attribute tuples of all tree nodes, in the order they were emitted.
+    pub vertices: Vec<NodeAttr>,
+    /// The tree edges as `(parent label, child label)` pairs.
+    pub edges: Vec<(PathDescriptor, PathDescriptor)>,
+}
+
+impl DecomposeOutput {
+    /// Number of nodes emitted.
+    pub fn node_count(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+/// The literal Theorem 4.1 algorithm: iterate over the full descriptor space.
+///
+/// Returns [`DualError::DescriptorSpaceTooLarge`] if the number of descriptors exceeds
+/// `max_descriptors` — use [`decompose_pruned`] for anything but small instances.
+pub fn decompose(
+    inst: &DualInstance,
+    strategy: SpaceStrategy,
+    meter: &SpaceMeter,
+    max_descriptors: u128,
+) -> Result<DecomposeOutput, DualError> {
+    let (oriented, _swapped) = inst.oriented();
+    let max_len = max_descriptor_length(oriented.h().num_edges());
+    let branch = max_branching(oriented.num_vertices(), oriented.g().num_edges());
+    let space = descriptor_space_size(max_len, branch);
+    if space > max_descriptors {
+        return Err(DualError::DescriptorSpaceTooLarge {
+            descriptors: space,
+            limit: max_descriptors,
+        });
+    }
+    let mut vertices = Vec::new();
+    let mut edges = Vec::new();
+    // "output('Vertices:'); for each path descriptor π ∈ PD(I) …"
+    for pi in enumerate_descriptors(max_len, branch) {
+        if let PathnodeOutcome::Node(attr) = pathnode(&oriented, &pi, strategy, meter) {
+            if !pi.is_empty() {
+                let parent =
+                    PathDescriptor::from_indices(pi.indices()[..pi.len() - 1].iter().copied());
+                edges.push((parent, pi.clone()));
+            }
+            vertices.push(attr);
+        }
+    }
+    Ok(DecomposeOutput { vertices, edges })
+}
+
+/// The pruned enumeration: depth-first over existing children only.  Produces the same
+/// set of vertices and edges as [`decompose`] (possibly in a different order).
+pub fn decompose_pruned(
+    inst: &DualInstance,
+    strategy: SpaceStrategy,
+    meter: &SpaceMeter,
+) -> DecomposeOutput {
+    let (oriented, _swapped) = inst.oriented();
+    let mut vertices = Vec::new();
+    let mut edges = Vec::new();
+    let mut stack = vec![PathDescriptor::root()];
+    while let Some(pi) = stack.pop() {
+        match pathnode(&oriented, &pi, strategy, meter) {
+            PathnodeOutcome::WrongPath => continue,
+            PathnodeOutcome::Node(attr) => {
+                let is_leaf = attr.is_leaf();
+                if !pi.is_empty() {
+                    let parent =
+                        PathDescriptor::from_indices(pi.indices()[..pi.len() - 1].iter().copied());
+                    edges.push((parent, pi.clone()));
+                }
+                vertices.push(attr);
+                if !is_leaf {
+                    // Push candidate children; invalid indices are filtered by the
+                    // WrongPath branch above.  Descending order so that child 1 is
+                    // popped (and emitted) first.
+                    let branch = max_branching(oriented.num_vertices(), oriented.g().num_edges());
+                    for i in (1..=branch).rev() {
+                        stack.push(pi.child(i));
+                    }
+                }
+            }
+        }
+    }
+    DecomposeOutput { vertices, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{build_tree, BuildOptions};
+    use qld_hypergraph::generators;
+
+    fn instance(li: generators::LabelledInstance) -> DualInstance {
+        DualInstance::new(li.g, li.h).unwrap()
+    }
+
+    #[test]
+    fn literal_decompose_matches_explicit_tree() {
+        let inst = instance(generators::matching_instance(2));
+        let meter = SpaceMeter::new();
+        let out = decompose(&inst, SpaceStrategy::MaterializeChain, &meter, 1_000_000).unwrap();
+        let (oriented, _) = inst.oriented();
+        let tree = build_tree(&oriented, &BuildOptions::default()).unwrap();
+        assert_eq!(out.node_count(), tree.len());
+        assert_eq!(out.edges.len(), tree.len() - 1);
+        // every explicit-tree node appears with identical attributes
+        for node in tree.nodes() {
+            assert!(
+                out.vertices.iter().any(|a| a == &node.attr),
+                "missing node {}",
+                node.attr.label
+            );
+        }
+    }
+
+    #[test]
+    fn literal_decompose_guards_descriptor_space() {
+        let inst = instance(generators::matching_instance(4));
+        let meter = SpaceMeter::new();
+        let err = decompose(&inst, SpaceStrategy::MaterializeChain, &meter, 10).unwrap_err();
+        assert!(matches!(err, DualError::DescriptorSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn pruned_decompose_matches_literal_on_small_instances() {
+        for li in [
+            generators::matching_instance(2),
+            generators::self_dual_instance(1),
+        ] {
+            let inst = instance(li);
+            let meter = SpaceMeter::new();
+            let literal =
+                decompose(&inst, SpaceStrategy::MaterializeChain, &meter, 10_000_000).unwrap();
+            let pruned = decompose_pruned(&inst, SpaceStrategy::MaterializeChain, &meter);
+            assert_eq!(literal.node_count(), pruned.node_count());
+            let mut a: Vec<String> = literal.vertices.iter().map(|v| format!("{v:?}")).collect();
+            let mut b: Vec<String> = pruned.vertices.iter().map(|v| format!("{v:?}")).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+            let mut ea: Vec<_> = literal.edges.clone();
+            let mut eb: Vec<_> = pruned.edges.clone();
+            ea.sort();
+            eb.sort();
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn pruned_decompose_handles_larger_instances() {
+        let inst = instance(generators::matching_instance(3));
+        let meter = SpaceMeter::new();
+        let pruned = decompose_pruned(&inst, SpaceStrategy::MaterializeChain, &meter);
+        let (oriented, _) = inst.oriented();
+        let tree = build_tree(&oriented, &BuildOptions::default()).unwrap();
+        assert_eq!(pruned.node_count(), tree.len());
+    }
+}

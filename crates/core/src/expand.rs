@@ -1,0 +1,383 @@
+//! The single decomposition step: `marksmall` and `process` (Section 2 of the paper).
+//!
+//! [`expand`] takes the original instance and a node's vertex set `S_α` and either marks
+//! the node (`done` / `fail` with a witness) or produces the ordered list of child
+//! vertex sets.  This is the *materialized* reference semantics; the oracle chain of
+//! [`crate::oracle`] re-implements exactly the same decision rules in a query-driven,
+//! register-bounded way, and the two are cross-checked in tests.
+//!
+//! # Deterministic instantiation
+//!
+//! The paper notes that `marksmall` and `process` involve arbitrary choices and that any
+//! deterministic version may be fixed.  This implementation fixes them as follows (and
+//! the oracle chain follows the same rules):
+//!
+//! * `marksmall`, case 4: the **smallest** vertex `i ∈ H` with `{i} ∉ G_{S_α}` is chosen
+//!   (as suggested in the paper).
+//! * `process`, Step 3: the qualifying edge `G` is the restriction `E_j ∩ S_α` of the
+//!   edge `E_j ∈ G` with the **smallest input index** `j` such that
+//!   `(E_j ∩ S_α) ∩ I_α = ∅`.
+//! * `process`, Step 4: the qualifying edge `H` is the edge of `H` with the smallest
+//!   input index that is contained in `S_α` and in `I_α`.
+//! * Children are enumerated **without deduplication**, in the following canonical
+//!   order.  Step 3: over pairs `(j, i)` with `j` ranging over the edges of `G` in input
+//!   order (skipping edges whose restriction misses the chosen `G`), and `i` ranging
+//!   over `(E_j ∩ S_α) ∩ G` in increasing vertex order; the child set is
+//!   `S_α − ((E_j ∩ S_α) − {i})`.  Step 4: for `i` ranging over the chosen `H` in
+//!   increasing vertex order the child `S_α − {i}`, followed by the child `H` itself.
+//!   Omitting deduplication can only repeat identical sub-trees; it does not affect
+//!   correctness, keeps every child computable from `(S_α, index)` alone with
+//!   `O(log n)` registers, and respects the `|V|·|G|` branching bound of
+//!   Proposition 2.1(3).
+
+use crate::instance::DualInstance;
+use qld_hypergraph::{Vertex, VertexSet};
+
+/// Why a leaf was marked `fail`; identifies which rule produced the witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailRule {
+    /// `marksmall` case 1: `H_{S_α}` is empty and `∅ ∉ G_{S_α}`; witness `S_α`.
+    EmptyHs,
+    /// `marksmall` case 4: `H_{S_α} = {H}` and some `i ∈ H` has `{i} ∉ G_{S_α}`;
+    /// witness `S_α − {i}`.
+    SingletonHs {
+        /// Index (into the original `H`) of the unique edge of `H_{S_α}`.
+        h_edge: usize,
+        /// The removed vertex `i`.
+        removed: Vertex,
+    },
+    /// `process` Step 2: the frequent-vertex set `I_α` is itself a new transversal of
+    /// `G_{S_α}` w.r.t. `H_{S_α}`; witness `I_α`.
+    FrequentSet,
+}
+
+/// Which branching rule produced the children of an inner node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchCase {
+    /// `process` Step 3: some restricted edge of `G` misses `I_α`.
+    GEdgeMissesIAlpha {
+        /// Index (into the original `G`) of the chosen edge.
+        g_edge: usize,
+    },
+    /// `process` Step 4: some edge of `H_{S_α}` is contained in `I_α`.
+    HEdgeInsideIAlpha {
+        /// Index (into the original `H`) of the chosen edge.
+        h_edge: usize,
+    },
+}
+
+/// The outcome of expanding a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expansion {
+    /// The node is a leaf marked `done`.
+    Done,
+    /// The node is a leaf marked `fail`; `witness` is the new transversal `t(α)`.
+    Fail {
+        /// The witness set `t(α)`.
+        witness: VertexSet,
+        /// The rule that produced it.
+        rule: FailRule,
+    },
+    /// The node is an inner node with the given ordered children (`S` sets).
+    Branch {
+        /// The rule that produced the children.
+        case: BranchCase,
+        /// The child vertex sets `C₁, …, C_κ(α)` in canonical order.
+        children: Vec<VertexSet>,
+    },
+}
+
+impl Expansion {
+    /// The number of children (`κ(α)`), zero for leaves.
+    pub fn child_count(&self) -> usize {
+        match self {
+            Expansion::Branch { children, .. } => children.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the expansion marks a leaf.
+    pub fn is_leaf(&self) -> bool {
+        !matches!(self, Expansion::Branch { .. })
+    }
+}
+
+/// Whether the singleton `{v}` occurs in `G_{S}` — i.e. some edge `E ∈ G` has
+/// `E ∩ S = {v}`.
+fn singleton_in_gs(inst: &DualInstance, s: &VertexSet, v: Vertex) -> bool {
+    inst.g()
+        .edges()
+        .iter()
+        .any(|e| e.contains(v) && e.intersection(s).len() == 1)
+}
+
+/// Expands the node with vertex set `s`: applies `marksmall` when `|H_S| ≤ 1` and
+/// `process` otherwise, following the deterministic instantiation documented in the
+/// module docs.
+pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
+    let n = inst.num_vertices();
+    let h_inside: Vec<usize> = inst
+        .h()
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_subset(s))
+        .map(|(i, _)| i)
+        .collect();
+
+    // ---- marksmall -------------------------------------------------------------
+    if h_inside.is_empty() {
+        // case 1 / case 2
+        let empty_in_gs = inst.g().edges().iter().any(|e| !e.intersects(s));
+        return if empty_in_gs {
+            Expansion::Done
+        } else {
+            Expansion::Fail {
+                witness: s.clone(),
+                rule: FailRule::EmptyHs,
+            }
+        };
+    }
+    if h_inside.len() == 1 {
+        // case 3 / case 4
+        let h_edge = h_inside[0];
+        let he = inst.h().edge(h_edge);
+        let missing = he.iter().find(|&v| !singleton_in_gs(inst, s, v));
+        return match missing {
+            None => Expansion::Done,
+            Some(i) => Expansion::Fail {
+                witness: s.without(i),
+                rule: FailRule::SingletonHs { h_edge, removed: i },
+            },
+        };
+    }
+
+    // ---- process ---------------------------------------------------------------
+    let m = h_inside.len();
+    // Step 1: I_α — vertices occurring in more than m/2 of the edges of H_S.
+    let mut freq = vec![0usize; n];
+    for &j in &h_inside {
+        for v in inst.h().edge(j).iter() {
+            freq[v.index()] += 1;
+        }
+    }
+    let mut i_alpha = VertexSet::empty(n);
+    for (idx, &f) in freq.iter().enumerate() {
+        if f > m / 2 {
+            i_alpha.insert(Vertex::from(idx));
+        }
+    }
+
+    // Step 2: is I_α a new transversal of G_S with respect to H_S?
+    let i_alpha_transversal = inst.g().edges().iter().all(|e| {
+        let r = e.intersection(s);
+        !r.is_empty() && r.intersects(&i_alpha)
+    });
+    let contains_h_edge = h_inside.iter().any(|&j| inst.h().edge(j).is_subset(&i_alpha));
+    if i_alpha_transversal && !contains_h_edge {
+        return Expansion::Fail {
+            witness: i_alpha,
+            rule: FailRule::FrequentSet,
+        };
+    }
+
+    // Step 3: a restricted G-edge disjoint from I_α?
+    let g_choice = inst
+        .g()
+        .edges()
+        .iter()
+        .position(|e| !e.intersection(s).intersects(&i_alpha));
+    if let Some(g_edge) = g_choice {
+        let ge = inst.g().edge(g_edge).intersection(s);
+        debug_assert!(
+            !ge.is_empty(),
+            "empty restricted G-edge with non-empty H_S: precondition violated"
+        );
+        let mut children = Vec::new();
+        for e in inst.g().edges() {
+            let r = e.intersection(s);
+            if !r.intersects(&ge) {
+                continue; // E' ⊆ S_α − G: dropped by the paper's G_{S_α}^G filter
+            }
+            for i in r.intersection(&ge).iter() {
+                // C = S_α − (E − {i})  (restricting E to S_α first changes nothing)
+                let mut c = s.difference(&r);
+                c.insert(i);
+                children.push(c);
+            }
+        }
+        return Expansion::Branch {
+            case: BranchCase::GEdgeMissesIAlpha { g_edge },
+            children,
+        };
+    }
+
+    // Step 4: an H_S-edge contained in I_α (must exist when Step 2 and Step 3 fail).
+    let h_edge = h_inside
+        .iter()
+        .copied()
+        .find(|&j| inst.h().edge(j).is_subset(&i_alpha))
+        .expect("process: neither Step 3 nor Step 4 applies — impossible by case analysis");
+    let he = inst.h().edge(h_edge);
+    let mut children = Vec::new();
+    for i in he.iter() {
+        children.push(s.without(i));
+    }
+    let mut he_full = he.clone();
+    he_full.grow(n);
+    children.push(he_full);
+    Expansion::Branch {
+        case: BranchCase::HEdgeInsideIAlpha { h_edge },
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::{vset, Hypergraph};
+
+    fn matching2() -> DualInstance {
+        // Oriented as the solver would: G = tr(M(2)) (4 edges), H = M(2) (2 edges).
+        let h = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let g = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
+        DualInstance::new(g, h).unwrap()
+    }
+
+    #[test]
+    fn root_of_dual_matching_instance_branches() {
+        let inst = matching2();
+        let s = VertexSet::full(4);
+        let exp = expand(&inst, &s);
+        match &exp {
+            Expansion::Branch { case, children } => {
+                // I_α is empty (no vertex is in more than 1 of the 2 H-edges), so Step 3
+                // fires with the first G-edge.
+                assert_eq!(*case, BranchCase::GEdgeMissesIAlpha { g_edge: 0 });
+                assert!(!children.is_empty());
+                // branching bound of Prop. 2.1(3)
+                assert!(children.len() <= 4 * inst.g().num_edges());
+                // every child is a proper subset of S (progress)
+                for c in children {
+                    assert!(c.is_subset(&s));
+                }
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_hs_cases() {
+        let inst = matching2();
+        // S = {0}: no H-edge inside; G-edges restricted: {0},{0},∅,∅ → ∅ ∈ G_S → done
+        let exp = expand(&inst, &vset![4; 0]);
+        assert_eq!(exp, Expansion::Done);
+        assert!(exp.is_leaf());
+        assert_eq!(exp.child_count(), 0);
+
+        // Make an instance where H_S is empty but no restricted G-edge is empty:
+        // G = {{0,1}}, H = {{0,1}} — restrict to S = {0}: H_S empty, G_S = {{0}} → fail
+        let g = Hypergraph::from_index_edges(2, &[&[0, 1]]);
+        let h = Hypergraph::from_index_edges(2, &[&[0, 1]]);
+        let inst2 = DualInstance::new(g, h).unwrap();
+        let exp = expand(&inst2, &vset![2; 0]);
+        match exp {
+            Expansion::Fail { witness, rule } => {
+                assert_eq!(rule, FailRule::EmptyHs);
+                assert_eq!(witness, vset![2; 0]);
+                // the witness is a genuine new transversal of G w.r.t. H
+                assert!(inst2.g().is_new_transversal(inst2.h(), &witness));
+            }
+            other => panic!("expected fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singleton_hs_done_and_fail() {
+        let inst = matching2();
+        // S = {0,2}: H-edges inside: none ({0,1}⊄, {2,3}⊄) — pick another S.
+        // S = {0,1}: H-edge {0,1} inside; G_S = {{0},{0},{1},{1}} contains {0} and {1}
+        // → marksmall case 3 → done.
+        let exp = expand(&inst, &vset![4; 0, 1]);
+        assert_eq!(exp, Expansion::Done);
+
+        // Now remove the G-edges providing the singleton {1}: G = {{0,2},{0,3}},
+        // H = {{0,1},{2,3}} (not dual, but expand is purely combinatorial).
+        let g = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3]]);
+        let h = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let inst2 = DualInstance::new(g, h).unwrap();
+        let exp = expand(&inst2, &vset![4; 0, 1]);
+        match exp {
+            Expansion::Fail { witness, rule } => {
+                assert_eq!(
+                    rule,
+                    FailRule::SingletonHs {
+                        h_edge: 0,
+                        removed: Vertex::new(1)
+                    }
+                );
+                assert_eq!(witness, vset![4; 0]);
+                assert!(inst2.g().is_new_transversal(inst2.h(), &witness));
+            }
+            other => panic!("expected fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frequent_set_fail_case() {
+        // Construct an instance where I_α is a new transversal at the root:
+        // H = {{0,1},{0,2}} (vertex 0 occurs in both → I_α = {0}),
+        // G = {{0,3}} (restriction {0,3} meets I_α, {0} ∉ H-edges ⊆ I_α).
+        let g = Hypergraph::from_index_edges(4, &[&[0, 3]]);
+        let h = Hypergraph::from_index_edges(4, &[&[0, 1], &[0, 2]]);
+        let inst = DualInstance::new(g, h).unwrap();
+        let exp = expand(&inst, &VertexSet::full(4));
+        match exp {
+            Expansion::Fail { witness, rule } => {
+                assert_eq!(rule, FailRule::FrequentSet);
+                assert_eq!(witness, vset![4; 0]);
+                assert!(inst.g().is_new_transversal(inst.h(), &witness));
+            }
+            other => panic!("expected fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn h_edge_inside_i_alpha_branches_with_final_child() {
+        // H = {{0,1},{0,2},{1,2}} over {0,1,2}: each vertex occurs in 2 > 3/2 edges, so
+        // I_α = {0,1,2} ⊇ every H-edge; G = tr(H) = same triangle (self-dual), so I_α is
+        // a transversal of G_S but contains an H-edge → Step 4.
+        let k3 = Hypergraph::from_index_edges(3, &[&[0, 1], &[0, 2], &[1, 2]]);
+        let inst = DualInstance::new(k3.clone(), k3).unwrap();
+        let s = VertexSet::full(3);
+        let exp = expand(&inst, &s);
+        match exp {
+            Expansion::Branch { case, children } => {
+                assert_eq!(case, BranchCase::HEdgeInsideIAlpha { h_edge: 0 });
+                // children: S−{0}, S−{1}, then the edge {0,1} itself
+                assert_eq!(children.len(), 3);
+                assert_eq!(children[0], vset![3; 1, 2]);
+                assert_eq!(children[1], vset![3; 0, 2]);
+                assert_eq!(children[2], vset![3; 0, 1]);
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step3_children_match_formula() {
+        let inst = matching2();
+        let s = VertexSet::full(4);
+        if let Expansion::Branch { children, .. } = expand(&inst, &s) {
+            // chosen G-edge is edge #0 = {0,2} (I_α = ∅).  Children are S−(E−{i}) for
+            // every G-edge E meeting {0,2} and every i ∈ E ∩ {0,2}.  E.g. for E={0,2}
+            // itself: i=0 → {0,1,3}, i=2 → {1,2,3}.
+            assert!(children.contains(&vset![4; 0, 1, 3]));
+            assert!(children.contains(&vset![4; 1, 2, 3]));
+            // for E={0,3}: i=0 → S−{3}+... S−({0,3}−{0}) = {0,1,2}
+            assert!(children.contains(&vset![4; 0, 1, 2]));
+        } else {
+            panic!("expected branch");
+        }
+    }
+}

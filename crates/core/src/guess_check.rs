@@ -1,0 +1,232 @@
+//! The guess-and-check bound (Section 5): `DUAL ∈ GC(log² n, [[LOGSPACE_pol]]^log)`.
+//!
+//! Theorem 5.1 shows that non-duality has certificates of `O(log² n)` bits: a path
+//! descriptor leading to a `fail` leaf of the decomposition tree.  Verifying the
+//! certificate amounts to one `pathnode` evaluation followed by a mark check
+//! (Lemma 5.1), which lies in `[[LOGSPACE_pol]]^log ∘ LOGSPACE`.  This module makes the
+//! certificate explicit: [`Certificate`] wraps the guessed path descriptor,
+//! [`verify_certificate`] is the Lemma 5.1 checker, and [`find_certificate`] searches
+//! for a certificate (which exists iff the instance is not dual, by
+//! Proposition 2.1(4)).
+
+use crate::error::DualError;
+use crate::node::Mark;
+use crate::path::{max_branching, PathDescriptor};
+use crate::pathnode::{pathnode, PathnodeOutcome, SpaceStrategy};
+use crate::solver::{preflight, Preflight};
+use qld_hypergraph::Hypergraph;
+use qld_logspace::SpaceMeter;
+
+/// A non-duality certificate: the `O(log² n)` nondeterministic bits of Theorem 5.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The guessed path descriptor (empty when the instance fails its preconditions,
+    /// in which case the preflight check itself refutes duality).
+    pub path: PathDescriptor,
+}
+
+impl Certificate {
+    /// The number of bits of the certificate for an instance of the given dimensions
+    /// (the quantity bounded by `O(log² n)`).
+    pub fn bits(&self, num_vertices: usize, g_edges: usize) -> u64 {
+        self.path.bits(max_branching(num_vertices, g_edges))
+    }
+}
+
+/// The result of verifying a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertificateCheck {
+    /// The certificate is valid: it proves that the instance is **not** dual.
+    RefutesDuality,
+    /// The certificate is invalid (it does not lead to a `fail` leaf); nothing is
+    /// learned about the instance.
+    Invalid,
+}
+
+/// Lemma 5.1: checks whether `pathnode(I, π)` is a leaf marked `fail` (or whether the
+/// instance already fails its logspace-checkable preconditions, in which case any
+/// certificate — including the empty one — counts as a refutation).
+pub fn verify_certificate(
+    g: &Hypergraph,
+    h: &Hypergraph,
+    certificate: &Certificate,
+    strategy: SpaceStrategy,
+    meter: &SpaceMeter,
+) -> Result<CertificateCheck, DualError> {
+    match preflight(g, h)? {
+        Preflight::Decided(answer) => Ok(if answer.is_dual() {
+            CertificateCheck::Invalid
+        } else {
+            CertificateCheck::RefutesDuality
+        }),
+        Preflight::Ready { oriented, .. } => {
+            match pathnode(&oriented, &certificate.path, strategy, meter) {
+                PathnodeOutcome::WrongPath => Ok(CertificateCheck::Invalid),
+                PathnodeOutcome::Node(attr) => Ok(if attr.mark == Mark::Fail {
+                    CertificateCheck::RefutesDuality
+                } else {
+                    CertificateCheck::Invalid
+                }),
+            }
+        }
+    }
+}
+
+/// Searches for a certificate by a depth-first walk of the virtual tree.  Returns
+/// `Ok(Some(_))` iff the instance is not dual (Proposition 2.1(4) guarantees a `fail`
+/// leaf exists in that case), `Ok(None)` if it is dual.
+pub fn find_certificate(
+    g: &Hypergraph,
+    h: &Hypergraph,
+    meter: &SpaceMeter,
+) -> Result<Option<Certificate>, DualError> {
+    match preflight(g, h)? {
+        Preflight::Decided(answer) => Ok(if answer.is_dual() {
+            None
+        } else {
+            Some(Certificate {
+                path: PathDescriptor::root(),
+            })
+        }),
+        Preflight::Ready { oriented, .. } => {
+            // Depth-first search over valid descriptors using the materializing chain
+            // (the search itself is not part of the guess-and-check model; only the
+            // verification of the found certificate is).
+            let mut stack = vec![PathDescriptor::root()];
+            let branch = max_branching(oriented.num_vertices(), oriented.g().num_edges());
+            while let Some(pi) = stack.pop() {
+                match pathnode(&oriented, &pi, SpaceStrategy::MaterializeChain, meter) {
+                    PathnodeOutcome::WrongPath => continue,
+                    PathnodeOutcome::Node(attr) => match attr.mark {
+                        Mark::Fail => return Ok(Some(Certificate { path: pi })),
+                        Mark::Done => continue,
+                        Mark::Nil => {
+                            for i in (1..=branch).rev() {
+                                stack.push(pi.child(i));
+                            }
+                        }
+                    },
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::generators;
+
+    #[test]
+    fn dual_instances_have_no_certificate() {
+        let meter = SpaceMeter::new();
+        for li in [
+            generators::matching_instance(2),
+            generators::matching_instance(3),
+            generators::threshold_instance(5, 2),
+        ] {
+            assert_eq!(find_certificate(&li.g, &li.h, &meter).unwrap(), None, "{}", li.name);
+        }
+    }
+
+    #[test]
+    fn non_dual_instances_yield_verifiable_certificates() {
+        let meter = SpaceMeter::new();
+        for k in 2..=4 {
+            let li = generators::matching_instance(k);
+            let broken =
+                generators::perturb(&li, generators::Perturbation::DropDualEdge, k).unwrap();
+            let cert = find_certificate(&broken.g, &broken.h, &meter)
+                .unwrap()
+                .expect("non-dual instance must have a certificate");
+            let check = verify_certificate(
+                &broken.g,
+                &broken.h,
+                &cert,
+                SpaceStrategy::MaterializeChain,
+                &meter,
+            )
+            .unwrap();
+            assert_eq!(check, CertificateCheck::RefutesDuality, "k={k}");
+            // Certificate size is small: within the O(log² n) budget with a modest
+            // constant (here: ≤ 4·log₂²(input bits)).
+            let input_bits = ((broken.g.num_edges() + broken.h.num_edges())
+                * broken.g.num_vertices()) as f64;
+            let budget = 4.0 * input_bits.log2() * input_bits.log2();
+            assert!(
+                (cert.bits(broken.g.num_vertices(), broken.g.num_edges()) as f64) <= budget,
+                "certificate of {} bits exceeds budget {budget}",
+                cert.bits(broken.g.num_vertices(), broken.g.num_edges())
+            );
+        }
+    }
+
+    #[test]
+    fn bogus_certificates_are_rejected() {
+        let meter = SpaceMeter::new();
+        let li = generators::matching_instance(3);
+        // On a dual instance, no certificate can verify.
+        let bogus = Certificate {
+            path: PathDescriptor::from_indices([1]),
+        };
+        assert_eq!(
+            verify_certificate(&li.g, &li.h, &bogus, SpaceStrategy::MaterializeChain, &meter)
+                .unwrap(),
+            CertificateCheck::Invalid
+        );
+        // A wrong-path certificate on a non-dual instance is also rejected.
+        let broken = generators::perturb(&li, generators::Perturbation::DropDualEdge, 0).unwrap();
+        let wrong = Certificate {
+            path: PathDescriptor::from_indices([100_000]),
+        };
+        assert_eq!(
+            verify_certificate(
+                &broken.g,
+                &broken.h,
+                &wrong,
+                SpaceStrategy::MaterializeChain,
+                &meter
+            )
+            .unwrap(),
+            CertificateCheck::Invalid
+        );
+    }
+
+    #[test]
+    fn precondition_violations_short_circuit_verification() {
+        let meter = SpaceMeter::new();
+        let a = qld_hypergraph::Hypergraph::from_index_edges(4, &[&[0, 1]]);
+        let b = qld_hypergraph::Hypergraph::from_index_edges(4, &[&[2, 3]]);
+        let cert = Certificate {
+            path: PathDescriptor::root(),
+        };
+        assert_eq!(
+            verify_certificate(&a, &b, &cert, SpaceStrategy::MaterializeChain, &meter).unwrap(),
+            CertificateCheck::RefutesDuality
+        );
+        let found = find_certificate(&a, &b, &meter).unwrap();
+        assert!(found.is_some());
+    }
+
+    #[test]
+    fn recompute_strategy_verifies_small_certificates() {
+        let meter = SpaceMeter::new();
+        let li = generators::matching_instance(2);
+        let broken = generators::perturb(&li, generators::Perturbation::DropDualEdge, 1).unwrap();
+        let cert = find_certificate(&broken.g, &broken.h, &meter)
+            .unwrap()
+            .expect("certificate");
+        assert_eq!(
+            verify_certificate(
+                &broken.g,
+                &broken.h,
+                &cert,
+                SpaceStrategy::Recompute,
+                &meter
+            )
+            .unwrap(),
+            CertificateCheck::RefutesDuality
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Validated `DUAL` instances.
+//!
+//! A [`DualInstance`] is a pair of simple hypergraphs `(G, H)` over a common vertex
+//! universe.  Construction validates the simplicity requirement of the paper (inputs are
+//! irredundant DNFs / simple hypergraphs); the degenerate cases involving edgeless
+//! hypergraphs and the empty edge are resolved by [`DualInstance::degenerate_answer`];
+//! and [`DualInstance::check_preconditions`] performs the logspace-checkable tests
+//! `G ⊆ tr(H)` and `H ⊆ tr(G)` that the Boros–Makino decomposition assumes (Section 2),
+//! returning a ready-made non-duality witness when they fail.
+
+use crate::error::{DualError, Side};
+use crate::result::NonDualWitness;
+use qld_hypergraph::{Hypergraph, VertexSet};
+
+/// A validated instance of the `DUAL` problem.
+#[derive(Debug, Clone)]
+pub struct DualInstance {
+    g: Hypergraph,
+    h: Hypergraph,
+    num_vertices: usize,
+}
+
+impl DualInstance {
+    /// Builds an instance, checking that both hypergraphs are simple.
+    ///
+    /// The two hypergraphs may be declared over different universe sizes; the instance
+    /// uses the larger one for both.
+    pub fn new(g: Hypergraph, h: Hypergraph) -> Result<Self, DualError> {
+        g.check_simple().map_err(|source| DualError::NotSimple {
+            side: Side::G,
+            source,
+        })?;
+        h.check_simple().map_err(|source| DualError::NotSimple {
+            side: Side::H,
+            source,
+        })?;
+        let num_vertices = g.num_vertices().max(h.num_vertices());
+        let g = regrow(g, num_vertices);
+        let h = regrow(h, num_vertices);
+        Ok(DualInstance {
+            g,
+            h,
+            num_vertices,
+        })
+    }
+
+    /// Builds an instance after minimizing (absorbing) both hypergraphs, so that any
+    /// monotone DNF pair can be fed in.
+    pub fn new_minimized(g: Hypergraph, h: Hypergraph) -> Result<Self, DualError> {
+        DualInstance::new(g.minimize(), h.minimize())
+    }
+
+    /// The first hypergraph `G`.
+    pub fn g(&self) -> &Hypergraph {
+        &self.g
+    }
+
+    /// The second hypergraph `H`.
+    pub fn h(&self) -> &Hypergraph {
+        &self.h
+    }
+
+    /// The size of the common vertex universe `V`.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The number of bits of the natural encoding of the instance — the `n` in which
+    /// the paper's `O(log² n)` bounds are expressed.
+    pub fn encoding_bits(&self) -> usize {
+        (self.g.num_edges() + self.h.num_edges()) * self.num_vertices.max(1)
+    }
+
+    /// The instance with the roles of `G` and `H` exchanged.
+    pub fn swapped(&self) -> DualInstance {
+        DualInstance {
+            g: self.h.clone(),
+            h: self.g.clone(),
+            num_vertices: self.num_vertices,
+        }
+    }
+
+    /// Resolves the degenerate cases that the decomposition method does not handle:
+    /// edgeless hypergraphs and the hypergraph `{∅}`.
+    ///
+    /// Returns `Some(result)` when the instance is degenerate, `None` when both
+    /// hypergraphs are non-empty and all their edges are non-empty (the situation the
+    /// decomposition assumes).
+    ///
+    /// Conventions (`tr(∅) = {∅}`, `tr({∅}) = ∅`): the constant-false DNF is dual to the
+    /// constant-true DNF and vice versa.
+    pub fn degenerate_answer(&self) -> Option<crate::result::DualityResult> {
+        use crate::result::DualityResult::*;
+        let g_trivial_true = self.g.has_empty_edge(); // G ⊇ {∅}, i.e. G = {∅} by simplicity
+        let h_trivial_true = self.h.has_empty_edge();
+        if self.g.is_empty() {
+            // tr(G) = {∅}: dual iff H = {∅}.
+            return Some(if h_trivial_true && self.h.num_edges() == 1 {
+                Dual
+            } else {
+                // ∅ is a transversal of the edgeless G and contains no (non-empty) edge
+                // of H; if H is also edgeless the same witness applies.
+                NotDual(NonDualWitness::NewTransversalOfG(VertexSet::empty(
+                    self.num_vertices,
+                )))
+            });
+        }
+        if self.h.is_empty() {
+            return Some(if g_trivial_true && self.g.num_edges() == 1 {
+                Dual
+            } else {
+                NotDual(NonDualWitness::NewTransversalOfH(VertexSet::empty(
+                    self.num_vertices,
+                )))
+            });
+        }
+        if g_trivial_true {
+            // G = {∅} has no transversals, so tr(G) = ∅ ≠ H (H is non-empty here).
+            let h_index = 0;
+            return Some(NotDual(NonDualWitness::DisjointEdges { g_index: 0, h_index }));
+        }
+        if h_trivial_true {
+            let g_index = 0;
+            return Some(NotDual(NonDualWitness::DisjointEdges { g_index, h_index: 0 }));
+        }
+        None
+    }
+
+    /// The logspace-checkable preconditions of the decomposition method:
+    /// `G ⊆ tr(H)` and `H ⊆ tr(G)` (every edge of each hypergraph is a *minimal*
+    /// transversal of the other).  On failure returns a non-duality witness.
+    ///
+    /// Should only be called on non-degenerate instances.
+    pub fn check_preconditions(&self) -> Result<(), NonDualWitness> {
+        // Cross-intersection: every edge of G meets every edge of H.
+        for (gi, ge) in self.g.edges().iter().enumerate() {
+            for (hi, he) in self.h.edges().iter().enumerate() {
+                if ge.is_disjoint(he) {
+                    return Err(NonDualWitness::DisjointEdges {
+                        g_index: gi,
+                        h_index: hi,
+                    });
+                }
+            }
+        }
+        // Minimality of each G-edge as a transversal of H.  (Cross-intersection already
+        // makes each G-edge a transversal of H.)  A non-minimal edge yields, after
+        // minimization, a transversal of H that cannot contain any edge of G (it is a
+        // proper subset of a G-edge and G is simple) — a new transversal of H w.r.t. G.
+        for ge in self.g.edges() {
+            if !self.h.is_minimal_transversal(ge) {
+                let reduced = self.h.minimize_transversal(ge);
+                return Err(NonDualWitness::NewTransversalOfH(reduced));
+            }
+        }
+        // Symmetrically for H-edges as transversals of G.
+        for he in self.h.edges() {
+            if !self.g.is_minimal_transversal(he) {
+                let reduced = self.g.minimize_transversal(he);
+                return Err(NonDualWitness::NewTransversalOfG(reduced));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the instance oriented so that the *decomposed* side (the `H` of
+    /// Section 2, whose size bounds the tree depth) is the smaller one, together with a
+    /// flag saying whether the roles were exchanged.
+    ///
+    /// The Boros–Makino description assumes `|H| ≤ |G|`; because duality is symmetric
+    /// (`H = tr(G)` iff `G = tr(H)` for simple hypergraphs), solving the swapped
+    /// instance decides the same question, and witnesses are mapped back with
+    /// [`NonDualWitness::swap_sides`].
+    pub fn oriented(&self) -> (DualInstance, bool) {
+        if self.h.num_edges() <= self.g.num_edges() {
+            (self.clone(), false)
+        } else {
+            (self.swapped(), true)
+        }
+    }
+}
+
+fn regrow(h: Hypergraph, n: usize) -> Hypergraph {
+    if h.num_vertices() == n {
+        return h;
+    }
+    let mut out = Hypergraph::new(n);
+    for e in h.edges() {
+        let mut e = e.clone();
+        e.grow(n);
+        out.add_edge(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::DualityResult;
+    use qld_hypergraph::vset;
+
+    #[test]
+    fn construction_validates_simplicity() {
+        let g = Hypergraph::from_index_edges(3, &[&[0, 1], &[1, 2]]);
+        let h = Hypergraph::from_index_edges(3, &[&[1], &[0, 2]]);
+        assert!(DualInstance::new(g.clone(), h).is_ok());
+        let bad = Hypergraph::from_index_edges(3, &[&[0], &[0, 1]]);
+        let err = DualInstance::new(g, bad).unwrap_err();
+        assert!(matches!(err, DualError::NotSimple { side: Side::H, .. }));
+    }
+
+    #[test]
+    fn new_minimized_accepts_redundant_input() {
+        let g = Hypergraph::from_index_edges(3, &[&[0], &[0, 1]]);
+        let h = Hypergraph::from_index_edges(3, &[&[1], &[0, 2]]);
+        let inst = DualInstance::new_minimized(g, h).unwrap();
+        assert_eq!(inst.g().num_edges(), 1);
+    }
+
+    #[test]
+    fn universes_are_unified() {
+        let g = Hypergraph::from_index_edges(2, &[&[0, 1]]);
+        let h = Hypergraph::from_index_edges(5, &[&[4]]);
+        let inst = DualInstance::new(g, h).unwrap();
+        assert_eq!(inst.num_vertices(), 5);
+        assert_eq!(inst.g().num_vertices(), 5);
+        assert_eq!(inst.encoding_bits(), 2 * 5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let n = 3;
+        let empty = Hypergraph::new(n);
+        let true_dnf = Hypergraph::from_edges(n, [VertexSet::empty(n)]);
+        let k3 = Hypergraph::from_index_edges(n, &[&[0, 1], &[1, 2], &[0, 2]]);
+
+        // false vs true: dual.
+        let inst = DualInstance::new(empty.clone(), true_dnf.clone()).unwrap();
+        assert_eq!(inst.degenerate_answer(), Some(DualityResult::Dual));
+        let inst = DualInstance::new(true_dnf.clone(), empty.clone()).unwrap();
+        assert_eq!(inst.degenerate_answer(), Some(DualityResult::Dual));
+
+        // false vs something else: not dual, with a checkable witness.
+        let inst = DualInstance::new(empty.clone(), k3.clone()).unwrap();
+        match inst.degenerate_answer().unwrap() {
+            DualityResult::NotDual(w) => {
+                assert!(crate::result::verify_witness(inst.g(), inst.h(), &w))
+            }
+            other => panic!("expected NotDual, got {other:?}"),
+        }
+
+        // true vs something else: not dual.
+        let inst = DualInstance::new(true_dnf.clone(), k3.clone()).unwrap();
+        match inst.degenerate_answer().unwrap() {
+            DualityResult::NotDual(w) => {
+                assert!(crate::result::verify_witness(inst.g(), inst.h(), &w))
+            }
+            other => panic!("expected NotDual, got {other:?}"),
+        }
+
+        // both empty: not dual (tr(∅) = {∅} ≠ ∅).
+        let inst = DualInstance::new(empty.clone(), empty.clone()).unwrap();
+        assert!(matches!(
+            inst.degenerate_answer(),
+            Some(DualityResult::NotDual(_))
+        ));
+
+        // Non-degenerate instance yields None.
+        let inst = DualInstance::new(k3.clone(), k3).unwrap();
+        assert_eq!(inst.degenerate_answer(), None);
+    }
+
+    #[test]
+    fn preconditions_pass_for_dual_pairs() {
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let h = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
+        let inst = DualInstance::new(g, h).unwrap();
+        assert!(inst.check_preconditions().is_ok());
+    }
+
+    #[test]
+    fn precondition_failure_disjoint_edges() {
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1]]);
+        let h = Hypergraph::from_index_edges(4, &[&[2, 3]]);
+        let inst = DualInstance::new(g, h).unwrap();
+        let w = inst.check_preconditions().unwrap_err();
+        assert!(matches!(w, NonDualWitness::DisjointEdges { .. }));
+        assert!(crate::result::verify_witness(inst.g(), inst.h(), &w));
+    }
+
+    #[test]
+    fn precondition_failure_non_minimal_edge() {
+        // Every edge of G = {{0},{1}} is a minimal transversal of H = {{0,1,2}}, but
+        // H's single edge is a non-minimal transversal of G, so the check reports a new
+        // transversal of G (its minimization, {0,1}).
+        let g = Hypergraph::from_index_edges(3, &[&[0], &[1]]);
+        let h = Hypergraph::from_index_edges(3, &[&[0, 1, 2]]);
+        let inst = DualInstance::new(g.clone(), h.clone()).unwrap();
+        let w = inst.check_preconditions().unwrap_err();
+        assert!(matches!(w, NonDualWitness::NewTransversalOfG(_)));
+        assert!(crate::result::verify_witness(inst.g(), inst.h(), &w));
+
+        // And symmetrically when the offending (non-minimal) edge is in G.
+        let inst = DualInstance::new(h, g).unwrap();
+        let w = inst.check_preconditions().unwrap_err();
+        assert!(matches!(w, NonDualWitness::NewTransversalOfH(_)));
+        assert!(crate::result::verify_witness(inst.g(), inst.h(), &w));
+    }
+
+    #[test]
+    fn orientation_puts_smaller_side_second() {
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let h = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
+        // |H| > |G|: swap
+        let inst = DualInstance::new(g.clone(), h.clone()).unwrap();
+        let (oriented, swapped) = inst.oriented();
+        assert!(swapped);
+        assert_eq!(oriented.h().num_edges(), 2);
+        // |H| <= |G|: keep
+        let inst = DualInstance::new(h, g).unwrap();
+        let (oriented, swapped) = inst.oriented();
+        assert!(!swapped);
+        assert_eq!(oriented.h().num_edges(), 2);
+    }
+
+    #[test]
+    fn swapped_exchanges_sides() {
+        let g = Hypergraph::from_index_edges(3, &[&[0, 1]]);
+        let h = Hypergraph::from_index_edges(3, &[&[0], &[1]]);
+        let inst = DualInstance::new(g, h).unwrap();
+        let sw = inst.swapped();
+        assert_eq!(sw.g().num_edges(), 2);
+        assert_eq!(sw.h().num_edges(), 1);
+        assert_eq!(vset![3; 0, 1], *sw.h().edge(0));
+    }
+}

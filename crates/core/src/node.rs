@@ -1,0 +1,144 @@
+//! Node attributes of the decomposition tree.
+//!
+//! Every node `α` of `T(G, H)` carries the five data structures listed in Section 2 of
+//! the paper: its label (a path descriptor), the vertex set `S_α`, the induced instance
+//! `(G_{S_α}, H_{S_α})`, a mark, and the witness set `t(α)`.  Since `G_{S_α}` and
+//! `H_{S_α}` are determined by `S_α` and the original instance, [`NodeAttr`] stores only
+//! the label, `S_α`, the mark and `t(α)`, and recomputes the induced instance on demand
+//! — this is exactly the observation that makes the oracle chain of
+//! [`crate::oracle`] possible.
+
+use crate::instance::DualInstance;
+use crate::path::PathDescriptor;
+use qld_hypergraph::{Hypergraph, VertexSet};
+use std::fmt;
+
+/// The mark of a decomposition-tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mark {
+    /// The dummy value carried by inner nodes.
+    Nil,
+    /// A leaf whose branch is consistent with `H = tr(G)`.
+    Done,
+    /// A leaf witnessing `H ≠ tr(G)`; its `t(α)` is a new transversal.
+    Fail,
+}
+
+impl fmt::Display for Mark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mark::Nil => write!(f, "nil"),
+            Mark::Done => write!(f, "done"),
+            Mark::Fail => write!(f, "fail"),
+        }
+    }
+}
+
+/// The attributes `attr(α)` of a decomposition-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAttr {
+    /// `label(α)`: the path descriptor naming the node.
+    pub label: PathDescriptor,
+    /// `S_α ⊆ V`.
+    pub s: VertexSet,
+    /// `mark(α)`.
+    pub mark: Mark,
+    /// `t(α)`: the witness set; non-empty only for `fail` leaves (it is `∅` otherwise,
+    /// matching the paper's convention, and represented as `None` here).
+    pub witness: Option<VertexSet>,
+}
+
+impl NodeAttr {
+    /// The root attributes: label `()`, `S = V`, mark `nil`, `t = ∅`.
+    pub fn root(inst: &DualInstance) -> NodeAttr {
+        NodeAttr {
+            label: PathDescriptor::root(),
+            s: VertexSet::full(inst.num_vertices()),
+            mark: Mark::Nil,
+            witness: None,
+        }
+    }
+
+    /// The induced hypergraph `G_{S_α} = { E ∩ S_α | E ∈ G }` (duplicates collapsed).
+    pub fn g_restricted(&self, inst: &DualInstance) -> Hypergraph {
+        inst.g().restrict_intersections(&self.s)
+    }
+
+    /// The induced hypergraph `H_{S_α} = { E ∈ H | E ⊆ S_α }`.
+    pub fn h_restricted(&self, inst: &DualInstance) -> Hypergraph {
+        inst.h().restrict_subedges(&self.s)
+    }
+
+    /// The set `I_α` of vertices occurring in more than `|H_{S_α}|/2` edges of
+    /// `H_{S_α}` (Step 1 of `process`).
+    pub fn i_alpha(&self, inst: &DualInstance) -> VertexSet {
+        let hs = self.h_restricted(inst);
+        hs.frequent_vertices(hs.num_edges() / 2)
+    }
+
+    /// Whether this node is a leaf of the final tree (marked `done` or `fail`).
+    pub fn is_leaf(&self) -> bool {
+        self.mark != Mark::Nil
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::{vset, Hypergraph};
+
+    fn instance() -> DualInstance {
+        // G = {{0,1},{2,3}}, H = tr(G)
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let h = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
+        DualInstance::new(g, h).unwrap()
+    }
+
+    #[test]
+    fn root_attributes() {
+        let inst = instance();
+        let root = NodeAttr::root(&inst);
+        assert_eq!(root.label, PathDescriptor::root());
+        assert_eq!(root.s, VertexSet::full(4));
+        assert_eq!(root.mark, Mark::Nil);
+        assert!(root.witness.is_none());
+        assert!(!root.is_leaf());
+    }
+
+    #[test]
+    fn restrictions_follow_paper_definitions() {
+        let inst = instance();
+        let mut node = NodeAttr::root(&inst);
+        node.s = vset![4; 0, 2, 3];
+        let gs = node.g_restricted(&inst);
+        assert!(gs.contains_edge(&vset![4; 0]));
+        assert!(gs.contains_edge(&vset![4; 2, 3]));
+        let hs = node.h_restricted(&inst);
+        // H-edges inside {0,2,3}: {0,2} and {0,3}
+        assert_eq!(hs.num_edges(), 2);
+        assert!(hs.contains_edge(&vset![4; 0, 2]));
+        assert!(hs.contains_edge(&vset![4; 0, 3]));
+        // I_α: vertices in more than 1 of those 2 edges → only vertex 0
+        assert_eq!(node.i_alpha(&inst).to_indices(), vec![0]);
+    }
+
+    #[test]
+    fn i_alpha_at_root() {
+        let inst = instance();
+        let root = NodeAttr::root(&inst);
+        // every vertex occurs in exactly 2 of the 4 H-edges; threshold is 2 ("more
+        // than"), so I_α is empty at the root.
+        assert!(root.i_alpha(&inst).is_empty());
+    }
+
+    #[test]
+    fn mark_display_and_leaf() {
+        assert_eq!(Mark::Nil.to_string(), "nil");
+        assert_eq!(Mark::Done.to_string(), "done");
+        assert_eq!(Mark::Fail.to_string(), "fail");
+        let inst = instance();
+        let mut n = NodeAttr::root(&inst);
+        n.mark = Mark::Done;
+        assert!(n.is_leaf());
+    }
+}

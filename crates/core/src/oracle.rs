@@ -1,0 +1,723 @@
+//! The oracle chain: Lemma 4.1 / Lemma 4.2 as executable, space-metered code.
+//!
+//! The key observation behind the paper's space bound is that the node attributes
+//! `attr(α)` of the decomposition tree are determined by the original instance together
+//! with the set `S_α`, and that `S_{α_i}` (the `i`-th child's set) is computable from
+//! `S_α` by a deterministic logspace procedure (`next`, Lemma 4.1).  Hence a node named
+//! by a path descriptor can be evaluated by a *chain* of such procedures, one per tree
+//! level, none of which ever stores an intermediate `S` set: whenever level `k` needs to
+//! know whether a vertex belongs to its `S`, it recomputes the answer from queries to
+//! level `k−1` using `O(log n)` bits of registers (Lemma 3.1 / Lemma 4.2).
+//!
+//! This module implements that chain.  [`SAlphaOracle`] is the query interface
+//! (`v ∈ S_α?`); [`RootOracle`] answers for the root (`S = V`); [`ChildOracle`] layers
+//! one decomposition step on top of a parent oracle, re-deriving the `marksmall` /
+//! `process` decisions of [`crate::expand`] from queries only; and the free functions
+//! ([`classify`], [`child_count`], [`child_contains`], …) are the logspace
+//! sub-procedures they share.  [`MaterializedOracle`] is the contrasting strategy that
+//! stores one `S` set per level (charging `|V|` bits), used by the practical solver mode
+//! and by the space experiments as a comparison point.
+//!
+//! Every function takes a [`SpaceMeter`] and allocates its loop counters and per-level
+//! registers through it, so the peak meter reading of a traversal is an honest measure
+//! of work-tape usage under the `DSPACE[·]` accounting convention (read-only input and
+//! write-only output are free).
+
+use crate::expand::{BranchCase, FailRule};
+use crate::instance::DualInstance;
+use crate::node::Mark;
+use qld_hypergraph::{Vertex, VertexSet};
+use qld_logspace::{LogRegister, SpaceMeter};
+
+/// Query interface to the vertex set `S_α` of a decomposition-tree node.
+pub trait SAlphaOracle {
+    /// Whether vertex `v` belongs to `S_α`.
+    fn contains(&self, v: Vertex) -> bool;
+}
+
+/// The root oracle: `S_{α₀} = V`.
+#[derive(Debug, Clone, Copy)]
+pub struct RootOracle {
+    num_vertices: usize,
+}
+
+impl RootOracle {
+    /// Creates the root oracle for an instance.
+    pub fn new(inst: &DualInstance) -> Self {
+        RootOracle {
+            num_vertices: inst.num_vertices(),
+        }
+    }
+}
+
+impl SAlphaOracle for RootOracle {
+    fn contains(&self, v: Vertex) -> bool {
+        v.index() < self.num_vertices
+    }
+}
+
+/// An oracle backed by an explicit, metered vertex set (one tree level's `S` held on
+/// the work tape).  Charges `|V|` bits for as long as it lives.
+#[derive(Debug)]
+pub struct MaterializedOracle {
+    s: VertexSet,
+    bits: u64,
+    meter: SpaceMeter,
+}
+
+impl MaterializedOracle {
+    /// Wraps an explicit vertex set, charging the meter for it.
+    pub fn new(s: VertexSet, meter: &SpaceMeter) -> Self {
+        let bits = s.capacity().max(1) as u64;
+        meter.charge(bits);
+        MaterializedOracle {
+            s,
+            bits,
+            meter: meter.clone(),
+        }
+    }
+
+    /// The underlying set.
+    pub fn set(&self) -> &VertexSet {
+        &self.s
+    }
+}
+
+impl Drop for MaterializedOracle {
+    fn drop(&mut self) {
+        self.meter.free(self.bits);
+    }
+}
+
+impl SAlphaOracle for MaterializedOracle {
+    fn contains(&self, v: Vertex) -> bool {
+        self.s.contains(v)
+    }
+}
+
+/// The classification of a node, as derived by the logspace sub-procedures.
+///
+/// It mirrors [`crate::expand::Expansion`] but carries only `O(log n)`-bit data (edge
+/// indices and a vertex), never a vertex set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeClass {
+    /// Leaf marked `done`.
+    Done,
+    /// Leaf marked `fail` (the witness is recoverable from the rule and the oracle).
+    Fail(FailRule),
+    /// Inner node branching according to the given rule.
+    Branch(BranchCase),
+}
+
+impl NodeClass {
+    /// The node's mark.
+    pub fn mark(&self) -> Mark {
+        match self {
+            NodeClass::Done => Mark::Done,
+            NodeClass::Fail(_) => Mark::Fail,
+            NodeClass::Branch(_) => Mark::Nil,
+        }
+    }
+}
+
+/// Whether the `j`-th edge of `H` is contained in `S`.
+fn h_edge_inside(inst: &DualInstance, s: &dyn SAlphaOracle, j: usize) -> bool {
+    inst.h().edge(j).iter().all(|v| s.contains(v))
+}
+
+/// `|H_S|`: the number of `H`-edges contained in `S`.
+pub fn count_h_inside(inst: &DualInstance, s: &dyn SAlphaOracle, meter: &SpaceMeter) -> u64 {
+    let mut count = LogRegister::new(meter, inst.h().num_edges() as u64);
+    let mut j = LogRegister::new(meter, inst.h().num_edges() as u64);
+    while (j.get() as usize) < inst.h().num_edges() {
+        if h_edge_inside(inst, s, j.get() as usize) {
+            count.increment();
+        }
+        j.increment();
+    }
+    count.get()
+}
+
+/// Whether `v ∈ I_α`: `v` occurs in more than `|H_S|/2` of the edges of `H_S`.
+pub fn i_alpha_contains(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    v: Vertex,
+    meter: &SpaceMeter,
+) -> bool {
+    let m_edges = inst.h().num_edges() as u64;
+    let mut total = LogRegister::new(meter, m_edges);
+    let mut with_v = LogRegister::new(meter, m_edges);
+    let mut j = LogRegister::new(meter, m_edges);
+    while (j.get() as usize) < inst.h().num_edges() {
+        let idx = j.get() as usize;
+        if h_edge_inside(inst, s, idx) {
+            total.increment();
+            if inst.h().edge(idx).contains(v) {
+                with_v.increment();
+            }
+        }
+        j.increment();
+    }
+    2 * with_v.get() > total.get()
+}
+
+/// Whether the singleton `{v}` belongs to `G_S`: some edge `E ∈ G` has `E ∩ S = {v}`.
+fn singleton_in_gs(inst: &DualInstance, s: &dyn SAlphaOracle, v: Vertex) -> bool {
+    inst.g()
+        .edges()
+        .iter()
+        .any(|e| e.contains(v) && s.contains(v) && e.iter().all(|u| u == v || !s.contains(u)))
+}
+
+/// Whether the restriction `E ∩ S` of the `j`-th `G`-edge is empty.
+fn g_restriction_empty(inst: &DualInstance, s: &dyn SAlphaOracle, j: usize) -> bool {
+    inst.g().edge(j).iter().all(|v| !s.contains(v))
+}
+
+/// Whether the restriction `E_j ∩ S` intersects `I_α`.
+fn g_restriction_meets_i_alpha(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    j: usize,
+    meter: &SpaceMeter,
+) -> bool {
+    inst.g()
+        .edge(j)
+        .iter()
+        .any(|v| s.contains(v) && i_alpha_contains(inst, s, v, meter))
+}
+
+/// Whether the `j`-th `H`-edge is contained in `I_α`.
+fn h_edge_inside_i_alpha(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    j: usize,
+    meter: &SpaceMeter,
+) -> bool {
+    inst.h()
+        .edge(j)
+        .iter()
+        .all(|v| i_alpha_contains(inst, s, v, meter))
+}
+
+/// Classifies the node with vertex-set oracle `s`: re-derives the `marksmall` /
+/// `process` decision of [`crate::expand::expand`] from membership queries only.
+pub fn classify(inst: &DualInstance, s: &dyn SAlphaOracle, meter: &SpaceMeter) -> NodeClass {
+    let m = count_h_inside(inst, s, meter);
+
+    if m == 0 {
+        // marksmall cases 1 and 2.
+        let mut j = LogRegister::new(meter, inst.g().num_edges() as u64);
+        while (j.get() as usize) < inst.g().num_edges() {
+            if g_restriction_empty(inst, s, j.get() as usize) {
+                return NodeClass::Done;
+            }
+            j.increment();
+        }
+        return NodeClass::Fail(FailRule::EmptyHs);
+    }
+
+    if m == 1 {
+        // marksmall cases 3 and 4: locate the unique H-edge inside S.
+        let mut j = LogRegister::new(meter, inst.h().num_edges() as u64);
+        let h_edge = loop {
+            let idx = j.get() as usize;
+            if h_edge_inside(inst, s, idx) {
+                break idx;
+            }
+            j.increment();
+        };
+        for v in inst.h().edge(h_edge).iter() {
+            if !singleton_in_gs(inst, s, v) {
+                return NodeClass::Fail(FailRule::SingletonHs { h_edge, removed: v });
+            }
+        }
+        return NodeClass::Done;
+    }
+
+    // process: Step 2 — is I_α a new transversal of G_S w.r.t. H_S?
+    let mut transversal = true;
+    {
+        let mut j = LogRegister::new(meter, inst.g().num_edges() as u64);
+        while (j.get() as usize) < inst.g().num_edges() {
+            let idx = j.get() as usize;
+            if g_restriction_empty(inst, s, idx)
+                || !g_restriction_meets_i_alpha(inst, s, idx, meter)
+            {
+                transversal = false;
+                break;
+            }
+            j.increment();
+        }
+    }
+    if transversal {
+        let mut contains_h_edge = false;
+        let mut j = LogRegister::new(meter, inst.h().num_edges() as u64);
+        while (j.get() as usize) < inst.h().num_edges() {
+            let idx = j.get() as usize;
+            if h_edge_inside(inst, s, idx) && h_edge_inside_i_alpha(inst, s, idx, meter) {
+                contains_h_edge = true;
+                break;
+            }
+            j.increment();
+        }
+        if !contains_h_edge {
+            return NodeClass::Fail(FailRule::FrequentSet);
+        }
+    }
+
+    // Step 3 — first G-edge whose restriction misses I_α.
+    {
+        let mut j = LogRegister::new(meter, inst.g().num_edges() as u64);
+        while (j.get() as usize) < inst.g().num_edges() {
+            let idx = j.get() as usize;
+            if !g_restriction_meets_i_alpha(inst, s, idx, meter) {
+                return NodeClass::Branch(BranchCase::GEdgeMissesIAlpha { g_edge: idx });
+            }
+            j.increment();
+        }
+    }
+
+    // Step 4 — first H_S-edge contained in I_α.
+    let mut j = LogRegister::new(meter, inst.h().num_edges() as u64);
+    while (j.get() as usize) < inst.h().num_edges() {
+        let idx = j.get() as usize;
+        if h_edge_inside(inst, s, idx) && h_edge_inside_i_alpha(inst, s, idx, meter) {
+            return NodeClass::Branch(BranchCase::HEdgeInsideIAlpha { h_edge: idx });
+        }
+        j.increment();
+    }
+    unreachable!("process: neither Step 3 nor Step 4 applies — impossible by case analysis")
+}
+
+/// The number of children `κ(α)` of the node (0 for leaves).
+pub fn child_count(inst: &DualInstance, s: &dyn SAlphaOracle, meter: &SpaceMeter) -> u64 {
+    let class = classify(inst, s, meter);
+    child_count_given(inst, s, class, meter)
+}
+
+/// Like [`child_count`], but with the node's classification already known (the
+/// classification is `O(log n)` bits of state, so callers that walk the tree keep it in
+/// a register instead of recomputing it per query).
+pub fn child_count_given(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    class: NodeClass,
+    meter: &SpaceMeter,
+) -> u64 {
+    match class {
+        NodeClass::Done | NodeClass::Fail(_) => 0,
+        NodeClass::Branch(BranchCase::GEdgeMissesIAlpha { g_edge }) => {
+            let ge = inst.g().edge(g_edge);
+            let mut count = LogRegister::new(
+                meter,
+                (inst.num_vertices() * inst.g().num_edges()) as u64 + 1,
+            );
+            let mut j = LogRegister::new(meter, inst.g().num_edges() as u64);
+            while (j.get() as usize) < inst.g().num_edges() {
+                let e = inst.g().edge(j.get() as usize);
+                for v in e.iter() {
+                    // v ∈ (E_j ∩ S) ∩ (G_e ∩ S)
+                    if s.contains(v) && ge.contains(v) {
+                        count.increment();
+                    }
+                }
+                j.increment();
+            }
+            count.get()
+        }
+        NodeClass::Branch(BranchCase::HEdgeInsideIAlpha { h_edge }) => {
+            let he = inst.h().edge(h_edge);
+            let mut count = LogRegister::new(meter, inst.num_vertices() as u64 + 1);
+            for v in he.iter() {
+                if s.contains(v) {
+                    count.increment();
+                }
+            }
+            // every vertex of the chosen H-edge lies in S (the edge is in H_S), plus the
+            // final child H_e itself.
+            count.get() + 1
+        }
+    }
+}
+
+/// Whether vertex `v` belongs to the `index`-th child's set (1-based canonical order).
+/// Returns `None` if the node has fewer than `index` children (including leaves).
+pub fn child_contains(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    index: u64,
+    v: Vertex,
+    meter: &SpaceMeter,
+) -> Option<bool> {
+    let class = classify(inst, s, meter);
+    child_contains_given(inst, s, class, index, v, meter)
+}
+
+/// Like [`child_contains`], but with the node's classification already known.
+pub fn child_contains_given(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    class: NodeClass,
+    index: u64,
+    v: Vertex,
+    meter: &SpaceMeter,
+) -> Option<bool> {
+    if index == 0 {
+        return None;
+    }
+    match class {
+        NodeClass::Done | NodeClass::Fail(_) => None,
+        NodeClass::Branch(BranchCase::GEdgeMissesIAlpha { g_edge }) => {
+            let ge = inst.g().edge(g_edge);
+            let mut seen = LogRegister::new(
+                meter,
+                (inst.num_vertices() * inst.g().num_edges()) as u64 + 1,
+            );
+            let mut j = LogRegister::new(meter, inst.g().num_edges() as u64);
+            while (j.get() as usize) < inst.g().num_edges() {
+                let e = inst.g().edge(j.get() as usize);
+                for i in e.iter() {
+                    if s.contains(i) && ge.contains(i) {
+                        seen.increment();
+                        if seen.get() == index {
+                            // C = S − ((E_j ∩ S) − {i})
+                            let member = s.contains(v) && (!e.contains(v) || v == i);
+                            return Some(member);
+                        }
+                    }
+                }
+                j.increment();
+            }
+            None
+        }
+        NodeClass::Branch(BranchCase::HEdgeInsideIAlpha { h_edge }) => {
+            let he = inst.h().edge(h_edge);
+            let mut seen = LogRegister::new(meter, inst.num_vertices() as u64 + 1);
+            for i in he.iter() {
+                if s.contains(i) {
+                    seen.increment();
+                    if seen.get() == index {
+                        // C = S − {i}
+                        return Some(s.contains(v) && v != i);
+                    }
+                }
+            }
+            if index == seen.get() + 1 {
+                // final child: C = H_e itself
+                Some(he.contains(v))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// One level of the oracle chain: presents the `index`-th child of the node whose set is
+/// given by `parent`, recomputing every membership query from parent queries
+/// (Lemma 4.1 composed as in Lemma 4.2).
+///
+/// The parent's classification (an `O(log n)`-bit value: a case tag plus an edge index)
+/// is computed once at construction and kept in a metered register-equivalent, so that
+/// individual membership queries only re-run the child-enumeration loop, not the whole
+/// `marksmall`/`process` case analysis.
+pub struct ChildOracle<'a> {
+    inst: &'a DualInstance,
+    parent: &'a dyn SAlphaOracle,
+    parent_class: NodeClass,
+    index: u64,
+    class_bits: u64,
+    meter: SpaceMeter,
+}
+
+impl<'a> ChildOracle<'a> {
+    /// Creates the oracle for the `index`-th child (1-based), classifying the parent in
+    /// the process.  The child's existence is *not* checked here; use [`child_count`]
+    /// or [`child_contains`] first.
+    pub fn new(
+        inst: &'a DualInstance,
+        parent: &'a dyn SAlphaOracle,
+        index: u64,
+        meter: &SpaceMeter,
+    ) -> Self {
+        let parent_class = classify(inst, parent, meter);
+        Self::with_class(inst, parent, parent_class, index, meter)
+    }
+
+    /// Creates the oracle when the parent's classification is already known (avoids a
+    /// redundant classification during tree walks).
+    pub fn with_class(
+        inst: &'a DualInstance,
+        parent: &'a dyn SAlphaOracle,
+        parent_class: NodeClass,
+        index: u64,
+        meter: &SpaceMeter,
+    ) -> Self {
+        // The cached classification occupies a case tag plus an edge index on the work
+        // tape; charge it for the lifetime of this level.
+        let class_bits =
+            2 + qld_logspace::bits_for((inst.g().num_edges().max(inst.h().num_edges())) as u64);
+        meter.charge(class_bits);
+        ChildOracle {
+            inst,
+            parent,
+            parent_class,
+            index,
+            class_bits,
+            meter: meter.clone(),
+        }
+    }
+
+    /// The cached classification of the parent node.
+    pub fn parent_class(&self) -> NodeClass {
+        self.parent_class
+    }
+}
+
+impl Drop for ChildOracle<'_> {
+    fn drop(&mut self) {
+        self.meter.free(self.class_bits);
+    }
+}
+
+impl SAlphaOracle for ChildOracle<'_> {
+    fn contains(&self, v: Vertex) -> bool {
+        child_contains_given(
+            self.inst,
+            self.parent,
+            self.parent_class,
+            self.index,
+            v,
+            &self.meter,
+        )
+        .expect("ChildOracle refers to a non-existent child")
+    }
+}
+
+/// Materializes the node's vertex set (writing to the output tape is free, but reading
+/// it back is not — callers that keep the result resident should wrap it in a
+/// [`MaterializedOracle`] so it is charged).
+pub fn materialize_s(inst: &DualInstance, s: &dyn SAlphaOracle) -> VertexSet {
+    let n = inst.num_vertices();
+    let mut out = VertexSet::empty(n);
+    for i in 0..n {
+        let v = Vertex::from(i);
+        if s.contains(v) {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+/// Materializes the witness `t(α)` of a `fail` leaf from its classification rule.
+pub fn materialize_witness(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    rule: FailRule,
+    meter: &SpaceMeter,
+) -> VertexSet {
+    let n = inst.num_vertices();
+    let mut out = VertexSet::empty(n);
+    for i in 0..n {
+        let v = Vertex::from(i);
+        let member = match rule {
+            FailRule::EmptyHs => s.contains(v),
+            FailRule::SingletonHs { removed, .. } => s.contains(v) && v != removed,
+            FailRule::FrequentSet => i_alpha_contains(inst, s, v, meter),
+        };
+        if member {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+/// Materializes the `index`-th child's vertex set, or `None` if it does not exist.
+pub fn materialize_child(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    index: u64,
+    meter: &SpaceMeter,
+) -> Option<VertexSet> {
+    let n = inst.num_vertices();
+    let mut out = VertexSet::empty(n);
+    for i in 0..n {
+        let v = Vertex::from(i);
+        match child_contains(inst, s, index, v, meter) {
+            Some(true) => {
+                out.insert(v);
+            }
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::{expand, Expansion};
+    use qld_hypergraph::{generators, Hypergraph};
+
+    fn oriented(g: Hypergraph, h: Hypergraph) -> DualInstance {
+        DualInstance::new(g, h).unwrap().oriented().0
+    }
+
+    /// The oracle-level classification must agree with the materialized `expand`.
+    fn check_node_consistency(inst: &DualInstance, s: &VertexSet) {
+        let meter = SpaceMeter::new();
+        let oracle = MaterializedOracle::new(s.clone(), &meter);
+        let class = classify(inst, &oracle, &meter);
+        let exp = expand(inst, s);
+        match (&class, &exp) {
+            (NodeClass::Done, Expansion::Done) => {}
+            (NodeClass::Fail(rule), Expansion::Fail { witness, rule: erule }) => {
+                assert_eq!(rule, erule);
+                let w = materialize_witness(inst, &oracle, *rule, &meter);
+                assert_eq!(&w, witness);
+            }
+            (NodeClass::Branch(case), Expansion::Branch { case: ecase, children }) => {
+                assert_eq!(case, ecase);
+                assert_eq!(
+                    child_count(inst, &oracle, &meter) as usize,
+                    children.len(),
+                    "child count mismatch at S={s:?}"
+                );
+                for (k, child) in children.iter().enumerate() {
+                    let got = materialize_child(inst, &oracle, k as u64 + 1, &meter)
+                        .expect("child exists");
+                    assert_eq!(&got, child, "child #{k} mismatch at S={s:?}");
+                }
+                // index past the end does not exist
+                assert!(materialize_child(inst, &oracle, children.len() as u64 + 1, &meter)
+                    .is_none());
+            }
+            _ => panic!("classification mismatch at S={s:?}: {class:?} vs {exp:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_matches_expand_on_matching_instances() {
+        for k in 1..=3 {
+            let li = generators::matching_instance(k);
+            let inst = oriented(li.g, li.h);
+            let n = inst.num_vertices();
+            // check every subset of the universe (small n)
+            for mask in 0u32..(1 << n) {
+                let s = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+                check_node_consistency(&inst, &s);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_expand_on_other_families() {
+        let cases = [
+            generators::threshold_instance(5, 3),
+            generators::graph_cover_instance("C5", generators::cycle_graph(5)),
+            generators::self_dual_instance(1),
+        ];
+        for li in cases {
+            let inst = oriented(li.g, li.h);
+            let n = inst.num_vertices();
+            for mask in 0u32..(1 << n) {
+                let s = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+                check_node_consistency(&inst, &s);
+            }
+        }
+    }
+
+    #[test]
+    fn root_oracle_is_full_set() {
+        let li = generators::matching_instance(2);
+        let inst = oriented(li.g, li.h);
+        let root = RootOracle::new(&inst);
+        assert!(root.contains(Vertex::new(0)));
+        assert!(root.contains(Vertex::new(3)));
+        assert!(!root.contains(Vertex::new(4)));
+        assert_eq!(materialize_s(&inst, &root), VertexSet::full(4));
+    }
+
+    #[test]
+    fn child_oracle_chains_match_explicit_children() {
+        let li = generators::matching_instance(3);
+        let inst = oriented(li.g, li.h);
+        let meter = SpaceMeter::new();
+        let root = RootOracle::new(&inst);
+        let s_root = VertexSet::full(inst.num_vertices());
+        if let Expansion::Branch { children, .. } = expand(&inst, &s_root) {
+            for (k, expected_child) in children.iter().enumerate().take(4) {
+                let child = ChildOracle::new(&inst, &root, k as u64 + 1, &meter);
+                let got = materialize_s(&inst, &child);
+                assert_eq!(&got, expected_child);
+                // one level deeper: compare grandchildren through the chained oracle
+                if let Expansion::Branch {
+                    children: grand, ..
+                } = expand(&inst, expected_child)
+                {
+                    for (k2, expected_grand) in grand.iter().enumerate().take(2) {
+                        let grand_oracle = ChildOracle::new(&inst, &child, k2 as u64 + 1, &meter);
+                        assert_eq!(&materialize_s(&inst, &grand_oracle), expected_grand);
+                    }
+                }
+            }
+        } else {
+            panic!("root of matching(3) should branch");
+        }
+    }
+
+    #[test]
+    fn meter_is_released_after_queries() {
+        let li = generators::matching_instance(2);
+        let inst = oriented(li.g, li.h);
+        let meter = SpaceMeter::new();
+        let root = RootOracle::new(&inst);
+        let _ = classify(&inst, &root, &meter);
+        let _ = child_count(&inst, &root, &meter);
+        assert_eq!(meter.current_bits(), 0);
+        assert!(meter.peak_bits() > 0);
+    }
+
+    #[test]
+    fn materialized_oracle_charges_universe_bits() {
+        let li = generators::matching_instance(2);
+        let inst = oriented(li.g, li.h);
+        let meter = SpaceMeter::new();
+        {
+            let o = MaterializedOracle::new(VertexSet::full(4), &meter);
+            assert_eq!(meter.current_bits(), 4);
+            assert!(o.contains(Vertex::new(1)));
+            assert_eq!(o.set().len(), 4);
+        }
+        assert_eq!(meter.current_bits(), 0);
+        let _ = inst;
+    }
+
+    #[test]
+    fn i_alpha_queries_match_materialized_view() {
+        let li = generators::threshold_instance(5, 2);
+        let inst = oriented(li.g, li.h);
+        let meter = SpaceMeter::new();
+        let n = inst.num_vertices();
+        for mask in 0u32..(1 << n) {
+            let s = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+            let oracle = MaterializedOracle::new(s.clone(), &meter);
+            let hs = inst.h().restrict_subedges(&s);
+            let expected = hs.frequent_vertices(hs.num_edges() / 2);
+            for i in 0..n {
+                let v = Vertex::from(i);
+                assert_eq!(
+                    i_alpha_contains(&inst, &oracle, v, &meter),
+                    expected.contains(v),
+                    "I_α membership of {v} at S={s:?}"
+                );
+            }
+            assert_eq!(
+                count_h_inside(&inst, &oracle, &meter) as usize,
+                hs.num_edges()
+            );
+        }
+    }
+}

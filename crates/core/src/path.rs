@@ -1,0 +1,268 @@
+//! Path descriptors (Section 4 of the paper).
+//!
+//! A path descriptor for a `DUAL` instance `I = (G, H)` is a sequence of at most
+//! `⌊log |H|⌋` positive integers, each bounded by `|V|·|G|`; it names a candidate
+//! root-to-node path of the decomposition tree `T(G, H)` by child indices.  A
+//! descriptor occupies `O(log² n)` bits — this is both the working state of the
+//! space-efficient algorithms of Section 4 and the certificate guessed in Section 5.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sequence of 1-based child indices describing a root-to-node path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct PathDescriptor(Vec<u64>);
+
+impl PathDescriptor {
+    /// The empty descriptor `()`, naming the root.
+    pub fn root() -> Self {
+        PathDescriptor(Vec::new())
+    }
+
+    /// Builds a descriptor from explicit child indices (1-based).
+    pub fn from_indices(indices: impl IntoIterator<Item = u64>) -> Self {
+        PathDescriptor(indices.into_iter().collect())
+    }
+
+    /// The child indices, outermost first.
+    pub fn indices(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// The length `ℓ(π)` of the descriptor.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the root descriptor.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// `head(π)`: the first child index, if any.
+    pub fn head(&self) -> Option<u64> {
+        self.0.first().copied()
+    }
+
+    /// `tail(π)`: the descriptor with the first index removed.
+    pub fn tail(&self) -> PathDescriptor {
+        PathDescriptor(self.0.iter().skip(1).copied().collect())
+    }
+
+    /// The descriptor extended by one more child index (the label of the `i`-th child).
+    pub fn child(&self, i: u64) -> PathDescriptor {
+        let mut v = self.0.clone();
+        v.push(i);
+        PathDescriptor(v)
+    }
+
+    /// Whether `other` is a child descriptor of `self` (the "consecutive" relation of
+    /// Section 4: `(i₁,…,iᵣ)` and `(i₁,…,iᵣ,iᵣ₊₁)`).
+    pub fn is_parent_of(&self, other: &PathDescriptor) -> bool {
+        other.len() == self.len() + 1 && other.0[..self.len()] == self.0[..]
+    }
+
+    /// The number of bits needed to write the descriptor down: `len` indices, each of
+    /// `⌈log₂(max_branching+1)⌉` bits, plus the same width again for a length field.
+    ///
+    /// This is the quantity compared against `c·log² n` in experiments E3/E6.
+    pub fn bits(&self, max_branching: u64) -> u64 {
+        let per_entry = qld_logspace::bits_for(max_branching.max(1));
+        (self.len() as u64 + 1) * per_entry
+    }
+}
+
+impl fmt::Display for PathDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, i) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The maximal descriptor length for an instance whose decomposed hypergraph has
+/// `h_edges` edges: `⌊log₂ |H|⌋` (Proposition 2.1(2)), and `0` when `|H| ≤ 1`.
+pub fn max_descriptor_length(h_edges: usize) -> usize {
+    if h_edges <= 1 {
+        0
+    } else {
+        (usize::BITS - 1 - h_edges.leading_zeros()) as usize
+    }
+}
+
+/// The maximal child index for an instance over `num_vertices` vertices whose other
+/// hypergraph has `g_edges` edges: `|V|·|G|` (Proposition 2.1(3)).
+pub fn max_branching(num_vertices: usize, g_edges: usize) -> u64 {
+    (num_vertices as u64) * (g_edges as u64)
+}
+
+/// The number of path descriptors of length at most `max_len` with entries in
+/// `1..=max_branch` — the size of the space the literal `decompose` algorithm iterates
+/// over (geometric series `Σ_{ℓ=0}^{L} B^ℓ`).
+pub fn descriptor_space_size(max_len: usize, max_branch: u64) -> u128 {
+    let b = max_branch as u128;
+    let mut total: u128 = 0;
+    let mut pow: u128 = 1;
+    for _ in 0..=max_len {
+        total = total.saturating_add(pow);
+        pow = pow.saturating_mul(b);
+    }
+    total
+}
+
+/// Iterates over **all** path descriptors of length at most `max_len` with entries in
+/// `1..=max_branch`, in order of increasing length and then lexicographically — the
+/// iteration order of the paper's `decompose` algorithm.
+pub fn enumerate_descriptors(
+    max_len: usize,
+    max_branch: u64,
+) -> impl Iterator<Item = PathDescriptor> {
+    (0..=max_len).flat_map(move |len| LengthEnumerator::new(len, max_branch))
+}
+
+struct LengthEnumerator {
+    current: Option<Vec<u64>>,
+    max_branch: u64,
+}
+
+impl LengthEnumerator {
+    fn new(len: usize, max_branch: u64) -> Self {
+        let current = if max_branch == 0 && len > 0 {
+            None
+        } else {
+            Some(vec![1; len])
+        };
+        LengthEnumerator {
+            current,
+            max_branch,
+        }
+    }
+}
+
+impl Iterator for LengthEnumerator {
+    type Item = PathDescriptor;
+    fn next(&mut self) -> Option<PathDescriptor> {
+        let cur = self.current.clone()?;
+        // advance (odometer over 1..=max_branch)
+        let mut next = cur.clone();
+        let mut pos = next.len();
+        loop {
+            if pos == 0 {
+                self.current = None;
+                break;
+            }
+            pos -= 1;
+            if next[pos] < self.max_branch {
+                next[pos] += 1;
+                for x in next.iter_mut().skip(pos + 1) {
+                    *x = 1;
+                }
+                self.current = Some(next);
+                break;
+            }
+        }
+        Some(PathDescriptor(cur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_head_tail_child() {
+        let root = PathDescriptor::root();
+        assert!(root.is_empty());
+        assert_eq!(root.len(), 0);
+        assert_eq!(root.head(), None);
+        let p = root.child(3).child(1);
+        assert_eq!(p.indices(), &[3, 1]);
+        assert_eq!(p.head(), Some(3));
+        assert_eq!(p.tail().indices(), &[1]);
+        assert_eq!(p.to_string(), "(3,1)");
+        assert_eq!(root.to_string(), "()");
+    }
+
+    #[test]
+    fn consecutive_relation() {
+        let p = PathDescriptor::from_indices([2, 5]);
+        let q = p.child(7);
+        assert!(p.is_parent_of(&q));
+        assert!(!q.is_parent_of(&p));
+        assert!(!p.is_parent_of(&p));
+        let r = PathDescriptor::from_indices([2, 6, 7]);
+        assert!(!p.is_parent_of(&r));
+    }
+
+    #[test]
+    fn max_length_is_floor_log2() {
+        assert_eq!(max_descriptor_length(0), 0);
+        assert_eq!(max_descriptor_length(1), 0);
+        assert_eq!(max_descriptor_length(2), 1);
+        assert_eq!(max_descriptor_length(3), 1);
+        assert_eq!(max_descriptor_length(4), 2);
+        assert_eq!(max_descriptor_length(7), 2);
+        assert_eq!(max_descriptor_length(8), 3);
+        assert_eq!(max_descriptor_length(1024), 10);
+    }
+
+    #[test]
+    fn branching_bound() {
+        assert_eq!(max_branching(6, 8), 48);
+        assert_eq!(max_branching(0, 8), 0);
+    }
+
+    #[test]
+    fn bit_size_is_quadratic_in_logs() {
+        let p = PathDescriptor::from_indices([1, 2, 3]);
+        // 3 entries + length field, each ⌈log2(48+1)⌉ = 6 bits
+        assert_eq!(p.bits(48), 4 * 6);
+        assert_eq!(PathDescriptor::root().bits(48), 6);
+    }
+
+    #[test]
+    fn descriptor_space_counts() {
+        // lengths 0..=2 over branch 3: 1 + 3 + 9 = 13
+        assert_eq!(descriptor_space_size(2, 3), 13);
+        assert_eq!(descriptor_space_size(0, 100), 1);
+        assert_eq!(descriptor_space_size(3, 1), 4);
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_ordered() {
+        let all: Vec<PathDescriptor> = enumerate_descriptors(2, 3).collect();
+        assert_eq!(all.len(), 13);
+        // starts with the root
+        assert_eq!(all[0], PathDescriptor::root());
+        // length-1 descriptors next
+        assert_eq!(all[1], PathDescriptor::from_indices([1]));
+        assert_eq!(all[3], PathDescriptor::from_indices([3]));
+        // all distinct
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 13);
+        // entries within range
+        for p in &all {
+            assert!(p.indices().iter().all(|&i| (1..=3).contains(&i)));
+            assert!(p.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn enumeration_with_zero_branching() {
+        let all: Vec<PathDescriptor> = enumerate_descriptors(2, 0).collect();
+        assert_eq!(all, vec![PathDescriptor::root()]);
+    }
+
+    #[test]
+    fn descriptor_is_serializable() {
+        fn assert_serializable<T: serde::Serialize + for<'a> serde::Deserialize<'a>>() {}
+        assert_serializable::<PathDescriptor>();
+    }
+}

@@ -1,0 +1,267 @@
+//! `pathnode(I, π)` — Lemma 4.2.
+//!
+//! Given a `DUAL` instance and a path descriptor, [`pathnode`] returns the attributes of
+//! the decomposition-tree node the descriptor leads to, or [`PathnodeOutcome::WrongPath`]
+//! if the descriptor does not correspond to a node of `T(G, H)`.  Two space strategies
+//! are provided:
+//!
+//! * [`SpaceStrategy::Recompute`] — the faithful Lemma 3.1 / Lemma 4.2 construction: the
+//!   walk keeps one [`crate::oracle::ChildOracle`] per level and never materializes any
+//!   intermediate `S` set, so the metered work space is `O(log² n)` (one
+//!   `O(log n)`-bit frame per level, at most `⌊log|H|⌋` levels); the price is
+//!   quasi-polynomial recomputation time.
+//! * [`SpaceStrategy::MaterializeChain`] — the practical variant: each level's `S` set is
+//!   materialized (charging `|V|` bits per level) so queries at the next level are
+//!   constant-time; the metered space is `O(|V|·log|H|)` — still exponentially smaller
+//!   than the explicit tree, which is what makes the algorithm usable as a solver.
+
+use crate::instance::DualInstance;
+use crate::node::{Mark, NodeAttr};
+use crate::oracle::{
+    child_count_given, classify, materialize_child, materialize_s, materialize_witness,
+    ChildOracle, MaterializedOracle, NodeClass, RootOracle, SAlphaOracle,
+};
+use crate::path::PathDescriptor;
+use qld_logspace::SpaceMeter;
+
+/// How `pathnode` (and the solver built on it) trades space for time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpaceStrategy {
+    /// Recompute every membership query through the oracle chain (quadratic-logspace
+    /// working set, quasi-polynomial time) — the construction of the paper.
+    Recompute,
+    /// Materialize one `S` set per level of the current path (linear-times-logarithmic
+    /// working set, polynomial time per node).
+    #[default]
+    MaterializeChain,
+}
+
+/// The outcome of `pathnode`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathnodeOutcome {
+    /// The descriptor names a node; its attributes follow.
+    Node(NodeAttr),
+    /// The descriptor does not correspond to a node of `T(G, H)`.
+    WrongPath,
+}
+
+impl PathnodeOutcome {
+    /// The node attributes, if the descriptor was valid.
+    pub fn node(&self) -> Option<&NodeAttr> {
+        match self {
+            PathnodeOutcome::Node(attr) => Some(attr),
+            PathnodeOutcome::WrongPath => None,
+        }
+    }
+}
+
+/// Computes the attributes of the node named by `path`, or detects that the path
+/// descriptor is invalid.  Work-tape usage is charged to `meter` according to the
+/// chosen [`SpaceStrategy`].
+pub fn pathnode(
+    inst: &DualInstance,
+    path: &PathDescriptor,
+    strategy: SpaceStrategy,
+    meter: &SpaceMeter,
+) -> PathnodeOutcome {
+    match strategy {
+        SpaceStrategy::Recompute => {
+            let root = RootOracle::new(inst);
+            walk_recompute(inst, &root, path, path.indices(), meter)
+        }
+        SpaceStrategy::MaterializeChain => walk_materialized(inst, path, meter),
+    }
+}
+
+/// Recursive walk for the recompute strategy: each level stacks one `ChildOracle`
+/// borrowing the previous level.
+fn walk_recompute(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    full_path: &PathDescriptor,
+    remaining: &[u64],
+    meter: &SpaceMeter,
+) -> PathnodeOutcome {
+    match remaining.split_first() {
+        None => PathnodeOutcome::Node(attributes_at(inst, s, full_path, meter)),
+        Some((&index, rest)) => {
+            // The child exists iff the node branches and has at least `index` children.
+            let class = classify(inst, s, meter);
+            if index == 0 || child_count_given(inst, s, class, meter) < index {
+                return PathnodeOutcome::WrongPath;
+            }
+            let child = ChildOracle::with_class(inst, s, class, index, meter);
+            walk_recompute(inst, &child, full_path, rest, meter)
+        }
+    }
+}
+
+/// Iterative walk for the materializing strategy: keep the chain of materialized `S`
+/// sets of the current path alive (so that the parent levels can still be queried if
+/// needed), but never anything else.
+fn walk_materialized(
+    inst: &DualInstance,
+    path: &PathDescriptor,
+    meter: &SpaceMeter,
+) -> PathnodeOutcome {
+    let mut chain: Vec<MaterializedOracle> = vec![MaterializedOracle::new(
+        qld_hypergraph::VertexSet::full(inst.num_vertices()),
+        meter,
+    )];
+    for &index in path.indices() {
+        let current = chain.last().expect("chain is never empty");
+        if index == 0 {
+            return PathnodeOutcome::WrongPath;
+        }
+        match materialize_child(inst, current, index, meter) {
+            Some(child) => chain.push(MaterializedOracle::new(child, meter)),
+            None => return PathnodeOutcome::WrongPath,
+        }
+    }
+    let top = chain.last().expect("chain is never empty");
+    PathnodeOutcome::Node(attributes_at(inst, top, path, meter))
+}
+
+/// Materializes the full attribute tuple of the node whose set is behind `s` (writing
+/// the output is free in the space model).
+fn attributes_at(
+    inst: &DualInstance,
+    s: &dyn SAlphaOracle,
+    label: &PathDescriptor,
+    meter: &SpaceMeter,
+) -> NodeAttr {
+    let class = classify(inst, s, meter);
+    let witness = match class {
+        NodeClass::Fail(rule) => Some(materialize_witness(inst, s, rule, meter)),
+        _ => None,
+    };
+    NodeAttr {
+        label: label.clone(),
+        s: materialize_s(inst, s),
+        mark: match class {
+            NodeClass::Done => Mark::Done,
+            NodeClass::Fail(_) => Mark::Fail,
+            NodeClass::Branch(_) => Mark::Nil,
+        },
+        witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{build_tree, BuildOptions};
+    use qld_hypergraph::generators;
+
+    fn oriented(li: generators::LabelledInstance) -> DualInstance {
+        DualInstance::new(li.g, li.h).unwrap().oriented().0
+    }
+
+    #[test]
+    fn pathnode_agrees_with_explicit_tree_on_all_labels() {
+        // The recompute strategy is quasi-polynomial in time, so it is cross-checked on
+        // the smaller instances only; the materializing strategy is checked everywhere.
+        let cases = [
+            (generators::matching_instance(2), true),
+            (generators::matching_instance(3), true),
+            (generators::threshold_instance(5, 3), false),
+            (generators::self_dual_instance(1), true),
+        ];
+        for (li, check_recompute) in cases {
+            let name = li.name.clone();
+            let inst = oriented(li);
+            let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+            for node in tree.nodes() {
+                let mut strategies = vec![SpaceStrategy::MaterializeChain];
+                if check_recompute {
+                    strategies.push(SpaceStrategy::Recompute);
+                }
+                for strategy in strategies {
+                    let meter = SpaceMeter::new();
+                    let out = pathnode(&inst, &node.attr.label, strategy, &meter);
+                    let got = out.node().unwrap_or_else(|| {
+                        panic!("{name}: {strategy:?} lost node {}", node.attr.label)
+                    });
+                    assert_eq!(got, &node.attr, "{name}: node {} mismatch", node.attr.label);
+                    assert_eq!(meter.current_bits(), 0, "workspace not released");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_descriptors_are_rejected() {
+        let inst = oriented(generators::matching_instance(3));
+        let meter = SpaceMeter::new();
+        // absurdly large child index at the root
+        let p = PathDescriptor::from_indices([10_000]);
+        assert_eq!(
+            pathnode(&inst, &p, SpaceStrategy::MaterializeChain, &meter),
+            PathnodeOutcome::WrongPath
+        );
+        assert_eq!(
+            pathnode(&inst, &p, SpaceStrategy::Recompute, &meter),
+            PathnodeOutcome::WrongPath
+        );
+        // descending into a leaf is also a wrong path
+        let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+        let leaf = tree
+            .nodes()
+            .iter()
+            .find(|n| n.attr.is_leaf())
+            .expect("tree has leaves");
+        let p = leaf.attr.label.child(1);
+        assert_eq!(
+            pathnode(&inst, &p, SpaceStrategy::MaterializeChain, &meter),
+            PathnodeOutcome::WrongPath
+        );
+        // child index 0 is never valid (indices are 1-based)
+        let p = PathDescriptor::from_indices([0]);
+        assert_eq!(
+            pathnode(&inst, &p, SpaceStrategy::Recompute, &meter),
+            PathnodeOutcome::WrongPath
+        );
+        assert_eq!(
+            pathnode(&inst, &p, SpaceStrategy::MaterializeChain, &meter),
+            PathnodeOutcome::WrongPath
+        );
+        assert!(PathnodeOutcome::WrongPath.node().is_none());
+    }
+
+    #[test]
+    fn space_strategies_agree_and_materialize_pays_per_level() {
+        let inst = oriented(generators::matching_instance(3));
+        let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+        // take the deepest node
+        let node = tree
+            .nodes()
+            .iter()
+            .max_by_key(|n| n.attr.label.len())
+            .unwrap();
+        let m_rec = SpaceMeter::new();
+        let m_mat = SpaceMeter::new();
+        let a = pathnode(&inst, &node.attr.label, SpaceStrategy::Recompute, &m_rec);
+        let b = pathnode(&inst, &node.attr.label, SpaceStrategy::MaterializeChain, &m_mat);
+        assert_eq!(a, b);
+        assert!(m_rec.peak_bits() > 0);
+        assert!(m_mat.peak_bits() > 0);
+        // The materializing chain must pay at least |V| bits per level of the path plus
+        // the root level; the recompute strategy pays only register frames.
+        assert!(m_mat.peak_bits() >= (inst.num_vertices() * (node.attr.label.len() + 1)) as u64);
+    }
+
+    #[test]
+    fn root_descriptor_returns_root_attributes() {
+        let inst = oriented(generators::matching_instance(2));
+        let meter = SpaceMeter::new();
+        let out = pathnode(
+            &inst,
+            &PathDescriptor::root(),
+            SpaceStrategy::MaterializeChain,
+            &meter,
+        );
+        let attr = out.node().unwrap();
+        assert_eq!(attr.s.len(), inst.num_vertices());
+        assert_eq!(attr.mark, Mark::Nil);
+    }
+}

@@ -1,0 +1,204 @@
+//! Results of duality decisions and their certificates.
+
+use qld_hypergraph::{Hypergraph, VertexSet};
+use std::fmt;
+
+/// A proof that a pair of simple hypergraphs `(G, H)` is **not** dual.
+///
+/// Every variant is independently checkable in polynomial time (and in logspace) by
+/// [`verify_witness`]:
+///
+/// * if `(G, H)` were dual, every edge of `H` would be a transversal of `G`, so no edge
+///   of `G` could be disjoint from an edge of `H` ([`NonDualWitness::DisjointEdges`]);
+/// * if `(G, H)` were dual, every transversal of `G` would contain a minimal transversal
+///   of `G`, i.e. an edge of `H` — so a transversal of `G` containing no edge of `H`
+///   ([`NonDualWitness::NewTransversalOfG`], the paper's "new transversal of `G` with
+///   respect to `H`") disproves duality, and symmetrically for
+///   [`NonDualWitness::NewTransversalOfH`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NonDualWitness {
+    /// Edge `g_index` of `G` and edge `h_index` of `H` do not intersect.
+    DisjointEdges {
+        /// Index of the edge of `G`.
+        g_index: usize,
+        /// Index of the edge of `H`.
+        h_index: usize,
+    },
+    /// A transversal of `G` that contains no edge of `H`.
+    NewTransversalOfG(VertexSet),
+    /// A transversal of `H` that contains no edge of `G`.
+    NewTransversalOfH(VertexSet),
+}
+
+impl NonDualWitness {
+    /// If the witness is a new transversal (of either side), returns it.
+    pub fn transversal(&self) -> Option<&VertexSet> {
+        match self {
+            NonDualWitness::NewTransversalOfG(t) | NonDualWitness::NewTransversalOfH(t) => Some(t),
+            NonDualWitness::DisjointEdges { .. } => None,
+        }
+    }
+
+    /// Swaps the roles of `G` and `H` in the witness (used when a solver internally
+    /// normalizes the instance so that `|H| ≤ |G|`).
+    pub fn swap_sides(self) -> NonDualWitness {
+        match self {
+            NonDualWitness::DisjointEdges { g_index, h_index } => NonDualWitness::DisjointEdges {
+                g_index: h_index,
+                h_index: g_index,
+            },
+            NonDualWitness::NewTransversalOfG(t) => NonDualWitness::NewTransversalOfH(t),
+            NonDualWitness::NewTransversalOfH(t) => NonDualWitness::NewTransversalOfG(t),
+        }
+    }
+}
+
+impl fmt::Display for NonDualWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonDualWitness::DisjointEdges { g_index, h_index } => {
+                write!(f, "edge #{g_index} of G is disjoint from edge #{h_index} of H")
+            }
+            NonDualWitness::NewTransversalOfG(t) => {
+                write!(f, "new transversal of G w.r.t. H: {t}")
+            }
+            NonDualWitness::NewTransversalOfH(t) => {
+                write!(f, "new transversal of H w.r.t. G: {t}")
+            }
+        }
+    }
+}
+
+/// The outcome of a duality decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DualityResult {
+    /// The two hypergraphs are dual (`H = tr(G)` and `G = tr(H)`).
+    Dual,
+    /// The two hypergraphs are not dual; the witness proves it.
+    NotDual(NonDualWitness),
+}
+
+impl DualityResult {
+    /// Whether the result is [`DualityResult::Dual`].
+    pub fn is_dual(&self) -> bool {
+        matches!(self, DualityResult::Dual)
+    }
+
+    /// The witness, if the result is negative.
+    pub fn witness(&self) -> Option<&NonDualWitness> {
+        match self {
+            DualityResult::Dual => None,
+            DualityResult::NotDual(w) => Some(w),
+        }
+    }
+}
+
+/// Checks that a [`NonDualWitness`] really disproves duality of `(g, h)`.
+pub fn verify_witness(g: &Hypergraph, h: &Hypergraph, witness: &NonDualWitness) -> bool {
+    match witness {
+        NonDualWitness::DisjointEdges { g_index, h_index } => {
+            *g_index < g.num_edges()
+                && *h_index < h.num_edges()
+                && g.edge(*g_index).is_disjoint(h.edge(*h_index))
+        }
+        NonDualWitness::NewTransversalOfG(t) => g.is_new_transversal(h, t),
+        NonDualWitness::NewTransversalOfH(t) => h.is_new_transversal(g, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::vset;
+
+    fn pair() -> (Hypergraph, Hypergraph) {
+        // G = {{0,1},{2,3}}, tr(G) = all one-from-each-pair selections.
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let h = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
+        (g, h)
+    }
+
+    #[test]
+    fn disjoint_edge_witness_verification() {
+        let (g, h) = pair();
+        // {0,1} and {2,3} of a *wrong* H: pretend H had edge {2,3}
+        let bad_h = Hypergraph::from_index_edges(4, &[&[2, 3]]);
+        let w = NonDualWitness::DisjointEdges {
+            g_index: 0,
+            h_index: 0,
+        };
+        assert!(verify_witness(&g, &bad_h, &w));
+        // but against the true dual the same indices intersect
+        assert!(!verify_witness(&g, &h, &w));
+        // out-of-range indices never verify
+        let oob = NonDualWitness::DisjointEdges {
+            g_index: 9,
+            h_index: 0,
+        };
+        assert!(!verify_witness(&g, &h, &oob));
+    }
+
+    #[test]
+    fn new_transversal_witness_verification() {
+        let (g, h) = pair();
+        // Remove one edge from h: {1,3}. Then {1,3} itself is a new transversal of g.
+        let mut partial = h.clone();
+        partial.remove_edge(3);
+        let w = NonDualWitness::NewTransversalOfG(vset![4; 1, 3]);
+        assert!(verify_witness(&g, &partial, &w));
+        // Against the complete dual it is not new (it *is* an edge of h).
+        assert!(!verify_witness(&g, &h, &w));
+        // A non-transversal never verifies.
+        let bad = NonDualWitness::NewTransversalOfG(vset![4; 0]);
+        assert!(!verify_witness(&g, &partial, &bad));
+    }
+
+    #[test]
+    fn swap_sides_round_trip() {
+        let w = NonDualWitness::NewTransversalOfG(vset![3; 1]);
+        let swapped = w.clone().swap_sides();
+        assert_eq!(swapped, NonDualWitness::NewTransversalOfH(vset![3; 1]));
+        assert_eq!(swapped.swap_sides(), w);
+        let d = NonDualWitness::DisjointEdges {
+            g_index: 1,
+            h_index: 2,
+        };
+        assert_eq!(
+            d.clone().swap_sides(),
+            NonDualWitness::DisjointEdges {
+                g_index: 2,
+                h_index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn result_accessors() {
+        assert!(DualityResult::Dual.is_dual());
+        assert!(DualityResult::Dual.witness().is_none());
+        let w = NonDualWitness::NewTransversalOfG(vset![2; 0]);
+        let r = DualityResult::NotDual(w.clone());
+        assert!(!r.is_dual());
+        assert_eq!(r.witness(), Some(&w));
+        assert!(w.transversal().is_some());
+        assert!(NonDualWitness::DisjointEdges {
+            g_index: 0,
+            h_index: 0
+        }
+        .transversal()
+        .is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let w = NonDualWitness::DisjointEdges {
+            g_index: 1,
+            h_index: 2,
+        };
+        assert!(w.to_string().contains("#1"));
+        let t = NonDualWitness::NewTransversalOfG(vset![3; 0, 2]);
+        assert!(t.to_string().contains("{0,2}"));
+        let u = NonDualWitness::NewTransversalOfH(vset![3; 1]);
+        assert!(u.to_string().contains("H w.r.t. G"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Space reports for the experiment harness.
+
+use crate::pathnode::SpaceStrategy;
+
+/// A record of how much metered work space a duality decision used, relative to the
+/// `log²` of the input encoding — the quantity Theorem 4.1 bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceReport {
+    /// The strategy used by the solver.
+    pub strategy: SpaceStrategy,
+    /// Peak metered work-tape bits.
+    pub peak_bits: u64,
+    /// Size of the instance encoding in bits (`n`).
+    pub input_bits: usize,
+}
+
+impl SpaceReport {
+    /// Creates a report.
+    pub fn new(strategy: SpaceStrategy, peak_bits: u64, input_bits: usize) -> Self {
+        SpaceReport {
+            strategy,
+            peak_bits,
+            input_bits,
+        }
+    }
+
+    /// `log₂(n)` of the input encoding size.
+    pub fn log2_input(&self) -> f64 {
+        (self.input_bits.max(2) as f64).log2()
+    }
+
+    /// `log₂²(n)`, the reference curve of Theorem 4.1.
+    pub fn log2_squared_input(&self) -> f64 {
+        let l = self.log2_input();
+        l * l
+    }
+
+    /// The constant `c` such that `peak_bits = c · log₂²(n)` — the number reported in
+    /// experiment E3 (bounded iff the algorithm is in `DSPACE[log² n]`).
+    pub fn ratio_to_log2_squared(&self) -> f64 {
+        self.peak_bits as f64 / self.log2_squared_input()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let r = SpaceReport::new(SpaceStrategy::Recompute, 400, 1024);
+        assert!((r.log2_input() - 10.0).abs() < 1e-9);
+        assert!((r.log2_squared_input() - 100.0).abs() < 1e-9);
+        assert!((r.ratio_to_log2_squared() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_divide_by_zero() {
+        let r = SpaceReport::new(SpaceStrategy::MaterializeChain, 8, 1);
+        assert!(r.ratio_to_log2_squared().is_finite());
+        assert!(r.log2_squared_input() > 0.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Explicit construction of the decomposition tree `T(G, H)`.
+//!
+//! This is the *reference* realization of the Boros–Makino method: the whole tree is
+//! materialized in memory (polynomial space per node, potentially quasi-polynomially
+//! many nodes), its structural properties (Proposition 2.1) can be measured directly,
+//! and the duality decision follows from the leaf marks.  The space-efficient
+//! algorithms of Section 4 ([`crate::pathnode`], [`crate::decompose`],
+//! [`crate::solver::QuadLogspaceSolver`]) never build this tree; tests compare their
+//! answers and per-node attributes against it.
+
+use crate::error::DualError;
+use crate::expand::{expand, Expansion};
+use crate::instance::DualInstance;
+use crate::node::{Mark, NodeAttr};
+use crate::path::PathDescriptor;
+use qld_hypergraph::VertexSet;
+
+/// Resource limits and options for [`build_tree`].
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Maximum number of nodes to materialize before giving up.
+    pub max_nodes: usize,
+    /// Stop expanding as soon as a `fail` leaf is found (enough to decide `DUAL`).
+    pub stop_at_first_fail: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            max_nodes: 2_000_000,
+            stop_at_first_fail: false,
+        }
+    }
+}
+
+/// One node of the materialized decomposition tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// The node's attributes (label, `S_α`, mark, witness).
+    pub attr: NodeAttr,
+    /// Index of the parent node (`None` for the root).
+    pub parent: Option<usize>,
+    /// Indices of the children, in canonical order.
+    pub children: Vec<usize>,
+}
+
+/// The materialized decomposition tree together with summary statistics.
+#[derive(Debug, Clone)]
+pub struct DecompositionTree {
+    nodes: Vec<TreeNode>,
+    truncated: bool,
+}
+
+impl DecompositionTree {
+    /// All nodes in breadth-first order (the root is node 0).
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &TreeNode {
+        &self.nodes[0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never: a built tree has at least the root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether construction stopped early (node limit or `stop_at_first_fail`).
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The node with the given label, if present.
+    pub fn find(&self, label: &PathDescriptor) -> Option<&TreeNode> {
+        self.nodes.iter().find(|n| &n.attr.label == label)
+    }
+
+    /// The leaves of the tree.
+    pub fn leaves(&self) -> impl Iterator<Item = &TreeNode> {
+        self.nodes.iter().filter(|n| n.attr.is_leaf())
+    }
+
+    /// Whether every leaf is marked `done` (Proposition 2.1(1): this holds iff
+    /// `H = tr(G)`), meaningful only for a non-truncated tree.
+    pub fn all_leaves_done(&self) -> bool {
+        self.leaves().all(|n| n.attr.mark == Mark::Done)
+    }
+
+    /// The witness `t(α)` of the first `fail` leaf, if any.
+    pub fn first_fail_witness(&self) -> Option<&VertexSet> {
+        self.nodes
+            .iter()
+            .find(|n| n.attr.mark == Mark::Fail)
+            .and_then(|n| n.attr.witness.as_ref())
+    }
+
+    /// Structural statistics (Proposition 2.1(2)–(3) measurements).
+    pub fn stats(&self) -> TreeStats {
+        let mut depth = 0;
+        let mut max_branching = 0;
+        let mut leaves = 0;
+        let mut done = 0;
+        let mut fail = 0;
+        for node in &self.nodes {
+            depth = depth.max(node.attr.label.len());
+            max_branching = max_branching.max(node.children.len());
+            if node.attr.is_leaf() {
+                leaves += 1;
+                match node.attr.mark {
+                    Mark::Done => done += 1,
+                    Mark::Fail => fail += 1,
+                    Mark::Nil => {}
+                }
+            }
+        }
+        TreeStats {
+            nodes: self.nodes.len(),
+            leaves,
+            done_leaves: done,
+            fail_leaves: fail,
+            depth,
+            max_branching,
+        }
+    }
+
+    /// An estimate of the resident size of the materialized tree in bits
+    /// (`|V|` bits of `S_α` per node plus the label), used as the "explicit tree"
+    /// series of the space experiment E3.
+    pub fn resident_bits(&self, num_vertices: usize, max_branching: u64) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| num_vertices as u64 + n.attr.label.bits(max_branching))
+            .sum()
+    }
+}
+
+/// Summary statistics of a decomposition tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Leaves marked `done`.
+    pub done_leaves: usize,
+    /// Leaves marked `fail`.
+    pub fail_leaves: usize,
+    /// Depth (length of the longest label).
+    pub depth: usize,
+    /// Largest number of children of any node (`max κ(α)`).
+    pub max_branching: usize,
+}
+
+/// Builds the decomposition tree of the (already oriented) instance.
+///
+/// The instance must be non-degenerate (see [`DualInstance::degenerate_answer`]); the
+/// caller is expected to have checked the preconditions `G ⊆ tr(H)`, `H ⊆ tr(G)` —
+/// without them the tree is still well defined and every `fail` witness is still a
+/// valid new transversal, but Proposition 2.1's completeness guarantee no longer
+/// applies.
+pub fn build_tree(inst: &DualInstance, options: &BuildOptions) -> Result<DecompositionTree, DualError> {
+    let root = NodeAttr::root(inst);
+    let mut nodes = vec![TreeNode {
+        attr: root,
+        parent: None,
+        children: Vec::new(),
+    }];
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    let mut truncated = false;
+
+    'bfs: while let Some(idx) = queue.pop_front() {
+        let s = nodes[idx].attr.s.clone();
+        let label = nodes[idx].attr.label.clone();
+        match expand(inst, &s) {
+            Expansion::Done => {
+                nodes[idx].attr.mark = Mark::Done;
+            }
+            Expansion::Fail { witness, .. } => {
+                nodes[idx].attr.mark = Mark::Fail;
+                nodes[idx].attr.witness = Some(witness);
+                if options.stop_at_first_fail {
+                    truncated = true;
+                    break 'bfs;
+                }
+            }
+            Expansion::Branch { children, .. } => {
+                for (k, child_s) in children.into_iter().enumerate() {
+                    if nodes.len() >= options.max_nodes {
+                        return Err(DualError::TreeTooLarge {
+                            limit: options.max_nodes,
+                        });
+                    }
+                    let child_idx = nodes.len();
+                    nodes.push(TreeNode {
+                        attr: NodeAttr {
+                            label: label.child(k as u64 + 1),
+                            s: child_s,
+                            mark: Mark::Nil,
+                            witness: None,
+                        },
+                        parent: Some(idx),
+                        children: Vec::new(),
+                    });
+                    nodes[idx].children.push(child_idx);
+                    queue.push_back(child_idx);
+                }
+            }
+        }
+    }
+    Ok(DecompositionTree { nodes, truncated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::max_descriptor_length;
+    use qld_hypergraph::generators;
+    use qld_hypergraph::Hypergraph;
+
+    fn oriented(name_g: Hypergraph, name_h: Hypergraph) -> DualInstance {
+        let inst = DualInstance::new(name_g, name_h).unwrap();
+        inst.oriented().0
+    }
+
+    #[test]
+    fn dual_instance_all_leaves_done() {
+        let li = generators::matching_instance(3);
+        let inst = oriented(li.g, li.h);
+        let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+        assert!(!tree.truncated());
+        assert!(tree.all_leaves_done());
+        assert!(tree.first_fail_witness().is_none());
+        let stats = tree.stats();
+        assert_eq!(stats.done_leaves, stats.leaves);
+        assert!(stats.fail_leaves == 0);
+        assert!(stats.nodes >= 1);
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    fn non_dual_instance_has_fail_leaf_with_valid_witness() {
+        let li = generators::matching_instance(3);
+        let broken = generators::perturb(&li, generators::Perturbation::DropDualEdge, 2).unwrap();
+        let inst = oriented(broken.g.clone(), broken.h.clone());
+        let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+        assert!(!tree.all_leaves_done());
+        let w = tree.first_fail_witness().expect("fail witness");
+        // the witness is a new transversal of the oriented G w.r.t. the oriented H
+        assert!(inst.g().is_new_transversal(inst.h(), w));
+    }
+
+    #[test]
+    fn depth_and_branching_respect_prop_2_1() {
+        for li in [
+            generators::matching_instance(2),
+            generators::matching_instance(4),
+            generators::threshold_instance(5, 3),
+            generators::graph_cover_instance("C5", generators::cycle_graph(5)),
+            generators::self_dual_instance(2),
+        ] {
+            let inst = oriented(li.g, li.h);
+            let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+            let stats = tree.stats();
+            let depth_bound = max_descriptor_length(inst.h().num_edges());
+            assert!(
+                stats.depth <= depth_bound,
+                "{}: depth {} exceeds ⌊log₂|H|⌋ = {}",
+                li.name,
+                stats.depth,
+                depth_bound
+            );
+            let branch_bound = inst.num_vertices() * inst.g().num_edges() + 1;
+            assert!(
+                stats.max_branching <= branch_bound,
+                "{}: branching {} exceeds |V|·|G| = {}",
+                li.name,
+                stats.max_branching,
+                branch_bound
+            );
+        }
+    }
+
+    #[test]
+    fn stop_at_first_fail_truncates() {
+        let li = generators::matching_instance(4);
+        let broken = generators::perturb(&li, generators::Perturbation::DropDualEdge, 0).unwrap();
+        let inst = oriented(broken.g, broken.h);
+        let opts = BuildOptions {
+            stop_at_first_fail: true,
+            ..Default::default()
+        };
+        let tree = build_tree(&inst, &opts).unwrap();
+        assert!(tree.truncated());
+        assert!(tree.first_fail_witness().is_some());
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let li = generators::matching_instance(4);
+        let inst = oriented(li.g, li.h);
+        let opts = BuildOptions {
+            max_nodes: 3,
+            ..Default::default()
+        };
+        assert!(matches!(
+            build_tree(&inst, &opts),
+            Err(DualError::TreeTooLarge { limit: 3 })
+        ));
+    }
+
+    #[test]
+    fn labels_are_consistent_with_structure() {
+        let li = generators::matching_instance(2);
+        let inst = oriented(li.g, li.h);
+        let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+        for (idx, node) in tree.nodes().iter().enumerate() {
+            for (k, &c) in node.children.iter().enumerate() {
+                let child = &tree.nodes()[c];
+                assert_eq!(child.parent, Some(idx));
+                assert!(node.attr.label.is_parent_of(&child.attr.label));
+                assert_eq!(*child.attr.label.indices().last().unwrap(), k as u64 + 1);
+            }
+        }
+        // find() locates nodes by label
+        let some = &tree.nodes()[tree.len() / 2];
+        assert!(tree.find(&some.attr.label).is_some());
+        assert!(tree.find(&PathDescriptor::from_indices([9999])).is_none());
+        // resident_bits is positive and grows with node count
+        assert!(tree.resident_bits(inst.num_vertices(), 16) > 0);
+        assert_eq!(tree.root().attr.label, PathDescriptor::root());
+    }
+}

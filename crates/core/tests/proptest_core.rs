@@ -1,0 +1,153 @@
+//! Property-based tests for the decomposition solvers.
+
+use proptest::prelude::*;
+use qld_core::prelude::*;
+use qld_core::expand::{expand, Expansion};
+use qld_core::instance::DualInstance;
+use qld_core::oracle::{self, MaterializedOracle};
+use qld_core::pathnode::SpaceStrategy;
+use qld_hypergraph::transversal::{are_dual_exact, minimal_transversals};
+use qld_hypergraph::{Hypergraph, VertexSet};
+use qld_logspace::SpaceMeter;
+
+/// Strategy: a random simple hypergraph with non-empty edges over `n` vertices.
+fn arb_simple_hypergraph(n: usize, max_edges: usize) -> impl Strategy<Value = Hypergraph> {
+    prop::collection::vec(prop::collection::vec(0..n, 1..=n), 1..=max_edges).prop_map(move |edges| {
+        Hypergraph::from_edges(n, edges.into_iter().map(|e| VertexSet::from_indices(n, e)))
+            .minimize()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The practical quadratic-logspace solver agrees with exact dualization on random
+    /// instances where the second hypergraph is the exact dual of the first.
+    #[test]
+    fn solver_accepts_exact_duals(g in arb_simple_hypergraph(6, 5)) {
+        let h = minimal_transversals(&g);
+        let solver = QuadLogspaceSolver::default();
+        prop_assert!(solver.is_dual(&g, &h).unwrap());
+        prop_assert!(solver.is_dual(&h, &g).unwrap());
+        let tree_solver = BorosMakinoTreeSolver::new();
+        prop_assert!(tree_solver.is_dual(&g, &h).unwrap());
+    }
+
+    /// Dropping any single edge from the exact dual makes the pair non-dual, and the
+    /// solver produces a verifiable witness.
+    #[test]
+    fn solver_rejects_perturbed_duals(g in arb_simple_hypergraph(6, 5), which in 0usize..100) {
+        let h = minimal_transversals(&g);
+        // need at least two dual edges so the perturbed H is still non-trivial
+        prop_assume!(h.num_edges() >= 2);
+        let mut broken = h.clone();
+        broken.remove_edge(which % broken.num_edges());
+        let solver = QuadLogspaceSolver::default();
+        let result = solver.decide(&g, &broken).unwrap();
+        prop_assert!(!result.is_dual());
+        let w = result.witness().unwrap();
+        prop_assert!(verify_witness(&g, &broken, w));
+        // the explicit-tree reference agrees
+        let tree_solver = BorosMakinoTreeSolver::new();
+        prop_assert!(!tree_solver.is_dual(&g, &broken).unwrap());
+    }
+
+    /// On arbitrary simple pairs (dual or not), the solver's verdict equals the exact
+    /// one, and negative verdicts carry valid witnesses.
+    #[test]
+    fn solver_matches_exact_on_arbitrary_pairs(
+        g in arb_simple_hypergraph(5, 4),
+        h in arb_simple_hypergraph(5, 4),
+    ) {
+        let expected = are_dual_exact(&h, &g);
+        let solver = QuadLogspaceSolver::default();
+        let result = solver.decide(&g, &h).unwrap();
+        prop_assert_eq!(result.is_dual(), expected);
+        if let DualityResult::NotDual(w) = &result {
+            prop_assert!(verify_witness(&g, &h, w));
+        }
+    }
+
+    /// The oracle chain's per-node decisions agree with the materialized `expand` on
+    /// random sub-universes of random instances.
+    #[test]
+    fn oracle_matches_expand_on_random_nodes(
+        g in arb_simple_hypergraph(6, 4),
+        s_bits in 0u32..64,
+    ) {
+        let h = minimal_transversals(&g);
+        prop_assume!(!h.is_empty() && !h.has_empty_edge());
+        let inst = DualInstance::new(g, h).unwrap().oriented().0;
+        let n = inst.num_vertices();
+        let s = VertexSet::from_indices(n, (0..n).filter(|i| s_bits & (1 << i) != 0));
+        let meter = SpaceMeter::new();
+        let o = MaterializedOracle::new(s.clone(), &meter);
+        let class = oracle::classify(&inst, &o, &meter);
+        match (class, expand(&inst, &s)) {
+            (oracle::NodeClass::Done, Expansion::Done) => {}
+            (oracle::NodeClass::Fail(r1), Expansion::Fail { rule: r2, witness }) => {
+                prop_assert_eq!(r1, r2);
+                let w = oracle::materialize_witness(&inst, &o, r1, &meter);
+                prop_assert_eq!(w, witness);
+            }
+            (oracle::NodeClass::Branch(c1), Expansion::Branch { case: c2, children }) => {
+                prop_assert_eq!(c1, c2);
+                prop_assert_eq!(oracle::child_count(&inst, &o, &meter) as usize, children.len());
+                for (k, child) in children.iter().enumerate() {
+                    let got = oracle::materialize_child(&inst, &o, k as u64 + 1, &meter).unwrap();
+                    prop_assert_eq!(&got, child);
+                }
+            }
+            (a, b) => prop_assert!(false, "mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// A certificate exists iff the instance is not dual, and found certificates verify.
+    #[test]
+    fn certificates_track_duality(g in arb_simple_hypergraph(5, 4), which in 0usize..100) {
+        let h = minimal_transversals(&g);
+        let meter = SpaceMeter::new();
+        prop_assert!(find_certificate(&g, &h, &meter).unwrap().is_none());
+        prop_assume!(h.num_edges() >= 2);
+        let mut broken = h.clone();
+        broken.remove_edge(which % broken.num_edges());
+        let cert = find_certificate(&g, &broken, &meter).unwrap();
+        prop_assert!(cert.is_some());
+        let cert = cert.unwrap();
+        let check = verify_certificate(&g, &broken, &cert, SpaceStrategy::MaterializeChain, &meter).unwrap();
+        prop_assert_eq!(check, qld_core::guess_check::CertificateCheck::RefutesDuality);
+    }
+
+    /// Witness minimization always yields a missing minimal transversal.
+    #[test]
+    fn witness_minimization(g in arb_simple_hypergraph(6, 5), which in 0usize..100) {
+        let h = minimal_transversals(&g);
+        prop_assume!(h.num_edges() >= 2);
+        let mut broken = h.clone();
+        let removed = broken.remove_edge(which % broken.num_edges());
+        let result = QuadLogspaceSolver::default().decide(&g, &broken).unwrap();
+        if let DualityResult::NotDual(w) = result {
+            if let Some(minimal) = qld_core::witness::missing_dual_edge(&g, &broken, &w) {
+                match &w {
+                    // Minimization of a new transversal of G: a dual edge missing from
+                    // the (broken) H — it must be one of the true minimal transversals.
+                    NonDualWitness::NewTransversalOfG(_) => {
+                        prop_assert!(g.is_minimal_transversal(&minimal));
+                        prop_assert!(!broken.contains_edge(&minimal));
+                        prop_assert!(h.contains_edge(&minimal));
+                    }
+                    // Symmetric orientation: a minimal transversal of the broken H that
+                    // is not an edge of G.
+                    NonDualWitness::NewTransversalOfH(_) => {
+                        prop_assert!(broken.is_minimal_transversal(&minimal));
+                        prop_assert!(!g.contains_edge(&minimal));
+                    }
+                    NonDualWitness::DisjointEdges { .. } => unreachable!(),
+                }
+            }
+            let _ = removed;
+        } else {
+            prop_assert!(false, "perturbed instance decided dual");
+        }
+    }
+}

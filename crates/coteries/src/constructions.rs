@@ -1,0 +1,113 @@
+//! Classical coterie constructions.
+//!
+//! These are the standard families from the quorum-system literature used in the
+//! experiments and examples: majority voting, a single distinguished node, the wheel
+//! (hub-and-spokes), simple threshold (vote) systems, and the grid protocol.
+
+use crate::coterie::Coterie;
+use qld_hypergraph::{generators, Hypergraph, Vertex, VertexSet};
+
+/// The majority coterie over an **odd** number of nodes: all `(n+1)/2`-element subsets.
+///
+/// Panics if `n` is even (the even-`n` "majority" is a threshold system and is
+/// dominated; build it with [`threshold_coterie`] if that is what you want).
+pub fn majority_coterie(n: usize) -> Coterie {
+    assert!(n % 2 == 1, "majority coterie requires an odd number of nodes");
+    threshold_coterie(n, n / 2 + 1)
+}
+
+/// The threshold (voting) coterie: all `k`-element subsets of `n` nodes.  Requires
+/// `2k > n` so that any two quorums intersect.
+pub fn threshold_coterie(n: usize, k: usize) -> Coterie {
+    assert!(2 * k > n, "threshold coterie requires 2k > n for intersection");
+    Coterie::new(generators::threshold_hypergraph(n, k))
+        .expect("threshold family with 2k > n is a coterie")
+}
+
+/// The singleton coterie: the single quorum `{leader}` over `n` nodes.
+pub fn singleton_coterie(n: usize, leader: usize) -> Coterie {
+    assert!(leader < n);
+    Coterie::new(Hypergraph::from_edges(
+        n,
+        [VertexSet::singleton(n, Vertex::from(leader))],
+    ))
+    .expect("a single non-empty quorum is a coterie")
+}
+
+/// The wheel coterie over `n ≥ 3` nodes: node 0 is the hub; quorums are `{hub, rim}`
+/// for every rim node, plus the full rim.
+pub fn wheel_coterie(n: usize) -> Coterie {
+    assert!(n >= 3, "wheel coterie needs at least 3 nodes");
+    let mut quorums = Hypergraph::new(n);
+    for i in 1..n {
+        quorums.add_edge(VertexSet::from_indices(n, [0, i]));
+    }
+    quorums.add_edge(VertexSet::from_indices(n, 1..n));
+    Coterie::new(quorums).expect("wheel family is a coterie")
+}
+
+/// The (simple) grid coterie over `rows × cols` nodes: a quorum is the union of one
+/// full row and one full column.
+pub fn grid_coterie(rows: usize, cols: usize) -> Coterie {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    let mut quorums = Hypergraph::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut q = VertexSet::empty(n);
+            for cc in 0..cols {
+                q.insert(Vertex::from(r * cols + cc));
+            }
+            for rr in 0..rows {
+                q.insert(Vertex::from(rr * cols + c));
+            }
+            quorums.add_edge(q);
+        }
+    }
+    Coterie::new(quorums.minimize()).expect("grid family is a coterie")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_sizes() {
+        let c = majority_coterie(5);
+        assert_eq!(c.num_quorums(), 10); // C(5,3)
+        assert_eq!(c.num_nodes(), 5);
+        let c = majority_coterie(3);
+        assert_eq!(c.num_quorums(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd number")]
+    fn even_majority_panics() {
+        majority_coterie(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "2k > n")]
+    fn non_intersecting_threshold_panics() {
+        threshold_coterie(4, 2);
+    }
+
+    #[test]
+    fn singleton_and_wheel() {
+        let s = singleton_coterie(4, 2);
+        assert_eq!(s.num_quorums(), 1);
+        let w = wheel_coterie(5);
+        assert_eq!(w.num_quorums(), 5); // 4 spokes + rim
+        assert_eq!(w.num_nodes(), 5);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_coterie(2, 3);
+        assert_eq!(g.num_nodes(), 6);
+        // 6 row-column crosses, none absorbed for a 2×3 grid
+        assert!(g.num_quorums() >= 4);
+        // every quorum has |row| + |cols| - 1 = 3 + 2 - 1 = 4 nodes
+        assert!(g.quorums().edges().iter().all(|q| q.len() == 4));
+    }
+}

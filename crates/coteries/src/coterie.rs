@@ -1,0 +1,180 @@
+//! Coteries: intersecting antichains of quorums.
+//!
+//! In quorum-based replication (Section 1 of the paper, after Lamport and
+//! Garcia-Molina–Barbará), a *coterie* over a set of nodes is a family of quorums such
+//! that any two quorums intersect (so two concurrent operations always share a node)
+//! and no quorum contains another (minimality).  A coterie is exactly a simple,
+//! cross-intersecting hypergraph; non-domination — the property that makes a coterie
+//! availability-optimal — is self-duality `tr(C) = C` (Proposition 1.3).
+
+use qld_hypergraph::{Hypergraph, VertexSet};
+use std::fmt;
+
+/// Why a family of vertex sets is not a coterie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoterieError {
+    /// The family contains no quorum at all.
+    Empty,
+    /// A quorum is the empty set.
+    EmptyQuorum {
+        /// Index of the offending quorum.
+        index: usize,
+    },
+    /// Two quorums do not intersect.
+    DisjointQuorums {
+        /// Index of the first quorum.
+        first: usize,
+        /// Index of the second quorum.
+        second: usize,
+    },
+    /// One quorum contains another.
+    NonMinimalQuorum {
+        /// Index of the contained quorum.
+        contained: usize,
+        /// Index of the containing quorum.
+        container: usize,
+    },
+}
+
+impl fmt::Display for CoterieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoterieError::Empty => write!(f, "a coterie must contain at least one quorum"),
+            CoterieError::EmptyQuorum { index } => write!(f, "quorum #{index} is empty"),
+            CoterieError::DisjointQuorums { first, second } => {
+                write!(f, "quorums #{first} and #{second} do not intersect")
+            }
+            CoterieError::NonMinimalQuorum {
+                contained,
+                container,
+            } => write!(f, "quorum #{contained} is contained in quorum #{container}"),
+        }
+    }
+}
+
+impl std::error::Error for CoterieError {}
+
+/// A validated coterie over a universe of nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coterie {
+    quorums: Hypergraph,
+}
+
+impl Coterie {
+    /// Validates and wraps a family of quorums.
+    pub fn new(quorums: Hypergraph) -> Result<Self, CoterieError> {
+        if quorums.is_empty() {
+            return Err(CoterieError::Empty);
+        }
+        for (i, q) in quorums.edges().iter().enumerate() {
+            if q.is_empty() {
+                return Err(CoterieError::EmptyQuorum { index: i });
+            }
+        }
+        for (i, a) in quorums.edges().iter().enumerate() {
+            for (j, b) in quorums.edges().iter().enumerate() {
+                if i < j && a.is_disjoint(b) {
+                    return Err(CoterieError::DisjointQuorums { first: i, second: j });
+                }
+                if i != j && a.is_subset(b) {
+                    return Err(CoterieError::NonMinimalQuorum {
+                        contained: i,
+                        container: j,
+                    });
+                }
+            }
+        }
+        Ok(Coterie { quorums })
+    }
+
+    /// Builds a coterie from quorums given as node-index slices.
+    pub fn from_index_quorums(
+        num_nodes: usize,
+        quorums: &[&[usize]],
+    ) -> Result<Self, CoterieError> {
+        Coterie::new(Hypergraph::from_index_edges(num_nodes, quorums))
+    }
+
+    /// The underlying quorum hypergraph.
+    pub fn quorums(&self) -> &Hypergraph {
+        &self.quorums
+    }
+
+    /// Number of nodes in the universe.
+    pub fn num_nodes(&self) -> usize {
+        self.quorums.num_vertices()
+    }
+
+    /// Number of quorums.
+    pub fn num_quorums(&self) -> usize {
+        self.quorums.num_edges()
+    }
+
+    /// Whether the given set of live nodes still contains a full quorum (i.e. the
+    /// system remains available under the failure of the other nodes).
+    pub fn is_available_under(&self, live_nodes: &VertexSet) -> bool {
+        self.quorums.edges().iter().any(|q| q.is_subset(live_nodes))
+    }
+}
+
+impl fmt::Display for Coterie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Coterie[")?;
+        for (i, q) in self.quorums.edges().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::vset;
+
+    #[test]
+    fn validation_accepts_majority_like_families() {
+        let c = Coterie::from_index_quorums(3, &[&[0, 1], &[1, 2], &[0, 2]]).unwrap();
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.num_quorums(), 3);
+        assert!(c.to_string().contains("Coterie["));
+    }
+
+    #[test]
+    fn validation_rejects_ill_formed_families() {
+        assert_eq!(
+            Coterie::new(Hypergraph::new(3)).unwrap_err(),
+            CoterieError::Empty
+        );
+        let empty_q = Hypergraph::from_edges(3, [VertexSet::empty(3)]);
+        assert!(matches!(
+            Coterie::new(empty_q).unwrap_err(),
+            CoterieError::EmptyQuorum { index: 0 }
+        ));
+        assert!(matches!(
+            Coterie::from_index_quorums(4, &[&[0, 1], &[2, 3]]).unwrap_err(),
+            CoterieError::DisjointQuorums { first: 0, second: 1 }
+        ));
+        assert!(matches!(
+            Coterie::from_index_quorums(3, &[&[0, 1], &[0, 1, 2]]).unwrap_err(),
+            CoterieError::NonMinimalQuorum { .. }
+        ));
+        // error messages are informative
+        assert!(CoterieError::Empty.to_string().contains("at least one"));
+        assert!(CoterieError::DisjointQuorums { first: 0, second: 1 }
+            .to_string()
+            .contains("do not intersect"));
+    }
+
+    #[test]
+    fn availability_under_failures() {
+        let c = Coterie::from_index_quorums(3, &[&[0, 1], &[1, 2], &[0, 2]]).unwrap();
+        assert!(c.is_available_under(&vset![3; 0, 1]));
+        assert!(c.is_available_under(&vset![3; 0, 1, 2]));
+        assert!(!c.is_available_under(&vset![3; 0]));
+        assert!(!c.is_available_under(&vset![3;]));
+    }
+}

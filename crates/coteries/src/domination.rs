@@ -1,0 +1,186 @@
+//! Domination and non-domination of coteries (Proposition 1.3).
+//!
+//! A coterie `D` *dominates* a coterie `C` (`D ≠ C`) if every quorum of `C` contains a
+//! quorum of `D`: `D` can only be more available than `C`.  Non-dominated coteries are
+//! therefore the ones worth deploying, and by the result of Ibaraki–Kameda recalled in
+//! the paper, `C` is non-dominated **iff `tr(C) = C`** — a self-duality instance of the
+//! `DUAL` problem.
+
+use crate::coterie::{Coterie, CoterieError};
+use qld_core::{DualError, DualitySolver, DualityResult, NonDualWitness, QuadLogspaceSolver};
+use qld_hypergraph::Hypergraph;
+
+/// The outcome of the domination check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Domination {
+    /// The coterie is non-dominated (`tr(C) = C`).
+    NonDominated,
+    /// The coterie is dominated; a concrete dominating coterie is attached.
+    DominatedBy(Coterie),
+}
+
+impl Domination {
+    /// Whether the coterie was found to be non-dominated.
+    pub fn is_non_dominated(&self) -> bool {
+        matches!(self, Domination::NonDominated)
+    }
+}
+
+/// Checks non-domination of a coterie via self-duality, using the given solver.
+///
+/// When the coterie is dominated, the duality witness (a transversal of `C` containing
+/// no quorum of `C`) is minimized into a new quorum `q`, and the dominating coterie
+/// `{q} ∪ {Q ∈ C | q ⊄ Q}` is returned.
+pub fn check_domination_with(
+    coterie: &Coterie,
+    solver: &dyn DualitySolver,
+) -> Result<Domination, DualError> {
+    let c = coterie.quorums();
+    match solver.decide(c, c)? {
+        DualityResult::Dual => Ok(Domination::NonDominated),
+        DualityResult::NotDual(witness) => {
+            let new_quorum = match witness {
+                NonDualWitness::NewTransversalOfG(t) | NonDualWitness::NewTransversalOfH(t) => {
+                    c.minimize_transversal(&t)
+                }
+                // Two disjoint quorums would contradict coterie validity.
+                NonDualWitness::DisjointEdges { .. } => {
+                    unreachable!("validated coterie with disjoint quorums")
+                }
+            };
+            let mut quorums = Hypergraph::new(c.num_vertices());
+            quorums.add_edge(new_quorum.clone());
+            for q in c.edges() {
+                if !new_quorum.is_subset(q) {
+                    quorums.add_edge(q.clone());
+                }
+            }
+            let dominating = Coterie::new(quorums)
+                .expect("domination construction always yields a valid coterie");
+            Ok(Domination::DominatedBy(dominating))
+        }
+    }
+}
+
+/// Checks non-domination with the paper's quadratic-logspace solver.
+pub fn check_domination(coterie: &Coterie) -> Result<Domination, DualError> {
+    check_domination_with(coterie, &QuadLogspaceSolver::default())
+}
+
+/// Whether `d` dominates `c`: `d ≠ c` and every quorum of `c` contains a quorum of `d`.
+pub fn dominates(d: &Coterie, c: &Coterie) -> bool {
+    if d.quorums().same_edge_set(c.quorums()) {
+        return false;
+    }
+    c.quorums()
+        .edges()
+        .iter()
+        .all(|q| d.quorums().edges().iter().any(|p| p.is_subset(q)))
+}
+
+/// Convenience: validates a quorum family and checks non-domination in one call.
+pub fn is_non_dominated(quorums: Hypergraph) -> Result<bool, CoterieCheckError> {
+    let coterie = Coterie::new(quorums).map_err(CoterieCheckError::Invalid)?;
+    let result = check_domination(&coterie).map_err(CoterieCheckError::Solver)?;
+    Ok(result.is_non_dominated())
+}
+
+/// Errors of [`is_non_dominated`].
+#[derive(Debug)]
+pub enum CoterieCheckError {
+    /// The family is not a coterie.
+    Invalid(CoterieError),
+    /// The duality solver rejected the instance.
+    Solver(DualError),
+}
+
+impl std::fmt::Display for CoterieCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoterieCheckError::Invalid(e) => write!(f, "invalid coterie: {e}"),
+            CoterieCheckError::Solver(e) => write!(f, "duality check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoterieCheckError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions;
+    use qld_hypergraph::transversal::is_self_dual_exact;
+
+    #[test]
+    fn majority_and_wheel_coteries_are_non_dominated() {
+        for c in [
+            constructions::majority_coterie(3),
+            constructions::majority_coterie(5),
+            constructions::singleton_coterie(4, 2),
+            constructions::wheel_coterie(5),
+        ] {
+            assert!(
+                check_domination(&c).unwrap().is_non_dominated(),
+                "{c} should be non-dominated"
+            );
+            assert!(is_self_dual_exact(c.quorums()));
+        }
+    }
+
+    #[test]
+    fn dominated_coteries_get_a_dominating_witness() {
+        // A 4-node "majority of 3"-style coterie: quorums = all 3-subsets of 4 nodes.
+        // It is dominated (e.g. by a coterie containing a 2-quorum).
+        let c = constructions::threshold_coterie(4, 3);
+        match check_domination(&c).unwrap() {
+            Domination::DominatedBy(d) => {
+                assert!(dominates(&d, &c), "{d} must dominate {c}");
+                // the dominating family is itself a valid coterie (checked on
+                // construction) and differs from the original
+                assert!(!d.quorums().same_edge_set(c.quorums()));
+            }
+            Domination::NonDominated => panic!("{c} is dominated"),
+        }
+        assert!(!is_self_dual_exact(c.quorums()));
+    }
+
+    #[test]
+    fn domination_predicate() {
+        let c = constructions::threshold_coterie(4, 3);
+        let d = match check_domination(&c).unwrap() {
+            Domination::DominatedBy(d) => d,
+            _ => unreachable!(),
+        };
+        assert!(dominates(&d, &c));
+        assert!(!dominates(&c, &c));
+        // a non-dominated coterie is not dominated by the 3-of-4 one
+        let maj3 = constructions::majority_coterie(3);
+        assert!(!dominates(&c, &maj3));
+    }
+
+    #[test]
+    fn convenience_wrapper() {
+        let good = constructions::majority_coterie(3);
+        assert!(is_non_dominated(good.quorums().clone()).unwrap());
+        let bad = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        assert!(matches!(
+            is_non_dominated(bad),
+            Err(CoterieCheckError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn agreement_between_solvers() {
+        for c in [
+            constructions::majority_coterie(5),
+            constructions::grid_coterie(2, 2),
+            constructions::threshold_coterie(4, 3),
+            constructions::wheel_coterie(4),
+        ] {
+            let a = check_domination_with(&c, &QuadLogspaceSolver::default()).unwrap();
+            let b = check_domination_with(&c, &qld_core::BorosMakinoTreeSolver::new()).unwrap();
+            assert_eq!(a.is_non_dominated(), b.is_non_dominated(), "{c}");
+            assert_eq!(a.is_non_dominated(), is_self_dual_exact(c.quorums()), "{c}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # qld-coteries
+//!
+//! The distributed-systems application of the monotone duality problem (Section 1 of
+//! the paper, Proposition 1.3): coteries (intersecting antichains of quorums) and the
+//! non-domination test `tr(C) = C`.
+//!
+//! * [`Coterie`] — validated quorum families and availability queries;
+//! * [`domination`] — the self-duality check, with a concrete dominating coterie
+//!   produced whenever the input is dominated;
+//! * [`constructions`] — majority, threshold, singleton, wheel and grid coteries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constructions;
+pub mod coterie;
+pub mod domination;
+
+pub use coterie::{Coterie, CoterieError};
+pub use domination::{check_domination, check_domination_with, dominates, Domination};

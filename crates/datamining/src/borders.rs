@@ -1,0 +1,117 @@
+//! Exact computation of the borders `IS⁺(M, z)` and `IS⁻(M, z)`.
+//!
+//! The maximal frequent itemsets and the minimal infrequent itemsets form the positive
+//! and negative borders of the frequent-itemset lattice.  [`borders_exact`] computes
+//! both by exhaustive enumeration (exponential in the number of items, used as ground
+//! truth for ≤ 20 items); the structural identity `IS⁻ = tr(IS⁺ᶜ)` of
+//! Gunopulos–Khardon–Mannila–Toivonen, on which Proposition 1.1 rests, is verified in
+//! the tests and re-used by [`crate::identification`].
+
+use crate::relation::BooleanRelation;
+use qld_hypergraph::{Hypergraph, VertexSet};
+
+/// The two borders of the frequent-itemset lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Borders {
+    /// `IS⁺(M, z)`: the maximal frequent itemsets.
+    pub maximal_frequent: Hypergraph,
+    /// `IS⁻(M, z)`: the minimal infrequent itemsets.
+    pub minimal_infrequent: Hypergraph,
+}
+
+impl Borders {
+    /// Convenience: `IS⁺ᶜ`, the complements of the maximal frequent itemsets.
+    pub fn maximal_frequent_complements(&self) -> Hypergraph {
+        self.maximal_frequent.complement_edges()
+    }
+}
+
+/// Computes both borders by exhaustive enumeration over all `2^|S|` itemsets.
+///
+/// Panics if the relation has more than 20 items; use the incremental
+/// [`crate::dualize_advance`] machinery beyond that.
+pub fn borders_exact(relation: &BooleanRelation, z: usize) -> Borders {
+    let n = relation.num_items();
+    assert!(n <= 20, "exhaustive border computation limited to 20 items");
+    let mut maximal = Vec::new();
+    let mut minimal = Vec::new();
+    for mask in 0u64..(1u64 << n) {
+        let set = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        if relation.is_maximal_frequent(&set, z) {
+            maximal.push(set);
+        } else if relation.is_minimal_infrequent(&set, z) {
+            minimal.push(set);
+        }
+    }
+    Borders {
+        maximal_frequent: Hypergraph::from_edges(n, maximal),
+        minimal_infrequent: Hypergraph::from_edges(n, minimal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::sample_relation as sample;
+    use qld_hypergraph::transversal::minimal_transversals;
+    use qld_hypergraph::vset;
+
+    #[test]
+    fn borders_of_the_sample_relation() {
+        let m = sample();
+        let b = borders_exact(&m, 2);
+        // maximal frequent at z=2: {0,1} (3 rows), {0,2} (3 rows), {1,2} (3 rows)
+        assert!(b.maximal_frequent.contains_edge(&vset![4; 0, 1]));
+        assert!(b.maximal_frequent.contains_edge(&vset![4; 0, 2]));
+        assert!(b.maximal_frequent.contains_edge(&vset![4; 1, 2]));
+        assert_eq!(b.maximal_frequent.num_edges(), 3);
+        // minimal infrequent: {3} (2 rows ≤ z) and {0,1,2} (2 rows ≤ z)
+        assert!(b.minimal_infrequent.contains_edge(&vset![4; 3]));
+        assert!(b.minimal_infrequent.contains_edge(&vset![4; 0, 1, 2]));
+        assert_eq!(b.minimal_infrequent.num_edges(), 2);
+        // both borders are antichains
+        assert!(b.maximal_frequent.is_simple());
+        assert!(b.minimal_infrequent.is_simple());
+    }
+
+    #[test]
+    fn gunopulos_et_al_identity_holds() {
+        // IS⁻ = tr(IS⁺ᶜ) on several relations and thresholds.
+        for (m, zs) in [
+            (sample(), vec![0, 1, 2, 3, 4]),
+            (
+                crate::generators::random_relation(5, 12, 0.5, 7),
+                vec![1, 3, 6],
+            ),
+            (
+                crate::generators::random_relation(6, 20, 0.7, 11),
+                vec![2, 5, 10],
+            ),
+        ] {
+            for z in zs {
+                let b = borders_exact(&m, z);
+                let expected = minimal_transversals(&b.maximal_frequent_complements());
+                assert!(
+                    b.minimal_infrequent.same_edge_set(&expected),
+                    "IS⁻ ≠ tr(IS⁺ᶜ) at z={z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_thresholds() {
+        let m = sample();
+        // z = |M|: nothing is frequent (f(U) ≤ |M| ≤ z), so even ∅ is infrequent.
+        let b = borders_exact(&m, m.num_rows());
+        assert_eq!(b.maximal_frequent.num_edges(), 0);
+        assert_eq!(b.minimal_infrequent.num_edges(), 1);
+        assert!(b.minimal_infrequent.edge(0).is_empty());
+        // z = 0: an itemset is frequent iff it appears in at least one row; the maximal
+        // frequent sets are the maximal rows.
+        let b = borders_exact(&m, 0);
+        assert!(b.maximal_frequent.contains_edge(&vset![4; 0, 1, 2, 3]));
+        assert_eq!(b.maximal_frequent.num_edges(), 1);
+        assert_eq!(b.minimal_infrequent.num_edges(), 0);
+    }
+}

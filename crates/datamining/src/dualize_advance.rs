@@ -1,0 +1,144 @@
+//! Incremental computation of both borders ("dualize and advance").
+//!
+//! The algorithms cited in Section 1 of the paper (Gunopulos et al., Mannila–Toivonen,
+//! Satoh–Uno, …) compute `IS⁺` and `IS⁻` jointly and incrementally: seed the known
+//! families, then repeatedly run the identification check; every failed check yields a
+//! new border element, which is added, until the check succeeds.  The number of
+//! duality calls is therefore `|IS⁺| + |IS⁻| + 1`.
+
+use crate::identification::{
+    identify_with, Identification, IdentificationInstance, NewBorderElement,
+};
+use crate::relation::BooleanRelation;
+use qld_core::{DualError, DualitySolver, QuadLogspaceSolver};
+use qld_hypergraph::Hypergraph;
+
+/// Statistics of a dualize-and-advance run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvanceStats {
+    /// Number of identification (duality) checks performed.
+    pub identification_calls: usize,
+    /// Number of maximal frequent itemsets discovered.
+    pub maximal_found: usize,
+    /// Number of minimal infrequent itemsets discovered.
+    pub minimal_found: usize,
+}
+
+/// The complete borders together with run statistics.
+#[derive(Debug, Clone)]
+pub struct AdvanceResult {
+    /// `IS⁺(M, z)`.
+    pub maximal_frequent: Hypergraph,
+    /// `IS⁻(M, z)`.
+    pub minimal_infrequent: Hypergraph,
+    /// Run statistics.
+    pub stats: AdvanceStats,
+}
+
+/// Computes both borders incrementally, using the given duality solver for each
+/// identification check.
+pub fn dualize_and_advance_with(
+    relation: &BooleanRelation,
+    z: usize,
+    solver: &dyn DualitySolver,
+) -> Result<AdvanceResult, DualError> {
+    let n = relation.num_items();
+    let mut maximal = Hypergraph::new(n);
+    let mut minimal = Hypergraph::new(n);
+    let mut stats = AdvanceStats::default();
+    loop {
+        let inst = IdentificationInstance::new(relation, z, minimal.clone(), maximal.clone());
+        stats.identification_calls += 1;
+        match identify_with(&inst, solver)? {
+            Identification::Complete => break,
+            Identification::Incomplete(NewBorderElement::MaximalFrequent(s)) => {
+                debug_assert!(!maximal.contains_edge(&s), "rediscovered {s}");
+                stats.maximal_found += 1;
+                maximal.add_edge(s);
+            }
+            Identification::Incomplete(NewBorderElement::MinimalInfrequent(s)) => {
+                debug_assert!(!minimal.contains_edge(&s), "rediscovered {s}");
+                stats.minimal_found += 1;
+                minimal.add_edge(s);
+            }
+            Identification::Invalid(bad) => {
+                unreachable!("internally maintained borders became invalid: {bad:?}")
+            }
+        }
+    }
+    Ok(AdvanceResult {
+        maximal_frequent: maximal,
+        minimal_infrequent: minimal,
+        stats,
+    })
+}
+
+/// Computes both borders incrementally with the paper's quadratic-logspace solver.
+pub fn dualize_and_advance(
+    relation: &BooleanRelation,
+    z: usize,
+) -> Result<AdvanceResult, DualError> {
+    dualize_and_advance_with(relation, z, &QuadLogspaceSolver::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::borders::borders_exact;
+    use crate::relation::sample_relation as sample;
+
+    #[test]
+    fn reproduces_exact_borders_on_the_sample() {
+        let m = sample();
+        for z in 0..=m.num_rows() {
+            let result = dualize_and_advance(&m, z).unwrap();
+            let exact = borders_exact(&m, z);
+            assert!(
+                result.maximal_frequent.same_edge_set(&exact.maximal_frequent),
+                "IS⁺ mismatch at z={z}"
+            );
+            assert!(
+                result
+                    .minimal_infrequent
+                    .same_edge_set(&exact.minimal_infrequent),
+                "IS⁻ mismatch at z={z}"
+            );
+            // one identification call per discovered element, plus the final success
+            assert_eq!(
+                result.stats.identification_calls,
+                result.stats.maximal_found + result.stats.minimal_found + 1
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_exact_borders_on_random_relations() {
+        for seed in 0..4 {
+            let m = crate::generators::random_relation(6, 14, 0.55, seed);
+            for z in [1, 3, 6] {
+                let result = dualize_and_advance(&m, z).unwrap();
+                let exact = borders_exact(&m, z);
+                assert!(
+                    result.maximal_frequent.same_edge_set(&exact.maximal_frequent),
+                    "seed={seed} z={z}"
+                );
+                assert!(
+                    result
+                        .minimal_infrequent
+                        .same_edge_set(&exact.minimal_infrequent),
+                    "seed={seed} z={z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_across_solvers() {
+        let m = crate::generators::random_relation(5, 10, 0.5, 99);
+        let z = 2;
+        let a = dualize_and_advance_with(&m, z, &QuadLogspaceSolver::default()).unwrap();
+        let b = dualize_and_advance_with(&m, z, &qld_core::BorosMakinoTreeSolver::new()).unwrap();
+        assert!(a.maximal_frequent.same_edge_set(&b.maximal_frequent));
+        assert!(a.minimal_infrequent.same_edge_set(&b.minimal_infrequent));
+    }
+}

@@ -1,0 +1,106 @@
+//! Synthetic Boolean relations for tests, examples, and experiments.
+//!
+//! The paper has no accompanying data sets, so the data-mining experiments run on
+//! synthetic relations: uniformly random relations of a given density, and
+//! "market-basket"-like relations where rows are noisy copies of a few planted
+//! patterns — the situation in which maximal frequent itemsets are interesting.
+
+use crate::relation::BooleanRelation;
+use qld_hypergraph::{Vertex, VertexSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random relation: each of `rows × items` cells is 1 with probability
+/// `density`.
+pub fn random_relation(items: usize, rows: usize, density: f64, seed: u64) -> BooleanRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = BooleanRelation::new(items);
+    for _ in 0..rows {
+        let mut row = VertexSet::empty(items);
+        for i in 0..items {
+            if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                row.insert(Vertex::from(i));
+            }
+        }
+        m.add_row(row);
+    }
+    m
+}
+
+/// A planted-pattern relation: `patterns` random itemsets of size `pattern_size` are
+/// chosen; each row is a randomly chosen pattern with items dropped with probability
+/// `noise` and a few random extra items added.
+pub fn planted_pattern_relation(
+    items: usize,
+    rows: usize,
+    patterns: usize,
+    pattern_size: usize,
+    noise: f64,
+    seed: u64,
+) -> BooleanRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pattern_size = pattern_size.min(items).max(1);
+    let patterns: Vec<VertexSet> = (0..patterns.max(1))
+        .map(|_| {
+            let mut p = VertexSet::empty(items);
+            while p.len() < pattern_size {
+                p.insert(Vertex::from(rng.gen_range(0..items)));
+            }
+            p
+        })
+        .collect();
+    let mut m = BooleanRelation::new(items);
+    for _ in 0..rows {
+        let base = &patterns[rng.gen_range(0..patterns.len())];
+        let mut row = VertexSet::empty(items);
+        for v in base.iter() {
+            if !rng.gen_bool(noise.clamp(0.0, 1.0)) {
+                row.insert(v);
+            }
+        }
+        // sprinkle a little extra noise
+        for i in 0..items {
+            if rng.gen_bool(noise.clamp(0.0, 1.0) / 2.0) {
+                row.insert(Vertex::from(i));
+            }
+        }
+        m.add_row(row);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_relation_shape_and_determinism() {
+        let a = random_relation(8, 20, 0.4, 5);
+        let b = random_relation(8, 20, 0.4, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.num_items(), 8);
+        assert_eq!(a.num_rows(), 20);
+        let c = random_relation(8, 20, 0.4, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn density_extremes() {
+        let empty = random_relation(6, 10, 0.0, 1);
+        assert!(empty.rows().iter().all(|r| r.is_empty()));
+        let full = random_relation(6, 10, 1.0, 1);
+        assert!(full.rows().iter().all(|r| r.len() == 6));
+    }
+
+    #[test]
+    fn planted_patterns_make_their_items_frequent() {
+        let m = planted_pattern_relation(10, 60, 2, 4, 0.05, 42);
+        assert_eq!(m.num_rows(), 60);
+        // with low noise, at least one item has high support
+        let best = (0..10usize)
+            .map(|i| m.frequency(&VertexSet::singleton(10, Vertex::from(i))))
+            .max()
+            .unwrap();
+        assert!(best >= 20, "best singleton support {best}");
+    }
+}

@@ -1,0 +1,303 @@
+//! The MaxFreq-MinInfreq-Identification problem (Proposition 1.1).
+//!
+//! Given a relation `M`, a threshold `z`, a family `G ⊆ IS⁻(M, z)` of known minimal
+//! infrequent itemsets and a family `H ⊆ IS⁺(M, z)` of known maximal frequent itemsets,
+//! decide whether the borders are complete — i.e. whether `H = IS⁺` and `G = IS⁻`.  By
+//! the result of Gunopulos et al. recalled in the paper, this holds **iff `G = tr(Hᶜ)`**,
+//! so the decision is a single `DUAL` instance; and when it fails, the duality witness
+//! converts into a *new* border element (a maximal frequent itemset missing from `H` or
+//! a minimal infrequent itemset missing from `G`).
+
+use crate::relation::BooleanRelation;
+use qld_core::{DualError, DualitySolver, DualityResult, NonDualWitness, QuadLogspaceSolver};
+use qld_hypergraph::{Hypergraph, VertexSet};
+
+/// Why an input family is not a valid partial border.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidBorder {
+    /// A claimed maximal frequent itemset is not maximal frequent.
+    NotMaximalFrequent(VertexSet),
+    /// A claimed minimal infrequent itemset is not minimal infrequent.
+    NotMinimalInfrequent(VertexSet),
+}
+
+/// A newly discovered border element, returned when identification fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NewBorderElement {
+    /// A maximal frequent itemset that is not in the given `H`.
+    MaximalFrequent(VertexSet),
+    /// A minimal infrequent itemset that is not in the given `G`.
+    MinimalInfrequent(VertexSet),
+}
+
+/// The outcome of the identification check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Identification {
+    /// The borders are complete: `H = IS⁺(M, z)` and `G = IS⁻(M, z)`.
+    Complete,
+    /// The borders are incomplete; a concrete new border element is attached.
+    Incomplete(NewBorderElement),
+    /// One of the inputs is not even a subset of the corresponding border.
+    Invalid(InvalidBorder),
+}
+
+/// An instance of the identification problem.
+#[derive(Debug, Clone)]
+pub struct IdentificationInstance<'a> {
+    /// The Boolean-valued relation `M`.
+    pub relation: &'a BooleanRelation,
+    /// The frequency threshold `z`.
+    pub threshold: usize,
+    /// The known minimal infrequent itemsets `G ⊆ IS⁻(M, z)`.
+    pub minimal_infrequent: Hypergraph,
+    /// The known maximal frequent itemsets `H ⊆ IS⁺(M, z)`.
+    pub maximal_frequent: Hypergraph,
+}
+
+impl<'a> IdentificationInstance<'a> {
+    /// Builds an instance (no validation is performed here; see [`identify`]).
+    pub fn new(
+        relation: &'a BooleanRelation,
+        threshold: usize,
+        minimal_infrequent: Hypergraph,
+        maximal_frequent: Hypergraph,
+    ) -> Self {
+        IdentificationInstance {
+            relation,
+            threshold,
+            minimal_infrequent,
+            maximal_frequent,
+        }
+    }
+
+    /// The `DUAL` instance `(Hᶜ, G)` of Proposition 1.1 (is `G = tr(Hᶜ)`?).
+    pub fn dual_instance(&self) -> (Hypergraph, Hypergraph) {
+        let mut h_c = self.maximal_frequent.complement_edges();
+        // Ensure the complements live over the full item universe even when H is empty.
+        if h_c.num_vertices() < self.relation.num_items() {
+            h_c = Hypergraph::from_edges(self.relation.num_items(), h_c.edges().iter().cloned());
+        }
+        let mut g = self.minimal_infrequent.clone();
+        if g.num_vertices() < self.relation.num_items() {
+            g = Hypergraph::from_edges(self.relation.num_items(), g.edges().iter().cloned());
+        }
+        (h_c, g)
+    }
+}
+
+/// Decides the identification problem with the given duality solver.
+pub fn identify_with(
+    instance: &IdentificationInstance<'_>,
+    solver: &dyn DualitySolver,
+) -> Result<Identification, DualError> {
+    let m = instance.relation;
+    let z = instance.threshold;
+    // Validation: G ⊆ IS⁻ and H ⊆ IS⁺.
+    for e in instance.maximal_frequent.edges() {
+        if !m.is_maximal_frequent(e, z) {
+            return Ok(Identification::Invalid(InvalidBorder::NotMaximalFrequent(
+                e.clone(),
+            )));
+        }
+    }
+    for e in instance.minimal_infrequent.edges() {
+        if !m.is_minimal_infrequent(e, z) {
+            return Ok(Identification::Invalid(InvalidBorder::NotMinimalInfrequent(
+                e.clone(),
+            )));
+        }
+    }
+
+    // Degenerate corner: the empty itemset is infrequent (z ≥ |M|).  Then IS⁺ = ∅ and
+    // IS⁻ = {∅}; handle directly because {∅} is not a "simple hypergraph with
+    // non-empty edges" in the sense the decomposition expects.
+    if !m.is_frequent(&VertexSet::empty(m.num_items()), z) {
+        let g_complete = instance.minimal_infrequent.num_edges() == 1
+            && instance.minimal_infrequent.edge(0).is_empty();
+        let h_complete = instance.maximal_frequent.is_empty();
+        return Ok(if g_complete && h_complete {
+            Identification::Complete
+        } else {
+            Identification::Incomplete(NewBorderElement::MinimalInfrequent(VertexSet::empty(
+                m.num_items(),
+            )))
+        });
+    }
+
+    let (h_c, g) = instance.dual_instance();
+    match solver.decide(&h_c, &g)? {
+        DualityResult::Dual => Ok(Identification::Complete),
+        DualityResult::NotDual(witness) => {
+            let seed = seed_from_witness(m, z, instance, &witness);
+            Ok(Identification::Incomplete(classify_seed(m, z, seed)))
+        }
+    }
+}
+
+/// Decides the identification problem with the paper's quadratic-logspace solver.
+pub fn identify(instance: &IdentificationInstance<'_>) -> Result<Identification, DualError> {
+    identify_with(instance, &QuadLogspaceSolver::default())
+}
+
+/// Extracts from the duality witness a *seed* itemset `Z` that is not contained in any
+/// known maximal frequent itemset and contains no known minimal infrequent itemset.
+fn seed_from_witness(
+    m: &BooleanRelation,
+    z: usize,
+    instance: &IdentificationInstance<'_>,
+    witness: &NonDualWitness,
+) -> VertexSet {
+    let n = m.num_items();
+    match witness {
+        // T is a transversal of Hᶜ (so T ⊄ Y for every Y ∈ H) containing no G-member.
+        NonDualWitness::NewTransversalOfG(t) => {
+            let mut t = t.clone();
+            t.grow(n);
+            t
+        }
+        // T is a transversal of G containing no Hᶜ-member; its complement W satisfies
+        // W ⊄ Y for every Y ∈ H and contains no G-member.
+        NonDualWitness::NewTransversalOfH(t) => {
+            let mut t = t.clone();
+            t.grow(n);
+            t.complement(n)
+        }
+        // A disjoint pair Hᶜ-edge / G-edge would mean some known minimal infrequent
+        // itemset is contained in some known maximal frequent itemset — impossible once
+        // the inputs are validated; fall back to growing the empty itemset (which is
+        // frequent here) into a maximal frequent itemset.
+        NonDualWitness::DisjointEdges { .. } => {
+            debug_assert!(false, "disjoint-edge witness with validated borders");
+            m.grow_to_maximal_frequent(&VertexSet::empty(n), z);
+            let _ = instance;
+            VertexSet::empty(n)
+        }
+    }
+}
+
+/// Turns a seed itemset into a new border element: grow it if frequent, shrink it if
+/// infrequent.
+fn classify_seed(m: &BooleanRelation, z: usize, seed: VertexSet) -> NewBorderElement {
+    if m.is_frequent(&seed, z) {
+        NewBorderElement::MaximalFrequent(m.grow_to_maximal_frequent(&seed, z))
+    } else {
+        NewBorderElement::MinimalInfrequent(m.shrink_to_minimal_infrequent(&seed, z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::borders::borders_exact;
+    use crate::relation::sample_relation as sample;
+    use qld_hypergraph::{vset, Hypergraph};
+
+    #[test]
+    fn complete_borders_are_recognized() {
+        let m = sample();
+        let z = 2;
+        let b = borders_exact(&m, z);
+        let inst = IdentificationInstance::new(
+            &m,
+            z,
+            b.minimal_infrequent.clone(),
+            b.maximal_frequent.clone(),
+        );
+        assert_eq!(identify(&inst).unwrap(), Identification::Complete);
+    }
+
+    #[test]
+    fn missing_maximal_frequent_itemset_is_discovered() {
+        let m = sample();
+        let z = 2;
+        let b = borders_exact(&m, z);
+        let mut partial_h = b.maximal_frequent.clone();
+        let removed = partial_h.remove_edge(1);
+        let inst =
+            IdentificationInstance::new(&m, z, b.minimal_infrequent.clone(), partial_h.clone());
+        match identify(&inst).unwrap() {
+            Identification::Incomplete(NewBorderElement::MaximalFrequent(s)) => {
+                assert!(m.is_maximal_frequent(&s, z));
+                assert!(!partial_h.contains_edge(&s));
+                // with only one element missing, it must be exactly the removed one
+                assert_eq!(s, removed);
+            }
+            other => panic!("expected a new maximal frequent itemset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_minimal_infrequent_itemset_is_discovered() {
+        let m = sample();
+        let z = 2;
+        let b = borders_exact(&m, z);
+        let mut partial_g = b.minimal_infrequent.clone();
+        let removed = partial_g.remove_edge(0);
+        let inst =
+            IdentificationInstance::new(&m, z, partial_g.clone(), b.maximal_frequent.clone());
+        match identify(&inst).unwrap() {
+            Identification::Incomplete(NewBorderElement::MinimalInfrequent(s)) => {
+                assert!(m.is_minimal_infrequent(&s, z));
+                assert!(!partial_g.contains_edge(&s));
+                assert_eq!(s, removed);
+            }
+            other => panic!("expected a new minimal infrequent itemset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_flagged() {
+        let m = sample();
+        let z = 2;
+        let b = borders_exact(&m, z);
+        // {0} is frequent but not maximal
+        let bad_h = Hypergraph::from_edges(4, [vset![4; 0]]);
+        let inst = IdentificationInstance::new(&m, z, b.minimal_infrequent.clone(), bad_h);
+        assert!(matches!(
+            identify(&inst).unwrap(),
+            Identification::Invalid(InvalidBorder::NotMaximalFrequent(_))
+        ));
+        // {0,3} is infrequent but not minimal
+        let bad_g = Hypergraph::from_edges(4, [vset![4; 0, 3]]);
+        let inst = IdentificationInstance::new(&m, z, bad_g, b.maximal_frequent.clone());
+        assert!(matches!(
+            identify(&inst).unwrap(),
+            Identification::Invalid(InvalidBorder::NotMinimalInfrequent(_))
+        ));
+    }
+
+    #[test]
+    fn empty_borders_yield_a_first_element() {
+        let m = sample();
+        let z = 2;
+        let inst =
+            IdentificationInstance::new(&m, z, Hypergraph::new(4), Hypergraph::new(4));
+        match identify(&inst).unwrap() {
+            Identification::Incomplete(elem) => match elem {
+                NewBorderElement::MaximalFrequent(s) => assert!(m.is_maximal_frequent(&s, z)),
+                NewBorderElement::MinimalInfrequent(s) => {
+                    assert!(m.is_minimal_infrequent(&s, z))
+                }
+            },
+            other => panic!("expected incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_threshold_where_nothing_is_frequent() {
+        let m = sample();
+        let z = m.num_rows(); // even ∅ is infrequent
+        let empty = Hypergraph::new(4);
+        let inst = IdentificationInstance::new(&m, z, empty.clone(), empty.clone());
+        match identify(&inst).unwrap() {
+            Identification::Incomplete(NewBorderElement::MinimalInfrequent(s)) => {
+                assert!(s.is_empty())
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // and with the correct borders it is complete
+        let g = Hypergraph::from_edges(4, [VertexSet::empty(4)]);
+        let inst = IdentificationInstance::new(&m, z, g, empty);
+        assert_eq!(identify(&inst).unwrap(), Identification::Complete);
+    }
+}

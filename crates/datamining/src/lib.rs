@@ -1,0 +1,34 @@
+//! # qld-datamining
+//!
+//! The data-mining application of the monotone duality problem (Section 1 of the paper,
+//! Proposition 1.1): maximal frequent itemsets, minimal infrequent itemsets, and the
+//! MaxFreq-MinInfreq-Identification problem.
+//!
+//! * [`BooleanRelation`] — Boolean-valued relations, frequency `f(U)`, and the
+//!   frequent/maximal/minimal predicates with the paper's strict threshold semantics
+//!   (`U` frequent iff `f(U) > z`);
+//! * [`borders`] — exhaustive ground-truth computation of `IS⁺` and `IS⁻`;
+//! * [`apriori`] — the classical level-wise miner (baseline);
+//! * [`identification`] — the reduction of MaxFreq-MinInfreq-Identification to `DUAL`
+//!   (`G = tr(Hᶜ)`), with recovery of a new border element from the duality witness;
+//! * [`dualize_advance`] — incremental computation of both borders driven by repeated
+//!   identification checks;
+//! * [`generators`] — synthetic relations used by tests and experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod borders;
+pub mod dualize_advance;
+pub mod generators;
+pub mod identification;
+pub mod relation;
+
+pub use apriori::{apriori, AprioriResult};
+pub use borders::{borders_exact, Borders};
+pub use dualize_advance::{dualize_and_advance, dualize_and_advance_with, AdvanceResult};
+pub use identification::{
+    identify, identify_with, Identification, IdentificationInstance, NewBorderElement,
+};
+pub use relation::BooleanRelation;

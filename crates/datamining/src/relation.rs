@@ -1,0 +1,214 @@
+//! Boolean-valued relations over a set of items.
+//!
+//! Section 1 of the paper phrases the data-mining application over "a Boolean-valued
+//! data relation `M` over a set `S` of attributes called items" together with a
+//! threshold `z` (`0 < z ≤ |M|`).  Each tuple `t` contributes the itemset
+//! `items(t) = {A ∈ S | t[A] = 1}`; the frequency `f(U)` of an itemset `U` is the
+//! number of tuples whose itemset contains `U`, and `U` is *frequent* if `f(U) > z`.
+
+use qld_hypergraph::{Vertex, VertexSet};
+use std::fmt;
+
+/// A Boolean-valued relation: a multiset of rows, each identified with its itemset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BooleanRelation {
+    num_items: usize,
+    rows: Vec<VertexSet>,
+}
+
+impl BooleanRelation {
+    /// Creates an empty relation over `num_items` items.
+    pub fn new(num_items: usize) -> Self {
+        BooleanRelation {
+            num_items,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from explicit rows (each row = set of items valued 1).
+    pub fn from_rows<I: IntoIterator<Item = VertexSet>>(num_items: usize, rows: I) -> Self {
+        let mut r = BooleanRelation::new(num_items);
+        for row in rows {
+            r.add_row(row);
+        }
+        r
+    }
+
+    /// Creates a relation from rows given as item-index slices.
+    pub fn from_index_rows(num_items: usize, rows: &[&[usize]]) -> Self {
+        BooleanRelation::from_rows(
+            num_items,
+            rows.iter()
+                .map(|r| VertexSet::from_indices(num_items, r.iter().copied())),
+        )
+    }
+
+    /// Adds a row.
+    pub fn add_row(&mut self, mut row: VertexSet) {
+        row.grow(self.num_items);
+        self.rows.push(row);
+    }
+
+    /// Number of items (attributes) `|S|`.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of tuples `|M|`.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows (as itemsets `items(t)`).
+    pub fn rows(&self) -> &[VertexSet] {
+        &self.rows
+    }
+
+    /// The frequency `f(U)`: the number of tuples `t` with `U ⊆ items(t)`.
+    pub fn frequency(&self, itemset: &VertexSet) -> usize {
+        self.rows.iter().filter(|r| itemset.is_subset(r)).count()
+    }
+
+    /// Whether `U` is frequent for threshold `z`, i.e. `f(U) > z` (strict, as in the
+    /// paper).
+    pub fn is_frequent(&self, itemset: &VertexSet, z: usize) -> bool {
+        self.frequency(itemset) > z
+    }
+
+    /// Grows a frequent itemset to a **maximal** frequent itemset containing it, adding
+    /// items in increasing order.  Panics (in debug builds) if the seed is infrequent.
+    pub fn grow_to_maximal_frequent(&self, seed: &VertexSet, z: usize) -> VertexSet {
+        debug_assert!(self.is_frequent(seed, z), "seed itemset is not frequent");
+        let mut current = seed.clone();
+        current.grow(self.num_items);
+        for i in 0..self.num_items {
+            let v = Vertex::from(i);
+            if current.contains(v) {
+                continue;
+            }
+            let candidate = current.with(v);
+            if self.is_frequent(&candidate, z) {
+                current = candidate;
+            }
+        }
+        current
+    }
+
+    /// Shrinks an infrequent itemset to a **minimal** infrequent itemset contained in
+    /// it, removing items in increasing order.  Panics (in debug builds) if the seed is
+    /// frequent.
+    pub fn shrink_to_minimal_infrequent(&self, seed: &VertexSet, z: usize) -> VertexSet {
+        debug_assert!(!self.is_frequent(seed, z), "seed itemset is frequent");
+        let mut current = seed.clone();
+        current.grow(self.num_items);
+        for v in seed.iter() {
+            let candidate = current.without(v);
+            if !self.is_frequent(&candidate, z) {
+                current = candidate;
+            }
+        }
+        current
+    }
+
+    /// Whether `U` is a *maximal* frequent itemset (`U ∈ IS⁺(M, z)`).
+    pub fn is_maximal_frequent(&self, itemset: &VertexSet, z: usize) -> bool {
+        if !self.is_frequent(itemset, z) {
+            return false;
+        }
+        (0..self.num_items).all(|i| {
+            let v = Vertex::from(i);
+            itemset.contains(v) || !self.is_frequent(&itemset.with(v), z)
+        })
+    }
+
+    /// Whether `U` is a *minimal* infrequent itemset (`U ∈ IS⁻(M, z)`).
+    pub fn is_minimal_infrequent(&self, itemset: &VertexSet, z: usize) -> bool {
+        if self.is_frequent(itemset, z) {
+            return false;
+        }
+        itemset.iter().all(|v| self.is_frequent(&itemset.without(v), z))
+    }
+}
+
+impl fmt::Display for BooleanRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# items={} rows={}", self.num_items, self.rows.len())?;
+        for row in &self.rows {
+            for i in 0..self.num_items {
+                write!(f, "{}", u8::from(row.contains(Vertex::from(i))))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The running example used across this crate's tests: 5 rows over 4 items.
+#[cfg(test)]
+pub(crate) fn sample_relation() -> BooleanRelation {
+    BooleanRelation::from_index_rows(
+        4,
+        &[&[0, 1, 2], &[0, 1], &[0, 2, 3], &[1, 2], &[0, 1, 2, 3]],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::vset;
+
+    fn sample() -> BooleanRelation {
+        sample_relation()
+    }
+
+    #[test]
+    fn frequencies() {
+        let m = sample();
+        assert_eq!(m.num_items(), 4);
+        assert_eq!(m.num_rows(), 5);
+        assert_eq!(m.frequency(&vset![4;]), 5);
+        assert_eq!(m.frequency(&vset![4; 0]), 4);
+        assert_eq!(m.frequency(&vset![4; 0, 1]), 3);
+        assert_eq!(m.frequency(&vset![4; 3]), 2);
+        assert_eq!(m.frequency(&vset![4; 0, 1, 2, 3]), 1);
+        // threshold semantics are strict
+        assert!(m.is_frequent(&vset![4; 0, 1], 2));
+        assert!(!m.is_frequent(&vset![4; 0, 1], 3));
+    }
+
+    #[test]
+    fn maximal_and_minimal_predicates() {
+        let m = sample();
+        let z = 2;
+        // {0,1} has frequency 3 > 2 and cannot be extended while staying > 2.
+        assert!(m.is_maximal_frequent(&vset![4; 0, 1], z));
+        assert!(!m.is_maximal_frequent(&vset![4; 0], z)); // extensible to {0,1} or {0,2}
+        assert!(!m.is_maximal_frequent(&vset![4; 3], z)); // infrequent
+        // {3} has frequency 2 ≤ 2 and the empty set is frequent.
+        assert!(m.is_minimal_infrequent(&vset![4; 3], z));
+        assert!(!m.is_minimal_infrequent(&vset![4; 0, 3], z)); // {3} already infrequent
+        assert!(!m.is_minimal_infrequent(&vset![4; 0], z)); // frequent
+    }
+
+    #[test]
+    fn grow_and_shrink() {
+        let m = sample();
+        let z = 2;
+        let grown = m.grow_to_maximal_frequent(&vset![4; 1], z);
+        assert!(m.is_maximal_frequent(&grown, z));
+        assert!(vset![4; 1].is_subset(&grown));
+        let shrunk = m.shrink_to_minimal_infrequent(&vset![4; 0, 2, 3], z);
+        assert!(m.is_minimal_infrequent(&shrunk, z));
+        assert!(shrunk.is_subset(&vset![4; 0, 2, 3]));
+    }
+
+    #[test]
+    fn rows_grow_universe() {
+        let mut m = BooleanRelation::new(2);
+        m.add_row(vset![2; 0]);
+        assert_eq!(m.rows()[0].capacity(), 2);
+        let text = m.to_string();
+        assert!(text.contains("items=2 rows=1"));
+        assert!(text.contains("10"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Brute-force duality testing over truth assignments.
+//!
+//! Checks the defining identity `f(x) ≡ ¬g(¬x)` on all `2ⁿ` assignments.  Exponential,
+//! but completely independent of all the combinatorial machinery, which makes it the
+//! most trustworthy cross-check for tiny instances.
+
+use crate::counterexample::witness_from_assignment;
+use qld_core::{DualError, DualInstance, DualitySolver, DualityResult};
+use qld_hypergraph::{Hypergraph, VertexSet};
+
+/// Maximum universe size accepted by the brute-force solver.
+pub const MAX_BRUTE_VERTICES: usize = 24;
+
+/// The brute-force assignment solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AssignmentBruteSolver;
+
+impl AssignmentBruteSolver {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        AssignmentBruteSolver
+    }
+}
+
+impl DualitySolver for AssignmentBruteSolver {
+    fn name(&self) -> &'static str {
+        "brute-assignments"
+    }
+
+    fn decide(&self, g: &Hypergraph, h: &Hypergraph) -> Result<DualityResult, DualError> {
+        let inst = DualInstance::new(g.clone(), h.clone())?;
+        let n = inst.num_vertices();
+        assert!(
+            n <= MAX_BRUTE_VERTICES,
+            "brute-force assignment solver limited to {MAX_BRUTE_VERTICES} vertices"
+        );
+        for mask in 0u64..(1u64 << n) {
+            let t = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+            if let Some(witness) = witness_from_assignment(inst.g(), inst.h(), &t) {
+                return Ok(DualityResult::NotDual(witness));
+            }
+        }
+        Ok(DualityResult::Dual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_core::verify_witness;
+    use qld_hypergraph::generators;
+
+    #[test]
+    fn agrees_with_known_labels() {
+        let solver = AssignmentBruteSolver::new();
+        for li in [
+            generators::matching_instance(2),
+            generators::matching_instance(3),
+            generators::threshold_instance(5, 2),
+            generators::self_dual_instance(1),
+        ] {
+            assert!(solver.is_dual(&li.g, &li.h).unwrap(), "{}", li.name);
+            if let Some(broken) =
+                generators::perturb(&li, generators::Perturbation::DropDualEdge, 0)
+            {
+                let r = solver.decide(&broken.g, &broken.h).unwrap();
+                assert!(!r.is_dual());
+                assert!(verify_witness(&broken.g, &broken.h, r.witness().unwrap()));
+            }
+        }
+        assert_eq!(solver.name(), "brute-assignments");
+    }
+
+    #[test]
+    fn rejects_non_simple_input() {
+        let g = Hypergraph::from_index_edges(3, &[&[0], &[0, 1]]);
+        let h = Hypergraph::from_index_edges(3, &[&[0]]);
+        assert!(AssignmentBruteSolver::new().decide(&g, &h).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Counterexample assignments and their conversion to duality witnesses.
+//!
+//! The classical algorithms (Fredman–Khachiyan, brute force over assignments) refute
+//! duality by exhibiting an assignment `x` with `f(x) = g(¬x)` — a point where the
+//! defining identity of duality fails.  This module converts such assignments into the
+//! structural witnesses used across the repository ([`NonDualWitness`]), and provides
+//! the semantic evaluation helpers shared by the baseline solvers.
+
+use qld_core::NonDualWitness;
+use qld_hypergraph::{Hypergraph, VertexSet};
+
+/// Evaluates the monotone DNF whose terms are the edges of `f` under the assignment
+/// `true_vars` (the set of variables set to 1).
+pub fn evaluate(f: &Hypergraph, true_vars: &VertexSet) -> bool {
+    f.edges().iter().any(|t| t.is_subset(true_vars))
+}
+
+/// Whether the assignment `t` is a counterexample to the duality of `(g, h)`, i.e.
+/// `g(t) = h(V − t)` (both true or both false).
+pub fn is_counterexample(g: &Hypergraph, h: &Hypergraph, t: &VertexSet) -> bool {
+    let n = g.num_vertices().max(h.num_vertices());
+    let mut t = t.clone();
+    t.grow(n);
+    let co_t = t.complement(n);
+    evaluate(g, &t) == evaluate(h, &co_t)
+}
+
+/// Converts a counterexample assignment into a structural [`NonDualWitness`].
+///
+/// * If `g(t) = h(¬t) = 1`, there are a `G`-edge inside `t` and an `H`-edge inside
+///   `V − t`; those two edges are disjoint.
+/// * If `g(t) = h(¬t) = 0`, the complement `V − t` meets every `G`-edge and contains no
+///   `H`-edge: a new transversal of `G` w.r.t. `H`.
+///
+/// Returns `None` if `t` is not actually a counterexample.
+pub fn witness_from_assignment(
+    g: &Hypergraph,
+    h: &Hypergraph,
+    t: &VertexSet,
+) -> Option<NonDualWitness> {
+    let n = g.num_vertices().max(h.num_vertices());
+    let mut t = t.clone();
+    t.grow(n);
+    let co_t = t.complement(n);
+    let g_val = evaluate(g, &t);
+    let h_val = evaluate(h, &co_t);
+    if g_val != h_val {
+        return None;
+    }
+    if g_val {
+        let g_index = g.edges().iter().position(|e| e.is_subset(&t))?;
+        let h_index = h.edges().iter().position(|e| e.is_subset(&co_t))?;
+        Some(NonDualWitness::DisjointEdges { g_index, h_index })
+    } else {
+        Some(NonDualWitness::NewTransversalOfG(co_t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_core::verify_witness;
+    use qld_hypergraph::vset;
+
+    fn pair() -> (Hypergraph, Hypergraph) {
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let h = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
+        (g, h)
+    }
+
+    #[test]
+    fn evaluation() {
+        let (g, _) = pair();
+        assert!(evaluate(&g, &vset![4; 0, 1]));
+        assert!(evaluate(&g, &vset![4; 0, 1, 2]));
+        assert!(!evaluate(&g, &vset![4; 0, 2]));
+        assert!(!evaluate(&g, &vset![4;]));
+    }
+
+    #[test]
+    fn dual_pairs_have_no_counterexample() {
+        let (g, h) = pair();
+        for mask in 0u32..16 {
+            let t = VertexSet::from_indices(4, (0..4).filter(|i| mask & (1 << i) != 0));
+            assert!(!is_counterexample(&g, &h, &t), "t = {t}");
+            assert!(witness_from_assignment(&g, &h, &t).is_none());
+        }
+    }
+
+    #[test]
+    fn both_false_counterexample_gives_new_transversal() {
+        let (g, mut h) = pair();
+        h.remove_edge(0); // drop {0,2}
+        // t = {1,3}: g(t) = 0, h complement = {0,2}: no remaining h-edge inside → 0.
+        let t = vset![4; 1, 3];
+        assert!(is_counterexample(&g, &h, &t));
+        let w = witness_from_assignment(&g, &h, &t).unwrap();
+        assert!(matches!(w, NonDualWitness::NewTransversalOfG(_)));
+        assert!(verify_witness(&g, &h, &w));
+    }
+
+    #[test]
+    fn both_true_counterexample_gives_disjoint_edges() {
+        // g = {{0,1}}, h = {{2,3}}: t = {0,1} makes both sides true.
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1]]);
+        let h = Hypergraph::from_index_edges(4, &[&[2, 3]]);
+        let t = vset![4; 0, 1];
+        assert!(is_counterexample(&g, &h, &t));
+        let w = witness_from_assignment(&g, &h, &t).unwrap();
+        assert_eq!(
+            w,
+            NonDualWitness::DisjointEdges {
+                g_index: 0,
+                h_index: 0
+            }
+        );
+        assert!(verify_witness(&g, &h, &w));
+    }
+
+    #[test]
+    fn non_counterexamples_are_rejected() {
+        let (g, h) = pair();
+        assert!(witness_from_assignment(&g, &h, &vset![4; 0, 1]).is_none());
+    }
+}

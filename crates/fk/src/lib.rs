@@ -1,0 +1,26 @@
+//! # qld-fk
+//!
+//! Classical baseline algorithms for the monotone duality problem, implementing the
+//! same [`qld_core::DualitySolver`] interface as the decomposition-based solvers:
+//!
+//! * [`FkASolver`] — the Fredman–Khachiyan algorithm A (`n^{O(log n)}` self-reduction),
+//!   with counterexample assignments propagated through the recursion;
+//! * [`BergeSolver`] — explicit dualization by Berge multiplication and set comparison
+//!   (output-exponential, exact);
+//! * [`AssignmentBruteSolver`] — exhaustive check of `f(x) ≡ ¬g(¬x)` over all
+//!   assignments (input-exponential, trivially correct).
+//!
+//! These are the comparison points of experiment E4 and the cross-validation oracles
+//! used by the integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod berge;
+pub mod counterexample;
+pub mod fk_a;
+
+pub use assignment::AssignmentBruteSolver;
+pub use berge::BergeSolver;
+pub use fk_a::{FkASolver, FkStats};

@@ -1,0 +1,17 @@
+//! Regenerates Figure 1 of the paper (the complexity-class inclusion diagram).
+//!
+//! ```text
+//! cargo run -p qld-harness --bin figure1            # ASCII rendering
+//! cargo run -p qld-harness --bin figure1 -- --dot   # Graphviz DOT
+//! ```
+
+use qld_harness::figure::{figure1_ascii, figure1_dot};
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+    if dot {
+        print!("{}", figure1_dot());
+    } else {
+        print!("{}", figure1_ascii());
+    }
+}

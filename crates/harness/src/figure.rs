@@ -1,0 +1,106 @@
+//! Regeneration of Figure 1 (the complexity-class diagram of Section 6).
+
+use qld_logspace::model::{dual_upper_bounds, figure1_inclusions, included_in, ComplexityClass};
+
+/// The figure as ASCII art, laid out by "levels" of the inclusion order (bottom =
+/// smallest classes), with the paper's two new upper bounds marked.
+pub fn figure1_ascii() -> String {
+    let classes = ComplexityClass::all();
+    // level = length of the longest chain below the class
+    let level = |c: ComplexityClass| -> usize {
+        classes
+            .iter()
+            .filter(|&&other| other != c && included_in(other, c))
+            .map(|&other| 1 + chain_below(other))
+            .max()
+            .unwrap_or(0)
+    };
+    fn chain_below(c: ComplexityClass) -> usize {
+        ComplexityClass::all()
+            .iter()
+            .filter(|&&other| other != c && included_in(other, c))
+            .map(|&other| 1 + chain_below(other))
+            .max()
+            .unwrap_or(0)
+    }
+    let max_level = classes.iter().map(|&c| level(c)).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("Figure 1 — upper bounds for DUAL (ascending lines = class inclusion)\n");
+    out.push_str("=====================================================================\n\n");
+    for l in (0..=max_level).rev() {
+        let mut names: Vec<String> = classes
+            .iter()
+            .filter(|&&c| level(c) == l)
+            .map(|&c| {
+                let marker = if c.is_new_bound() { " *" } else { "" };
+                let dual = if dual_upper_bounds().contains(&c) {
+                    " [DUAL ∈]"
+                } else {
+                    ""
+                };
+                format!("{}{}{}", c.notation(), marker, dual)
+            })
+            .collect();
+        names.sort();
+        out.push_str(&format!("level {l}:  {}\n", names.join("   |   ")));
+        if l > 0 {
+            out.push_str("              |\n");
+        }
+    }
+    out.push_str("\ninclusions drawn in the paper:\n");
+    for (a, b) in figure1_inclusions() {
+        out.push_str(&format!("  {}  ⊆  {}\n", a.notation(), b.notation()));
+    }
+    out.push_str("\n(*) new upper bound contributed by the paper\n");
+    out
+}
+
+/// The figure as a Graphviz DOT digraph (edges point from the smaller class upward).
+pub fn figure1_dot() -> String {
+    let mut out = String::new();
+    out.push_str("digraph figure1 {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for c in ComplexityClass::all() {
+        let style = if c.is_new_bound() {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let label = if dual_upper_bounds().contains(&c) {
+            format!("{}\\n(DUAL ∈)", c.notation())
+        } else {
+            c.notation().to_string()
+        };
+        out.push_str(&format!("  \"{:?}\" [label=\"{}\"{}];\n", c, label, style));
+    }
+    for (a, b) in figure1_inclusions() {
+        out.push_str(&format!("  \"{a:?}\" -> \"{b:?}\";\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_mentions_every_class_and_the_new_bounds() {
+        let text = figure1_ascii();
+        for c in ComplexityClass::all() {
+            assert!(text.contains(c.notation()), "missing {}", c.notation());
+        }
+        assert!(text.contains("(*) new upper bound"));
+        assert!(text.contains("DSPACE[log²n] *"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let dot = figure1_dot();
+        assert!(dot.starts_with("digraph figure1 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("->").count(), figure1_inclusions().len());
+        for c in ComplexityClass::all() {
+            assert!(dot.contains(&format!("\"{c:?}\"")));
+        }
+    }
+}

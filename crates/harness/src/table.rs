@@ -1,0 +1,148 @@
+//! Plain-text experiment tables.
+//!
+//! Every experiment produces a [`Table`]: a titled grid of strings that can be rendered
+//! as aligned text (for the console and `EXPERIMENTS.md`) or as TSV (for downstream
+//! plotting).  Keeping the type this simple means the experiment code, the Criterion
+//! benches and the documentation all consume exactly the same rows.
+
+/// A titled table of strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment identifier (e.g. `"E3"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each row must have exactly `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given identifier, title, and columns.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the number of columns).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} does not match {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&rule.join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as tab-separated values (with a header line).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Formats a boolean as a compact check mark for table cells.
+pub fn mark(ok: bool) -> String {
+    if ok { "yes".to_string() } else { "NO".to_string() }
+}
+
+/// Formats a floating-point value with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a duration in microseconds.
+pub fn micros(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("E0", "demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "23456".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.render();
+        assert!(text.contains("## E0 — demo"));
+        assert!(text.contains("alpha  1"));
+        let tsv = t.to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.starts_with("name\tvalue"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "NO");
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(micros(std::time::Duration::from_micros(1500)), "1500.0");
+    }
+}

@@ -1,0 +1,286 @@
+//! Monotone DNF formulas and their correspondence with simple hypergraphs.
+//!
+//! Section 1 of the paper recalls that DNF duality and hypergraph duality "are actually
+//! the same problem": the hypergraph associated with a monotone DNF has one hyperedge
+//! per disjunct (the set of variables of that disjunct), and the trivial reductions in
+//! both directions preserve duality.  This module provides the formula-side view:
+//! construction, irredundancy, evaluation, the semantic duality test
+//! `f(x) ≡ ¬g(¬x)` by exhaustive evaluation (for small variable counts), and the
+//! conversions.
+
+use crate::hypergraph::Hypergraph;
+use crate::vertex::Vertex;
+use crate::vset::VertexSet;
+use std::fmt;
+
+/// A monotone DNF formula `t₁ ∨ t₂ ∨ …` where each term `tᵢ` is a conjunction of
+/// positive variables, represented as the set of its variable indices.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MonotoneDnf {
+    num_vars: usize,
+    terms: Vec<VertexSet>,
+}
+
+impl MonotoneDnf {
+    /// The constant-false formula (no disjuncts) over `num_vars` variables.
+    pub fn constant_false(num_vars: usize) -> Self {
+        MonotoneDnf {
+            num_vars,
+            terms: Vec::new(),
+        }
+    }
+
+    /// The constant-true formula (a single empty disjunct) over `num_vars` variables.
+    pub fn constant_true(num_vars: usize) -> Self {
+        MonotoneDnf {
+            num_vars,
+            terms: vec![VertexSet::empty(num_vars)],
+        }
+    }
+
+    /// Builds a DNF from terms given as variable-index slices.
+    pub fn from_terms(num_vars: usize, terms: &[&[usize]]) -> Self {
+        MonotoneDnf {
+            num_vars,
+            terms: terms
+                .iter()
+                .map(|t| VertexSet::from_indices(num_vars, t.iter().copied()))
+                .collect(),
+        }
+    }
+
+    /// Number of propositional variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The terms (disjuncts) of the formula.
+    pub fn terms(&self) -> &[VertexSet] {
+        &self.terms
+    }
+
+    /// Number of disjuncts.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether no disjunct's variable set is covered by another disjunct's variable set
+    /// (the paper's irredundancy condition).
+    pub fn is_irredundant(&self) -> bool {
+        self.to_hypergraph().is_simple()
+    }
+
+    /// Removes redundant (absorbed) disjuncts, yielding the canonical irredundant form.
+    pub fn irredundant(&self) -> MonotoneDnf {
+        MonotoneDnf {
+            num_vars: self.num_vars,
+            terms: self.to_hypergraph().minimize().edges().to_vec(),
+        }
+    }
+
+    /// Evaluates the formula under the assignment `true_vars` (the set of variables set
+    /// to 1).
+    pub fn evaluate(&self, true_vars: &VertexSet) -> bool {
+        self.terms.iter().any(|t| t.is_subset(true_vars))
+    }
+
+    /// The hypergraph whose hyperedges are the variable sets of the disjuncts.
+    pub fn to_hypergraph(&self) -> Hypergraph {
+        Hypergraph::from_edges(self.num_vars, self.terms.iter().cloned())
+    }
+
+    /// The monotone DNF associated with a hypergraph (one disjunct per edge).
+    pub fn from_hypergraph(h: &Hypergraph) -> MonotoneDnf {
+        MonotoneDnf {
+            num_vars: h.num_vertices(),
+            terms: h.edges().to_vec(),
+        }
+    }
+
+    /// Semantic duality check by exhaustive evaluation of
+    /// `f(x₁,…,xₙ) ≡ ¬g(¬x₁,…,¬xₙ)` over all `2ⁿ` assignments.
+    ///
+    /// Panics if the number of variables exceeds 24 (use the algorithmic solvers for
+    /// larger instances).
+    pub fn is_dual_semantic(&self, g: &MonotoneDnf) -> bool {
+        let n = self.num_vars.max(g.num_vars);
+        assert!(n <= 24, "semantic duality check limited to 24 variables");
+        for mask in 0u64..(1u64 << n) {
+            let x = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+            let not_x = x.complement(n);
+            if self.evaluate(&x) == g.evaluate(&not_x) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Computes the dual formula explicitly (by dualizing the associated hypergraph).
+    pub fn dual(&self) -> MonotoneDnf {
+        let tr = crate::transversal::minimal_transversals(&self.to_hypergraph().minimize());
+        MonotoneDnf::from_hypergraph(&tr)
+    }
+
+    /// Parses a formula from a compact text form such as `"x0 x1 | x2 x3"`.
+    ///
+    /// Terms are separated by `|`; variables are `x<i>` or bare indices, separated by
+    /// whitespace or `&`.  An empty string denotes the constant-false formula and the
+    /// string `"true"` the constant-true one.
+    pub fn parse(text: &str) -> Result<MonotoneDnf, crate::error::HypergraphError> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Ok(MonotoneDnf::constant_false(0));
+        }
+        if text == "true" {
+            return Ok(MonotoneDnf::constant_true(0));
+        }
+        let mut terms: Vec<Vec<usize>> = Vec::new();
+        for (ti, term_text) in text.split('|').enumerate() {
+            let mut vars = Vec::new();
+            for token in term_text.split(|c: char| c.is_whitespace() || c == '&') {
+                let token = token.trim();
+                if token.is_empty() {
+                    continue;
+                }
+                let idx_text = token.strip_prefix('x').unwrap_or(token);
+                let idx: usize =
+                    idx_text
+                        .parse()
+                        .map_err(|_| crate::error::HypergraphError::Parse {
+                            line: ti + 1,
+                            message: format!("invalid variable token `{token}`"),
+                        })?;
+                vars.push(idx);
+            }
+            terms.push(vars);
+        }
+        let num_vars = terms
+            .iter()
+            .flat_map(|t| t.iter())
+            .map(|&i| i + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(MonotoneDnf {
+            num_vars,
+            terms: terms
+                .into_iter()
+                .map(|t| VertexSet::from_indices(num_vars, t))
+                .collect(),
+        })
+    }
+}
+
+impl fmt::Display for MonotoneDnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "false");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            if t.is_empty() {
+                write!(f, "true")?;
+            } else {
+                let vars: Vec<String> = t.iter().map(|v: Vertex| format!("x{}", v.0)).collect();
+                write!(f, "{}", vars.join(" "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for MonotoneDnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MonotoneDnf({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vset;
+
+    #[test]
+    fn evaluation_is_monotone() {
+        let f = MonotoneDnf::from_terms(3, &[&[0, 1], &[2]]);
+        assert!(f.evaluate(&vset![3; 0, 1]));
+        assert!(f.evaluate(&vset![3; 2]));
+        assert!(f.evaluate(&vset![3; 0, 1, 2]));
+        assert!(!f.evaluate(&vset![3; 0]));
+        assert!(!f.evaluate(&vset![3;]));
+    }
+
+    #[test]
+    fn constants() {
+        let t = MonotoneDnf::constant_true(3);
+        let f = MonotoneDnf::constant_false(3);
+        assert!(t.evaluate(&vset![3;]));
+        assert!(!f.evaluate(&vset![3; 0, 1, 2]));
+        // The constant-true and constant-false formulas are mutually dual.
+        assert!(t.is_dual_semantic(&f));
+        assert!(f.is_dual_semantic(&t));
+    }
+
+    #[test]
+    fn irredundancy() {
+        let f = MonotoneDnf::from_terms(3, &[&[0], &[0, 1]]);
+        assert!(!f.is_irredundant());
+        let g = f.irredundant();
+        assert!(g.is_irredundant());
+        assert_eq!(g.num_terms(), 1);
+        assert_eq!(g.terms()[0], vset![3; 0]);
+    }
+
+    #[test]
+    fn semantic_duality_triangle() {
+        // x0x1 | x1x2 | x0x2 is self-dual.
+        let f = MonotoneDnf::from_terms(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        assert!(f.is_dual_semantic(&f));
+        // x0 | x1 is dual to x0x1
+        let a = MonotoneDnf::from_terms(2, &[&[0], &[1]]);
+        let b = MonotoneDnf::from_terms(2, &[&[0, 1]]);
+        assert!(a.is_dual_semantic(&b));
+        assert!(!a.is_dual_semantic(&a));
+    }
+
+    #[test]
+    fn explicit_dual_matches_semantic_duality() {
+        let f = MonotoneDnf::from_terms(4, &[&[0, 1], &[2, 3]]);
+        let d = f.dual();
+        assert_eq!(d.num_terms(), 4);
+        assert!(f.is_dual_semantic(&d));
+        // And duality is an involution (up to term order).
+        let dd = d.dual();
+        assert!(dd.to_hypergraph().same_edge_set(&f.to_hypergraph()));
+    }
+
+    #[test]
+    fn hypergraph_round_trip() {
+        let f = MonotoneDnf::from_terms(5, &[&[0, 4], &[1, 2, 3]]);
+        let h = f.to_hypergraph();
+        assert_eq!(h.num_edges(), 2);
+        let back = MonotoneDnf::from_hypergraph(&h);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let f = MonotoneDnf::parse("x0 x1 | x2").unwrap();
+        assert_eq!(f.num_terms(), 2);
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.to_string(), "x0 x1 | x2");
+        let g = MonotoneDnf::parse("0 & 1 | 2").unwrap();
+        assert_eq!(g, f);
+        assert_eq!(MonotoneDnf::parse("").unwrap().num_terms(), 0);
+        assert_eq!(MonotoneDnf::parse("true").unwrap().num_terms(), 1);
+        assert_eq!(MonotoneDnf::constant_false(2).to_string(), "false");
+        assert!(MonotoneDnf::parse("x0 xa | x2").is_err());
+    }
+
+    #[test]
+    fn display_of_constant_true_term() {
+        let t = MonotoneDnf::constant_true(0);
+        assert_eq!(t.to_string(), "true");
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for hypergraph validation.
+
+use std::fmt;
+
+/// Errors produced while validating hypergraphs and DNFs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypergraphError {
+    /// The hypergraph is not simple: edge `contained` is a subset of edge `container`.
+    NotSimple {
+        /// Index of the edge that is contained in another one.
+        contained: usize,
+        /// Index of the containing edge.
+        container: usize,
+    },
+    /// A textual representation could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An operation required a non-empty hypergraph.
+    Empty,
+    /// A vertex index exceeded the declared universe.
+    VertexOutOfRange {
+        /// The out-of-range vertex index.
+        vertex: usize,
+        /// The declared universe size.
+        universe: usize,
+    },
+}
+
+impl fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypergraphError::NotSimple {
+                contained,
+                container,
+            } => write!(
+                f,
+                "hypergraph is not simple: edge #{contained} is contained in edge #{container}"
+            ),
+            HypergraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            HypergraphError::Empty => write!(f, "operation requires a non-empty hypergraph"),
+            HypergraphError::VertexOutOfRange { vertex, universe } => write!(
+                f,
+                "vertex {vertex} out of range for universe of size {universe}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HypergraphError::NotSimple {
+            contained: 1,
+            container: 2,
+        };
+        assert!(e.to_string().contains("edge #1"));
+        let p = HypergraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+        assert!(HypergraphError::Empty.to_string().contains("non-empty"));
+        let v = HypergraphError::VertexOutOfRange {
+            vertex: 9,
+            universe: 4,
+        };
+        assert!(v.to_string().contains("vertex 9"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<HypergraphError>();
+    }
+}

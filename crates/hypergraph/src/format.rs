@@ -1,0 +1,121 @@
+//! Plain-text serialization of hypergraphs.
+//!
+//! The format is line-oriented and intentionally trivial so that instances can be
+//! pasted into examples, stored next to experiment outputs, and diffed:
+//!
+//! ```text
+//! # n=4 m=2        (optional header; `n` fixes the universe size)
+//! 0 1              (one edge per line: whitespace-separated vertex indices)
+//! 2 3
+//! ```
+//!
+//! Blank lines and lines starting with `#` (other than the header) are ignored.
+
+use crate::error::HypergraphError;
+use crate::hypergraph::Hypergraph;
+use crate::vset::VertexSet;
+
+/// Serializes a hypergraph into the line-oriented text format.
+pub fn to_text(h: &Hypergraph) -> String {
+    h.to_string()
+}
+
+/// Parses a hypergraph from the line-oriented text format.
+pub fn from_text(text: &str) -> Result<Hypergraph, HypergraphError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<Vec<usize>> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            // Header of the form `# n=<N> m=<M>`; other comments are skipped.
+            for token in rest.split_whitespace() {
+                if let Some(v) = token.strip_prefix("n=") {
+                    declared_n = v.parse().ok();
+                }
+            }
+            continue;
+        }
+        let mut edge = Vec::new();
+        for token in line.split_whitespace() {
+            let idx: usize = token.parse().map_err(|_| HypergraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid vertex index `{token}`"),
+            })?;
+            edge.push(idx);
+        }
+        edges.push(edge);
+    }
+    let needed_n = edges
+        .iter()
+        .flat_map(|e| e.iter())
+        .map(|&i| i + 1)
+        .max()
+        .unwrap_or(0);
+    let n = match declared_n {
+        Some(n) if n >= needed_n => n,
+        Some(n) => {
+            return Err(HypergraphError::VertexOutOfRange {
+                vertex: needed_n - 1,
+                universe: n,
+            })
+        }
+        None => needed_n,
+    };
+    let mut hg = Hypergraph::new(n);
+    for e in edges {
+        hg.add_edge(VertexSet::from_indices(n, e));
+    }
+    Ok(hg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vset;
+
+    #[test]
+    fn round_trip() {
+        let h = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let text = to_text(&h);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.num_vertices(), 4);
+        assert!(back.same_edge_set(&h));
+    }
+
+    #[test]
+    fn parses_without_header_and_with_comments() {
+        let h = from_text("\n# just a comment\n0 2\n\n1 3 4\n").unwrap();
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_edges(), 2);
+        assert!(h.contains_edge(&vset![5; 0, 2]));
+        assert!(h.contains_edge(&vset![5; 1, 3, 4]));
+    }
+
+    #[test]
+    fn header_universe_larger_than_edges() {
+        let h = from_text("# n=10 m=1\n0 1\n").unwrap();
+        assert_eq!(h.num_vertices(), 10);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            from_text("0 x\n"),
+            Err(HypergraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_text("# n=2\n0 5\n"),
+            Err(HypergraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_hypergraph() {
+        let h = from_text("").unwrap();
+        assert_eq!(h.num_edges(), 0);
+        assert_eq!(h.num_vertices(), 0);
+    }
+}

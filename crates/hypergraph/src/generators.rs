@@ -1,0 +1,399 @@
+//! Instance generators: hypergraph families with analytically known duals, random
+//! instances, and controlled perturbations that break duality.
+//!
+//! The paper contains no data sets; all experiments in this repository run on the
+//! families below (see DESIGN.md, "Substitutions").  Each generator documents what the
+//! dual is and why, so tests can cross-check against the exact dualizer.
+
+use crate::hypergraph::Hypergraph;
+use crate::transversal::minimal_transversals;
+use crate::vertex::Vertex;
+use crate::vset::VertexSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pair of hypergraphs `(g, h)` that is known (by construction) to be dual or
+/// non-dual; the flag records which.
+#[derive(Debug, Clone)]
+pub struct LabelledInstance {
+    /// First hypergraph (the "G" of a `DUAL` instance).
+    pub g: Hypergraph,
+    /// Second hypergraph (the "H" of a `DUAL` instance).
+    pub h: Hypergraph,
+    /// Whether `h = tr(g)` holds by construction.
+    pub dual: bool,
+    /// Human-readable name used in experiment tables.
+    pub name: String,
+}
+
+impl LabelledInstance {
+    fn new(name: impl Into<String>, g: Hypergraph, h: Hypergraph, dual: bool) -> Self {
+        LabelledInstance {
+            g,
+            h,
+            dual,
+            name: name.into(),
+        }
+    }
+
+    /// Combined encoding size in bits (`|G| + |H|` edges times the universe), the `n`
+    /// that space bounds are expressed in.
+    pub fn encoding_bits(&self) -> usize {
+        self.g.encoding_bits() + self.h.encoding_bits()
+    }
+}
+
+/// The matching hypergraph `M(k)`: `k` disjoint pairs `{2i, 2i+1}`.
+///
+/// Its dual consists of the `2^k` sets picking exactly one vertex from each pair — the
+/// classical family on which the output of dualization is exponential in the input.
+pub fn matching_hypergraph(k: usize) -> Hypergraph {
+    let n = 2 * k;
+    let edges = (0..k).map(|i| VertexSet::from_indices(n, [2 * i, 2 * i + 1]));
+    Hypergraph::from_edges(n, edges)
+}
+
+/// The dual of [`matching_hypergraph`]: all `2^k` "one-from-each-pair" selections.
+pub fn matching_dual(k: usize) -> Hypergraph {
+    let n = 2 * k;
+    let mut edges = Vec::with_capacity(1 << k);
+    for mask in 0u64..(1u64 << k) {
+        let sel = (0..k).map(|i| 2 * i + ((mask >> i) & 1) as usize);
+        edges.push(VertexSet::from_indices(n, sel));
+    }
+    Hypergraph::from_edges(n, edges)
+}
+
+/// The `M(k)` instance as a labelled dual pair.
+pub fn matching_instance(k: usize) -> LabelledInstance {
+    LabelledInstance::new(
+        format!("matching(k={k})"),
+        matching_hypergraph(k),
+        matching_dual(k),
+        true,
+    )
+}
+
+/// The threshold hypergraph `TH(n, k)`: all `k`-element subsets of `{0,…,n-1}`.
+///
+/// Its dual is `TH(n, n-k+1)`: a set is a minimal transversal of the `k`-subsets iff it
+/// has exactly `n-k+1` elements.
+pub fn threshold_hypergraph(n: usize, k: usize) -> Hypergraph {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut edges = Vec::new();
+    let mut current: Vec<usize> = (0..k).collect();
+    loop {
+        edges.push(VertexSet::from_indices(n, current.iter().copied()));
+        // next k-combination in lexicographic order
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return Hypergraph::from_edges(n, edges);
+            }
+            i -= 1;
+            if current[i] != i + n - k {
+                current[i] += 1;
+                for j in i + 1..k {
+                    current[j] = current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The threshold instance `(TH(n,k), TH(n, n-k+1))` as a labelled dual pair.
+pub fn threshold_instance(n: usize, k: usize) -> LabelledInstance {
+    LabelledInstance::new(
+        format!("threshold(n={n},k={k})"),
+        threshold_hypergraph(n, k),
+        threshold_hypergraph(n, n - k + 1),
+        true,
+    )
+}
+
+/// The edge hypergraph of the cycle `C_n` (vertices `0..n`, edges `{i, i+1 mod n}`).
+pub fn cycle_graph(n: usize) -> Hypergraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let edges = (0..n).map(|i| VertexSet::from_indices(n, [i, (i + 1) % n]));
+    Hypergraph::from_edges(n, edges)
+}
+
+/// The edge hypergraph of the path `P_n` (vertices `0..n`, edges `{i, i+1}`).
+pub fn path_graph(n: usize) -> Hypergraph {
+    assert!(n >= 2, "path needs at least 2 vertices");
+    let edges = (0..n - 1).map(|i| VertexSet::from_indices(n, [i, i + 1]));
+    Hypergraph::from_edges(n, edges)
+}
+
+/// The edge hypergraph of the complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Hypergraph {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            edges.push(VertexSet::from_indices(n, [i, j]));
+        }
+    }
+    Hypergraph::from_edges(n, edges)
+}
+
+/// A graph instance `(edges of the graph, its minimal vertex covers)`, dual by
+/// definition of vertex covers; the dual side is computed exactly.
+pub fn graph_cover_instance(name: &str, graph: Hypergraph) -> LabelledInstance {
+    let covers = minimal_transversals(&graph);
+    LabelledInstance::new(
+        format!("graph-cover({name})"),
+        graph,
+        covers,
+        true,
+    )
+}
+
+/// A self-dual hypergraph built from a dual pair `(a, b)` over a universe `V` by the
+/// classical construction: over `V ∪ {p, q}` take
+/// `{ {p, q} } ∪ { A ∪ {p} | A ∈ a } ∪ { B ∪ {q} | B ∈ b }`.
+///
+/// The result is self-dual (`tr(S) = S`) precisely because `a` and `b` are dual.
+pub fn self_dual_from_pair(a: &Hypergraph, b: &Hypergraph) -> Hypergraph {
+    let n = a.num_vertices().max(b.num_vertices());
+    let p = n;
+    let q = n + 1;
+    let total = n + 2;
+    let mut edges = Vec::new();
+    edges.push(VertexSet::from_indices(total, [p, q]));
+    for e in a.edges() {
+        let mut ne = VertexSet::from_indices(total, e.iter().map(|v: Vertex| v.index()));
+        ne.insert(Vertex::from(p));
+        edges.push(ne);
+    }
+    for e in b.edges() {
+        let mut ne = VertexSet::from_indices(total, e.iter().map(|v: Vertex| v.index()));
+        ne.insert(Vertex::from(q));
+        edges.push(ne);
+    }
+    Hypergraph::from_edges(total, edges)
+}
+
+/// A self-dual instance `(S, S)` derived from the matching family.
+pub fn self_dual_instance(k: usize) -> LabelledInstance {
+    let s = self_dual_from_pair(&matching_hypergraph(k), &matching_dual(k));
+    LabelledInstance::new(format!("self-dual(k={k})"), s.clone(), s, true)
+}
+
+/// A random simple hypergraph with `m` edges over `n` vertices, edge sizes drawn
+/// uniformly from `size_range`.  The result is minimized, so it may have fewer than `m`
+/// edges.
+pub fn random_simple_hypergraph(
+    n: usize,
+    m: usize,
+    size_range: std::ops::RangeInclusive<usize>,
+    seed: u64,
+) -> Hypergraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<VertexSet> = Vec::new();
+    let max_attempts = m * 20 + 50;
+    let mut attempts = 0;
+    while edges.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let size = rng.gen_range(size_range.clone()).clamp(1, n);
+        let mut e = VertexSet::empty(n);
+        while e.len() < size {
+            e.insert(Vertex::from(rng.gen_range(0..n)));
+        }
+        edges.push(e);
+    }
+    Hypergraph::from_edges(n, edges).minimize()
+}
+
+/// A random **dual pair**: a random simple hypergraph together with its exact dual
+/// (computed by Berge multiplication — keep `n` and `m` moderate).
+pub fn random_dual_instance(n: usize, m: usize, max_edge: usize, seed: u64) -> LabelledInstance {
+    let g = random_simple_hypergraph(n, m, 2..=max_edge.max(2), seed);
+    let h = minimal_transversals(&g);
+    LabelledInstance::new(
+        format!("random-dual(n={n},m={m},seed={seed})"),
+        g,
+        h,
+        true,
+    )
+}
+
+/// Ways of perturbing a dual pair into a non-dual instance while keeping the instance
+/// well-formed (both hypergraphs simple, `H ⊆ tr(G)` preserved where stated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Remove one edge from `H`; `H ⊊ tr(G)`, so a new transversal exists.
+    DropDualEdge,
+    /// Remove one edge from `G`; generally breaks `G ⊆ tr(H)` (detected by the
+    /// precondition check) or duality.
+    DropPrimalEdge,
+}
+
+/// Applies a perturbation to a known-dual pair, producing a labelled **non-dual**
+/// instance.  Returns `None` if the perturbation is not applicable (e.g. the side to
+/// drop from has at most one edge).
+pub fn perturb(instance: &LabelledInstance, p: Perturbation, which: usize) -> Option<LabelledInstance> {
+    match p {
+        Perturbation::DropDualEdge => {
+            if instance.h.num_edges() <= 1 {
+                return None;
+            }
+            let mut h = instance.h.clone();
+            h.remove_edge(which % h.num_edges());
+            Some(LabelledInstance::new(
+                format!("{}-dropH#{which}", instance.name),
+                instance.g.clone(),
+                h,
+                false,
+            ))
+        }
+        Perturbation::DropPrimalEdge => {
+            if instance.g.num_edges() <= 1 {
+                return None;
+            }
+            let mut g = instance.g.clone();
+            g.remove_edge(which % g.num_edges());
+            Some(LabelledInstance::new(
+                format!("{}-dropG#{which}", instance.name),
+                g,
+                instance.h.clone(),
+                false,
+            ))
+        }
+    }
+}
+
+/// The standard small corpus used by integration tests and the experiment harness:
+/// a mix of dual and non-dual instances across all families, capped at sizes where the
+/// exact baseline can confirm the labels.
+pub fn standard_corpus() -> Vec<LabelledInstance> {
+    let mut out = Vec::new();
+    for k in 1..=5 {
+        out.push(matching_instance(k));
+    }
+    for (n, k) in [(4, 2), (5, 2), (5, 3), (6, 3), (7, 3)] {
+        out.push(threshold_instance(n, k));
+    }
+    out.push(graph_cover_instance("C5", cycle_graph(5)));
+    out.push(graph_cover_instance("C7", cycle_graph(7)));
+    out.push(graph_cover_instance("P6", path_graph(6)));
+    out.push(graph_cover_instance("K4", complete_graph(4)));
+    out.push(graph_cover_instance("K5", complete_graph(5)));
+    for k in 1..=3 {
+        out.push(self_dual_instance(k));
+    }
+    for seed in 0..4 {
+        out.push(random_dual_instance(7, 6, 4, seed));
+    }
+    // Non-dual perturbations of a representative subset.
+    let duals: Vec<LabelledInstance> = out.clone();
+    for (i, inst) in duals.iter().enumerate() {
+        if let Some(p) = perturb(inst, Perturbation::DropDualEdge, i) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transversal::are_dual_exact;
+
+    #[test]
+    fn matching_family_is_dual() {
+        for k in 1..=4 {
+            let inst = matching_instance(k);
+            assert_eq!(inst.g.num_edges(), k);
+            assert_eq!(inst.h.num_edges(), 1 << k);
+            assert!(inst.g.is_simple());
+            assert!(inst.h.is_simple());
+            assert!(are_dual_exact(&inst.h, &inst.g), "k={k}");
+        }
+    }
+
+    #[test]
+    fn threshold_family_is_dual() {
+        for (n, k) in [(3, 2), (4, 2), (5, 3), (6, 2)] {
+            let inst = threshold_instance(n, k);
+            assert!(are_dual_exact(&inst.h, &inst.g), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn threshold_counts_binomials() {
+        let h = threshold_hypergraph(5, 2);
+        assert_eq!(h.num_edges(), 10);
+        let h = threshold_hypergraph(6, 3);
+        assert_eq!(h.num_edges(), 20);
+        let h = threshold_hypergraph(4, 4);
+        assert_eq!(h.num_edges(), 1);
+        let h = threshold_hypergraph(4, 1);
+        assert_eq!(h.num_edges(), 4);
+    }
+
+    #[test]
+    fn graph_families_shapes() {
+        assert_eq!(cycle_graph(5).num_edges(), 5);
+        assert_eq!(path_graph(5).num_edges(), 4);
+        assert_eq!(complete_graph(5).num_edges(), 10);
+        assert!(cycle_graph(6).is_simple());
+        let inst = graph_cover_instance("C5", cycle_graph(5));
+        assert!(inst.dual);
+        assert!(are_dual_exact(&inst.h, &inst.g));
+    }
+
+    #[test]
+    fn self_dual_construction_is_self_dual() {
+        for k in 1..=3 {
+            let inst = self_dual_instance(k);
+            assert!(inst.g.same_edge_set(&inst.h));
+            assert!(are_dual_exact(&inst.g, &inst.h), "k={k}");
+        }
+    }
+
+    #[test]
+    fn random_hypergraphs_are_simple_and_deterministic() {
+        let a = random_simple_hypergraph(10, 8, 2..=4, 42);
+        let b = random_simple_hypergraph(10, 8, 2..=4, 42);
+        assert_eq!(a.canonicalized().edges(), b.canonicalized().edges());
+        assert!(a.is_simple());
+        let c = random_simple_hypergraph(10, 8, 2..=4, 43);
+        // overwhelmingly likely to differ
+        assert!(a.num_edges() == 0 || !a.same_edge_set(&c) || a.num_edges() != c.num_edges() || true);
+    }
+
+    #[test]
+    fn random_dual_instances_verify() {
+        for seed in 0..3 {
+            let inst = random_dual_instance(6, 5, 3, seed);
+            assert!(are_dual_exact(&inst.h, &inst.g), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn perturbations_break_duality() {
+        let inst = matching_instance(3);
+        let broken = perturb(&inst, Perturbation::DropDualEdge, 1).unwrap();
+        assert!(!broken.dual);
+        assert!(!are_dual_exact(&broken.h, &broken.g));
+        let broken_g = perturb(&inst, Perturbation::DropPrimalEdge, 0).unwrap();
+        assert!(!are_dual_exact(&broken_g.h, &broken_g.g));
+        // Not applicable when only one edge remains.
+        let tiny = matching_instance(1);
+        assert!(perturb(&tiny, Perturbation::DropPrimalEdge, 0).is_none());
+    }
+
+    #[test]
+    fn corpus_labels_are_correct() {
+        for inst in standard_corpus() {
+            assert_eq!(
+                are_dual_exact(&inst.h, &inst.g),
+                inst.dual,
+                "label mismatch for {}",
+                inst.name
+            );
+            assert!(inst.encoding_bits() > 0);
+        }
+    }
+}

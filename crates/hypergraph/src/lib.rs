@@ -1,0 +1,41 @@
+//! # qld-hypergraph
+//!
+//! Hypergraph substrate for the reproduction of Gottlob's
+//! *Deciding Monotone Duality and Identifying Frequent Itemsets in Quadratic Logspace*
+//! (PODS 2013).
+//!
+//! This crate provides:
+//!
+//! * [`Vertex`] and [`VertexSet`] — dense bitset vertex sets;
+//! * [`Hypergraph`] — simple hypergraphs, transversal predicates, the restriction
+//!   operations `G_S` / `H_S` used by the Boros–Makino decomposition, complements, and
+//!   frequency queries;
+//! * [`transversal`] — exact dualization (Berge multiplication) used as ground truth,
+//!   incremental dualization, and brute-force witnesses;
+//! * [`MonotoneDnf`] — the formula-side view of the `DUAL` problem and the trivial
+//!   reductions between DNFs and hypergraphs;
+//! * [`generators`] — families with analytically known duals, random instances, and
+//!   perturbations, used by tests, examples, and the experiment harness.
+//!
+//! Higher layers: `qld-core` implements the paper's quadratic-logspace decomposition on
+//! top of these types; `qld-fk` implements the classical baselines; the application
+//! crates (`qld-datamining`, `qld-keys`, `qld-coteries`) encode the reductions of
+//! Propositions 1.1–1.3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dnf;
+pub mod error;
+pub mod format;
+pub mod generators;
+mod hypergraph;
+pub mod transversal;
+mod vertex;
+mod vset;
+
+pub use dnf::MonotoneDnf;
+pub use error::HypergraphError;
+pub use hypergraph::Hypergraph;
+pub use vertex::Vertex;
+pub use vset::VertexSet;

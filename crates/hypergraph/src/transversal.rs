@@ -1,0 +1,337 @@
+//! Exact computation of minimal transversals (hypergraph dualization).
+//!
+//! The routines here are the *exponential* ground truth of the repository: Berge
+//! multiplication with absorption computes `tr(H)` exactly, and
+//! [`are_dual_exact`] / [`find_new_transversal_brute`] decide duality and exhibit
+//! witnesses by exhaustive means.  They are what the polylog-space algorithms of
+//! `qld-core` and the quasi-polynomial baselines of `qld-fk` are validated against in
+//! tests, and they serve as the "exact" baseline series in the experiment tables.
+
+use crate::hypergraph::Hypergraph;
+use crate::vset::VertexSet;
+
+/// Computes the set of all minimal transversals `tr(H)` by Berge multiplication.
+///
+/// Conventions (standard, and consistent with the paper's use of duality):
+/// * `tr(∅)` (no edges) is `{∅}` — the hypergraph with a single empty edge;
+/// * if `H` contains an empty edge, `tr(H)` is the empty hypergraph (no transversals).
+///
+/// The intermediate families are minimized after every edge, which keeps the procedure
+/// practical for the moderate instance sizes used in tests and experiments.
+pub fn minimal_transversals(h: &Hypergraph) -> Hypergraph {
+    let n = h.num_vertices();
+    if h.has_empty_edge() {
+        return Hypergraph::new(n);
+    }
+    // Start with the family {∅}: the minimal transversals of the edgeless hypergraph.
+    let mut current: Vec<VertexSet> = vec![VertexSet::empty(n)];
+    for edge in h.edges() {
+        let mut next: Vec<VertexSet> = Vec::new();
+        for t in &current {
+            if t.intersects(edge) {
+                push_minimal(&mut next, t.clone());
+            } else {
+                for v in edge.iter() {
+                    push_minimal(&mut next, t.with(v));
+                }
+            }
+        }
+        current = next;
+    }
+    Hypergraph::from_edges(n, current)
+}
+
+/// Inserts `candidate` into `family` keeping the family an antichain (minimal sets only).
+fn push_minimal(family: &mut Vec<VertexSet>, candidate: VertexSet) {
+    let mut i = 0;
+    while i < family.len() {
+        if family[i].is_subset(&candidate) {
+            return; // candidate is dominated (or duplicate)
+        }
+        if candidate.is_subset(&family[i]) {
+            family.swap_remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    family.push(candidate);
+}
+
+/// Exact duality test: are `g` and `h` dual, i.e. is `g = tr(h)` (as edge sets)?
+///
+/// Both inputs are minimized first, mirroring the paper's assumption that instances are
+/// given as irredundant DNFs / simple hypergraphs.
+pub fn are_dual_exact(g: &Hypergraph, h: &Hypergraph) -> bool {
+    let g = g.minimize();
+    let h = h.minimize();
+    let tr_h = minimal_transversals(&h);
+    tr_h.same_edge_set(&g)
+}
+
+/// Finds a *new transversal of `g` with respect to `h`* (a transversal of `g` containing
+/// no edge of `h`) by brute-force search over all subsets, smallest first.
+///
+/// Only intended for small universes (≤ ~24 vertices); returns `None` if none exists —
+/// which, under the precondition `h ⊆ tr(g)`, certifies `h = tr(g)`.
+pub fn find_new_transversal_brute(g: &Hypergraph, h: &Hypergraph) -> Option<VertexSet> {
+    let n = g.num_vertices().max(h.num_vertices());
+    assert!(n <= 26, "brute-force witness search limited to 26 vertices");
+    let mut subsets: Vec<u32> = (0u32..(1u32 << n)).collect();
+    subsets.sort_by_key(|m| m.count_ones());
+    for mask in subsets {
+        let t = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        if g.is_new_transversal(h, &t) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Incrementally maintained dualization: keeps `tr(H)` up to date as edges are added.
+///
+/// This mirrors how dualization is used in the data-mining loop (Section 1): borders are
+/// grown one set at a time and the transversal family must follow.
+#[derive(Clone, Debug)]
+pub struct IncrementalTransversals {
+    num_vertices: usize,
+    edges: Vec<VertexSet>,
+    transversals: Vec<VertexSet>,
+}
+
+impl IncrementalTransversals {
+    /// Creates the dualizer for an edgeless hypergraph over `num_vertices` vertices
+    /// (whose transversal family is `{∅}`).
+    pub fn new(num_vertices: usize) -> Self {
+        IncrementalTransversals {
+            num_vertices,
+            edges: Vec::new(),
+            transversals: vec![VertexSet::empty(num_vertices)],
+        }
+    }
+
+    /// Adds a hyperedge and updates the minimal transversal family.
+    pub fn add_edge(&mut self, edge: VertexSet) {
+        let mut next: Vec<VertexSet> = Vec::new();
+        if edge.is_empty() {
+            // No set can meet an empty edge.
+            self.transversals.clear();
+            self.edges.push(edge);
+            return;
+        }
+        for t in &self.transversals {
+            if t.intersects(&edge) {
+                push_minimal(&mut next, t.clone());
+            } else {
+                for v in edge.iter() {
+                    push_minimal(&mut next, t.with(v));
+                }
+            }
+        }
+        self.transversals = next;
+        self.edges.push(edge);
+    }
+
+    /// The edges added so far.
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph::from_edges(self.num_vertices, self.edges.iter().cloned())
+    }
+
+    /// The current minimal transversal family.
+    pub fn transversals(&self) -> Hypergraph {
+        Hypergraph::from_edges(self.num_vertices, self.transversals.iter().cloned())
+    }
+}
+
+/// Enumerates **all** transversals (not only minimal ones) of `h` within the universe —
+/// exponential, used only in tests on tiny instances.
+pub fn all_transversals_brute(h: &Hypergraph) -> Vec<VertexSet> {
+    let n = h.num_vertices();
+    assert!(n <= 20, "brute-force enumeration limited to 20 vertices");
+    let mut out = Vec::new();
+    for mask in 0u32..(1u32 << n) {
+        let t = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        if h.is_transversal(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Checks `g ⊆ tr(h)`: every edge of `g` is a **minimal** transversal of `h`.
+/// Returns the index of the first violating edge, if any.
+pub fn subset_of_transversals(g: &Hypergraph, h: &Hypergraph) -> Result<(), usize> {
+    for (i, e) in g.edges().iter().enumerate() {
+        if !h.is_minimal_transversal(e) {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+/// The self-duality test `tr(h) = h`, used by the coterie application (Prop. 1.3).
+pub fn is_self_dual_exact(h: &Hypergraph) -> bool {
+    are_dual_exact(h, h)
+}
+
+/// A convenient bundle: for a hypergraph `h`, return `(tr(h), |tr(h)|)` along with basic
+/// statistics used by the experiment harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualizationStats {
+    /// Number of edges of the input.
+    pub input_edges: usize,
+    /// Number of minimal transversals.
+    pub output_edges: usize,
+    /// Largest minimal transversal.
+    pub max_transversal_size: usize,
+}
+
+/// Computes `tr(h)` together with [`DualizationStats`].
+pub fn dualize_with_stats(h: &Hypergraph) -> (Hypergraph, DualizationStats) {
+    let tr = minimal_transversals(h);
+    let stats = DualizationStats {
+        input_edges: h.num_edges(),
+        output_edges: tr.num_edges(),
+        max_transversal_size: tr.max_edge_size(),
+    };
+    (tr, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vset;
+
+    #[test]
+    fn triangle_transversals_are_pairs() {
+        let k3 = Hypergraph::from_index_edges(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        let tr = minimal_transversals(&k3);
+        assert_eq!(tr.num_edges(), 3);
+        assert!(tr.contains_edge(&vset![3; 0, 1]));
+        assert!(tr.contains_edge(&vset![3; 1, 2]));
+        assert!(tr.contains_edge(&vset![3; 0, 2]));
+        // K3's edge set is self-dual
+        assert!(is_self_dual_exact(&k3));
+    }
+
+    #[test]
+    fn path_graph_transversals() {
+        // Path 0-1-2-3: edges {0,1},{1,2},{2,3}; minimal vertex covers: {1,2},{1,3},{0,2}
+        let p4 = Hypergraph::from_index_edges(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let tr = minimal_transversals(&p4);
+        assert_eq!(tr.num_edges(), 3);
+        assert!(tr.contains_edge(&vset![4; 1, 2]));
+        assert!(tr.contains_edge(&vset![4; 1, 3]));
+        assert!(tr.contains_edge(&vset![4; 0, 2]));
+    }
+
+    #[test]
+    fn degenerate_conventions() {
+        let empty = Hypergraph::new(3);
+        let tr = minimal_transversals(&empty);
+        assert_eq!(tr.num_edges(), 1);
+        assert!(tr.edge(0).is_empty());
+
+        let with_empty_edge = Hypergraph::from_edges(3, [VertexSet::empty(3)]);
+        let tr2 = minimal_transversals(&with_empty_edge);
+        assert_eq!(tr2.num_edges(), 0);
+
+        // Round trip between the two degenerate duals.
+        assert!(are_dual_exact(&tr, &empty));
+    }
+
+    #[test]
+    fn double_dualization_is_identity_on_simple_hypergraphs() {
+        let h = Hypergraph::from_index_edges(5, &[&[0, 1], &[2, 3, 4], &[1, 4]]);
+        let h = h.minimize();
+        let tr = minimal_transversals(&h);
+        let back = minimal_transversals(&tr);
+        assert!(back.same_edge_set(&h));
+    }
+
+    #[test]
+    fn duality_of_matching_pair() {
+        // G = {{0,1},{2,3}}, tr(G) = {{0,2},{0,3},{1,2},{1,3}}
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let tr = minimal_transversals(&g);
+        assert_eq!(tr.num_edges(), 4);
+        assert!(are_dual_exact(&tr, &g));
+        assert!(are_dual_exact(&g, &tr));
+        // dropping an edge of the dual breaks duality
+        let mut broken = tr.clone();
+        broken.remove_edge(0);
+        assert!(!are_dual_exact(&broken, &g));
+    }
+
+    #[test]
+    fn new_transversal_brute_finds_witness_exactly_when_not_dual() {
+        let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let full_dual = minimal_transversals(&g);
+        assert!(find_new_transversal_brute(&g, &full_dual).is_none());
+        let mut partial = full_dual.clone();
+        let removed = partial.remove_edge(2);
+        let w = find_new_transversal_brute(&g, &partial).expect("witness must exist");
+        assert!(g.is_new_transversal(&partial, &w));
+        // the witness must contain the missing minimal transversal (here: equal or superset)
+        assert!(removed.is_subset(&w) || g.is_transversal(&w));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let edges: Vec<VertexSet> = vec![
+            vset![5; 0, 1],
+            vset![5; 1, 2, 3],
+            vset![5; 3, 4],
+            vset![5; 0, 4],
+        ];
+        let mut inc = IncrementalTransversals::new(5);
+        for e in &edges {
+            inc.add_edge(e.clone());
+        }
+        let batch = minimal_transversals(&Hypergraph::from_edges(5, edges));
+        assert!(inc.transversals().same_edge_set(&batch));
+        assert_eq!(inc.hypergraph().num_edges(), 4);
+    }
+
+    #[test]
+    fn incremental_empty_edge_kills_all_transversals() {
+        let mut inc = IncrementalTransversals::new(3);
+        inc.add_edge(vset![3; 0]);
+        inc.add_edge(VertexSet::empty(3));
+        assert_eq!(inc.transversals().num_edges(), 0);
+    }
+
+    #[test]
+    fn all_transversals_brute_counts() {
+        let h = Hypergraph::from_index_edges(2, &[&[0, 1]]);
+        // subsets meeting {0,1}: {0},{1},{0,1}
+        assert_eq!(all_transversals_brute(&h).len(), 3);
+    }
+
+    #[test]
+    fn subset_of_transversals_check() {
+        let g = Hypergraph::from_index_edges(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        let tr = minimal_transversals(&g);
+        assert!(subset_of_transversals(&tr, &g).is_ok());
+        let bad = Hypergraph::from_index_edges(3, &[&[0, 1, 2]]);
+        assert_eq!(subset_of_transversals(&bad, &g), Err(0));
+    }
+
+    #[test]
+    fn stats_report() {
+        let h = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+        let (tr, stats) = dualize_with_stats(&h);
+        assert_eq!(stats.input_edges, 2);
+        assert_eq!(stats.output_edges, 4);
+        assert_eq!(stats.max_transversal_size, 2);
+        assert_eq!(tr.num_edges(), 4);
+    }
+
+    #[test]
+    fn transversals_of_single_edge() {
+        let h = Hypergraph::from_index_edges(4, &[&[1, 3]]);
+        let tr = minimal_transversals(&h);
+        assert_eq!(tr.num_edges(), 2);
+        assert!(tr.contains_edge(&vset![4; 1]));
+        assert!(tr.contains_edge(&vset![4; 3]));
+    }
+}

@@ -1,0 +1,83 @@
+//! Vertices of hypergraphs.
+//!
+//! A vertex is a small non-negative integer index into the vertex universe of a
+//! [`crate::Hypergraph`].  Using a newtype (rather than a bare `usize`) keeps vertex
+//! indices from being confused with edge indices or attribute positions in the
+//! surrounding code, at zero runtime cost.
+
+use std::fmt;
+
+/// A vertex identifier.
+///
+/// Vertices are dense indices `0..n` into the universe of a hypergraph.  In the data
+/// mining view (Section 1 of the paper) a vertex is an *item* / attribute of a
+/// Boolean-valued relation; in the relational-key view it is an attribute of a relation
+/// schema; in the coterie view it is a node of a distributed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vertex(pub u32);
+
+impl Vertex {
+    /// Creates a vertex from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Vertex(index)
+    }
+
+    /// Returns the raw index of the vertex.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Vertex {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Vertex(v)
+    }
+}
+
+impl From<usize> for Vertex {
+    #[inline]
+    fn from(v: usize) -> Self {
+        Vertex(v as u32)
+    }
+}
+
+impl From<Vertex> for usize {
+    #[inline]
+    fn from(v: Vertex) -> Self {
+        v.index()
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_index() {
+        let v = Vertex::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(usize::from(v), 7);
+        assert_eq!(Vertex::from(7usize), v);
+        assert_eq!(Vertex::from(7u32), v);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Vertex::new(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Vertex::new(1) < Vertex::new(2));
+        assert_eq!(Vertex::new(5), Vertex::new(5));
+    }
+}

@@ -1,0 +1,565 @@
+//! Dense bit-set representation of vertex sets.
+//!
+//! Hyperedges, transversals, itemsets, keys and quorums are all subsets of a small
+//! universe `0..n`.  [`VertexSet`] stores such a subset as a vector of 64-bit words so
+//! that the set operations the duality algorithms perform in their inner loops
+//! (intersection tests, subset tests, differences) run over machine words.
+
+use crate::vertex::Vertex;
+use std::cmp::Ordering;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A subset of a vertex universe `{0, 1, …, capacity-1}`, stored as a bitmap.
+///
+/// The set remembers the universe size it was created with (`capacity`); all binary
+/// operations require both operands to share that universe, which is checked with a
+/// debug assertion.  The capacity is deliberately *not* part of equality: two sets with
+/// the same members compare equal even if allocated for different universes, which makes
+/// restriction operations (`G_S`, `H_S` from the paper) straightforward.
+#[derive(Clone, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VertexSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl VertexSet {
+    /// Creates an empty set over a universe of `capacity` vertices.
+    pub fn empty(capacity: usize) -> Self {
+        let n_words = capacity.div_ceil(WORD_BITS).max(1);
+        VertexSet {
+            words: vec![0; n_words],
+            capacity,
+        }
+    }
+
+    /// Creates the full set `{0, …, capacity-1}`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::empty(capacity);
+        for i in 0..capacity {
+            s.insert(Vertex::from(i));
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of vertex indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(capacity: usize, iter: I) -> Self {
+        let mut s = Self::empty(capacity);
+        for i in iter {
+            s.insert(Vertex::from(i));
+        }
+        s
+    }
+
+    /// Creates a singleton set `{v}`.
+    pub fn singleton(capacity: usize, v: Vertex) -> Self {
+        let mut s = Self::empty(capacity);
+        s.insert(v);
+        s
+    }
+
+    /// The universe size this set was allocated for.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Adds a vertex; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        let i = v.index();
+        assert!(
+            i < self.capacity,
+            "vertex {i} out of range for universe of size {}",
+            self.capacity
+        );
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes a vertex; returns `true` if it was present.
+    pub fn remove(&mut self, v: Vertex) -> bool {
+        let i = v.index();
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: Vertex) -> bool {
+        let i = v.index();
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(Vertex::from(wi * WORD_BITS + b))
+                }
+            })
+        })
+    }
+
+    /// Returns the members as a sorted `Vec` of raw indices.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.iter().map(|v| v.index()).collect()
+    }
+
+    /// The smallest member, if any.
+    pub fn min_vertex(&self) -> Option<Vertex> {
+        self.iter().next()
+    }
+
+    /// The largest member, if any.
+    pub fn max_vertex(&self) -> Option<Vertex> {
+        for (wi, &word) in self.words.iter().enumerate().rev() {
+            if word != 0 {
+                let b = 63 - word.leading_zeros() as usize;
+                return Some(Vertex::from(wi * WORD_BITS + b));
+            }
+        }
+        None
+    }
+
+    fn check_compat(&self, other: &VertexSet) {
+        debug_assert_eq!(
+            self.words.len(),
+            other.words.len(),
+            "vertex sets over different universes ({} vs {})",
+            self.capacity,
+            other.capacity
+        );
+    }
+
+    /// Set union `self ∪ other`.
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        self.check_compat(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        VertexSet {
+            words,
+            capacity: self.capacity.max(other.capacity),
+        }
+    }
+
+    /// Set intersection `self ∩ other`.
+    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
+        self.check_compat(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        VertexSet {
+            words,
+            capacity: self.capacity.max(other.capacity),
+        }
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &VertexSet) -> VertexSet {
+        self.check_compat(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        VertexSet {
+            words,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Complement with respect to the universe `{0, …, universe-1}`.
+    pub fn complement(&self, universe: usize) -> VertexSet {
+        let mut out = VertexSet::empty(universe);
+        for i in 0..universe {
+            let v = Vertex::from(i);
+            if !self.contains(v) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Whether the two sets share at least one element.
+    pub fn intersects(&self, other: &VertexSet) -> bool {
+        self.check_compat(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &VertexSet) -> bool {
+        self.check_compat(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether `self ⊂ other` (proper subset).
+    pub fn is_proper_subset(&self, other: &VertexSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn is_superset(&self, other: &VertexSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the sets are disjoint.
+    pub fn is_disjoint(&self, other: &VertexSet) -> bool {
+        !self.intersects(other)
+    }
+
+    /// Number of elements shared with `other`.
+    pub fn intersection_len(&self, other: &VertexSet) -> usize {
+        self.check_compat(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &VertexSet) {
+        self.check_compat(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &VertexSet) {
+        self.check_compat(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference.
+    pub fn subtract(&mut self, other: &VertexSet) {
+        self.check_compat(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self − {v}` as a fresh set.
+    pub fn without(&self, v: Vertex) -> VertexSet {
+        let mut s = self.clone();
+        s.remove(v);
+        s
+    }
+
+    /// Returns `self ∪ {v}` as a fresh set.
+    pub fn with(&self, v: Vertex) -> VertexSet {
+        let mut s = self.clone();
+        if v.index() >= s.capacity {
+            s.grow(v.index() + 1);
+        }
+        s.insert(v);
+        s
+    }
+
+    /// Grows the universe to at least `capacity` (members are preserved).
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.capacity = capacity;
+            let n_words = capacity.div_ceil(WORD_BITS).max(1);
+            self.words.resize(n_words, 0);
+        }
+    }
+
+    /// Lexicographic comparison by sorted member lists (used by the deterministic
+    /// tie-breaking rules fixed in Section 2 of the paper).
+    pub fn lex_cmp(&self, other: &VertexSet) -> Ordering {
+        let mut a = self.iter();
+        let mut b = other.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(x), Some(y)) => match x.cmp(&y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                },
+            }
+        }
+    }
+
+    /// Encoded length in bits when the set is written down as a bitmap over its
+    /// universe.  Used by the experiment harness when reporting input sizes.
+    pub fn encoding_bits(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl PartialEq for VertexSet {
+    fn eq(&self, other: &Self) -> bool {
+        let max_words = self.words.len().max(other.words.len());
+        for i in 0..max_words {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            if a != b {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl std::hash::Hash for VertexSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only up to the last non-zero word so that equal sets over different
+        // universes hash identically (consistent with PartialEq).
+        let mut last = self.words.len();
+        while last > 0 && self.words[last - 1] == 0 {
+            last -= 1;
+        }
+        self.words[..last].hash(state);
+    }
+}
+
+impl PartialOrd for VertexSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VertexSet {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.lex_cmp(other)
+    }
+}
+
+impl fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", v.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for VertexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Vertex> for VertexSet {
+    /// Collects vertices into a set whose capacity is just large enough.
+    fn from_iter<T: IntoIterator<Item = Vertex>>(iter: T) -> Self {
+        let items: Vec<Vertex> = iter.into_iter().collect();
+        let cap = items.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut s = VertexSet::empty(cap);
+        for v in items {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+/// Convenience macro for building a [`VertexSet`] in tests and examples:
+/// `vset![capacity; 0, 2, 5]`.
+#[macro_export]
+macro_rules! vset {
+    ($cap:expr $(;)?) => {
+        $crate::VertexSet::empty($cap)
+    };
+    ($cap:expr; $($v:expr),* $(,)?) => {{
+        let mut s = $crate::VertexSet::empty($cap);
+        $( s.insert($crate::Vertex::from($v as usize)); )*
+        s
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = VertexSet::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = VertexSet::full(10);
+        assert_eq!(f.len(), 10);
+        assert!(f.contains(Vertex::new(0)));
+        assert!(f.contains(Vertex::new(9)));
+        assert!(!f.contains(Vertex::new(10)));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VertexSet::empty(70);
+        assert!(s.insert(Vertex::new(3)));
+        assert!(!s.insert(Vertex::new(3)));
+        assert!(s.insert(Vertex::new(65)));
+        assert!(s.contains(Vertex::new(3)));
+        assert!(s.contains(Vertex::new(65)));
+        assert!(!s.contains(Vertex::new(64)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(Vertex::new(3)));
+        assert!(!s.remove(Vertex::new(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s = VertexSet::from_indices(130, [5, 0, 127, 64, 63]);
+        assert_eq!(s.to_indices(), vec![0, 5, 63, 64, 127]);
+        assert_eq!(s.min_vertex(), Some(Vertex::new(0)));
+        assert_eq!(s.max_vertex(), Some(Vertex::new(127)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = VertexSet::from_indices(10, [0, 1, 2, 3]);
+        let b = VertexSet::from_indices(10, [2, 3, 4, 5]);
+        assert_eq!(a.union(&b).to_indices(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.intersection(&b).to_indices(), vec![2, 3]);
+        assert_eq!(a.difference(&b).to_indices(), vec![0, 1]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_len(&b), 2);
+        let c = VertexSet::from_indices(10, [7, 8]);
+        assert!(!a.intersects(&c));
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = VertexSet::from_indices(10, [1, 2]);
+        let b = VertexSet::from_indices(10, [1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(b.is_superset(&a));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+    }
+
+    #[test]
+    fn complement_with_respect_to_universe() {
+        let a = VertexSet::from_indices(5, [0, 2]);
+        assert_eq!(a.complement(5).to_indices(), vec![1, 3, 4]);
+        assert_eq!(VertexSet::empty(3).complement(3).to_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let a = VertexSet::from_indices(5, [1, 2]);
+        let b = VertexSet::from_indices(100, [1, 2]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let a = VertexSet::from_indices(10, [0, 5]);
+        let b = VertexSet::from_indices(10, [0, 6]);
+        let c = VertexSet::from_indices(10, [0]);
+        assert_eq!(a.lex_cmp(&b), Ordering::Less);
+        assert_eq!(b.lex_cmp(&a), Ordering::Greater);
+        assert_eq!(c.lex_cmp(&a), Ordering::Less); // prefix is smaller
+        assert_eq!(a.lex_cmp(&a), Ordering::Equal);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn with_and_without() {
+        let a = VertexSet::from_indices(10, [1, 2]);
+        assert_eq!(a.with(Vertex::new(5)).to_indices(), vec![1, 2, 5]);
+        assert_eq!(a.without(Vertex::new(1)).to_indices(), vec![2]);
+        // original untouched
+        assert_eq!(a.to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn grow_preserves_members() {
+        let mut a = VertexSet::from_indices(4, [0, 3]);
+        a.grow(200);
+        assert!(a.contains(Vertex::new(3)));
+        a.insert(Vertex::new(190));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn from_iterator_and_macro() {
+        let s: VertexSet = [Vertex::new(2), Vertex::new(4)].into_iter().collect();
+        assert_eq!(s.to_indices(), vec![2, 4]);
+        let m = vset![8; 1, 3, 5];
+        assert_eq!(m.to_indices(), vec![1, 3, 5]);
+        let e = vset![8];
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn in_place_operations() {
+        let mut a = VertexSet::from_indices(10, [0, 1, 2]);
+        let b = VertexSet::from_indices(10, [1, 2, 3]);
+        a.union_with(&b);
+        assert_eq!(a.to_indices(), vec![0, 1, 2, 3]);
+        a.intersect_with(&b);
+        assert_eq!(a.to_indices(), vec![1, 2, 3]);
+        a.subtract(&VertexSet::from_indices(10, [3]));
+        assert_eq!(a.to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = VertexSet::from_indices(10, [1, 4]);
+        assert_eq!(format!("{s}"), "{1,4}");
+        assert_eq!(format!("{:?}", VertexSet::empty(3)), "{}");
+    }
+}

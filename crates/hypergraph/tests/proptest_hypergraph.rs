@@ -1,0 +1,146 @@
+//! Property-based tests for the hypergraph substrate.
+
+use proptest::prelude::*;
+use qld_hypergraph::transversal::{are_dual_exact, minimal_transversals, IncrementalTransversals};
+use qld_hypergraph::{Hypergraph, Vertex, VertexSet};
+
+/// Strategy: a random vertex set over a universe of `n` vertices.
+fn arb_vset(n: usize) -> impl Strategy<Value = VertexSet> {
+    prop::collection::vec(0..n, 0..=n).prop_map(move |idx| VertexSet::from_indices(n, idx))
+}
+
+/// Strategy: a random (not necessarily simple) hypergraph with up to `m` edges over `n`
+/// vertices, with non-empty edges.
+fn arb_hypergraph(n: usize, m: usize) -> impl Strategy<Value = Hypergraph> {
+    prop::collection::vec(prop::collection::vec(0..n, 1..=n.max(1)), 1..=m)
+        .prop_map(move |edges| {
+            Hypergraph::from_edges(
+                n,
+                edges
+                    .into_iter()
+                    .map(|e| VertexSet::from_indices(n, e)),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn set_union_intersection_laws(a in arb_vset(12), b in arb_vset(12)) {
+        // commutativity
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        // absorption: a ∪ (a ∩ b) = a
+        prop_assert_eq!(a.union(&a.intersection(&b)), a.clone());
+        // inclusion–exclusion on cardinalities
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+        // difference and intersection partition a
+        prop_assert_eq!(a.difference(&b).len() + a.intersection(&b).len(), a.len());
+    }
+
+    #[test]
+    fn complement_involution(a in arb_vset(12)) {
+        let n = 12;
+        prop_assert_eq!(a.complement(n).complement(n), a.clone());
+        prop_assert_eq!(a.complement(n).len(), n - a.len());
+        prop_assert!(a.complement(n).is_disjoint(&a));
+    }
+
+    #[test]
+    fn subset_is_partial_order(a in arb_vset(10), b in arb_vset(10), c in arb_vset(10)) {
+        prop_assert!(a.is_subset(&a));
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        if a.is_subset(&b) && b.is_subset(&c) {
+            prop_assert!(a.is_subset(&c));
+        }
+    }
+
+    #[test]
+    fn minimize_yields_simple_hypergraph_with_same_transversals(h in arb_hypergraph(7, 6)) {
+        let m = h.minimize();
+        prop_assert!(m.is_simple());
+        // Absorption does not change which sets are transversals.
+        let t = VertexSet::full(7);
+        prop_assert_eq!(h.is_transversal(&t), m.is_transversal(&t));
+        for mask in 0u32..(1 << 7) {
+            let s = VertexSet::from_indices(7, (0..7).filter(|i| mask & (1 << i) != 0));
+            prop_assert_eq!(h.is_transversal(&s), m.is_transversal(&s));
+        }
+    }
+
+    #[test]
+    fn transversal_family_is_correct_and_minimal(h in arb_hypergraph(7, 5)) {
+        let tr = minimal_transversals(&h);
+        prop_assert!(tr.is_simple());
+        for t in tr.edges() {
+            prop_assert!(h.is_minimal_transversal(t));
+        }
+        // every brute-force transversal contains a member of tr(h)
+        for mask in 0u32..(1 << 7) {
+            let s = VertexSet::from_indices(7, (0..7).filter(|i| mask & (1 << i) != 0));
+            if h.is_transversal(&s) {
+                prop_assert!(tr.edges().iter().any(|t| t.is_subset(&s)));
+            }
+        }
+    }
+
+    #[test]
+    fn double_dualization_identity(h in arb_hypergraph(7, 5)) {
+        let m = h.minimize();
+        let tr = minimal_transversals(&m);
+        let back = minimal_transversals(&tr);
+        prop_assert!(back.same_edge_set(&m));
+        // duality is symmetric
+        prop_assert!(are_dual_exact(&tr, &m));
+        prop_assert!(are_dual_exact(&m, &tr));
+    }
+
+    #[test]
+    fn incremental_dualization_matches_batch(h in arb_hypergraph(7, 6)) {
+        let mut inc = IncrementalTransversals::new(h.num_vertices());
+        for e in h.edges() {
+            inc.add_edge(e.clone());
+        }
+        let batch = minimal_transversals(&h);
+        prop_assert!(inc.transversals().same_edge_set(&batch));
+    }
+
+    #[test]
+    fn restrictions_are_consistent(h in arb_hypergraph(8, 6), s in arb_vset(8)) {
+        let gs = h.restrict_intersections(&s);
+        for e in gs.edges() {
+            prop_assert!(e.is_subset(&s));
+        }
+        prop_assert!(gs.num_edges() <= h.num_edges());
+        let hs = h.restrict_subedges(&s);
+        for e in hs.edges() {
+            prop_assert!(e.is_subset(&s));
+            prop_assert!(h.contains_edge(e));
+        }
+    }
+
+    #[test]
+    fn minimize_transversal_produces_minimal(h in arb_hypergraph(8, 6)) {
+        let full = VertexSet::full(8);
+        if h.is_transversal(&full) {
+            let m = h.minimize_transversal(&full);
+            prop_assert!(h.is_minimal_transversal(&m));
+        }
+    }
+
+    #[test]
+    fn frequent_vertices_threshold(h in arb_hypergraph(8, 6)) {
+        let freq = h.vertex_frequencies();
+        let thr = h.num_edges() / 2;
+        let fv = h.frequent_vertices(thr);
+        for i in 0..8 {
+            prop_assert_eq!(fv.contains(Vertex::from(i)), freq[i] > thr);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The additional-key-for-instance problem (Proposition 1.2).
+//!
+//! Given a relational instance `R` and a set `K` of minimal keys of `R`, decide whether
+//! `R` has a minimal key not already in `K`.  Since the minimal keys of `R` are exactly
+//! the minimal transversals of the disagreement hypergraph `D(R)` (which is
+//! logspace-computable from `R`), the question "is `K` complete?" is precisely the
+//! `DUAL` instance `(D(R), K)`, and a duality witness converts into a concrete new
+//! minimal key.
+
+use crate::instance::RelationInstance;
+use crate::keys::disagreement_hypergraph;
+use qld_core::{DualError, DualitySolver, DualityResult, NonDualWitness, QuadLogspaceSolver};
+use qld_hypergraph::{Hypergraph, VertexSet};
+
+/// The outcome of the additional-key check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdditionalKey {
+    /// `K` already contains every minimal key of `R`.
+    Complete,
+    /// `R` has a further minimal key, reported here.
+    Found(VertexSet),
+    /// One of the provided sets is not a minimal key of `R`.
+    Invalid(VertexSet),
+}
+
+/// Decides the additional-key problem with the given duality solver.
+pub fn additional_key_with(
+    r: &RelationInstance,
+    known_keys: &Hypergraph,
+    solver: &dyn DualitySolver,
+) -> Result<AdditionalKey, DualError> {
+    // Validate the input: every provided set must be a minimal key.
+    for k in known_keys.edges() {
+        if !r.is_minimal_key(k) {
+            return Ok(AdditionalKey::Invalid(k.clone()));
+        }
+    }
+    let d = disagreement_hypergraph(r);
+    let n = r.num_attributes();
+    let known = if known_keys.num_vertices() < n {
+        Hypergraph::from_edges(n, known_keys.edges().iter().cloned())
+    } else {
+        known_keys.clone()
+    };
+
+    // Degenerate cases of the disagreement hypergraph:
+    // no distinct row pairs (≤ 1 row) → D = ∅, the only minimal key is ∅;
+    // two identical rows → ∅ ∈ D, no key exists.
+    if d.is_empty() {
+        return Ok(
+            if known.num_edges() == 1 && known.edge(0).is_empty() {
+                AdditionalKey::Complete
+            } else {
+                AdditionalKey::Found(VertexSet::empty(n))
+            },
+        );
+    }
+    if d.has_empty_edge() {
+        // No keys at all: K must be empty to be complete (validation already rejected
+        // any non-key, so `known` is empty here).
+        return Ok(AdditionalKey::Complete);
+    }
+
+    match solver.decide(&d, &known)? {
+        DualityResult::Dual => Ok(AdditionalKey::Complete),
+        DualityResult::NotDual(witness) => {
+            let new_key = key_from_witness(r, &d, &known, &witness);
+            Ok(AdditionalKey::Found(new_key))
+        }
+    }
+}
+
+/// Decides the additional-key problem with the paper's quadratic-logspace solver.
+pub fn additional_key(
+    r: &RelationInstance,
+    known_keys: &Hypergraph,
+) -> Result<AdditionalKey, DualError> {
+    additional_key_with(r, known_keys, &QuadLogspaceSolver::default())
+}
+
+/// Enumerates **all** minimal keys incrementally, one duality call per key (plus the
+/// final confirmation) — the enumeration procedure mentioned in Proposition 1.2.
+pub fn enumerate_minimal_keys_with(
+    r: &RelationInstance,
+    solver: &dyn DualitySolver,
+) -> Result<(Hypergraph, usize), DualError> {
+    let n = r.num_attributes();
+    let mut known = Hypergraph::new(n);
+    let mut calls = 0;
+    loop {
+        calls += 1;
+        match additional_key_with(r, &known, solver)? {
+            AdditionalKey::Complete => return Ok((known, calls)),
+            AdditionalKey::Found(k) => {
+                debug_assert!(!known.contains_edge(&k));
+                known.add_edge(k);
+            }
+            AdditionalKey::Invalid(k) => unreachable!("internally produced invalid key {k}"),
+        }
+    }
+}
+
+/// Converts a duality witness for `(D(R), K)` into a new minimal key.
+fn key_from_witness(
+    r: &RelationInstance,
+    d: &Hypergraph,
+    known: &Hypergraph,
+    witness: &NonDualWitness,
+) -> VertexSet {
+    let n = r.num_attributes();
+    let candidate = match witness {
+        // A transversal of D containing no known key: shrink it to a minimal
+        // transversal of D — a minimal key, and new because it contains no known key.
+        NonDualWitness::NewTransversalOfG(t) => {
+            let mut t = t.clone();
+            t.grow(n);
+            t
+        }
+        // A transversal of K containing no D-edge.  Its complement W is then a
+        // transversal of D (every D-edge meets W), i.e. a key, and W contains no known
+        // key (each known key meets t, hence sticks out of W); shrinking W yields a new
+        // minimal key.
+        NonDualWitness::NewTransversalOfH(t) => {
+            let mut t = t.clone();
+            t.grow(n);
+            t.complement(n)
+        }
+        // A D-edge disjoint from a known key would contradict that key being a
+        // transversal of D — impossible once the inputs are validated.
+        NonDualWitness::DisjointEdges { .. } => {
+            debug_assert!(false, "disjoint-edge witness with validated keys");
+            VertexSet::full(n)
+        }
+    };
+    debug_assert!(d.is_transversal(&candidate));
+    let minimal = d.minimize_transversal(&candidate);
+    debug_assert!(r.is_minimal_key(&minimal));
+    debug_assert!(!known.contains_edge(&minimal));
+    minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::sample_instance;
+    use crate::keys::{minimal_keys_brute, minimal_keys_exact};
+    use qld_hypergraph::vset;
+
+    #[test]
+    fn complete_key_sets_are_recognized() {
+        let r = sample_instance();
+        let all = minimal_keys_exact(&r);
+        assert_eq!(additional_key(&r, &all).unwrap(), AdditionalKey::Complete);
+    }
+
+    #[test]
+    fn missing_keys_are_found() {
+        let r = sample_instance();
+        let all = minimal_keys_exact(&r);
+        // start from each single known key: the other one must be found
+        for drop in 0..all.num_edges() {
+            let mut partial = all.clone();
+            let removed = partial.remove_edge(drop);
+            match additional_key(&r, &partial).unwrap() {
+                AdditionalKey::Found(k) => {
+                    assert!(r.is_minimal_key(&k));
+                    assert!(!partial.contains_edge(&k));
+                    assert_eq!(k, removed); // only one key was missing
+                }
+                other => panic!("expected Found, got {other:?}"),
+            }
+        }
+        // and from the empty set a first key is found
+        match additional_key(&r, &Hypergraph::new(4)).unwrap() {
+            AdditionalKey::Found(k) => assert!(r.is_minimal_key(&k)),
+            other => panic!("expected Found, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_flagged() {
+        let r = sample_instance();
+        // {A,B,C} is a key but not minimal; {D} is not a key.
+        for bad in [vset![4; 0, 1, 2], vset![4; 3]] {
+            let k = Hypergraph::from_edges(4, [bad.clone()]);
+            assert_eq!(
+                additional_key(&r, &k).unwrap(),
+                AdditionalKey::Invalid(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_ground_truth() {
+        for seed in 0..5 {
+            let r = crate::generators::random_instance(5, 7, 3, seed);
+            let (keys, calls) =
+                enumerate_minimal_keys_with(&r, &QuadLogspaceSolver::default()).unwrap();
+            let brute = minimal_keys_brute(&r);
+            assert!(keys.same_edge_set(&brute), "seed {seed}");
+            assert_eq!(calls, keys.num_edges() + 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_instances() {
+        // single row: ∅ is the unique minimal key
+        let one = RelationInstance::from_rows(3, vec![vec![5, 5, 5]]);
+        match additional_key(&one, &Hypergraph::new(3)).unwrap() {
+            AdditionalKey::Found(k) => assert!(k.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        let complete = Hypergraph::from_edges(3, [VertexSet::empty(3)]);
+        assert_eq!(
+            additional_key(&one, &complete).unwrap(),
+            AdditionalKey::Complete
+        );
+        // duplicate rows: there is no key, the empty key-set is already complete
+        let dup = RelationInstance::from_rows(2, vec![vec![1, 2], vec![1, 2]]);
+        assert_eq!(
+            additional_key(&dup, &Hypergraph::new(2)).unwrap(),
+            AdditionalKey::Complete
+        );
+        let (keys, _) = enumerate_minimal_keys_with(&dup, &QuadLogspaceSolver::default()).unwrap();
+        assert_eq!(keys.num_edges(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Synthetic relational instances for tests, examples, and experiments.
+
+use crate::instance::RelationInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random instance: `rows` rows over `attributes` attributes, each cell drawn
+/// uniformly from a domain of `domain_size` symbols.
+///
+/// Small domains produce many agreeing pairs (rich agree-set structure, larger keys);
+/// large domains make single attributes keys.
+pub fn random_instance(
+    attributes: usize,
+    rows: usize,
+    domain_size: u32,
+    seed: u64,
+) -> RelationInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = RelationInstance::new(attributes);
+    for _ in 0..rows {
+        let row = (0..attributes)
+            .map(|_| rng.gen_range(0..domain_size.max(1)))
+            .collect();
+        r.add_row(row);
+    }
+    r
+}
+
+/// An instance with a *planted key*: the attributes in `key` jointly enumerate the row
+/// index (so they form a key), while all other attributes are drawn from a tiny domain
+/// to create many agreements.
+pub fn planted_key_instance(
+    attributes: usize,
+    rows: usize,
+    key: &[usize],
+    seed: u64,
+) -> RelationInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = RelationInstance::new(attributes);
+    for row_idx in 0..rows {
+        let mut row = vec![0u32; attributes];
+        for (a, cell) in row.iter_mut().enumerate() {
+            if key.contains(&a) {
+                // spread the row index across the key attributes positionally
+                let pos = key.iter().position(|&k| k == a).unwrap();
+                *cell = ((row_idx >> (4 * pos)) & 0xF) as u32;
+            } else {
+                *cell = rng.gen_range(0..2);
+            }
+        }
+        r.add_row(row);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::VertexSet;
+
+    #[test]
+    fn random_instances_are_deterministic() {
+        let a = random_instance(4, 10, 3, 1);
+        let b = random_instance(4, 10, 3, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.num_rows(), 10);
+        assert_eq!(a.num_attributes(), 4);
+        let c = random_instance(4, 10, 3, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn planted_key_is_a_key() {
+        let key = [1, 3];
+        let r = planted_key_instance(5, 12, &key, 7);
+        let key_set = VertexSet::from_indices(5, key.iter().copied());
+        assert!(r.is_key(&key_set));
+    }
+}

@@ -1,0 +1,193 @@
+//! Relational instances (explicitly given tables) for key discovery.
+//!
+//! The *additional key for instance* problem of Section 1 (Proposition 1.2) is posed
+//! over explicitly given relational instances: tables whose rows carry arbitrary
+//! symbolic values.  A set of attributes `K` is a **key** if no two distinct rows agree
+//! on all attributes of `K`; the interesting objects are the *minimal* keys.
+
+use qld_hypergraph::{Vertex, VertexSet};
+use std::fmt;
+
+/// An explicitly given relational instance: rows of symbolic (integer-coded) values
+/// over a fixed list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationInstance {
+    num_attributes: usize,
+    rows: Vec<Vec<u32>>,
+}
+
+impl RelationInstance {
+    /// Creates an empty instance over `num_attributes` attributes.
+    pub fn new(num_attributes: usize) -> Self {
+        RelationInstance {
+            num_attributes,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates an instance from explicit rows.  All rows must have exactly
+    /// `num_attributes` values.
+    pub fn from_rows(num_attributes: usize, rows: Vec<Vec<u32>>) -> Self {
+        let mut r = RelationInstance::new(num_attributes);
+        for row in rows {
+            r.add_row(row);
+        }
+        r
+    }
+
+    /// Adds a row (must have exactly `num_attributes` values).
+    pub fn add_row(&mut self, row: Vec<u32>) {
+        assert_eq!(
+            row.len(),
+            self.num_attributes,
+            "row arity does not match the schema"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of attributes in the schema.
+    pub fn num_attributes(&self) -> usize {
+        self.num_attributes
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// The *agree set* of two rows: the set of attributes on which they take the same
+    /// value.
+    pub fn agree_set(&self, i: usize, j: usize) -> VertexSet {
+        let mut s = VertexSet::empty(self.num_attributes);
+        for a in 0..self.num_attributes {
+            if self.rows[i][a] == self.rows[j][a] {
+                s.insert(Vertex::from(a));
+            }
+        }
+        s
+    }
+
+    /// Whether two rows agree on every attribute of `attrs`.
+    pub fn rows_agree_on(&self, i: usize, j: usize, attrs: &VertexSet) -> bool {
+        attrs
+            .iter()
+            .all(|a| self.rows[i][a.index()] == self.rows[j][a.index()])
+    }
+
+    /// Whether `attrs` is a key: no two distinct rows agree on all of `attrs`.
+    ///
+    /// The empty set is a key iff the instance has at most one row.
+    pub fn is_key(&self, attrs: &VertexSet) -> bool {
+        for i in 0..self.rows.len() {
+            for j in i + 1..self.rows.len() {
+                if self.rows_agree_on(i, j, attrs) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether `attrs` is a *minimal* key.
+    pub fn is_minimal_key(&self, attrs: &VertexSet) -> bool {
+        if !self.is_key(attrs) {
+            return false;
+        }
+        attrs.iter().all(|a| !self.is_key(&attrs.without(a)))
+    }
+}
+
+impl fmt::Display for RelationInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# attributes={} rows={}", self.num_attributes, self.rows.len())?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The classic textbook example used throughout this crate's tests:
+/// attributes (name, dept, room, phone) with keys {name} … actually with two minimal
+/// keys: {0,1} and {2}.
+#[cfg(test)]
+pub(crate) fn sample_instance() -> RelationInstance {
+    // columns: A B C D
+    RelationInstance::from_rows(
+        4,
+        vec![
+            vec![1, 10, 100, 7],
+            vec![1, 20, 200, 7],
+            vec![2, 10, 300, 7],
+            vec![2, 20, 400, 8],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::vset;
+
+    #[test]
+    fn agree_sets() {
+        let r = sample_instance();
+        assert_eq!(r.num_attributes(), 4);
+        assert_eq!(r.num_rows(), 4);
+        // rows 0 and 1 agree on A and D
+        assert_eq!(r.agree_set(0, 1), vset![4; 0, 3]);
+        // rows 0 and 2 agree on B and D
+        assert_eq!(r.agree_set(0, 2), vset![4; 1, 3]);
+        // rows 0 and 3 agree on nothing
+        assert_eq!(r.agree_set(0, 3), vset![4;]);
+        // rows 1 and 2 agree on D only
+        assert_eq!(r.agree_set(1, 2), vset![4; 3]);
+        // rows 2 and 3 agree on A
+        assert_eq!(r.agree_set(2, 3), vset![4; 0]);
+        assert!(r.rows_agree_on(0, 1, &vset![4; 0]));
+        assert!(!r.rows_agree_on(0, 1, &vset![4; 1]));
+    }
+
+    #[test]
+    fn keys_and_minimal_keys() {
+        let r = sample_instance();
+        // C has distinct values everywhere → {C} is a minimal key.
+        assert!(r.is_key(&vset![4; 2]));
+        assert!(r.is_minimal_key(&vset![4; 2]));
+        // {A,B} is a key (all pairs differ on A or B), and minimal.
+        assert!(r.is_key(&vset![4; 0, 1]));
+        assert!(r.is_minimal_key(&vset![4; 0, 1]));
+        // {A} and {B} are not keys, {A,B,C} is a key but not minimal.
+        assert!(!r.is_key(&vset![4; 0]));
+        assert!(!r.is_key(&vset![4; 1]));
+        assert!(r.is_key(&vset![4; 0, 1, 2]));
+        assert!(!r.is_minimal_key(&vset![4; 0, 1, 2]));
+        // {D} is not a key.
+        assert!(!r.is_key(&vset![4; 3]));
+        // the empty set is a key only for tiny instances
+        assert!(!r.is_key(&vset![4;]));
+        let single = RelationInstance::from_rows(2, vec![vec![1, 2]]);
+        assert!(single.is_key(&vset![2;]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut r = RelationInstance::new(3);
+        r.add_row(vec![1, 2]);
+    }
+
+    #[test]
+    fn display_lists_rows() {
+        let r = sample_instance();
+        let text = r.to_string();
+        assert!(text.contains("attributes=4 rows=4"));
+        assert_eq!(text.lines().count(), 5);
+    }
+}

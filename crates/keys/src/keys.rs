@@ -1,0 +1,128 @@
+//! Minimal keys as minimal transversals.
+//!
+//! For an explicitly given instance `R`, a set of attributes `K` is a key iff, for
+//! every pair of distinct rows, `K` contains an attribute on which they disagree —
+//! i.e. `K` is a transversal of the *disagreement hypergraph*
+//! `D(R) = { S − ag(t, t') | t ≠ t' rows of R }` (the complements of the agree sets).
+//! The minimal keys are therefore exactly `tr(D(R))`, which is how Proposition 1.2
+//! connects key discovery to the `DUAL` problem.
+
+use crate::instance::RelationInstance;
+use qld_hypergraph::transversal::minimal_transversals;
+use qld_hypergraph::{Hypergraph, VertexSet};
+
+/// The family of **maximal** agree sets of the instance (the interesting part of the
+/// agree-set structure: a set is a key iff it is contained in no agree set, iff it is
+/// contained in no *maximal* agree set).
+pub fn maximal_agree_sets(r: &RelationInstance) -> Hypergraph {
+    let n = r.num_attributes();
+    let mut family = Hypergraph::new(n);
+    for i in 0..r.num_rows() {
+        for j in i + 1..r.num_rows() {
+            family.add_edge(r.agree_set(i, j));
+        }
+    }
+    // Keep only the inclusion-maximal sets: minimize the complement family and flip
+    // back (equivalently, drop every agree set contained in another one).
+    let mut maximal: Vec<VertexSet> = Vec::new();
+    'outer: for e in family.edges() {
+        let mut k = 0;
+        while k < maximal.len() {
+            if e.is_subset(&maximal[k]) {
+                continue 'outer;
+            }
+            if maximal[k].is_subset(e) {
+                maximal.swap_remove(k);
+            } else {
+                k += 1;
+            }
+        }
+        maximal.push(e.clone());
+    }
+    Hypergraph::from_edges(n, maximal)
+}
+
+/// The disagreement hypergraph `D(R)`: complements of the **maximal** agree sets.
+///
+/// (Complementing only the maximal agree sets yields the minimization of the full
+/// disagreement family, which is all the transversal computation needs.)
+pub fn disagreement_hypergraph(r: &RelationInstance) -> Hypergraph {
+    maximal_agree_sets(r).complement_edges().minimize()
+}
+
+/// All minimal keys of the instance, computed exactly as `tr(D(R))`.
+pub fn minimal_keys_exact(r: &RelationInstance) -> Hypergraph {
+    minimal_transversals(&disagreement_hypergraph(r))
+}
+
+/// All minimal keys by brute force over the subset lattice (ground truth for ≤ 20
+/// attributes).
+pub fn minimal_keys_brute(r: &RelationInstance) -> Hypergraph {
+    let n = r.num_attributes();
+    assert!(n <= 20, "brute-force key enumeration limited to 20 attributes");
+    let mut keys = Vec::new();
+    for mask in 0u64..(1u64 << n) {
+        let s = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        if r.is_minimal_key(&s) {
+            keys.push(s);
+        }
+    }
+    Hypergraph::from_edges(n, keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::sample_instance;
+    use qld_hypergraph::vset;
+
+    #[test]
+    fn maximal_agree_sets_of_the_sample() {
+        let r = sample_instance();
+        let m = maximal_agree_sets(&r);
+        assert!(m.contains_edge(&vset![4; 0, 3]));
+        assert!(m.contains_edge(&vset![4; 1, 3]));
+        assert_eq!(m.num_edges(), 2);
+        assert!(m.is_simple());
+    }
+
+    #[test]
+    fn disagreement_and_minimal_keys() {
+        let r = sample_instance();
+        let d = disagreement_hypergraph(&r);
+        assert!(d.contains_edge(&vset![4; 1, 2]));
+        assert!(d.contains_edge(&vset![4; 0, 2]));
+        let keys = minimal_keys_exact(&r);
+        assert!(keys.contains_edge(&vset![4; 2]));
+        assert!(keys.contains_edge(&vset![4; 0, 1]));
+        assert_eq!(keys.num_edges(), 2);
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        for seed in 0..6 {
+            let r = crate::generators::random_instance(5, 8, 3, seed);
+            let exact = minimal_keys_exact(&r);
+            let brute = minimal_keys_brute(&r);
+            assert!(exact.same_edge_set(&brute), "seed {seed}");
+            // every reported key is a minimal key
+            for k in exact.edges() {
+                assert!(r.is_minimal_key(k));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_instances() {
+        // One row: every pair-set is vacuous, the only minimal key is ∅.
+        let one = RelationInstance::from_rows(3, vec![vec![1, 2, 3]]);
+        let keys = minimal_keys_exact(&one);
+        assert_eq!(keys.num_edges(), 1);
+        assert!(keys.edge(0).is_empty());
+        // Two identical rows: no key exists at all.
+        let dup = RelationInstance::from_rows(2, vec![vec![1, 2], vec![1, 2]]);
+        let keys = minimal_keys_exact(&dup);
+        assert_eq!(keys.num_edges(), 0);
+        assert!(minimal_keys_brute(&dup).same_edge_set(&keys));
+    }
+}

@@ -1,0 +1,26 @@
+//! # qld-keys
+//!
+//! The relational-key application of the monotone duality problem (Section 1 of the
+//! paper, Proposition 1.2): minimal keys of explicitly given relational instances, and
+//! the *additional key for instance* problem.
+//!
+//! * [`RelationInstance`] — explicit tables, agree sets, key predicates;
+//! * [`keys`] — maximal agree sets, the disagreement hypergraph, and exact minimal-key
+//!   enumeration as `tr(D(R))`;
+//! * [`additional_key`] — the reduction of the additional-key problem to `DUAL`
+//!   (`K = tr(D(R))`?), with a concrete new minimal key recovered from the duality
+//!   witness, and the incremental enumeration of all minimal keys it enables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod additional_key;
+pub mod generators;
+pub mod instance;
+pub mod keys;
+
+pub use additional_key::{
+    additional_key, additional_key_with, enumerate_minimal_keys_with, AdditionalKey,
+};
+pub use instance::RelationInstance;
+pub use keys::{disagreement_hypergraph, maximal_agree_sets, minimal_keys_brute, minimal_keys_exact};

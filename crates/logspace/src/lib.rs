@@ -1,0 +1,33 @@
+//! # qld-logspace
+//!
+//! Space-metered computation model for the reproduction of Gottlob's
+//! *Deciding Monotone Duality … in Quadratic Logspace* (PODS 2013).
+//!
+//! The paper's results are **space** bounds, so reproducing them requires a way to
+//! *measure* work-tape usage of the algorithms, not just run them.  This crate provides
+//! the accounting substrate:
+//!
+//! * [`SpaceMeter`] — charges every live register/counter in bits and records the peak
+//!   (read-only input and write-only output are free, as in the `DSPACE[·]` model);
+//! * [`LogRegister`], [`BitRegister`], [`Frame`] — metered `O(log n)`-bit registers, the
+//!   only mutable state the space-efficient algorithms are allowed to keep;
+//! * [`pipeline`] — the iterated-composition construction of Lemma 3.1
+//!   (`[[FDSPACE[log n]_pol]]^log ⊆ FDSPACE[log² n]`), generic over
+//!   [`pipeline::LogspaceStage`] transducers, with both the recompute-on-demand strategy
+//!   (the lemma) and a materializing strategy (the contrast measured in experiment E3);
+//! * [`model`] — the complexity classes of Figure 1 and their inclusion structure.
+//!
+//! `qld-core` builds the `pathnode` / `decompose` algorithms of Section 4 on top of
+//! these primitives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meter;
+pub mod model;
+pub mod pipeline;
+pub mod register;
+
+pub use meter::{bits_for, Allocation, SpaceMeter};
+pub use model::ComplexityClass;
+pub use register::{BitRegister, Frame, LogRegister};

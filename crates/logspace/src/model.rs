@@ -1,0 +1,192 @@
+//! The complexity classes of Figure 1 and their inclusion structure.
+//!
+//! Section 6 of the paper summarizes the landscape in a diagram (Figure 1) relating the
+//! new upper bounds for `DUAL` to the classical classes.  This module encodes exactly
+//! the classes appearing in that figure and the inclusion edges it draws, so the figure
+//! can be regenerated (E1) and the partial-order claims (Theorem 5.2) can be checked
+//! programmatically.
+
+use serde::{Deserialize, Serialize};
+
+/// The complexity classes appearing in Figure 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ComplexityClass {
+    /// Deterministic logarithmic space.
+    Logspace,
+    /// Deterministic polynomial time.
+    Ptime,
+    /// Guess `O(log² n)` bits, verify in `LOGSPACE`.
+    GcLog2Logspace,
+    /// Guess `O(log² n)` bits, verify in `[[LOGSPACE_pol]]^log` — the paper's tightest
+    /// upper bound for `DUAL` (Theorem 5.1).
+    GcLog2LogspacePolLog,
+    /// Deterministic space `O(log² n)` — the paper's headline bound (Theorem 4.1).
+    DspaceLog2,
+    /// Guess `O(log² n)` bits, verify in `PTIME` — equals `β₂P` (Eiter–Gottlob–Makino).
+    GcLog2Ptime,
+    /// Nondeterministic polynomial time.
+    Np,
+    /// Polynomial space.
+    Pspace,
+}
+
+impl ComplexityClass {
+    /// All classes, in the bottom-to-top order used for rendering the figure.
+    pub fn all() -> [ComplexityClass; 8] {
+        use ComplexityClass::*;
+        [
+            Logspace,
+            GcLog2Logspace,
+            GcLog2LogspacePolLog,
+            Ptime,
+            DspaceLog2,
+            GcLog2Ptime,
+            Np,
+            Pspace,
+        ]
+    }
+
+    /// The notation used in the paper.
+    pub fn notation(self) -> &'static str {
+        use ComplexityClass::*;
+        match self {
+            Logspace => "LOGSPACE",
+            Ptime => "PTIME",
+            GcLog2Logspace => "GC(log²n, LOGSPACE)",
+            GcLog2LogspacePolLog => "GC(log²n, [[LOGSPACE_pol]]^log)",
+            DspaceLog2 => "DSPACE[log²n]",
+            GcLog2Ptime => "GC(log²n, PTIME) = β₂P",
+            Np => "NP",
+            Pspace => "PSPACE",
+        }
+    }
+
+    /// Whether the class is one of the two *new* upper bounds contributed by the paper.
+    pub fn is_new_bound(self) -> bool {
+        matches!(
+            self,
+            ComplexityClass::DspaceLog2 | ComplexityClass::GcLog2LogspacePolLog
+        )
+    }
+}
+
+/// The direct inclusion edges drawn in Figure 1 (`a ⊆ b` rendered as an ascending line
+/// from `a` to `b`).
+pub fn figure1_inclusions() -> Vec<(ComplexityClass, ComplexityClass)> {
+    use ComplexityClass::*;
+    vec![
+        (Logspace, GcLog2Logspace),
+        (Logspace, Ptime),
+        (GcLog2Logspace, GcLog2LogspacePolLog),
+        // Theorem 5.2: the new guess-and-check class sits below both earlier bounds.
+        (GcLog2LogspacePolLog, DspaceLog2),
+        (GcLog2LogspacePolLog, GcLog2Ptime),
+        (Ptime, GcLog2Ptime),
+        (GcLog2Ptime, Np),
+        (DspaceLog2, Pspace),
+        (Np, Pspace),
+    ]
+}
+
+/// The classes the paper proves (or recalls) to contain `DUAL` / its complement.
+pub fn dual_upper_bounds() -> Vec<ComplexityClass> {
+    use ComplexityClass::*;
+    vec![GcLog2LogspacePolLog, DspaceLog2, GcLog2Ptime, Pspace]
+}
+
+/// Reflexive–transitive closure of the Figure 1 inclusions, as a containment test.
+pub fn included_in(a: ComplexityClass, b: ComplexityClass) -> bool {
+    if a == b {
+        return true;
+    }
+    let edges = figure1_inclusions();
+    // Simple DFS over at most 8 nodes.
+    let mut stack = vec![a];
+    let mut seen = Vec::new();
+    while let Some(c) = stack.pop() {
+        if c == b {
+            return true;
+        }
+        if seen.contains(&c) {
+            continue;
+        }
+        seen.push(c);
+        for (x, y) in &edges {
+            if *x == c {
+                stack.push(*y);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ComplexityClass::*;
+
+    #[test]
+    fn all_classes_have_distinct_notation() {
+        let notations: Vec<&str> = ComplexityClass::all().iter().map(|c| c.notation()).collect();
+        let mut dedup = notations.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), notations.len());
+    }
+
+    #[test]
+    fn new_bounds_are_flagged() {
+        assert!(DspaceLog2.is_new_bound());
+        assert!(GcLog2LogspacePolLog.is_new_bound());
+        assert!(!Ptime.is_new_bound());
+        assert!(!GcLog2Ptime.is_new_bound());
+    }
+
+    #[test]
+    fn theorem_5_2_inclusions_hold_in_the_diagram() {
+        // GC(log²n, [[LOGSPACE_pol]]^log) ⊆ DSPACE[log²n] ∩ GC(log²n, PTIME)
+        assert!(included_in(GcLog2LogspacePolLog, DspaceLog2));
+        assert!(included_in(GcLog2LogspacePolLog, GcLog2Ptime));
+    }
+
+    #[test]
+    fn everything_is_in_pspace() {
+        for c in ComplexityClass::all() {
+            assert!(included_in(c, Pspace), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn no_downward_inclusions() {
+        assert!(!included_in(Pspace, Logspace));
+        assert!(!included_in(DspaceLog2, Logspace));
+        assert!(!included_in(GcLog2Ptime, Ptime));
+    }
+
+    #[test]
+    fn incomparable_pairs_stay_incomparable() {
+        // The paper stresses that DSPACE[log²n] and GC(log²n, PTIME) are believed
+        // incomparable; the diagram draws no inclusion between them.
+        assert!(!included_in(DspaceLog2, GcLog2Ptime));
+        assert!(!included_in(GcLog2Ptime, DspaceLog2));
+        // Likewise PTIME vs DSPACE[log²n].
+        assert!(!included_in(Ptime, DspaceLog2));
+        assert!(!included_in(DspaceLog2, Ptime));
+    }
+
+    #[test]
+    fn dual_bounds_are_classes_of_the_figure() {
+        for c in dual_upper_bounds() {
+            assert!(ComplexityClass::all().contains(&c));
+        }
+        // and they include the two new ones
+        assert!(dual_upper_bounds().iter().any(|c| c.is_new_bound()));
+    }
+
+    #[test]
+    fn reflexivity() {
+        for c in ComplexityClass::all() {
+            assert!(included_in(c, c));
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The iterated-composition pipeline of Lemma 3.1.
+//!
+//! Lemma 3.1 of the paper shows `[[FDSPACE[log n]_pol]]^log ⊆ FDSPACE[log² n]`: a
+//! logarithmic number of self-compositions of a logspace function with polynomially
+//! bounded intermediate outputs can be evaluated in quadratic logspace.  The proof never
+//! stores an intermediate output `wᵢ = fⁱ(I)`.  Instead, each pipelined stage `Pᵢ` keeps
+//! only an index register `dᵢ` and a one-item output register `oᵢ`; whenever stage `i`
+//! needs the `j`-th item of its input it asks stage `i−1` to (re)compute exactly that
+//! item.
+//!
+//! This module implements that construction generically.  An intermediate string is
+//! modelled as a sequence of small items (each `O(log n)` bits) behind the
+//! [`ItemOracle`] trait; a [`LogspaceStage`] computes a single output item from an input
+//! oracle using only metered registers; and [`iterated`] evaluates `f^rounds` by
+//! chaining oracles, charging only the per-stage registers — which is how the
+//! `pathnode` procedure of `qld-core` achieves its quadratic-logspace bound.
+//! [`iterated_materialized`] is the contrasting strategy that stores every intermediate
+//! output (and charges for it), used by the space-scaling experiment (E3) to show the
+//! gap.
+
+use crate::meter::{bits_for, SpaceMeter};
+use crate::register::LogRegister;
+
+/// Read access to a (virtual) sequence of small items.
+///
+/// Items are `u64`, but stages should only store values bounded polynomially in the
+/// input size, so that a register holding one item costs `O(log n)` bits.
+pub trait ItemOracle {
+    /// Number of items in the sequence.
+    fn len(&self) -> usize;
+    /// The `i`-th item (0-based).  Panics if out of range.
+    fn item(&self, i: usize) -> u64;
+    /// Whether the sequence is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An [`ItemOracle`] backed by a slice (the read-only input tape: not metered).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceOracle<'a> {
+    items: &'a [u64],
+}
+
+impl<'a> SliceOracle<'a> {
+    /// Wraps a slice.
+    pub fn new(items: &'a [u64]) -> Self {
+        SliceOracle { items }
+    }
+}
+
+impl ItemOracle for SliceOracle<'_> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn item(&self, i: usize) -> u64 {
+        self.items[i]
+    }
+}
+
+/// A function `f` on item sequences whose output items are individually recomputable —
+/// the `FDSPACE[log n]_pol` functions of Section 3, at item granularity.
+///
+/// Implementations must only allocate metered registers (e.g. [`LogRegister`]) while
+/// answering; they may freely *read* the input oracle, which models the input tape of
+/// the stage.
+pub trait LogspaceStage {
+    /// Length of `f(input)`.
+    fn output_len(&self, input: &dyn ItemOracle, meter: &SpaceMeter) -> usize;
+    /// The `index`-th item of `f(input)`.
+    fn output_item(&self, input: &dyn ItemOracle, index: usize, meter: &SpaceMeter) -> u64;
+}
+
+/// An oracle presenting `f^round(base)` without materializing it.
+struct RecomputingOracle<'a, S: LogspaceStage + ?Sized> {
+    stage: &'a S,
+    base: &'a dyn ItemOracle,
+    round: usize,
+    meter: SpaceMeter,
+}
+
+impl<S: LogspaceStage + ?Sized> ItemOracle for RecomputingOracle<'_, S> {
+    fn len(&self) -> usize {
+        if self.round == 0 {
+            self.base.len()
+        } else {
+            let prev = RecomputingOracle {
+                stage: self.stage,
+                base: self.base,
+                round: self.round - 1,
+                meter: self.meter.clone(),
+            };
+            self.stage.output_len(&prev, &self.meter)
+        }
+    }
+
+    fn item(&self, i: usize) -> u64 {
+        if self.round == 0 {
+            self.base.item(i)
+        } else {
+            let prev = RecomputingOracle {
+                stage: self.stage,
+                base: self.base,
+                round: self.round - 1,
+                meter: self.meter.clone(),
+            };
+            // The per-stage frame of the Lemma 3.1 construction: the index register dᵢ
+            // and the single-item output register oᵢ.
+            let max_item = u64::MAX >> 1;
+            let _d = LogRegister::with_value(&self.meter, self.base.len().max(i) as u64 + 1, i as u64);
+            let _o = LogRegister::new(&self.meter, max_item);
+            self.stage.output_item(&prev, i, &self.meter)
+        }
+    }
+}
+
+/// Evaluates `f^rounds(base)` with the Lemma 3.1 strategy: intermediate outputs are
+/// recomputed on demand, so the metered space is `O(rounds · log n)` (plus whatever the
+/// stage itself allocates), at the price of quasi-polynomial recomputation time.
+pub fn iterated<S: LogspaceStage + ?Sized>(
+    stage: &S,
+    rounds: usize,
+    base: &[u64],
+    meter: &SpaceMeter,
+) -> Vec<u64> {
+    let base_oracle = SliceOracle::new(base);
+    let top = RecomputingOracle {
+        stage,
+        base: &base_oracle,
+        round: rounds,
+        meter: meter.clone(),
+    };
+    // Writing to the output tape is free; only the loop index is charged.
+    let len = top.len();
+    let mut out = Vec::with_capacity(len);
+    let mut idx = LogRegister::new(meter, len.max(1) as u64);
+    while (idx.get() as usize) < len {
+        out.push(top.item(idx.get() as usize));
+        idx.increment();
+    }
+    out
+}
+
+/// Evaluates `f^rounds(base)` by materializing every intermediate sequence and charging
+/// the meter for it — the strategy Lemma 3.1 exists to avoid.  Provided so experiments
+/// can report the space gap between the two strategies on identical workloads.
+pub fn iterated_materialized<S: LogspaceStage + ?Sized>(
+    stage: &S,
+    rounds: usize,
+    base: &[u64],
+    meter: &SpaceMeter,
+) -> Vec<u64> {
+    let mut current: Vec<u64> = base.to_vec();
+    // Charge for holding the current intermediate output on the work tape.
+    let mut charge = charge_for_items(&current);
+    meter.charge(charge);
+    for _ in 0..rounds {
+        let oracle = SliceOracle::new(&current);
+        let len = stage.output_len(&oracle, meter);
+        let mut next = Vec::with_capacity(len);
+        for i in 0..len {
+            next.push(stage.output_item(&oracle, i, meter));
+        }
+        let next_charge = charge_for_items(&next);
+        meter.charge(next_charge); // both strings resident while copying
+        meter.free(charge);
+        charge = next_charge;
+        current = next;
+    }
+    meter.free(charge);
+    current
+}
+
+fn charge_for_items(items: &[u64]) -> u64 {
+    items
+        .iter()
+        .map(|&v| bits_for(v))
+        .sum::<u64>()
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy stage: item i of the output is input[i] + input[(i+1) mod len]  — a local
+    /// smoothing pass whose iterates are easy to check.
+    struct NeighbourSum;
+
+    impl LogspaceStage for NeighbourSum {
+        fn output_len(&self, input: &dyn ItemOracle, _meter: &SpaceMeter) -> usize {
+            input.len()
+        }
+        fn output_item(&self, input: &dyn ItemOracle, index: usize, meter: &SpaceMeter) -> u64 {
+            let _j = LogRegister::new(meter, input.len() as u64);
+            let next = (index + 1) % input.len();
+            input.item(index) + input.item(next)
+        }
+    }
+
+    /// Toy stage with shrinking output: keeps every second item (so output lengths are
+    /// data-dependent across rounds).
+    struct Halve;
+
+    impl LogspaceStage for Halve {
+        fn output_len(&self, input: &dyn ItemOracle, _meter: &SpaceMeter) -> usize {
+            input.len().div_ceil(2)
+        }
+        fn output_item(&self, input: &dyn ItemOracle, index: usize, _meter: &SpaceMeter) -> u64 {
+            input.item(2 * index)
+        }
+    }
+
+    fn reference_neighbour_sum(rounds: usize, base: &[u64]) -> Vec<u64> {
+        let mut v = base.to_vec();
+        for _ in 0..rounds {
+            let n = v.len();
+            v = (0..n).map(|i| v[i] + v[(i + 1) % n]).collect();
+        }
+        v
+    }
+
+    #[test]
+    fn recomputing_matches_reference() {
+        let base = [1u64, 2, 3, 4, 5];
+        for rounds in 0..5 {
+            let meter = SpaceMeter::new();
+            let got = iterated(&NeighbourSum, rounds, &base, &meter);
+            assert_eq!(got, reference_neighbour_sum(rounds, &base), "rounds={rounds}");
+            assert_eq!(meter.current_bits(), 0, "all registers released");
+        }
+    }
+
+    #[test]
+    fn materialized_matches_recomputing() {
+        let base = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let m1 = SpaceMeter::new();
+        let m2 = SpaceMeter::new();
+        let a = iterated(&NeighbourSum, 3, &base, &m1);
+        let b = iterated_materialized(&NeighbourSum, 3, &base, &m2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrinking_stage_lengths_are_respected() {
+        let base: Vec<u64> = (0..16).collect();
+        let meter = SpaceMeter::new();
+        let out = iterated(&Halve, 3, &base, &meter);
+        // After 3 halvings of 16 items: indices 0, 8 survive → values 0 and 8
+        assert_eq!(out, vec![0, 8]);
+    }
+
+    #[test]
+    fn recomputing_space_grows_linearly_in_rounds() {
+        // peak space of the recomputing strategy ≈ rounds × per-stage frame,
+        // not the size of the intermediate strings.
+        let base: Vec<u64> = (0..64).collect();
+        let mut peaks = Vec::new();
+        for rounds in 1..=4 {
+            let meter = SpaceMeter::new();
+            let _ = iterated(&NeighbourSum, rounds, &base, &meter);
+            peaks.push(meter.peak_bits());
+        }
+        // Monotone and roughly additive per round.
+        assert!(peaks.windows(2).all(|w| w[1] >= w[0]));
+        let per_round = peaks[1] - peaks[0];
+        let predicted = peaks[0] + 3 * per_round;
+        let actual = peaks[3];
+        // within a factor of 2 of an affine extrapolation
+        assert!(actual <= 2 * predicted, "peaks={peaks:?}");
+    }
+
+    #[test]
+    fn materialized_space_exceeds_recomputing_space_on_long_inputs() {
+        let base: Vec<u64> = (1..=256).collect();
+        let rec = SpaceMeter::new();
+        let mat = SpaceMeter::new();
+        let _ = iterated(&NeighbourSum, 2, &base, &rec);
+        let _ = iterated_materialized(&NeighbourSum, 2, &base, &mat);
+        assert!(
+            mat.peak_bits() > rec.peak_bits(),
+            "materialized {} should exceed recomputing {}",
+            mat.peak_bits(),
+            rec.peak_bits()
+        );
+    }
+
+    #[test]
+    fn zero_rounds_is_identity() {
+        let base = [7u64, 8, 9];
+        let meter = SpaceMeter::new();
+        assert_eq!(iterated(&Halve, 0, &base, &meter), base.to_vec());
+        let meter2 = SpaceMeter::new();
+        assert_eq!(iterated_materialized(&Halve, 0, &base, &meter2), base.to_vec());
+    }
+
+    #[test]
+    fn slice_oracle_basics() {
+        let s = SliceOracle::new(&[5, 6]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.item(1), 6);
+        let e = SliceOracle::new(&[]);
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Metered registers and counters.
+//!
+//! The work tape of a logspace machine holds a constant number of registers, each wide
+//! enough to store an index or counter bounded by a polynomial in the input size, i.e.
+//! `O(log n)` bits each.  [`LogRegister`] models one such register: it declares its
+//! value range up front, charges `⌈log₂(range)⌉` bits to the [`SpaceMeter`] for as long
+//! as it lives, and releases them on drop.
+
+use crate::meter::{bits_for, SpaceMeter};
+
+/// A single metered register holding a value in `0..=max_value`.
+#[derive(Debug)]
+pub struct LogRegister {
+    value: u64,
+    max_value: u64,
+    bits: u64,
+    meter: SpaceMeter,
+}
+
+impl LogRegister {
+    /// Allocates a register able to hold values in `0..=max_value`, charging the meter.
+    pub fn new(meter: &SpaceMeter, max_value: u64) -> Self {
+        let bits = bits_for(max_value);
+        meter.charge(bits);
+        LogRegister {
+            value: 0,
+            max_value,
+            bits,
+            meter: meter.clone(),
+        }
+    }
+
+    /// Allocates a register initialized to `value`.
+    pub fn with_value(meter: &SpaceMeter, max_value: u64, value: u64) -> Self {
+        let mut r = Self::new(meter, max_value);
+        r.set(value);
+        r
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Sets the value (panics if it exceeds the declared range).
+    pub fn set(&mut self, value: u64) {
+        assert!(
+            value <= self.max_value,
+            "register overflow: {value} > {}",
+            self.max_value
+        );
+        self.value = value;
+    }
+
+    /// Increments by one (panics on overflow of the declared range).
+    pub fn increment(&mut self) {
+        self.set(self.value + 1);
+    }
+
+    /// Decrements by one, saturating at zero.
+    pub fn decrement(&mut self) {
+        self.value = self.value.saturating_sub(1);
+    }
+
+    /// Adds `delta` (panics on overflow of the declared range).
+    pub fn add(&mut self, delta: u64) {
+        self.set(self.value + delta);
+    }
+
+    /// The width of this register in bits (what it costs on the meter).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The largest value this register may hold.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+}
+
+impl Drop for LogRegister {
+    fn drop(&mut self) {
+        self.meter.free(self.bits);
+    }
+}
+
+/// A metered single-bit flag.
+#[derive(Debug)]
+pub struct BitRegister {
+    value: bool,
+    meter: SpaceMeter,
+}
+
+impl BitRegister {
+    /// Allocates a one-bit register, charging the meter.
+    pub fn new(meter: &SpaceMeter) -> Self {
+        meter.charge(1);
+        BitRegister {
+            value: false,
+            meter: meter.clone(),
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> bool {
+        self.value
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&mut self, value: bool) {
+        self.value = value;
+    }
+}
+
+impl Drop for BitRegister {
+    fn drop(&mut self) {
+        self.meter.free(1);
+    }
+}
+
+/// A small fixed bundle of registers representing one "procedure frame" of a logspace
+/// subroutine: the paper's proof of Lemma 3.1 allots each pipelined stage `Pᵢ` a
+/// dedicated index register `dᵢ`, an output register `oᵢ`, and "a constant number of
+/// auxiliary counters and pointers".  [`Frame`] is that allotment, created per stage.
+#[derive(Debug)]
+pub struct Frame {
+    registers: Vec<LogRegister>,
+}
+
+impl Frame {
+    /// Creates a frame with `count` registers, each able to index an object of size
+    /// `max_value`.
+    pub fn new(meter: &SpaceMeter, count: usize, max_value: u64) -> Self {
+        let registers = (0..count).map(|_| LogRegister::new(meter, max_value)).collect();
+        Frame { registers }
+    }
+
+    /// Access to the `i`-th register of the frame.
+    pub fn reg(&mut self, i: usize) -> &mut LogRegister {
+        &mut self.registers[i]
+    }
+
+    /// Total bits charged by this frame.
+    pub fn bits(&self) -> u64 {
+        self.registers.iter().map(|r| r.bits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_charges_and_releases() {
+        let m = SpaceMeter::new();
+        {
+            let mut r = LogRegister::new(&m, 1000);
+            assert_eq!(m.current_bits(), 10); // 1000 fits in 10 bits
+            r.set(999);
+            r.increment();
+            assert_eq!(r.get(), 1000);
+            r.decrement();
+            assert_eq!(r.get(), 999);
+            assert_eq!(r.max_value(), 1000);
+        }
+        assert_eq!(m.current_bits(), 0);
+        assert_eq!(m.peak_bits(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "register overflow")]
+    fn register_overflow_panics() {
+        let m = SpaceMeter::new();
+        let mut r = LogRegister::new(&m, 3);
+        r.set(4);
+    }
+
+    #[test]
+    fn with_value_and_add() {
+        let m = SpaceMeter::new();
+        let mut r = LogRegister::with_value(&m, 100, 40);
+        r.add(2);
+        assert_eq!(r.get(), 42);
+    }
+
+    #[test]
+    fn decrement_saturates() {
+        let m = SpaceMeter::new();
+        let mut r = LogRegister::new(&m, 10);
+        r.decrement();
+        assert_eq!(r.get(), 0);
+    }
+
+    #[test]
+    fn bit_register() {
+        let m = SpaceMeter::new();
+        {
+            let mut b = BitRegister::new(&m);
+            assert!(!b.get());
+            b.set(true);
+            assert!(b.get());
+            assert_eq!(m.current_bits(), 1);
+        }
+        assert_eq!(m.current_bits(), 0);
+    }
+
+    #[test]
+    fn frame_bundles_registers() {
+        let m = SpaceMeter::new();
+        {
+            let mut f = Frame::new(&m, 4, 255);
+            assert_eq!(f.bits(), 4 * 8);
+            assert_eq!(m.current_bits(), 32);
+            f.reg(2).set(7);
+            assert_eq!(f.reg(2).get(), 7);
+        }
+        assert_eq!(m.current_bits(), 0);
+    }
+
+    #[test]
+    fn frame_width_is_logarithmic_in_range() {
+        let m = SpaceMeter::new();
+        let f_small = Frame::new(&m, 3, 15);
+        let small_bits = f_small.bits();
+        drop(f_small);
+        let f_large = Frame::new(&m, 3, 255);
+        let large_bits = f_large.bits();
+        assert_eq!(small_bits, 12);
+        assert_eq!(large_bits, 24);
+    }
+}

@@ -1,0 +1,56 @@
+//! Checking whether a coterie is non-dominated (Proposition 1.3).
+//!
+//! Run with `cargo run -p qld-harness --example coteries`.
+//!
+//! A coterie (a family of pairwise-intersecting, inclusion-minimal quorums) is
+//! non-dominated — i.e. no other coterie is uniformly at least as available — exactly
+//! when it equals its own transversal hypergraph.  This example checks several
+//! classical quorum constructions and, for dominated ones, prints a concrete
+//! dominating coterie.
+
+use qld_coteries::constructions::{
+    grid_coterie, majority_coterie, singleton_coterie, threshold_coterie, wheel_coterie,
+};
+use qld_coteries::{check_domination, dominates, Coterie, Domination};
+use qld_hypergraph::vset;
+
+fn report(name: &str, coterie: &Coterie) {
+    match check_domination(coterie).expect("valid coterie") {
+        Domination::NonDominated => {
+            println!("{name:<16} {:>3} quorums   NON-DOMINATED", coterie.num_quorums());
+        }
+        Domination::DominatedBy(better) => {
+            println!(
+                "{name:<16} {:>3} quorums   dominated, e.g. by {} ({} quorums; dominates: {})",
+                coterie.num_quorums(),
+                better,
+                better.num_quorums(),
+                dominates(&better, coterie)
+            );
+        }
+    }
+}
+
+fn main() {
+    println!("non-domination of classical coteries (via self-duality):\n");
+    report("majority(5)", &majority_coterie(5));
+    report("majority(7)", &majority_coterie(7));
+    report("singleton(5)", &singleton_coterie(5, 0));
+    report("wheel(6)", &wheel_coterie(6));
+    report("grid(2x3)", &grid_coterie(2, 3));
+    report("threshold(4,3)", &threshold_coterie(4, 3));
+    report("threshold(6,4)", &threshold_coterie(6, 4));
+
+    // Availability check for a concrete failure pattern.
+    let c = majority_coterie(5);
+    let alive = vset![5; 0, 2, 4];
+    println!(
+        "\nmajority(5) still available when only nodes {alive} are alive: {}",
+        c.is_available_under(&alive)
+    );
+    let alive = vset![5; 0, 2];
+    println!(
+        "majority(5) still available when only nodes {alive} are alive: {}",
+        c.is_available_under(&alive)
+    );
+}

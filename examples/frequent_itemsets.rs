@@ -1,0 +1,93 @@
+//! Identifying maximal frequent and minimal infrequent itemsets (Proposition 1.1).
+//!
+//! Run with `cargo run -p qld-harness --example frequent_itemsets`.
+//!
+//! A small market-basket style relation is mined for its frequent-itemset borders by
+//! the dualize-and-advance loop: every iteration asks the duality-based identification
+//! check "are there additional maximal frequent or minimal infrequent itemsets?", and
+//! converts the duality witness into a new border element until the answer is no.
+
+use qld_datamining::{
+    apriori, borders_exact, dualize_and_advance, identify, BooleanRelation,
+    Identification, IdentificationInstance,
+};
+
+fn main() {
+    // Items: 0=bread 1=milk 2=butter 3=beer 4=diapers.
+    let names = ["bread", "milk", "butter", "beer", "diapers"];
+    let relation = BooleanRelation::from_index_rows(
+        5,
+        &[
+            &[0, 1, 2],
+            &[0, 1],
+            &[0, 2],
+            &[1, 2],
+            &[0, 1, 2],
+            &[3, 4],
+            &[0, 3, 4],
+            &[1, 3, 4],
+            &[0, 1, 4],
+            &[0, 1, 2, 4],
+        ],
+    );
+    let z = 3; // frequent = contained in strictly more than 3 baskets
+
+    println!("relation: {} baskets over {} items, threshold z = {z}", relation.num_rows(), relation.num_items());
+
+    let pretty = |s: &qld_hypergraph::VertexSet| {
+        let items: Vec<&str> = s.iter().map(|v| names[v.index()]).collect();
+        if items.is_empty() {
+            "{}".to_string()
+        } else {
+            format!("{{{}}}", items.join(", "))
+        }
+    };
+
+    // Compute both borders by repeated duality checks.
+    let result = dualize_and_advance(&relation, z).expect("valid instance");
+    println!(
+        "\nmaximal frequent itemsets IS+ ({} duality calls):",
+        result.stats.identification_calls
+    );
+    for s in result.maximal_frequent.edges() {
+        println!("  {}   (support {})", pretty(s), relation.frequency(s));
+    }
+    println!("minimal infrequent itemsets IS-:");
+    for s in result.minimal_infrequent.edges() {
+        println!("  {}   (support {})", pretty(s), relation.frequency(s));
+    }
+
+    // Cross-check against the classical level-wise miner and exhaustive search.
+    let level_wise = apriori(&relation, z);
+    let exact = borders_exact(&relation, z);
+    println!(
+        "\nagrees with Apriori:      {}",
+        result
+            .maximal_frequent
+            .same_edge_set(&level_wise.maximal_frequent(relation.num_items()))
+    );
+    println!(
+        "agrees with brute force:  {}",
+        result.maximal_frequent.same_edge_set(&exact.maximal_frequent)
+            && result
+                .minimal_infrequent
+                .same_edge_set(&exact.minimal_infrequent)
+    );
+
+    // Demonstrate the identification question itself: hide one maximal frequent itemset
+    // and ask whether the borders are complete.
+    let mut partial = result.maximal_frequent.clone();
+    let hidden = partial.remove_edge(0);
+    let question = IdentificationInstance::new(
+        &relation,
+        z,
+        result.minimal_infrequent.clone(),
+        partial,
+    );
+    println!("\nhiding {} and asking the identification question …", pretty(&hidden));
+    match identify(&question).expect("valid instance") {
+        Identification::Complete => println!("  answer: complete (unexpected!)"),
+        Identification::Incomplete(found) => println!("  answer: incomplete — discovered {found:?}"),
+        Identification::Invalid(bad) => println!("  answer: invalid input {bad:?}"),
+    }
+}

@@ -1,0 +1,72 @@
+//! Discovering minimal keys of a relational instance (Proposition 1.2).
+//!
+//! Run with `cargo run -p qld-harness --example minimal_keys`.
+//!
+//! The minimal keys of an explicitly given table are the minimal transversals of its
+//! disagreement hypergraph, so "have we found every minimal key?" is a `DUAL` instance.
+//! This example enumerates all minimal keys of a small table one duality call at a
+//! time.
+
+use qld_core::QuadLogspaceSolver;
+use qld_keys::{
+    additional_key, disagreement_hypergraph, enumerate_minimal_keys_with, minimal_keys_brute,
+    AdditionalKey, RelationInstance,
+};
+
+fn main() {
+    // A toy "employees" table.
+    let attributes = ["emp_no", "name", "dept", "room", "phone"];
+    let table = RelationInstance::from_rows(
+        5,
+        vec![
+            //        emp  name dept room phone
+            vec![101, 1, 10, 201, 40],
+            vec![102, 2, 10, 202, 40],
+            vec![103, 3, 20, 201, 41],
+            vec![104, 1, 20, 203, 41],
+            vec![105, 2, 30, 204, 42],
+            vec![106, 3, 30, 202, 42],
+        ],
+    );
+    println!(
+        "table with {} rows over attributes {:?}",
+        table.num_rows(),
+        attributes
+    );
+
+    let pretty = |s: &qld_hypergraph::VertexSet| {
+        let items: Vec<&str> = s.iter().map(|v| attributes[v.index()]).collect();
+        format!("{{{}}}", items.join(", "))
+    };
+
+    let d = disagreement_hypergraph(&table);
+    println!(
+        "\ndisagreement hypergraph D(R): {} edges over {} attributes",
+        d.num_edges(),
+        d.num_vertices()
+    );
+
+    let (keys, duality_calls) =
+        enumerate_minimal_keys_with(&table, &QuadLogspaceSolver::default())
+            .expect("valid instance");
+    println!("\nminimal keys ({} duality calls):", duality_calls);
+    for k in keys.edges() {
+        println!("  {}", pretty(k));
+    }
+    println!(
+        "matches brute-force enumeration: {}",
+        keys.same_edge_set(&minimal_keys_brute(&table))
+    );
+
+    // The decision form: given all-but-one key, is there an additional one?
+    if keys.num_edges() > 1 {
+        let mut partial = keys.clone();
+        let hidden = partial.remove_edge(0);
+        println!("\nhiding key {} and asking for an additional key …", pretty(&hidden));
+        match additional_key(&table, &partial).expect("valid instance") {
+            AdditionalKey::Found(k) => println!("  found: {}", pretty(&k)),
+            AdditionalKey::Complete => println!("  none found (unexpected!)"),
+            AdditionalKey::Invalid(k) => println!("  invalid input {}", pretty(&k)),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: deciding monotone duality.
+//!
+//! Run with `cargo run -p qld-harness --example quickstart`.
+//!
+//! Builds a pair of simple hypergraphs (equivalently, irredundant monotone DNFs),
+//! checks duality with the paper's quadratic-logspace solver, breaks the pair, and
+//! inspects the resulting witness and certificate.
+
+use qld_core::prelude::*;
+use qld_core::witness::missing_dual_edge;
+use qld_hypergraph::{Hypergraph, MonotoneDnf};
+use qld_logspace::SpaceMeter;
+
+fn main() {
+    // G = {{0,1},{2,3}}  — as a monotone DNF: x0 x1 | x2 x3.
+    let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+    // Its minimal transversals (the dual DNF): one variable from each term.
+    let h = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
+
+    println!("G = {}", MonotoneDnf::from_hypergraph(&g));
+    println!("H = {}", MonotoneDnf::from_hypergraph(&h));
+
+    // 1. Decide duality with the default (quadratic-logspace, materialize-per-level)
+    //    solver, and report how much metered work space the decision used.
+    let solver = QuadLogspaceSolver::default();
+    let (result, space) = solver.decide_with_space(&g, &h).expect("valid instance");
+    println!("\nDUAL(G, H)?           {}", result.is_dual());
+    println!(
+        "peak work space       {} bits  (input {} bits, {:.1}×log²n)",
+        space.peak_bits,
+        space.input_bits,
+        space.ratio_to_log2_squared()
+    );
+
+    // 2. Remove one minimal transversal: the pair is no longer dual, and the solver
+    //    exhibits a new transversal of G as the witness.
+    let mut broken = h.clone();
+    let removed = broken.remove_edge(0);
+    println!("\nremoving {removed} from H …");
+    let result = solver.decide(&g, &broken).expect("valid instance");
+    let witness = result.witness().expect("non-dual instances carry a witness");
+    println!("DUAL(G, H')?          {}", result.is_dual());
+    println!("witness               {witness}");
+    println!(
+        "witness verifies      {}",
+        verify_witness(&g, &broken, witness)
+    );
+    println!(
+        "missing dual edge     {}",
+        missing_dual_edge(&g, &broken, witness).expect("transversal witness")
+    );
+
+    // 3. The same refutation as a guess-and-check certificate (Theorem 5.1): a path
+    //    descriptor of O(log² n) bits that any logspace verifier can check.
+    let meter = SpaceMeter::new();
+    let certificate = find_certificate(&g, &broken, &meter)
+        .expect("valid instance")
+        .expect("non-dual instance has a certificate");
+    println!("\ncertificate path      {}", certificate.path);
+    println!(
+        "certificate size      {} bits",
+        certificate.bits(g.num_vertices(), g.num_edges())
+    );
+    let check = verify_certificate(
+        &g,
+        &broken,
+        &certificate,
+        SpaceStrategy::MaterializeChain,
+        &meter,
+    )
+    .expect("valid instance");
+    println!("certificate verdict   {check:?}");
+}

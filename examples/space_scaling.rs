@@ -1,0 +1,54 @@
+//! Measuring the work space of the duality decision (Theorem 4.1).
+//!
+//! Run with `cargo run --release -p qld-harness --example space_scaling`.
+//!
+//! The paper's headline result is a space bound: `DUAL ∈ DSPACE[log² n]`.  This example
+//! runs the quadratic-logspace solver on a growing family of dual instances and prints
+//! the peak number of metered work-tape bits next to `log²` of the input size — the
+//! ratio staying bounded is the empirical signature of the theorem.  For contrast it
+//! also prints the resident size of the explicit decomposition tree the reference
+//! solver would build.
+
+use qld_core::instance::DualInstance;
+use qld_core::path::max_branching;
+use qld_core::tree::{build_tree, BuildOptions};
+use qld_core::{QuadLogspaceSolver, SpaceStrategy};
+use qld_hypergraph::generators;
+
+fn main() {
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "instance", "input-bits", "log2^2(n)", "chain-bits", "ratio", "tree-bits", "ratio"
+    );
+    let solver = QuadLogspaceSolver::new(SpaceStrategy::MaterializeChain);
+    for k in 1..=6 {
+        let li = generators::matching_instance(k);
+        let n = li.encoding_bits();
+        let log2 = (n.max(2) as f64).log2();
+        let log2sq = log2 * log2;
+
+        let (result, report) = solver.decide_with_space(&li.g, &li.h).expect("valid instance");
+        assert!(result.is_dual());
+
+        let inst = DualInstance::new(li.g.clone(), li.h.clone()).unwrap();
+        let (oriented, _) = inst.oriented();
+        let tree = build_tree(&oriented, &BuildOptions::default()).unwrap();
+        let tree_bits = tree.resident_bits(
+            oriented.num_vertices(),
+            max_branching(oriented.num_vertices(), oriented.g().num_edges()),
+        );
+
+        println!(
+            "{:<22} {:>10} {:>10.1} {:>12} {:>10.2} {:>12} {:>10.2}",
+            li.name,
+            n,
+            log2sq,
+            report.peak_bits,
+            report.peak_bits as f64 / log2sq,
+            tree_bits,
+            tree_bits as f64 / log2sq,
+        );
+    }
+    println!("\nThe solver's working set tracks log²(n) up to a small constant, while the");
+    println!("explicit decomposition tree grows polynomially with the instance.");
+}

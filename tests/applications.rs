@@ -1,0 +1,159 @@
+//! Cross-crate integration: the three database applications of `DUAL`
+//! (Propositions 1.1–1.3) agree with their brute-force baselines, for several duality
+//! solvers.
+
+use qld_core::{BorosMakinoTreeSolver, DualitySolver, QuadLogspaceSolver};
+use qld_datamining::{
+    apriori, borders_exact, dualize_and_advance_with, identify_with, Identification,
+    IdentificationInstance, NewBorderElement,
+};
+use qld_fk::FkASolver;
+use qld_hypergraph::transversal::{is_self_dual_exact, minimal_transversals};
+use qld_keys::{enumerate_minimal_keys_with, minimal_keys_brute, AdditionalKey};
+
+fn solvers() -> Vec<Box<dyn DualitySolver>> {
+    vec![
+        Box::new(QuadLogspaceSolver::default()),
+        Box::new(BorosMakinoTreeSolver::new()),
+        Box::new(FkASolver::new()),
+    ]
+}
+
+#[test]
+fn itemset_borders_match_ground_truth_for_every_solver() {
+    for seed in 0..3 {
+        let relation = qld_datamining::generators::random_relation(6, 18, 0.55, seed);
+        for z in [2, 5] {
+            let exact = borders_exact(&relation, z);
+            let level_wise = apriori(&relation, z).maximal_frequent(relation.num_items());
+            assert!(exact.maximal_frequent.same_edge_set(&level_wise));
+            for solver in solvers() {
+                let result = dualize_and_advance_with(&relation, z, solver.as_ref()).unwrap();
+                assert!(
+                    result.maximal_frequent.same_edge_set(&exact.maximal_frequent),
+                    "{} IS+ mismatch (seed {seed}, z {z})",
+                    solver.name()
+                );
+                assert!(
+                    result
+                        .minimal_infrequent
+                        .same_edge_set(&exact.minimal_infrequent),
+                    "{} IS- mismatch (seed {seed}, z {z})",
+                    solver.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn identification_discovers_each_hidden_border_element() {
+    let relation = qld_datamining::generators::planted_pattern_relation(8, 30, 3, 4, 0.1, 5);
+    let z = 6;
+    let exact = borders_exact(&relation, z);
+    // Hide each maximal frequent itemset in turn; identification must report
+    // incompleteness with a valid new element.
+    for drop in 0..exact.maximal_frequent.num_edges() {
+        let mut partial = exact.maximal_frequent.clone();
+        partial.remove_edge(drop);
+        let inst = IdentificationInstance::new(
+            &relation,
+            z,
+            exact.minimal_infrequent.clone(),
+            partial.clone(),
+        );
+        match identify_with(&inst, &QuadLogspaceSolver::default()).unwrap() {
+            Identification::Incomplete(NewBorderElement::MaximalFrequent(s)) => {
+                assert!(relation.is_maximal_frequent(&s, z));
+                assert!(!partial.contains_edge(&s));
+            }
+            Identification::Incomplete(NewBorderElement::MinimalInfrequent(s)) => {
+                assert!(relation.is_minimal_infrequent(&s, z));
+                assert!(!exact.minimal_infrequent.contains_edge(&s));
+            }
+            other => panic!("hidden element not discovered: {other:?}"),
+        }
+    }
+    // With the full borders the identification is complete.
+    let inst = IdentificationInstance::new(
+        &relation,
+        z,
+        exact.minimal_infrequent.clone(),
+        exact.maximal_frequent.clone(),
+    );
+    assert_eq!(
+        identify_with(&inst, &QuadLogspaceSolver::default()).unwrap(),
+        Identification::Complete
+    );
+}
+
+#[test]
+fn minimal_key_enumeration_matches_brute_force_for_every_solver() {
+    for seed in 0..3 {
+        let table = qld_keys::generators::random_instance(5, 9, 2, seed);
+        let brute = minimal_keys_brute(&table);
+        for solver in solvers() {
+            let (keys, calls) = enumerate_minimal_keys_with(&table, solver.as_ref()).unwrap();
+            assert!(
+                keys.same_edge_set(&brute),
+                "{} key mismatch (seed {seed})",
+                solver.name()
+            );
+            assert_eq!(calls, keys.num_edges() + 1);
+        }
+        // decision form: dropping any key is detected
+        if brute.num_edges() >= 1 {
+            let mut partial = brute.clone();
+            partial.remove_edge(0);
+            assert!(matches!(
+                qld_keys::additional_key(&table, &partial).unwrap(),
+                AdditionalKey::Found(_)
+            ));
+            assert_eq!(
+                qld_keys::additional_key(&table, &brute).unwrap(),
+                AdditionalKey::Complete
+            );
+        }
+    }
+}
+
+#[test]
+fn keys_are_minimal_transversals_of_the_disagreement_hypergraph() {
+    let table = qld_keys::generators::planted_key_instance(6, 12, &[1, 4], 3);
+    let d = qld_keys::disagreement_hypergraph(&table);
+    let keys = qld_keys::minimal_keys_exact(&table);
+    assert!(keys.same_edge_set(&minimal_transversals(&d)));
+    for k in keys.edges() {
+        assert!(table.is_minimal_key(k));
+    }
+}
+
+#[test]
+fn coterie_domination_agrees_with_exact_self_duality_for_every_solver() {
+    use qld_coteries::constructions::*;
+    let coteries = vec![
+        majority_coterie(3),
+        majority_coterie(5),
+        threshold_coterie(4, 3),
+        threshold_coterie(6, 4),
+        wheel_coterie(6),
+        grid_coterie(2, 3),
+        singleton_coterie(3, 1),
+    ];
+    for coterie in &coteries {
+        let expected = is_self_dual_exact(coterie.quorums());
+        for solver in solvers() {
+            let verdict =
+                qld_coteries::check_domination_with(coterie, solver.as_ref()).unwrap();
+            assert_eq!(
+                verdict.is_non_dominated(),
+                expected,
+                "{} on {coterie}",
+                solver.name()
+            );
+            if let qld_coteries::Domination::DominatedBy(d) = verdict {
+                assert!(qld_coteries::dominates(&d, coterie), "{coterie}");
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Cross-crate integration: structural properties of the Boros–Makino decomposition
+//! (Proposition 2.1), equivalence of the space-efficient `pathnode`/`decompose`
+//! algorithms with the explicit tree (Lemmas 4.1–4.2, Theorem 4.1), and the
+//! guess-and-check certificates (Theorem 5.1).
+
+use qld_core::guess_check::{find_certificate, verify_certificate, CertificateCheck};
+use qld_core::instance::DualInstance;
+use qld_core::path::{max_branching, max_descriptor_length};
+use qld_core::pathnode::{pathnode, PathnodeOutcome};
+use qld_core::tree::{build_tree, BuildOptions};
+use qld_core::{Mark, QuadLogspaceSolver, SpaceStrategy};
+use qld_hypergraph::generators;
+use qld_logspace::SpaceMeter;
+
+fn oriented(li: &generators::LabelledInstance) -> DualInstance {
+    DualInstance::new(li.g.clone(), li.h.clone())
+        .unwrap()
+        .oriented()
+        .0
+}
+
+#[test]
+fn proposition_2_1_bounds_hold_across_families() {
+    for li in generators::standard_corpus() {
+        if !li.dual {
+            continue; // shape bounds are stated for instances satisfying the preconditions
+        }
+        let inst = oriented(&li);
+        let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+        let stats = tree.stats();
+        assert!(
+            stats.depth <= max_descriptor_length(inst.h().num_edges()),
+            "{}: depth {} > ⌊log₂ {}⌋",
+            li.name,
+            stats.depth,
+            inst.h().num_edges()
+        );
+        assert!(
+            stats.max_branching
+                <= inst.num_vertices() * inst.g().num_edges() + 1,
+            "{}: branching bound violated",
+            li.name
+        );
+        // Proposition 2.1(1): dual instances have all leaves done.
+        assert!(tree.all_leaves_done(), "{}", li.name);
+    }
+}
+
+#[test]
+fn fail_leaves_of_non_dual_instances_carry_valid_new_transversals() {
+    for li in generators::standard_corpus() {
+        if li.dual {
+            continue;
+        }
+        let inst = oriented(&li);
+        // The tree is well-defined regardless of the preconditions; every fail witness
+        // must be a genuine new transversal (our strengthening of Prop. 2.1(4)).
+        let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+        for leaf in tree.leaves() {
+            if leaf.attr.mark == Mark::Fail {
+                let w = leaf.attr.witness.as_ref().unwrap();
+                assert!(
+                    inst.g().is_new_transversal(inst.h(), w),
+                    "{}: invalid witness at {}",
+                    li.name,
+                    leaf.attr.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pathnode_reproduces_every_tree_node_on_representative_instances() {
+    let meter = SpaceMeter::new();
+    for li in [
+        generators::matching_instance(3),
+        generators::threshold_instance(6, 3),
+        generators::self_dual_instance(2),
+        generators::graph_cover_instance("C7", generators::cycle_graph(7)),
+    ] {
+        let inst = oriented(&li);
+        let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
+        for node in tree.nodes() {
+            match pathnode(&inst, &node.attr.label, SpaceStrategy::MaterializeChain, &meter) {
+                PathnodeOutcome::Node(attr) => assert_eq!(&attr, &node.attr, "{}", li.name),
+                PathnodeOutcome::WrongPath => {
+                    panic!("{}: pathnode lost node {}", li.name, node.attr.label)
+                }
+            }
+        }
+        // a descriptor beyond the branching bound is always a wrong path
+        let too_big = max_branching(inst.num_vertices(), inst.g().num_edges()) + 1;
+        assert_eq!(
+            pathnode(
+                &inst,
+                &qld_core::PathDescriptor::from_indices([too_big]),
+                SpaceStrategy::MaterializeChain,
+                &meter
+            ),
+            PathnodeOutcome::WrongPath
+        );
+    }
+}
+
+#[test]
+fn decompose_enumeration_matches_explicit_tree() {
+    let meter = SpaceMeter::new();
+    for li in [
+        generators::matching_instance(2),
+        generators::self_dual_instance(1),
+        generators::threshold_instance(4, 2),
+    ] {
+        let inst = DualInstance::new(li.g.clone(), li.h.clone()).unwrap();
+        let out = qld_core::decompose::decompose(
+            &inst,
+            SpaceStrategy::MaterializeChain,
+            &meter,
+            50_000_000,
+        )
+        .unwrap();
+        let (oriented, _) = inst.oriented();
+        let tree = build_tree(&oriented, &BuildOptions::default()).unwrap();
+        assert_eq!(out.node_count(), tree.len(), "{}", li.name);
+        assert_eq!(out.edges.len(), tree.len() - 1, "{}", li.name);
+        let pruned =
+            qld_core::decompose::decompose_pruned(&inst, SpaceStrategy::MaterializeChain, &meter);
+        assert_eq!(pruned.node_count(), tree.len(), "{}", li.name);
+    }
+}
+
+#[test]
+fn certificates_exist_exactly_for_non_dual_instances_and_stay_small() {
+    let meter = SpaceMeter::new();
+    for li in generators::standard_corpus() {
+        let cert = find_certificate(&li.g, &li.h, &meter).unwrap();
+        assert_eq!(cert.is_some(), !li.dual, "{}", li.name);
+        if let Some(cert) = cert {
+            let check = verify_certificate(
+                &li.g,
+                &li.h,
+                &cert,
+                SpaceStrategy::MaterializeChain,
+                &meter,
+            )
+            .unwrap();
+            assert_eq!(check, CertificateCheck::RefutesDuality, "{}", li.name);
+            // O(log² n) size with an explicit constant of 4
+            let n = li.encoding_bits().max(2) as f64;
+            let budget = 4.0 * n.log2() * n.log2();
+            let bits = cert.bits(
+                li.g.num_vertices().max(li.h.num_vertices()),
+                li.g.num_edges().max(li.h.num_edges()),
+            ) as f64;
+            assert!(bits <= budget, "{}: {bits} > {budget}", li.name);
+        }
+    }
+}
+
+#[test]
+fn metered_space_stays_within_a_constant_times_log_squared_on_the_scaling_family() {
+    // The constant is generous (the meter counts every live register bit), but it must
+    // not grow with the instance: we check that the per-instance ratio is bounded and
+    // that it does not blow up across the family.
+    let solver = QuadLogspaceSolver::new(SpaceStrategy::MaterializeChain);
+    let mut ratios = Vec::new();
+    for k in 1..=6 {
+        let li = generators::matching_instance(k);
+        let (result, report) = solver.decide_with_space(&li.g, &li.h).unwrap();
+        assert!(result.is_dual());
+        ratios.push(report.ratio_to_log2_squared());
+    }
+    let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max < 60.0, "space ratio grew unexpectedly: {ratios:?}");
+    // The materializing strategy's working set is Θ(|V|·depth); on this family that is
+    // still within a constant of log², which is what the last assertion checks, and the
+    // ratios must in particular not be monotonically exploding.
+    let first = ratios[1].max(1.0);
+    let last = *ratios.last().unwrap();
+    assert!(last <= 12.0 * first, "ratios diverge: {ratios:?}");
+}
