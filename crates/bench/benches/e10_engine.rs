@@ -1,0 +1,48 @@
+//! E10 — engine batch throughput: requests/second for a mixed batch at 1, 4,
+//! and all-cores workers, with the cache off (every request computed) and on
+//! (duplicates served from the cache).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qld_engine::{Engine, EngineConfig};
+use qld_harness::workloads;
+
+fn bench_engine(c: &mut Criterion) {
+    let requests = workloads::engine_batch(120);
+    let mut group = c.benchmark_group("e10_engine");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    let all_cores = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(8);
+    let mut worker_counts = vec![1, 4, all_cores];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    for workers in worker_counts {
+        for cache in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    if cache { "cached" } else { "uncached" },
+                    format!("workers={workers}"),
+                ),
+                &requests,
+                |b, requests| {
+                    b.iter(|| {
+                        let engine = Engine::new(EngineConfig {
+                            workers,
+                            cache,
+                            ..EngineConfig::default()
+                        });
+                        criterion::black_box(engine.run_batch(requests.clone()))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_engine
+}
+criterion_main!(benches);

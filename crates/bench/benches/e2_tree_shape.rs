@@ -13,12 +13,16 @@ fn bench_tree_construction(c: &mut Criterion) {
             .unwrap()
             .oriented()
             .0;
-        group.bench_with_input(BenchmarkId::new("build_tree", &li.name), &inst, |b, inst| {
-            b.iter(|| {
-                let tree = build_tree(inst, &BuildOptions::default()).unwrap();
-                criterion::black_box(tree.stats())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_tree", &li.name),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let tree = build_tree(inst, &BuildOptions::default()).unwrap();
+                    criterion::black_box(tree.stats())
+                })
+            },
+        );
     }
     group.finish();
 }

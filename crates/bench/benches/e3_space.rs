@@ -17,15 +17,9 @@ fn bench_space_strategies(c: &mut Criterion) {
         );
         if measure_recompute {
             let recompute = QuadLogspaceSolver::new(SpaceStrategy::Recompute);
-            group.bench_with_input(
-                BenchmarkId::new("recompute", &li.name),
-                &li,
-                |b, li| {
-                    b.iter(|| {
-                        criterion::black_box(recompute.decide_with_space(&li.g, &li.h).unwrap())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("recompute", &li.name), &li, |b, li| {
+                b.iter(|| criterion::black_box(recompute.decide_with_space(&li.g, &li.h).unwrap()))
+            });
         }
     }
     group.finish();

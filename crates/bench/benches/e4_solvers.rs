@@ -33,11 +33,9 @@ fn bench_solvers(c: &mut Criterion) {
     ];
     for li in representative_instances() {
         for solver in &solvers {
-            group.bench_with_input(
-                BenchmarkId::new(solver.name(), &li.name),
-                &li,
-                |b, li| b.iter(|| criterion::black_box(solver.decide(&li.g, &li.h).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(solver.name(), &li.name), &li, |b, li| {
+                b.iter(|| criterion::black_box(solver.decide(&li.g, &li.h).unwrap()))
+            });
         }
     }
     group.finish();

@@ -10,16 +10,20 @@ fn bench_witness_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_witness");
     let solver = QuadLogspaceSolver::default();
     for li in workloads::non_dual_instances().into_iter().take(8) {
-        group.bench_with_input(BenchmarkId::new("decide+minimize", &li.name), &li, |b, li| {
-            b.iter(|| {
-                let result = solver.decide(&li.g, &li.h).unwrap();
-                let witness = result.witness().cloned();
-                let minimal = witness
-                    .as_ref()
-                    .and_then(|w| missing_dual_edge(&li.g, &li.h, w));
-                criterion::black_box((witness, minimal))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decide+minimize", &li.name),
+            &li,
+            |b, li| {
+                b.iter(|| {
+                    let result = solver.decide(&li.g, &li.h).unwrap();
+                    let witness = result.witness().cloned();
+                    let minimal = witness
+                        .as_ref()
+                        .and_then(|w| missing_dual_edge(&li.g, &li.h, w));
+                    criterion::black_box((witness, minimal))
+                })
+            },
+        );
     }
     group.finish();
 }

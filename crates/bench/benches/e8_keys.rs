@@ -14,8 +14,7 @@ fn bench_keys(c: &mut Criterion) {
             |b, table| {
                 b.iter(|| {
                     criterion::black_box(
-                        enumerate_minimal_keys_with(table, &QuadLogspaceSolver::default())
-                            .unwrap(),
+                        enumerate_minimal_keys_with(table, &QuadLogspaceSolver::default()).unwrap(),
                     )
                 })
             },
@@ -25,9 +24,11 @@ fn bench_keys(c: &mut Criterion) {
             &table,
             |b, table| b.iter(|| criterion::black_box(minimal_keys_exact(table))),
         );
-        group.bench_with_input(BenchmarkId::new("brute-force", &name), &table, |b, table| {
-            b.iter(|| criterion::black_box(minimal_keys_brute(table)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("brute-force", &name),
+            &table,
+            |b, table| b.iter(|| criterion::black_box(minimal_keys_brute(table))),
+        );
     }
     group.finish();
 }

@@ -173,7 +173,9 @@ pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
         let r = e.intersection(s);
         !r.is_empty() && r.intersects(&i_alpha)
     });
-    let contains_h_edge = h_inside.iter().any(|&j| inst.h().edge(j).is_subset(&i_alpha));
+    let contains_h_edge = h_inside
+        .iter()
+        .any(|&j| inst.h().edge(j).is_subset(&i_alpha));
     if i_alpha_transversal && !contains_h_edge {
         return Expansion::Fail {
             witness: i_alpha,

@@ -126,7 +126,12 @@ mod tests {
             generators::matching_instance(3),
             generators::threshold_instance(5, 2),
         ] {
-            assert_eq!(find_certificate(&li.g, &li.h, &meter).unwrap(), None, "{}", li.name);
+            assert_eq!(
+                find_certificate(&li.g, &li.h, &meter).unwrap(),
+                None,
+                "{}",
+                li.name
+            );
         }
     }
 
@@ -151,8 +156,8 @@ mod tests {
             assert_eq!(check, CertificateCheck::RefutesDuality, "k={k}");
             // Certificate size is small: within the O(log² n) budget with a modest
             // constant (here: ≤ 4·log₂²(input bits)).
-            let input_bits = ((broken.g.num_edges() + broken.h.num_edges())
-                * broken.g.num_vertices()) as f64;
+            let input_bits =
+                ((broken.g.num_edges() + broken.h.num_edges()) * broken.g.num_vertices()) as f64;
             let budget = 4.0 * input_bits.log2() * input_bits.log2();
             assert!(
                 (cert.bits(broken.g.num_vertices(), broken.g.num_edges()) as f64) <= budget,
@@ -171,8 +176,14 @@ mod tests {
             path: PathDescriptor::from_indices([1]),
         };
         assert_eq!(
-            verify_certificate(&li.g, &li.h, &bogus, SpaceStrategy::MaterializeChain, &meter)
-                .unwrap(),
+            verify_certificate(
+                &li.g,
+                &li.h,
+                &bogus,
+                SpaceStrategy::MaterializeChain,
+                &meter
+            )
+            .unwrap(),
             CertificateCheck::Invalid
         );
         // A wrong-path certificate on a non-dual instance is also rejected.

@@ -37,11 +37,7 @@ impl DualInstance {
         let num_vertices = g.num_vertices().max(h.num_vertices());
         let g = regrow(g, num_vertices);
         let h = regrow(h, num_vertices);
-        Ok(DualInstance {
-            g,
-            h,
-            num_vertices,
-        })
+        Ok(DualInstance { g, h, num_vertices })
     }
 
     /// Builds an instance after minimizing (absorbing) both hypergraphs, so that any
@@ -117,11 +113,17 @@ impl DualInstance {
         if g_trivial_true {
             // G = {∅} has no transversals, so tr(G) = ∅ ≠ H (H is non-empty here).
             let h_index = 0;
-            return Some(NotDual(NonDualWitness::DisjointEdges { g_index: 0, h_index }));
+            return Some(NotDual(NonDualWitness::DisjointEdges {
+                g_index: 0,
+                h_index,
+            }));
         }
         if h_trivial_true {
             let g_index = 0;
-            return Some(NotDual(NonDualWitness::DisjointEdges { g_index, h_index: 0 }));
+            return Some(NotDual(NonDualWitness::DisjointEdges {
+                g_index,
+                h_index: 0,
+            }));
         }
         None
     }

@@ -573,12 +573,24 @@ mod tests {
         let exp = expand(inst, s);
         match (&class, &exp) {
             (NodeClass::Done, Expansion::Done) => {}
-            (NodeClass::Fail(rule), Expansion::Fail { witness, rule: erule }) => {
+            (
+                NodeClass::Fail(rule),
+                Expansion::Fail {
+                    witness,
+                    rule: erule,
+                },
+            ) => {
                 assert_eq!(rule, erule);
                 let w = materialize_witness(inst, &oracle, *rule, &meter);
                 assert_eq!(&w, witness);
             }
-            (NodeClass::Branch(case), Expansion::Branch { case: ecase, children }) => {
+            (
+                NodeClass::Branch(case),
+                Expansion::Branch {
+                    case: ecase,
+                    children,
+                },
+            ) => {
                 assert_eq!(case, ecase);
                 assert_eq!(
                     child_count(inst, &oracle, &meter) as usize,
@@ -591,8 +603,9 @@ mod tests {
                     assert_eq!(&got, child, "child #{k} mismatch at S={s:?}");
                 }
                 // index past the end does not exist
-                assert!(materialize_child(inst, &oracle, children.len() as u64 + 1, &meter)
-                    .is_none());
+                assert!(
+                    materialize_child(inst, &oracle, children.len() as u64 + 1, &meter).is_none()
+                );
             }
             _ => panic!("classification mismatch at S={s:?}: {class:?} vs {exp:?}"),
         }

@@ -241,7 +241,12 @@ mod tests {
         let m_rec = SpaceMeter::new();
         let m_mat = SpaceMeter::new();
         let a = pathnode(&inst, &node.attr.label, SpaceStrategy::Recompute, &m_rec);
-        let b = pathnode(&inst, &node.attr.label, SpaceStrategy::MaterializeChain, &m_mat);
+        let b = pathnode(
+            &inst,
+            &node.attr.label,
+            SpaceStrategy::MaterializeChain,
+            &m_mat,
+        );
         assert_eq!(a, b);
         assert!(m_rec.peak_bits() > 0);
         assert!(m_mat.peak_bits() > 0);

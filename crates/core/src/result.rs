@@ -57,7 +57,10 @@ impl fmt::Display for NonDualWitness {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NonDualWitness::DisjointEdges { g_index, h_index } => {
-                write!(f, "edge #{g_index} of G is disjoint from edge #{h_index} of H")
+                write!(
+                    f,
+                    "edge #{g_index} of G is disjoint from edge #{h_index} of H"
+                )
             }
             NonDualWitness::NewTransversalOfG(t) => {
                 write!(f, "new transversal of G w.r.t. H: {t}")

@@ -16,8 +16,8 @@
 use crate::error::DualError;
 use crate::instance::DualInstance;
 use crate::oracle::{
-    child_count, child_count_given, classify, materialize_child, materialize_witness,
-    ChildOracle, MaterializedOracle, NodeClass, RootOracle, SAlphaOracle,
+    child_count, child_count_given, classify, materialize_child, materialize_witness, ChildOracle,
+    MaterializedOracle, NodeClass, RootOracle, SAlphaOracle,
 };
 use crate::pathnode::SpaceStrategy;
 use crate::result::{DualityResult, NonDualWitness};
@@ -141,12 +141,12 @@ impl QuadLogspaceSolver {
         g: &Hypergraph,
         h: &Hypergraph,
     ) -> Result<(DualityResult, SpaceReport), DualError> {
-        let input_bits = (g.num_edges() + h.num_edges()) * g.num_vertices().max(h.num_vertices()).max(1);
+        let input_bits =
+            (g.num_edges() + h.num_edges()) * g.num_vertices().max(h.num_vertices()).max(1);
         match preflight(g, h)? {
-            Preflight::Decided(answer) => Ok((
-                answer,
-                SpaceReport::new(self.strategy, 0, input_bits),
-            )),
+            Preflight::Decided(answer) => {
+                Ok((answer, SpaceReport::new(self.strategy, 0, input_bits)))
+            }
             Preflight::Ready { oriented, swapped } => {
                 let meter = SpaceMeter::new();
                 let witness = match self.strategy {
@@ -300,14 +300,23 @@ mod tests {
             generators::self_dual_instance(1),
         ] {
             let expected = are_dual_exact(&li.h, &li.g);
-            assert_eq!(solver.is_dual(&li.g, &li.h).unwrap(), expected, "{}", li.name);
+            assert_eq!(
+                solver.is_dual(&li.g, &li.h).unwrap(),
+                expected,
+                "{}",
+                li.name
+            );
         }
         // and on a perturbed (non-dual) one, with a checkable witness
         let li = generators::matching_instance(2);
         let broken = generators::perturb(&li, generators::Perturbation::DropDualEdge, 1).unwrap();
         let result = solver.decide(&broken.g, &broken.h).unwrap();
         assert!(!result.is_dual());
-        assert!(verify_witness(&broken.g, &broken.h, result.witness().unwrap()));
+        assert!(verify_witness(
+            &broken.g,
+            &broken.h,
+            result.witness().unwrap()
+        ));
     }
 
     #[test]

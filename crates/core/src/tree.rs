@@ -165,7 +165,10 @@ pub struct TreeStats {
 /// without them the tree is still well defined and every `fail` witness is still a
 /// valid new transversal, but Proposition 2.1's completeness guarantee no longer
 /// applies.
-pub fn build_tree(inst: &DualInstance, options: &BuildOptions) -> Result<DecompositionTree, DualError> {
+pub fn build_tree(
+    inst: &DualInstance,
+    options: &BuildOptions,
+) -> Result<DecompositionTree, DualError> {
     let root = NodeAttr::root(inst);
     let mut nodes = vec![TreeNode {
         attr: root,

@@ -1,21 +1,23 @@
 //! Property-based tests for the decomposition solvers.
 
 use proptest::prelude::*;
-use qld_core::prelude::*;
 use qld_core::expand::{expand, Expansion};
 use qld_core::instance::DualInstance;
 use qld_core::oracle::{self, MaterializedOracle};
 use qld_core::pathnode::SpaceStrategy;
+use qld_core::prelude::*;
 use qld_hypergraph::transversal::{are_dual_exact, minimal_transversals};
 use qld_hypergraph::{Hypergraph, VertexSet};
 use qld_logspace::SpaceMeter;
 
 /// Strategy: a random simple hypergraph with non-empty edges over `n` vertices.
 fn arb_simple_hypergraph(n: usize, max_edges: usize) -> impl Strategy<Value = Hypergraph> {
-    prop::collection::vec(prop::collection::vec(0..n, 1..=n), 1..=max_edges).prop_map(move |edges| {
-        Hypergraph::from_edges(n, edges.into_iter().map(|e| VertexSet::from_indices(n, e)))
-            .minimize()
-    })
+    prop::collection::vec(prop::collection::vec(0..n, 1..=n), 1..=max_edges).prop_map(
+        move |edges| {
+            Hypergraph::from_edges(n, edges.into_iter().map(|e| VertexSet::from_indices(n, e)))
+                .minimize()
+        },
+    )
 }
 
 proptest! {

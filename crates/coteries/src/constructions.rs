@@ -12,14 +12,20 @@ use qld_hypergraph::{generators, Hypergraph, Vertex, VertexSet};
 /// Panics if `n` is even (the even-`n` "majority" is a threshold system and is
 /// dominated; build it with [`threshold_coterie`] if that is what you want).
 pub fn majority_coterie(n: usize) -> Coterie {
-    assert!(n % 2 == 1, "majority coterie requires an odd number of nodes");
+    assert!(
+        n % 2 == 1,
+        "majority coterie requires an odd number of nodes"
+    );
     threshold_coterie(n, n / 2 + 1)
 }
 
 /// The threshold (voting) coterie: all `k`-element subsets of `n` nodes.  Requires
 /// `2k > n` so that any two quorums intersect.
 pub fn threshold_coterie(n: usize, k: usize) -> Coterie {
-    assert!(2 * k > n, "threshold coterie requires 2k > n for intersection");
+    assert!(
+        2 * k > n,
+        "threshold coterie requires 2k > n for intersection"
+    );
     Coterie::new(generators::threshold_hypergraph(n, k))
         .expect("threshold family with 2k > n is a coterie")
 }

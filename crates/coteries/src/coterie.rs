@@ -74,7 +74,10 @@ impl Coterie {
         for (i, a) in quorums.edges().iter().enumerate() {
             for (j, b) in quorums.edges().iter().enumerate() {
                 if i < j && a.is_disjoint(b) {
-                    return Err(CoterieError::DisjointQuorums { first: i, second: j });
+                    return Err(CoterieError::DisjointQuorums {
+                        first: i,
+                        second: j,
+                    });
                 }
                 if i != j && a.is_subset(b) {
                     return Err(CoterieError::NonMinimalQuorum {
@@ -156,7 +159,10 @@ mod tests {
         ));
         assert!(matches!(
             Coterie::from_index_quorums(4, &[&[0, 1], &[2, 3]]).unwrap_err(),
-            CoterieError::DisjointQuorums { first: 0, second: 1 }
+            CoterieError::DisjointQuorums {
+                first: 0,
+                second: 1
+            }
         ));
         assert!(matches!(
             Coterie::from_index_quorums(3, &[&[0, 1], &[0, 1, 2]]).unwrap_err(),
@@ -164,9 +170,12 @@ mod tests {
         ));
         // error messages are informative
         assert!(CoterieError::Empty.to_string().contains("at least one"));
-        assert!(CoterieError::DisjointQuorums { first: 0, second: 1 }
-            .to_string()
-            .contains("do not intersect"));
+        assert!(CoterieError::DisjointQuorums {
+            first: 0,
+            second: 1
+        }
+        .to_string()
+        .contains("do not intersect"));
     }
 
     #[test]

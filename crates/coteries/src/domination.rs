@@ -7,7 +7,7 @@
 //! `DUAL` problem.
 
 use crate::coterie::{Coterie, CoterieError};
-use qld_core::{DualError, DualitySolver, DualityResult, NonDualWitness, QuadLogspaceSolver};
+use qld_core::{DualError, DualityResult, DualitySolver, NonDualWitness, QuadLogspaceSolver};
 use qld_hypergraph::Hypergraph;
 
 /// The outcome of the domination check.

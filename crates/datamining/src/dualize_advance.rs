@@ -94,7 +94,9 @@ mod tests {
             let result = dualize_and_advance(&m, z).unwrap();
             let exact = borders_exact(&m, z);
             assert!(
-                result.maximal_frequent.same_edge_set(&exact.maximal_frequent),
+                result
+                    .maximal_frequent
+                    .same_edge_set(&exact.maximal_frequent),
                 "IS⁺ mismatch at z={z}"
             );
             assert!(
@@ -119,7 +121,9 @@ mod tests {
                 let result = dualize_and_advance(&m, z).unwrap();
                 let exact = borders_exact(&m, z);
                 assert!(
-                    result.maximal_frequent.same_edge_set(&exact.maximal_frequent),
+                    result
+                        .maximal_frequent
+                        .same_edge_set(&exact.maximal_frequent),
                     "seed={seed} z={z}"
                 );
                 assert!(

@@ -9,7 +9,7 @@
 //! a minimal infrequent itemset missing from `G`).
 
 use crate::relation::BooleanRelation;
-use qld_core::{DualError, DualitySolver, DualityResult, NonDualWitness, QuadLogspaceSolver};
+use qld_core::{DualError, DualityResult, DualitySolver, NonDualWitness, QuadLogspaceSolver};
 use qld_hypergraph::{Hypergraph, VertexSet};
 
 /// Why an input family is not a valid partial border.
@@ -102,9 +102,9 @@ pub fn identify_with(
     }
     for e in instance.minimal_infrequent.edges() {
         if !m.is_minimal_infrequent(e, z) {
-            return Ok(Identification::Invalid(InvalidBorder::NotMinimalInfrequent(
-                e.clone(),
-            )));
+            return Ok(Identification::Invalid(
+                InvalidBorder::NotMinimalInfrequent(e.clone()),
+            ));
         }
     }
 
@@ -270,8 +270,7 @@ mod tests {
     fn empty_borders_yield_a_first_element() {
         let m = sample();
         let z = 2;
-        let inst =
-            IdentificationInstance::new(&m, z, Hypergraph::new(4), Hypergraph::new(4));
+        let inst = IdentificationInstance::new(&m, z, Hypergraph::new(4), Hypergraph::new(4));
         match identify(&inst).unwrap() {
             Identification::Incomplete(elem) => match elem {
                 NewBorderElement::MaximalFrequent(s) => assert!(m.is_maximal_frequent(&s, z)),

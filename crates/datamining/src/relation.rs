@@ -126,7 +126,9 @@ impl BooleanRelation {
         if self.is_frequent(itemset, z) {
             return false;
         }
-        itemset.iter().all(|v| self.is_frequent(&itemset.without(v), z))
+        itemset
+            .iter()
+            .all(|v| self.is_frequent(&itemset.without(v), z))
     }
 }
 
@@ -184,7 +186,7 @@ mod tests {
         assert!(m.is_maximal_frequent(&vset![4; 0, 1], z));
         assert!(!m.is_maximal_frequent(&vset![4; 0], z)); // extensible to {0,1} or {0,2}
         assert!(!m.is_maximal_frequent(&vset![4; 3], z)); // infrequent
-        // {3} has frequency 2 ≤ 2 and the empty set is frequent.
+                                                          // {3} has frequency 2 ≤ 2 and the empty set is frequent.
         assert!(m.is_minimal_infrequent(&vset![4; 3], z));
         assert!(!m.is_minimal_infrequent(&vset![4; 0, 3], z)); // {3} already infrequent
         assert!(!m.is_minimal_infrequent(&vset![4; 0], z)); // frequent

@@ -1,0 +1,343 @@
+//! `qld` — command-line front end of the batch query engine.
+//!
+//! ```text
+//! qld check <G.qld> <H.qld>            decide duality of two hypergraph files
+//! qld enumerate <G.qld> [--limit K]    enumerate minimal transversals
+//! qld mine <REL.qld> --threshold Z     itemset-border identification
+//!          [--g G.qld] [--h H.qld]
+//! qld keys <TABLE.txt>                 enumerate minimal keys of a table
+//! qld serve [--workers N] [...]        stream wire-format requests (stdin or
+//!                                      --input FILE) to JSON-lines responses
+//! ```
+//!
+//! All subcommands answer with JSON lines on stdout.  Common options:
+//! `--workers N`, `--queue CAP`, `--no-cache`, `--solver auto|bm|quadlog|
+//! quadlog-recompute`.  File arguments use the line-oriented `.qld` syntax of
+//! `qld_hypergraph::format` (relations: one row per line; key tables: one row
+//! of integer attribute values per line); `-` reads the operand from stdin.
+
+use qld_engine::{
+    wire, Engine, EngineConfig, FixedPolicy, Request, SizeThresholdPolicy, SolverKind, SolverPolicy,
+};
+use qld_hypergraph::{format, Hypergraph};
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+qld — batch query engine over the quadratic-logspace duality solvers
+
+USAGE:
+  qld check <G.qld> <H.qld> [options]       decide whether G and H are dual
+  qld enumerate <G.qld> [--limit K] [opts]  enumerate minimal transversals of G
+  qld mine <REL.qld> --threshold Z [--g G.qld] [--h H.qld] [options]
+                                            frequent-itemset border identification
+  qld keys <TABLE.txt> [options]            enumerate minimal keys of a relation
+  qld serve [--input FILE] [options]        serve wire-format request lines
+
+OPTIONS:
+  --workers N    worker threads (default: available parallelism, capped at 8)
+  --queue CAP    bounded submission queue capacity (default 256)
+  --no-cache     disable the result cache
+  --solver S     auto | bm | quadlog | quadlog-recompute  (default auto)
+  --limit K      (enumerate) stop after K transversals
+  --threshold Z  (mine) frequency threshold: frequent iff freq > Z
+  --g FILE       (mine) known minimal infrequent itemsets
+  --h FILE       (mine) known maximal frequent itemsets
+  --input FILE   (serve) read request lines from FILE instead of stdin
+
+WIRE FORMAT (one request per line, for `serve`):
+  check <G> <H>           e.g.  check 0,1;2,3 0,2;0,3;1,2;1,3
+  enumerate <G> [limit=K]
+  mine <REL> z=<Z> [g=<G>] [h=<H>]
+  keys <TABLE>            e.g.  keys 1,2;1,3
+Inline families: edges `;`-separated, vertices `,`-separated, optional `n=N:`
+prefix; `-` = no edges, `.` = the empty edge.  Responses are JSON lines.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("qld: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Options shared by all subcommands.
+struct Options {
+    workers: Option<usize>,
+    queue: usize,
+    cache: bool,
+    solver: Option<SolverKind>,
+    limit: Option<usize>,
+    threshold: Option<usize>,
+    g_file: Option<String>,
+    h_file: Option<String>,
+    input: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workers: None,
+        queue: 256,
+        cache: true,
+        solver: None,
+        limit: None,
+        threshold: None,
+        g_file: None,
+        h_file: None,
+        input: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} requires a value"))
+                .map(str::to_string)
+        };
+        match arg.as_str() {
+            "--workers" => opts.workers = Some(parse_num(&value_of("--workers")?, "--workers")?),
+            "--queue" => opts.queue = parse_num(&value_of("--queue")?, "--queue")?,
+            "--no-cache" => opts.cache = false,
+            "--solver" => {
+                let name = value_of("--solver")?;
+                opts.solver = match name.as_str() {
+                    "auto" => None,
+                    other => Some(
+                        SolverKind::from_name(other)
+                            .ok_or_else(|| format!("unknown solver `{other}`"))?,
+                    ),
+                };
+            }
+            "--limit" => opts.limit = Some(parse_num(&value_of("--limit")?, "--limit")?),
+            "--threshold" => {
+                opts.threshold = Some(parse_num(&value_of("--threshold")?, "--threshold")?)
+            }
+            "--g" => opts.g_file = Some(value_of("--g")?),
+            "--h" => opts.h_file = Some(value_of("--h")?),
+            "--input" => opts.input = Some(value_of("--input")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num(value: &str, flag: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid number `{value}`"))
+}
+
+fn engine_from(opts: &Options) -> Engine {
+    let policy: Arc<dyn SolverPolicy> = match opts.solver {
+        Some(kind) => Arc::new(FixedPolicy(kind)),
+        None => Arc::new(SizeThresholdPolicy::default()),
+    };
+    let defaults = EngineConfig::default();
+    Engine::new(EngineConfig {
+        workers: opts.workers.unwrap_or(defaults.workers),
+        queue_capacity: opts.queue,
+        cache: opts.cache,
+        policy,
+    })
+}
+
+fn read_operand(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_hypergraph(path: &str) -> Result<Hypergraph, String> {
+    let text = read_operand(path)?;
+    format::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_relation(path: &str) -> Result<qld_datamining::BooleanRelation, String> {
+    // Relations reuse the `.qld` line syntax, but rows are a multiset: parse
+    // line by line instead of going through the simple-hypergraph parser.
+    let text = read_operand(path)?;
+    let mut inline = String::new();
+    let mut declared_n = None;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            for token in rest.split_whitespace() {
+                if let Some(v) = token.strip_prefix("n=") {
+                    declared_n = v.parse::<usize>().ok();
+                }
+            }
+            continue;
+        }
+        if !inline.is_empty() {
+            inline.push(';');
+        }
+        inline.push_str(&line.split_whitespace().collect::<Vec<_>>().join(","));
+    }
+    let token = match declared_n {
+        Some(n) => format!("n={n}:{}", if inline.is_empty() { "-" } else { &inline }),
+        None if inline.is_empty() => "-".to_string(),
+        None => inline,
+    };
+    wire::parse_relation(&token).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_key_table(path: &str) -> Result<qld_keys::RelationInstance, String> {
+    let text = read_operand(path)?;
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut row = Vec::new();
+        for field in line.split_whitespace() {
+            row.push(
+                field
+                    .parse::<u32>()
+                    .map_err(|_| format!("{path}:{}: invalid value `{field}`", lineno + 1))?,
+            );
+        }
+        rows.push(row);
+    }
+    let width = rows.first().map_or(0, Vec::len);
+    if rows.iter().any(|r| r.len() != width) {
+        return Err(format!("{path}: ragged table (rows must have equal width)"));
+    }
+    Ok(qld_keys::RelationInstance::from_rows(width, rows))
+}
+
+fn emit_one(engine: &Engine, request: Request) -> ExitCode {
+    let response = engine.run_one(request);
+    println!("{}", response.to_json_line());
+    if response.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first().map(String::as_str) else {
+        print!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let opts = parse_options(&args[1..])?;
+    let engine = engine_from(&opts);
+    match command {
+        "check" => {
+            let [g, h] = two_positional(&opts, "check <G.qld> <H.qld>")?;
+            let request = Request::DecideDuality {
+                g: load_hypergraph(&g)?,
+                h: load_hypergraph(&h)?,
+            };
+            Ok(emit_one(&engine, request))
+        }
+        "enumerate" => {
+            let g = one_positional(&opts, "enumerate <G.qld>")?;
+            let request = Request::EnumerateTransversals {
+                g: load_hypergraph(&g)?,
+                limit: opts.limit,
+            };
+            Ok(emit_one(&engine, request))
+        }
+        "mine" => {
+            let rel = one_positional(&opts, "mine <REL.qld> --threshold Z")?;
+            let relation = load_relation(&rel)?;
+            let threshold = opts
+                .threshold
+                .ok_or_else(|| "mine requires --threshold Z".to_string())?;
+            let n = relation.num_items();
+            let minimal_infrequent = match &opts.g_file {
+                Some(path) => load_hypergraph(path)?,
+                None => Hypergraph::new(n),
+            };
+            let maximal_frequent = match &opts.h_file {
+                Some(path) => load_hypergraph(path)?,
+                None => Hypergraph::new(n),
+            };
+            let request = Request::IdentifyItemsetBorders {
+                relation,
+                threshold,
+                minimal_infrequent,
+                maximal_frequent,
+            };
+            Ok(emit_one(&engine, request))
+        }
+        "keys" => {
+            let table = one_positional(&opts, "keys <TABLE.txt>")?;
+            let request = Request::FindMinimalKeys {
+                instance: load_key_table(&table)?,
+            };
+            Ok(emit_one(&engine, request))
+        }
+        "serve" => {
+            if !opts.positional.is_empty() {
+                return Err("serve takes no positional arguments (use --input FILE)".to_string());
+            }
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let summary = match &opts.input {
+                Some(path) if path != "-" => {
+                    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+                    engine
+                        .serve(BufReader::new(file), &mut out)
+                        .map_err(|e| format!("serve: {e}"))?
+                }
+                _ => engine
+                    .serve(BufReader::new(std::io::stdin()), &mut out)
+                    .map_err(|e| format!("serve: {e}"))?,
+            };
+            out.flush().map_err(|e| format!("serve: {e}"))?;
+            let cache = engine.cache_stats();
+            eprintln!(
+                "qld serve: {} request(s), {} error(s), cache {} hit(s) / {} miss(es), {} worker(s)",
+                summary.requests,
+                summary.errors,
+                cache.hits,
+                cache.misses,
+                engine.config().workers
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{other}` (see `qld --help`)")),
+    }
+}
+
+fn one_positional(opts: &Options, usage: &str) -> Result<String, String> {
+    match opts.positional.as_slice() {
+        [one] => Ok(one.clone()),
+        _ => Err(format!("usage: qld {usage}")),
+    }
+}
+
+fn two_positional(opts: &Options, usage: &str) -> Result<[String; 2], String> {
+    match opts.positional.as_slice() {
+        [a, b] => Ok([a.clone(), b.clone()]),
+        _ => Err(format!("usage: qld {usage}")),
+    }
+}

@@ -1,0 +1,156 @@
+//! The engine's result cache.
+//!
+//! Keys are the canonical request encodings of [`crate::request::Request::cache_key`],
+//! so syntactically different but semantically identical requests share one
+//! entry: permuted or absorbed (non-minimal) edges for `check`/`enumerate`,
+//! permuted edges and reordered relation rows for `mine`/`keys`.
+//! The cache stores finished outcomes, not parsed inputs: repeated requests
+//! skip the solver entirely.
+
+use crate::ops::ExecInfo;
+use crate::response::Outcome;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A finished result as stored in the cache.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// The outcome (or rendered error) of the first execution.
+    pub outcome: Result<Outcome, String>,
+    /// Telemetry of the first execution (solver name, peak bits, call count).
+    pub info: ExecInfo,
+}
+
+/// Hit/miss counters of a [`QueryCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of lookups answered from the cache.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of entries currently stored.
+    pub entries: u64,
+}
+
+/// Default bound on stored entries (see [`QueryCache::with_capacity`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
+/// A shared, thread-safe map from canonical request keys to finished results.
+///
+/// The cache is bounded: once `capacity` distinct keys are stored, further
+/// *new* keys are not admitted (existing entries keep being served and can be
+/// refreshed).  This caps memory on long-running `serve` sessions with
+/// mostly-unique traffic; proper LRU eviction is future work (see
+/// `ROADMAP.md`).
+#[derive(Debug)]
+pub struct QueryCache {
+    map: Mutex<HashMap<String, CachedResult>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl QueryCache {
+    /// An empty cache with the default entry bound.
+    pub fn new() -> Self {
+        QueryCache::default()
+    }
+
+    /// An empty cache admitting at most `capacity` distinct keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        QueryCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a canonical key, counting the hit or miss.
+    pub fn get(&self, key: &str) -> Option<CachedResult> {
+        let found = lock_ignoring_poison(&self.map).get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a finished result under its canonical key.  New keys are
+    /// dropped once the cache holds `capacity` entries.
+    pub fn insert(&self, key: String, result: CachedResult) {
+        let mut map = lock_ignoring_poison(&self.map);
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            return;
+        }
+        map.insert(key, result);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: lock_ignoring_poison(&self.map).len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::Outcome;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = QueryCache::new();
+        assert!(cache.get("k").is_none());
+        cache.insert(
+            "k".into(),
+            CachedResult {
+                outcome: Ok(Outcome::Duality {
+                    dual: true,
+                    witness: None,
+                }),
+                info: ExecInfo::default(),
+            },
+        );
+        assert!(cache.get("k").is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_bounds_distinct_keys() {
+        let cache = QueryCache::with_capacity(2);
+        let entry = || CachedResult {
+            outcome: Ok(Outcome::Duality {
+                dual: true,
+                witness: None,
+            }),
+            info: ExecInfo::default(),
+        };
+        cache.insert("a".into(), entry());
+        cache.insert("b".into(), entry());
+        cache.insert("c".into(), entry()); // dropped: cache full
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_none());
+        // existing keys can still be refreshed at capacity
+        cache.insert("a".into(), entry());
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

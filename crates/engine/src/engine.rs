@@ -1,0 +1,592 @@
+//! The concurrent batch engine: a sharded worker pool over the solvers.
+//!
+//! Requests enter through a **bounded** queue (submission blocks when all
+//! workers are busy and the queue is full — backpressure, not unbounded
+//! buffering), are executed on `workers` OS threads, and come back as
+//! [`Response`]s carrying per-request stats.  Results are deterministic: the
+//! engine only parallelizes *across* requests, every request is answered
+//! exactly as a direct single-threaded solver call would answer it, and both
+//! [`Engine::run_batch`] and [`Engine::serve`] emit responses in request
+//! order.
+
+use crate::cache::{CacheStats, CachedResult, QueryCache};
+use crate::ops;
+use crate::policy::{SizeThresholdPolicy, SolverPolicy};
+use crate::request::Request;
+use crate::response::{RequestStats, Response};
+use crate::wire;
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Engine construction parameters.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads (shards).
+    pub workers: usize,
+    /// Capacity of the bounded submission queue; submission blocks beyond it.
+    pub queue_capacity: usize,
+    /// Whether to cache results keyed by canonical request encodings.
+    pub cache: bool,
+    /// Solver routing policy applied to every duality call.
+    pub policy: Arc<dyn SolverPolicy>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: thread::available_parallelism()
+                .map_or(4, usize::from)
+                .min(8),
+            queue_capacity: 256,
+            cache: true,
+            policy: Arc::new(SizeThresholdPolicy::default()),
+        }
+    }
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("cache", &self.cache)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+/// Summary of one [`Engine::serve`] session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Requests answered (including per-request errors).
+    pub requests: u64,
+    /// Requests that produced an error response.
+    pub errors: u64,
+}
+
+/// The concurrent batch query engine.
+pub struct Engine {
+    config: EngineConfig,
+    cache: Arc<QueryCache>,
+}
+
+/// A unit of work: either a parsed request or a parse error to report.
+type Job = (u64, Result<Request, String>);
+
+impl Engine {
+    /// Builds an engine from a configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            cache: Arc::new(QueryCache::new()),
+        }
+    }
+
+    /// An engine with default configuration.
+    pub fn with_defaults() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Counters of the shared result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Executes a batch of requests on the worker pool; `responses[i]` answers
+    /// `requests[i]`.
+    pub fn run_batch(&self, requests: Vec<Request>) -> Vec<Response> {
+        let total = requests.len();
+        let mut out: Vec<Option<Response>> = Vec::new();
+        out.resize_with(total, || None);
+        self.pump(
+            requests.into_iter().map(Ok),
+            || false,
+            |response: Response| {
+                let slot = response.id as usize;
+                out[slot] = Some(response);
+                true
+            },
+        );
+        out.into_iter()
+            .map(|slot| slot.expect("worker pool answered every request"))
+            .collect()
+    }
+
+    /// Convenience wrapper for a single request.
+    pub fn run_one(&self, request: Request) -> Response {
+        self.run_batch(vec![request])
+            .pop()
+            .expect("one response for one request")
+    }
+
+    /// Streams wire-format request lines from `input` and writes JSON-lines
+    /// responses to `output` **in request order** (a reorder buffer holds
+    /// responses that finish early).  Responses are written and flushed as
+    /// soon as they are in-order ready — a client that sends one request and
+    /// waits for its answer gets it without closing the input.  Blank lines
+    /// and `#` comments are skipped.
+    ///
+    /// Errors reading the input or writing the output abort the session (no
+    /// further lines are read) and are returned; responses already written
+    /// stay valid.
+    pub fn serve<R: BufRead + Send, W: Write>(
+        &self,
+        input: R,
+        output: &mut W,
+    ) -> std::io::Result<ServeSummary> {
+        let mut summary = ServeSummary::default();
+        let mut write_error: Option<std::io::Error> = None;
+        let read_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        // Bound on completed-but-unemitted responses: one slow head-of-line
+        // request must not let the reorder buffer grow with the stream.  The
+        // feeder pauses once this many responses are held.
+        let reorder_capacity = self.config.queue_capacity.max(1) * 4;
+        let held = Arc::new(AtomicUsize::new(0));
+        {
+            let mut next_to_emit: u64 = 0;
+            let mut pending: BTreeMap<u64, Response> = BTreeMap::new();
+            let read_error = &read_error;
+            let jobs = input
+                .lines()
+                .map_while(move |line| match line {
+                    Ok(line) => Some(line),
+                    Err(e) => {
+                        *lock_ignoring_poison(read_error) = Some(e);
+                        None
+                    }
+                })
+                .filter(|line| {
+                    let t = line.trim();
+                    !t.is_empty() && !t.starts_with('#')
+                })
+                .map(|line| wire::parse_request(&line));
+            let held_feeder = Arc::clone(&held);
+            let throttle = move || held_feeder.load(Ordering::Relaxed) >= reorder_capacity;
+            self.pump(jobs, throttle, |response: Response| {
+                summary.requests += 1;
+                if !response.is_ok() {
+                    summary.errors += 1;
+                }
+                pending.insert(response.id, response);
+                let mut wrote = false;
+                while let Some(ready) = pending.remove(&next_to_emit) {
+                    if let Err(e) = writeln!(output, "{}", ready.to_json_line()) {
+                        write_error = Some(e);
+                        return false;
+                    }
+                    wrote = true;
+                    next_to_emit += 1;
+                }
+                held.store(pending.len(), Ordering::Relaxed);
+                if wrote {
+                    if let Err(e) = output.flush() {
+                        write_error = Some(e);
+                        return false;
+                    }
+                }
+                true
+            });
+        }
+        if let Some(e) = write_error {
+            return Err(e);
+        }
+        if let Some(e) = read_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
+        output.flush()?;
+        Ok(summary)
+    }
+
+    /// The shared pool driver: a feeder thread pushes `jobs` through the
+    /// bounded queue to the workers while the calling thread hands every
+    /// response to `collect` as it completes (callers reorder if they need
+    /// to).  The feeder pauses while `throttle()` is true (used by `serve` to
+    /// bound its reorder buffer).  `collect` returning `false` aborts the
+    /// session: the feeder stops reading jobs, in-flight work is drained and
+    /// discarded.
+    fn pump<I, T, F>(&self, jobs: I, throttle: T, mut collect: F)
+    where
+        I: Iterator<Item = Result<Request, String>> + Send,
+        T: Fn() -> bool + Send,
+        F: FnMut(Response) -> bool,
+    {
+        let workers = self.config.workers.max(1);
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(self.config.queue_capacity.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (response_tx, response_rx) = mpsc::channel::<Response>();
+        let config = &self.config;
+        let cache = &self.cache;
+        let abort = AtomicBool::new(false);
+        thread::scope(|scope| {
+            for worker_index in 0..workers {
+                let job_rx = Arc::clone(&job_rx);
+                let response_tx = response_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue itself.  A
+                    // poisoned lock (another worker panicked mid-dequeue) is
+                    // recovered: losing one worker must not kill the session.
+                    let job = { lock_ignoring_poison(&job_rx).recv() };
+                    let Ok((id, parsed)) = job else { break };
+                    let response = match parsed {
+                        Ok(request) => process_one(id, &request, worker_index, config, cache),
+                        Err(message) => Response {
+                            id,
+                            outcome: Err(message),
+                            stats: RequestStats {
+                                worker: worker_index,
+                                solver: "-".to_string(),
+                                ..RequestStats::default()
+                            },
+                        },
+                    };
+                    if response_tx.send(response).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(response_tx);
+            // Feeder thread: jobs enter the bounded queue with backpressure
+            // (send blocks while all workers are busy and the queue is full),
+            // pausing while the caller's reorder buffer is at capacity.
+            let abort = &abort;
+            scope.spawn(move || {
+                for (id, job) in jobs.enumerate() {
+                    while throttle() && !abort.load(Ordering::Relaxed) {
+                        thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if job_tx.send((id as u64, job)).is_err() {
+                        break;
+                    }
+                }
+            });
+            // Collector (this thread): drain responses as they complete, so
+            // callers can stream them out without waiting for input EOF.
+            let mut aborted = false;
+            for response in response_rx {
+                if aborted {
+                    continue; // drain in-flight work, discard
+                }
+                if !collect(response) {
+                    aborted = true;
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked (the
+/// engine's shared state — queue receiver, error slots — stays consistent
+/// across a worker panic, and one poisoned request must not take down the
+/// session).
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Executes one request on a worker: cache lookup, solver dispatch, stats.
+fn process_one(
+    id: u64,
+    request: &Request,
+    worker: usize,
+    config: &EngineConfig,
+    cache: &QueryCache,
+) -> Response {
+    let started = Instant::now();
+    let key = config.cache.then(|| request.cache_key());
+    if let Some(key) = &key {
+        if let Some(hit) = cache.get(key) {
+            return Response {
+                id,
+                outcome: hit.outcome,
+                stats: RequestStats {
+                    micros: started.elapsed().as_micros(),
+                    peak_bits: hit.info.peak_bits,
+                    solver: hit.info.solver,
+                    duality_calls: hit.info.duality_calls,
+                    cache_hit: true,
+                    worker,
+                },
+            };
+        }
+    }
+    let (outcome, info) = ops::execute(request, config.policy.as_ref());
+    if let Some(key) = key {
+        cache.insert(
+            key,
+            CachedResult {
+                outcome: outcome.clone(),
+                info: info.clone(),
+            },
+        );
+    }
+    Response {
+        id,
+        outcome,
+        stats: RequestStats {
+            micros: started.elapsed().as_micros(),
+            peak_bits: info.peak_bits,
+            solver: info.solver,
+            duality_calls: info.duality_calls,
+            cache_hit: false,
+            worker,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::Outcome;
+    use qld_hypergraph::generators;
+    use std::io::{BufReader, Read};
+    use std::time::Duration;
+
+    fn engine(workers: usize, cache: bool) -> Engine {
+        Engine::new(EngineConfig {
+            workers,
+            queue_capacity: 4,
+            cache,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let eng = engine(3, true);
+        let requests: Vec<Request> = (1..=4)
+            .map(|k| {
+                let li = generators::matching_instance(k);
+                Request::DecideDuality { g: li.g, h: li.h }
+            })
+            .collect();
+        let responses = eng.run_batch(requests);
+        assert_eq!(responses.len(), 4);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(
+                r.outcome,
+                Ok(Outcome::Duality {
+                    dual: true,
+                    witness: None
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache() {
+        let eng = engine(2, true);
+        let li = generators::matching_instance(2);
+        let req = Request::DecideDuality { g: li.g, h: li.h };
+        let responses = eng.run_batch(vec![req.clone(), req.clone(), req]);
+        assert!(responses.iter().all(|r| r.is_ok()));
+        let stats = eng.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert!(
+            stats.hits >= 1,
+            "expected at least one cache hit: {stats:?}"
+        );
+        // Cached responses are flagged and agree with the computed one.
+        let computed: Vec<_> = responses.iter().filter(|r| !r.stats.cache_hit).collect();
+        let hits: Vec<_> = responses.iter().filter(|r| r.stats.cache_hit).collect();
+        assert!(!computed.is_empty());
+        for h in hits {
+            assert_eq!(h.outcome, computed[0].outcome);
+        }
+    }
+
+    #[test]
+    fn serve_emits_ordered_json_lines() {
+        let eng = engine(4, true);
+        let input = "\
+# a comment, then a blank line
+
+check 0,1;2,3 0,2;0,3;1,2;1,3
+check 0,1;2,3 0,2;0,3;1,2
+enumerate n=4:0,1;2,3 limit=2
+bogus line
+keys 1,2;1,3
+";
+        let mut out = Vec::new();
+        let summary = eng.serve(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.errors, 1);
+        let lines: Vec<String> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 5);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.starts_with(&format!("{{\"id\":{i},")),
+                "line {i}: {line}"
+            );
+        }
+        assert!(lines[0].contains("\"dual\":true"));
+        assert!(lines[1].contains("\"dual\":false"));
+        assert!(lines[2].contains("\"complete\":false") && lines[2].contains("\"count\":2"));
+        assert!(lines[3].contains("\"ok\":false"));
+        assert!(lines[4].contains("\"kind\":\"keys\""));
+    }
+
+    /// A reader that yields one request line, then holds the input open until
+    /// it sees the response flag (set by [`FlagWriter`]) before reporting EOF.
+    /// If `serve` only answered at EOF this would never observe the flag.
+    struct GatedReader {
+        sent_line: bool,
+        responded: Arc<AtomicBool>,
+        saw_response_before_eof: Arc<AtomicBool>,
+    }
+
+    impl Read for GatedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.sent_line {
+                self.sent_line = true;
+                let line = b"check 0,1;2,3 0,2;0,3;1,2;1,3\n";
+                buf[..line.len()].copy_from_slice(line);
+                return Ok(line.len());
+            }
+            for _ in 0..1000 {
+                if self.responded.load(Ordering::Relaxed) {
+                    self.saw_response_before_eof.store(true, Ordering::Relaxed);
+                    break;
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+            Ok(0)
+        }
+    }
+
+    /// Sets a flag as soon as one full JSON line has been written.
+    struct FlagWriter {
+        responded: Arc<AtomicBool>,
+        data: Vec<u8>,
+    }
+
+    impl Write for FlagWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.data.extend_from_slice(buf);
+            if self.data.contains(&b'\n') {
+                self.responded.store(true, Ordering::Relaxed);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_streams_responses_before_input_eof() {
+        let responded = Arc::new(AtomicBool::new(false));
+        let saw = Arc::new(AtomicBool::new(false));
+        let reader = BufReader::new(GatedReader {
+            sent_line: false,
+            responded: Arc::clone(&responded),
+            saw_response_before_eof: Arc::clone(&saw),
+        });
+        let mut writer = FlagWriter {
+            responded: Arc::clone(&responded),
+            data: Vec::new(),
+        };
+        let summary = engine(2, true).serve(reader, &mut writer).unwrap();
+        assert_eq!(summary.requests, 1);
+        assert!(
+            saw.load(Ordering::Relaxed),
+            "response was not written until the input closed"
+        );
+        assert!(String::from_utf8(writer.data)
+            .unwrap()
+            .contains("\"dual\":true"));
+    }
+
+    /// A writer that fails every write.
+    struct BrokenWriter;
+
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "broken pipe",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_aborts_on_write_error() {
+        let input: String = "check 0,1;2,3 0,2;0,3;1,2;1,3\n".repeat(64);
+        let err = engine(2, false)
+            .serve(input.as_bytes(), &mut BrokenWriter)
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    }
+
+    /// A reader that yields one good line and then an I/O error.
+    struct FailingReader {
+        sent_line: bool,
+    }
+
+    impl Read for FailingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.sent_line {
+                self.sent_line = true;
+                let line = b"check 0,1;2,3 0,2;0,3;1,2;1,3\n";
+                buf[..line.len()].copy_from_slice(line);
+                return Ok(line.len());
+            }
+            Err(std::io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn serve_propagates_read_errors() {
+        let reader = BufReader::new(FailingReader { sent_line: false });
+        let mut out = Vec::new();
+        let err = engine(1, false).serve(reader, &mut out).unwrap_err();
+        assert_eq!(err.to_string(), "disk on fire");
+        // the request read before the failure was still answered
+        assert!(String::from_utf8(out).unwrap().contains("\"dual\":true"));
+    }
+
+    #[test]
+    fn queue_smaller_than_batch_still_completes() {
+        let eng = Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 1,
+            cache: false,
+            ..EngineConfig::default()
+        });
+        let li = generators::matching_instance(2);
+        let requests: Vec<Request> = (0..32)
+            .map(|_| Request::DecideDuality {
+                g: li.g.clone(),
+                h: li.h.clone(),
+            })
+            .collect();
+        let responses = eng.run_batch(requests);
+        assert_eq!(responses.len(), 32);
+        assert!(responses.iter().all(|r| r.is_ok()));
+        // Cache disabled: no entries, and every response computed fresh.
+        assert_eq!(eng.cache_stats().entries, 0);
+        assert!(responses.iter().all(|r| !r.stats.cache_hit));
+    }
+}

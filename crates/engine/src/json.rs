@@ -1,0 +1,134 @@
+//! Minimal JSON emission helpers.
+//!
+//! The engine's wire responses are JSON lines; since the build environment has
+//! no serialization framework available, this module provides the few
+//! hand-rolled builders the [`crate::response`] module needs.  Only emission is
+//! supported — the engine never parses JSON.
+
+use std::fmt::Write;
+
+/// Escapes `s` as the contents of a JSON string literal (quotes included).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a slice of indices as a JSON array of numbers.
+pub fn index_array(xs: &[usize]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a slice of index slices as a JSON array of arrays.
+pub fn index_matrix(xss: &[Vec<usize>]) -> String {
+    let mut out = String::from("[");
+    for (i, xs) in xss.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&index_array(xs));
+    }
+    out.push(']');
+    out
+}
+
+/// Incrementally builds one JSON object.
+#[derive(Debug, Default)]
+pub struct ObjectBuilder {
+    body: String,
+}
+
+impl ObjectBuilder {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        ObjectBuilder::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+    }
+
+    /// Adds a key whose value is already-rendered JSON.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        self.body.push_str(&string(key));
+        self.body.push(':');
+        self.body.push_str(value);
+        self
+    }
+
+    /// Adds a string-valued key.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        let rendered = string(value);
+        self.raw(key, &rendered)
+    }
+
+    /// Adds an unsigned-integer-valued key.
+    pub fn uint(&mut self, key: &str, value: u128) -> &mut Self {
+        let rendered = value.to_string();
+        self.raw(key, &rendered)
+    }
+
+    /// Adds a boolean-valued key.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Finishes the object.
+    pub fn build(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        assert_eq!(index_array(&[1, 2, 3]), "[1,2,3]");
+        assert_eq!(
+            index_matrix(&[vec![1], vec![], vec![2, 3]]),
+            "[[1],[],[2,3]]"
+        );
+        let mut o = ObjectBuilder::new();
+        o.uint("id", 7)
+            .bool("ok", true)
+            .str("kind", "check")
+            .raw("xs", "[1]");
+        assert_eq!(
+            o.build(),
+            "{\"id\":7,\"ok\":true,\"kind\":\"check\",\"xs\":[1]}"
+        );
+    }
+}

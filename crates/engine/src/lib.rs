@@ -1,0 +1,59 @@
+//! # qld-engine
+//!
+//! A concurrent batch query engine — and the `qld` command-line tool — over the
+//! duality, transversal-enumeration, frequent-itemset-border, and minimal-key
+//! solvers of this workspace.  This is the serving layer the ROADMAP asks for:
+//! the first place where batching, caching, backpressure, and multi-solver
+//! dispatch live.
+//!
+//! * [`Request`] / [`Response`] — the four typed query kinds
+//!   (`DecideDuality`, `EnumerateTransversals { limit }`,
+//!   `IdentifyItemsetBorders`, `FindMinimalKeys`) and their results with
+//!   per-request stats (wall time, peak metered bits, solver chosen, cache
+//!   hit, worker shard);
+//! * [`Engine`] — a sharded worker pool (std threads + channels) with a
+//!   **bounded** submission queue for backpressure and a shared result
+//!   [`cache`](crate::cache::QueryCache) keyed by canonical (normalized,
+//!   order-insensitive) request encodings;
+//! * [`SolverPolicy`] — pluggable routing of every duality call to a concrete
+//!   solver; the default [`SizeThresholdPolicy`] sends small instances to
+//!   [`qld_core::BorosMakinoTreeSolver`] and large ones to
+//!   [`qld_core::QuadLogspaceSolver`];
+//! * [`wire`] — the one-request-per-line text format (inline `.qld`
+//!   hypergraph syntax, reusing [`qld_hypergraph::format`]) and
+//!   [`response::Response::to_json_line`] for the JSON-lines output;
+//! * the `qld` binary — `check`, `enumerate`, `mine`, `keys`, and
+//!   `serve --workers N` subcommands streaming requests from stdin or files.
+//!
+//! # Quick start
+//!
+//! ```
+//! use qld_engine::{Engine, Request};
+//! use qld_hypergraph::Hypergraph;
+//!
+//! let engine = Engine::with_defaults();
+//! let g = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]);
+//! let h = Hypergraph::from_index_edges(4, &[&[0, 2], &[0, 3], &[1, 2], &[1, 3]]);
+//! let response = engine.run_one(Request::DecideDuality { g, h });
+//! assert!(response.is_ok());
+//! println!("{}", response.to_json_line());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod ops;
+pub mod policy;
+pub mod request;
+pub mod response;
+pub mod wire;
+
+pub use cache::CacheStats;
+pub use engine::{Engine, EngineConfig, ServeSummary};
+pub use ops::enumerate_transversals_with;
+pub use policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
+pub use request::Request;
+pub use response::{BordersOutcome, Outcome, RequestStats, Response, WitnessSummary};

@@ -1,0 +1,378 @@
+//! Request execution: policy-routed solver dispatch and the duality-driven
+//! enumeration loops behind each request kind.
+
+use crate::policy::{SolverKind, SolverPolicy};
+use crate::request::Request;
+use crate::response::{BordersOutcome, Outcome, WitnessSummary};
+use qld_core::pathnode::SpaceStrategy;
+use qld_core::{
+    BorosMakinoTreeSolver, DualError, DualityResult, DualitySolver, NonDualWitness,
+    QuadLogspaceSolver,
+};
+use qld_datamining::{identify_with, Identification, IdentificationInstance, NewBorderElement};
+use qld_hypergraph::{Hypergraph, VertexSet};
+use qld_keys::enumerate_minimal_keys_with;
+use std::cell::{Cell, RefCell};
+
+/// Telemetry accumulated across the duality calls of one request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecInfo {
+    /// Names of the distinct solvers used, joined by `+` ("-" when none ran).
+    pub solver: String,
+    /// Peak metered work-tape bits over all quadratic-logspace calls.
+    pub peak_bits: u64,
+    /// Number of `DUAL` decisions made.
+    pub duality_calls: u64,
+}
+
+/// A [`DualitySolver`] that routes each call through a [`SolverPolicy`] and
+/// records which solvers ran, how many calls were made, and the peak metered
+/// space.  One instance lives per request, on the worker that executes it.
+pub struct PolicySolver<'p> {
+    policy: &'p dyn SolverPolicy,
+    used: RefCell<Vec<SolverKind>>,
+    peak_bits: Cell<u64>,
+    calls: Cell<u64>,
+}
+
+impl<'p> PolicySolver<'p> {
+    /// Wraps a policy for one request's worth of duality calls.
+    pub fn new(policy: &'p dyn SolverPolicy) -> Self {
+        PolicySolver {
+            policy,
+            used: RefCell::new(Vec::new()),
+            peak_bits: Cell::new(0),
+            calls: Cell::new(0),
+        }
+    }
+
+    /// The telemetry gathered so far.
+    pub fn info(&self) -> ExecInfo {
+        let used = self.used.borrow();
+        let solver = if used.is_empty() {
+            "-".to_string()
+        } else {
+            used.iter()
+                .map(SolverKind::name)
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        ExecInfo {
+            solver,
+            peak_bits: self.peak_bits.get(),
+            duality_calls: self.calls.get(),
+        }
+    }
+
+    fn record(&self, kind: SolverKind) {
+        let mut used = self.used.borrow_mut();
+        if !used.contains(&kind) {
+            used.push(kind);
+        }
+    }
+}
+
+impl DualitySolver for PolicySolver<'_> {
+    fn name(&self) -> &'static str {
+        "policy"
+    }
+
+    fn decide(&self, g: &Hypergraph, h: &Hypergraph) -> Result<DualityResult, DualError> {
+        let kind = self.policy.choose(g, h);
+        self.record(kind);
+        self.calls.set(self.calls.get() + 1);
+        match kind {
+            SolverKind::BmTree => BorosMakinoTreeSolver::new().decide(g, h),
+            SolverKind::QuadChain | SolverKind::QuadRecompute => {
+                let strategy = if kind == SolverKind::QuadChain {
+                    SpaceStrategy::MaterializeChain
+                } else {
+                    SpaceStrategy::Recompute
+                };
+                let (result, report) = QuadLogspaceSolver::new(strategy).decide_with_space(g, h)?;
+                self.peak_bits
+                    .set(self.peak_bits.get().max(report.peak_bits));
+                Ok(result)
+            }
+        }
+    }
+}
+
+/// Enumerates minimal transversals of `g`, one duality call per transversal
+/// (plus a final confirming call), mirroring the incremental enumeration of
+/// Propositions 1.1–1.3: ask whether the known family is already `tr(g)`, and
+/// convert the witness of a "no" into a new minimal transversal.
+///
+/// Returns the transversals found and whether the enumeration is complete
+/// (`false` iff it stopped at `limit`).
+pub fn enumerate_transversals_with(
+    g: &Hypergraph,
+    limit: Option<usize>,
+    solver: &dyn DualitySolver,
+) -> Result<(Hypergraph, bool), DualError> {
+    let g = g.minimize();
+    let n = g.num_vertices();
+    let mut known = Hypergraph::new(n);
+    loop {
+        if limit.is_some_and(|l| known.num_edges() >= l) {
+            return Ok((known, false));
+        }
+        match solver.decide(&g, &known)? {
+            DualityResult::Dual => return Ok((known, true)),
+            DualityResult::NotDual(witness) => {
+                let candidate = match witness {
+                    // A transversal of g containing no known transversal.
+                    NonDualWitness::NewTransversalOfG(mut t) => {
+                        t.grow(n);
+                        t
+                    }
+                    // A transversal of the known family containing no g-edge;
+                    // its complement is a transversal of g (g is simple) that
+                    // contains no known transversal.
+                    NonDualWitness::NewTransversalOfH(mut t) => {
+                        t.grow(n);
+                        t.complement(n)
+                    }
+                    // A g-edge disjoint from a known transversal is impossible:
+                    // every member of `known` is a transversal of g.
+                    NonDualWitness::DisjointEdges { .. } => {
+                        debug_assert!(false, "disjoint-edge witness during enumeration");
+                        return Ok((known, true));
+                    }
+                };
+                let minimal = g.minimize_transversal(&candidate);
+                if known.contains_edge(&minimal) {
+                    // Cannot happen for valid witnesses; bail out rather than
+                    // loop forever if a solver misbehaves.
+                    debug_assert!(false, "witness produced an already-known transversal");
+                    return Ok((known, true));
+                }
+                known.add_edge(minimal);
+            }
+        }
+    }
+}
+
+/// Sorted index rendering of a vertex set.
+fn indices(s: &VertexSet) -> Vec<usize> {
+    s.to_indices()
+}
+
+/// Regrows a border family to the relation's item universe `n`, rejecting
+/// families that mention items outside it.
+fn fit_universe(family: &Hypergraph, n: usize, name: &str) -> Result<Hypergraph, String> {
+    if family.num_vertices() > n {
+        if let Some(v) = family.support().max_vertex() {
+            if usize::from(v) >= n {
+                return Err(format!(
+                    "border family `{name}` mentions item {v}, outside the relation's {n}-item universe"
+                ));
+            }
+        }
+    }
+    // Rebuild from indices so every set has exactly width `n` (VertexSet
+    // capacities only ever grow, and the relation predicates compare widths).
+    Ok(Hypergraph::from_edges(
+        n,
+        family
+            .edges()
+            .iter()
+            .map(|e| VertexSet::from_indices(n, e.to_indices())),
+    ))
+}
+
+/// Canonically ordered index rendering of a hypergraph's edges.
+fn edge_lists(h: &Hypergraph) -> Vec<Vec<usize>> {
+    h.canonicalized()
+        .edges()
+        .iter()
+        .map(|e| e.to_indices())
+        .collect()
+}
+
+/// Executes one request with the given routing policy, returning the outcome
+/// (or a rendered error) plus per-request telemetry.
+pub fn execute(
+    request: &Request,
+    policy: &dyn SolverPolicy,
+) -> (Result<Outcome, String>, ExecInfo) {
+    let solver = PolicySolver::new(policy);
+    let outcome = execute_inner(request, &solver);
+    (outcome, solver.info())
+}
+
+fn execute_inner(request: &Request, solver: &PolicySolver<'_>) -> Result<Outcome, String> {
+    match request {
+        Request::DecideDuality { g, h } => {
+            // Normalize: duality of monotone DNFs is a statement about their
+            // irredundant (minimized) forms, and the decomposition solvers
+            // require simple inputs.
+            let g = g.minimize();
+            let h = h.minimize();
+            let result = solver.decide(&g, &h).map_err(|e| e.to_string())?;
+            Ok(match result {
+                DualityResult::Dual => Outcome::Duality {
+                    dual: true,
+                    witness: None,
+                },
+                DualityResult::NotDual(w) => Outcome::Duality {
+                    dual: false,
+                    witness: Some(match w {
+                        NonDualWitness::NewTransversalOfG(t) => {
+                            WitnessSummary::NewTransversalOfG(indices(&t))
+                        }
+                        NonDualWitness::NewTransversalOfH(t) => {
+                            WitnessSummary::NewTransversalOfH(indices(&t))
+                        }
+                        // Render the edges, not their positions: positional
+                        // indices refer to the minimized instance's edge
+                        // order, which neither the caller's input order nor
+                        // the cache's canonical key preserves.
+                        NonDualWitness::DisjointEdges { g_index, h_index } => {
+                            WitnessSummary::DisjointEdges {
+                                g_edge: indices(g.edge(g_index)),
+                                h_edge: indices(h.edge(h_index)),
+                            }
+                        }
+                    }),
+                },
+            })
+        }
+        Request::EnumerateTransversals { g, limit } => {
+            let (found, complete) =
+                enumerate_transversals_with(g, *limit, solver).map_err(|e| e.to_string())?;
+            Ok(Outcome::Transversals {
+                transversals: edge_lists(&found),
+                complete,
+            })
+        }
+        Request::IdentifyItemsetBorders {
+            relation,
+            threshold,
+            minimal_infrequent,
+            maximal_frequent,
+        } => {
+            // Border itemsets must live inside the relation's item universe;
+            // smaller universes are grown, larger ones are a caller error
+            // (letting them through would make the vertex-set operations in
+            // the validation predicates compare sets of different widths).
+            let n = relation.num_items();
+            let minimal_infrequent = fit_universe(minimal_infrequent, n, "g")?;
+            let maximal_frequent = fit_universe(maximal_frequent, n, "h")?;
+            let instance = IdentificationInstance::new(
+                relation,
+                *threshold,
+                minimal_infrequent,
+                maximal_frequent,
+            );
+            let identification = identify_with(&instance, solver).map_err(|e| e.to_string())?;
+            Ok(Outcome::Borders(match identification {
+                Identification::Complete => BordersOutcome::Complete,
+                Identification::Incomplete(NewBorderElement::MaximalFrequent(s)) => {
+                    BordersOutcome::NewMaximalFrequent(indices(&s))
+                }
+                Identification::Incomplete(NewBorderElement::MinimalInfrequent(s)) => {
+                    BordersOutcome::NewMinimalInfrequent(indices(&s))
+                }
+                Identification::Invalid(
+                    qld_datamining::identification::InvalidBorder::NotMaximalFrequent(s),
+                ) => BordersOutcome::InvalidMaximalFrequent(indices(&s)),
+                Identification::Invalid(
+                    qld_datamining::identification::InvalidBorder::NotMinimalInfrequent(s),
+                ) => BordersOutcome::InvalidMinimalInfrequent(indices(&s)),
+            }))
+        }
+        Request::FindMinimalKeys { instance } => {
+            let (keys, calls) =
+                enumerate_minimal_keys_with(instance, solver).map_err(|e| e.to_string())?;
+            Ok(Outcome::Keys {
+                keys: edge_lists(&keys),
+                duality_calls: calls,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedPolicy, SizeThresholdPolicy};
+    use qld_hypergraph::transversal::minimal_transversals;
+    use qld_hypergraph::{generators, Hypergraph};
+
+    #[test]
+    fn enumeration_matches_exact_dualization() {
+        let policy = SizeThresholdPolicy::default();
+        for li in generators::standard_corpus() {
+            if !li.dual {
+                continue;
+            }
+            let solver = PolicySolver::new(&policy);
+            let (found, complete) = enumerate_transversals_with(&li.g, None, &solver).unwrap();
+            assert!(complete, "{}", li.name);
+            assert!(found.same_edge_set(&li.h), "{}", li.name);
+            // one call per transversal plus the confirming call
+            assert_eq!(solver.info().duality_calls, found.num_edges() as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let li = generators::matching_instance(3);
+        let policy = FixedPolicy(SolverKind::QuadChain);
+        let solver = PolicySolver::new(&policy);
+        let (found, complete) = enumerate_transversals_with(&li.g, Some(3), &solver).unwrap();
+        assert!(!complete);
+        assert_eq!(found.num_edges(), 3);
+        let full = minimal_transversals(&li.g);
+        for t in found.edges() {
+            assert!(full.contains_edge(t));
+        }
+        assert_eq!(solver.info().solver, "quadlog-chain");
+
+        // Run to completion: the final confirming call traverses the whole
+        // virtual tree and meters its work space.
+        let solver = PolicySolver::new(&policy);
+        let (all, complete) = enumerate_transversals_with(&li.g, None, &solver).unwrap();
+        assert!(complete);
+        assert!(all.same_edge_set(&full));
+        assert!(solver.info().peak_bits > 0);
+    }
+
+    #[test]
+    fn enumeration_degenerate_cases() {
+        let policy = SizeThresholdPolicy::default();
+        // tr(∅) = {∅}
+        let solver = PolicySolver::new(&policy);
+        let (found, complete) =
+            enumerate_transversals_with(&Hypergraph::new(3), None, &solver).unwrap();
+        assert!(complete);
+        assert_eq!(found.num_edges(), 1);
+        assert!(found.edge(0).is_empty());
+        // tr({∅}) = ∅
+        let true_dnf = Hypergraph::from_edges(3, [qld_hypergraph::VertexSet::empty(3)]);
+        let solver = PolicySolver::new(&policy);
+        let (found, complete) = enumerate_transversals_with(&true_dnf, None, &solver).unwrap();
+        assert!(complete);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn execute_normalizes_non_simple_duality_inputs() {
+        // {0} absorbs {0,1}; minimized instance is dual to {{0},{1}}'s dual.
+        let g = Hypergraph::from_index_edges(2, &[&[0], &[0, 1]]);
+        let h = Hypergraph::from_index_edges(2, &[&[0]]);
+        let (outcome, info) = execute(
+            &Request::DecideDuality { g, h },
+            &SizeThresholdPolicy::default(),
+        );
+        assert_eq!(
+            outcome.unwrap(),
+            Outcome::Duality {
+                dual: true,
+                witness: None
+            }
+        );
+        assert_eq!(info.duality_calls, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Pluggable solver routing.
+//!
+//! Every duality decision the engine makes — directly for `check`, or inside
+//! the enumeration loops of `enumerate`, `mine`, and `keys` — goes through a
+//! [`SolverPolicy`], which picks a concrete solver per instance.  The default
+//! [`SizeThresholdPolicy`] routes small instances to the materializing
+//! Boros–Makino tree solver (fast, polynomial working space) and large ones to
+//! the paper's quadratic-logspace solver (bounded working space).
+
+use qld_hypergraph::Hypergraph;
+
+/// The concrete solvers the engine can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// [`qld_core::BorosMakinoTreeSolver`]: explicit decomposition tree.
+    BmTree,
+    /// [`qld_core::QuadLogspaceSolver`] with the materialize-per-level strategy.
+    QuadChain,
+    /// [`qld_core::QuadLogspaceSolver`] with the faithful recompute strategy.
+    QuadRecompute,
+}
+
+impl SolverKind {
+    /// The solver's experiment-table name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverKind::BmTree => "bm-tree",
+            SolverKind::QuadChain => "quadlog-chain",
+            SolverKind::QuadRecompute => "quadlog-recompute",
+        }
+    }
+
+    /// Parses a CLI/wire solver name.
+    pub fn from_name(name: &str) -> Option<SolverKind> {
+        match name {
+            "bm" | "bm-tree" | "tree" => Some(SolverKind::BmTree),
+            "quadlog" | "quadlog-chain" | "chain" => Some(SolverKind::QuadChain),
+            "quadlog-recompute" | "recompute" => Some(SolverKind::QuadRecompute),
+            _ => None,
+        }
+    }
+}
+
+/// Chooses a solver for each `DUAL` instance.
+pub trait SolverPolicy: Send + Sync {
+    /// Picks the solver for deciding duality of `(g, h)`.
+    fn choose(&self, g: &Hypergraph, h: &Hypergraph) -> SolverKind;
+
+    /// A short name for logs and stats.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// Routes by instance volume: small instances to the tree solver, large ones
+/// to the quadratic-logspace solver.
+#[derive(Debug, Clone)]
+pub struct SizeThresholdPolicy {
+    /// Instances with `g.volume() + h.volume()` at most this go to the tree
+    /// solver; larger ones to the quadratic-logspace solver.
+    pub volume_threshold: usize,
+}
+
+impl Default for SizeThresholdPolicy {
+    fn default() -> Self {
+        // The explicit tree is consistently fastest on the laptop-scale corpus
+        // (E4); the quadratic-logspace DFS takes over where materializing the
+        // tree starts to hurt.
+        SizeThresholdPolicy {
+            volume_threshold: 96,
+        }
+    }
+}
+
+impl SolverPolicy for SizeThresholdPolicy {
+    fn choose(&self, g: &Hypergraph, h: &Hypergraph) -> SolverKind {
+        if g.volume() + h.volume() <= self.volume_threshold {
+            SolverKind::BmTree
+        } else {
+            SolverKind::QuadChain
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "size-threshold"
+    }
+}
+
+/// Always uses one fixed solver.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPolicy(pub SolverKind);
+
+impl SolverPolicy for FixedPolicy {
+    fn choose(&self, _g: &Hypergraph, _h: &Hypergraph) -> SolverKind {
+        self.0
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::Hypergraph;
+
+    #[test]
+    fn size_threshold_routes_by_volume() {
+        let policy = SizeThresholdPolicy {
+            volume_threshold: 4,
+        };
+        let small = Hypergraph::from_index_edges(4, &[&[0, 1]]);
+        let big = Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3], &[0, 3]]);
+        assert_eq!(policy.choose(&small, &small), SolverKind::BmTree);
+        assert_eq!(policy.choose(&big, &big), SolverKind::QuadChain);
+    }
+
+    #[test]
+    fn solver_names_round_trip() {
+        for kind in [
+            SolverKind::BmTree,
+            SolverKind::QuadChain,
+            SolverKind::QuadRecompute,
+        ] {
+            assert_eq!(SolverKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SolverKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Typed engine requests.
+
+use crate::wire;
+use qld_datamining::BooleanRelation;
+use qld_hypergraph::Hypergraph;
+use qld_keys::RelationInstance;
+
+/// One query against the duality/itemset/key solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Decide whether `g` and `h` are dual (the `DUAL` problem).
+    DecideDuality {
+        /// First hypergraph.
+        g: Hypergraph,
+        /// Second hypergraph.
+        h: Hypergraph,
+    },
+    /// Enumerate minimal transversals of `g`, duality-call by duality-call, up
+    /// to `limit` of them (all of them when `limit` is `None`).
+    EnumerateTransversals {
+        /// The hypergraph to dualize.
+        g: Hypergraph,
+        /// Maximum number of transversals to produce.
+        limit: Option<usize>,
+    },
+    /// Decide whether known partial borders of the frequent-itemset lattice are
+    /// complete (MaxFreq-MinInfreq-Identification, Proposition 1.1), producing
+    /// a new border element when they are not.
+    IdentifyItemsetBorders {
+        /// The Boolean-valued relation `M`.
+        relation: BooleanRelation,
+        /// The frequency threshold `z` (strict: frequent iff `f(U) > z`).
+        threshold: usize,
+        /// Known minimal infrequent itemsets `G ⊆ IS⁻(M, z)`.
+        minimal_infrequent: Hypergraph,
+        /// Known maximal frequent itemsets `H ⊆ IS⁺(M, z)`.
+        maximal_frequent: Hypergraph,
+    },
+    /// Enumerate all minimal keys of an explicit relational instance
+    /// (Proposition 1.2), one duality call per key.
+    FindMinimalKeys {
+        /// The relational instance.
+        instance: RelationInstance,
+    },
+}
+
+impl Request {
+    /// The wire-format kind tag of this request.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::DecideDuality { .. } => "check",
+            Request::EnumerateTransversals { .. } => "enumerate",
+            Request::IdentifyItemsetBorders { .. } => "mine",
+            Request::FindMinimalKeys { .. } => "keys",
+        }
+    }
+
+    /// A canonical cache key: requests that denote the same instance map to
+    /// the same key, so the engine's result cache deduplicates normalized
+    /// instances, not raw input strings.  `check`/`enumerate` keys normalize
+    /// exactly as execution does (absorption via `minimize` plus canonical
+    /// edge order); `mine`/`keys` keys canonicalize edge/row order only,
+    /// because their validation semantics depend on the exact input families.
+    pub fn cache_key(&self) -> String {
+        match self {
+            Request::DecideDuality { g, h } => format!(
+                "check {} {}",
+                wire::to_inline(&g.minimize().canonicalized()),
+                wire::to_inline(&h.minimize().canonicalized())
+            ),
+            Request::EnumerateTransversals { g, limit } => format!(
+                "enumerate {} limit={}",
+                wire::to_inline(&g.minimize().canonicalized()),
+                limit.map_or_else(|| "all".to_string(), |l| l.to_string())
+            ),
+            Request::IdentifyItemsetBorders {
+                relation,
+                threshold,
+                minimal_infrequent,
+                maximal_frequent,
+            } => {
+                // Rows of a relation form a multiset: sort the rendered rows so
+                // row order does not split cache entries.
+                let mut rows: Vec<String> = relation
+                    .rows()
+                    .iter()
+                    .map(|r| {
+                        r.to_indices()
+                            .iter()
+                            .map(usize::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect();
+                rows.sort();
+                format!(
+                    "mine n={}:{} z={} g={} h={}",
+                    relation.num_items(),
+                    rows.join(";"),
+                    threshold,
+                    wire::to_inline(&minimal_infrequent.canonicalized()),
+                    wire::to_inline(&maximal_frequent.canonicalized())
+                )
+            }
+            Request::FindMinimalKeys { instance } => {
+                // Row order of a key table does not affect its minimal keys.
+                let mut rows: Vec<String> = instance
+                    .rows()
+                    .iter()
+                    .map(|r| r.iter().map(u32::to_string).collect::<Vec<_>>().join(","))
+                    .collect();
+                rows.sort();
+                format!("keys w={} {}", instance.num_attributes(), rows.join(";"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_hypergraph::Hypergraph;
+
+    #[test]
+    fn cache_key_is_order_insensitive() {
+        let a = Request::DecideDuality {
+            g: Hypergraph::from_index_edges(4, &[&[0, 1], &[2, 3]]),
+            h: Hypergraph::from_index_edges(4, &[&[0, 2], &[1, 3]]),
+        };
+        let b = Request::DecideDuality {
+            g: Hypergraph::from_index_edges(4, &[&[2, 3], &[0, 1]]),
+            h: Hypergraph::from_index_edges(4, &[&[1, 3], &[0, 2]]),
+        };
+        assert_eq!(a.cache_key(), b.cache_key());
+        let c = Request::DecideDuality {
+            g: Hypergraph::from_index_edges(4, &[&[2, 3], &[0, 1]]),
+            h: Hypergraph::from_index_edges(4, &[&[1, 2], &[0, 2]]),
+        };
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn cache_key_absorbs_redundant_edges_like_execution_does() {
+        // {0} absorbs {0,1}: execution minimizes before solving, so the keys
+        // must coincide too.
+        let redundant = Request::EnumerateTransversals {
+            g: Hypergraph::from_index_edges(2, &[&[0], &[0, 1]]),
+            limit: None,
+        };
+        let minimal = Request::EnumerateTransversals {
+            g: Hypergraph::from_index_edges(2, &[&[0]]),
+            limit: None,
+        };
+        assert_eq!(redundant.cache_key(), minimal.cache_key());
+    }
+
+    #[test]
+    fn kinds_match_wire_tags() {
+        let g = Hypergraph::from_index_edges(2, &[&[0, 1]]);
+        assert_eq!(
+            Request::EnumerateTransversals {
+                g: g.clone(),
+                limit: None
+            }
+            .kind(),
+            "enumerate"
+        );
+        assert_eq!(
+            Request::DecideDuality { g: g.clone(), h: g }.kind(),
+            "check"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Typed engine responses and their JSON-lines rendering.
+
+use crate::json::{self, ObjectBuilder};
+
+/// Compact, owned summary of a non-duality witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessSummary {
+    /// A new transversal of `G` missing from `H` (as sorted vertex indices).
+    NewTransversalOfG(Vec<usize>),
+    /// A new transversal of `H` missing from `G`.
+    NewTransversalOfH(Vec<usize>),
+    /// A disjoint edge pair — one edge of `G` and one edge of `H` that do not
+    /// intersect (rendered as the edges themselves, not positional indices,
+    /// so the witness stays valid for any edge ordering of the same
+    /// instance).
+    DisjointEdges {
+        /// The `G`-edge (sorted vertex indices).
+        g_edge: Vec<usize>,
+        /// The `H`-edge (sorted vertex indices).
+        h_edge: Vec<usize>,
+    },
+}
+
+/// Outcome of an `IdentifyItemsetBorders` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BordersOutcome {
+    /// The given borders are complete.
+    Complete,
+    /// A maximal frequent itemset missing from the given `H`.
+    NewMaximalFrequent(Vec<usize>),
+    /// A minimal infrequent itemset missing from the given `G`.
+    NewMinimalInfrequent(Vec<usize>),
+    /// A claimed maximal frequent itemset is not maximal frequent.
+    InvalidMaximalFrequent(Vec<usize>),
+    /// A claimed minimal infrequent itemset is not minimal infrequent.
+    InvalidMinimalInfrequent(Vec<usize>),
+}
+
+/// The successful result payload of a request, by kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Result of `DecideDuality`.
+    Duality {
+        /// Whether the two hypergraphs are dual.
+        dual: bool,
+        /// A checkable witness when they are not.
+        witness: Option<WitnessSummary>,
+    },
+    /// Result of `EnumerateTransversals`.
+    Transversals {
+        /// The minimal transversals found, canonically ordered.
+        transversals: Vec<Vec<usize>>,
+        /// Whether the enumeration is complete (`false` iff cut off by `limit`).
+        complete: bool,
+    },
+    /// Result of `IdentifyItemsetBorders`.
+    Borders(BordersOutcome),
+    /// Result of `FindMinimalKeys`.
+    Keys {
+        /// All minimal keys, canonically ordered.
+        keys: Vec<Vec<usize>>,
+        /// Number of duality calls the enumeration needed.
+        duality_calls: usize,
+    },
+}
+
+/// Per-request execution statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestStats {
+    /// Wall time spent answering the request, in microseconds.
+    pub micros: u128,
+    /// Peak metered work-tape bits across the quadratic-logspace solver calls
+    /// made for this request (0 when only unmetered solvers ran).
+    pub peak_bits: u64,
+    /// Name of the solver (or solvers) that handled the duality calls.
+    pub solver: String,
+    /// Number of `DUAL` decisions the request needed.
+    pub duality_calls: u64,
+    /// Whether the answer came from the engine's result cache.
+    pub cache_hit: bool,
+    /// Index of the worker shard that executed the request.
+    pub worker: usize,
+}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request's sequence number within its batch or stream.
+    pub id: u64,
+    /// The result payload, or a rendered error.
+    pub outcome: Result<Outcome, String>,
+    /// Execution statistics.
+    pub stats: RequestStats,
+}
+
+impl Response {
+    /// Whether the request was answered successfully.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// Renders the response as one JSON line (without trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut o = ObjectBuilder::new();
+        o.uint("id", self.id as u128);
+        match &self.outcome {
+            Err(message) => {
+                o.bool("ok", false);
+                o.str("error", message);
+            }
+            Ok(outcome) => {
+                o.bool("ok", true);
+                match outcome {
+                    Outcome::Duality { dual, witness } => {
+                        o.str("kind", "check");
+                        o.bool("dual", *dual);
+                        if let Some(w) = witness {
+                            let mut wo = ObjectBuilder::new();
+                            match w {
+                                WitnessSummary::NewTransversalOfG(t) => {
+                                    wo.str("type", "new_transversal_of_g");
+                                    wo.raw("transversal", &json::index_array(t));
+                                }
+                                WitnessSummary::NewTransversalOfH(t) => {
+                                    wo.str("type", "new_transversal_of_h");
+                                    wo.raw("transversal", &json::index_array(t));
+                                }
+                                WitnessSummary::DisjointEdges { g_edge, h_edge } => {
+                                    wo.str("type", "disjoint_edges");
+                                    wo.raw("g_edge", &json::index_array(g_edge));
+                                    wo.raw("h_edge", &json::index_array(h_edge));
+                                }
+                            }
+                            o.raw("witness", &wo.build());
+                        }
+                    }
+                    Outcome::Transversals {
+                        transversals,
+                        complete,
+                    } => {
+                        o.str("kind", "enumerate");
+                        o.bool("complete", *complete);
+                        o.uint("count", transversals.len() as u128);
+                        o.raw("transversals", &json::index_matrix(transversals));
+                    }
+                    Outcome::Borders(b) => {
+                        o.str("kind", "mine");
+                        match b {
+                            BordersOutcome::Complete => {
+                                o.str("status", "complete");
+                            }
+                            BordersOutcome::NewMaximalFrequent(s) => {
+                                o.str("status", "incomplete");
+                                o.str("new_border", "maximal_frequent");
+                                o.raw("itemset", &json::index_array(s));
+                            }
+                            BordersOutcome::NewMinimalInfrequent(s) => {
+                                o.str("status", "incomplete");
+                                o.str("new_border", "minimal_infrequent");
+                                o.raw("itemset", &json::index_array(s));
+                            }
+                            BordersOutcome::InvalidMaximalFrequent(s) => {
+                                o.str("status", "invalid");
+                                o.str("invalid_border", "maximal_frequent");
+                                o.raw("itemset", &json::index_array(s));
+                            }
+                            BordersOutcome::InvalidMinimalInfrequent(s) => {
+                                o.str("status", "invalid");
+                                o.str("invalid_border", "minimal_infrequent");
+                                o.raw("itemset", &json::index_array(s));
+                            }
+                        }
+                    }
+                    Outcome::Keys {
+                        keys,
+                        duality_calls,
+                    } => {
+                        o.str("kind", "keys");
+                        o.uint("count", keys.len() as u128);
+                        o.raw("keys", &json::index_matrix(keys));
+                        o.uint("duality_calls", *duality_calls as u128);
+                    }
+                }
+            }
+        }
+        let mut stats = ObjectBuilder::new();
+        stats
+            .uint("micros", self.stats.micros)
+            .uint("peak_bits", self.stats.peak_bits as u128)
+            .str("solver", &self.stats.solver)
+            .uint("duality_calls", self.stats.duality_calls as u128)
+            .bool("cache_hit", self.stats.cache_hit)
+            .uint("worker", self.stats.worker as u128);
+        o.raw("stats", &stats.build());
+        o.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_have_expected_shape() {
+        let resp = Response {
+            id: 3,
+            outcome: Ok(Outcome::Duality {
+                dual: false,
+                witness: Some(WitnessSummary::NewTransversalOfG(vec![0, 2])),
+            }),
+            stats: RequestStats {
+                micros: 17,
+                peak_bits: 42,
+                solver: "quadlog-chain".into(),
+                duality_calls: 1,
+                cache_hit: false,
+                worker: 1,
+            },
+        };
+        let line = resp.to_json_line();
+        assert!(line.starts_with("{\"id\":3,\"ok\":true,\"kind\":\"check\",\"dual\":false"));
+        assert!(
+            line.contains("\"witness\":{\"type\":\"new_transversal_of_g\",\"transversal\":[0,2]}")
+        );
+        assert!(
+            line.contains("\"stats\":{\"micros\":17,\"peak_bits\":42,\"solver\":\"quadlog-chain\"")
+        );
+
+        let err = Response {
+            id: 4,
+            outcome: Err("bad input".into()),
+            stats: RequestStats::default(),
+        };
+        assert!(err
+            .to_json_line()
+            .contains("\"ok\":false,\"error\":\"bad input\""));
+    }
+}

@@ -1,0 +1,383 @@
+//! The engine's canonical text wire format.
+//!
+//! One request per line, whitespace-separated tokens, first token the request
+//! kind:
+//!
+//! ```text
+//! check <G> <H>
+//! enumerate <G> [limit=K]
+//! mine <REL> z=<Z> [g=<G>] [h=<H>]
+//! keys <TABLE>
+//! ```
+//!
+//! Hypergraphs (`<G>`, `<H>`) and relations (`<REL>`) are written **inline**:
+//! edges (rows) separated by `;`, vertex indices inside an edge separated by
+//! `,`, with an optional `n=<N>:` prefix fixing the universe size.  The token
+//! `-` denotes "no edges" and `.` denotes the empty edge, so `n=3:-` is the
+//! edgeless hypergraph over three vertices and `n=3:.` is `{∅}` (the constant-
+//! true DNF).  Key tables (`<TABLE>`) use the same row/field separators with
+//! arbitrary `u32` attribute values per field.
+//!
+//! The inline edge list is the one-line form of the multi-line `.qld` file
+//! syntax of [`qld_hypergraph::format`], and parsing is delegated to it: the
+//! inline text is rewritten to the line-oriented form (`;` → newline, `,` →
+//! space, `n=N:` → `# n=N` header) and handed to
+//! [`qld_hypergraph::format::from_text`].
+//!
+//! Blank lines and lines starting with `#` are ignored by the request reader.
+
+use crate::request::Request;
+use qld_datamining::BooleanRelation;
+use qld_hypergraph::{format, Hypergraph, VertexSet};
+use qld_keys::RelationInstance;
+
+/// Splits an optional `n=<N>:` prefix off an inline family, returning the
+/// declared universe size (if any) and the remaining body.
+fn split_universe_prefix(token: &str) -> Result<(Option<usize>, &str), String> {
+    if let Some(rest) = token.strip_prefix("n=") {
+        let Some((num, body)) = rest.split_once(':') else {
+            return Err(format!(
+                "malformed universe prefix in `{token}` (expected `n=<N>:...`)"
+            ));
+        };
+        let n: usize = num
+            .parse()
+            .map_err(|_| format!("invalid universe size `{num}` in `{token}`"))?;
+        Ok((Some(n), body))
+    } else {
+        Ok((None, token))
+    }
+}
+
+/// Parses an inline hypergraph token (see module docs for the syntax).
+pub fn parse_hypergraph(token: &str) -> Result<Hypergraph, String> {
+    let (declared_n, body) = split_universe_prefix(token)?;
+    // Rewrite the inline form into the `.qld` line-oriented syntax and let
+    // `qld_hypergraph::format` do the actual parsing; only empty edges (`.`)
+    // need handling here, because a blank line is skipped by the file format.
+    let mut text = String::new();
+    if let Some(n) = declared_n {
+        text.push_str(&format!("# n={n}\n"));
+    }
+    let mut empty_edges = 0usize;
+    if !(body.is_empty() || body == "-") {
+        for edge in body.split(';') {
+            if edge == "." {
+                empty_edges += 1;
+                continue;
+            }
+            if edge.is_empty() {
+                return Err(format!(
+                    "empty edge in `{token}` (use `.` for the empty edge)"
+                ));
+            }
+            text.push_str(&edge.replace(',', " "));
+            text.push('\n');
+        }
+    }
+    let mut hg =
+        format::from_text(&text).map_err(|e| format!("invalid hypergraph `{token}`: {e}"))?;
+    for _ in 0..empty_edges {
+        hg.add_edge(VertexSet::empty(hg.num_vertices()));
+    }
+    Ok(hg)
+}
+
+/// Renders a hypergraph in the inline syntax (with universe prefix), the exact
+/// inverse of [`parse_hypergraph`].
+pub fn to_inline(h: &Hypergraph) -> String {
+    let mut out = format!("n={}:", h.num_vertices());
+    if h.is_empty() {
+        out.push('-');
+        return out;
+    }
+    for (i, e) in h.edges().iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        if e.is_empty() {
+            out.push('.');
+        } else {
+            let idx: Vec<String> = e.to_indices().iter().map(|v| v.to_string()).collect();
+            out.push_str(&idx.join(","));
+        }
+    }
+    out
+}
+
+/// Parses an inline Boolean relation: same syntax as hypergraphs, but rows may
+/// repeat (a relation is a multiset of rows), so this does not go through the
+/// simple-hypergraph representation.
+pub fn parse_relation(token: &str) -> Result<BooleanRelation, String> {
+    let (declared_n, body) = split_universe_prefix(token)?;
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+    if !(body.is_empty() || body == "-") {
+        for row in body.split(';') {
+            if row == "." {
+                rows.push(Vec::new());
+                continue;
+            }
+            if row.is_empty() {
+                return Err(format!(
+                    "empty row in `{token}` (use `.` for the empty row)"
+                ));
+            }
+            let mut parsed = Vec::new();
+            for field in row.split(',') {
+                let idx: usize = field
+                    .parse()
+                    .map_err(|_| format!("invalid item index `{field}` in `{token}`"))?;
+                parsed.push(idx);
+            }
+            rows.push(parsed);
+        }
+    }
+    let needed_n = rows.iter().flatten().map(|&i| i + 1).max().unwrap_or(0);
+    let n = match declared_n {
+        Some(n) if n >= needed_n => n,
+        Some(n) => {
+            return Err(format!(
+                "item index {} out of range for declared universe {n} in `{token}`",
+                needed_n - 1
+            ))
+        }
+        None => needed_n,
+    };
+    Ok(BooleanRelation::from_rows(
+        n,
+        rows.into_iter().map(|r| VertexSet::from_indices(n, r)),
+    ))
+}
+
+/// Renders a relation in the inline syntax.
+pub fn relation_to_inline(m: &BooleanRelation) -> String {
+    let mut out = format!("n={}:", m.num_items());
+    if m.rows().is_empty() {
+        out.push('-');
+        return out;
+    }
+    for (i, row) in m.rows().iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        if row.is_empty() {
+            out.push('.');
+        } else {
+            let idx: Vec<String> = row.to_indices().iter().map(|v| v.to_string()).collect();
+            out.push_str(&idx.join(","));
+        }
+    }
+    out
+}
+
+/// Parses an inline key table: rows separated by `;`, `u32` attribute values
+/// separated by `,`.  All rows must have the same width.
+pub fn parse_key_table(token: &str) -> Result<RelationInstance, String> {
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    if !(token.is_empty() || token == "-") {
+        for row in token.split(';') {
+            let mut parsed = Vec::new();
+            for field in row.split(',') {
+                let v: u32 = field
+                    .parse()
+                    .map_err(|_| format!("invalid attribute value `{field}` in `{token}`"))?;
+                parsed.push(v);
+            }
+            rows.push(parsed);
+        }
+    }
+    let width = rows.first().map_or(0, Vec::len);
+    if rows.iter().any(|r| r.len() != width) {
+        return Err(format!(
+            "ragged key table `{token}`: all rows must have the same width"
+        ));
+    }
+    Ok(RelationInstance::from_rows(width, rows))
+}
+
+/// Renders a key table in the inline syntax.
+pub fn key_table_to_inline(r: &RelationInstance) -> String {
+    if r.rows().is_empty() {
+        return "-".to_string();
+    }
+    r.rows()
+        .iter()
+        .map(|row| row.iter().map(u32::to_string).collect::<Vec<_>>().join(","))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parses one wire-format request line (see module docs).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let kind = tokens
+        .next()
+        .ok_or_else(|| "empty request line".to_string())?;
+    let rest: Vec<&str> = tokens.collect();
+    match kind {
+        "check" => {
+            let [g, h] = positional::<2>("check", &rest, &[])?;
+            Ok(Request::DecideDuality {
+                g: parse_hypergraph(g)?,
+                h: parse_hypergraph(h)?,
+            })
+        }
+        "enumerate" => {
+            let [g] = positional::<1>("enumerate", &rest, &["limit"])?;
+            let limit = match keyword(&rest, "limit") {
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid limit `{v}`"))?,
+                ),
+                None => None,
+            };
+            Ok(Request::EnumerateTransversals {
+                g: parse_hypergraph(g)?,
+                limit,
+            })
+        }
+        "mine" => {
+            let [rel] = positional::<1>("mine", &rest, &["z", "g", "h"])?;
+            let relation = parse_relation(rel)?;
+            let z = keyword(&rest, "z").ok_or_else(|| "mine requires z=<threshold>".to_string())?;
+            let threshold: usize = z.parse().map_err(|_| format!("invalid threshold `{z}`"))?;
+            let n = relation.num_items();
+            let minimal_infrequent = match keyword(&rest, "g") {
+                Some(v) => parse_hypergraph(v)?,
+                None => Hypergraph::new(n),
+            };
+            let maximal_frequent = match keyword(&rest, "h") {
+                Some(v) => parse_hypergraph(v)?,
+                None => Hypergraph::new(n),
+            };
+            Ok(Request::IdentifyItemsetBorders {
+                relation,
+                threshold,
+                minimal_infrequent,
+                maximal_frequent,
+            })
+        }
+        "keys" => {
+            let [table] = positional::<1>("keys", &rest, &[])?;
+            Ok(Request::FindMinimalKeys {
+                instance: parse_key_table(table)?,
+            })
+        }
+        other => Err(format!(
+            "unknown request kind `{other}` (expected check|enumerate|mine|keys)"
+        )),
+    }
+}
+
+/// Extracts the `key=value` token for `key`, if present.
+fn keyword<'a>(tokens: &[&'a str], key: &str) -> Option<&'a str> {
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+/// Collects exactly `N` positional (non-`key=value`) tokens, rejecting
+/// unknown keywords.
+fn positional<'a, const N: usize>(
+    kind: &str,
+    tokens: &[&'a str],
+    allowed_keys: &[&str],
+) -> Result<[&'a str; N], String> {
+    let mut positional = Vec::new();
+    for t in tokens {
+        if let Some((key, _)) = t.split_once('=') {
+            // `n=4:...` inline prefixes are positional, not keywords.
+            let is_keyword = allowed_keys.contains(&key);
+            let is_inline = key == "n" && t.contains(':');
+            if is_keyword {
+                continue;
+            }
+            if !is_inline {
+                return Err(format!("unknown option `{t}` for `{kind}`"));
+            }
+        }
+        positional.push(*t);
+    }
+    <[&str; N]>::try_from(positional).map_err(|v: Vec<&str>| {
+        format!(
+            "`{kind}` expects {N} positional argument(s), got {}",
+            v.len()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypergraph_round_trip() {
+        for s in ["0,1;2,3", "n=6:0,1;2,3", "n=3:-", "n=3:.", "n=4:.;0,1"] {
+            let h = parse_hypergraph(s).unwrap();
+            let back = parse_hypergraph(&to_inline(&h)).unwrap();
+            assert!(h.same_edge_set(&back), "{s}");
+            assert_eq!(h.num_vertices(), back.num_vertices(), "{s}");
+        }
+        let h = parse_hypergraph("0,1;2,3").unwrap();
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn hypergraph_errors() {
+        assert!(parse_hypergraph("0,x").is_err());
+        assert!(parse_hypergraph("n=2:0,5").is_err());
+        assert!(parse_hypergraph("0,1;;2").is_err());
+        assert!(parse_hypergraph("n=z:0").is_err());
+    }
+
+    #[test]
+    fn relation_keeps_duplicate_rows() {
+        let m = parse_relation("0,1;0,1;2").unwrap();
+        assert_eq!(m.num_rows(), 3);
+        assert_eq!(m.num_items(), 3);
+        let back = parse_relation(&relation_to_inline(&m)).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn key_table_round_trip() {
+        let r = parse_key_table("1,2,3;1,2,4").unwrap();
+        assert_eq!(r.num_attributes(), 3);
+        assert_eq!(r.num_rows(), 2);
+        let back = parse_key_table(&key_table_to_inline(&r)).unwrap();
+        assert_eq!(r, back);
+        assert!(parse_key_table("1,2;3").is_err());
+    }
+
+    #[test]
+    fn request_lines_parse() {
+        assert!(matches!(
+            parse_request("check 0,1;2,3 0,2;0,3;1,2;1,3").unwrap(),
+            Request::DecideDuality { .. }
+        ));
+        match parse_request("enumerate n=4:0,1;2,3 limit=3").unwrap() {
+            Request::EnumerateTransversals { limit, .. } => assert_eq!(limit, Some(3)),
+            other => panic!("{other:?}"),
+        }
+        match parse_request("mine 0,1;0,1;1,2 z=1 h=n=3:0,1").unwrap() {
+            Request::IdentifyItemsetBorders {
+                threshold,
+                maximal_frequent,
+                ..
+            } => {
+                assert_eq!(threshold, 1);
+                assert_eq!(maximal_frequent.num_edges(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request("keys 1,2;1,3").unwrap(),
+            Request::FindMinimalKeys { .. }
+        ));
+        assert!(parse_request("frobnicate 1").is_err());
+        assert!(parse_request("check 0,1").is_err());
+        assert!(parse_request("enumerate 0,1 limit=x").is_err());
+        assert!(parse_request("mine 0,1 z=1 bogus=2").is_err());
+    }
+}

@@ -5,7 +5,7 @@
 //! most trustworthy cross-check for tiny instances.
 
 use crate::counterexample::witness_from_assignment;
-use qld_core::{DualError, DualInstance, DualitySolver, DualityResult};
+use qld_core::{DualError, DualInstance, DualityResult, DualitySolver};
 use qld_hypergraph::{Hypergraph, VertexSet};
 
 /// Maximum universe size accepted by the brute-force solver.

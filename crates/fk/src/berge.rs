@@ -5,7 +5,7 @@
 //! natural "sequential method" baseline against which the decomposition solvers are
 //! compared in experiment E4.
 
-use qld_core::{DualError, DualInstance, DualitySolver, DualityResult, NonDualWitness};
+use qld_core::{DualError, DualInstance, DualityResult, DualitySolver, NonDualWitness};
 use qld_hypergraph::transversal::minimal_transversals;
 use qld_hypergraph::Hypergraph;
 

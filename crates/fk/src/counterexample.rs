@@ -91,7 +91,7 @@ mod tests {
     fn both_false_counterexample_gives_new_transversal() {
         let (g, mut h) = pair();
         h.remove_edge(0); // drop {0,2}
-        // t = {1,3}: g(t) = 0, h complement = {0,2}: no remaining h-edge inside → 0.
+                          // t = {1,3}: g(t) = 0, h complement = {0,2}: no remaining h-edge inside → 0.
         let t = vset![4; 1, 3];
         assert!(is_counterexample(&g, &h, &t));
         let w = witness_from_assignment(&g, &h, &t).unwrap();

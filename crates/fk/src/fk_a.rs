@@ -15,7 +15,7 @@
 //! conditional probabilities.
 
 use crate::counterexample::witness_from_assignment;
-use qld_core::{DualError, DualInstance, DualitySolver, DualityResult};
+use qld_core::{DualError, DualInstance, DualityResult, DualitySolver};
 use qld_hypergraph::{Hypergraph, Vertex, VertexSet};
 
 /// Statistics of one Fredman–Khachiyan run (used by the experiment harness).
@@ -210,11 +210,7 @@ fn most_frequent_variable(f: &Hypergraph, g: &Hypergraph, n: usize) -> usize {
 /// conditional probabilities: assign variables one at a time, keeping the expected
 /// number of "violated" terms (an `f`-term fully inside `T`, or a `g`-term fully
 /// outside) below 1; the final assignment violates no term, so `f(T) = g(¬T) = 0`.
-fn conditional_probabilities_counterexample(
-    f: &Hypergraph,
-    g: &Hypergraph,
-    n: usize,
-) -> VertexSet {
+fn conditional_probabilities_counterexample(f: &Hypergraph, g: &Hypergraph, n: usize) -> VertexSet {
     let mut t = VertexSet::empty(n);
     let mut decided_false = VertexSet::empty(n);
     let expected = |t: &VertexSet, decided_false: &VertexSet| -> f64 {
@@ -224,10 +220,7 @@ fn conditional_probabilities_counterexample(
             if e.intersects(decided_false) {
                 continue;
             }
-            let undecided = e
-                .iter()
-                .filter(|&v| !t.contains(v))
-                .count();
+            let undecided = e.iter().filter(|&v| !t.contains(v)).count();
             total += 0.5f64.powi(undecided as i32);
         }
         for e in g.edges() {
@@ -235,10 +228,7 @@ fn conditional_probabilities_counterexample(
             if e.intersects(t) {
                 continue;
             }
-            let undecided = e
-                .iter()
-                .filter(|&v| !decided_false.contains(v))
-                .count();
+            let undecided = e.iter().filter(|&v| !decided_false.contains(v)).count();
             total += 0.5f64.powi(undecided as i32);
         }
         total
@@ -310,7 +300,11 @@ mod tests {
             let verdict = solver.decide(&li.g, &li.h).unwrap();
             assert_eq!(verdict.is_dual(), li.dual, "{}", li.name);
             if let DualityResult::NotDual(w) = &verdict {
-                assert!(verify_witness(&li.g, &li.h, w), "{}: bad witness {w}", li.name);
+                assert!(
+                    verify_witness(&li.g, &li.h, w),
+                    "{}: bad witness {w}",
+                    li.name
+                );
             }
         }
     }
@@ -321,8 +315,7 @@ mod tests {
             let li = generators::matching_instance(k);
             for drop in 0..li.h.num_edges().min(3) {
                 let broken =
-                    generators::perturb(&li, generators::Perturbation::DropDualEdge, drop)
-                        .unwrap();
+                    generators::perturb(&li, generators::Perturbation::DropDualEdge, drop).unwrap();
                 let mut stats = FkStats::default();
                 let t = fk_counterexample(&broken.g, &broken.h, 0, &mut stats)
                     .expect("perturbed instance must have a counterexample");
@@ -385,7 +378,10 @@ mod tests {
         let solver = FkASolver::new();
         let (result, stats) = solver.decide_with_stats(&li.g, &li.h).unwrap();
         assert!(result.is_dual());
-        assert!(stats.calls >= 3, "expected a non-trivial recursion, got {stats:?}");
+        assert!(
+            stats.calls >= 3,
+            "expected a non-trivial recursion, got {stats:?}"
+        );
         assert!(stats.max_depth >= 1);
         assert_eq!(solver.name(), "fk-a");
     }

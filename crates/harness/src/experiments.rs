@@ -12,16 +12,16 @@ use qld_core::path::{max_branching, max_descriptor_length};
 use qld_core::tree::{build_tree, BuildOptions};
 use qld_core::witness::missing_dual_edge;
 use qld_core::{
-    BorosMakinoTreeSolver, DualitySolver, DualityResult, QuadLogspaceSolver, SpaceStrategy,
+    BorosMakinoTreeSolver, DualityResult, DualitySolver, QuadLogspaceSolver, SpaceStrategy,
 };
 use qld_fk::{AssignmentBruteSolver, BergeSolver, FkASolver};
 use qld_logspace::SpaceMeter;
 use std::time::Instant;
 
 /// Identifiers of all experiments, in presentation order.
-pub const ALL_EXPERIMENTS: &[&str] = &["e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+pub const ALL_EXPERIMENTS: &[&str] = &["e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
-/// Runs one experiment by identifier (`"e2"` … `"e9"`).
+/// Runs one experiment by identifier (`"e2"` … `"e10"`).
 pub fn run(id: &str) -> Option<Table> {
     match id {
         "e2" => Some(e2_tree_shape()),
@@ -32,6 +32,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e7" => Some(e7_itemset_identification()),
         "e8" => Some(e8_additional_keys()),
         "e9" => Some(e9_coteries()),
+        "e10" => Some(e10_engine_batch()),
         _ => None,
     }
 }
@@ -48,8 +49,17 @@ pub fn e2_tree_shape() -> Table {
         "E2",
         "Decomposition-tree shape vs. the bounds of Proposition 2.1",
         &[
-            "instance", "|V|", "|G|", "|H|", "nodes", "leaves", "depth", "floor(log2|H|)",
-            "max-branch", "|V|*|G|", "bounds-ok",
+            "instance",
+            "|V|",
+            "|G|",
+            "|H|",
+            "nodes",
+            "leaves",
+            "depth",
+            "floor(log2|H|)",
+            "max-branch",
+            "|V|*|G|",
+            "bounds-ok",
         ],
     );
     for li in workloads::dual_instances() {
@@ -85,8 +95,15 @@ pub fn e3_space_scaling() -> Table {
         "E3",
         "Peak metered work space vs. c·log²(n) (Theorem 4.1)",
         &[
-            "instance", "input-bits n", "log2^2(n)", "recompute-bits", "recompute/log2^2",
-            "chain-bits", "chain/log2^2", "tree-bits", "tree/log2^2",
+            "instance",
+            "input-bits n",
+            "log2^2(n)",
+            "recompute-bits",
+            "recompute/log2^2",
+            "chain-bits",
+            "chain/log2^2",
+            "tree-bits",
+            "tree/log2^2",
         ],
     );
     for (li, measure_recompute) in workloads::space_scaling_instances() {
@@ -138,7 +155,13 @@ pub fn e4_solver_comparison() -> Table {
         "E4",
         "Solver comparison (all verdicts agree; times in microseconds)",
         &[
-            "instance", "dual?", "berge-us", "fk-a-us", "bm-tree-us", "quadlog-us", "agree",
+            "instance",
+            "dual?",
+            "berge-us",
+            "fk-a-us",
+            "bm-tree-us",
+            "quadlog-us",
+            "agree",
         ],
     );
     let berge = BergeSolver::new();
@@ -182,7 +205,11 @@ pub fn e5_witnesses() -> Table {
         "E5",
         "New-transversal witnesses on non-dual instances (Corollary 4.1)",
         &[
-            "instance", "witness-kind", "witness-size", "verifies", "minimal-missing-edge",
+            "instance",
+            "witness-kind",
+            "witness-size",
+            "verifies",
+            "minimal-missing-edge",
             "time-us",
         ],
     );
@@ -237,8 +264,13 @@ pub fn e6_guess_check() -> Table {
         "E6",
         "Guess-and-check certificates (Theorem 5.1)",
         &[
-            "instance", "input-bits n", "cert-bits", "4*log2^2(n)", "within-budget",
-            "verifies", "verify-peak-bits",
+            "instance",
+            "input-bits n",
+            "cert-bits",
+            "4*log2^2(n)",
+            "within-budget",
+            "verifies",
+            "verify-peak-bits",
         ],
     );
     for li in workloads::non_dual_instances() {
@@ -283,8 +315,16 @@ pub fn e7_itemset_identification() -> Table {
         "E7",
         "Frequent-itemset borders via duality (Proposition 1.1)",
         &[
-            "relation", "items", "rows", "z", "|IS+|", "|IS-|", "dual-calls",
-            "matches-apriori", "matches-exhaustive", "time-us",
+            "relation",
+            "items",
+            "rows",
+            "z",
+            "|IS+|",
+            "|IS-|",
+            "dual-calls",
+            "matches-apriori",
+            "matches-exhaustive",
+            "time-us",
         ],
     );
     for (name, relation, z) in workloads::datamining_workloads() {
@@ -296,7 +336,9 @@ pub fn e7_itemset_identification() -> Table {
         let matches_apriori = result
             .maximal_frequent
             .same_edge_set(&apriori.maximal_frequent(relation.num_items()));
-        let matches_exact = result.maximal_frequent.same_edge_set(&exact.maximal_frequent)
+        let matches_exact = result
+            .maximal_frequent
+            .same_edge_set(&exact.maximal_frequent)
             && result
                 .minimal_infrequent
                 .same_edge_set(&exact.minimal_infrequent);
@@ -323,8 +365,14 @@ pub fn e8_additional_keys() -> Table {
         "E8",
         "Minimal keys via duality (Proposition 1.2)",
         &[
-            "instance", "attrs", "rows", "min-keys", "dual-calls", "matches-brute",
-            "additional-key-after-drop", "time-us",
+            "instance",
+            "attrs",
+            "rows",
+            "min-keys",
+            "dual-calls",
+            "matches-brute",
+            "additional-key-after-drop",
+            "time-us",
         ],
     );
     for (name, r) in workloads::key_workloads() {
@@ -367,8 +415,13 @@ pub fn e9_coteries() -> Table {
         "E9",
         "Coterie non-domination via self-duality (Proposition 1.3)",
         &[
-            "coterie", "nodes", "quorums", "non-dominated", "matches-exact",
-            "dominating-quorums", "time-us",
+            "coterie",
+            "nodes",
+            "quorums",
+            "non-dominated",
+            "matches-exact",
+            "dominating-quorums",
+            "time-us",
         ],
     );
     for (name, coterie) in workloads::coterie_workloads() {
@@ -393,6 +446,72 @@ pub fn e9_coteries() -> Table {
     table
 }
 
+/// E10 — the batch query engine: throughput of a mixed batch (duality checks,
+/// limited enumerations, border identifications, key enumerations) at growing
+/// worker counts, with every run cross-checked against the single-worker,
+/// cache-less baseline.
+pub fn e10_engine_batch() -> Table {
+    use qld_engine::{Engine, EngineConfig};
+
+    let mut table = Table::new(
+        "E10",
+        "Engine batch throughput vs. workers (same answers as direct solver calls)",
+        &[
+            "workers",
+            "cache",
+            "requests",
+            "errors",
+            "total-ms",
+            "req/s",
+            "cache-hits",
+            "matches-direct",
+        ],
+    );
+    let requests = workloads::engine_batch(120);
+    let baseline_engine = Engine::new(EngineConfig {
+        workers: 1,
+        cache: false,
+        ..EngineConfig::default()
+    });
+    let baseline = baseline_engine.run_batch(requests.clone());
+
+    let max_workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(8);
+    let mut worker_counts = vec![1, 2, 4, max_workers];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    for workers in worker_counts {
+        for cache in [false, true] {
+            let engine = Engine::new(EngineConfig {
+                workers,
+                cache,
+                ..EngineConfig::default()
+            });
+            let started = Instant::now();
+            let responses = engine.run_batch(requests.clone());
+            let elapsed = started.elapsed();
+            let matches = responses.len() == baseline.len()
+                && responses
+                    .iter()
+                    .zip(&baseline)
+                    .all(|(a, b)| a.outcome == b.outcome);
+            let errors = responses.iter().filter(|r| !r.is_ok()).count();
+            table.push_row(vec![
+                workers.to_string(),
+                if cache { "on" } else { "off" }.to_string(),
+                responses.len().to_string(),
+                errors.to_string(),
+                f2(elapsed.as_secs_f64() * 1e3),
+                f2(responses.len() as f64 / elapsed.as_secs_f64()),
+                engine.cache_stats().hits.to_string(),
+                mark(matches && errors == 0),
+            ]);
+        }
+    }
+    table
+}
+
 /// A tiny sanity harness used by integration tests: every table row that carries a
 /// correctness column must report success.
 pub fn all_correctness_cells_pass(table: &Table) -> bool {
@@ -401,7 +520,10 @@ pub fn all_correctness_cells_pass(table: &Table) -> bool {
         .iter()
         .enumerate()
         .filter(|(_, c)| {
-            c.contains("ok") || c.contains("agree") || c.contains("matches") || c.contains("verifies")
+            c.contains("ok")
+                || c.contains("agree")
+                || c.contains("matches")
+                || c.contains("verifies")
         })
         .map(|(i, _)| i)
         .collect();

@@ -99,7 +99,11 @@ impl Table {
 
 /// Formats a boolean as a compact check mark for table cells.
 pub fn mark(ok: bool) -> String {
-    if ok { "yes".to_string() } else { "NO".to_string() }
+    if ok {
+        "yes".to_string()
+    } else {
+        "NO".to_string()
+    }
 }
 
 /// Formats a floating-point value with two decimals.

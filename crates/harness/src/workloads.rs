@@ -5,6 +5,7 @@
 //! numbers in `EXPERIMENTS.md` reproducible by `cargo bench` without duplication.
 
 use qld_datamining::BooleanRelation;
+use qld_engine::Request;
 use qld_hypergraph::generators::{self, LabelledInstance};
 use qld_keys::RelationInstance;
 
@@ -71,9 +72,10 @@ pub fn datamining_workloads() -> Vec<(String, BooleanRelation, usize)> {
             z,
         ));
     }
-    for (items, rows, patterns, size, z, seed) in
-        [(8usize, 40usize, 3usize, 4usize, 8usize, 21u64), (10, 60, 4, 5, 12, 22)]
-    {
+    for (items, rows, patterns, size, z, seed) in [
+        (8usize, 40usize, 3usize, 4usize, 8usize, 21u64),
+        (10, 60, 4, 5, 12, 22),
+    ] {
         out.push((
             format!("planted(items={items},rows={rows},patterns={patterns})"),
             qld_datamining::generators::planted_pattern_relation(
@@ -126,9 +128,76 @@ pub fn coterie_workloads() -> Vec<(String, qld_coteries::Coterie)> {
     ]
 }
 
+/// A mixed engine batch of at least `min_requests` typed requests (E10 and the
+/// engine bench): duality checks (dual and perturbed), limited transversal
+/// enumerations, itemset-border identifications, and minimal-key enumerations,
+/// all drawn from the workloads above.  Requests cycle deterministically, so
+/// batches of any size are reproducible.
+pub fn engine_batch(min_requests: usize) -> Vec<Request> {
+    let mut base: Vec<Request> = Vec::new();
+    for li in dual_instances() {
+        base.push(Request::DecideDuality {
+            g: li.g.clone(),
+            h: li.h.clone(),
+        });
+    }
+    for li in non_dual_instances() {
+        base.push(Request::DecideDuality {
+            g: li.g.clone(),
+            h: li.h.clone(),
+        });
+    }
+    for (i, li) in dual_instances().into_iter().enumerate() {
+        base.push(Request::EnumerateTransversals {
+            g: li.g,
+            limit: Some(2 + i % 5),
+        });
+    }
+    for (_, relation, z) in datamining_workloads() {
+        let borders = qld_datamining::borders_exact(&relation, z);
+        // one complete- and one incomplete-border identification per relation
+        base.push(Request::IdentifyItemsetBorders {
+            relation: relation.clone(),
+            threshold: z,
+            minimal_infrequent: borders.minimal_infrequent.clone(),
+            maximal_frequent: borders.maximal_frequent.clone(),
+        });
+        let mut partial = borders.maximal_frequent.clone();
+        if !partial.is_empty() {
+            partial.remove_edge(0);
+        }
+        base.push(Request::IdentifyItemsetBorders {
+            relation,
+            threshold: z,
+            minimal_infrequent: borders.minimal_infrequent,
+            maximal_frequent: partial,
+        });
+    }
+    for (_, instance) in key_workloads() {
+        base.push(Request::FindMinimalKeys { instance });
+    }
+    let mut out = Vec::with_capacity(min_requests.max(base.len()));
+    while out.len() < min_requests {
+        out.extend(base.iter().cloned());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_batches_mix_all_request_kinds() {
+        let batch = engine_batch(100);
+        assert!(batch.len() >= 100);
+        for kind in ["check", "enumerate", "mine", "keys"] {
+            assert!(
+                batch.iter().any(|r| r.kind() == kind),
+                "missing request kind {kind}"
+            );
+        }
+    }
 
     #[test]
     fn workload_inventories_are_nonempty_and_consistent() {
@@ -146,7 +215,10 @@ mod tests {
     fn datamining_thresholds_are_meaningful() {
         for (name, relation, z) in datamining_workloads() {
             assert!(z < relation.num_rows(), "{name}: z out of range");
-            assert!(relation.num_items() <= 12, "{name}: keep ground truth feasible");
+            assert!(
+                relation.num_items() <= 12,
+                "{name}: keep ground truth feasible"
+            );
         }
     }
 }

@@ -141,12 +141,7 @@ pub fn complete_graph(n: usize) -> Hypergraph {
 /// definition of vertex covers; the dual side is computed exactly.
 pub fn graph_cover_instance(name: &str, graph: Hypergraph) -> LabelledInstance {
     let covers = minimal_transversals(&graph);
-    LabelledInstance::new(
-        format!("graph-cover({name})"),
-        graph,
-        covers,
-        true,
-    )
+    LabelledInstance::new(format!("graph-cover({name})"), graph, covers, true)
 }
 
 /// A self-dual hypergraph built from a dual pair `(a, b)` over a universe `V` by the
@@ -210,12 +205,7 @@ pub fn random_simple_hypergraph(
 pub fn random_dual_instance(n: usize, m: usize, max_edge: usize, seed: u64) -> LabelledInstance {
     let g = random_simple_hypergraph(n, m, 2..=max_edge.max(2), seed);
     let h = minimal_transversals(&g);
-    LabelledInstance::new(
-        format!("random-dual(n={n},m={m},seed={seed})"),
-        g,
-        h,
-        true,
-    )
+    LabelledInstance::new(format!("random-dual(n={n},m={m},seed={seed})"), g, h, true)
 }
 
 /// Ways of perturbing a dual pair into a non-dual instance while keeping the instance
@@ -232,7 +222,11 @@ pub enum Perturbation {
 /// Applies a perturbation to a known-dual pair, producing a labelled **non-dual**
 /// instance.  Returns `None` if the perturbation is not applicable (e.g. the side to
 /// drop from has at most one edge).
-pub fn perturb(instance: &LabelledInstance, p: Perturbation, which: usize) -> Option<LabelledInstance> {
+pub fn perturb(
+    instance: &LabelledInstance,
+    p: Perturbation,
+    which: usize,
+) -> Option<LabelledInstance> {
     match p {
         Perturbation::DropDualEdge => {
             if instance.h.num_edges() <= 1 {
@@ -359,8 +353,9 @@ mod tests {
         assert_eq!(a.canonicalized().edges(), b.canonicalized().edges());
         assert!(a.is_simple());
         let c = random_simple_hypergraph(10, 8, 2..=4, 43);
-        // overwhelmingly likely to differ
-        assert!(a.num_edges() == 0 || !a.same_edge_set(&c) || a.num_edges() != c.num_edges() || true);
+        // a different seed produces a different hypergraph (deterministically,
+        // for these fixed parameters)
+        assert!(!a.same_edge_set(&c));
     }
 
     #[test]

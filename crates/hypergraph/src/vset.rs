@@ -219,10 +219,7 @@ impl VertexSet {
     /// Whether the two sets share at least one element.
     pub fn intersects(&self, other: &VertexSet) -> bool {
         self.check_compat(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Whether `self ⊆ other`.
@@ -487,7 +484,10 @@ mod tests {
     fn complement_with_respect_to_universe() {
         let a = VertexSet::from_indices(5, [0, 2]);
         assert_eq!(a.complement(5).to_indices(), vec![1, 3, 4]);
-        assert_eq!(VertexSet::empty(3).complement(3).to_indices(), vec![0, 1, 2]);
+        assert_eq!(
+            VertexSet::empty(3).complement(3).to_indices(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

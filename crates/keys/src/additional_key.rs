@@ -9,7 +9,7 @@
 
 use crate::instance::RelationInstance;
 use crate::keys::disagreement_hypergraph;
-use qld_core::{DualError, DualitySolver, DualityResult, NonDualWitness, QuadLogspaceSolver};
+use qld_core::{DualError, DualityResult, DualitySolver, NonDualWitness, QuadLogspaceSolver};
 use qld_hypergraph::{Hypergraph, VertexSet};
 
 /// The outcome of the additional-key check.
@@ -47,13 +47,11 @@ pub fn additional_key_with(
     // no distinct row pairs (≤ 1 row) → D = ∅, the only minimal key is ∅;
     // two identical rows → ∅ ∈ D, no key exists.
     if d.is_empty() {
-        return Ok(
-            if known.num_edges() == 1 && known.edge(0).is_empty() {
-                AdditionalKey::Complete
-            } else {
-                AdditionalKey::Found(VertexSet::empty(n))
-            },
-        );
+        return Ok(if known.num_edges() == 1 && known.edge(0).is_empty() {
+            AdditionalKey::Complete
+        } else {
+            AdditionalKey::Found(VertexSet::empty(n))
+        });
     }
     if d.has_empty_edge() {
         // No keys at all: K must be empty to be complete (validation already rejected
@@ -183,10 +181,7 @@ mod tests {
         // {A,B,C} is a key but not minimal; {D} is not a key.
         for bad in [vset![4; 0, 1, 2], vset![4; 3]] {
             let k = Hypergraph::from_edges(4, [bad.clone()]);
-            assert_eq!(
-                additional_key(&r, &k).unwrap(),
-                AdditionalKey::Invalid(bad)
-            );
+            assert_eq!(additional_key(&r, &k).unwrap(), AdditionalKey::Invalid(bad));
         }
     }
 

@@ -104,7 +104,12 @@ impl RelationInstance {
 
 impl fmt::Display for RelationInstance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "# attributes={} rows={}", self.num_attributes, self.rows.len())?;
+        writeln!(
+            f,
+            "# attributes={} rows={}",
+            self.num_attributes,
+            self.rows.len()
+        )?;
         for row in &self.rows {
             let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
             writeln!(f, "{}", cells.join(" "))?;

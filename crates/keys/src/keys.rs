@@ -59,7 +59,10 @@ pub fn minimal_keys_exact(r: &RelationInstance) -> Hypergraph {
 /// attributes).
 pub fn minimal_keys_brute(r: &RelationInstance) -> Hypergraph {
     let n = r.num_attributes();
-    assert!(n <= 20, "brute-force key enumeration limited to 20 attributes");
+    assert!(
+        n <= 20,
+        "brute-force key enumeration limited to 20 attributes"
+    );
     let mut keys = Vec::new();
     for mask in 0u64..(1u64 << n) {
         let s = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));

@@ -23,4 +23,6 @@ pub use additional_key::{
     additional_key, additional_key_with, enumerate_minimal_keys_with, AdditionalKey,
 };
 pub use instance::RelationInstance;
-pub use keys::{disagreement_hypergraph, maximal_agree_sets, minimal_keys_brute, minimal_keys_exact};
+pub use keys::{
+    disagreement_hypergraph, maximal_agree_sets, minimal_keys_brute, minimal_keys_exact,
+};

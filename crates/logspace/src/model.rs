@@ -127,7 +127,10 @@ mod tests {
 
     #[test]
     fn all_classes_have_distinct_notation() {
-        let notations: Vec<&str> = ComplexityClass::all().iter().map(|c| c.notation()).collect();
+        let notations: Vec<&str> = ComplexityClass::all()
+            .iter()
+            .map(|c| c.notation())
+            .collect();
         let mut dedup = notations.clone();
         dedup.sort();
         dedup.dedup();

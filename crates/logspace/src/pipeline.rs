@@ -107,7 +107,8 @@ impl<S: LogspaceStage + ?Sized> ItemOracle for RecomputingOracle<'_, S> {
             // The per-stage frame of the Lemma 3.1 construction: the index register dᵢ
             // and the single-item output register oᵢ.
             let max_item = u64::MAX >> 1;
-            let _d = LogRegister::with_value(&self.meter, self.base.len().max(i) as u64 + 1, i as u64);
+            let _d =
+                LogRegister::with_value(&self.meter, self.base.len().max(i) as u64 + 1, i as u64);
             let _o = LogRegister::new(&self.meter, max_item);
             self.stage.output_item(&prev, i, &self.meter)
         }
@@ -172,11 +173,7 @@ pub fn iterated_materialized<S: LogspaceStage + ?Sized>(
 }
 
 fn charge_for_items(items: &[u64]) -> u64 {
-    items
-        .iter()
-        .map(|&v| bits_for(v))
-        .sum::<u64>()
-        .max(1)
+    items.iter().map(|&v| bits_for(v)).sum::<u64>().max(1)
 }
 
 #[cfg(test)]
@@ -226,7 +223,11 @@ mod tests {
         for rounds in 0..5 {
             let meter = SpaceMeter::new();
             let got = iterated(&NeighbourSum, rounds, &base, &meter);
-            assert_eq!(got, reference_neighbour_sum(rounds, &base), "rounds={rounds}");
+            assert_eq!(
+                got,
+                reference_neighbour_sum(rounds, &base),
+                "rounds={rounds}"
+            );
             assert_eq!(meter.current_bits(), 0, "all registers released");
         }
     }
@@ -291,7 +292,10 @@ mod tests {
         let meter = SpaceMeter::new();
         assert_eq!(iterated(&Halve, 0, &base, &meter), base.to_vec());
         let meter2 = SpaceMeter::new();
-        assert_eq!(iterated_materialized(&Halve, 0, &base, &meter2), base.to_vec());
+        assert_eq!(
+            iterated_materialized(&Halve, 0, &base, &meter2),
+            base.to_vec()
+        );
     }
 
     #[test]

@@ -134,7 +134,9 @@ impl Frame {
     /// Creates a frame with `count` registers, each able to index an object of size
     /// `max_value`.
     pub fn new(meter: &SpaceMeter, count: usize, max_value: u64) -> Self {
-        let registers = (0..count).map(|_| LogRegister::new(meter, max_value)).collect();
+        let registers = (0..count)
+            .map(|_| LogRegister::new(meter, max_value))
+            .collect();
         Frame { registers }
     }
 

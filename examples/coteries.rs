@@ -17,7 +17,10 @@ use qld_hypergraph::vset;
 fn report(name: &str, coterie: &Coterie) {
     match check_domination(coterie).expect("valid coterie") {
         Domination::NonDominated => {
-            println!("{name:<16} {:>3} quorums   NON-DOMINATED", coterie.num_quorums());
+            println!(
+                "{name:<16} {:>3} quorums   NON-DOMINATED",
+                coterie.num_quorums()
+            );
         }
         Domination::DominatedBy(better) => {
             println!(

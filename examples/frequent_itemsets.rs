@@ -8,8 +8,8 @@
 //! converts the duality witness into a new border element until the answer is no.
 
 use qld_datamining::{
-    apriori, borders_exact, dualize_and_advance, identify, BooleanRelation,
-    Identification, IdentificationInstance,
+    apriori, borders_exact, dualize_and_advance, identify, BooleanRelation, Identification,
+    IdentificationInstance,
 };
 
 fn main() {
@@ -32,7 +32,11 @@ fn main() {
     );
     let z = 3; // frequent = contained in strictly more than 3 baskets
 
-    println!("relation: {} baskets over {} items, threshold z = {z}", relation.num_rows(), relation.num_items());
+    println!(
+        "relation: {} baskets over {} items, threshold z = {z}",
+        relation.num_rows(),
+        relation.num_items()
+    );
 
     let pretty = |s: &qld_hypergraph::VertexSet| {
         let items: Vec<&str> = s.iter().map(|v| names[v.index()]).collect();
@@ -68,7 +72,9 @@ fn main() {
     );
     println!(
         "agrees with brute force:  {}",
-        result.maximal_frequent.same_edge_set(&exact.maximal_frequent)
+        result
+            .maximal_frequent
+            .same_edge_set(&exact.maximal_frequent)
             && result
                 .minimal_infrequent
                 .same_edge_set(&exact.minimal_infrequent)
@@ -78,16 +84,17 @@ fn main() {
     // and ask whether the borders are complete.
     let mut partial = result.maximal_frequent.clone();
     let hidden = partial.remove_edge(0);
-    let question = IdentificationInstance::new(
-        &relation,
-        z,
-        result.minimal_infrequent.clone(),
-        partial,
+    let question =
+        IdentificationInstance::new(&relation, z, result.minimal_infrequent.clone(), partial);
+    println!(
+        "\nhiding {} and asking the identification question …",
+        pretty(&hidden)
     );
-    println!("\nhiding {} and asking the identification question …", pretty(&hidden));
     match identify(&question).expect("valid instance") {
         Identification::Complete => println!("  answer: complete (unexpected!)"),
-        Identification::Incomplete(found) => println!("  answer: incomplete — discovered {found:?}"),
+        Identification::Incomplete(found) => {
+            println!("  answer: incomplete — discovered {found:?}")
+        }
         Identification::Invalid(bad) => println!("  answer: invalid input {bad:?}"),
     }
 }

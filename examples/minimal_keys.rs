@@ -46,9 +46,8 @@ fn main() {
         d.num_vertices()
     );
 
-    let (keys, duality_calls) =
-        enumerate_minimal_keys_with(&table, &QuadLogspaceSolver::default())
-            .expect("valid instance");
+    let (keys, duality_calls) = enumerate_minimal_keys_with(&table, &QuadLogspaceSolver::default())
+        .expect("valid instance");
     println!("\nminimal keys ({} duality calls):", duality_calls);
     for k in keys.edges() {
         println!("  {}", pretty(k));
@@ -62,7 +61,10 @@ fn main() {
     if keys.num_edges() > 1 {
         let mut partial = keys.clone();
         let hidden = partial.remove_edge(0);
-        println!("\nhiding key {} and asking for an additional key …", pretty(&hidden));
+        println!(
+            "\nhiding key {} and asking for an additional key …",
+            pretty(&hidden)
+        );
         match additional_key(&table, &partial).expect("valid instance") {
             AdditionalKey::Found(k) => println!("  found: {}", pretty(&k)),
             AdditionalKey::Complete => println!("  none found (unexpected!)"),

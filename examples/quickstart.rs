@@ -38,7 +38,9 @@ fn main() {
     let removed = broken.remove_edge(0);
     println!("\nremoving {removed} from H …");
     let result = solver.decide(&g, &broken).expect("valid instance");
-    let witness = result.witness().expect("non-dual instances carry a witness");
+    let witness = result
+        .witness()
+        .expect("non-dual instances carry a witness");
     println!("DUAL(G, H')?          {}", result.is_dual());
     println!("witness               {witness}");
     println!(

@@ -27,7 +27,9 @@ fn main() {
         let log2 = (n.max(2) as f64).log2();
         let log2sq = log2 * log2;
 
-        let (result, report) = solver.decide_with_space(&li.g, &li.h).expect("valid instance");
+        let (result, report) = solver
+            .decide_with_space(&li.g, &li.h)
+            .expect("valid instance");
         assert!(result.is_dual());
 
         let inst = DualInstance::new(li.g.clone(), li.h.clone()).unwrap();

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde shim.  The shim's traits carry blanket implementations, so the
+//! derives only need to exist for `#[derive(serde::Serialize, ...)]` attributes
+//! to resolve; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim's `Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shim's `Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

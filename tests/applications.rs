@@ -30,7 +30,9 @@ fn itemset_borders_match_ground_truth_for_every_solver() {
             for solver in solvers() {
                 let result = dualize_and_advance_with(&relation, z, solver.as_ref()).unwrap();
                 assert!(
-                    result.maximal_frequent.same_edge_set(&exact.maximal_frequent),
+                    result
+                        .maximal_frequent
+                        .same_edge_set(&exact.maximal_frequent),
                     "{} IS+ mismatch (seed {seed}, z {z})",
                     solver.name()
                 );
@@ -143,8 +145,7 @@ fn coterie_domination_agrees_with_exact_self_duality_for_every_solver() {
     for coterie in &coteries {
         let expected = is_self_dual_exact(coterie.quorums());
         for solver in solvers() {
-            let verdict =
-                qld_coteries::check_domination_with(coterie, solver.as_ref()).unwrap();
+            let verdict = qld_coteries::check_domination_with(coterie, solver.as_ref()).unwrap();
             assert_eq!(
                 verdict.is_non_dominated(),
                 expected,

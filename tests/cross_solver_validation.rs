@@ -4,7 +4,7 @@
 //! negative verdict must carry an independently checkable witness.
 
 use qld_core::{
-    verify_witness, BorosMakinoTreeSolver, DualitySolver, DualityResult, QuadLogspaceSolver,
+    verify_witness, BorosMakinoTreeSolver, DualityResult, DualitySolver, QuadLogspaceSolver,
     SpaceStrategy,
 };
 use qld_fk::{AssignmentBruteSolver, BergeSolver, FkASolver};

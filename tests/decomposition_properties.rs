@@ -36,8 +36,7 @@ fn proposition_2_1_bounds_hold_across_families() {
             inst.h().num_edges()
         );
         assert!(
-            stats.max_branching
-                <= inst.num_vertices() * inst.g().num_edges() + 1,
+            stats.max_branching <= inst.num_vertices() * inst.g().num_edges() + 1,
             "{}: branching bound violated",
             li.name
         );
@@ -82,7 +81,12 @@ fn pathnode_reproduces_every_tree_node_on_representative_instances() {
         let inst = oriented(&li);
         let tree = build_tree(&inst, &BuildOptions::default()).unwrap();
         for node in tree.nodes() {
-            match pathnode(&inst, &node.attr.label, SpaceStrategy::MaterializeChain, &meter) {
+            match pathnode(
+                &inst,
+                &node.attr.label,
+                SpaceStrategy::MaterializeChain,
+                &meter,
+            ) {
                 PathnodeOutcome::Node(attr) => assert_eq!(&attr, &node.attr, "{}", li.name),
                 PathnodeOutcome::WrongPath => {
                     panic!("{}: pathnode lost node {}", li.name, node.attr.label)
@@ -136,14 +140,9 @@ fn certificates_exist_exactly_for_non_dual_instances_and_stay_small() {
         let cert = find_certificate(&li.g, &li.h, &meter).unwrap();
         assert_eq!(cert.is_some(), !li.dual, "{}", li.name);
         if let Some(cert) = cert {
-            let check = verify_certificate(
-                &li.g,
-                &li.h,
-                &cert,
-                SpaceStrategy::MaterializeChain,
-                &meter,
-            )
-            .unwrap();
+            let check =
+                verify_certificate(&li.g, &li.h, &cert, SpaceStrategy::MaterializeChain, &meter)
+                    .unwrap();
             assert_eq!(check, CertificateCheck::RefutesDuality, "{}", li.name);
             // O(log² n) size with an explicit constant of 4
             let n = li.encoding_bits().max(2) as f64;

@@ -1,0 +1,97 @@
+//! Property test: engine answers are independent of the result cache.
+//!
+//! For random hypergraphs and batches containing duplicates, a cache-enabled
+//! engine must return outcome-for-outcome the same responses as a cache-less
+//! one (only the `cache_hit` stat may differ).
+
+use proptest::prelude::*;
+use qld_engine::{Engine, EngineConfig, Request};
+use qld_hypergraph::transversal::minimal_transversals;
+use qld_hypergraph::{Hypergraph, VertexSet};
+
+/// Strategy: a random simple hypergraph with non-empty edges over `n` vertices.
+fn arb_simple_hypergraph(n: usize, max_edges: usize) -> impl Strategy<Value = Hypergraph> {
+    prop::collection::vec(prop::collection::vec(0..n, 1..=n), 1..=max_edges).prop_map(
+        move |edges| {
+            Hypergraph::from_edges(n, edges.into_iter().map(|e| VertexSet::from_indices(n, e)))
+                .minimize()
+        },
+    )
+}
+
+fn run_outcomes(
+    cache: bool,
+    workers: usize,
+    requests: &[Request],
+) -> Vec<Result<qld_engine::Outcome, String>> {
+    let engine = Engine::new(EngineConfig {
+        workers,
+        cache,
+        queue_capacity: 4,
+        ..EngineConfig::default()
+    });
+    engine
+        .run_batch(requests.to_vec())
+        .into_iter()
+        .map(|r| r.outcome)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cache-on and cache-off engines agree on batches with duplicates, and
+    /// both agree with the exact dual for honest instances.
+    #[test]
+    fn cache_on_and_off_agree(
+        g in arb_simple_hypergraph(5, 4),
+        h in arb_simple_hypergraph(5, 4),
+        limit in 1usize..6,
+    ) {
+        let dual = minimal_transversals(&g);
+        let requests = vec![
+            Request::DecideDuality { g: g.clone(), h: dual.clone() },
+            Request::DecideDuality { g: g.clone(), h: h.clone() },
+            Request::EnumerateTransversals { g: g.clone(), limit: Some(limit) },
+            Request::EnumerateTransversals { g: g.clone(), limit: None },
+            // exact duplicates: the cached run must still answer identically
+            Request::DecideDuality { g: g.clone(), h: dual.clone() },
+            Request::DecideDuality { g: g.clone(), h: h.clone() },
+            Request::EnumerateTransversals { g: g.clone(), limit: Some(limit) },
+        ];
+        let cached = run_outcomes(true, 3, &requests);
+        let uncached = run_outcomes(false, 1, &requests);
+        prop_assert_eq!(&cached, &uncached);
+        // spot-check semantic correctness of the shared answers
+        match &cached[0] {
+            Ok(qld_engine::Outcome::Duality { dual: is_dual, .. }) => prop_assert!(*is_dual),
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+        match &cached[3] {
+            Ok(qld_engine::Outcome::Transversals { transversals, complete }) => {
+                prop_assert!(*complete);
+                prop_assert_eq!(transversals.len(), dual.num_edges());
+            }
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+
+    /// Permuting edges (same canonical instance) must share cache entries and
+    /// still answer correctly.
+    #[test]
+    fn permuted_duplicates_share_cache_entries(g in arb_simple_hypergraph(5, 4)) {
+        let dual = minimal_transversals(&g);
+        let mut reversed_edges: Vec<VertexSet> = g.edges().to_vec();
+        reversed_edges.reverse();
+        let permuted = Hypergraph::from_edges(g.num_vertices(), reversed_edges);
+        let requests = vec![
+            Request::DecideDuality { g: g.clone(), h: dual.clone() },
+            Request::DecideDuality { g: permuted, h: dual.clone() },
+        ];
+        let engine = Engine::new(EngineConfig { workers: 1, cache: true, ..EngineConfig::default() });
+        let responses = engine.run_batch(requests);
+        prop_assert_eq!(&responses[0].outcome, &responses[1].outcome);
+        prop_assert_eq!(engine.cache_stats().entries, 1);
+        prop_assert!(responses[1].stats.cache_hit);
+    }
+}
