@@ -13,7 +13,7 @@
 //! * [`expand`](crate::expand::expand) and [`tree`] — the Boros–Makino decomposition
 //!   step (`marksmall` / `process`) and the explicit decomposition tree `T(G, H)` of
 //!   Section 2 (Proposition 2.1);
-//! * [`path`], [`oracle`], [`pathnode`], [`decompose`] — path descriptors, the oracle
+//! * [`path`], [`oracle`], [`mod@pathnode`], [`decompose`] — path descriptors, the oracle
 //!   chain realizing `next` (Lemma 4.1) and `pathnode` (Lemma 4.2), and the
 //!   `decompose` enumeration of Theorem 4.1, all charged against a
 //!   [`qld_logspace::SpaceMeter`] so the `O(log² n)` work-space claim can be measured;

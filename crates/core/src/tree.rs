@@ -4,7 +4,7 @@
 //! materialized in memory (polynomial space per node, potentially quasi-polynomially
 //! many nodes), its structural properties (Proposition 2.1) can be measured directly,
 //! and the duality decision follows from the leaf marks.  The space-efficient
-//! algorithms of Section 4 ([`crate::pathnode`], [`crate::decompose`],
+//! algorithms of Section 4 ([`mod@crate::pathnode`], [`crate::decompose`],
 //! [`crate::solver::QuadLogspaceSolver`]) never build this tree; tests compare their
 //! answers and per-node attributes against it.
 

@@ -8,7 +8,7 @@
 //!   frequent/maximal/minimal predicates with the paper's strict threshold semantics
 //!   (`U` frequent iff `f(U) > z`);
 //! * [`borders`] — exhaustive ground-truth computation of `IS⁺` and `IS⁻`;
-//! * [`apriori`] — the classical level-wise miner (baseline);
+//! * [`mod@apriori`] — the classical level-wise miner (baseline);
 //! * [`identification`] — the reduction of MaxFreq-MinInfreq-Identification to `DUAL`
 //!   (`G = tr(Hᶜ)`), with recovery of a new border element from the duality witness;
 //! * [`dualize_advance`] — incremental computation of both borders driven by repeated

@@ -6,23 +6,28 @@
 //! qld mine <REL.qld> --threshold Z     itemset-border identification
 //!          [--g G.qld] [--h H.qld]
 //! qld keys <TABLE.txt>                 enumerate minimal keys of a table
-//! qld serve [--workers N] [...]        stream wire-format requests (stdin or
-//!                                      --input FILE) to JSON-lines responses
+//! qld serve [--workers N] [...]        stream wire-format requests (stdin,
+//!                                      --input FILE, or a --socket daemon)
+//!                                      to JSON-lines responses
 //! ```
 //!
 //! All subcommands answer with JSON lines on stdout.  Common options:
-//! `--workers N`, `--queue CAP`, `--no-cache`, `--solver auto|bm|quadlog|
-//! quadlog-recompute`.  File arguments use the line-oriented `.qld` syntax of
-//! `qld_hypergraph::format` (relations: one row per line; key tables: one row
-//! of integer attribute values per line); `-` reads the operand from stdin.
+//! `--workers N`, `--queue CAP`, `--no-cache`, `--cache-capacity N`,
+//! `--cache-ttl SECS`, `--solver auto|bm|quadlog|quadlog-recompute`.  File
+//! arguments use the line-oriented `.qld` syntax of `qld_hypergraph::format`
+//! (relations: one row per line; key tables: one row of integer attribute
+//! values per line); `-` reads the operand from stdin.  The wire protocol is
+//! specified in `docs/WIRE.md`.
 
 use qld_engine::{
-    wire, Engine, EngineConfig, FixedPolicy, Request, SizeThresholdPolicy, SolverKind, SolverPolicy,
+    wire, Engine, EngineConfig, FixedPolicy, OrderMode, Request, ServeOptions, SizeThresholdPolicy,
+    SolverKind, SolverPolicy,
 };
 use qld_hypergraph::{format, Hypergraph};
 use std::io::{BufReader, Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 qld — batch query engine over the quadratic-logspace duality solvers
@@ -33,26 +38,36 @@ USAGE:
   qld mine <REL.qld> --threshold Z [--g G.qld] [--h H.qld] [options]
                                             frequent-itemset border identification
   qld keys <TABLE.txt> [options]            enumerate minimal keys of a relation
-  qld serve [--input FILE] [options]        serve wire-format request lines
+  qld serve [--input FILE | --socket PATH] [options]
+                                            serve wire-format request lines
 
 OPTIONS:
-  --workers N    worker threads (default: available parallelism, capped at 8)
-  --queue CAP    bounded submission queue capacity (default 256)
-  --no-cache     disable the result cache
-  --solver S     auto | bm | quadlog | quadlog-recompute  (default auto)
-  --limit K      (enumerate) stop after K transversals
-  --threshold Z  (mine) frequency threshold: frequent iff freq > Z
-  --g FILE       (mine) known minimal infrequent itemsets
-  --h FILE       (mine) known maximal frequent itemsets
-  --input FILE   (serve) read request lines from FILE instead of stdin
+  --workers N          worker threads (default: available parallelism, cap 8)
+  --queue CAP          bounded submission queue capacity (default 256)
+  --no-cache           disable the result cache
+  --cache-capacity N   LRU result-cache entry bound (default 65536)
+  --cache-ttl SECS     expire cache entries SECS seconds after insertion
+                       (0 = no TTL, the default)
+  --solver S           auto | bm | quadlog | quadlog-recompute  (default auto)
+  --limit K            (enumerate) stop after K transversals
+  --threshold Z        (mine) frequency threshold: frequent iff freq > Z
+  --g FILE             (mine) known minimal infrequent itemsets
+  --h FILE             (mine) known maximal frequent itemsets
+  --input FILE         (serve) read request lines from FILE instead of stdin
+  --socket PATH        (serve) run as a daemon on a Unix socket at PATH
+  --order MODE         (serve) input (default: responses in request order) or
+                       arrival (stream responses as they complete)
 
-WIRE FORMAT (one request per line, for `serve`):
+WIRE FORMAT (one request per line, for `serve`; full spec in docs/WIRE.md):
   check <G> <H>           e.g.  check 0,1;2,3 0,2;0,3;1,2;1,3
   enumerate <G> [limit=K]
   mine <REL> z=<Z> [g=<G>] [h=<H>]
   keys <TABLE>            e.g.  keys 1,2;1,3
-Inline families: edges `;`-separated, vertices `,`-separated, optional `n=N:`
-prefix; `-` = no edges, `.` = the empty edge.  Responses are JSON lines.
+  stats                   engine/cache counters snapshot
+Every line also accepts id=<TOKEN> (echoed back as client_id),
+order=input|arrival, and solver=<NAME>.  Inline families: edges
+`;`-separated, vertices `,`-separated, optional `n=N:` prefix; `-` = no
+edges, `.` = the empty edge.  Responses are JSON lines.
 ";
 
 fn main() -> ExitCode {
@@ -71,12 +86,16 @@ struct Options {
     workers: Option<usize>,
     queue: usize,
     cache: bool,
+    cache_capacity: Option<usize>,
+    cache_ttl: Option<Duration>,
     solver: Option<SolverKind>,
     limit: Option<usize>,
     threshold: Option<usize>,
     g_file: Option<String>,
     h_file: Option<String>,
     input: Option<String>,
+    socket: Option<String>,
+    order: OrderMode,
     positional: Vec<String>,
 }
 
@@ -85,12 +104,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workers: None,
         queue: 256,
         cache: true,
+        cache_capacity: None,
+        cache_ttl: None,
         solver: None,
         limit: None,
         threshold: None,
         g_file: None,
         h_file: None,
         input: None,
+        socket: None,
+        order: OrderMode::Input,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -105,6 +128,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--workers" => opts.workers = Some(parse_num(&value_of("--workers")?, "--workers")?),
             "--queue" => opts.queue = parse_num(&value_of("--queue")?, "--queue")?,
             "--no-cache" => opts.cache = false,
+            "--cache-capacity" => {
+                opts.cache_capacity = Some(parse_num(
+                    &value_of("--cache-capacity")?,
+                    "--cache-capacity",
+                )?)
+            }
+            "--cache-ttl" => {
+                let secs = parse_num(&value_of("--cache-ttl")?, "--cache-ttl")?;
+                // 0 means "no TTL", not "everything already expired".
+                opts.cache_ttl = (secs > 0).then(|| Duration::from_secs(secs as u64));
+            }
+            "--socket" => opts.socket = Some(value_of("--socket")?),
+            "--order" => {
+                let name = value_of("--order")?;
+                opts.order = OrderMode::from_name(&name)
+                    .ok_or_else(|| format!("--order: unknown mode `{name}`"))?;
+            }
             "--solver" => {
                 let name = value_of("--solver")?;
                 opts.solver = match name.as_str() {
@@ -149,6 +189,8 @@ fn engine_from(opts: &Options) -> Engine {
         workers: opts.workers.unwrap_or(defaults.workers),
         queue_capacity: opts.queue,
         cache: opts.cache,
+        cache_capacity: opts.cache_capacity.unwrap_or(defaults.cache_capacity),
+        cache_ttl: opts.cache_ttl,
         policy,
     })
 }
@@ -293,7 +335,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "serve" => {
             if !opts.positional.is_empty() {
-                return Err("serve takes no positional arguments (use --input FILE)".to_string());
+                return Err(
+                    "serve takes no positional arguments (use --input FILE or --socket PATH)"
+                        .to_string(),
+                );
+            }
+            let serve_options = ServeOptions { order: opts.order };
+            if let Some(socket) = &opts.socket {
+                if opts.input.is_some() {
+                    return Err("--socket and --input are mutually exclusive".to_string());
+                }
+                return serve_socket(engine, socket, serve_options);
             }
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
@@ -301,21 +353,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Some(path) if path != "-" => {
                     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
                     engine
-                        .serve(BufReader::new(file), &mut out)
+                        .serve_with(BufReader::new(file), &mut out, &serve_options)
                         .map_err(|e| format!("serve: {e}"))?
                 }
                 _ => engine
-                    .serve(BufReader::new(std::io::stdin()), &mut out)
+                    .serve_with(BufReader::new(std::io::stdin()), &mut out, &serve_options)
                     .map_err(|e| format!("serve: {e}"))?,
             };
             out.flush().map_err(|e| format!("serve: {e}"))?;
             let cache = engine.cache_stats();
             eprintln!(
-                "qld serve: {} request(s), {} error(s), cache {} hit(s) / {} miss(es), {} worker(s)",
+                "qld serve: {} request(s), {} error(s), cache {} hit(s) / {} miss(es) / {} eviction(s), {} worker(s)",
                 summary.requests,
                 summary.errors,
                 cache.hits,
                 cache.misses,
+                cache.evictions,
                 engine.config().workers
             );
             Ok(ExitCode::SUCCESS)
@@ -326,6 +379,37 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown subcommand `{other}` (see `qld --help`)")),
     }
+}
+
+/// Runs the persistent daemon: bind the Unix socket and serve connections
+/// until the process is killed (the accept loop has no CLI-level stop).
+#[cfg(unix)]
+fn serve_socket(engine: Engine, socket: &str, options: ServeOptions) -> Result<ExitCode, String> {
+    let engine = Arc::new(engine);
+    let server = qld_engine::SocketServer::bind(socket).map_err(|e| format!("{socket}: {e}"))?;
+    eprintln!(
+        "qld serve: listening on {} ({} worker(s), order={})",
+        server.path().display(),
+        engine.config().workers,
+        options.order.name()
+    );
+    let summary = server
+        .run(&engine, options)
+        .map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "qld serve: {} connection(s), {} request(s), {} error(s)",
+        summary.connections, summary.requests, summary.errors
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(not(unix))]
+fn serve_socket(
+    _engine: Engine,
+    _socket: &str,
+    _options: ServeOptions,
+) -> Result<ExitCode, String> {
+    Err("--socket requires a Unix platform".to_string())
 }
 
 fn one_positional(opts: &Options, usage: &str) -> Result<String, String> {

@@ -1,4 +1,4 @@
-//! The engine's result cache.
+//! The engine's result cache: bounded LRU with optional TTL expiry.
 //!
 //! Keys are the canonical request encodings of [`crate::request::Request::cache_key`],
 //! so syntactically different but semantically identical requests share one
@@ -6,49 +6,96 @@
 //! permuted edges and reordered relation rows for `mine`/`keys`.
 //! The cache stores finished outcomes, not parsed inputs: repeated requests
 //! skip the solver entirely.
+//!
+//! Eviction is **least-recently-used**: every hit refreshes an entry's
+//! recency, and inserting a new key into a full cache removes the entry that
+//! has gone longest without being touched (a generation-clock design — a
+//! monotone tick per touch, with a `BTreeMap` recency index from tick to key,
+//! so both the hit path and the eviction path are `O(log n)`).  An optional
+//! TTL additionally expires entries a fixed duration after they were stored;
+//! expired entries answer as misses and are removed on access.  All four
+//! outcomes — hit, miss, eviction, expiration — are counted and exposed via
+//! [`CacheStats`] (also available on the wire through the `stats` request,
+//! see `docs/WIRE.md`).
 
+use crate::lock_ignoring_poison;
 use crate::ops::ExecInfo;
-use crate::response::Outcome;
-use std::collections::HashMap;
+use crate::response::{EngineError, Outcome};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A finished result as stored in the cache.
 #[derive(Debug, Clone)]
 pub struct CachedResult {
     /// The outcome (or rendered error) of the first execution.
-    pub outcome: Result<Outcome, String>,
+    pub outcome: Result<Outcome, EngineError>,
     /// Telemetry of the first execution (solver name, peak bits, call count).
     pub info: ExecInfo,
 }
 
-/// Hit/miss counters of a [`QueryCache`].
+/// Counters of a [`QueryCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Number of lookups answered from the cache.
     pub hits: u64,
-    /// Number of lookups that missed.
+    /// Number of lookups that missed (including expired entries).
     pub misses: u64,
     /// Number of entries currently stored.
     pub entries: u64,
+    /// Number of live entries evicted to make room for new keys (LRU).
+    pub evictions: u64,
+    /// Number of entries removed because they outlived the TTL.
+    pub expirations: u64,
+    /// The maximum number of entries the cache will hold.
+    pub capacity: u64,
 }
 
 /// Default bound on stored entries (see [`QueryCache::with_capacity`]).
 pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
 
-/// A shared, thread-safe map from canonical request keys to finished results.
+/// One stored entry: the result plus its recency tick and insertion time.
+#[derive(Debug)]
+struct Entry {
+    result: CachedResult,
+    /// Generation-clock value of the last touch; index into `recency`.
+    tick: u64,
+    /// When the entry was stored (TTL is measured from here; hits do not
+    /// refresh it).
+    stored_at: Instant,
+}
+
+/// The mutexed interior: the key map plus the recency index.  Keys are
+/// `Arc<str>` shared between the two containers: canonical keys are complete
+/// request encodings (potentially kilobytes), so neither the second index nor
+/// the hit-path recency bump should copy them.
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Arc<str>, Entry>,
+    /// Recency index: tick → key, ascending ticks are least recently used.
+    recency: BTreeMap<u64, Arc<str>>,
+    /// The generation clock; strictly increases on every touch.
+    tick: u64,
+}
+
+/// A shared, thread-safe LRU map from canonical request keys to finished
+/// results.
 ///
-/// The cache is bounded: once `capacity` distinct keys are stored, further
-/// *new* keys are not admitted (existing entries keep being served and can be
-/// refreshed).  This caps memory on long-running `serve` sessions with
-/// mostly-unique traffic; proper LRU eviction is future work (see
-/// `ROADMAP.md`).
+/// The cache is bounded: storing a new key into a full cache evicts the
+/// least-recently-used entry (every [`QueryCache::get`] hit counts as a use).
+/// With a TTL configured, entries older than the TTL answer as misses and are
+/// dropped.  This keeps memory bounded on long-running daemon sessions while
+/// letting hot keys survive arbitrary amounts of mostly-unique traffic.
 #[derive(Debug)]
 pub struct QueryCache {
-    map: Mutex<HashMap<String, CachedResult>>,
+    inner: Mutex<Inner>,
     capacity: usize,
+    ttl: Option<Duration>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    expirations: AtomicU64,
 }
 
 impl Default for QueryCache {
@@ -57,46 +104,117 @@ impl Default for QueryCache {
     }
 }
 
-fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
 impl QueryCache {
-    /// An empty cache with the default entry bound.
+    /// An empty cache with the default entry bound and no TTL.
     pub fn new() -> Self {
         QueryCache::default()
     }
 
-    /// An empty cache admitting at most `capacity` distinct keys.
+    /// An empty cache holding at most `capacity` entries, no TTL.
     pub fn with_capacity(capacity: usize) -> Self {
+        QueryCache::with_limits(capacity, None)
+    }
+
+    /// An empty cache holding at most `capacity` entries whose entries expire
+    /// `ttl` after insertion (when `ttl` is `Some`).
+    pub fn with_limits(capacity: usize, ttl: Option<Duration>) -> Self {
         QueryCache {
-            map: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner::default()),
             capacity,
+            ttl,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expirations: AtomicU64::new(0),
         }
     }
 
-    /// Looks up a canonical key, counting the hit or miss.
-    pub fn get(&self, key: &str) -> Option<CachedResult> {
-        let found = lock_ignoring_poison(&self.map).get(key).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// Whether `entry` has outlived the configured TTL.
+    fn expired(&self, entry: &Entry) -> bool {
+        self.ttl.is_some_and(|ttl| entry.stored_at.elapsed() >= ttl)
     }
 
-    /// Stores a finished result under its canonical key.  New keys are
-    /// dropped once the cache holds `capacity` entries.
+    /// Looks up a canonical key, counting the hit or miss.  A hit refreshes
+    /// the entry's recency; an expired entry is removed and counts as a miss.
+    pub fn get(&self, key: &str) -> Option<CachedResult> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        let Some(entry) = inner.map.get(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if self.expired(entry) {
+            let old_tick = entry.tick;
+            inner.map.remove(key);
+            inner.recency.remove(&old_tick);
+            self.expirations.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // Touch: move the entry to the most-recent end of the recency index
+        // (an Arc clone of the stored key, not a copy of its bytes).
+        inner.tick += 1;
+        let tick = inner.tick;
+        let (shared_key, entry) = inner.map.get_key_value(key).expect("entry checked above");
+        let shared_key = Arc::clone(shared_key);
+        let old_tick = entry.tick;
+        let result = entry.result.clone();
+        inner.map.get_mut(key).expect("entry checked above").tick = tick;
+        inner.recency.remove(&old_tick);
+        inner.recency.insert(tick, shared_key);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(result)
+    }
+
+    /// Stores a finished result under its canonical key, evicting the
+    /// least-recently-used entry if the cache is full.  Re-inserting an
+    /// existing key refreshes both its value and its recency.
     pub fn insert(&self, key: String, result: CachedResult) {
-        let mut map = lock_ignoring_poison(&self.map);
-        if map.len() >= self.capacity && !map.contains_key(&key) {
+        if self.capacity == 0 {
             return;
         }
-        map.insert(key, result);
+        let mut inner = lock_ignoring_poison(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((shared_key, existing)) = inner.map.get_key_value(key.as_str()) {
+            let shared_key = Arc::clone(shared_key);
+            let old_tick = existing.tick;
+            let existing = inner
+                .map
+                .get_mut(key.as_str())
+                .expect("entry checked above");
+            existing.result = result;
+            existing.tick = tick;
+            existing.stored_at = Instant::now();
+            inner.recency.remove(&old_tick);
+            inner.recency.insert(tick, shared_key);
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            // Evict the least-recently-used entry (the smallest tick).  If it
+            // happens to be past its TTL this is an expiration, not a "real"
+            // eviction of live data.
+            if let Some((&lru_tick, _)) = inner.recency.iter().next() {
+                let lru_key = inner
+                    .recency
+                    .remove(&lru_tick)
+                    .expect("recency entry just observed");
+                let victim = inner.map.remove(&lru_key);
+                match victim {
+                    Some(v) if self.expired(&v) => self.expirations.fetch_add(1, Ordering::Relaxed),
+                    _ => self.evictions.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+        }
+        let key: Arc<str> = key.into();
+        inner.recency.insert(tick, Arc::clone(&key));
+        inner.map.insert(
+            key,
+            Entry {
+                result,
+                tick,
+                stored_at: Instant::now(),
+            },
+        );
     }
 
     /// Current counters.
@@ -104,7 +222,10 @@ impl QueryCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: lock_ignoring_poison(&self.map).len() as u64,
+            entries: lock_ignoring_poison(&self.inner).map.len() as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            capacity: self.capacity as u64,
         }
     }
 }
@@ -114,43 +235,88 @@ mod tests {
     use super::*;
     use crate::response::Outcome;
 
-    #[test]
-    fn hit_miss_accounting() {
-        let cache = QueryCache::new();
-        assert!(cache.get("k").is_none());
-        cache.insert(
-            "k".into(),
-            CachedResult {
-                outcome: Ok(Outcome::Duality {
-                    dual: true,
-                    witness: None,
-                }),
-                info: ExecInfo::default(),
-            },
-        );
-        assert!(cache.get("k").is_some());
-        let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
-    }
-
-    #[test]
-    fn capacity_bounds_distinct_keys() {
-        let cache = QueryCache::with_capacity(2);
-        let entry = || CachedResult {
+    fn entry() -> CachedResult {
+        CachedResult {
             outcome: Ok(Outcome::Duality {
                 dual: true,
                 witness: None,
             }),
             info: ExecInfo::default(),
-        };
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = QueryCache::new();
+        assert!(cache.get("k").is_none());
+        cache.insert("k".into(), entry());
+        assert!(cache.get("k").is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!((stats.evictions, stats.expirations), (0, 0));
+    }
+
+    #[test]
+    fn full_cache_evicts_least_recently_used() {
+        let cache = QueryCache::with_capacity(2);
         cache.insert("a".into(), entry());
         cache.insert("b".into(), entry());
-        cache.insert("c".into(), entry()); // dropped: cache full
-        assert_eq!(cache.stats().entries, 2);
+        // Touch `a`, making `b` the LRU entry, then overflow.
         assert!(cache.get("a").is_some());
-        assert!(cache.get("c").is_none());
-        // existing keys can still be refreshed at capacity
-        cache.insert("a".into(), entry());
+        cache.insert("c".into(), entry());
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get("a").is_some(), "recently used entry must survive");
+        assert!(cache.get("c").is_some(), "new entry must be admitted");
+        assert!(cache.get("b").is_none(), "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_without_growing() {
+        let cache = QueryCache::with_capacity(2);
+        cache.insert("a".into(), entry());
+        cache.insert("b".into(), entry());
+        cache.insert("a".into(), entry()); // refresh, not a new key
+        assert_eq!(cache.stats().entries, 2);
+        cache.insert("c".into(), entry()); // evicts `b`, the LRU
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest_key() {
+        let cache = QueryCache::with_capacity(1);
+        cache.insert("a".into(), entry());
+        cache.insert("b".into(), entry());
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("a").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let cache = QueryCache::with_capacity(0);
+        cache.insert("a".into(), entry());
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get("a").is_none());
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache = QueryCache::with_limits(8, Some(Duration::from_millis(20)));
+        cache.insert("k".into(), entry());
+        assert!(cache.get("k").is_some(), "fresh entry answers");
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cache.get("k").is_none(), "expired entry is a miss");
+        let stats = cache.stats();
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.entries, 0);
+        // Hits do not refresh the TTL: reinsert, touch, wait, gone.
+        cache.insert("k".into(), entry());
+        assert!(cache.get("k").is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cache.get("k").is_none());
     }
 }

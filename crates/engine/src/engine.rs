@@ -1,38 +1,54 @@
-//! The concurrent batch engine: a sharded worker pool over the solvers.
+//! The concurrent query engine: a **persistent** sharded worker pool over the
+//! solvers.
 //!
-//! Requests enter through a **bounded** queue (submission blocks when all
-//! workers are busy and the queue is full — backpressure, not unbounded
-//! buffering), are executed on `workers` OS threads, and come back as
-//! [`Response`]s carrying per-request stats.  Results are deterministic: the
-//! engine only parallelizes *across* requests, every request is answered
-//! exactly as a direct single-threaded solver call would answer it, and both
-//! [`Engine::run_batch`] and [`Engine::serve`] emit responses in request
-//! order.
+//! The pool is spawned once, when the [`Engine`] is constructed, and every
+//! session — a [`Engine::run_batch`] call, a [`Engine::serve`] loop, or any
+//! number of concurrent socket connections (see [`crate::transport`]) —
+//! multiplexes its requests onto the same workers through one shared
+//! **bounded** job queue (submission blocks when all workers are busy and the
+//! queue is full: backpressure, not unbounded buffering).  Each job carries a
+//! reply channel back to the session that submitted it, so sessions never see
+//! each other's responses.
+//!
+//! Results are deterministic: the engine only parallelizes *across* requests,
+//! and every request is answered exactly as a direct single-threaded solver
+//! call would answer it.  Response *ordering* is a per-session choice
+//! ([`OrderMode`]): `input` order reorders responses into request order
+//! through a bounded buffer, `arrival` order streams each response the moment
+//! it completes so one slow request never head-of-line-blocks the rest.
 
 use crate::cache::{CacheStats, CachedResult, QueryCache};
+use crate::lock_ignoring_poison;
 use crate::ops;
-use crate::policy::{SizeThresholdPolicy, SolverPolicy};
+use crate::policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
 use crate::request::Request;
-use crate::response::{RequestStats, Response};
-use crate::wire;
-use std::collections::BTreeMap;
+use crate::response::{EngineError, Outcome, RequestStats, Response};
+use crate::wire::{self, OrderMode};
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
-use std::thread;
-use std::time::Instant;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 /// Engine construction parameters.
 #[derive(Clone)]
 pub struct EngineConfig {
-    /// Number of worker threads (shards).
+    /// Number of worker threads (shards) in the persistent pool.
     pub workers: usize,
-    /// Capacity of the bounded submission queue; submission blocks beyond it.
+    /// Capacity of the bounded submission queue, shared by all sessions;
+    /// submission blocks beyond it.
     pub queue_capacity: usize,
     /// Whether to cache results keyed by canonical request encodings.
     pub cache: bool,
-    /// Solver routing policy applied to every duality call.
+    /// Maximum number of entries the LRU result cache holds.
+    pub cache_capacity: usize,
+    /// Optional time-to-live for cache entries (measured from insertion).
+    pub cache_ttl: Option<Duration>,
+    /// Solver routing policy applied to every duality call (unless a request
+    /// carries a `solver=` override).
     pub policy: Arc<dyn SolverPolicy>,
 }
 
@@ -44,6 +60,8 @@ impl Default for EngineConfig {
                 .min(8),
             queue_capacity: 256,
             cache: true,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            cache_ttl: None,
             policy: Arc::new(SizeThresholdPolicy::default()),
         }
     }
@@ -55,12 +73,23 @@ impl std::fmt::Debug for EngineConfig {
             .field("workers", &self.workers)
             .field("queue_capacity", &self.queue_capacity)
             .field("cache", &self.cache)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("cache_ttl", &self.cache_ttl)
             .field("policy", &self.policy.name())
             .finish()
     }
 }
 
-/// Summary of one [`Engine::serve`] session.
+/// Options of one serve session (one stdin/stdout loop or one socket
+/// connection).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Default response ordering; individual requests may override it with
+    /// the `order=` wire keyword.
+    pub order: OrderMode,
+}
+
+/// Summary of one serve session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeSummary {
     /// Requests answered (including per-request errors).
@@ -69,21 +98,76 @@ pub struct ServeSummary {
     pub errors: u64,
 }
 
-/// The concurrent batch query engine.
+/// What a worker should do for one job.
+enum Payload {
+    /// Execute a typed query, optionally forcing a concrete solver.
+    Query {
+        request: Request,
+        solver: Option<SolverKind>,
+    },
+    /// Snapshot the engine counters (the `stats` wire request).
+    Stats,
+    /// Report a parse failure for this sequence slot.
+    Malformed(String),
+}
+
+/// One unit of work travelling through the shared pool.
+struct PoolJob {
+    /// Sequence number within the submitting session.
+    seq: u64,
+    /// Client correlation token to echo back.
+    client_id: Option<String>,
+    payload: Payload,
+    /// Where the executing worker sends the response.
+    reply: Sender<Response>,
+}
+
+/// Read-only state shared with every worker thread.
+struct WorkerCtx {
+    policy: Arc<dyn SolverPolicy>,
+    cache: Arc<QueryCache>,
+    cache_enabled: bool,
+    workers: usize,
+}
+
+/// The concurrent query engine.  Dropping it shuts the worker pool down
+/// (outstanding jobs finish first).
 pub struct Engine {
     config: EngineConfig,
     cache: Arc<QueryCache>,
+    /// `Some` for the engine's lifetime; taken in `Drop` to hang up the queue.
+    job_tx: Option<SyncSender<PoolJob>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
-/// A unit of work: either a parsed request or a parse error to report.
-type Job = (u64, Result<Request, String>);
-
 impl Engine {
-    /// Builds an engine from a configuration.
+    /// Builds an engine from a configuration, spawning its worker pool.
     pub fn new(config: EngineConfig) -> Self {
+        let cache = Arc::new(QueryCache::with_limits(
+            config.cache_capacity,
+            config.cache_ttl,
+        ));
+        let workers = config.workers.max(1);
+        let (job_tx, job_rx) = mpsc::sync_channel::<PoolJob>(config.queue_capacity.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let ctx = Arc::new(WorkerCtx {
+            policy: Arc::clone(&config.policy),
+            cache: Arc::clone(&cache),
+            cache_enabled: config.cache,
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|worker_index| {
+                let job_rx = Arc::clone(&job_rx);
+                let ctx = Arc::clone(&ctx);
+                thread::spawn(move || worker_loop(&ctx, &job_rx, worker_index))
+            })
+            .collect();
         Engine {
             config,
-            cache: Arc::new(QueryCache::new()),
+            cache,
+            job_tx: Some(job_tx),
+            handles,
         }
     }
 
@@ -102,21 +186,36 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// The shared job queue's sender (alive for the engine's lifetime).
+    fn sender(&self) -> &SyncSender<PoolJob> {
+        self.job_tx.as_ref().expect("pool alive until drop")
+    }
+
     /// Executes a batch of requests on the worker pool; `responses[i]` answers
-    /// `requests[i]`.
+    /// `requests[i]`.  Submission shares the bounded queue with any concurrent
+    /// sessions.
     pub fn run_batch(&self, requests: Vec<Request>) -> Vec<Response> {
         let total = requests.len();
+        let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+        for (seq, request) in requests.into_iter().enumerate() {
+            let job = PoolJob {
+                seq: seq as u64,
+                client_id: None,
+                payload: Payload::Query {
+                    request,
+                    solver: None,
+                },
+                reply: reply_tx.clone(),
+            };
+            self.sender().send(job).expect("worker pool alive");
+        }
+        drop(reply_tx);
         let mut out: Vec<Option<Response>> = Vec::new();
         out.resize_with(total, || None);
-        self.pump(
-            requests.into_iter().map(Ok),
-            || false,
-            |response: Response| {
-                let slot = response.id as usize;
-                out[slot] = Some(response);
-                true
-            },
-        );
+        for response in reply_rx {
+            let slot = response.id as usize;
+            out[slot] = Some(response);
+        }
         out.into_iter()
             .map(|slot| slot.expect("worker pool answered every request"))
             .collect()
@@ -129,74 +228,187 @@ impl Engine {
             .expect("one response for one request")
     }
 
-    /// Streams wire-format request lines from `input` and writes JSON-lines
-    /// responses to `output` **in request order** (a reorder buffer holds
-    /// responses that finish early).  Responses are written and flushed as
-    /// soon as they are in-order ready — a client that sends one request and
-    /// waits for its answer gets it without closing the input.  Blank lines
-    /// and `#` comments are skipped.
-    ///
-    /// Errors reading the input or writing the output abort the session (no
-    /// further lines are read) and are returned; responses already written
-    /// stay valid.
+    /// Streams wire-format request lines from `input` to JSON-lines responses
+    /// on `output` in **input order** — shorthand for [`Engine::serve_with`]
+    /// and [`ServeOptions::default`].
     pub fn serve<R: BufRead + Send, W: Write>(
         &self,
         input: R,
         output: &mut W,
     ) -> std::io::Result<ServeSummary> {
+        self.serve_with(input, output, &ServeOptions::default())
+    }
+
+    /// Streams wire-format request lines from `input` and writes JSON-lines
+    /// responses to `output`.  Blank lines and `#` comments are skipped.
+    ///
+    /// With `order: input` (the default) responses are written in request
+    /// order — a bounded reorder buffer holds responses that finish early,
+    /// and the reader pauses when that buffer fills, so one slow head-of-line
+    /// request cannot make the buffer grow with the stream.  With
+    /// `order: arrival` every response is written the moment it completes,
+    /// possibly out of order; the `id` (and echoed `id=` correlation token)
+    /// tell the client which request it answers.  Individual requests can
+    /// override the session default with the `order=` wire keyword: an
+    /// `order=arrival` request in an `input`-ordered session is excluded from
+    /// the ordered stream and emitted on completion, and an `order=input`
+    /// request in an `arrival` session joins the ordered stream.
+    ///
+    /// Responses are written and flushed as soon as they are ready — a client
+    /// that sends one request and waits for its answer gets it without
+    /// closing the input.  Errors reading the input or writing the output
+    /// abort the session (no further lines are read) and are returned;
+    /// responses already written stay valid.
+    pub fn serve_with<R: BufRead + Send, W: Write>(
+        &self,
+        input: R,
+        output: &mut W,
+        options: &ServeOptions,
+    ) -> std::io::Result<ServeSummary> {
         let mut summary = ServeSummary::default();
         let mut write_error: Option<std::io::Error> = None;
         let read_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
-        // Bound on completed-but-unemitted responses: one slow head-of-line
-        // request must not let the reorder buffer grow with the stream.  The
-        // feeder pauses once this many responses are held.
+        // Session-local emission plan, filled by the feeder before each job is
+        // submitted: which responses join the ordered stream (and at which
+        // position) and which are emitted on arrival.
+        let emission: Mutex<HashMap<u64, Emission>> = Mutex::new(HashMap::new());
+        // Bound on completed-but-unemitted ordered responses: one slow
+        // head-of-line request must not let the reorder buffer grow with the
+        // stream.  The feeder pauses once this many responses are held.
         let reorder_capacity = self.config.queue_capacity.max(1) * 4;
-        let held = Arc::new(AtomicUsize::new(0));
-        {
-            let mut next_to_emit: u64 = 0;
-            let mut pending: BTreeMap<u64, Response> = BTreeMap::new();
-            let read_error = &read_error;
-            let jobs = input
-                .lines()
-                .map_while(move |line| match line {
-                    Ok(line) => Some(line),
-                    Err(e) => {
-                        *lock_ignoring_poison(read_error) = Some(e);
-                        None
+        let held = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+        thread::scope(|scope| {
+            // Feeder thread: parses lines into jobs and pushes them into the
+            // shared bounded queue (send blocks while all workers are busy and
+            // the queue is full), pausing while the reorder buffer is at
+            // capacity.
+            {
+                let emission = &emission;
+                let read_error = &read_error;
+                let held = &held;
+                let abort = &abort;
+                let job_tx = self.sender().clone();
+                let default_order = options.order;
+                scope.spawn(move || {
+                    let mut seq: u64 = 0;
+                    let mut ordered: u64 = 0;
+                    for line in input.lines() {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let line = match line {
+                            Ok(line) => line,
+                            Err(e) => {
+                                *lock_ignoring_poison(read_error) = Some(e);
+                                break;
+                            }
+                        };
+                        let trimmed = line.trim();
+                        if trimmed.is_empty() || trimmed.starts_with('#') {
+                            continue;
+                        }
+                        let (client_id, order, payload) = match wire::parse_line(trimmed) {
+                            Ok(parsed) => {
+                                let payload = match parsed.command {
+                                    wire::Command::Query(request) => Payload::Query {
+                                        request,
+                                        solver: parsed.solver,
+                                    },
+                                    wire::Command::Stats => Payload::Stats,
+                                };
+                                (parsed.id, parsed.order.unwrap_or(default_order), payload)
+                            }
+                            Err(message) => (
+                                wire::salvage_client_id(trimmed),
+                                default_order,
+                                Payload::Malformed(message),
+                            ),
+                        };
+                        let plan = match order {
+                            OrderMode::Input => {
+                                let position = ordered;
+                                ordered += 1;
+                                Emission::Ordered(position)
+                            }
+                            OrderMode::Arrival => Emission::Immediate,
+                        };
+                        lock_ignoring_poison(emission).insert(seq, plan);
+                        while held.load(Ordering::Relaxed) >= reorder_capacity
+                            && !abort.load(Ordering::Relaxed)
+                        {
+                            thread::sleep(Duration::from_millis(1));
+                        }
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let job = PoolJob {
+                            seq,
+                            client_id,
+                            payload,
+                            reply: reply_tx.clone(),
+                        };
+                        if job_tx.send(job).is_err() {
+                            break;
+                        }
+                        seq += 1;
                     }
-                })
-                .filter(|line| {
-                    let t = line.trim();
-                    !t.is_empty() && !t.starts_with('#')
-                })
-                .map(|line| wire::parse_request(&line));
-            let held_feeder = Arc::clone(&held);
-            let throttle = move || held_feeder.load(Ordering::Relaxed) >= reorder_capacity;
-            self.pump(jobs, throttle, |response: Response| {
+                    // Dropping the feeder's `reply_tx` (moved in) lets the
+                    // collector loop end once all in-flight jobs answered.
+                    drop(reply_tx);
+                });
+            }
+            // Collector (this thread): drain responses as they complete and
+            // emit them according to the session's ordering plan.
+            let mut next_ordered: u64 = 0;
+            let mut pending: BTreeMap<u64, Response> = BTreeMap::new();
+            let mut aborted = false;
+            for response in reply_rx {
+                if aborted {
+                    continue; // drain in-flight work, discard
+                }
                 summary.requests += 1;
                 if !response.is_ok() {
                     summary.errors += 1;
                 }
-                pending.insert(response.id, response);
-                let mut wrote = false;
-                while let Some(ready) = pending.remove(&next_to_emit) {
-                    if let Err(e) = writeln!(output, "{}", ready.to_json_line()) {
-                        write_error = Some(e);
-                        return false;
+                let plan = lock_ignoring_poison(&emission)
+                    .remove(&response.id)
+                    .unwrap_or(Emission::Immediate);
+                let mut ready: Vec<Response> = Vec::new();
+                match plan {
+                    Emission::Immediate => ready.push(response),
+                    Emission::Ordered(position) => {
+                        pending.insert(position, response);
+                        while let Some(next) = pending.remove(&next_ordered) {
+                            ready.push(next);
+                            next_ordered += 1;
+                        }
+                        held.store(pending.len(), Ordering::Relaxed);
                     }
-                    wrote = true;
-                    next_to_emit += 1;
                 }
-                held.store(pending.len(), Ordering::Relaxed);
-                if wrote {
+                if ready.is_empty() {
+                    continue;
+                }
+                let mut failed = None;
+                for r in &ready {
+                    if let Err(e) = writeln!(output, "{}", r.to_json_line()) {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                if failed.is_none() {
                     if let Err(e) = output.flush() {
-                        write_error = Some(e);
-                        return false;
+                        failed = Some(e);
                     }
                 }
-                true
-            });
-        }
+                if let Some(e) = failed {
+                    write_error = Some(e);
+                    aborted = true;
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+        });
         if let Some(e) = write_error {
             return Err(e);
         }
@@ -206,112 +418,122 @@ impl Engine {
         output.flush()?;
         Ok(summary)
     }
+}
 
-    /// The shared pool driver: a feeder thread pushes `jobs` through the
-    /// bounded queue to the workers while the calling thread hands every
-    /// response to `collect` as it completes (callers reorder if they need
-    /// to).  The feeder pauses while `throttle()` is true (used by `serve` to
-    /// bound its reorder buffer).  `collect` returning `false` aborts the
-    /// session: the feeder stops reading jobs, in-flight work is drained and
-    /// discarded.
-    fn pump<I, T, F>(&self, jobs: I, throttle: T, mut collect: F)
-    where
-        I: Iterator<Item = Result<Request, String>> + Send,
-        T: Fn() -> bool + Send,
-        F: FnMut(Response) -> bool,
-    {
-        let workers = self.config.workers.max(1);
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(self.config.queue_capacity.max(1));
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let (response_tx, response_rx) = mpsc::channel::<Response>();
-        let config = &self.config;
-        let cache = &self.cache;
-        let abort = AtomicBool::new(false);
-        thread::scope(|scope| {
-            for worker_index in 0..workers {
-                let job_rx = Arc::clone(&job_rx);
-                let response_tx = response_tx.clone();
-                scope.spawn(move || loop {
-                    // Hold the receiver lock only for the dequeue itself.  A
-                    // poisoned lock (another worker panicked mid-dequeue) is
-                    // recovered: losing one worker must not kill the session.
-                    let job = { lock_ignoring_poison(&job_rx).recv() };
-                    let Ok((id, parsed)) = job else { break };
-                    let response = match parsed {
-                        Ok(request) => process_one(id, &request, worker_index, config, cache),
-                        Err(message) => Response {
-                            id,
-                            outcome: Err(message),
-                            stats: RequestStats {
-                                worker: worker_index,
-                                solver: "-".to_string(),
-                                ..RequestStats::default()
-                            },
-                        },
-                    };
-                    if response_tx.send(response).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(response_tx);
-            // Feeder thread: jobs enter the bounded queue with backpressure
-            // (send blocks while all workers are busy and the queue is full),
-            // pausing while the caller's reorder buffer is at capacity.
-            let abort = &abort;
-            scope.spawn(move || {
-                for (id, job) in jobs.enumerate() {
-                    while throttle() && !abort.load(Ordering::Relaxed) {
-                        thread::sleep(std::time::Duration::from_millis(1));
-                    }
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if job_tx.send((id as u64, job)).is_err() {
-                        break;
-                    }
-                }
-            });
-            // Collector (this thread): drain responses as they complete, so
-            // callers can stream them out without waiting for input EOF.
-            let mut aborted = false;
-            for response in response_rx {
-                if aborted {
-                    continue; // drain in-flight work, discard
-                }
-                if !collect(response) {
-                    aborted = true;
-                    abort.store(true, Ordering::Relaxed);
-                }
-            }
-        });
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Hang up the job queue; workers exit once it drains.
+        self.job_tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
-/// Locks a mutex, recovering the guard if a previous holder panicked (the
-/// engine's shared state — queue receiver, error slots — stays consistent
-/// across a worker panic, and one poisoned request must not take down the
-/// session).
-fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+/// How one response should leave a serve session.
+#[derive(Debug, Clone, Copy)]
+enum Emission {
+    /// Write the moment the response arrives (out-of-order streaming).
+    Immediate,
+    /// Write at this position of the in-order stream.
+    Ordered(u64),
 }
 
-/// Executes one request on a worker: cache lookup, solver dispatch, stats.
+/// The persistent worker body: dequeue, execute, reply, until the engine
+/// hangs up the queue.
+fn worker_loop(ctx: &WorkerCtx, jobs: &Mutex<Receiver<PoolJob>>, worker_index: usize) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.  A poisoned
+        // lock (another worker panicked mid-dequeue) is recovered: losing one
+        // worker must not kill the pool.
+        let job = { lock_ignoring_poison(jobs).recv() };
+        let Ok(job) = job else { break };
+        let response = answer(ctx, worker_index, &job);
+        // A receiver that hung up (aborted session) just discards the answer.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Executes one job on a worker, turning panics into `internal` errors so a
+/// misbehaving request cannot take a pool thread down with it.
+fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
+    let base_stats = || RequestStats {
+        worker: worker_index,
+        solver: "-".to_string(),
+        ..RequestStats::default()
+    };
+    match &job.payload {
+        Payload::Malformed(message) => Response {
+            id: job.seq,
+            client_id: job.client_id.clone(),
+            outcome: Err(EngineError::parse(message.clone())),
+            stats: base_stats(),
+        },
+        Payload::Stats => Response {
+            id: job.seq,
+            client_id: job.client_id.clone(),
+            outcome: Ok(Outcome::Stats {
+                cache: ctx.cache.stats(),
+                workers: ctx.workers,
+                protocol: wire::PROTOCOL_VERSION,
+            }),
+            stats: base_stats(),
+        },
+        Payload::Query { request, solver } => {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                process_one(
+                    job.seq,
+                    job.client_id.clone(),
+                    request,
+                    *solver,
+                    worker_index,
+                    ctx,
+                )
+            }));
+            attempt.unwrap_or_else(|panic| {
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Response {
+                    id: job.seq,
+                    client_id: job.client_id.clone(),
+                    outcome: Err(EngineError::internal(format!(
+                        "worker panicked answering the request: {detail}"
+                    ))),
+                    stats: base_stats(),
+                }
+            })
+        }
+    }
+}
+
+/// Executes one typed query on a worker: cache lookup, solver dispatch, stats.
 fn process_one(
     id: u64,
+    client_id: Option<String>,
     request: &Request,
+    solver_override: Option<SolverKind>,
     worker: usize,
-    config: &EngineConfig,
-    cache: &QueryCache,
+    ctx: &WorkerCtx,
 ) -> Response {
     let started = Instant::now();
-    let key = config.cache.then(|| request.cache_key());
+    // A `solver=` override changes which solver's telemetry the caller sees,
+    // so overridden requests get their own cache entries.
+    let key = ctx.cache_enabled.then(|| {
+        let mut key = request.cache_key();
+        if let Some(kind) = solver_override {
+            key.push_str(" solver=");
+            key.push_str(kind.name());
+        }
+        key
+    });
     if let Some(key) = &key {
-        if let Some(hit) = cache.get(key) {
+        if let Some(hit) = ctx.cache.get(key) {
             return Response {
                 id,
+                client_id,
                 outcome: hit.outcome,
                 stats: RequestStats {
                     micros: started.elapsed().as_micros(),
@@ -324,9 +546,18 @@ fn process_one(
             };
         }
     }
-    let (outcome, info) = ops::execute(request, config.policy.as_ref());
+    let fixed;
+    let policy: &dyn SolverPolicy = match solver_override {
+        Some(kind) => {
+            fixed = FixedPolicy(kind);
+            &fixed
+        }
+        None => ctx.policy.as_ref(),
+    };
+    let (raw_outcome, info) = ops::execute(request, policy);
+    let outcome = raw_outcome.map_err(EngineError::execute);
     if let Some(key) = key {
-        cache.insert(
+        ctx.cache.insert(
             key,
             CachedResult {
                 outcome: outcome.clone(),
@@ -336,6 +567,7 @@ fn process_one(
     }
     Response {
         id,
+        client_id,
         outcome,
         stats: RequestStats {
             micros: started.elapsed().as_micros(),
@@ -354,7 +586,6 @@ mod tests {
     use crate::response::Outcome;
     use qld_hypergraph::generators;
     use std::io::{BufReader, Read};
-    use std::time::Duration;
 
     fn engine(workers: usize, cache: bool) -> Engine {
         Engine::new(EngineConfig {
@@ -411,6 +642,31 @@ mod tests {
     }
 
     #[test]
+    fn sessions_share_one_worker_pool() {
+        // Two concurrent serve sessions against the same engine: both finish
+        // and each sees only its own responses.
+        let eng = Arc::new(engine(2, true));
+        let mut threads = Vec::new();
+        for session in 0..2 {
+            let eng = Arc::clone(&eng);
+            threads.push(thread::spawn(move || {
+                let input: String = (0..8).map(|_| "check 0,1;2,3 0,2;0,3;1,2;1,3\n").collect();
+                let mut out = Vec::new();
+                let summary = eng.serve(input.as_bytes(), &mut out).unwrap();
+                assert_eq!(summary.requests, 8, "session {session}");
+                let text = String::from_utf8(out).unwrap();
+                assert_eq!(text.lines().count(), 8, "session {session}");
+                for (i, line) in text.lines().enumerate() {
+                    assert!(line.starts_with(&format!("{{\"id\":{i},")), "{line}");
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
     fn serve_emits_ordered_json_lines() {
         let eng = engine(4, true);
         let input = "\
@@ -441,8 +697,49 @@ keys 1,2;1,3
         assert!(lines[0].contains("\"dual\":true"));
         assert!(lines[1].contains("\"dual\":false"));
         assert!(lines[2].contains("\"complete\":false") && lines[2].contains("\"count\":2"));
-        assert!(lines[3].contains("\"ok\":false"));
+        assert!(lines[3].contains("\"ok\":false") && lines[3].contains("\"code\":\"parse\""));
         assert!(lines[4].contains("\"kind\":\"keys\""));
+    }
+
+    #[test]
+    fn serve_answers_stats_and_echoes_client_ids() {
+        let eng = engine(2, true);
+        let input = "check 0,1;2,3 0,2;0,3;1,2;1,3 id=alpha\nstats id=beta\nfrobnicate id=gamma\n";
+        let mut out = Vec::new();
+        let summary = eng.serve(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.errors, 1);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"client_id\":\"alpha\""));
+        assert!(lines[1].contains("\"client_id\":\"beta\""));
+        assert!(lines[1].contains("\"kind\":\"stats\""));
+        assert!(lines[1].contains("\"capacity\":"));
+        // Even a malformed line keeps its correlation token.
+        assert!(lines[2].contains("\"client_id\":\"gamma\""));
+        assert!(lines[2].contains("\"code\":\"parse\""));
+    }
+
+    #[test]
+    fn cache_capacity_one_evicts_lru_under_load() {
+        let eng = Engine::new(EngineConfig {
+            workers: 1,
+            cache: true,
+            cache_capacity: 1,
+            ..EngineConfig::default()
+        });
+        let a = generators::matching_instance(2);
+        let b = generators::matching_instance(3);
+        let req_a = Request::DecideDuality { g: a.g, h: a.h };
+        let req_b = Request::DecideDuality { g: b.g, h: b.h };
+        // a, b (evicts a), a (evicts b, recomputed), a (hit)
+        let responses = eng.run_batch(vec![req_a.clone(), req_b, req_a.clone(), req_a]);
+        assert!(responses.iter().all(|r| r.is_ok()));
+        let stats = eng.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.hits, 1);
+        assert!(responses[3].stats.cache_hit);
     }
 
     /// A reader that yields one request line, then holds the input open until

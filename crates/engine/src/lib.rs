@@ -1,29 +1,40 @@
 //! # qld-engine
 //!
-//! A concurrent batch query engine — and the `qld` command-line tool — over the
+//! A concurrent query engine — and the `qld` command-line tool — over the
 //! duality, transversal-enumeration, frequent-itemset-border, and minimal-key
 //! solvers of this workspace.  This is the serving layer the ROADMAP asks for:
-//! the first place where batching, caching, backpressure, and multi-solver
-//! dispatch live.
+//! the first place where batching, caching, backpressure, multi-solver
+//! dispatch, and a persistent daemon transport live.
 //!
 //! * [`Request`] / [`Response`] — the four typed query kinds
 //!   (`DecideDuality`, `EnumerateTransversals { limit }`,
 //!   `IdentifyItemsetBorders`, `FindMinimalKeys`) and their results with
 //!   per-request stats (wall time, peak metered bits, solver chosen, cache
 //!   hit, worker shard);
-//! * [`Engine`] — a sharded worker pool (std threads + channels) with a
-//!   **bounded** submission queue for backpressure and a shared result
-//!   [`cache`](crate::cache::QueryCache) keyed by canonical (normalized,
-//!   order-insensitive) request encodings;
+//! * [`Engine`] — a **persistent** sharded worker pool (std threads +
+//!   channels) spawned at construction; every session (batch call, stdin
+//!   loop, socket connection) multiplexes onto it through one shared
+//!   **bounded** submission queue (backpressure), and shares one result
+//!   [`cache`](crate::cache::QueryCache) — a bounded **LRU** with optional
+//!   TTL, keyed by canonical (normalized, order-insensitive) request
+//!   encodings;
+//! * [`OrderMode`] — per-session (and per-request, via the `order=` wire
+//!   keyword) choice between in-order responses and out-of-order streaming
+//!   where a slow request never head-of-line-blocks the rest;
 //! * [`SolverPolicy`] — pluggable routing of every duality call to a concrete
 //!   solver; the default [`SizeThresholdPolicy`] sends small instances to
 //!   [`qld_core::BorosMakinoTreeSolver`] and large ones to
-//!   [`qld_core::QuadLogspaceSolver`];
+//!   [`qld_core::QuadLogspaceSolver`]; individual requests can force a solver
+//!   with the `solver=` wire keyword;
 //! * [`wire`] — the one-request-per-line text format (inline `.qld`
 //!   hypergraph syntax, reusing [`qld_hypergraph::format`]) and
-//!   [`response::Response::to_json_line`] for the JSON-lines output;
+//!   [`response::Response::to_json_line`] for the JSON-lines output; the
+//!   protocol is specified in `docs/WIRE.md`;
+//! * [`transport`] (Unix only) — the Unix-domain-socket daemon front end
+//!   behind `qld serve --socket PATH`, serving any number of concurrent
+//!   client connections;
 //! * the `qld` binary — `check`, `enumerate`, `mine`, `keys`, and
-//!   `serve --workers N` subcommands streaming requests from stdin or files.
+//!   `serve` subcommands streaming requests from stdin, files, or a socket.
 //!
 //! # Quick start
 //!
@@ -49,11 +60,28 @@ pub mod ops;
 pub mod policy;
 pub mod request;
 pub mod response;
+#[cfg(unix)]
+pub mod transport;
 pub mod wire;
 
 pub use cache::CacheStats;
-pub use engine::{Engine, EngineConfig, ServeSummary};
+pub use engine::{Engine, EngineConfig, ServeOptions, ServeSummary};
 pub use ops::enumerate_transversals_with;
 pub use policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
 pub use request::Request;
-pub use response::{BordersOutcome, Outcome, RequestStats, Response, WitnessSummary};
+pub use response::{
+    BordersOutcome, EngineError, ErrorCode, Outcome, RequestStats, Response, WitnessSummary,
+};
+#[cfg(unix)]
+pub use transport::{ShutdownHandle, SocketServer, TransportSummary};
+pub use wire::{OrderMode, PROTOCOL_VERSION};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked: the
+/// engine's shared state (queue receiver, cache interior, transport totals)
+/// stays usable across a worker panic, and one poisoned request must not take
+/// down a session or the daemon.
+pub(crate) fn lock_ignoring_poison<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -1,5 +1,6 @@
 //! Typed engine responses and their JSON-lines rendering.
 
+use crate::cache::CacheStats;
 use crate::json::{self, ObjectBuilder};
 
 /// Compact, owned summary of a non-duality witness.
@@ -62,6 +63,80 @@ pub enum Outcome {
         /// Number of duality calls the enumeration needed.
         duality_calls: usize,
     },
+    /// Result of the `stats` wire request: a snapshot of the engine counters.
+    Stats {
+        /// Result-cache counters at the time of the request.
+        cache: CacheStats,
+        /// Number of worker threads in the shared pool.
+        workers: usize,
+        /// Wire-protocol version served by this engine
+        /// ([`crate::wire::PROTOCOL_VERSION`]).
+        protocol: u32,
+    },
+}
+
+/// Machine-readable failure class, rendered as the `code` field of JSON error
+/// responses (see `docs/WIRE.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line could not be parsed; nothing was executed.
+    Parse,
+    /// The request parsed but the solvers rejected or failed on it.
+    Execute,
+    /// The engine itself failed (e.g. a worker panicked mid-request).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire name of this code.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Execute => "execute",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A failed request: a failure class plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// The failure class.
+    pub code: ErrorCode,
+    /// What went wrong, for humans.
+    pub message: String,
+}
+
+impl EngineError {
+    /// A parse-stage failure.
+    pub fn parse(message: impl Into<String>) -> Self {
+        EngineError {
+            code: ErrorCode::Parse,
+            message: message.into(),
+        }
+    }
+
+    /// An execution-stage failure.
+    pub fn execute(message: impl Into<String>) -> Self {
+        EngineError {
+            code: ErrorCode::Execute,
+            message: message.into(),
+        }
+    }
+
+    /// An engine-internal failure.
+    pub fn internal(message: impl Into<String>) -> Self {
+        EngineError {
+            code: ErrorCode::Internal,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
 }
 
 /// Per-request execution statistics.
@@ -85,10 +160,14 @@ pub struct RequestStats {
 /// One answered request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
-    /// The request's sequence number within its batch or stream.
+    /// The request's sequence number within its batch or serve session
+    /// (per-connection for socket sessions).
     pub id: u64,
-    /// The result payload, or a rendered error.
-    pub outcome: Result<Outcome, String>,
+    /// The caller-supplied correlation token (`id=` wire keyword), echoed
+    /// verbatim.
+    pub client_id: Option<String>,
+    /// The result payload, or the failure.
+    pub outcome: Result<Outcome, EngineError>,
     /// Execution statistics.
     pub stats: RequestStats,
 }
@@ -103,10 +182,14 @@ impl Response {
     pub fn to_json_line(&self) -> String {
         let mut o = ObjectBuilder::new();
         o.uint("id", self.id as u128);
+        if let Some(cid) = &self.client_id {
+            o.str("client_id", cid);
+        }
         match &self.outcome {
-            Err(message) => {
+            Err(error) => {
                 o.bool("ok", false);
-                o.str("error", message);
+                o.str("code", error.code.as_str());
+                o.str("error", &error.message);
             }
             Ok(outcome) => {
                 o.bool("ok", true);
@@ -180,6 +263,23 @@ impl Response {
                         o.raw("keys", &json::index_matrix(keys));
                         o.uint("duality_calls", *duality_calls as u128);
                     }
+                    Outcome::Stats {
+                        cache,
+                        workers,
+                        protocol,
+                    } => {
+                        o.str("kind", "stats");
+                        o.uint("proto", *protocol as u128);
+                        o.uint("workers", *workers as u128);
+                        let mut co = ObjectBuilder::new();
+                        co.uint("hits", cache.hits as u128)
+                            .uint("misses", cache.misses as u128)
+                            .uint("entries", cache.entries as u128)
+                            .uint("evictions", cache.evictions as u128)
+                            .uint("expirations", cache.expirations as u128)
+                            .uint("capacity", cache.capacity as u128);
+                        o.raw("cache", &co.build());
+                    }
                 }
             }
         }
@@ -204,6 +304,7 @@ mod tests {
     fn json_lines_have_expected_shape() {
         let resp = Response {
             id: 3,
+            client_id: None,
             outcome: Ok(Outcome::Duality {
                 dual: false,
                 witness: Some(WitnessSummary::NewTransversalOfG(vec![0, 2])),
@@ -228,11 +329,48 @@ mod tests {
 
         let err = Response {
             id: 4,
-            outcome: Err("bad input".into()),
+            client_id: Some("req-7".into()),
+            outcome: Err(EngineError::parse("bad input")),
             stats: RequestStats::default(),
         };
-        assert!(err
-            .to_json_line()
-            .contains("\"ok\":false,\"error\":\"bad input\""));
+        let line = err.to_json_line();
+        assert!(line.contains("\"client_id\":\"req-7\""));
+        assert!(line.contains("\"ok\":false,\"code\":\"parse\",\"error\":\"bad input\""));
+    }
+
+    #[test]
+    fn stats_responses_render_cache_counters() {
+        let resp = Response {
+            id: 0,
+            client_id: None,
+            outcome: Ok(Outcome::Stats {
+                cache: CacheStats {
+                    hits: 5,
+                    misses: 7,
+                    entries: 2,
+                    evictions: 1,
+                    expirations: 0,
+                    capacity: 64,
+                },
+                workers: 4,
+                protocol: crate::wire::PROTOCOL_VERSION,
+            }),
+            stats: RequestStats::default(),
+        };
+        let line = resp.to_json_line();
+        assert!(line.contains("\"kind\":\"stats\""));
+        assert!(line.contains("\"workers\":4"));
+        assert!(line.contains(
+            "\"cache\":{\"hits\":5,\"misses\":7,\"entries\":2,\"evictions\":1,\
+             \"expirations\":0,\"capacity\":64}"
+        ));
+    }
+
+    #[test]
+    fn error_codes_have_stable_names() {
+        assert_eq!(ErrorCode::Parse.as_str(), "parse");
+        assert_eq!(ErrorCode::Execute.as_str(), "execute");
+        assert_eq!(ErrorCode::Internal.as_str(), "internal");
+        assert_eq!(EngineError::internal("boom").to_string(), "boom");
     }
 }

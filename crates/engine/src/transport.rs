@@ -1,0 +1,404 @@
+//! The daemon transport: a Unix-domain-socket listener in front of the
+//! engine (`qld serve --socket PATH`).
+//!
+//! Each accepted connection is one serve session: the client writes
+//! wire-format request lines (see `docs/WIRE.md`) and reads JSON-lines
+//! responses, with request IDs scoped **per connection** (every client's
+//! first request is `id` 0).  All connections multiplex their requests onto
+//! the engine's shared worker pool through the shared bounded queue, so a
+//! flood on one connection backpressures rather than starving the others, and
+//! all connections share one result cache.
+//!
+//! This module is Unix-only (`cfg(unix)`); a network transport (TCP) is the
+//! natural next step and would reuse [`Engine::serve_with`] unchanged, since
+//! a session is just a `BufRead` + `Write` pair.
+
+use crate::engine::{Engine, ServeOptions, ServeSummary};
+use crate::lock_ignoring_poison;
+use std::io::{BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Aggregate counters of one [`SocketServer::run`] lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered across all connections.
+    pub requests: u64,
+    /// Requests that produced an error response.
+    pub errors: u64,
+}
+
+/// Cooperative shutdown switch for a running [`SocketServer`].
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    path: PathBuf,
+}
+
+impl ShutdownHandle {
+    /// Asks the accept loop to stop.  Live connections are half-closed on
+    /// their read side — responses already in flight are still written — and
+    /// joined before [`SocketServer::run`] returns.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the (blocking) accept call with a throwaway connection; the
+        // accept loop re-checks the flag after every accept.
+        let _ = UnixStream::connect(&self.path);
+    }
+}
+
+/// A Unix-domain-socket front end serving wire-format sessions.
+#[derive(Debug)]
+pub struct SocketServer {
+    listener: UnixListener,
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+}
+
+impl SocketServer {
+    /// Binds the listener at `path`.
+    ///
+    /// A stale socket file left behind by a crashed daemon is removed and
+    /// rebound; a socket another process is still listening on is reported as
+    /// `AddrInUse` instead (probed by connecting to it).  The probe-then-bind
+    /// is not atomic: two daemons racing for the same stale path can both
+    /// pass the probe, and the last binder wins — give concurrent daemons
+    /// distinct paths.
+    pub fn bind(path: impl AsRef<Path>) -> std::io::Result<SocketServer> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            if UnixStream::connect(&path).is_ok() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("{} is already being served", path.display()),
+                ));
+            }
+            std::fs::remove_file(&path)?;
+        }
+        let listener = UnixListener::bind(&path)?;
+        Ok(SocketServer {
+            listener,
+            path,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The filesystem path the listener is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A switch that makes [`SocketServer::run`] return.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            path: self.path.clone(),
+        }
+    }
+
+    /// Accepts connections until shut down, serving each on its own thread
+    /// against the shared `engine`.  Per-connection I/O errors end that
+    /// connection only (its answered-request counts are still aggregated),
+    /// and transient `accept` failures (fd exhaustion, aborted handshakes)
+    /// are retried with backoff — the loop gives up, returning the error,
+    /// only when `accept` fails many times in a row.  On shutdown, live
+    /// connections stop being read — their in-flight responses are still
+    /// written — and are joined before the aggregate counters are returned.
+    pub fn run(
+        self,
+        engine: &Arc<Engine>,
+        options: ServeOptions,
+    ) -> std::io::Result<TransportSummary> {
+        let totals = Arc::new(Mutex::new(TransportSummary::default()));
+        // Each entry: the session thread plus a read-shutdown handle for it.
+        let mut sessions: Vec<(JoinHandle<()>, Option<UnixStream>)> = Vec::new();
+        let mut accept_error: Option<std::io::Error> = None;
+        // Transient accept failures (fd exhaustion under a connection burst,
+        // ECONNABORTED races) must not kill a persistent daemon: back off and
+        // retry, and only give up after this many failures in a row.
+        const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
+        let mut consecutive_errors: u32 = 0;
+        while !self.stop.load(Ordering::SeqCst) {
+            let stream = match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    consecutive_errors = 0;
+                    stream
+                }
+                Err(e) => {
+                    consecutive_errors += 1;
+                    if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                        accept_error = Some(e);
+                        break;
+                    }
+                    thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break; // the shutdown handle's wake-up connection
+            }
+            lock_ignoring_poison(&totals).connections += 1;
+            let peer = stream.try_clone().ok();
+            let engine = Arc::clone(engine);
+            let session_totals = Arc::clone(&totals);
+            let handle = thread::spawn(move || {
+                let summary = serve_connection(&engine, stream, &options);
+                let mut t = lock_ignoring_poison(&session_totals);
+                t.requests += summary.requests;
+                t.errors += summary.errors;
+            });
+            sessions.push((handle, peer));
+            // Reap finished sessions so the handle list stays bounded on long
+            // daemon runs.
+            sessions.retain(|(handle, _)| !handle.is_finished());
+        }
+        // Drain: half-close live connections so their sessions see input EOF
+        // (blocked reads return immediately), then wait for them to finish
+        // writing.
+        for (handle, peer) in sessions {
+            if let Some(peer) = peer {
+                let _ = peer.shutdown(std::net::Shutdown::Read);
+            }
+            let _ = handle.join();
+        }
+        let summary = *lock_ignoring_poison(&totals);
+        drop(self.listener);
+        let _ = std::fs::remove_file(&self.path);
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(summary),
+        }
+    }
+}
+
+/// One connection's session: line-buffered reads from the stream, writes back
+/// onto it, then a write-side shutdown so the client sees EOF.  Sessions that
+/// die on an I/O error still report the responses that made it onto the wire
+/// (counted by [`CountingWriter`]).
+fn serve_connection(engine: &Engine, stream: UnixStream, options: &ServeOptions) -> ServeSummary {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return ServeSummary::default(),
+    };
+    let mut writer = CountingWriter::new(stream);
+    let result = engine.serve_with(reader, &mut writer, options);
+    let _ = writer.inner.shutdown(std::net::Shutdown::Write);
+    match result {
+        Ok(summary) => summary,
+        Err(_) => writer.summary(),
+    }
+}
+
+/// Counts the complete response lines (and error responses among them)
+/// actually written to a client, as a fallback tally for sessions whose
+/// `serve_with` call ends in an I/O error.
+struct CountingWriter<W> {
+    inner: W,
+    line: Vec<u8>,
+    summary: ServeSummary,
+}
+
+impl<W> CountingWriter<W> {
+    fn new(inner: W) -> Self {
+        CountingWriter {
+            inner,
+            line: Vec::new(),
+            summary: ServeSummary::default(),
+        }
+    }
+
+    fn summary(&self) -> ServeSummary {
+        self.summary
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        for &byte in &buf[..written] {
+            if byte == b'\n' {
+                self.summary.requests += 1;
+                if self
+                    .line
+                    .windows(b"\"ok\":false".len())
+                    .any(|w| w == b"\"ok\":false")
+                {
+                    self.summary.errors += 1;
+                }
+                self.line.clear();
+            } else {
+                self.line.push(byte);
+            }
+        }
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::io::{BufRead, Write};
+
+    fn temp_socket_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("qld-{}-{}.sock", tag, std::process::id()))
+    }
+
+    #[test]
+    fn stale_socket_files_are_rebound() {
+        let path = temp_socket_path("stale");
+        let _ = std::fs::remove_file(&path);
+        // Leave a stale file behind by binding and dropping without running.
+        {
+            let server = SocketServer::bind(&path).unwrap();
+            drop(server);
+        }
+        assert!(path.exists(), "dropping a never-run server leaves the file");
+        let server = SocketServer::bind(&path).unwrap();
+        drop(server);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn live_sockets_are_not_stolen() {
+        let path = temp_socket_path("live");
+        let _ = std::fs::remove_file(&path);
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        }));
+        let server = SocketServer::bind(&path).unwrap();
+        let handle = server.shutdown_handle();
+        let engine_ref = Arc::clone(&engine);
+        let runner = thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+        // The listener is bound (connectable) from `bind` time, so a second
+        // bind must refuse to steal the path.
+        let err = SocketServer::bind(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        handle.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        assert_eq!(summary.requests, 0);
+        assert!(!path.exists(), "run() removes the socket file on shutdown");
+    }
+
+    #[test]
+    fn one_connection_round_trips() {
+        let path = temp_socket_path("round");
+        let _ = std::fs::remove_file(&path);
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        }));
+        let server = SocketServer::bind(&path).unwrap();
+        let handle = server.shutdown_handle();
+        let engine_ref = Arc::clone(&engine);
+        let runner = thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+
+        let mut stream = UnixStream::connect(&path).unwrap();
+        stream
+            .write_all(b"check 0,1;2,3 0,2;0,3;1,2;1,3 id=one\nstats\n")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"dual\":true") && lines[0].contains("\"client_id\":\"one\""));
+        assert!(lines[1].contains("\"kind\":\"stats\""));
+
+        handle.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_connections_that_stay_open() {
+        let path = temp_socket_path("drain");
+        let _ = std::fs::remove_file(&path);
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        }));
+        let server = SocketServer::bind(&path).unwrap();
+        let handle = server.shutdown_handle();
+        let engine_ref = Arc::clone(&engine);
+        let runner = thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+
+        // A client that answers one request and then just sits on the open
+        // connection must not hang shutdown.
+        let mut stream = UnixStream::connect(&path).unwrap();
+        stream.write_all(b"check 0,1 0;1 id=live\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"client_id\":\"live\""), "{line}");
+
+        handle.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.requests, 1);
+        assert_eq!(summary.errors, 0);
+        // The daemon half-closed the connection: the client now sees EOF.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+    }
+
+    #[test]
+    fn counting_writer_tallies_complete_lines_only() {
+        let mut w = CountingWriter::new(Vec::new());
+        w.write_all(b"{\"id\":0,\"ok\":true}\n").unwrap();
+        w.write_all(b"{\"id\":1,\"ok\":false,\"code\":\"parse\"}\n")
+            .unwrap();
+        w.write_all(b"{\"id\":2,\"ok\":true").unwrap(); // incomplete line
+        let summary = w.summary();
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn errored_sessions_still_count_answered_requests() {
+        // Fabricate the error path directly: a session whose read side fails
+        // after one good request.  `serve_connection` is private, so exercise
+        // the fallback through `CountingWriter` + `serve_with` the way it
+        // does.
+        struct FailAfterFirstLine {
+            line: &'static [u8],
+            sent: bool,
+        }
+        impl std::io::Read for FailAfterFirstLine {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.sent {
+                    return Err(std::io::Error::other("peer reset"));
+                }
+                self.sent = true;
+                buf[..self.line.len()].copy_from_slice(self.line);
+                Ok(self.line.len())
+            }
+        }
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let mut writer = CountingWriter::new(Vec::new());
+        let reader = BufReader::new(FailAfterFirstLine {
+            line: b"check 0,1 0;1\nfrobnicate\n",
+            sent: false,
+        });
+        let result = engine.serve_with(reader, &mut writer, &ServeOptions::default());
+        assert!(result.is_err());
+        // Both responses were written before the read error surfaced, and the
+        // fallback tally sees them.
+        assert_eq!(writer.summary().requests, 2);
+        assert_eq!(writer.summary().errors, 1);
+    }
+}

@@ -1,4 +1,5 @@
-//! The engine's canonical text wire format.
+//! The engine's canonical text wire format (see `docs/WIRE.md` for the full
+//! specification).
 //!
 //! One request per line, whitespace-separated tokens, first token the request
 //! kind:
@@ -8,7 +9,15 @@
 //! enumerate <G> [limit=K]
 //! mine <REL> z=<Z> [g=<G>] [h=<H>]
 //! keys <TABLE>
+//! stats
 //! ```
+//!
+//! Every request line additionally accepts the **envelope keywords**
+//! `id=<TOKEN>` (an opaque correlation token echoed back as `client_id`),
+//! `order=input|arrival` (per-request override of the session's response
+//! ordering, see [`crate::engine::Engine::serve_with`]), and
+//! `solver=<NAME>` (force a concrete solver for this request's duality calls,
+//! any name accepted by [`crate::policy::SolverKind::from_name`]).
 //!
 //! Hypergraphs (`<G>`, `<H>`) and relations (`<REL>`) are written **inline**:
 //! edges (rows) separated by `;`, vertex indices inside an edge separated by
@@ -26,10 +35,70 @@
 //!
 //! Blank lines and lines starting with `#` are ignored by the request reader.
 
+use crate::policy::SolverKind;
 use crate::request::Request;
 use qld_datamining::BooleanRelation;
 use qld_hypergraph::{format, Hypergraph, VertexSet};
 use qld_keys::RelationInstance;
+
+/// Version of the wire protocol this engine speaks.  Reported by the `stats`
+/// request; bumped only on breaking changes (see the versioning rules in
+/// `docs/WIRE.md`).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Response emission discipline of a serve session (the `order=` keyword).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderMode {
+    /// Responses are emitted in request order; a reorder buffer holds results
+    /// that finish early.
+    #[default]
+    Input,
+    /// Responses are emitted the moment they complete, possibly out of order;
+    /// clients correlate via the `id` / `client_id` fields.
+    Arrival,
+}
+
+impl OrderMode {
+    /// The wire name of this mode.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderMode::Input => "input",
+            OrderMode::Arrival => "arrival",
+        }
+    }
+
+    /// Parses a wire/CLI mode name.
+    pub fn from_name(name: &str) -> Option<OrderMode> {
+        match name {
+            "input" => Some(OrderMode::Input),
+            "arrival" => Some(OrderMode::Arrival),
+            _ => None,
+        }
+    }
+}
+
+/// The command part of a parsed wire line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// One of the four typed solver queries.
+    Query(Request),
+    /// The `stats` control request: a snapshot of the engine counters.
+    Stats,
+}
+
+/// One fully parsed wire line: the command plus its envelope options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedLine {
+    /// The query or control command.
+    pub command: Command,
+    /// Client-supplied correlation token (`id=`), echoed in the response.
+    pub id: Option<String>,
+    /// Per-request response-ordering override (`order=`).
+    pub order: Option<OrderMode>,
+    /// Per-request solver override (`solver=`) applied to every duality call
+    /// the request makes.
+    pub solver: Option<SolverKind>,
+}
 
 /// Splits an optional `n=<N>:` prefix off an inline family, returning the
 /// declared universe size (if any) and the remaining body.
@@ -207,17 +276,40 @@ pub fn key_table_to_inline(r: &RelationInstance) -> String {
         .join(";")
 }
 
-/// Parses one wire-format request line (see module docs).
-pub fn parse_request(line: &str) -> Result<Request, String> {
+/// Parses one wire-format line into its command and envelope options (see the
+/// module docs and `docs/WIRE.md`).
+pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
     let mut tokens = line.split_whitespace();
     let kind = tokens
         .next()
         .ok_or_else(|| "empty request line".to_string())?;
-    let rest: Vec<&str> = tokens.collect();
-    match kind {
+    // Peel the envelope keywords off before kind-specific parsing; they are
+    // valid on every request line.
+    let mut id: Option<String> = None;
+    let mut order: Option<OrderMode> = None;
+    let mut solver: Option<SolverKind> = None;
+    let mut rest: Vec<&str> = Vec::new();
+    for t in tokens {
+        if let Some(v) = t.strip_prefix("id=") {
+            if v.is_empty() {
+                return Err("empty correlation token in `id=`".to_string());
+            }
+            id = Some(v.to_string());
+        } else if let Some(v) = t.strip_prefix("order=") {
+            order = Some(
+                OrderMode::from_name(v)
+                    .ok_or_else(|| format!("unknown order `{v}` (expected input|arrival)"))?,
+            );
+        } else if let Some(v) = t.strip_prefix("solver=") {
+            solver = Some(SolverKind::from_name(v).ok_or_else(|| format!("unknown solver `{v}`"))?);
+        } else {
+            rest.push(t);
+        }
+    }
+    let command = match kind {
         "check" => {
             let [g, h] = positional::<2>("check", &rest, &[])?;
-            Ok(Request::DecideDuality {
+            Command::Query(Request::DecideDuality {
                 g: parse_hypergraph(g)?,
                 h: parse_hypergraph(h)?,
             })
@@ -231,7 +323,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 ),
                 None => None,
             };
-            Ok(Request::EnumerateTransversals {
+            Command::Query(Request::EnumerateTransversals {
                 g: parse_hypergraph(g)?,
                 limit,
             })
@@ -250,7 +342,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Some(v) => parse_hypergraph(v)?,
                 None => Hypergraph::new(n),
             };
-            Ok(Request::IdentifyItemsetBorders {
+            Command::Query(Request::IdentifyItemsetBorders {
                 relation,
                 threshold,
                 minimal_infrequent,
@@ -259,13 +351,74 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "keys" => {
             let [table] = positional::<1>("keys", &rest, &[])?;
-            Ok(Request::FindMinimalKeys {
+            Command::Query(Request::FindMinimalKeys {
                 instance: parse_key_table(table)?,
             })
         }
-        other => Err(format!(
-            "unknown request kind `{other}` (expected check|enumerate|mine|keys)"
-        )),
+        "stats" => {
+            let [] = positional::<0>("stats", &rest, &[])?;
+            Command::Stats
+        }
+        other => {
+            return Err(format!(
+                "unknown request kind `{other}` (expected check|enumerate|mine|keys|stats)"
+            ))
+        }
+    };
+    Ok(ParsedLine {
+        command,
+        id,
+        order,
+        solver,
+    })
+}
+
+/// Best-effort recovery of the `id=` correlation token from a line that
+/// failed to parse, so even error responses stay correlatable (essential for
+/// `order=arrival` sessions, where clients match answers by id alone).
+pub fn salvage_client_id(line: &str) -> Option<String> {
+    line.split_whitespace()
+        .find_map(|t| t.strip_prefix("id="))
+        .filter(|v| !v.is_empty())
+        .map(String::from)
+}
+
+/// Parses one wire-format line into a typed [`Request`], rejecting control
+/// commands.  Envelope options (`id=`, `order=`, `solver=`) are accepted and
+/// discarded; use [`parse_line`] to observe them.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    match parse_line(line)?.command {
+        Command::Query(request) => Ok(request),
+        Command::Stats => Err("`stats` is a control command, not a typed request".to_string()),
+    }
+}
+
+/// Renders a typed request as one wire line, the inverse of [`parse_request`]:
+/// `parse_request(&render_request(r)) == Ok(r)` for every request.
+pub fn render_request(request: &Request) -> String {
+    match request {
+        Request::DecideDuality { g, h } => {
+            format!("check {} {}", to_inline(g), to_inline(h))
+        }
+        Request::EnumerateTransversals { g, limit } => match limit {
+            Some(l) => format!("enumerate {} limit={l}", to_inline(g)),
+            None => format!("enumerate {}", to_inline(g)),
+        },
+        Request::IdentifyItemsetBorders {
+            relation,
+            threshold,
+            minimal_infrequent,
+            maximal_frequent,
+        } => format!(
+            "mine {} z={} g={} h={}",
+            relation_to_inline(relation),
+            threshold,
+            to_inline(minimal_infrequent),
+            to_inline(maximal_frequent)
+        ),
+        Request::FindMinimalKeys { instance } => {
+            format!("keys {}", key_table_to_inline(instance))
+        }
     }
 }
 
@@ -309,6 +462,7 @@ fn positional<'a, const N: usize>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn hypergraph_round_trip() {
@@ -379,5 +533,122 @@ mod tests {
         assert!(parse_request("check 0,1").is_err());
         assert!(parse_request("enumerate 0,1 limit=x").is_err());
         assert!(parse_request("mine 0,1 z=1 bogus=2").is_err());
+    }
+
+    #[test]
+    fn envelope_keywords_parse_on_every_kind() {
+        let pl = parse_line("check 0,1 0;1 id=req-1 order=arrival solver=tree").unwrap();
+        assert_eq!(pl.id.as_deref(), Some("req-1"));
+        assert_eq!(pl.order, Some(OrderMode::Arrival));
+        assert_eq!(pl.solver, Some(SolverKind::BmTree));
+        assert!(matches!(pl.command, Command::Query(_)));
+
+        let pl = parse_line("enumerate 0,1;2,3 limit=2 solver=quadlog").unwrap();
+        assert_eq!(pl.solver, Some(SolverKind::QuadChain));
+        assert_eq!(pl.order, None);
+
+        let pl = parse_line("stats id=s0").unwrap();
+        assert_eq!(pl.command, Command::Stats);
+        assert_eq!(pl.id.as_deref(), Some("s0"));
+
+        assert!(parse_line("check 0,1 0;1 order=sideways").is_err());
+        assert!(parse_line("check 0,1 0;1 solver=nope").is_err());
+        assert!(parse_line("check 0,1 0;1 id=").is_err());
+        assert!(parse_line("stats 0,1").is_err());
+        assert!(parse_request("stats").is_err());
+    }
+
+    #[test]
+    fn client_ids_are_salvaged_from_malformed_lines() {
+        assert_eq!(
+            salvage_client_id("check bogus-( id=req-9").as_deref(),
+            Some("req-9")
+        );
+        assert_eq!(salvage_client_id("frobnicate id=x").as_deref(), Some("x"));
+        assert_eq!(salvage_client_id("check 0,1 0;1 id="), None);
+        assert_eq!(salvage_client_id("check 0,1 0;1"), None);
+    }
+
+    #[test]
+    fn render_request_round_trips() {
+        for line in [
+            "check n=4:0,1;2,3 n=4:0,2;0,3;1,2;1,3",
+            "enumerate n=4:0,1;2,3 limit=3",
+            "enumerate n=3:.;0,1",
+            "mine n=3:0,1;0,1;1,2 z=1 g=n=3:- h=n=3:0,1",
+            "keys 1,2;1,3",
+            "keys -",
+        ] {
+            let request = parse_request(line).unwrap();
+            let rendered = render_request(&request);
+            assert_eq!(
+                parse_request(&rendered).unwrap(),
+                request,
+                "render of `{line}` = `{rendered}` did not round-trip"
+            );
+        }
+    }
+
+    /// Strategy: arbitrary short strings over a wire-flavored alphabet (the
+    /// interesting separators and keywords plus raw noise), for fuzzing the
+    /// parser.
+    fn arb_wire_noise() -> impl Strategy<Value = String> {
+        prop::collection::vec(0u32..96, 0usize..=40).prop_map(|codes| {
+            const ALPHABET: &[u8] = b"0123456789,;:=.- \tchecknumratmiskyzghidorvlwqp#\\\"";
+            codes
+                .into_iter()
+                .map(|c| {
+                    let i = c as usize;
+                    if i < ALPHABET.len() {
+                        ALPHABET[i] as char
+                    } else {
+                        // Sprinkle in raw control/unicode noise.
+                        char::from_u32(c).unwrap_or('\u{fffd}')
+                    }
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The parser must never panic: every input is either parsed or
+        /// rejected with an error message.
+        #[test]
+        fn malformed_frames_never_panic(noise in arb_wire_noise()) {
+            let _ = parse_line(&noise);
+            let _ = parse_line(&format!("check {noise}"));
+            let _ = parse_line(&format!("mine {noise} z=1"));
+            let _ = parse_hypergraph(&noise);
+            let _ = parse_relation(&noise);
+            let _ = parse_key_table(&noise);
+        }
+
+        /// Truncating or corrupting a valid frame must yield a clean error or
+        /// a clean parse, never a panic.
+        #[test]
+        fn corrupted_valid_frames_never_panic(
+            cut in 0usize..64,
+            junk in 0u32..128,
+        ) {
+            for line in [
+                "check n=4:0,1;2,3 n=4:0,2;0,3;1,2;1,3 id=x order=arrival solver=tree",
+                "enumerate n=4:0,1;2,3 limit=3",
+                "mine n=3:0,1;0,1;1,2 z=1 g=n=3:- h=n=3:0,1",
+                "keys 1,2;1,3",
+                "stats",
+            ] {
+                let cut = cut.min(line.len());
+                let _ = parse_line(&line[..cut]);
+                let mut corrupted = String::with_capacity(line.len());
+                corrupted.push_str(&line[..cut]);
+                if let Some(c) = char::from_u32(junk) {
+                    corrupted.push(c);
+                }
+                corrupted.push_str(&line[cut..]);
+                let _ = parse_line(&corrupted);
+            }
+        }
     }
 }

@@ -19,9 +19,10 @@ use qld_logspace::SpaceMeter;
 use std::time::Instant;
 
 /// Identifiers of all experiments, in presentation order.
-pub const ALL_EXPERIMENTS: &[&str] = &["e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL_EXPERIMENTS: &[&str] =
+    &["e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
 
-/// Runs one experiment by identifier (`"e2"` … `"e10"`).
+/// Runs one experiment by identifier (`"e2"` … `"e11"`).
 pub fn run(id: &str) -> Option<Table> {
     match id {
         "e2" => Some(e2_tree_shape()),
@@ -33,6 +34,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e8" => Some(e8_additional_keys()),
         "e9" => Some(e9_coteries()),
         "e10" => Some(e10_engine_batch()),
+        "e11" => Some(e11_socket_serve()),
         _ => None,
     }
 }
@@ -510,6 +512,128 @@ pub fn e10_engine_batch() -> Table {
         }
     }
     table
+}
+
+/// E11 — the daemon transport: throughput of concurrent clients on one Unix
+/// socket, in input order and out-of-order (`order=arrival`), every client
+/// checking that it received one successful answer per request on its own
+/// connection.
+pub fn e11_socket_serve() -> Table {
+    let mut table = Table::new(
+        "E11",
+        "Socket daemon: concurrent clients on one shared worker pool",
+        &[
+            "clients",
+            "order",
+            "req/client",
+            "requests",
+            "errors",
+            "total-ms",
+            "req/s",
+            "all-answered",
+        ],
+    );
+    #[cfg(unix)]
+    e11_fill(&mut table);
+    #[cfg(not(unix))]
+    table.push_row(vec![
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "(unix only)".into(),
+    ]);
+    table
+}
+
+#[cfg(unix)]
+fn e11_fill(table: &mut Table) {
+    use qld_engine::{Engine, EngineConfig, ServeOptions, SocketServer};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+
+    const PER_CLIENT: usize = 60;
+    let lines = Arc::new(workloads::engine_wire_lines(PER_CLIENT));
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let path = std::env::temp_dir().join(format!("qld-e11-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = match SocketServer::bind(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            table.push_row(vec![
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("bind failed: {e}"),
+            ]);
+            return;
+        }
+    };
+    let shutdown = server.shutdown_handle();
+    let engine_ref = Arc::clone(&engine);
+    let runner = std::thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+
+    for clients in [1usize, 2, 4] {
+        for order in ["input", "arrival"] {
+            let started = Instant::now();
+            let mut sessions = Vec::new();
+            for _ in 0..clients {
+                let path = path.clone();
+                let lines = Arc::clone(&lines);
+                sessions.push(std::thread::spawn(move || -> (usize, usize) {
+                    let mut stream = UnixStream::connect(&path).expect("connect");
+                    for (i, line) in lines.iter().take(PER_CLIENT).enumerate() {
+                        // Exercise the per-request keywords: correlation ids
+                        // everywhere, order override on every line.
+                        writeln!(stream, "{line} id=c{i} order={order}").expect("send");
+                    }
+                    stream
+                        .shutdown(std::net::Shutdown::Write)
+                        .expect("half-close");
+                    let mut answered = 0usize;
+                    let mut errors = 0usize;
+                    for response in BufReader::new(stream).lines() {
+                        let response = response.expect("response line");
+                        answered += 1;
+                        if response.contains("\"ok\":false") {
+                            errors += 1;
+                        }
+                    }
+                    (answered, errors)
+                }));
+            }
+            let mut requests = 0usize;
+            let mut errors = 0usize;
+            let mut all_answered = true;
+            for session in sessions {
+                let (answered, errs) = session.join().expect("client thread");
+                all_answered &= answered == PER_CLIENT;
+                requests += answered;
+                errors += errs;
+            }
+            let elapsed = started.elapsed();
+            table.push_row(vec![
+                clients.to_string(),
+                order.to_string(),
+                PER_CLIENT.to_string(),
+                requests.to_string(),
+                errors.to_string(),
+                f2(elapsed.as_secs_f64() * 1e3),
+                f2(requests as f64 / elapsed.as_secs_f64()),
+                mark(all_answered && errors == 0),
+            ]);
+        }
+    }
+    shutdown.shutdown();
+    let _ = runner.join();
 }
 
 /// A tiny sanity harness used by integration tests: every table row that carries a

@@ -183,9 +183,33 @@ pub fn engine_batch(min_requests: usize) -> Vec<Request> {
     out
 }
 
+/// The engine batch rendered as wire-format request lines (E11 and the serve
+/// bench): the text a socket client would send, one request per line,
+/// covering all four request kinds.
+pub fn engine_wire_lines(min_requests: usize) -> Vec<String> {
+    engine_batch(min_requests)
+        .iter()
+        .map(qld_engine::wire::render_request)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_lines_round_trip_to_the_same_requests() {
+        let requests = engine_batch(40);
+        let lines = engine_wire_lines(40);
+        assert_eq!(requests.len(), lines.len());
+        for (request, line) in requests.iter().zip(&lines) {
+            assert_eq!(
+                qld_engine::wire::parse_request(line).as_ref(),
+                Ok(request),
+                "line `{line}` did not round-trip"
+            );
+        }
+    }
 
     #[test]
     fn engine_batches_mix_all_request_kinds() {

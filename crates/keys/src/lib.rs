@@ -7,7 +7,7 @@
 //! * [`RelationInstance`] — explicit tables, agree sets, key predicates;
 //! * [`keys`] — maximal agree sets, the disagreement hypergraph, and exact minimal-key
 //!   enumeration as `tr(D(R))`;
-//! * [`additional_key`] — the reduction of the additional-key problem to `DUAL`
+//! * [`mod@additional_key`] — the reduction of the additional-key problem to `DUAL`
 //!   (`K = tr(D(R))`?), with a concrete new minimal key recovered from the duality
 //!   witness, and the incremental enumeration of all minimal keys it enables.
 

@@ -1,11 +1,18 @@
-//! Property test: engine answers are independent of the result cache.
+//! Property tests for the engine's result cache.
 //!
-//! For random hypergraphs and batches containing duplicates, a cache-enabled
-//! engine must return outcome-for-outcome the same responses as a cache-less
-//! one (only the `cache_hit` stat may differ).
+//! 1. Engine answers are independent of the cache: for random hypergraphs and
+//!    batches containing duplicates, a cache-enabled engine must return
+//!    outcome-for-outcome the same responses as a cache-less one (only the
+//!    `cache_hit` stat may differ).
+//! 2. The cache itself is a faithful LRU: against a naive reference model,
+//!    any interleaving of inserts and lookups keeps at most `capacity`
+//!    entries, evicts exactly the least-recently-used key, and counts every
+//!    eviction.
 
 use proptest::prelude::*;
-use qld_engine::{Engine, EngineConfig, Request};
+use qld_engine::cache::{CachedResult, QueryCache};
+use qld_engine::ops::ExecInfo;
+use qld_engine::{Engine, EngineConfig, EngineError, Outcome, Request};
 use qld_hypergraph::transversal::minimal_transversals;
 use qld_hypergraph::{Hypergraph, VertexSet};
 
@@ -23,7 +30,7 @@ fn run_outcomes(
     cache: bool,
     workers: usize,
     requests: &[Request],
-) -> Vec<Result<qld_engine::Outcome, String>> {
+) -> Vec<Result<Outcome, EngineError>> {
     let engine = Engine::new(EngineConfig {
         workers,
         cache,
@@ -35,6 +42,55 @@ fn run_outcomes(
         .into_iter()
         .map(|r| r.outcome)
         .collect()
+}
+
+/// A trivial cached payload (the LRU model test only cares about keys).
+fn payload() -> CachedResult {
+    CachedResult {
+        outcome: Ok(Outcome::Duality {
+            dual: true,
+            witness: None,
+        }),
+        info: ExecInfo::default(),
+    }
+}
+
+/// Reference LRU: a recency-ordered key list (front = least recently used).
+struct ModelLru {
+    capacity: usize,
+    keys: Vec<String>,
+    evictions: u64,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru {
+            capacity,
+            keys: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &str) -> bool {
+        if let Some(pos) = self.keys.iter().position(|k| k == key) {
+            let k = self.keys.remove(pos);
+            self.keys.push(k);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: &str) {
+        if self.touch(key) {
+            return;
+        }
+        if self.keys.len() >= self.capacity {
+            self.keys.remove(0);
+            self.evictions += 1;
+        }
+        self.keys.push(key.to_string());
+    }
 }
 
 proptest! {
@@ -64,11 +120,11 @@ proptest! {
         prop_assert_eq!(&cached, &uncached);
         // spot-check semantic correctness of the shared answers
         match &cached[0] {
-            Ok(qld_engine::Outcome::Duality { dual: is_dual, .. }) => prop_assert!(*is_dual),
+            Ok(Outcome::Duality { dual: is_dual, .. }) => prop_assert!(*is_dual),
             other => prop_assert!(false, "unexpected outcome {other:?}"),
         }
         match &cached[3] {
-            Ok(qld_engine::Outcome::Transversals { transversals, complete }) => {
+            Ok(Outcome::Transversals { transversals, complete }) => {
                 prop_assert!(*complete);
                 prop_assert_eq!(transversals.len(), dual.num_edges());
             }
@@ -93,5 +149,44 @@ proptest! {
         prop_assert_eq!(&responses[0].outcome, &responses[1].outcome);
         prop_assert_eq!(engine.cache_stats().entries, 1);
         prop_assert!(responses[1].stats.cache_hit);
+    }
+
+    /// The LRU cache agrees with a naive reference model on every
+    /// interleaving of inserts and lookups: capacity respected, the
+    /// most-recently-used keys survive, the least-recently-used is evicted,
+    /// and the eviction counter is exact.  Capacity 1 (the acceptance case)
+    /// is included in the strategy range.
+    #[test]
+    fn lru_cache_matches_reference_model(
+        capacity in 1usize..5,
+        // Each op encodes (insert-or-lookup, key) in one draw, since the
+        // offline proptest shim has no tuple strategies.
+        ops in prop::collection::vec(0usize..16, 1usize..=64),
+    ) {
+        let cache = QueryCache::with_capacity(capacity);
+        let mut model = ModelLru::new(capacity);
+        for op in ops {
+            let key = format!("k{}", op / 2);
+            if op % 2 == 0 {
+                cache.insert(key.clone(), payload());
+                model.insert(&key);
+            } else {
+                let real_hit = cache.get(&key).is_some();
+                let model_hit = model.touch(&key);
+                prop_assert!(
+                    real_hit == model_hit,
+                    "lookup of {key} diverged from the model: cache={real_hit} model={model_hit}"
+                );
+            }
+            let stats = cache.stats();
+            prop_assert!(stats.entries as usize <= capacity, "capacity exceeded");
+            prop_assert_eq!(stats.entries as usize, model.keys.len());
+            prop_assert_eq!(stats.evictions, model.evictions);
+        }
+        // Post-condition: exactly the model's resident keys answer, and the
+        // most recently used key always survived.
+        if let Some(mru) = model.keys.last() {
+            prop_assert!(cache.get(mru).is_some(), "MRU key {} missing", mru);
+        }
     }
 }
