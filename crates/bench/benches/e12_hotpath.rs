@@ -1,0 +1,142 @@
+//! E12 — set-representation hot path: `oracle::classify` and transversal-check
+//! throughput of the inline `VertexSet` + `HypergraphIndex` layer, with the faithful
+//! pre-refactor replica from `qld_harness::hotpath` as the baseline.
+//!
+//! Besides the Criterion timings, every run appends one JSON line to
+//! `target/e12_hotpath.json` — the bench's before/after **trajectory** — so hot-path
+//! regressions are visible across commits.  Set `E12_SMOKE=1` to skip the Criterion
+//! measurement windows and record a single fast iteration (the CI smoke mode).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
+use qld_core::oracle::{classify, MaterializedOracle};
+use qld_harness::hotpath::{self, ref_is_transversal, ClassifyWorkload, QueryDrivenOracle, RefSet};
+use qld_logspace::SpaceMeter;
+use std::io::Write;
+
+fn smoke() -> bool {
+    std::env::var("E12_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_hotpath/classify");
+    for (tag, workload) in [
+        ("inline", hotpath::classify_workload_small()),
+        ("spilled", hotpath::classify_workload_spilled()),
+    ] {
+        let ClassifyWorkload { inst, sets } = workload;
+        let meter = SpaceMeter::new();
+        let oracles: Vec<MaterializedOracle> = sets
+            .iter()
+            .map(|s| MaterializedOracle::new(s.clone(), &meter))
+            .collect();
+        group.throughput(Throughput::Elements(oracles.len() as u64));
+        group.bench_function(BenchmarkId::new("optimized", tag), |b| {
+            b.iter(|| {
+                for o in &oracles {
+                    black_box(classify(&inst, o, &meter));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("baseline", tag), |b| {
+            b.iter(|| {
+                for o in &oracles {
+                    black_box(classify(&inst, &QueryDrivenOracle(o), &meter));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_hotpath/transversal");
+    for (tag, n, m, seed) in [
+        ("inline", 48usize, 40usize, 0xE12Au64),
+        ("spilled", 96, 40, 0xE12B),
+    ] {
+        let (h, raw) = hotpath::transversal_workload(n, m, seed);
+        let mut candidates = hotpath::repair_to_transversals(&h, &raw[..raw.len() / 2]);
+        candidates.extend_from_slice(&raw[raw.len() / 2..]);
+        let ref_edges: Vec<RefSet> = h.edges().iter().map(RefSet::from_set).collect();
+        let ref_candidates: Vec<RefSet> = candidates.iter().map(RefSet::from_set).collect();
+        h.index(); // cached outside the timed region, as in the serving hot path
+        group.throughput(Throughput::Elements(candidates.len() as u64));
+        group.bench_function(BenchmarkId::new("optimized", tag), |b| {
+            b.iter(|| {
+                for t in &candidates {
+                    black_box(h.is_transversal(t));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("baseline", tag), |b| {
+            b.iter(|| {
+                for t in &ref_candidates {
+                    black_box(ref_is_transversal(&ref_edges, t));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_classify, bench_transversal
+}
+
+/// `target/e12_hotpath.json`, located from the bench executable's own path
+/// (`target/<profile>/deps/e12_hotpath-…`).
+fn trajectory_path() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    // deps -> profile -> target
+    let target = exe.parent()?.parent()?.parent()?;
+    Some(target.join("e12_hotpath.json"))
+}
+
+/// Runs the before/after measurements and appends one JSON line to the trajectory.
+fn record_trajectory() {
+    let iters = if smoke() { 1 } else { 48 };
+    let metrics = hotpath::measure_all(iters);
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let rows: Vec<String> = metrics.iter().map(|m| m.to_json()).collect();
+    let line = format!(
+        "{{\"bench\":\"e12_hotpath\",\"unix_secs\":{},\"smoke\":{},\"metrics\":[{}]}}",
+        unix_secs,
+        smoke(),
+        rows.join(",")
+    );
+    for m in &metrics {
+        println!(
+            "e12   {:<22} n={:<4} baseline {:>10.1} ns/iter  optimized {:>10.1} ns/iter  speedup {:>5.2}x",
+            m.name,
+            m.universe,
+            m.baseline_ns,
+            m.optimized_ns,
+            m.speedup()
+        );
+    }
+    match trajectory_path() {
+        Some(path) => {
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            match result {
+                Ok(()) => println!("e12   trajectory appended to {}", path.display()),
+                Err(e) => eprintln!("e12   could not write {}: {e}", path.display()),
+            }
+        }
+        None => eprintln!("e12   could not locate the target directory; line: {line}"),
+    }
+}
+
+fn main() {
+    if !smoke() {
+        benches();
+    }
+    record_trajectory();
+}

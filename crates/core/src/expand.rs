@@ -103,12 +103,14 @@ impl Expansion {
 }
 
 /// Whether the singleton `{v}` occurs in `G_{S}` — i.e. some edge `E ∈ G` has
-/// `E ∩ S = {v}`.
+/// `E ∩ S = {v}`.  Only the edges containing `v` can qualify, so the scan runs over
+/// the incidence list of the cached [`qld_hypergraph::HypergraphIndex`], and each
+/// candidate is tested with a word-wise popcount instead of materializing `E ∩ S`.
 fn singleton_in_gs(inst: &DualInstance, s: &VertexSet, v: Vertex) -> bool {
-    inst.g()
-        .edges()
+    let g = inst.g();
+    g.edges_containing(v)
         .iter()
-        .any(|e| e.contains(v) && e.intersection(s).len() == 1)
+        .any(|&j| g.index().edge_intersection_len(j as usize, s) == 1)
 }
 
 /// Expands the node with vertex set `s`: applies `marksmall` when `|H_S| ≤ 1` and
@@ -168,11 +170,15 @@ pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
         }
     }
 
-    // Step 2: is I_α a new transversal of G_S with respect to H_S?
-    let i_alpha_transversal = inst.g().edges().iter().all(|e| {
-        let r = e.intersection(s);
-        !r.is_empty() && r.intersects(&i_alpha)
-    });
+    // Step 2: is I_α a new transversal of G_S with respect to H_S?  (`I_α ⊆ S_α` —
+    // its members occur in edges of `H_S`, all inside `S_α` — so `(E ∩ S) ∩ I_α`
+    // simplifies to `E ∩ I_α` and no restriction needs to be materialized.)
+    debug_assert!(i_alpha.is_subset(s));
+    let i_alpha_transversal = inst
+        .g()
+        .edges()
+        .iter()
+        .all(|e| e.intersects(s) && e.intersects(&i_alpha));
     let contains_h_edge = h_inside
         .iter()
         .any(|&j| inst.h().edge(j).is_subset(&i_alpha));
@@ -183,12 +189,12 @@ pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
         };
     }
 
-    // Step 3: a restricted G-edge disjoint from I_α?
+    // Step 3: a restricted G-edge disjoint from I_α? (again `E ∩ S ∩ I_α = E ∩ I_α`)
     let g_choice = inst
         .g()
         .edges()
         .iter()
-        .position(|e| !e.intersection(s).intersects(&i_alpha));
+        .position(|e| !e.intersects(&i_alpha));
     if let Some(g_edge) = g_choice {
         let ge = inst.g().edge(g_edge).intersection(s);
         debug_assert!(
@@ -201,7 +207,10 @@ pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
             if !r.intersects(&ge) {
                 continue; // E' ⊆ S_α − G: dropped by the paper's G_{S_α}^G filter
             }
-            for i in r.intersection(&ge).iter() {
+            for i in r.iter() {
+                if !ge.contains(i) {
+                    continue;
+                }
                 // C = S_α − (E − {i})  (restricting E to S_α first changes nothing)
                 let mut c = s.difference(&r);
                 c.insert(i);

@@ -33,6 +33,18 @@ use qld_logspace::{LogRegister, SpaceMeter};
 pub trait SAlphaOracle {
     /// Whether vertex `v` belongs to `S_α`.
     fn contains(&self, v: Vertex) -> bool;
+
+    /// The explicit bitmap backing this oracle, when it has one.
+    ///
+    /// Oracles that already hold `S_α` on the work tape (the [`MaterializedOracle`] of
+    /// the practical solver mode, charged `|V|` bits) expose it here so that the
+    /// logspace sub-procedures can answer whole-edge questions with word operations
+    /// against the instance's [`qld_hypergraph::HypergraphIndex`] instead of one
+    /// membership query per vertex.  Chained oracles return `None` and keep the
+    /// query-driven path; the decisions taken are identical either way.
+    fn materialized(&self) -> Option<&VertexSet> {
+        None
+    }
 }
 
 /// The root oracle: `S_{α₀} = V`.
@@ -93,6 +105,10 @@ impl SAlphaOracle for MaterializedOracle {
     fn contains(&self, v: Vertex) -> bool {
         self.s.contains(v)
     }
+
+    fn materialized(&self) -> Option<&VertexSet> {
+        Some(&self.s)
+    }
 }
 
 /// The classification of a node, as derived by the logspace sub-procedures.
@@ -122,7 +138,10 @@ impl NodeClass {
 
 /// Whether the `j`-th edge of `H` is contained in `S`.
 fn h_edge_inside(inst: &DualInstance, s: &dyn SAlphaOracle, j: usize) -> bool {
-    inst.h().edge(j).iter().all(|v| s.contains(v))
+    match s.materialized() {
+        Some(set) => inst.h().index().edge_is_subset(j, set),
+        None => inst.h().edge(j).iter().all(|v| s.contains(v)),
+    }
 }
 
 /// `|H_S|`: the number of `H`-edges contained in `S`.
@@ -163,16 +182,30 @@ pub fn i_alpha_contains(
 }
 
 /// Whether the singleton `{v}` belongs to `G_S`: some edge `E ∈ G` has `E ∩ S = {v}`.
+/// Only the edges containing `v` can qualify, so the scan runs over the incidence list.
 fn singleton_in_gs(inst: &DualInstance, s: &dyn SAlphaOracle, v: Vertex) -> bool {
-    inst.g()
-        .edges()
-        .iter()
-        .any(|e| e.contains(v) && s.contains(v) && e.iter().all(|u| u == v || !s.contains(u)))
+    if !s.contains(v) {
+        return false;
+    }
+    let g = inst.g();
+    match s.materialized() {
+        Some(set) => g
+            .edges_containing(v)
+            .iter()
+            .any(|&j| g.index().edge_intersection_len(j as usize, set) == 1),
+        None => g
+            .edges_containing(v)
+            .iter()
+            .any(|&j| g.edge(j as usize).iter().all(|u| u == v || !s.contains(u))),
+    }
 }
 
 /// Whether the restriction `E ∩ S` of the `j`-th `G`-edge is empty.
 fn g_restriction_empty(inst: &DualInstance, s: &dyn SAlphaOracle, j: usize) -> bool {
-    inst.g().edge(j).iter().all(|v| !s.contains(v))
+    match s.materialized() {
+        Some(set) => !inst.g().index().edge_intersects(j, set),
+        None => inst.g().edge(j).iter().all(|v| !s.contains(v)),
+    }
 }
 
 /// Whether the restriction `E_j ∩ S` intersects `I_α`.

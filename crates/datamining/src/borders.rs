@@ -36,7 +36,7 @@ pub fn borders_exact(relation: &BooleanRelation, z: usize) -> Borders {
     let mut maximal = Vec::new();
     let mut minimal = Vec::new();
     for mask in 0u64..(1u64 << n) {
-        let set = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        let set = VertexSet::from_bits(n, mask);
         if relation.is_maximal_frequent(&set, z) {
             maximal.push(set);
         } else if relation.is_minimal_infrequent(&set, z) {

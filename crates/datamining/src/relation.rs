@@ -86,9 +86,10 @@ impl BooleanRelation {
             if current.contains(v) {
                 continue;
             }
-            let candidate = current.with(v);
-            if self.is_frequent(&candidate, z) {
-                current = candidate;
+            // Try the item in place and undo if the grown set falls below threshold.
+            current.insert(v);
+            if !self.is_frequent(&current, z) {
+                current.remove(v);
             }
         }
         current
@@ -102,9 +103,9 @@ impl BooleanRelation {
         let mut current = seed.clone();
         current.grow(self.num_items);
         for v in seed.iter() {
-            let candidate = current.without(v);
-            if !self.is_frequent(&candidate, z) {
-                current = candidate;
+            current.remove(v);
+            if self.is_frequent(&current, z) {
+                current.insert(v);
             }
         }
         current

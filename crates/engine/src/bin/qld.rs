@@ -7,8 +7,8 @@
 //!          [--g G.qld] [--h H.qld]
 //! qld keys <TABLE.txt>                 enumerate minimal keys of a table
 //! qld serve [--workers N] [...]        stream wire-format requests (stdin,
-//!                                      --input FILE, or a --socket daemon)
-//!                                      to JSON-lines responses
+//!                                      --input FILE, or a --socket/--tcp
+//!                                      daemon) to JSON-lines responses
 //! ```
 //!
 //! All subcommands answer with JSON lines on stdout.  Common options:
@@ -38,7 +38,7 @@ USAGE:
   qld mine <REL.qld> --threshold Z [--g G.qld] [--h H.qld] [options]
                                             frequent-itemset border identification
   qld keys <TABLE.txt> [options]            enumerate minimal keys of a relation
-  qld serve [--input FILE | --socket PATH] [options]
+  qld serve [--input FILE | --socket PATH | --tcp ADDR] [options]
                                             serve wire-format request lines
 
 OPTIONS:
@@ -55,6 +55,9 @@ OPTIONS:
   --h FILE             (mine) known maximal frequent itemsets
   --input FILE         (serve) read request lines from FILE instead of stdin
   --socket PATH        (serve) run as a daemon on a Unix socket at PATH
+  --tcp ADDR           (serve) run as a daemon on a TCP address, e.g.
+                       127.0.0.1:7878 (the protocol is unauthenticated:
+                       bind loopback unless the network is trusted)
   --order MODE         (serve) input (default: responses in request order) or
                        arrival (stream responses as they complete)
 
@@ -95,6 +98,7 @@ struct Options {
     h_file: Option<String>,
     input: Option<String>,
     socket: Option<String>,
+    tcp: Option<String>,
     order: OrderMode,
     positional: Vec<String>,
 }
@@ -113,6 +117,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         h_file: None,
         input: None,
         socket: None,
+        tcp: None,
         order: OrderMode::Input,
         positional: Vec::new(),
     };
@@ -140,6 +145,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.cache_ttl = (secs > 0).then(|| Duration::from_secs(secs as u64));
             }
             "--socket" => opts.socket = Some(value_of("--socket")?),
+            "--tcp" => opts.tcp = Some(value_of("--tcp")?),
             "--order" => {
                 let name = value_of("--order")?;
                 opts.order = OrderMode::from_name(&name)
@@ -336,16 +342,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "serve" => {
             if !opts.positional.is_empty() {
                 return Err(
-                    "serve takes no positional arguments (use --input FILE or --socket PATH)"
+                    "serve takes no positional arguments (use --input FILE, --socket PATH, or --tcp ADDR)"
                         .to_string(),
                 );
             }
             let serve_options = ServeOptions { order: opts.order };
+            let daemon_modes = [
+                opts.socket.is_some(),
+                opts.tcp.is_some(),
+                opts.input.is_some(),
+            ];
+            if daemon_modes.iter().filter(|&&m| m).count() > 1 {
+                return Err("--socket, --tcp, and --input are mutually exclusive".to_string());
+            }
             if let Some(socket) = &opts.socket {
-                if opts.input.is_some() {
-                    return Err("--socket and --input are mutually exclusive".to_string());
-                }
                 return serve_socket(engine, socket, serve_options);
+            }
+            if let Some(addr) = &opts.tcp {
+                return serve_tcp(engine, addr, serve_options);
             }
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
@@ -409,7 +423,28 @@ fn serve_socket(
     _socket: &str,
     _options: ServeOptions,
 ) -> Result<ExitCode, String> {
-    Err("--socket requires a Unix platform".to_string())
+    Err("--socket requires a Unix platform (use --tcp ADDR instead)".to_string())
+}
+
+/// Runs the persistent TCP daemon: bind the address and serve connections
+/// until the process is killed.
+fn serve_tcp(engine: Engine, addr: &str, options: ServeOptions) -> Result<ExitCode, String> {
+    let engine = Arc::new(engine);
+    let server = qld_engine::TcpServer::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+    eprintln!(
+        "qld serve: listening on tcp://{} ({} worker(s), order={})",
+        server.local_addr(),
+        engine.config().workers,
+        options.order.name()
+    );
+    let summary = server
+        .run(&engine, options)
+        .map_err(|e| format!("serve: {e}"))?;
+    eprintln!(
+        "qld serve: {} connection(s), {} request(s), {} error(s)",
+        summary.connections, summary.requests, summary.errors
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn one_positional(opts: &Options, usage: &str) -> Result<String, String> {

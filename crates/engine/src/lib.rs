@@ -30,9 +30,10 @@
 //!   hypergraph syntax, reusing [`qld_hypergraph::format`]) and
 //!   [`response::Response::to_json_line`] for the JSON-lines output; the
 //!   protocol is specified in `docs/WIRE.md`;
-//! * [`transport`] (Unix only) — the Unix-domain-socket daemon front end
-//!   behind `qld serve --socket PATH`, serving any number of concurrent
-//!   client connections;
+//! * [`transport`] — the daemon front ends serving any number of concurrent
+//!   client connections: the Unix-domain-socket listener behind `qld serve
+//!   --socket PATH` (Unix only) and the portable TCP listener behind
+//!   `qld serve --tcp ADDR`;
 //! * the `qld` binary — `check`, `enumerate`, `mine`, `keys`, and
 //!   `serve` subcommands streaming requests from stdin, files, or a socket.
 //!
@@ -60,7 +61,6 @@ pub mod ops;
 pub mod policy;
 pub mod request;
 pub mod response;
-#[cfg(unix)]
 pub mod transport;
 pub mod wire;
 
@@ -73,7 +73,8 @@ pub use response::{
     BordersOutcome, EngineError, ErrorCode, Outcome, RequestStats, Response, WitnessSummary,
 };
 #[cfg(unix)]
-pub use transport::{ShutdownHandle, SocketServer, TransportSummary};
+pub use transport::{ShutdownHandle, SocketServer};
+pub use transport::{TcpServer, TcpShutdownHandle, TransportSummary};
 pub use wire::{OrderMode, PROTOCOL_VERSION};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked: the

@@ -1,9 +1,35 @@
 //! Typed engine requests.
 
-use crate::wire;
 use qld_datamining::BooleanRelation;
-use qld_hypergraph::Hypergraph;
+use qld_hypergraph::{Hypergraph, VertexSet};
 use qld_keys::RelationInstance;
+
+/// Compact canonical token of a vertex set: its backing bitmap words in hex, low word
+/// first, trailing zero words trimmed (`"0"` for the empty set).  This reuses the
+/// inline word encoding of [`VertexSet`] directly — no per-vertex rendering — so
+/// building a cache key for a `≤ 64`-vertex edge is one hex formatting of one word.
+fn set_token(s: &VertexSet) -> String {
+    let words = s.as_words();
+    let mut last = words.len();
+    while last > 1 && words[last - 1] == 0 {
+        last -= 1;
+    }
+    words[..last]
+        .iter()
+        .map(|w| format!("{w:x}"))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Canonical token of an edge family: universe size plus the word-encoded edges in
+/// the family's (already canonicalized) order.
+fn family_token(h: &Hypergraph) -> String {
+    if h.is_empty() {
+        return format!("n={}:-", h.num_vertices());
+    }
+    let edges: Vec<String> = h.edges().iter().map(set_token).collect();
+    format!("n={}:{}", h.num_vertices(), edges.join(";"))
+}
 
 /// One query against the duality/itemset/key solvers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,16 +87,19 @@ impl Request {
     /// exactly as execution does (absorption via `minimize` plus canonical
     /// edge order); `mine`/`keys` keys canonicalize edge/row order only,
     /// because their validation semantics depend on the exact input families.
+    /// Sets are rendered from their bitmap words (the inline encoding of
+    /// [`VertexSet`]) rather than as vertex lists, keeping key construction
+    /// off the per-vertex path.
     pub fn cache_key(&self) -> String {
         match self {
             Request::DecideDuality { g, h } => format!(
                 "check {} {}",
-                wire::to_inline(&g.minimize().canonicalized()),
-                wire::to_inline(&h.minimize().canonicalized())
+                family_token(&g.minimize().canonicalized()),
+                family_token(&h.minimize().canonicalized())
             ),
             Request::EnumerateTransversals { g, limit } => format!(
                 "enumerate {} limit={}",
-                wire::to_inline(&g.minimize().canonicalized()),
+                family_token(&g.minimize().canonicalized()),
                 limit.map_or_else(|| "all".to_string(), |l| l.to_string())
             ),
             Request::IdentifyItemsetBorders {
@@ -81,25 +110,15 @@ impl Request {
             } => {
                 // Rows of a relation form a multiset: sort the rendered rows so
                 // row order does not split cache entries.
-                let mut rows: Vec<String> = relation
-                    .rows()
-                    .iter()
-                    .map(|r| {
-                        r.to_indices()
-                            .iter()
-                            .map(usize::to_string)
-                            .collect::<Vec<_>>()
-                            .join(",")
-                    })
-                    .collect();
+                let mut rows: Vec<String> = relation.rows().iter().map(set_token).collect();
                 rows.sort();
                 format!(
                     "mine n={}:{} z={} g={} h={}",
                     relation.num_items(),
                     rows.join(";"),
                     threshold,
-                    wire::to_inline(&minimal_infrequent.canonicalized()),
-                    wire::to_inline(&maximal_frequent.canonicalized())
+                    family_token(&minimal_infrequent.canonicalized()),
+                    family_token(&maximal_frequent.canonicalized())
                 )
             }
             Request::FindMinimalKeys { instance } => {

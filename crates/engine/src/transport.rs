@@ -1,5 +1,12 @@
-//! The daemon transport: a Unix-domain-socket listener in front of the
-//! engine (`qld serve --socket PATH`).
+//! The daemon transports: socket listeners in front of the engine.
+//!
+//! Two listeners share one session implementation, because a serve session is
+//! just a `BufRead` + `Write` pair fed to [`Engine::serve_with`]:
+//!
+//! * [`SocketServer`] — a Unix-domain-socket listener (`qld serve --socket
+//!   PATH`), Unix only;
+//! * [`TcpServer`] — a TCP listener (`qld serve --tcp ADDR`), available on
+//!   every platform.
 //!
 //! Each accepted connection is one serve session: the client writes
 //! wire-format request lines (see `docs/WIRE.md`) and reads JSON-lines
@@ -8,21 +15,20 @@
 //! the engine's shared worker pool through the shared bounded queue, so a
 //! flood on one connection backpressures rather than starving the others, and
 //! all connections share one result cache.
-//!
-//! This module is Unix-only (`cfg(unix)`); a network transport (TCP) is the
-//! natural next step and would reuse [`Engine::serve_with`] unchanged, since
-//! a session is just a `BufRead` + `Write` pair.
 
 use crate::engine::{Engine, ServeOptions, ServeSummary};
 use crate::lock_ignoring_poison;
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
-/// Aggregate counters of one [`SocketServer::run`] lifetime.
+/// Aggregate counters of one listener-run lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TransportSummary {
     /// Connections accepted.
@@ -33,13 +39,116 @@ pub struct TransportSummary {
     pub errors: u64,
 }
 
+/// The stream operations a session transport needs beyond `Read + Write`:
+/// duplicating the handle (separate read and write sides) and half-closing.
+/// Implemented by `UnixStream` and `TcpStream`.
+trait SessionStream: Read + Write + Send + Sized + 'static {
+    fn try_clone_stream(&self) -> std::io::Result<Self>;
+    fn shutdown_side(&self, how: Shutdown) -> std::io::Result<()>;
+}
+
+#[cfg(unix)]
+impl SessionStream for UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn shutdown_side(&self, how: Shutdown) -> std::io::Result<()> {
+        self.shutdown(how)
+    }
+}
+
+impl SessionStream for TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn shutdown_side(&self, how: Shutdown) -> std::io::Result<()> {
+        self.shutdown(how)
+    }
+}
+
+/// The accept loop shared by both listeners.
+///
+/// Accepts connections until `stop` is raised, serving each on its own thread
+/// against the shared `engine`.  Per-connection I/O errors end that connection
+/// only (its answered-request counts are still aggregated), and transient
+/// `accept` failures (fd exhaustion, aborted handshakes) are retried with
+/// backoff — the loop gives up, returning the error, only when `accept` fails
+/// many times in a row.  On shutdown, live connections stop being read —
+/// their in-flight responses are still written — and are joined before the
+/// aggregate counters are returned.
+fn run_accept_loop<S: SessionStream>(
+    engine: &Arc<Engine>,
+    options: ServeOptions,
+    stop: &Arc<AtomicBool>,
+    mut accept: impl FnMut() -> std::io::Result<S>,
+) -> std::io::Result<TransportSummary> {
+    let totals = Arc::new(Mutex::new(TransportSummary::default()));
+    // Each entry: the session thread plus a read-shutdown handle for it.
+    let mut sessions: Vec<(JoinHandle<()>, Option<S>)> = Vec::new();
+    let mut accept_error: Option<std::io::Error> = None;
+    // Transient accept failures must not kill a persistent daemon: back off and
+    // retry, and only give up after this many failures in a row.
+    const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
+    let mut consecutive_errors: u32 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match accept() {
+            Ok(stream) => {
+                consecutive_errors = 0;
+                stream
+            }
+            Err(e) => {
+                consecutive_errors += 1;
+                if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                    accept_error = Some(e);
+                    break;
+                }
+                thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break; // the shutdown handle's wake-up connection
+        }
+        lock_ignoring_poison(&totals).connections += 1;
+        let peer = stream.try_clone_stream().ok();
+        let engine = Arc::clone(engine);
+        let session_totals = Arc::clone(&totals);
+        let handle = thread::spawn(move || {
+            let summary = serve_connection(&engine, stream, &options);
+            let mut t = lock_ignoring_poison(&session_totals);
+            t.requests += summary.requests;
+            t.errors += summary.errors;
+        });
+        sessions.push((handle, peer));
+        // Reap finished sessions so the handle list stays bounded on long
+        // daemon runs.
+        sessions.retain(|(handle, _)| !handle.is_finished());
+    }
+    // Drain: half-close live connections so their sessions see input EOF
+    // (blocked reads return immediately), then wait for them to finish
+    // writing.
+    for (handle, peer) in sessions {
+        if let Some(peer) = peer {
+            let _ = peer.shutdown_side(Shutdown::Read);
+        }
+        let _ = handle.join();
+    }
+    let summary = *lock_ignoring_poison(&totals);
+    match accept_error {
+        Some(e) => Err(e),
+        None => Ok(summary),
+    }
+}
+
 /// Cooperative shutdown switch for a running [`SocketServer`].
+#[cfg(unix)]
 #[derive(Debug, Clone)]
 pub struct ShutdownHandle {
     stop: Arc<AtomicBool>,
     path: PathBuf,
 }
 
+#[cfg(unix)]
 impl ShutdownHandle {
     /// Asks the accept loop to stop.  Live connections are half-closed on
     /// their read side — responses already in flight are still written — and
@@ -53,6 +162,7 @@ impl ShutdownHandle {
 }
 
 /// A Unix-domain-socket front end serving wire-format sessions.
+#[cfg(unix)]
 #[derive(Debug)]
 pub struct SocketServer {
     listener: UnixListener,
@@ -60,6 +170,7 @@ pub struct SocketServer {
     stop: Arc<AtomicBool>,
 }
 
+#[cfg(unix)]
 impl SocketServer {
     /// Binds the listener at `path`.
     ///
@@ -101,78 +212,97 @@ impl SocketServer {
         }
     }
 
-    /// Accepts connections until shut down, serving each on its own thread
-    /// against the shared `engine`.  Per-connection I/O errors end that
-    /// connection only (its answered-request counts are still aggregated),
-    /// and transient `accept` failures (fd exhaustion, aborted handshakes)
-    /// are retried with backoff — the loop gives up, returning the error,
-    /// only when `accept` fails many times in a row.  On shutdown, live
-    /// connections stop being read — their in-flight responses are still
-    /// written — and are joined before the aggregate counters are returned.
+    /// Runs the accept loop (semantics in the module docs: per-connection
+    /// sessions, backoff on transient accept failures, drain on shutdown)
+    /// and removes the socket file afterwards.
     pub fn run(
         self,
         engine: &Arc<Engine>,
         options: ServeOptions,
     ) -> std::io::Result<TransportSummary> {
-        let totals = Arc::new(Mutex::new(TransportSummary::default()));
-        // Each entry: the session thread plus a read-shutdown handle for it.
-        let mut sessions: Vec<(JoinHandle<()>, Option<UnixStream>)> = Vec::new();
-        let mut accept_error: Option<std::io::Error> = None;
-        // Transient accept failures (fd exhaustion under a connection burst,
-        // ECONNABORTED races) must not kill a persistent daemon: back off and
-        // retry, and only give up after this many failures in a row.
-        const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
-        let mut consecutive_errors: u32 = 0;
-        while !self.stop.load(Ordering::SeqCst) {
-            let stream = match self.listener.accept() {
-                Ok((stream, _addr)) => {
-                    consecutive_errors = 0;
-                    stream
-                }
-                Err(e) => {
-                    consecutive_errors += 1;
-                    if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
-                        accept_error = Some(e);
-                        break;
-                    }
-                    thread::sleep(std::time::Duration::from_millis(10));
-                    continue;
-                }
-            };
-            if self.stop.load(Ordering::SeqCst) {
-                break; // the shutdown handle's wake-up connection
-            }
-            lock_ignoring_poison(&totals).connections += 1;
-            let peer = stream.try_clone().ok();
-            let engine = Arc::clone(engine);
-            let session_totals = Arc::clone(&totals);
-            let handle = thread::spawn(move || {
-                let summary = serve_connection(&engine, stream, &options);
-                let mut t = lock_ignoring_poison(&session_totals);
-                t.requests += summary.requests;
-                t.errors += summary.errors;
-            });
-            sessions.push((handle, peer));
-            // Reap finished sessions so the handle list stays bounded on long
-            // daemon runs.
-            sessions.retain(|(handle, _)| !handle.is_finished());
-        }
-        // Drain: half-close live connections so their sessions see input EOF
-        // (blocked reads return immediately), then wait for them to finish
-        // writing.
-        for (handle, peer) in sessions {
-            if let Some(peer) = peer {
-                let _ = peer.shutdown(std::net::Shutdown::Read);
-            }
-            let _ = handle.join();
-        }
-        let summary = *lock_ignoring_poison(&totals);
+        let result = run_accept_loop(engine, options, &self.stop, || {
+            self.listener.accept().map(|(stream, _addr)| stream)
+        });
         drop(self.listener);
         let _ = std::fs::remove_file(&self.path);
-        match accept_error {
-            Some(e) => Err(e),
-            None => Ok(summary),
+        result
+    }
+}
+
+/// Cooperative shutdown switch for a running [`TcpServer`].
+#[derive(Debug, Clone)]
+pub struct TcpShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl TcpShutdownHandle {
+    /// Asks the accept loop to stop (same drain semantics as
+    /// [`ShutdownHandle::shutdown`]).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The wake-up connection must target a routable address: a listener
+        // bound to a wildcard (0.0.0.0 / [::]) is not connectable by that
+        // name on every platform, so aim at the matching loopback instead.
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
         }
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// A TCP front end serving wire-format sessions — a drop-in next to
+/// [`SocketServer`] for network clients (`qld serve --tcp ADDR`).
+///
+/// The wire protocol carries no authentication: bind loopback addresses
+/// unless the network path is otherwise protected.
+#[derive(Debug)]
+pub struct TcpServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpServer {
+    /// Binds the listener at `addr` (e.g. `"127.0.0.1:7878"`; port `0` picks
+    /// a free port, see [`TcpServer::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpServer {
+            listener,
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the listener is actually bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A switch that makes [`TcpServer::run`] return.
+    pub fn shutdown_handle(&self) -> TcpShutdownHandle {
+        TcpShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the accept loop (same semantics as [`SocketServer::run`], minus
+    /// the socket-file cleanup).
+    pub fn run(
+        self,
+        engine: &Arc<Engine>,
+        options: ServeOptions,
+    ) -> std::io::Result<TransportSummary> {
+        run_accept_loop(engine, options, &self.stop, || {
+            self.listener.accept().map(|(stream, _addr)| stream)
+        })
     }
 }
 
@@ -180,14 +310,18 @@ impl SocketServer {
 /// onto it, then a write-side shutdown so the client sees EOF.  Sessions that
 /// die on an I/O error still report the responses that made it onto the wire
 /// (counted by [`CountingWriter`]).
-fn serve_connection(engine: &Engine, stream: UnixStream, options: &ServeOptions) -> ServeSummary {
-    let reader = match stream.try_clone() {
+fn serve_connection<S: SessionStream>(
+    engine: &Engine,
+    stream: S,
+    options: &ServeOptions,
+) -> ServeSummary {
+    let reader = match stream.try_clone_stream() {
         Ok(clone) => BufReader::new(clone),
         Err(_) => return ServeSummary::default(),
     };
     let mut writer = CountingWriter::new(stream);
     let result = engine.serve_with(reader, &mut writer, options);
-    let _ = writer.inner.shutdown(std::net::Shutdown::Write);
+    let _ = writer.inner.shutdown_side(Shutdown::Write);
     match result {
         Ok(summary) => summary,
         Err(_) => writer.summary(),
@@ -249,10 +383,19 @@ mod tests {
     use crate::engine::EngineConfig;
     use std::io::{BufRead, Write};
 
+    #[cfg(unix)]
     fn temp_socket_path(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!("qld-{}-{}.sock", tag, std::process::id()))
     }
 
+    fn small_engine(workers: usize) -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }))
+    }
+
+    #[cfg(unix)]
     #[test]
     fn stale_socket_files_are_rebound() {
         let path = temp_socket_path("stale");
@@ -268,14 +411,12 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    #[cfg(unix)]
     #[test]
     fn live_sockets_are_not_stolen() {
         let path = temp_socket_path("live");
         let _ = std::fs::remove_file(&path);
-        let engine = Arc::new(Engine::new(EngineConfig {
-            workers: 1,
-            ..EngineConfig::default()
-        }));
+        let engine = small_engine(1);
         let server = SocketServer::bind(&path).unwrap();
         let handle = server.shutdown_handle();
         let engine_ref = Arc::clone(&engine);
@@ -290,14 +431,12 @@ mod tests {
         assert!(!path.exists(), "run() removes the socket file on shutdown");
     }
 
+    #[cfg(unix)]
     #[test]
     fn one_connection_round_trips() {
         let path = temp_socket_path("round");
         let _ = std::fs::remove_file(&path);
-        let engine = Arc::new(Engine::new(EngineConfig {
-            workers: 2,
-            ..EngineConfig::default()
-        }));
+        let engine = small_engine(2);
         let server = SocketServer::bind(&path).unwrap();
         let handle = server.shutdown_handle();
         let engine_ref = Arc::clone(&engine);
@@ -307,7 +446,7 @@ mod tests {
         stream
             .write_all(b"check 0,1;2,3 0,2;0,3;1,2;1,3 id=one\nstats\n")
             .unwrap();
-        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
         let reader = BufReader::new(stream);
         let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
         assert_eq!(lines.len(), 2);
@@ -321,14 +460,12 @@ mod tests {
         assert_eq!(summary.errors, 0);
     }
 
+    #[cfg(unix)]
     #[test]
     fn shutdown_drains_connections_that_stay_open() {
         let path = temp_socket_path("drain");
         let _ = std::fs::remove_file(&path);
-        let engine = Arc::new(Engine::new(EngineConfig {
-            workers: 2,
-            ..EngineConfig::default()
-        }));
+        let engine = small_engine(2);
         let server = SocketServer::bind(&path).unwrap();
         let handle = server.shutdown_handle();
         let engine_ref = Arc::clone(&engine);
@@ -351,6 +488,104 @@ mod tests {
         // The daemon half-closed the connection: the client now sees EOF.
         line.clear();
         assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+    }
+
+    #[test]
+    fn tcp_connection_round_trips() {
+        let engine = small_engine(2);
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let engine_ref = Arc::clone(&engine);
+        let runner = thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"check 0,1;2,3 0,2;0,3;1,2;1,3 id=tcp\nstats\n")
+            .unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"dual\":true") && lines[0].contains("\"client_id\":\"tcp\""));
+        assert!(lines[1].contains("\"kind\":\"stats\""));
+
+        handle.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn tcp_serves_concurrent_connections() {
+        let engine = small_engine(2);
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let engine_ref = Arc::clone(&engine);
+        let runner = thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+
+        let clients: Vec<_> = (0..3)
+            .map(|c| {
+                thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    writeln!(stream, "check 0,1 0;1 id=c{c}").unwrap();
+                    stream.shutdown(Shutdown::Write).unwrap();
+                    let mut lines = BufReader::new(stream).lines();
+                    let line = lines.next().unwrap().unwrap();
+                    assert!(line.contains(&format!("\"client_id\":\"c{c}\"")), "{line}");
+                    assert!(line.contains("\"dual\":true"), "{line}");
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+
+        handle.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        assert_eq!(summary.connections, 3);
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn tcp_shutdown_drains_open_connections() {
+        let engine = small_engine(1);
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let engine_ref = Arc::clone(&engine);
+        let runner = thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"check 0,1 0;1 id=open\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"client_id\":\"open\""), "{line}");
+
+        handle.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.requests, 1);
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "client sees EOF");
+    }
+
+    #[test]
+    fn tcp_wildcard_bind_still_shuts_down() {
+        let engine = small_engine(1);
+        let server = TcpServer::bind("0.0.0.0:0").unwrap();
+        let addr = server.local_addr();
+        assert!(addr.ip().is_unspecified());
+        let handle = server.shutdown_handle();
+        let engine_ref = Arc::clone(&engine);
+        let runner = thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+        handle.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        assert_eq!(summary.requests, 0);
     }
 
     #[test]

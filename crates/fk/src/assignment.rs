@@ -35,7 +35,7 @@ impl DualitySolver for AssignmentBruteSolver {
             "brute-force assignment solver limited to {MAX_BRUTE_VERTICES} vertices"
         );
         for mask in 0u64..(1u64 << n) {
-            let t = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+            let t = VertexSet::from_bits(n, mask);
             if let Some(witness) = witness_from_assignment(inst.g(), inst.h(), &t) {
                 return Ok(DualityResult::NotDual(witness));
             }

@@ -220,7 +220,7 @@ fn conditional_probabilities_counterexample(f: &Hypergraph, g: &Hypergraph, n: u
             if e.intersects(decided_false) {
                 continue;
             }
-            let undecided = e.iter().filter(|&v| !t.contains(v)).count();
+            let undecided = e.len() - e.intersection_len(t);
             total += 0.5f64.powi(undecided as i32);
         }
         for e in g.edges() {
@@ -228,23 +228,23 @@ fn conditional_probabilities_counterexample(f: &Hypergraph, g: &Hypergraph, n: u
             if e.intersects(t) {
                 continue;
             }
-            let undecided = e.iter().filter(|&v| !decided_false.contains(v)).count();
+            let undecided = e.len() - e.intersection_len(decided_false);
             total += 0.5f64.powi(undecided as i32);
         }
         total
     };
+    // Try each decision in place (insert, score, undo) instead of cloning the two
+    // partial assignments once per variable.
     for i in 0..n {
         let v = Vertex::from(i);
-        let mut as_true = t.clone();
-        as_true.insert(v);
-        let score_true = expected(&as_true, &decided_false);
-        let mut as_false = decided_false.clone();
-        as_false.insert(v);
-        let score_false = expected(&t, &as_false);
+        t.insert(v);
+        let score_true = expected(&t, &decided_false);
+        t.remove(v);
+        decided_false.insert(v);
+        let score_false = expected(&t, &decided_false);
         if score_true <= score_false {
-            t = as_true;
-        } else {
-            decided_false = as_false;
+            decided_false.remove(v);
+            t.insert(v);
         }
     }
     t

@@ -19,10 +19,11 @@ use qld_logspace::SpaceMeter;
 use std::time::Instant;
 
 /// Identifiers of all experiments, in presentation order.
-pub const ALL_EXPERIMENTS: &[&str] =
-    &["e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
 
-/// Runs one experiment by identifier (`"e2"` … `"e11"`).
+/// Runs one experiment by identifier (`"e2"` … `"e12"`).
 pub fn run(id: &str) -> Option<Table> {
     match id {
         "e2" => Some(e2_tree_shape()),
@@ -35,6 +36,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e9" => Some(e9_coteries()),
         "e10" => Some(e10_engine_batch()),
         "e11" => Some(e11_socket_serve()),
+        "e12" => Some(e12_hotpath()),
         _ => None,
     }
 }
@@ -667,6 +669,44 @@ pub fn brute_force_agrees(li: &qld_hypergraph::generators::LabelledInstance) -> 
         .is_dual(&li.g, &li.h)
         .map(|d| d == li.dual)
         .unwrap_or(false)
+}
+
+/// E12 — the set-representation hot path: `oracle::classify` and transversal-check
+/// throughput of the inline-`VertexSet` + `HypergraphIndex` layer against a faithful
+/// replica of the pre-refactor layout (heap word vectors, per-bit kernels,
+/// query-driven classify).  Every row first cross-checks that both paths agree.
+pub fn e12_hotpath() -> Table {
+    let mut table = Table::new(
+        "E12",
+        "Hot-path throughput: inline sets + hypergraph index vs. pre-refactor layout",
+        &[
+            "metric",
+            "|V|",
+            "repr",
+            "ops/iter",
+            "before-ns/op",
+            "after-ns/op",
+            "speedup",
+        ],
+    );
+    for m in crate::hotpath::measure_all(24) {
+        let per_op = |total_ns: f64| total_ns / m.ops_per_iter as f64;
+        table.push_row(vec![
+            m.name.to_string(),
+            m.universe.to_string(),
+            if m.universe <= 64 {
+                "inline"
+            } else {
+                "spilled"
+            }
+            .to_string(),
+            m.ops_per_iter.to_string(),
+            f2(per_op(m.baseline_ns)),
+            f2(per_op(m.optimized_ns)),
+            format!("{:.2}x", m.speedup()),
+        ]);
+    }
+    table
 }
 
 #[cfg(test)]

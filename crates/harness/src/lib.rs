@@ -19,6 +19,7 @@
 
 pub mod experiments;
 pub mod figure;
+pub mod hotpath;
 pub mod table;
 pub mod workloads;
 

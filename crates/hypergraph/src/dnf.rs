@@ -105,10 +105,15 @@ impl MonotoneDnf {
     pub fn is_dual_semantic(&self, g: &MonotoneDnf) -> bool {
         let n = self.num_vars.max(g.num_vars);
         assert!(n <= 24, "semantic duality check limited to 24 variables");
+        // Both formulas are evaluated 2ⁿ times: build their term indexes once and
+        // construct each assignment straight from the enumeration mask.
+        let f_hg = self.to_hypergraph();
+        let g_hg = g.to_hypergraph();
+        let (f_idx, g_idx) = (f_hg.index(), g_hg.index());
         for mask in 0u64..(1u64 << n) {
-            let x = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+            let x = VertexSet::from_bits(n, mask);
             let not_x = x.complement(n);
-            if self.evaluate(&x) == g.evaluate(&not_x) {
+            if f_idx.evaluate_dnf(&x) == g_idx.evaluate_dnf(&not_x) {
                 return false;
             }
         }

@@ -1,9 +1,11 @@
 //! Finite hypergraphs over a dense vertex universe.
 
 use crate::error::HypergraphError;
+use crate::index::HypergraphIndex;
 use crate::vertex::Vertex;
 use crate::vset::VertexSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A finite hypergraph: a family of hyperedges (vertex sets) over the universe
 /// `{0, …, num_vertices-1}`.
@@ -14,10 +16,42 @@ use std::fmt;
 /// Boros–Makino decomposition ("lexicographically first edge", "smallest `i`") are
 /// resolved against a canonically sorted copy where required, while plain input order is
 /// used for child enumeration (documented in `qld-core`).
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Hypergraph {
     num_vertices: usize,
     edges: Vec<VertexSet>,
+    /// Lazily built query index (arena + incidence lists, see [`HypergraphIndex`]).
+    /// Not part of the hypergraph's value: cloning, comparing, and hashing ignore it,
+    /// and any mutation resets it.  Boxed so an unbuilt cache costs one pointer, not
+    /// an inline index struct, in every `Hypergraph` move.
+    index: OnceLock<Box<HypergraphIndex>>,
+}
+
+impl Clone for Hypergraph {
+    /// Clones the edge family; the index cache is not carried over (clones are often
+    /// mutated next, and the clone rebuilds it on first query if needed).
+    fn clone(&self) -> Self {
+        Hypergraph {
+            num_vertices: self.num_vertices,
+            edges: self.edges.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Hypergraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_vertices == other.num_vertices && self.edges == other.edges
+    }
+}
+
+impl Eq for Hypergraph {}
+
+impl std::hash::Hash for Hypergraph {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.num_vertices.hash(state);
+        self.edges.hash(state);
+    }
 }
 
 impl Hypergraph {
@@ -26,6 +60,7 @@ impl Hypergraph {
         Hypergraph {
             num_vertices,
             edges: Vec::new(),
+            index: OnceLock::new(),
         }
     }
 
@@ -95,6 +130,33 @@ impl Hypergraph {
         &self.edges[i]
     }
 
+    /// Internal constructor for derived hypergraphs (restrictions, minimizations, …)
+    /// whose edges are already over the right universe.
+    fn from_edge_vec(num_vertices: usize, edges: Vec<VertexSet>) -> Self {
+        Hypergraph {
+            num_vertices,
+            edges,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The lazily built [`HypergraphIndex`] of this edge family (arena of edge words,
+    /// per-vertex incidence lists, cached edge sizes).  Built on first use and cached
+    /// until the hypergraph is mutated; repeated-query hot paths (transversal checks,
+    /// DNF evaluation, [`Hypergraph::edges_containing`]) all route through it.
+    #[inline]
+    pub fn index(&self) -> &HypergraphIndex {
+        self.index
+            .get_or_init(|| Box::new(HypergraphIndex::build(self.num_vertices, &self.edges)))
+    }
+
+    /// Ids of the edges containing vertex `v`, in input edge order (served by the
+    /// cached [`HypergraphIndex`]).
+    #[inline]
+    pub fn edges_containing(&self, v: Vertex) -> &[u32] {
+        self.index().edges_containing(v)
+    }
+
     /// Adds an edge.  The universe grows automatically if the edge mentions a larger
     /// vertex than any seen so far.
     pub fn add_edge(&mut self, mut edge: VertexSet) {
@@ -109,6 +171,7 @@ impl Hypergraph {
             e.grow(self.num_vertices);
         }
         self.edges.push(edge);
+        self.index = OnceLock::new();
     }
 
     /// Whether `edge` occurs in the hypergraph (as a set).
@@ -178,10 +241,7 @@ impl Hypergraph {
             }
             keep.push(e.clone());
         }
-        Hypergraph {
-            num_vertices: self.num_vertices,
-            edges: keep,
-        }
+        Hypergraph::from_edge_vec(self.num_vertices, keep)
     }
 
     /// Returns a copy with edges sorted lexicographically (a canonical form useful for
@@ -190,10 +250,7 @@ impl Hypergraph {
         let mut edges = self.edges.clone();
         edges.sort();
         edges.dedup();
-        Hypergraph {
-            num_vertices: self.num_vertices,
-            edges,
-        }
+        Hypergraph::from_edge_vec(self.num_vertices, edges)
     }
 
     /// Set-equality of edge families (ignoring order and duplicates).
@@ -206,7 +263,7 @@ impl Hypergraph {
     /// Note the standard convention: if the hypergraph has an empty edge, nothing is a
     /// transversal; if it has no edges at all, every set (including `∅`) is one.
     pub fn is_transversal(&self, t: &VertexSet) -> bool {
-        self.edges.iter().all(|e| e.intersects(t))
+        self.index().is_transversal(t)
     }
 
     /// Whether `t` is a *minimal* transversal: a transversal such that removing any
@@ -226,7 +283,8 @@ impl Hypergraph {
     /// Whether `t` is a *new transversal with respect to `h`* (Section 1 of the paper):
     /// a transversal of `self` that contains no hyperedge of `h` as a subset.
     pub fn is_new_transversal(&self, h: &Hypergraph, t: &VertexSet) -> bool {
-        self.is_transversal(t) && !h.edges.iter().any(|e| e.is_subset(t))
+        // "contains no edge of h" is exactly h's monotone DNF evaluating to false on t.
+        self.is_transversal(t) && !h.index().evaluate_dnf(t)
     }
 
     /// Reduces a transversal `t` of `self` to a minimal transversal by greedily removing
@@ -257,10 +315,7 @@ impl Hypergraph {
                 out.push(r);
             }
         }
-        Hypergraph {
-            num_vertices: self.num_vertices,
-            edges: out,
-        }
+        Hypergraph::from_edge_vec(self.num_vertices, out)
     }
 
     /// The restriction `H_S = { E ∈ H | E ⊆ S }` used by the decomposition (Section 2).
@@ -271,10 +326,7 @@ impl Hypergraph {
             .filter(|e| e.is_subset(s))
             .cloned()
             .collect();
-        Hypergraph {
-            num_vertices: self.num_vertices,
-            edges,
-        }
+        Hypergraph::from_edge_vec(self.num_vertices, edges)
     }
 
     /// The complemented hypergraph `Hᶜ = { V − E | E ∈ H }` over the universe, as used
@@ -285,10 +337,7 @@ impl Hypergraph {
             .iter()
             .map(|e| e.complement(self.num_vertices))
             .collect();
-        Hypergraph {
-            num_vertices: self.num_vertices,
-            edges,
-        }
+        Hypergraph::from_edge_vec(self.num_vertices, edges)
     }
 
     /// For every vertex, in how many edges it occurs.
@@ -326,6 +375,7 @@ impl Hypergraph {
 
     /// Removes the edge at position `i` and returns it.
     pub fn remove_edge(&mut self, i: usize) -> VertexSet {
+        self.index = OnceLock::new();
         self.edges.remove(i)
     }
 

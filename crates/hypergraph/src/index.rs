@@ -1,0 +1,344 @@
+//! A query-oriented index over a hypergraph's edges.
+//!
+//! The duality solvers interrogate the same hypergraph over and over in their inner
+//! loops: "which edges contain vertex `v`?" (the `marksmall` singleton rule and the
+//! oracle chain), "does `t` meet every edge?" (transversal checks inside
+//! `minimize_transversal` and the Berge ground truth), "is some edge inside `x`?"
+//! (monotone DNF evaluation).  Answering those from the plain edge list is linear in
+//! the number of edges even when a single vertex is queried, and walks a `Vec` of
+//! individually-allocated sets.
+//!
+//! [`HypergraphIndex`] precomputes, in one pass over the edges:
+//!
+//! * a **flat word arena**: every edge's bitmap stored contiguously at a fixed stride
+//!   (`words_per_edge`), so edge-vs-set operations are word loops over one allocation;
+//! * **per-vertex incidence lists** in CSR layout (`edges_containing`), so vertex
+//!   queries touch only the edges that matter;
+//! * **cached edge sizes**, so `|E|` never recounts bits.
+//!
+//! [`crate::Hypergraph`] builds the index lazily and caches it; any mutation
+//! invalidates the cache.  All index queries are read-only and answer exactly like the
+//! corresponding `Hypergraph` methods.
+
+use crate::vertex::Vertex;
+use crate::vset::VertexSet;
+
+const WORD_BITS: usize = 64;
+
+/// Precomputed arena + incidence view of a hypergraph's edge family.
+#[derive(Debug, Clone)]
+pub struct HypergraphIndex {
+    num_vertices: usize,
+    num_edges: usize,
+    words_per_edge: usize,
+    /// Edge bitmaps, edge `i` occupying `arena[i*words_per_edge .. (i+1)*words_per_edge]`.
+    arena: Vec<u64>,
+    /// `|E_i|` for every edge, cached at build time.
+    edge_sizes: Vec<u32>,
+    /// CSR offsets into `incidence`: vertex `v`'s edges are
+    /// `incidence[incidence_start[v] .. incidence_start[v+1]]`.
+    incidence_start: Vec<u32>,
+    /// Edge ids, grouped by vertex, each group in input edge order.
+    incidence: Vec<u32>,
+}
+
+impl HypergraphIndex {
+    /// Builds the index for an edge family over `num_vertices` vertices.
+    pub fn build(num_vertices: usize, edges: &[VertexSet]) -> Self {
+        let words_per_edge = num_vertices.div_ceil(WORD_BITS).max(1);
+        let num_edges = edges.len();
+        let mut arena = vec![0u64; num_edges * words_per_edge];
+        let mut edge_sizes = Vec::with_capacity(num_edges);
+        let mut degrees = vec![0u32; num_vertices];
+        for (i, edge) in edges.iter().enumerate() {
+            let row = &mut arena[i * words_per_edge..(i + 1) * words_per_edge];
+            for (w, word) in edge.as_words().iter().enumerate().take(words_per_edge) {
+                row[w] = *word;
+            }
+            edge_sizes.push(edge.len() as u32);
+            for v in edge.iter() {
+                degrees[v.index()] += 1;
+            }
+        }
+        let mut incidence_start = Vec::with_capacity(num_vertices + 1);
+        incidence_start.push(0u32);
+        let mut total = 0u32;
+        for &d in &degrees {
+            total += d;
+            incidence_start.push(total);
+        }
+        let mut cursor: Vec<u32> = incidence_start[..num_vertices].to_vec();
+        let mut incidence = vec![0u32; total as usize];
+        for (i, edge) in edges.iter().enumerate() {
+            for v in edge.iter() {
+                let slot = &mut cursor[v.index()];
+                incidence[*slot as usize] = i as u32;
+                *slot += 1;
+            }
+        }
+        HypergraphIndex {
+            num_vertices,
+            num_edges,
+            words_per_edge,
+            arena,
+            edge_sizes,
+            incidence_start,
+            incidence,
+        }
+    }
+
+    /// Number of vertices of the indexed universe.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of indexed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Words per edge row in the arena.
+    #[inline]
+    pub fn words_per_edge(&self) -> usize {
+        self.words_per_edge
+    }
+
+    /// The bitmap words of edge `i` (lowest word first).
+    #[inline]
+    pub fn edge_words(&self, i: usize) -> &[u64] {
+        &self.arena[i * self.words_per_edge..(i + 1) * self.words_per_edge]
+    }
+
+    /// Cached cardinality `|E_i|`.
+    #[inline]
+    pub fn edge_size(&self, i: usize) -> usize {
+        self.edge_sizes[i] as usize
+    }
+
+    /// Ids of the edges containing vertex `v`, in input edge order.  Out-of-universe
+    /// vertices have no incident edges.
+    #[inline]
+    pub fn edges_containing(&self, v: Vertex) -> &[u32] {
+        let i = v.index();
+        if i >= self.num_vertices {
+            return &[];
+        }
+        &self.incidence[self.incidence_start[i] as usize..self.incidence_start[i + 1] as usize]
+    }
+
+    /// Number of edges containing vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.edges_containing(v).len()
+    }
+
+    /// Whether edge `i` contains vertex `v`.
+    #[inline]
+    pub fn edge_contains(&self, i: usize, v: Vertex) -> bool {
+        let idx = v.index();
+        if idx >= self.num_vertices {
+            return false;
+        }
+        self.edge_words(i)[idx / WORD_BITS] & (1 << (idx % WORD_BITS)) != 0
+    }
+
+    /// Whether edge `i` shares a vertex with `s`.
+    #[inline]
+    pub fn edge_intersects(&self, i: usize, s: &VertexSet) -> bool {
+        row_intersects(self.edge_words(i), s.as_words())
+    }
+
+    /// Whether edge `i` is a subset of `s`.
+    #[inline]
+    pub fn edge_is_subset(&self, i: usize, s: &VertexSet) -> bool {
+        row_is_subset(self.edge_words(i), s.as_words())
+    }
+
+    /// `|E_i ∩ s|`.
+    #[inline]
+    pub fn edge_intersection_len(&self, i: usize, s: &VertexSet) -> usize {
+        let e = self.edge_words(i);
+        let sw = s.as_words();
+        let common = e.len().min(sw.len());
+        e[..common]
+            .iter()
+            .zip(&sw[..common])
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `t` meets every indexed edge (same conventions as
+    /// [`crate::Hypergraph::is_transversal`]: an empty edge defeats every set, no edges
+    /// at all are met by every set).
+    pub fn is_transversal(&self, t: &VertexSet) -> bool {
+        let tw = t.as_words();
+        if self.words_per_edge == 1 {
+            // Inline universes: one contiguous pass over the arena, one AND per edge.
+            let t0 = tw.first().copied().unwrap_or(0);
+            return self.arena.iter().all(|&e| e & t0 != 0);
+        }
+        if self.words_per_edge == 2 && tw.len() >= 2 {
+            // Two-word universes (65–128 vertices) are the realistic spill case:
+            // stride the arena directly, short-circuiting on the first word like the
+            // dense (covering) candidates almost always allow.
+            let (t0, t1) = (tw[0], tw[1]);
+            return self
+                .arena
+                .chunks_exact(2)
+                .all(|row| row[0] & t0 != 0 || row[1] & t1 != 0);
+        }
+        if tw.len() >= self.words_per_edge {
+            // The candidate covers the whole universe (the common case): full-row
+            // zips with no per-row length bookkeeping.
+            return self
+                .arena
+                .chunks_exact(self.words_per_edge)
+                .all(|row| row.iter().zip(tw).any(|(a, b)| a & b != 0));
+        }
+        self.arena
+            .chunks_exact(self.words_per_edge)
+            .all(|row| row_intersects(row, tw))
+    }
+
+    /// Monotone DNF evaluation: whether some indexed edge (term) is contained in
+    /// `true_vars`.
+    pub fn evaluate_dnf(&self, true_vars: &VertexSet) -> bool {
+        let tw = true_vars.as_words();
+        if self.words_per_edge == 1 {
+            let t0 = tw.first().copied().unwrap_or(0);
+            return self.arena.iter().any(|&e| e & !t0 == 0);
+        }
+        if self.words_per_edge == 2 && tw.len() >= 2 {
+            let (t0, t1) = (tw[0], tw[1]);
+            return self
+                .arena
+                .chunks_exact(2)
+                .any(|row| row[0] & !t0 == 0 && row[1] & !t1 == 0);
+        }
+        self.arena
+            .chunks_exact(self.words_per_edge)
+            .any(|row| row_is_subset(row, tw))
+    }
+}
+
+/// Whether an arena row shares a set bit with `s_words` (absent words are zero).
+#[inline]
+fn row_intersects(row: &[u64], s_words: &[u64]) -> bool {
+    let common = row.len().min(s_words.len());
+    row[..common]
+        .iter()
+        .zip(&s_words[..common])
+        .any(|(a, b)| a & b != 0)
+}
+
+/// Whether every set bit of an arena row also appears in `s_words` (absent words are
+/// zero, so trailing row words must be empty).
+#[inline]
+fn row_is_subset(row: &[u64], s_words: &[u64]) -> bool {
+    let common = row.len().min(s_words.len());
+    row[..common]
+        .iter()
+        .zip(&s_words[..common])
+        .all(|(a, b)| a & !b == 0)
+        && row[common..].iter().all(|&a| a == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::Hypergraph;
+    use crate::vset;
+
+    fn family() -> Hypergraph {
+        Hypergraph::from_index_edges(5, &[&[0, 1], &[1, 2, 3], &[3, 4], &[0, 4]])
+    }
+
+    #[test]
+    fn incidence_lists_match_scans() {
+        let h = family();
+        let idx = h.index();
+        for v in 0..h.num_vertices() {
+            let v = Vertex::from(v);
+            let expected: Vec<u32> = h
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.contains(v))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(idx.edges_containing(v), expected.as_slice(), "{v}");
+            assert_eq!(idx.degree(v), expected.len());
+        }
+        assert_eq!(idx.edges_containing(Vertex::new(99)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn arena_rows_and_sizes_match_edges() {
+        let h = family();
+        let idx = h.index();
+        assert_eq!(idx.num_edges(), h.num_edges());
+        assert_eq!(idx.num_vertices(), 5);
+        for (i, e) in h.edges().iter().enumerate() {
+            assert_eq!(idx.edge_size(i), e.len());
+            assert_eq!(&idx.edge_words(i)[..e.as_words().len()], e.as_words());
+            for v in 0..6usize {
+                assert_eq!(
+                    idx.edge_contains(i, Vertex::from(v)),
+                    e.contains(Vertex::from(v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_queries_match_vertexset_ops() {
+        let h = family();
+        let idx = h.index();
+        let probes = [
+            vset![5; 0],
+            vset![5; 1, 3],
+            vset![5; 0, 1, 2, 3, 4],
+            vset![5;],
+            VertexSet::from_indices(90, [1, 3, 80]),
+        ];
+        for s in &probes {
+            for (i, e) in h.edges().iter().enumerate() {
+                assert_eq!(idx.edge_intersects(i, s), e.intersects(s));
+                assert_eq!(idx.edge_is_subset(i, s), e.is_subset(s));
+                assert_eq!(idx.edge_intersection_len(i, s), e.intersection_len(s));
+            }
+            assert_eq!(
+                idx.is_transversal(s),
+                h.edges().iter().all(|e| e.intersects(s))
+            );
+            assert_eq!(
+                idx.evaluate_dnf(s),
+                h.edges().iter().any(|e| e.is_subset(s))
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_conventions() {
+        let empty = Hypergraph::new(3);
+        assert!(empty.index().is_transversal(&vset![3;]));
+        assert!(!empty.index().evaluate_dnf(&vset![3; 0, 1, 2]));
+        let with_empty_edge = Hypergraph::from_edges(3, [VertexSet::empty(3)]);
+        assert!(!with_empty_edge.index().is_transversal(&vset![3; 0, 1, 2]));
+        assert!(with_empty_edge.index().evaluate_dnf(&vset![3;]));
+    }
+
+    #[test]
+    fn spilled_universe() {
+        let mut h = Hypergraph::new(70);
+        h.add_edge(VertexSet::from_indices(70, [0, 65]));
+        h.add_edge(VertexSet::from_indices(70, [65, 69]));
+        let idx = h.index();
+        assert_eq!(idx.words_per_edge(), 2);
+        assert_eq!(idx.edges_containing(Vertex::new(65)), &[0, 1]);
+        assert!(idx.is_transversal(&VertexSet::from_indices(70, [65])));
+        assert!(!idx.is_transversal(&VertexSet::from_indices(70, [0])));
+    }
+}

@@ -6,7 +6,11 @@
 //!
 //! This crate provides:
 //!
-//! * [`Vertex`] and [`VertexSet`] — dense bitset vertex sets;
+//! * [`Vertex`] and [`VertexSet`] — dense bitset vertex sets, stored inline in a
+//!   single machine word for universes of at most [`INLINE_BITS`] vertices;
+//! * [`HypergraphIndex`] — the lazily cached hot-path index (flat edge-word arena,
+//!   per-vertex incidence lists, cached edge sizes) behind transversal checks, DNF
+//!   evaluation, and [`Hypergraph::edges_containing`];
 //! * [`Hypergraph`] — simple hypergraphs, transversal predicates, the restriction
 //!   operations `G_S` / `H_S` used by the Boros–Makino decomposition, complements, and
 //!   frequency queries;
@@ -30,6 +34,7 @@ pub mod error;
 pub mod format;
 pub mod generators;
 mod hypergraph;
+pub mod index;
 pub mod transversal;
 mod vertex;
 mod vset;
@@ -37,5 +42,6 @@ mod vset;
 pub use dnf::MonotoneDnf;
 pub use error::HypergraphError;
 pub use hypergraph::Hypergraph;
+pub use index::HypergraphIndex;
 pub use vertex::Vertex;
-pub use vset::VertexSet;
+pub use vset::{VertexSet, INLINE_BITS};

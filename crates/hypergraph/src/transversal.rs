@@ -79,7 +79,7 @@ pub fn find_new_transversal_brute(g: &Hypergraph, h: &Hypergraph) -> Option<Vert
     let mut subsets: Vec<u32> = (0u32..(1u32 << n)).collect();
     subsets.sort_by_key(|m| m.count_ones());
     for mask in subsets {
-        let t = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        let t = VertexSet::from_bits(n, mask as u64);
         if g.is_new_transversal(h, &t) {
             return Some(t);
         }
@@ -149,7 +149,7 @@ pub fn all_transversals_brute(h: &Hypergraph) -> Vec<VertexSet> {
     assert!(n <= 20, "brute-force enumeration limited to 20 vertices");
     let mut out = Vec::new();
     for mask in 0u32..(1u32 << n) {
-        let t = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        let t = VertexSet::from_bits(n, mask as u64);
         if h.is_transversal(&t) {
             out.push(t);
         }

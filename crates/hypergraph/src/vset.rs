@@ -1,9 +1,19 @@
-//! Dense bit-set representation of vertex sets.
+//! Dense bit-set representation of vertex sets, small-set optimized.
 //!
 //! Hyperedges, transversals, itemsets, keys and quorums are all subsets of a small
-//! universe `0..n`.  [`VertexSet`] stores such a subset as a vector of 64-bit words so
-//! that the set operations the duality algorithms perform in their inner loops
-//! (intersection tests, subset tests, differences) run over machine words.
+//! universe `0..n`.  [`VertexSet`] stores such a subset as a bitmap so that the set
+//! operations the duality algorithms perform in their inner loops (intersection tests,
+//! subset tests, differences) run over machine words.
+//!
+//! # Data layout
+//!
+//! Universes of at most [`INLINE_BITS`] vertices — the common case in every generator
+//! and experiment of this repository — are stored **inline** as a single `u64` word with
+//! no heap allocation, so cloning, `with`/`without`, and all binary operations are plain
+//! register copies.  Larger universes transparently **spill** to a `Vec<u64>`; the two
+//! representations are interchangeable (equality, hashing and ordering ignore both the
+//! representation and the declared capacity).  [`VertexSet::grow`] across the
+//! `INLINE_BITS` boundary converts inline sets to spilled ones in place.
 
 use crate::vertex::Vertex;
 use std::cmp::Ordering;
@@ -11,36 +21,134 @@ use std::fmt;
 
 const WORD_BITS: usize = 64;
 
+/// Largest universe size stored inline (one machine word, no heap allocation).
+pub const INLINE_BITS: usize = WORD_BITS;
+
+/// The backing words: one inline `u64` for universes `≤ 64`, a heap vector beyond.
+///
+/// Invariant maintained by every constructor and mutator: bits at positions
+/// `>= capacity` are zero, and the representation is `Inline` exactly when
+/// `capacity <= INLINE_BITS`.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+enum Repr {
+    Inline(u64),
+    Spilled(Vec<u64>),
+}
+
 /// A subset of a vertex universe `{0, 1, …, capacity-1}`, stored as a bitmap.
 ///
-/// The set remembers the universe size it was created with (`capacity`); all binary
-/// operations require both operands to share that universe, which is checked with a
-/// debug assertion.  The capacity is deliberately *not* part of equality: two sets with
-/// the same members compare equal even if allocated for different universes, which makes
-/// restriction operations (`G_S`, `H_S` from the paper) straightforward.
-#[derive(Clone, Eq, serde::Serialize, serde::Deserialize)]
+/// The set remembers the universe size it was created with (`capacity`).  The capacity
+/// is deliberately *not* part of equality: two sets with the same members compare equal
+/// even if allocated for different universes, which makes restriction operations
+/// (`G_S`, `H_S` from the paper) straightforward.
+///
+/// # Capacity of binary operations
+///
+/// All out-of-place binary operations — [`union`](VertexSet::union),
+/// [`intersection`](VertexSet::intersection), [`difference`](VertexSet::difference) —
+/// accept operands over different universes and return a set over the **larger** of the
+/// two (`max(self.capacity, other.capacity)`); members of the missing tail of the
+/// smaller operand are treated as absent.  The in-place variants grow `self` to the
+/// larger universe first where the operation could need it (`union_with`) and otherwise
+/// keep `self`'s capacity.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct VertexSet {
-    words: Vec<u64>,
+    repr: Repr,
     capacity: usize,
+}
+
+impl std::cmp::Eq for VertexSet {}
+
+/// Number of words needed for a universe of `capacity` bits (at least one).
+#[inline]
+fn words_for(capacity: usize) -> usize {
+    capacity.div_ceil(WORD_BITS).max(1)
+}
+
+/// Mask of the valid bits of the last word of a universe of `capacity` bits.
+#[inline]
+fn tail_mask(capacity: usize) -> u64 {
+    let rem = capacity % WORD_BITS;
+    if rem == 0 && capacity > 0 {
+        u64::MAX
+    } else if capacity == 0 {
+        0
+    } else {
+        (1u64 << rem) - 1
+    }
 }
 
 impl VertexSet {
     /// Creates an empty set over a universe of `capacity` vertices.
+    #[inline]
     pub fn empty(capacity: usize) -> Self {
-        let n_words = capacity.div_ceil(WORD_BITS).max(1);
+        let repr = if capacity <= INLINE_BITS {
+            Repr::Inline(0)
+        } else {
+            Repr::Spilled(vec![0; words_for(capacity)])
+        };
+        VertexSet { repr, capacity }
+    }
+
+    /// Creates the full set `{0, …, capacity-1}` (word-wise, no per-bit loop).
+    pub fn full(capacity: usize) -> Self {
+        let repr = if capacity <= INLINE_BITS {
+            Repr::Inline(tail_mask(capacity))
+        } else {
+            let n_words = words_for(capacity);
+            let mut words = vec![u64::MAX; n_words];
+            words[n_words - 1] = tail_mask(capacity);
+            Repr::Spilled(words)
+        };
+        VertexSet { repr, capacity }
+    }
+
+    /// Creates a set over `capacity ≤ 64` vertices directly from a bitmask; bits at
+    /// positions `>= capacity` are ignored.  This is the allocation-free constructor
+    /// the brute-force subset enumerations use instead of per-bit insertion loops.
+    #[inline]
+    pub fn from_bits(capacity: usize, bits: u64) -> Self {
+        assert!(
+            capacity <= INLINE_BITS,
+            "from_bits is limited to universes of {INLINE_BITS} vertices (got {capacity})"
+        );
         VertexSet {
-            words: vec![0; n_words],
+            repr: Repr::Inline(bits & tail_mask(capacity)),
             capacity,
         }
     }
 
-    /// Creates the full set `{0, …, capacity-1}`.
-    pub fn full(capacity: usize) -> Self {
-        let mut s = Self::empty(capacity);
-        for i in 0..capacity {
-            s.insert(Vertex::from(i));
+    /// The set's members as a single bitmask, when the universe fits one word.
+    #[inline]
+    pub fn as_bits(&self) -> Option<u64> {
+        match &self.repr {
+            Repr::Inline(w) => Some(*w),
+            Repr::Spilled(_) => None,
         }
-        s
+    }
+
+    /// The backing words, lowest word first (vertex `i` is bit `i % 64` of word
+    /// `i / 64`).  Inline sets yield a one-word slice.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => std::slice::from_ref(w),
+            Repr::Spilled(words) => words,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline(w) => std::slice::from_mut(w),
+            Repr::Spilled(words) => words,
+        }
+    }
+
+    /// The `i`-th backing word, or `0` beyond the allocated words.
+    #[inline]
+    fn word(&self, i: usize) -> u64 {
+        self.as_words().get(i).copied().unwrap_or(0)
     }
 
     /// Creates a set from an iterator of vertex indices.
@@ -66,16 +174,25 @@ impl VertexSet {
     }
 
     /// Number of elements in the set.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        match &self.repr {
+            Repr::Inline(w) => w.count_ones() as usize,
+            Repr::Spilled(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
     }
 
     /// Whether the set has no elements.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        match &self.repr {
+            Repr::Inline(w) => *w == 0,
+            Repr::Spilled(words) => words.iter().all(|&w| w == 0),
+        }
     }
 
     /// Adds a vertex; returns `true` if it was newly inserted.
+    #[inline]
     pub fn insert(&mut self, v: Vertex) -> bool {
         let i = v.index();
         assert!(
@@ -84,20 +201,23 @@ impl VertexSet {
             self.capacity
         );
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
-        let had = self.words[w] & (1 << b) != 0;
-        self.words[w] |= 1 << b;
+        let word = &mut self.words_mut()[w];
+        let had = *word & (1 << b) != 0;
+        *word |= 1 << b;
         !had
     }
 
     /// Removes a vertex; returns `true` if it was present.
+    #[inline]
     pub fn remove(&mut self, v: Vertex) -> bool {
         let i = v.index();
         if i >= self.capacity {
             return false;
         }
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
-        let had = self.words[w] & (1 << b) != 0;
-        self.words[w] &= !(1 << b);
+        let word = &mut self.words_mut()[w];
+        let had = *word & (1 << b) != 0;
+        *word &= !(1 << b);
         had
     }
 
@@ -109,12 +229,12 @@ impl VertexSet {
             return false;
         }
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
-        self.words[w] & (1 << b) != 0
+        self.word(w) & (1 << b) != 0
     }
 
     /// Iterates over the members in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = Vertex> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+        self.as_words().iter().enumerate().flat_map(|(wi, &word)| {
             let mut bits = word;
             std::iter::from_fn(move || {
                 if bits == 0 {
@@ -140,7 +260,7 @@ impl VertexSet {
 
     /// The largest member, if any.
     pub fn max_vertex(&self) -> Option<Vertex> {
-        for (wi, &word) in self.words.iter().enumerate().rev() {
+        for (wi, &word) in self.as_words().iter().enumerate().rev() {
             if word != 0 {
                 let b = 63 - word.leading_zeros() as usize;
                 return Some(Vertex::from(wi * WORD_BITS + b));
@@ -149,86 +269,77 @@ impl VertexSet {
         None
     }
 
-    fn check_compat(&self, other: &VertexSet) {
-        debug_assert_eq!(
-            self.words.len(),
-            other.words.len(),
-            "vertex sets over different universes ({} vs {})",
-            self.capacity,
-            other.capacity
-        );
-    }
-
-    /// Set union `self ∪ other`.
-    pub fn union(&self, other: &VertexSet) -> VertexSet {
-        self.check_compat(other);
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| a | b)
-            .collect();
-        VertexSet {
-            words,
-            capacity: self.capacity.max(other.capacity),
-        }
-    }
-
-    /// Set intersection `self ∩ other`.
-    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
-        self.check_compat(other);
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| a & b)
-            .collect();
-        VertexSet {
-            words,
-            capacity: self.capacity.max(other.capacity),
-        }
-    }
-
-    /// Set difference `self − other`.
-    pub fn difference(&self, other: &VertexSet) -> VertexSet {
-        self.check_compat(other);
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| a & !b)
-            .collect();
-        VertexSet {
-            words,
-            capacity: self.capacity,
-        }
-    }
-
-    /// Complement with respect to the universe `{0, …, universe-1}`.
-    pub fn complement(&self, universe: usize) -> VertexSet {
-        let mut out = VertexSet::empty(universe);
-        for i in 0..universe {
-            let v = Vertex::from(i);
-            if !self.contains(v) {
-                out.insert(v);
+    /// Builds the result of a word-wise binary operation over the larger universe.
+    #[inline]
+    fn zip_words(&self, other: &VertexSet, f: impl Fn(u64, u64) -> u64) -> VertexSet {
+        let capacity = self.capacity.max(other.capacity);
+        if capacity <= INLINE_BITS {
+            VertexSet {
+                repr: Repr::Inline(f(self.word(0), other.word(0))),
+                capacity,
             }
+        } else {
+            let words = (0..words_for(capacity))
+                .map(|i| f(self.word(i), other.word(i)))
+                .collect();
+            VertexSet {
+                repr: Repr::Spilled(words),
+                capacity,
+            }
+        }
+    }
+
+    /// Set union `self ∪ other` over the larger of the two universes.
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Set intersection `self ∩ other` over the larger of the two universes.
+    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Set difference `self − other` over the larger of the two universes.
+    pub fn difference(&self, other: &VertexSet) -> VertexSet {
+        self.zip_words(other, |a, b| a & !b)
+    }
+
+    /// Complement with respect to the universe `{0, …, universe-1}`, computed word-wise.
+    /// Members of `self` at positions `>= universe` (possible when `self` was allocated
+    /// for a larger universe) are ignored.
+    pub fn complement(&self, universe: usize) -> VertexSet {
+        let mut out = VertexSet::full(universe);
+        for (i, word) in out.words_mut().iter_mut().enumerate() {
+            *word &= !self.word(i);
         }
         out
     }
 
     /// Whether the two sets share at least one element.
+    #[inline]
     pub fn intersects(&self, other: &VertexSet) -> bool {
-        self.check_compat(other);
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
+            return a & b != 0;
+        }
+        let (a, b) = (self.as_words(), other.as_words());
+        let common = a.len().min(b.len());
+        a[..common]
+            .iter()
+            .zip(&b[..common])
+            .any(|(x, y)| x & y != 0)
     }
 
     /// Whether `self ⊆ other`.
+    #[inline]
     pub fn is_subset(&self, other: &VertexSet) -> bool {
-        self.check_compat(other);
-        self.words
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
+            return a & !b == 0;
+        }
+        let b = other.as_words();
+        self.as_words()
             .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+            .enumerate()
+            .all(|(i, &a)| a & !b.get(i).copied().unwrap_or(0) == 0)
     }
 
     /// Whether `self ⊂ other` (proper subset).
@@ -242,41 +353,49 @@ impl VertexSet {
     }
 
     /// Whether the sets are disjoint.
+    #[inline]
     pub fn is_disjoint(&self, other: &VertexSet) -> bool {
         !self.intersects(other)
     }
 
     /// Number of elements shared with `other`.
+    #[inline]
     pub fn intersection_len(&self, other: &VertexSet) -> usize {
-        self.check_compat(other);
-        self.words
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
+            return (a & b).count_ones() as usize;
+        }
+        let (a, b) = (self.as_words(), other.as_words());
+        let common = a.len().min(b.len());
+        a[..common]
             .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
+            .zip(&b[..common])
+            .map(|(x, y)| (x & y).count_ones() as usize)
             .sum()
     }
 
-    /// In-place union.
+    /// In-place union.  Grows `self` to `other`'s universe first when `other` is the
+    /// larger one, so no member of `other` is lost.
     pub fn union_with(&mut self, other: &VertexSet) {
-        self.check_compat(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
+        if other.capacity > self.capacity {
+            self.grow(other.capacity);
+        }
+        for (i, a) in self.words_mut().iter_mut().enumerate() {
+            *a |= other.word(i);
         }
     }
 
-    /// In-place intersection.
+    /// In-place intersection (keeps `self`'s capacity; the result is a subset of
+    /// `self`, so nothing can be lost).
     pub fn intersect_with(&mut self, other: &VertexSet) {
-        self.check_compat(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
+        for (i, a) in self.words_mut().iter_mut().enumerate() {
+            *a &= other.word(i);
         }
     }
 
-    /// In-place difference.
+    /// In-place difference (keeps `self`'s capacity).
     pub fn subtract(&mut self, other: &VertexSet) {
-        self.check_compat(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
+        for (i, a) in self.words_mut().iter_mut().enumerate() {
+            *a &= !other.word(i);
         }
     }
 
@@ -297,31 +416,59 @@ impl VertexSet {
         s
     }
 
-    /// Grows the universe to at least `capacity` (members are preserved).
+    /// Grows the universe to at least `capacity` (members are preserved).  Growing past
+    /// [`INLINE_BITS`] spills the inline word to the heap representation.
     pub fn grow(&mut self, capacity: usize) {
-        if capacity > self.capacity {
-            self.capacity = capacity;
-            let n_words = capacity.div_ceil(WORD_BITS).max(1);
-            self.words.resize(n_words, 0);
+        if capacity <= self.capacity {
+            return;
+        }
+        self.capacity = capacity;
+        if capacity <= INLINE_BITS {
+            return; // still one word
+        }
+        let n_words = words_for(capacity);
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                let mut words = vec![0; n_words];
+                words[0] = *w;
+                self.repr = Repr::Spilled(words);
+            }
+            Repr::Spilled(words) => words.resize(n_words, 0),
         }
     }
 
     /// Lexicographic comparison by sorted member lists (used by the deterministic
-    /// tie-breaking rules fixed in Section 2 of the paper).
+    /// tie-breaking rules fixed in Section 2 of the paper), computed word-wise: the
+    /// smallest element of the symmetric difference decides, except that a set that is
+    /// a strict prefix of the other (as a sorted sequence) compares smaller.
     pub fn lex_cmp(&self, other: &VertexSet) -> Ordering {
-        let mut a = self.iter();
-        let mut b = other.iter();
-        loop {
-            match (a.next(), b.next()) {
-                (None, None) => return Ordering::Equal,
-                (None, Some(_)) => return Ordering::Less,
-                (Some(_), None) => return Ordering::Greater,
-                (Some(x), Some(y)) => match x.cmp(&y) {
-                    Ordering::Equal => continue,
-                    ord => return ord,
-                },
+        let (a, b) = (self.as_words(), other.as_words());
+        let n = a.len().max(b.len());
+        for i in 0..n {
+            let (x, y) = (self.word(i), other.word(i));
+            let diff = x ^ y;
+            if diff == 0 {
+                continue;
             }
+            // Lowest differing bit: the smallest element present in exactly one set.
+            let bit = diff & diff.wrapping_neg();
+            let above = !(bit | (bit - 1));
+            return if x & bit != 0 {
+                // The element is ours.  We are smaller iff the other set still has a
+                // later element to compare it against; otherwise the other set is a
+                // strict prefix of ours and compares smaller.
+                if y & above != 0 || b.iter().skip(i + 1).any(|&w| w != 0) {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            } else if x & above != 0 || a.iter().skip(i + 1).any(|&w| w != 0) {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            };
         }
+        Ordering::Equal
     }
 
     /// Encoded length in bits when the set is written down as a bitmap over its
@@ -333,27 +480,21 @@ impl VertexSet {
 
 impl PartialEq for VertexSet {
     fn eq(&self, other: &Self) -> bool {
-        let max_words = self.words.len().max(other.words.len());
-        for i in 0..max_words {
-            let a = self.words.get(i).copied().unwrap_or(0);
-            let b = other.words.get(i).copied().unwrap_or(0);
-            if a != b {
-                return false;
-            }
-        }
-        true
+        let max_words = self.as_words().len().max(other.as_words().len());
+        (0..max_words).all(|i| self.word(i) == other.word(i))
     }
 }
 
 impl std::hash::Hash for VertexSet {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Hash only up to the last non-zero word so that equal sets over different
-        // universes hash identically (consistent with PartialEq).
-        let mut last = self.words.len();
-        while last > 0 && self.words[last - 1] == 0 {
+        // universes (and representations) hash identically, consistent with PartialEq.
+        let words = self.as_words();
+        let mut last = words.len();
+        while last > 0 && words[last - 1] == 0 {
             last -= 1;
         }
-        self.words[..last].hash(state);
+        words[..last].hash(state);
     }
 }
 
@@ -432,6 +573,16 @@ mod tests {
     }
 
     #[test]
+    fn full_at_word_boundaries() {
+        for cap in [0, 1, 63, 64, 65, 127, 128, 129] {
+            let f = VertexSet::full(cap);
+            assert_eq!(f.len(), cap, "full({cap})");
+            assert_eq!(f.complement(cap).len(), 0, "complement of full({cap})");
+            assert_eq!(VertexSet::empty(cap).complement(cap).len(), cap);
+        }
+    }
+
+    #[test]
     fn insert_remove_contains() {
         let mut s = VertexSet::empty(70);
         assert!(s.insert(Vertex::new(3)));
@@ -444,6 +595,44 @@ mod tests {
         assert!(s.remove(Vertex::new(3)));
         assert!(!s.remove(Vertex::new(3)));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn inline_and_spilled_representations() {
+        let small = VertexSet::from_indices(64, [0, 63]);
+        assert_eq!(small.as_bits(), Some(1 | (1 << 63)));
+        assert_eq!(small.as_words(), &[1 | (1 << 63)]);
+        let big = VertexSet::from_indices(65, [0, 64]);
+        assert_eq!(big.as_bits(), None);
+        assert_eq!(big.as_words(), &[1, 1]);
+        // Same members, different representations: still equal and same hash.
+        let a = VertexSet::from_indices(10, [1, 2]);
+        let b = VertexSet::from_indices(100, [1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_bits_matches_per_bit_construction() {
+        for mask in [0u64, 1, 0b1010, 0xFFFF_FFFF_FFFF_FFFF] {
+            let n = 64;
+            let direct = VertexSet::from_bits(n, mask);
+            let looped = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+            assert_eq!(direct, looped);
+        }
+        // Bits beyond the capacity are ignored.
+        assert_eq!(VertexSet::from_bits(3, 0b11111).to_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn grow_spills_across_the_inline_boundary() {
+        let mut s = VertexSet::from_indices(64, [0, 63]);
+        assert!(s.as_bits().is_some());
+        s.grow(65);
+        assert!(s.as_bits().is_none());
+        assert!(s.contains(Vertex::new(0)));
+        assert!(s.contains(Vertex::new(63)));
+        s.insert(Vertex::new(64));
+        assert_eq!(s.to_indices(), vec![0, 63, 64]);
     }
 
     #[test]
@@ -469,6 +658,38 @@ mod tests {
     }
 
     #[test]
+    fn binary_ops_take_the_larger_capacity() {
+        // Regression test for the historical inconsistency where `difference` kept
+        // `self.capacity` while `union`/`intersection` took the max.
+        let small = VertexSet::from_indices(5, [0, 1]);
+        let large = VertexSet::from_indices(100, [1, 70]);
+        assert_eq!(small.union(&large).capacity(), 100);
+        assert_eq!(small.intersection(&large).capacity(), 100);
+        assert_eq!(small.difference(&large).capacity(), 100);
+        assert_eq!(large.difference(&small).capacity(), 100);
+        // And the members are right across the representation boundary.
+        assert_eq!(small.union(&large).to_indices(), vec![0, 1, 70]);
+        assert_eq!(small.intersection(&large).to_indices(), vec![1]);
+        assert_eq!(small.difference(&large).to_indices(), vec![0]);
+        assert_eq!(large.difference(&small).to_indices(), vec![70]);
+    }
+
+    #[test]
+    fn in_place_ops_across_universes() {
+        let mut a = VertexSet::from_indices(5, [0, 1]);
+        let large = VertexSet::from_indices(100, [1, 70]);
+        a.union_with(&large);
+        assert_eq!(a.capacity(), 100, "union_with grows to the larger universe");
+        assert_eq!(a.to_indices(), vec![0, 1, 70]);
+        let mut b = VertexSet::from_indices(100, [1, 70]);
+        b.intersect_with(&VertexSet::from_indices(5, [1, 2]));
+        assert_eq!(b.to_indices(), vec![1], "tail words are cleared");
+        let mut c = VertexSet::from_indices(100, [1, 70]);
+        c.subtract(&VertexSet::from_indices(5, [1]));
+        assert_eq!(c.to_indices(), vec![70]);
+    }
+
+    #[test]
     fn subset_relations() {
         let a = VertexSet::from_indices(10, [1, 2]);
         let b = VertexSet::from_indices(10, [1, 2, 3]);
@@ -478,6 +699,10 @@ mod tests {
         assert!(!b.is_subset(&a));
         assert!(a.is_subset(&a));
         assert!(!a.is_proper_subset(&a));
+        // across representations
+        let big = VertexSet::from_indices(80, [1, 2, 70]);
+        assert!(a.is_subset(&big));
+        assert!(!big.is_subset(&a));
     }
 
     #[test]
@@ -488,6 +713,11 @@ mod tests {
             VertexSet::empty(3).complement(3).to_indices(),
             vec![0, 1, 2]
         );
+        // complement w.r.t. a larger universe than the set's own
+        assert_eq!(a.complement(7).to_indices(), vec![1, 3, 4, 5, 6]);
+        // members beyond the universe are ignored
+        let wide = VertexSet::from_indices(100, [0, 80]);
+        assert_eq!(wide.complement(3).to_indices(), vec![1, 2]);
     }
 
     #[test]
@@ -517,12 +747,40 @@ mod tests {
     }
 
     #[test]
+    fn lexicographic_order_matches_sorted_lists_across_words() {
+        // Word-wise lex_cmp must agree with comparing the sorted index vectors.
+        let sets = [
+            VertexSet::empty(130),
+            VertexSet::from_indices(130, [0]),
+            VertexSet::from_indices(130, [0, 64]),
+            VertexSet::from_indices(130, [0, 65]),
+            VertexSet::from_indices(130, [64]),
+            VertexSet::from_indices(130, [64, 129]),
+            VertexSet::from_indices(130, [65]),
+            VertexSet::from_indices(130, [0, 1, 2]),
+            VertexSet::from_indices(130, [0, 1]),
+            VertexSet::from_indices(130, [129]),
+        ];
+        for x in &sets {
+            for y in &sets {
+                assert_eq!(
+                    x.lex_cmp(y),
+                    x.to_indices().cmp(&y.to_indices()),
+                    "lex_cmp({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn with_and_without() {
         let a = VertexSet::from_indices(10, [1, 2]);
         assert_eq!(a.with(Vertex::new(5)).to_indices(), vec![1, 2, 5]);
         assert_eq!(a.without(Vertex::new(1)).to_indices(), vec![2]);
         // original untouched
         assert_eq!(a.to_indices(), vec![1, 2]);
+        // `with` past the capacity grows (and may spill)
+        assert_eq!(a.with(Vertex::new(99)).to_indices(), vec![1, 2, 99]);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Model-based property suite for the small-set-optimized [`VertexSet`].
+//!
+//! Every operation — construction, mutation, growth across the 64→65 inline/spill
+//! boundary, the binary algebra, the predicates, complement, and the lexicographic
+//! order — is checked against a `BTreeSet<usize>` reference model.  Random op
+//! sequences drive a pair of sets through mixed universes (1..=130 vertices) so
+//! inline×inline, inline×spilled, and spilled×spilled combinations are all hit, and a
+//! dedicated case walks the exact 64→65 capacity boundary.
+
+use proptest::prelude::*;
+use qld_hypergraph::{Vertex, VertexSet, INLINE_BITS};
+use std::collections::BTreeSet;
+
+/// A set under test paired with its reference model.
+struct Checked {
+    real: VertexSet,
+    model: BTreeSet<usize>,
+    capacity: usize,
+}
+
+impl Checked {
+    fn new(capacity: usize) -> Self {
+        Checked {
+            real: VertexSet::empty(capacity),
+            model: BTreeSet::new(),
+            capacity,
+        }
+    }
+
+    fn insert(&mut self, v: usize) {
+        let v = v % self.capacity.max(1);
+        assert_eq!(self.real.insert(Vertex::from(v)), self.model.insert(v));
+    }
+
+    fn remove(&mut self, v: usize) {
+        // Removal of out-of-universe vertices is a no-op on both sides.
+        assert_eq!(self.real.remove(Vertex::from(v)), self.model.remove(&v));
+    }
+
+    fn grow(&mut self, capacity: usize) {
+        self.real.grow(capacity);
+        self.capacity = self.capacity.max(capacity);
+    }
+
+    /// Full invariant battery against the model.
+    fn check(&self) {
+        assert_eq!(self.real.len(), self.model.len());
+        assert_eq!(self.real.is_empty(), self.model.is_empty());
+        assert_eq!(
+            self.real.to_indices(),
+            self.model.iter().copied().collect::<Vec<_>>(),
+            "iteration order"
+        );
+        assert_eq!(
+            self.real.min_vertex().map(|v| v.index()),
+            self.model.first().copied()
+        );
+        assert_eq!(
+            self.real.max_vertex().map(|v| v.index()),
+            self.model.last().copied()
+        );
+        // Membership, probed across the universe and one step past it.
+        for v in 0..=self.capacity {
+            assert_eq!(
+                self.real.contains(Vertex::from(v)),
+                self.model.contains(&v),
+                "contains({v}) at capacity {}",
+                self.capacity
+            );
+        }
+        // Representation: inline exactly when the universe fits one word.
+        assert_eq!(self.real.as_bits().is_some(), self.capacity <= INLINE_BITS);
+        if let Some(bits) = self.real.as_bits() {
+            let rebuilt = VertexSet::from_bits(self.capacity, bits);
+            assert_eq!(rebuilt, self.real, "from_bits round trip");
+        }
+        // Complement partitions the universe.
+        let co = self.real.complement(self.capacity);
+        let co_model: BTreeSet<usize> = (0..self.capacity)
+            .filter(|v| !self.model.contains(v))
+            .collect();
+        assert_eq!(
+            co.to_indices(),
+            co_model.iter().copied().collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Binary-operation battery for a pair of checked sets.
+fn check_pair(a: &Checked, b: &Checked) {
+    let (ra, rb) = (&a.real, &b.real);
+    let (ma, mb) = (&a.model, &b.model);
+    let expect = |s: &BTreeSet<usize>| s.iter().copied().collect::<Vec<_>>();
+
+    let union: BTreeSet<usize> = ma.union(mb).copied().collect();
+    let inter: BTreeSet<usize> = ma.intersection(mb).copied().collect();
+    let diff: BTreeSet<usize> = ma.difference(mb).copied().collect();
+    assert_eq!(ra.union(rb).to_indices(), expect(&union));
+    assert_eq!(ra.intersection(rb).to_indices(), expect(&inter));
+    assert_eq!(ra.difference(rb).to_indices(), expect(&diff));
+    // Documented capacity rule: binary results cover the larger universe.
+    let max_cap = a.capacity.max(b.capacity);
+    assert_eq!(ra.union(rb).capacity(), max_cap);
+    assert_eq!(ra.intersection(rb).capacity(), max_cap);
+    assert_eq!(ra.difference(rb).capacity(), max_cap);
+
+    assert_eq!(ra.intersects(rb), !inter.is_empty());
+    assert_eq!(ra.is_disjoint(rb), inter.is_empty());
+    assert_eq!(ra.is_subset(rb), ma.is_subset(mb));
+    assert_eq!(ra.is_superset(rb), ma.is_superset(mb));
+    assert_eq!(ra.is_proper_subset(rb), ma.is_subset(mb) && ma != mb);
+    assert_eq!(ra.intersection_len(rb), inter.len());
+    assert_eq!(ra == rb, ma == mb, "equality ignores capacity");
+    assert_eq!(
+        ra.lex_cmp(rb),
+        expect(ma).cmp(&expect(mb)),
+        "lex_cmp vs sorted member lists: {ra} vs {rb}"
+    );
+
+    // In-place variants agree with their out-of-place counterparts.
+    let mut t = ra.clone();
+    t.union_with(rb);
+    assert_eq!(t.to_indices(), expect(&union), "union_with");
+    let mut t = ra.clone();
+    t.intersect_with(rb);
+    assert_eq!(t.to_indices(), expect(&inter), "intersect_with");
+    let mut t = ra.clone();
+    t.subtract(rb);
+    assert_eq!(t.to_indices(), expect(&diff), "subtract");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random op sequences over a pair of sets with independent universes.
+    #[test]
+    fn vertexset_agrees_with_btreeset_model(
+        cap_a in 1usize..=130,
+        cap_b in 1usize..=130,
+        ops in prop::collection::vec(0u64..u64::MAX, 0usize..=80),
+    ) {
+        let mut a = Checked::new(cap_a);
+        let mut b = Checked::new(cap_b);
+        for op in ops {
+            let target_b = op % 2 == 1;
+            let kind = (op / 2) % 4;
+            let arg = (op / 8) as usize % 140;
+            let t = if target_b { &mut b } else { &mut a };
+            match kind {
+                0 => t.insert(arg),
+                1 => t.remove(arg),
+                2 => t.grow(arg.max(1)),
+                _ => {
+                    // `with`/`without` round trip: fresh copies, original untouched.
+                    let v = Vertex::from(arg);
+                    let with = t.real.with(v);
+                    assert!(with.contains(v));
+                    let without = t.real.without(v);
+                    assert!(!without.contains(v));
+                }
+            }
+            t.check();
+        }
+        check_pair(&a, &b);
+        check_pair(&b, &a);
+    }
+
+    /// The 64→65 boundary: grow an inline set one vertex past the word, then keep
+    /// mutating; the spill must preserve members and every predicate.
+    #[test]
+    fn inline_to_spill_boundary(
+        members in prop::collection::vec(0usize..64, 0usize..=24),
+        extra in prop::collection::vec(0usize..130, 0usize..=24),
+    ) {
+        let mut s = Checked::new(INLINE_BITS);
+        for v in members {
+            s.insert(v);
+        }
+        s.check();
+        assert!(s.real.as_bits().is_some(), "still inline at capacity 64");
+        let before = s.real.to_indices();
+
+        s.grow(INLINE_BITS + 1);
+        s.check();
+        assert!(s.real.as_bits().is_none(), "spilled at capacity 65");
+        assert_eq!(s.real.to_indices(), before, "spill preserves members");
+        s.insert(INLINE_BITS); // vertex 64 is now in range
+        s.check();
+
+        let mut grown = Checked::new(130);
+        for v in extra {
+            grown.insert(v);
+        }
+        grown.check();
+        check_pair(&s, &grown);
+        check_pair(&grown, &s);
+    }
+}

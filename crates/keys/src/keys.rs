@@ -65,7 +65,7 @@ pub fn minimal_keys_brute(r: &RelationInstance) -> Hypergraph {
     );
     let mut keys = Vec::new();
     for mask in 0u64..(1u64 << n) {
-        let s = VertexSet::from_indices(n, (0..n).filter(|i| mask & (1 << i) != 0));
+        let s = VertexSet::from_bits(n, mask);
         if r.is_minimal_key(&s) {
             keys.push(s);
         }

@@ -1,6 +1,6 @@
-//! Integration tests for the daemon surface: the Unix-socket transport with
-//! concurrent clients, out-of-order (`order=arrival`) streaming, and the
-//! per-request `solver=` override on the wire.
+//! Integration tests for the daemon surface: the Unix-socket and TCP
+//! transports with concurrent clients, out-of-order (`order=arrival`)
+//! streaming, and the per-request `solver=` override on the wire.
 
 use qld_engine::{Engine, EngineConfig, OrderMode, ServeOptions, SolverKind, SolverPolicy};
 use qld_hypergraph::Hypergraph;
@@ -127,6 +127,88 @@ mod socket {
         let summary = runner.join().unwrap().unwrap();
         assert_eq!(summary.requests, 3);
         assert_eq!(summary.errors, 2);
+    }
+}
+
+mod tcp {
+    use super::*;
+    use qld_engine::TcpServer;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    /// One client session over TCP: connect, send `lines`, close the write
+    /// side, read every response line until EOF.
+    fn client_session(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for line in lines {
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+        }
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        BufReader::new(stream).lines().map(|l| l.unwrap()).collect()
+    }
+
+    #[test]
+    fn tcp_sessions_mirror_socket_sessions() {
+        let eng = Arc::new(engine(4));
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let eng_ref = Arc::clone(&eng);
+        let runner = thread::spawn(move || server.run(&eng_ref, ServeOptions::default()));
+
+        const PER_CLIENT: usize = 10;
+        let mut clients = Vec::new();
+        for name in ["carol", "dave"] {
+            clients.push(thread::spawn(move || {
+                let lines: Vec<String> = (0..PER_CLIENT)
+                    .map(|i| format!("check 0,1;2,3 0,2;0,3;1,2;1,3 id={name}-{i}"))
+                    .collect();
+                (name, client_session(addr, &lines))
+            }));
+        }
+        for client in clients {
+            let (name, responses) = client.join().unwrap();
+            assert_eq!(responses.len(), PER_CLIENT, "{name}");
+            for (i, line) in responses.iter().enumerate() {
+                assert!(
+                    line.starts_with(&format!("{{\"id\":{i},\"client_id\":\"{name}-{i}\"")),
+                    "{name} line {i}: {line}"
+                );
+                assert!(line.contains("\"dual\":true"), "{name} line {i}: {line}");
+            }
+        }
+        handle.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        assert_eq!(summary.connections, 2);
+        assert_eq!(summary.requests, 2 * PER_CLIENT as u64);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn tcp_arrival_order_override_works_on_the_wire() {
+        let eng = Arc::new(engine(2));
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let eng_ref = Arc::clone(&eng);
+        let runner = thread::spawn(move || {
+            server.run(
+                &eng_ref,
+                ServeOptions {
+                    order: OrderMode::Arrival,
+                },
+            )
+        });
+        let responses = client_session(
+            addr,
+            &["check 0,1 0;1 id=a".to_string(), "stats id=b".to_string()],
+        );
+        assert_eq!(responses.len(), 2);
+        assert!(responses.iter().any(|l| l.contains("\"client_id\":\"a\"")));
+        assert!(responses.iter().any(|l| l.contains("\"kind\":\"stats\"")));
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
     }
 }
 
