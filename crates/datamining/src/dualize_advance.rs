@@ -47,7 +47,9 @@ pub fn dualize_and_advance_with(
     let mut minimal = Hypergraph::new(n);
     let mut stats = AdvanceStats::default();
     loop {
-        let inst = IdentificationInstance::new(relation, z, minimal.clone(), maximal.clone());
+        // The instance borrows the growing border families: no per-iteration
+        // clone (this loop runs |IS⁺| + |IS⁻| + 1 times).
+        let inst = IdentificationInstance::new(relation, z, &minimal, &maximal);
         stats.identification_calls += 1;
         match identify_with(&inst, solver)? {
             Identification::Complete => break,

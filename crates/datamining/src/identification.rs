@@ -11,6 +11,7 @@
 use crate::relation::BooleanRelation;
 use qld_core::{DualError, DualityResult, DualitySolver, NonDualWitness, QuadLogspaceSolver};
 use qld_hypergraph::{Hypergraph, VertexSet};
+use std::borrow::Cow;
 
 /// Why an input family is not a valid partial border.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,16 +43,21 @@ pub enum Identification {
 }
 
 /// An instance of the identification problem.
-#[derive(Debug, Clone)]
+///
+/// The border families are **borrowed**, not owned: identification is the
+/// inner-loop step of `dualize_and_advance`, which re-asks the question after
+/// every discovered border element, and cloning the (growing) families once
+/// per call used to dominate that loop's constant factor.
+#[derive(Debug, Clone, Copy)]
 pub struct IdentificationInstance<'a> {
     /// The Boolean-valued relation `M`.
     pub relation: &'a BooleanRelation,
     /// The frequency threshold `z`.
     pub threshold: usize,
     /// The known minimal infrequent itemsets `G ⊆ IS⁻(M, z)`.
-    pub minimal_infrequent: Hypergraph,
+    pub minimal_infrequent: &'a Hypergraph,
     /// The known maximal frequent itemsets `H ⊆ IS⁺(M, z)`.
-    pub maximal_frequent: Hypergraph,
+    pub maximal_frequent: &'a Hypergraph,
 }
 
 impl<'a> IdentificationInstance<'a> {
@@ -59,8 +65,8 @@ impl<'a> IdentificationInstance<'a> {
     pub fn new(
         relation: &'a BooleanRelation,
         threshold: usize,
-        minimal_infrequent: Hypergraph,
-        maximal_frequent: Hypergraph,
+        minimal_infrequent: &'a Hypergraph,
+        maximal_frequent: &'a Hypergraph,
     ) -> Self {
         IdentificationInstance {
             relation,
@@ -71,16 +77,26 @@ impl<'a> IdentificationInstance<'a> {
     }
 
     /// The `DUAL` instance `(Hᶜ, G)` of Proposition 1.1 (is `G = tr(Hᶜ)`?).
-    pub fn dual_instance(&self) -> (Hypergraph, Hypergraph) {
+    ///
+    /// `Hᶜ` is necessarily a fresh hypergraph (the complements are computed),
+    /// but `G` is only copied when it has to be regrown to the relation's item
+    /// universe — in the common case (families already over the full
+    /// universe, as `dualize_and_advance` maintains them) it is borrowed
+    /// as-is.
+    pub fn dual_instance(&self) -> (Hypergraph, Cow<'a, Hypergraph>) {
         let mut h_c = self.maximal_frequent.complement_edges();
         // Ensure the complements live over the full item universe even when H is empty.
         if h_c.num_vertices() < self.relation.num_items() {
             h_c = Hypergraph::from_edges(self.relation.num_items(), h_c.edges().iter().cloned());
         }
-        let mut g = self.minimal_infrequent.clone();
-        if g.num_vertices() < self.relation.num_items() {
-            g = Hypergraph::from_edges(self.relation.num_items(), g.edges().iter().cloned());
-        }
+        let g = if self.minimal_infrequent.num_vertices() < self.relation.num_items() {
+            Cow::Owned(Hypergraph::from_edges(
+                self.relation.num_items(),
+                self.minimal_infrequent.edges().iter().cloned(),
+            ))
+        } else {
+            Cow::Borrowed(self.minimal_infrequent)
+        };
         (h_c, g)
     }
 }
@@ -125,7 +141,7 @@ pub fn identify_with(
     }
 
     let (h_c, g) = instance.dual_instance();
-    match solver.decide(&h_c, &g)? {
+    match solver.decide(&h_c, g.as_ref())? {
         DualityResult::Dual => Ok(Identification::Complete),
         DualityResult::NotDual(witness) => {
             let seed = seed_from_witness(m, z, instance, &witness);
@@ -197,12 +213,7 @@ mod tests {
         let m = sample();
         let z = 2;
         let b = borders_exact(&m, z);
-        let inst = IdentificationInstance::new(
-            &m,
-            z,
-            b.minimal_infrequent.clone(),
-            b.maximal_frequent.clone(),
-        );
+        let inst = IdentificationInstance::new(&m, z, &b.minimal_infrequent, &b.maximal_frequent);
         assert_eq!(identify(&inst).unwrap(), Identification::Complete);
     }
 
@@ -213,8 +224,7 @@ mod tests {
         let b = borders_exact(&m, z);
         let mut partial_h = b.maximal_frequent.clone();
         let removed = partial_h.remove_edge(1);
-        let inst =
-            IdentificationInstance::new(&m, z, b.minimal_infrequent.clone(), partial_h.clone());
+        let inst = IdentificationInstance::new(&m, z, &b.minimal_infrequent, &partial_h);
         match identify(&inst).unwrap() {
             Identification::Incomplete(NewBorderElement::MaximalFrequent(s)) => {
                 assert!(m.is_maximal_frequent(&s, z));
@@ -233,8 +243,7 @@ mod tests {
         let b = borders_exact(&m, z);
         let mut partial_g = b.minimal_infrequent.clone();
         let removed = partial_g.remove_edge(0);
-        let inst =
-            IdentificationInstance::new(&m, z, partial_g.clone(), b.maximal_frequent.clone());
+        let inst = IdentificationInstance::new(&m, z, &partial_g, &b.maximal_frequent);
         match identify(&inst).unwrap() {
             Identification::Incomplete(NewBorderElement::MinimalInfrequent(s)) => {
                 assert!(m.is_minimal_infrequent(&s, z));
@@ -252,14 +261,14 @@ mod tests {
         let b = borders_exact(&m, z);
         // {0} is frequent but not maximal
         let bad_h = Hypergraph::from_edges(4, [vset![4; 0]]);
-        let inst = IdentificationInstance::new(&m, z, b.minimal_infrequent.clone(), bad_h);
+        let inst = IdentificationInstance::new(&m, z, &b.minimal_infrequent, &bad_h);
         assert!(matches!(
             identify(&inst).unwrap(),
             Identification::Invalid(InvalidBorder::NotMaximalFrequent(_))
         ));
         // {0,3} is infrequent but not minimal
         let bad_g = Hypergraph::from_edges(4, [vset![4; 0, 3]]);
-        let inst = IdentificationInstance::new(&m, z, bad_g, b.maximal_frequent.clone());
+        let inst = IdentificationInstance::new(&m, z, &bad_g, &b.maximal_frequent);
         assert!(matches!(
             identify(&inst).unwrap(),
             Identification::Invalid(InvalidBorder::NotMinimalInfrequent(_))
@@ -270,7 +279,8 @@ mod tests {
     fn empty_borders_yield_a_first_element() {
         let m = sample();
         let z = 2;
-        let inst = IdentificationInstance::new(&m, z, Hypergraph::new(4), Hypergraph::new(4));
+        let empty = Hypergraph::new(4);
+        let inst = IdentificationInstance::new(&m, z, &empty, &empty);
         match identify(&inst).unwrap() {
             Identification::Incomplete(elem) => match elem {
                 NewBorderElement::MaximalFrequent(s) => assert!(m.is_maximal_frequent(&s, z)),
@@ -287,7 +297,7 @@ mod tests {
         let m = sample();
         let z = m.num_rows(); // even ∅ is infrequent
         let empty = Hypergraph::new(4);
-        let inst = IdentificationInstance::new(&m, z, empty.clone(), empty.clone());
+        let inst = IdentificationInstance::new(&m, z, &empty, &empty);
         match identify(&inst).unwrap() {
             Identification::Incomplete(NewBorderElement::MinimalInfrequent(s)) => {
                 assert!(s.is_empty())
@@ -296,7 +306,7 @@ mod tests {
         }
         // and with the correct borders it is complete
         let g = Hypergraph::from_edges(4, [VertexSet::empty(4)]);
-        let inst = IdentificationInstance::new(&m, z, g, empty);
+        let inst = IdentificationInstance::new(&m, z, &g, &empty);
         assert_eq!(identify(&inst).unwrap(), Identification::Complete);
     }
 }

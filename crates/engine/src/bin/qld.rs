@@ -48,6 +48,9 @@ OPTIONS:
   --cache-capacity N   LRU result-cache entry bound (default 65536)
   --cache-ttl SECS     expire cache entries SECS seconds after insertion
                        (0 = no TTL, the default)
+  --cache-file PATH    persist the result cache across restarts: restore it
+                       from PATH at startup (if the snapshot exists) and, for
+                       `serve`, write it back on graceful shutdown
   --solver S           auto | bm | quadlog | quadlog-recompute  (default auto)
   --limit K            (enumerate) stop after K transversals
   --threshold Z        (mine) frequency threshold: frequent iff freq > Z
@@ -60,6 +63,10 @@ OPTIONS:
                        bind loopback unless the network is trusted)
   --order MODE         (serve) input (default: responses in request order) or
                        arrival (stream responses as they complete)
+
+A `--socket`/`--tcp` daemon shuts down gracefully on SIGINT or SIGTERM:
+in-flight responses are drained, the cache snapshot is written (with
+--cache-file), and the process exits 0 after printing a final summary.
 
 WIRE FORMAT (one request per line, for `serve`; full spec in docs/WIRE.md):
   check <G> <H>           e.g.  check 0,1;2,3 0,2;0,3;1,2;1,3
@@ -91,6 +98,7 @@ struct Options {
     cache: bool,
     cache_capacity: Option<usize>,
     cache_ttl: Option<Duration>,
+    cache_file: Option<String>,
     solver: Option<SolverKind>,
     limit: Option<usize>,
     threshold: Option<usize>,
@@ -110,6 +118,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache: true,
         cache_capacity: None,
         cache_ttl: None,
+        cache_file: None,
         solver: None,
         limit: None,
         threshold: None,
@@ -144,6 +153,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 // 0 means "no TTL", not "everything already expired".
                 opts.cache_ttl = (secs > 0).then(|| Duration::from_secs(secs as u64));
             }
+            "--cache-file" => opts.cache_file = Some(value_of("--cache-file")?),
             "--socket" => opts.socket = Some(value_of("--socket")?),
             "--tcp" => opts.tcp = Some(value_of("--tcp")?),
             "--order" => {
@@ -198,6 +208,7 @@ fn engine_from(opts: &Options) -> Engine {
         cache_capacity: opts.cache_capacity.unwrap_or(defaults.cache_capacity),
         cache_ttl: opts.cache_ttl,
         policy,
+        cache_file: opts.cache_file.as_ref().map(std::path::PathBuf::from),
     })
 }
 
@@ -292,6 +303,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     let opts = parse_options(&args[1..])?;
     let engine = engine_from(&opts);
+    report_cache_restore(&engine);
     match command {
         "check" => {
             let [g, h] = two_positional(&opts, "check <G.qld> <H.qld>")?;
@@ -385,6 +397,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 cache.evictions,
                 engine.config().workers
             );
+            save_cache_snapshot(&engine);
             Ok(ExitCode::SUCCESS)
         }
         "--help" | "-h" | "help" => {
@@ -395,8 +408,64 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// Reports entries restored from the configured cache snapshot — or the
+/// reason a configured warm start failed (the command still runs, cold).
+/// Called for every subcommand: a corrupt `--cache-file` must never be
+/// silently ignored, whichever way the engine was started.
+fn report_cache_restore(engine: &Engine) {
+    if let Some(reason) = engine.cache_restore_error() {
+        eprintln!("qld: warning: cache snapshot not restored: {reason}");
+    } else if engine.cache_restored() > 0 {
+        eprintln!(
+            "qld: restored {} cache entry(ies) from the snapshot",
+            engine.cache_restored()
+        );
+    }
+}
+
+/// Writes the configured cache snapshot (if `--cache-file` was given).  A
+/// failed write is reported but does not turn a clean shutdown into a failed
+/// exit — the responses already served stay valid.
+fn save_cache_snapshot(engine: &Engine) {
+    match engine.save_configured_cache_snapshot() {
+        Ok(Some(written)) => {
+            eprintln!("qld serve: wrote cache snapshot ({written} entry(ies))");
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("qld serve: warning: cache snapshot not written: {e}"),
+    }
+}
+
+/// Arms SIGINT/SIGTERM to trip `shutdown` (a captured server shutdown
+/// handle), so `kill -TERM` or Ctrl-C drains the daemon instead of killing it
+/// mid-response.  On platforms without the signal shim backend the daemon
+/// still runs; it just cannot be stopped gracefully from outside.
+fn arm_shutdown_signals(shutdown: impl FnOnce() + Send + 'static) {
+    use signal::Signal;
+    let armed = qld_engine::trip_on_signals(&[Signal::Interrupt, Signal::Terminate], move |sig| {
+        eprintln!(
+            "qld serve: received {}, draining connections and shutting down",
+            sig.name()
+        );
+        shutdown();
+    });
+    match armed {
+        Ok(()) => eprintln!("qld serve: SIGINT/SIGTERM will drain connections and exit cleanly"),
+        Err(e) => eprintln!("qld serve: warning: signal-driven shutdown unavailable: {e}"),
+    }
+}
+
+/// Prints the final daemon summary and writes the cache snapshot.
+fn finish_daemon(engine: &Engine, summary: qld_engine::TransportSummary) {
+    eprintln!(
+        "qld serve: {} connection(s), {} request(s), {} error(s), {} panicked session(s)",
+        summary.connections, summary.requests, summary.errors, summary.panicked
+    );
+    save_cache_snapshot(engine);
+}
+
 /// Runs the persistent daemon: bind the Unix socket and serve connections
-/// until the process is killed (the accept loop has no CLI-level stop).
+/// until a SIGINT/SIGTERM (or the shutdown handle) drains the accept loop.
 #[cfg(unix)]
 fn serve_socket(engine: Engine, socket: &str, options: ServeOptions) -> Result<ExitCode, String> {
     let engine = Arc::new(engine);
@@ -407,13 +476,12 @@ fn serve_socket(engine: Engine, socket: &str, options: ServeOptions) -> Result<E
         engine.config().workers,
         options.order.name()
     );
+    let handle = server.shutdown_handle();
+    arm_shutdown_signals(move || handle.shutdown());
     let summary = server
         .run(&engine, options)
         .map_err(|e| format!("serve: {e}"))?;
-    eprintln!(
-        "qld serve: {} connection(s), {} request(s), {} error(s)",
-        summary.connections, summary.requests, summary.errors
-    );
+    finish_daemon(&engine, summary);
     Ok(ExitCode::SUCCESS)
 }
 
@@ -427,7 +495,7 @@ fn serve_socket(
 }
 
 /// Runs the persistent TCP daemon: bind the address and serve connections
-/// until the process is killed.
+/// until a SIGINT/SIGTERM (or the shutdown handle) drains the accept loop.
 fn serve_tcp(engine: Engine, addr: &str, options: ServeOptions) -> Result<ExitCode, String> {
     let engine = Arc::new(engine);
     let server = qld_engine::TcpServer::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
@@ -437,13 +505,12 @@ fn serve_tcp(engine: Engine, addr: &str, options: ServeOptions) -> Result<ExitCo
         engine.config().workers,
         options.order.name()
     );
+    let handle = server.shutdown_handle();
+    arm_shutdown_signals(move || handle.shutdown());
     let summary = server
         .run(&engine, options)
         .map_err(|e| format!("serve: {e}"))?;
-    eprintln!(
-        "qld serve: {} connection(s), {} request(s), {} error(s)",
-        summary.connections, summary.requests, summary.errors
-    );
+    finish_daemon(&engine, summary);
     Ok(ExitCode::SUCCESS)
 }
 

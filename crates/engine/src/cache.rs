@@ -169,6 +169,12 @@ impl QueryCache {
     /// least-recently-used entry if the cache is full.  Re-inserting an
     /// existing key refreshes both its value and its recency.
     pub fn insert(&self, key: String, result: CachedResult) {
+        self.insert_stored_at(key, result, Instant::now());
+    }
+
+    /// [`QueryCache::insert`] with an explicit storage instant, so snapshot
+    /// restoration can backdate entries and keep their TTL clocks running.
+    fn insert_stored_at(&self, key: String, result: CachedResult, stored_at: Instant) {
         if self.capacity == 0 {
             return;
         }
@@ -184,7 +190,7 @@ impl QueryCache {
                 .expect("entry checked above");
             existing.result = result;
             existing.tick = tick;
-            existing.stored_at = Instant::now();
+            existing.stored_at = stored_at;
             inner.recency.remove(&old_tick);
             inner.recency.insert(tick, shared_key);
             return;
@@ -212,22 +218,111 @@ impl QueryCache {
             Entry {
                 result,
                 tick,
-                stored_at: Instant::now(),
+                stored_at,
             },
         );
     }
 
-    /// Current counters.
+    /// Current counters.  With a TTL configured, entries that have outlived it
+    /// are swept first (counted as expirations), so `entries` reports live
+    /// entries only — an idle daemon must not over-report its cache size just
+    /// because nothing has touched the dead keys yet.
     pub fn stats(&self) -> CacheStats {
+        let entries = {
+            let mut inner = lock_ignoring_poison(&self.inner);
+            if self.ttl.is_some() {
+                let expired: Vec<Arc<str>> = inner
+                    .map
+                    .iter()
+                    .filter(|(_, entry)| self.expired(entry))
+                    .map(|(key, _)| Arc::clone(key))
+                    .collect();
+                for key in expired {
+                    if let Some(entry) = inner.map.remove(key.as_ref()) {
+                        inner.recency.remove(&entry.tick);
+                        self.expirations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            inner.map.len() as u64
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: lock_ignoring_poison(&self.inner).map.len() as u64,
+            entries,
             evictions: self.evictions.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
             capacity: self.capacity as u64,
         }
     }
+
+    /// The configured TTL, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
+    }
+
+    /// All live entries in least-recently-used → most-recently-used order,
+    /// with their ages (time since storage).  Feeding these back through
+    /// [`QueryCache::import_entry`] in order reproduces both the contents and
+    /// the recency order of the cache — the basis of the snapshot format in
+    /// [`crate::snapshot`].
+    pub fn export_entries(&self) -> Vec<SnapshotEntry> {
+        let inner = lock_ignoring_poison(&self.inner);
+        inner
+            .recency
+            .values()
+            .filter_map(|key| {
+                let entry = inner.map.get(key.as_ref())?;
+                if self.expired(entry) {
+                    return None;
+                }
+                Some(SnapshotEntry {
+                    key: key.to_string(),
+                    age: entry.stored_at.elapsed(),
+                    result: entry.result.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Inserts a restored entry as if it had been stored `age` ago, so a
+    /// configured TTL keeps counting down across the snapshot round trip.
+    /// Entries already past the TTL (or whose age predates what [`Instant`]
+    /// can represent) are dropped; returns whether the entry was admitted.
+    pub fn import_entry(&self, entry: SnapshotEntry) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let stored_at = match self.ttl {
+            // Without a TTL the age never matters again — don't let a large
+            // age (long downtime) underflow the monotonic clock and lose the
+            // entry.
+            None => Instant::now(),
+            Some(ttl) => {
+                if entry.age >= ttl {
+                    return false;
+                }
+                match Instant::now().checked_sub(entry.age) {
+                    Some(stored_at) => stored_at,
+                    None => return false,
+                }
+            }
+        };
+        self.insert_stored_at(entry.key, entry.result, stored_at);
+        true
+    }
+}
+
+/// One exported cache entry: the canonical key, the result, and how long ago
+/// it was stored (see [`QueryCache::export_entries`]).
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry {
+    /// The canonical request key.
+    pub key: String,
+    /// Time since the entry was stored (TTL clocks resume from here).
+    pub age: Duration,
+    /// The stored result.
+    pub result: CachedResult,
 }
 
 #[cfg(test)]
@@ -318,5 +413,104 @@ mod tests {
         assert!(cache.get("k").is_some());
         std::thread::sleep(Duration::from_millis(30));
         assert!(cache.get("k").is_none());
+    }
+
+    #[test]
+    fn stats_sweeps_expired_entries_instead_of_counting_them() {
+        let cache = QueryCache::with_limits(8, Some(Duration::from_millis(20)));
+        cache.insert("a".into(), entry());
+        cache.insert("b".into(), entry());
+        assert_eq!(cache.stats().entries, 2, "fresh entries count");
+        std::thread::sleep(Duration::from_millis(30));
+        // Nothing has touched the dead keys, yet `entries` must not report
+        // them as live; the sweep books them as expirations.
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.expirations, 2);
+        assert_eq!(stats.misses, 0, "sweeping is not a lookup");
+        // The swept keys really are gone (this get is the first miss).
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().expirations, 2, "no double counting");
+    }
+
+    #[test]
+    fn export_import_round_trips_contents_and_recency() {
+        let cache = QueryCache::with_capacity(3);
+        cache.insert("a".into(), entry());
+        cache.insert("b".into(), entry());
+        cache.insert("c".into(), entry());
+        assert!(cache.get("a").is_some()); // recency order now: b, c, a
+        let exported = cache.export_entries();
+        assert_eq!(
+            exported.iter().map(|e| e.key.as_str()).collect::<Vec<_>>(),
+            vec!["b", "c", "a"],
+            "export is LRU → MRU"
+        );
+
+        let restored = QueryCache::with_capacity(3);
+        for e in exported {
+            assert!(restored.import_entry(e));
+        }
+        assert_eq!(restored.stats().entries, 3);
+        // Importing in order reproduced the recency: inserting a fourth key
+        // must evict `b`, the LRU of the original cache.
+        restored.insert("d".into(), entry());
+        assert!(restored.get("b").is_none());
+        assert!(restored.get("a").is_some());
+        assert!(restored.get("c").is_some());
+        assert!(restored.get("d").is_some());
+    }
+
+    #[test]
+    fn import_respects_ttl_ages() {
+        let ttl = Duration::from_millis(50);
+        let fresh = SnapshotEntry {
+            key: "fresh".into(),
+            age: Duration::from_millis(0),
+            result: entry(),
+        };
+        let stale = SnapshotEntry {
+            key: "stale".into(),
+            age: Duration::from_millis(60),
+            result: entry(),
+        };
+        let cache = QueryCache::with_limits(8, Some(ttl));
+        assert!(cache.import_entry(fresh.clone()));
+        assert!(
+            !cache.import_entry(stale),
+            "entries past the TTL are dropped"
+        );
+        assert_eq!(cache.stats().entries, 1);
+        // An un-TTL'd cache admits any age.
+        let no_ttl = QueryCache::with_capacity(8);
+        assert!(no_ttl.import_entry(SnapshotEntry {
+            key: "old".into(),
+            age: Duration::from_millis(60),
+            result: entry(),
+        }));
+        // The restored age keeps counting: an entry imported at half its TTL
+        // expires half a TTL later.
+        let half = SnapshotEntry {
+            key: "half".into(),
+            age: Duration::from_millis(30),
+            result: entry(),
+        };
+        assert!(cache.import_entry(half));
+        assert!(cache.get("half").is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cache.get("half").is_none(), "TTL survived the round trip");
+        assert!(cache.get("fresh").is_some(), "importing preserves each age");
+    }
+
+    #[test]
+    fn zero_capacity_rejects_imports() {
+        let cache = QueryCache::with_capacity(0);
+        assert!(!cache.import_entry(SnapshotEntry {
+            key: "k".into(),
+            age: Duration::ZERO,
+            result: entry(),
+        }));
+        assert_eq!(cache.stats().entries, 0);
     }
 }

@@ -25,8 +25,9 @@ use crate::request::Request;
 use crate::response::{EngineError, Outcome, RequestStats, Response};
 use crate::wire::{self, OrderMode};
 use std::collections::{BTreeMap, HashMap};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -50,6 +51,11 @@ pub struct EngineConfig {
     /// Solver routing policy applied to every duality call (unless a request
     /// carries a `solver=` override).
     pub policy: Arc<dyn SolverPolicy>,
+    /// Optional cache snapshot path (`qld serve --cache-file`).  When set and
+    /// the file exists, [`Engine::new`] restores the cache from it (a corrupt
+    /// or version-mismatched snapshot restores nothing — the engine starts
+    /// cold); [`Engine::save_cache_snapshot`] writes it back.
+    pub cache_file: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +69,7 @@ impl Default for EngineConfig {
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
             cache_ttl: None,
             policy: Arc::new(SizeThresholdPolicy::default()),
+            cache_file: None,
         }
     }
 }
@@ -76,6 +83,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("cache_capacity", &self.cache_capacity)
             .field("cache_ttl", &self.cache_ttl)
             .field("policy", &self.policy.name())
+            .field("cache_file", &self.cache_file)
             .finish()
     }
 }
@@ -135,6 +143,10 @@ struct WorkerCtx {
 pub struct Engine {
     config: EngineConfig,
     cache: Arc<QueryCache>,
+    /// Entries restored from the configured cache snapshot at construction.
+    cache_restored: u64,
+    /// Why the configured snapshot failed to restore, if it did.
+    cache_restore_error: Option<String>,
     /// `Some` for the engine's lifetime; taken in `Drop` to hang up the queue.
     job_tx: Option<SyncSender<PoolJob>>,
     handles: Vec<JoinHandle<()>>,
@@ -142,11 +154,35 @@ pub struct Engine {
 
 impl Engine {
     /// Builds an engine from a configuration, spawning its worker pool.
+    ///
+    /// With [`EngineConfig::cache_file`] set to an existing snapshot, the
+    /// cache is restored from it before the first request runs; a corrupt,
+    /// truncated, or version-mismatched snapshot restores nothing (see
+    /// [`Engine::cache_restored`]) and the engine starts cold.
     pub fn new(config: EngineConfig) -> Self {
         let cache = Arc::new(QueryCache::with_limits(
             config.cache_capacity,
             config.cache_ttl,
         ));
+        let mut cache_restored = 0;
+        let mut cache_restore_error = None;
+        if config.cache {
+            if let Some(path) = &config.cache_file {
+                match std::fs::File::open(path) {
+                    Ok(file) => {
+                        match crate::snapshot::read_snapshot(&cache, BufReader::new(file)) {
+                            Ok(stats) => cache_restored = stats.restored,
+                            Err(e) => {
+                                cache_restore_error = Some(format!("{}: {e}", path.display()))
+                            }
+                        }
+                    }
+                    // No snapshot yet is the normal first boot, not an error.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => cache_restore_error = Some(format!("{}: {e}", path.display())),
+                }
+            }
+        }
         let workers = config.workers.max(1);
         let (job_tx, job_rx) = mpsc::sync_channel::<PoolJob>(config.queue_capacity.max(1));
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -166,6 +202,8 @@ impl Engine {
         Engine {
             config,
             cache,
+            cache_restored,
+            cache_restore_error,
             job_tx: Some(job_tx),
             handles,
         }
@@ -184,6 +222,57 @@ impl Engine {
     /// Counters of the shared result cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// How many entries [`Engine::new`] restored from the configured cache
+    /// snapshot (0 when none was configured, found, or readable).
+    pub fn cache_restored(&self) -> u64 {
+        self.cache_restored
+    }
+
+    /// Why the configured cache snapshot failed to restore, if it did — a
+    /// corrupt, truncated, version-mismatched, or unreadable file (a missing
+    /// file is a normal first boot, not a failure).  The engine starts cold
+    /// in that case; callers surface this so a configured warm start never
+    /// fails silently.
+    pub fn cache_restore_error(&self) -> Option<&str> {
+        self.cache_restore_error.as_deref()
+    }
+
+    /// Writes the cache to a snapshot file at `path` (see [`crate::snapshot`]
+    /// for the format), returning the number of entries written.  The file is
+    /// staged under a process-unique `.tmp.<pid>` suffix and renamed into
+    /// place, so a crash mid-write never leaves a truncated snapshot where
+    /// the next start would look for one, concurrent savers (two daemons
+    /// misconfigured onto one path) cannot interleave writes into each
+    /// other's staging file — each rename installs a complete snapshot,
+    /// last writer wins — and a failed write cleans its staging file up.
+    pub fn save_cache_snapshot(&self, path: impl AsRef<Path>) -> std::io::Result<u64> {
+        let path = path.as_ref();
+        let mut staging = path.as_os_str().to_os_string();
+        staging.push(format!(".tmp.{}", std::process::id()));
+        let staging = PathBuf::from(staging);
+        let result = (|| {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&staging)?);
+            let written = crate::snapshot::write_snapshot(&self.cache, &mut file)?;
+            file.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            std::fs::rename(&staging, path)?;
+            Ok(written)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&staging);
+        }
+        result
+    }
+
+    /// Writes the cache snapshot to [`EngineConfig::cache_file`], if one is
+    /// configured; returns the number of entries written (`None` when no
+    /// snapshot path is configured or caching is disabled).
+    pub fn save_configured_cache_snapshot(&self) -> std::io::Result<Option<u64>> {
+        match &self.config.cache_file {
+            Some(path) if self.config.cache => self.save_cache_snapshot(path).map(Some),
+            _ => Ok(None),
+        }
     }
 
     /// The shared job queue's sender (alive for the engine's lifetime).

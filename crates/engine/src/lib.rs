@@ -33,7 +33,14 @@
 //! * [`transport`] — the daemon front ends serving any number of concurrent
 //!   client connections: the Unix-domain-socket listener behind `qld serve
 //!   --socket PATH` (Unix only) and the portable TCP listener behind
-//!   `qld serve --tcp ADDR`;
+//!   `qld serve --tcp ADDR`, plus [`trip_on_signals`], which arms
+//!   SIGINT/SIGTERM (via the offline `signal` shim) to trip a server's
+//!   shutdown handle so the daemon drains and exits cleanly;
+//! * [`snapshot`] — version-stamped persistence of the result cache
+//!   (`qld serve --cache-file PATH`): entries are written on graceful
+//!   shutdown with their LRU order and TTL ages, and reloaded at
+//!   [`Engine::new`], so a restarted daemon answers hot keys without
+//!   re-running solvers;
 //! * the `qld` binary — `check`, `enumerate`, `mine`, `keys`, and
 //!   `serve` subcommands streaming requests from stdin, files, or a socket.
 //!
@@ -61,6 +68,7 @@ pub mod ops;
 pub mod policy;
 pub mod request;
 pub mod response;
+pub mod snapshot;
 pub mod transport;
 pub mod wire;
 
@@ -72,9 +80,10 @@ pub use request::Request;
 pub use response::{
     BordersOutcome, EngineError, ErrorCode, Outcome, RequestStats, Response, WitnessSummary,
 };
+pub use snapshot::{RestoreStats, SnapshotError, SNAPSHOT_VERSION};
+pub use transport::{trip_on_signals, TcpServer, TcpShutdownHandle, TransportSummary};
 #[cfg(unix)]
 pub use transport::{ShutdownHandle, SocketServer};
-pub use transport::{TcpServer, TcpShutdownHandle, TransportSummary};
 pub use wire::{OrderMode, PROTOCOL_VERSION};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked: the

@@ -262,8 +262,8 @@ fn execute_inner(request: &Request, solver: &PolicySolver<'_>) -> Result<Outcome
             let instance = IdentificationInstance::new(
                 relation,
                 *threshold,
-                minimal_infrequent,
-                maximal_frequent,
+                &minimal_infrequent,
+                &maximal_frequent,
             );
             let identification = identify_with(&instance, solver).map_err(|e| e.to_string())?;
             Ok(Outcome::Borders(match identification {

@@ -37,6 +37,11 @@ pub struct TransportSummary {
     pub requests: u64,
     /// Requests that produced an error response.
     pub errors: u64,
+    /// Session threads that panicked.  Worker panics are contained as
+    /// `internal` error responses, so this counts bugs in the session I/O
+    /// path itself; every session is joined (at reap time or at shutdown), so
+    /// no panic is silently detached.
+    pub panicked: u64,
 }
 
 /// The stream operations a session transport needs beyond `Read + Write`:
@@ -121,8 +126,20 @@ fn run_accept_loop<S: SessionStream>(
         });
         sessions.push((handle, peer));
         // Reap finished sessions so the handle list stays bounded on long
-        // daemon runs.
-        sessions.retain(|(handle, _)| !handle.is_finished());
+        // daemon runs.  Reaping joins: a session thread that panicked (after
+        // its counters were or were not aggregated) is observed and counted,
+        // not silently detached with its panic lost.
+        let mut live = Vec::with_capacity(sessions.len());
+        for (handle, peer) in sessions {
+            if handle.is_finished() {
+                if handle.join().is_err() {
+                    lock_ignoring_poison(&totals).panicked += 1;
+                }
+            } else {
+                live.push((handle, peer));
+            }
+        }
+        sessions = live;
     }
     // Drain: half-close live connections so their sessions see input EOF
     // (blocked reads return immediately), then wait for them to finish
@@ -131,13 +148,76 @@ fn run_accept_loop<S: SessionStream>(
         if let Some(peer) = peer {
             let _ = peer.shutdown_side(Shutdown::Read);
         }
-        let _ = handle.join();
+        if handle.join().is_err() {
+            lock_ignoring_poison(&totals).panicked += 1;
+        }
     }
     let summary = *lock_ignoring_poison(&totals);
     match accept_error {
         Some(e) => Err(e),
         None => Ok(summary),
     }
+}
+
+/// Arms process signals to trip a server shutdown: installs counting handlers
+/// for every signal in `signals` (via the offline `signal` shim — handlers
+/// only bump an atomic, nothing unsafe runs in signal context) and spawns a
+/// detached watcher thread that polls the delivery flags and calls `trip`
+/// once, with the first signal observed, as soon as any of them arrives.
+///
+/// This is how `qld serve --socket/--tcp` turns `kill -TERM` (or Ctrl-C) into
+/// a graceful drain: `trip` captures the listener's shutdown handle, whose
+/// `shutdown()` raises the stop flag and pokes the accept loop awake, after
+/// which live connections are half-closed, drained, and joined as usual.
+///
+/// **Escalation:** a *further* signal delivery after `trip` has fired exits
+/// the process immediately (with the conventional `128 + signum` status),
+/// skipping the drain and any shutdown-time cache snapshot — an operator
+/// whose daemon is stuck behind a long-running request can always force it
+/// down with a second Ctrl-C / `kill -TERM` instead of reaching for
+/// `SIGKILL`.
+///
+/// Errors if a handler cannot be installed (e.g. an unsupported platform);
+/// callers should degrade to running without signal-driven shutdown.  The
+/// watcher thread sleeps in ~25 ms intervals for the daemon's remaining
+/// lifetime; if no signal ever arrives it parks until process exit.
+pub fn trip_on_signals(
+    signals: &[signal::Signal],
+    trip: impl FnOnce(signal::Signal) + Send + 'static,
+) -> std::io::Result<()> {
+    let flags: Vec<signal::SignalFlag> = signals
+        .iter()
+        .map(|&s| signal::install(s))
+        .collect::<std::io::Result<_>>()?;
+    thread::spawn(move || {
+        let poll = std::time::Duration::from_millis(25);
+        let raised = loop {
+            if let Some(raised) = flags.iter().find(|f| f.is_raised()) {
+                break raised.signal();
+            }
+            thread::sleep(poll);
+        };
+        // Snapshot the per-signal counts before tripping: deliveries beyond
+        // these mean the operator asked again and wants out *now*.
+        let seen: Vec<u64> = flags.iter().map(signal::SignalFlag::deliveries).collect();
+        trip(raised);
+        loop {
+            if let Some(again) = flags
+                .iter()
+                .zip(&seen)
+                .find(|(flag, &seen)| flag.deliveries() > seen)
+                .map(|(flag, _)| flag.signal())
+            {
+                eprintln!(
+                    "received {} again during shutdown; exiting immediately without draining",
+                    again.name()
+                );
+                std::process::exit(128 + again.number());
+            }
+            thread::sleep(poll);
+        }
+    });
+    Ok(())
 }
 
 /// Cooperative shutdown switch for a running [`SocketServer`].
@@ -586,6 +666,57 @@ mod tests {
         handle.shutdown();
         let summary = runner.join().unwrap().unwrap();
         assert_eq!(summary.requests, 0);
+    }
+
+    #[test]
+    fn panicked_sessions_are_joined_and_counted() {
+        // A stream whose reads panic kills its session thread mid-flight; the
+        // accept loop must join the corpse and count the panic instead of
+        // detaching the handle and losing it.
+        struct PanicStream;
+        impl Read for PanicStream {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                panic!("session I/O blew up");
+            }
+        }
+        impl Write for PanicStream {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        impl SessionStream for PanicStream {
+            fn try_clone_stream(&self) -> std::io::Result<Self> {
+                Ok(PanicStream)
+            }
+            fn shutdown_side(&self, _how: Shutdown) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let engine = small_engine(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handed_out = false;
+        let summary = {
+            let stop_inner = Arc::clone(&stop);
+            run_accept_loop(&engine, ServeOptions::default(), &stop, move || {
+                if handed_out {
+                    // One doomed connection is enough: stop the loop (the
+                    // error is transient, so the loop re-checks the flag).
+                    stop_inner.store(true, Ordering::SeqCst);
+                    Err(std::io::Error::other("no more connections"))
+                } else {
+                    handed_out = true;
+                    Ok(PanicStream)
+                }
+            })
+            .unwrap()
+        };
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.requests, 0);
+        assert_eq!(summary.panicked, 1, "the session panic must be surfaced");
     }
 
     #[test]

@@ -376,10 +376,15 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
 /// Best-effort recovery of the `id=` correlation token from a line that
 /// failed to parse, so even error responses stay correlatable (essential for
 /// `order=arrival` sessions, where clients match answers by id alone).
+///
+/// Duplicate `id=` tokens resolve exactly as [`parse_line`] resolves them —
+/// the **last** one wins — so a malformed line's error response carries the
+/// same `client_id` the line would have echoed had it parsed (empty `id=`
+/// tokens, which [`parse_line`] rejects outright, are skipped here).
 pub fn salvage_client_id(line: &str) -> Option<String> {
     line.split_whitespace()
-        .find_map(|t| t.strip_prefix("id="))
-        .filter(|v| !v.is_empty())
+        .filter_map(|t| t.strip_prefix("id="))
+        .rfind(|v| !v.is_empty())
         .map(String::from)
 }
 
@@ -567,6 +572,33 @@ mod tests {
         assert_eq!(salvage_client_id("frobnicate id=x").as_deref(), Some("x"));
         assert_eq!(salvage_client_id("check 0,1 0;1 id="), None);
         assert_eq!(salvage_client_id("check 0,1 0;1"), None);
+    }
+
+    #[test]
+    fn duplicate_ids_resolve_last_wins_on_both_paths() {
+        // Regression: `parse_line` let the last `id=` win while the salvage
+        // path returned the first, so a malformed line's error response could
+        // carry a different `client_id` than the same line would echo on
+        // success.  Both paths must agree: last wins.
+        let parsed = parse_line("check 0,1 0;1 id=first id=last").unwrap();
+        assert_eq!(parsed.id.as_deref(), Some("last"));
+        assert_eq!(
+            salvage_client_id("check 0,1 0;1 id=first id=last").as_deref(),
+            Some("last")
+        );
+        // The same duplicate envelope on a line that fails to parse salvages
+        // the identical token.
+        assert_eq!(
+            salvage_client_id("check bogus-( id=first id=last").as_deref(),
+            Some("last")
+        );
+        // An empty trailing `id=` is rejected by the parser and skipped by
+        // the salvage (it can never be echoed as a client_id).
+        assert!(parse_line("check 0,1 0;1 id=real id=").is_err());
+        assert_eq!(
+            salvage_client_id("check bogus-( id=real id=").as_deref(),
+            Some("real")
+        );
     }
 
     #[test]

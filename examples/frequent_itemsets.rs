@@ -84,8 +84,7 @@ fn main() {
     // and ask whether the borders are complete.
     let mut partial = result.maximal_frequent.clone();
     let hidden = partial.remove_edge(0);
-    let question =
-        IdentificationInstance::new(&relation, z, result.minimal_infrequent.clone(), partial);
+    let question = IdentificationInstance::new(&relation, z, &result.minimal_infrequent, &partial);
     println!(
         "\nhiding {} and asking the identification question …",
         pretty(&hidden)

@@ -1,0 +1,359 @@
+//! Offline stand-in for process signal handling (the build environment has no
+//! access to crates.io, and `std` exposes no way to install a handler).
+//!
+//! This is a minimal, `libc`-crate-free `sigaction`-style wrapper over raw
+//! Linux syscalls (`rt_sigaction`, `kill`, `getpid`), in the same offline-shim
+//! spirit as the `rand`/`serde` stand-ins: exactly the surface this workspace
+//! needs, nothing more.  The model is deliberately tiny and async-signal-safe:
+//!
+//! * [`install`] registers a process-wide handler for one [`Signal`] whose
+//!   only action is bumping a per-signal atomic delivery counter;
+//! * the returned [`SignalFlag`] is a cheap, cloneable view of that counter
+//!   ([`SignalFlag::is_raised`], [`SignalFlag::deliveries`]) that ordinary
+//!   threads poll at their leisure;
+//! * [`raise`] sends a signal to the current process (used by tests and by
+//!   smoke scripts that cannot spell `kill -TERM $$` portably).
+//!
+//! Nothing with observable side effects runs in signal context — no locks, no
+//! allocation, no I/O — so a handler can never deadlock or corrupt the
+//! process it interrupts.  Consumers (the `qld serve` daemon) watch the flag
+//! from a normal thread and perform the actual shutdown there.
+//!
+//! Handlers are installed with `SA_RESTART`, so interrupted blocking syscalls
+//! in unrelated threads are transparently restarted; waking a blocked accept
+//! loop is the watcher's job (the engine's shutdown handles already poke their
+//! listener with a throwaway connection).
+//!
+//! Supported targets are Linux on x86_64 and aarch64 (the only platforms this
+//! workspace builds for); elsewhere [`install`] and [`raise`] return
+//! [`std::io::ErrorKind::Unsupported`] so callers can degrade gracefully.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The signals this shim knows how to install handlers for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// `SIGINT` (2) — interactive interrupt (Ctrl-C).
+    Interrupt,
+    /// `SIGTERM` (15) — polite termination request (`kill`'s default).
+    Terminate,
+    /// `SIGUSR1` (10) — user-defined; used by tests so they never install
+    /// handlers for signals the test harness itself may receive.
+    User1,
+    /// `SIGUSR2` (12) — user-defined.
+    User2,
+}
+
+impl Signal {
+    /// The signal's number on the supported platforms.
+    pub fn number(self) -> i32 {
+        match self {
+            Signal::Interrupt => 2,
+            Signal::Terminate => 15,
+            Signal::User1 => 10,
+            Signal::User2 => 12,
+        }
+    }
+
+    /// The conventional name (`"SIGINT"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Signal::Interrupt => "SIGINT",
+            Signal::Terminate => "SIGTERM",
+            Signal::User1 => "SIGUSR1",
+            Signal::User2 => "SIGUSR2",
+        }
+    }
+}
+
+/// Per-signal delivery counters, indexed by signal number.  The handler bumps
+/// these and does nothing else; `AtomicU64` operations are lock-free on the
+/// supported targets, hence async-signal-safe.
+static DELIVERIES: [AtomicU64; MAX_SIGNAL] = [const { AtomicU64::new(0) }; MAX_SIGNAL];
+const MAX_SIGNAL: usize = 32;
+
+/// A cheap view of one installed signal's delivery counter, returned by
+/// [`install`].  The flag carries the counter value observed at install time
+/// as its baseline, so each install starts counting from zero even though the
+/// process-wide counter is monotonic — re-arming a signal in a long-lived
+/// process never observes deliveries from a previous arming.  Cloning shares
+/// the baseline; the handler stays installed for the life of the process
+/// (there is no uninstall — daemons do not change their minds about wanting
+/// shutdown signals).
+#[derive(Debug, Clone)]
+pub struct SignalFlag {
+    signal: Signal,
+    /// Process-wide delivery count at [`install`] time.
+    baseline: u64,
+}
+
+impl SignalFlag {
+    /// The signal this flag watches.
+    pub fn signal(&self) -> Signal {
+        self.signal
+    }
+
+    /// Whether the signal has been delivered at least once since this flag's
+    /// [`install`].
+    pub fn is_raised(&self) -> bool {
+        self.deliveries() > 0
+    }
+
+    /// How many times the signal has been delivered since this flag's
+    /// [`install`].
+    pub fn deliveries(&self) -> u64 {
+        DELIVERIES[self.signal.number() as usize]
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.baseline)
+    }
+}
+
+/// The handler: bump the delivery counter for `signum`.  Runs in signal
+/// context, so it must stay async-signal-safe (no locks, allocation, or I/O).
+extern "C" fn record_delivery(signum: i32) {
+    if let Ok(index) = usize::try_from(signum) {
+        if index < MAX_SIGNAL {
+            DELIVERIES[index].fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Installs the process-wide counting handler for `signal` and returns a
+/// [`SignalFlag`] watching its delivery counter from now on.
+///
+/// Installing the same signal twice is harmless (the second install re-points
+/// the disposition at the same handler), and each returned flag counts only
+/// deliveries after its own install.  On platforms without the raw-syscall
+/// backend this returns [`std::io::ErrorKind::Unsupported`].
+pub fn install(signal: Signal) -> io::Result<SignalFlag> {
+    sys::sigaction_record(signal.number())?;
+    let baseline = DELIVERIES[signal.number() as usize].load(Ordering::SeqCst);
+    Ok(SignalFlag { signal, baseline })
+}
+
+/// Sends `signal` to the current process (`kill(getpid(), signum)`).
+pub fn raise(signal: Signal) -> io::Result<()> {
+    sys::raise(signal.number())
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    //! The raw-syscall backend: `rt_sigaction`/`kill`/`getpid` invoked through
+    //! inline assembly, no `libc` crate involved.  The kernel-facing
+    //! `sigaction` struct (handler, flags, restorer, 64-bit mask) is laid out
+    //! by hand; on x86_64 the kernel requires a caller-supplied `SA_RESTORER`
+    //! trampoline that invokes `rt_sigreturn`, which lives in `global_asm!`
+    //! below, while aarch64 falls back to the kernel/vDSO return path.
+
+    use std::io;
+
+    /// The kernel's `sigaction` layout on x86_64 and aarch64 (not glibc's:
+    /// the kernel mask is a plain 64-bit word, `sigsetsize` 8).
+    #[repr(C)]
+    struct KernelSigaction {
+        handler: usize,
+        flags: u64,
+        restorer: usize,
+        mask: u64,
+    }
+
+    const SA_RESTORER: u64 = 0x0400_0000;
+    const SA_RESTART: u64 = 0x1000_0000;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const RT_SIGACTION: usize = 13;
+        pub const GETPID: usize = 39;
+        pub const KILL: usize = 62;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const RT_SIGACTION: usize = 134;
+        pub const GETPID: usize = 172;
+        pub const KILL: usize = 129;
+    }
+
+    // x86_64 delivers signals with no default return path: the kernel jumps
+    // to `sa_restorer` when the handler returns, so a raw `rt_sigaction` must
+    // supply its own trampoline that performs the `rt_sigreturn` syscall (15).
+    #[cfg(target_arch = "x86_64")]
+    core::arch::global_asm!(
+        ".text",
+        ".balign 16",
+        ".hidden qld_signal_restorer",
+        ".globl qld_signal_restorer",
+        "qld_signal_restorer:",
+        "mov rax, 15",
+        "syscall",
+    );
+
+    #[cfg(target_arch = "x86_64")]
+    extern "C" {
+        fn qld_signal_restorer();
+    }
+
+    /// `syscall(n, a1, a2, a3, a4)`, returning the raw kernel result
+    /// (negative errno on failure).
+    unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        #[cfg(target_arch = "aarch64")]
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<isize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Points `signum`'s disposition at [`super::record_delivery`].
+    pub(super) fn sigaction_record(signum: i32) -> io::Result<()> {
+        #[cfg(target_arch = "x86_64")]
+        let (flags, restorer) = (
+            SA_RESTART | SA_RESTORER,
+            qld_signal_restorer as unsafe extern "C" fn() as usize,
+        );
+        #[cfg(target_arch = "aarch64")]
+        let (flags, restorer) = (SA_RESTART, 0usize);
+        let action = KernelSigaction {
+            handler: super::record_delivery as extern "C" fn(i32) as usize,
+            flags,
+            restorer,
+            mask: 0,
+        };
+        // `rt_sigaction(signum, &act, NULL, sizeof(kernel sigset_t) = 8)`.
+        let ret = unsafe {
+            syscall4(
+                nr::RT_SIGACTION,
+                signum as usize,
+                std::ptr::from_ref(&action) as usize,
+                0,
+                8,
+            )
+        };
+        check(ret).map(|_| ())
+    }
+
+    /// `kill(getpid(), signum)`.
+    pub(super) fn raise(signum: i32) -> io::Result<()> {
+        let pid = unsafe { syscall4(nr::GETPID, 0, 0, 0, 0) };
+        let pid = check(pid)?;
+        let ret = unsafe { syscall4(nr::KILL, pid as usize, signum as usize, 0, 0) };
+        check(ret).map(|_| ())
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    //! Fallback for platforms without the raw-syscall backend: report
+    //! `Unsupported` so callers can run without signal-driven shutdown.
+
+    use std::io;
+
+    pub(super) fn sigaction_record(_signum: i32) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "signal handling is only implemented for Linux x86_64/aarch64",
+        ))
+    }
+
+    pub(super) fn raise(_signum: i32) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "signal handling is only implemented for Linux x86_64/aarch64",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    /// Spin until `flag` reports at least `n` deliveries (signal delivery to
+    /// the raising process is asynchronous in principle, though usually
+    /// synchronous for `kill` to self).
+    fn wait_for_deliveries(flag: &SignalFlag, n: u64) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while flag.deliveries() < n {
+            assert!(
+                Instant::now() < deadline,
+                "signal was never delivered ({} of {n})",
+                flag.deliveries()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn raised_signals_are_counted() {
+        let flag = install(Signal::User1).expect("install SIGUSR1");
+        assert_eq!(flag.signal(), Signal::User1);
+        let before = flag.deliveries();
+        raise(Signal::User1).expect("raise SIGUSR1");
+        wait_for_deliveries(&flag, before + 1);
+        assert!(flag.is_raised());
+        // A second delivery increments, not toggles.
+        raise(Signal::User1).expect("raise SIGUSR1 again");
+        wait_for_deliveries(&flag, before + 2);
+    }
+
+    #[test]
+    fn reinstalling_starts_a_fresh_count() {
+        let a = install(Signal::User2).expect("install SIGUSR2");
+        let b = install(Signal::User2).expect("re-install SIGUSR2");
+        let before = a.deliveries();
+        raise(Signal::User2).expect("raise SIGUSR2");
+        wait_for_deliveries(&a, before + 1);
+        // Both flags were armed before the delivery, so both observed it.
+        assert_eq!(a.deliveries(), b.deliveries());
+        // A flag armed *after* the delivery must not see it: a re-armed
+        // daemon (second server in one process) would otherwise shut down
+        // instantly on the previous lifetime's signal.
+        let c = install(Signal::User2).expect("re-install SIGUSR2 again");
+        assert_eq!(c.deliveries(), 0);
+        assert!(!c.is_raised());
+        assert!(a.is_raised());
+    }
+
+    #[test]
+    fn numbers_and_names_are_stable() {
+        assert_eq!(Signal::Interrupt.number(), 2);
+        assert_eq!(Signal::Terminate.number(), 15);
+        assert_eq!(Signal::Interrupt.name(), "SIGINT");
+        assert_eq!(Signal::Terminate.name(), "SIGTERM");
+    }
+}

@@ -58,12 +58,7 @@ fn identification_discovers_each_hidden_border_element() {
     for drop in 0..exact.maximal_frequent.num_edges() {
         let mut partial = exact.maximal_frequent.clone();
         partial.remove_edge(drop);
-        let inst = IdentificationInstance::new(
-            &relation,
-            z,
-            exact.minimal_infrequent.clone(),
-            partial.clone(),
-        );
+        let inst = IdentificationInstance::new(&relation, z, &exact.minimal_infrequent, &partial);
         match identify_with(&inst, &QuadLogspaceSolver::default()).unwrap() {
             Identification::Incomplete(NewBorderElement::MaximalFrequent(s)) => {
                 assert!(relation.is_maximal_frequent(&s, z));
@@ -80,8 +75,8 @@ fn identification_discovers_each_hidden_border_element() {
     let inst = IdentificationInstance::new(
         &relation,
         z,
-        exact.minimal_infrequent.clone(),
-        exact.maximal_frequent.clone(),
+        &exact.minimal_infrequent,
+        &exact.maximal_frequent,
     );
     assert_eq!(
         identify_with(&inst, &QuadLogspaceSolver::default()).unwrap(),

@@ -166,8 +166,8 @@ fn check_against_direct(request: &Request, response: &Response) {
             let instance = IdentificationInstance::new(
                 relation,
                 *threshold,
-                minimal_infrequent.clone(),
-                maximal_frequent.clone(),
+                minimal_infrequent,
+                maximal_frequent,
             );
             let direct = identify(&instance).unwrap();
             match (result, &direct) {
@@ -278,4 +278,54 @@ fn serve_round_trips_the_acceptance_example() {
     assert!(lines[0].contains("\"id\":0") && lines[0].contains("\"dual\":true"));
     assert!(lines[1].contains("\"id\":1") && lines[1].contains("\"dual\":false"));
     assert!(lines[1].contains("\"witness\""));
+}
+
+#[test]
+fn empty_edge_families_flow_through_the_cache_key_path_end_to_end() {
+    // Guard the hex bitmap-word cache keys on the degenerate families: `{∅}`
+    // (the constant-true DNF, `n=N:.`) and families mixing the empty edge
+    // with real edges (`.;0,1`).  Permuted spellings of the same instance
+    // must share one cache entry, and distinct degenerate families must not.
+    // One worker: requests execute strictly in order, so each re-ask runs
+    // after its original's insert (no racy misses).
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+
+    // Wire → request → canonical key: permutations agree, `{∅}` ≠ `∅`.
+    let empties = qld_engine::wire::parse_request("enumerate n=3:.;0,1").unwrap();
+    let permuted = qld_engine::wire::parse_request("enumerate n=3:0,1;.").unwrap();
+    assert_eq!(empties.cache_key(), permuted.cache_key());
+    let true_dnf = qld_engine::wire::parse_request("enumerate n=3:.").unwrap();
+    let edgeless = qld_engine::wire::parse_request("enumerate n=3:-").unwrap();
+    assert_ne!(true_dnf.cache_key(), edgeless.cache_key());
+
+    // End-to-end over the serve loop: the permuted re-ask is a cache hit.
+    let input = "\
+check n=3:. n=3:-
+enumerate n=3:.;0,1
+enumerate n=3:0,1;.
+check n=3:. n=3:-
+";
+    let mut output = Vec::new();
+    let summary = engine.serve(input.as_bytes(), &mut output).unwrap();
+    assert_eq!(summary.requests, 4);
+    assert_eq!(summary.errors, 0);
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // tr({∅}) = ∅, so `{∅}` and the edgeless family are dual.
+    assert!(lines[0].contains("\"dual\":true"), "{}", lines[0]);
+    // ∅ absorbs {0,1}: the minimized family is `{∅}`, whose transversal
+    // family is empty — both spellings, the second from the cache.
+    for line in &lines[1..=2] {
+        assert!(line.contains("\"complete\":true"), "{line}");
+        assert!(line.contains("\"count\":0"), "{line}");
+    }
+    assert!(lines[1].contains("\"cache_hit\":false"), "{}", lines[1]);
+    assert!(lines[2].contains("\"cache_hit\":true"), "{}", lines[2]);
+    assert!(lines[3].contains("\"cache_hit\":true"), "{}", lines[3]);
+    // Exactly two distinct canonical keys were stored.
+    assert_eq!(engine.cache_stats().entries, 2);
+    assert_eq!(engine.cache_stats().hits, 2);
 }

@@ -1,0 +1,222 @@
+//! Integration tests for the daemon lifecycle: cache snapshots surviving an
+//! engine restart (`--cache-file`) and signal-driven graceful shutdown
+//! (SIGUSR1 stands in for SIGINT/SIGTERM so the test harness process never
+//! receives a signal whose default disposition kills it).
+
+use qld_engine::{wire, Engine, EngineConfig, Request, ServeOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A unique snapshot path per test.
+fn temp_snapshot_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("qld-snap-{}-{}.cache", tag, std::process::id()))
+}
+
+fn config_with(cache_file: PathBuf, workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        cache_file: Some(cache_file),
+        ..EngineConfig::default()
+    }
+}
+
+fn request(line: &str) -> Request {
+    wire::parse_request(line).unwrap()
+}
+
+/// A mix of every request kind, including a non-dual witness and an
+/// execute-stage error (all of which the cache stores and the snapshot must
+/// reproduce).
+fn workload() -> Vec<Request> {
+    vec![
+        request("check 0,1;2,3 0,2;0,3;1,2;1,3"),
+        request("check 0,1;2,3 0,2"),
+        request("enumerate n=4:0,1;2,3 limit=2"),
+        request("mine 0,1;0,1;1,2 z=1"),
+        request("keys 1,2;1,3"),
+        // Border family outside the relation's universe: an execute error,
+        // which is deterministic and therefore cached too.
+        request("mine 0,1;0,1 z=1 g=n=5:4"),
+    ]
+}
+
+#[test]
+fn snapshot_round_trip_turns_recomputation_into_hits() {
+    let path = temp_snapshot_path("roundtrip");
+    let _ = std::fs::remove_file(&path);
+
+    let first = Engine::new(config_with(path.clone(), 2));
+    assert_eq!(first.cache_restored(), 0, "no snapshot yet");
+    let originals = first.run_batch(workload());
+    assert!(originals.iter().all(|r| !r.stats.cache_hit));
+    let written = first
+        .save_configured_cache_snapshot()
+        .unwrap()
+        .expect("a cache file is configured");
+    assert_eq!(written, workload().len() as u64);
+    drop(first);
+
+    let second = Engine::new(config_with(path.clone(), 2));
+    assert_eq!(second.cache_restored(), workload().len() as u64);
+    let replays = second.run_batch(workload());
+    for (original, replay) in originals.iter().zip(&replays) {
+        assert!(
+            replay.stats.cache_hit,
+            "expected a hit after restart: {}",
+            replay.to_json_line()
+        );
+        assert_eq!(replay.outcome, original.outcome);
+        // The first execution's telemetry rides along in the snapshot.
+        assert_eq!(replay.stats.solver, original.stats.solver);
+        assert_eq!(replay.stats.duality_calls, original.stats.duality_calls);
+        assert_eq!(replay.stats.peak_bits, original.stats.peak_bits);
+    }
+    let stats = second.cache_stats();
+    assert_eq!(stats.hits, workload().len() as u64);
+    assert_eq!(stats.misses, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn permuted_requests_hit_the_restored_canonical_keys() {
+    let path = temp_snapshot_path("permuted");
+    let _ = std::fs::remove_file(&path);
+
+    let first = Engine::new(config_with(path.clone(), 2));
+    first.run_one(request("check 0,1;2,3 0,2;0,3;1,2;1,3"));
+    first.save_configured_cache_snapshot().unwrap();
+    drop(first);
+
+    // The restarted engine answers a *permuted* spelling of the same instance
+    // from the snapshot: canonical keys, not raw request text, are persisted.
+    let second = Engine::new(config_with(path.clone(), 2));
+    let permuted = second.run_one(request("check 2,3;0,1 1,3;1,2;0,3;0,2"));
+    assert!(permuted.stats.cache_hit, "{}", permuted.to_json_line());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_snapshots_start_cold_not_half_warm() {
+    let path = temp_snapshot_path("corrupt");
+    std::fs::write(&path, "qldcache 999 1\n0\tk\tok check dual\t-\t0\t0\n").unwrap();
+    let engine = Engine::new(config_with(path.clone(), 1));
+    assert_eq!(engine.cache_restored(), 0);
+    assert_eq!(engine.cache_stats().entries, 0);
+    // The failure is surfaced, not swallowed: a configured warm start that
+    // silently came up cold would hide disk corruption forever.
+    let reason = engine.cache_restore_error().expect("error surfaced");
+    assert!(reason.contains("version"), "{reason}");
+    // The engine still works; it just starts cold.
+    let response = engine.run_one(request("check 0,1 0;1"));
+    assert!(response.is_ok());
+    // A missing snapshot is a normal first boot, not an error.
+    let _ = std::fs::remove_file(&path);
+    let fresh = Engine::new(config_with(path.clone(), 1));
+    assert!(fresh.cache_restore_error().is_none());
+    assert_eq!(fresh.cache_restored(), 0);
+}
+
+#[test]
+fn ttl_expired_entries_do_not_survive_a_restart() {
+    let path = temp_snapshot_path("ttl");
+    let _ = std::fs::remove_file(&path);
+    let with_ttl = |path: PathBuf| EngineConfig {
+        workers: 1,
+        cache_ttl: Some(Duration::from_millis(60)),
+        cache_file: Some(path),
+        ..EngineConfig::default()
+    };
+
+    let first = Engine::new(with_ttl(path.clone()));
+    first.run_one(request("check 0,1 0;1"));
+    first.save_configured_cache_snapshot().unwrap();
+    drop(first);
+
+    // Restart *after* the TTL has elapsed: the snapshot carries the entry's
+    // age, so the restored daemon must treat it as already dead.
+    std::thread::sleep(Duration::from_millis(80));
+    let second = Engine::new(with_ttl(path.clone()));
+    assert_eq!(second.cache_restored(), 0, "stale entries must be dropped");
+    let recomputed = second.run_one(request("check 0,1 0;1"));
+    assert!(!recomputed.stats.cache_hit);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The full daemon lifecycle, in-process: a socket server armed with
+/// signal-driven shutdown drains on a raised signal, the snapshot is written,
+/// and a restarted daemon answers the same (permuted) query as a cache hit
+/// visible through the wire `stats` counters.
+#[cfg(unix)]
+#[test]
+fn signal_driven_shutdown_persists_the_cache_across_daemon_restarts() {
+    use qld_engine::SocketServer;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let socket = std::env::temp_dir().join(format!("qld-sig-{}.sock", std::process::id()));
+    let snapshot = temp_snapshot_path("signal");
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&snapshot);
+
+    let ask = |socket: &PathBuf, lines: &str| -> Vec<String> {
+        let mut stream = UnixStream::connect(socket).unwrap();
+        stream.write_all(lines.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        BufReader::new(stream).lines().map(|l| l.unwrap()).collect()
+    };
+
+    // First daemon: warm the cache, then shut down via a raised signal.
+    let engine = Arc::new(Engine::new(config_with(snapshot.clone(), 2)));
+    let server = SocketServer::bind(&socket).unwrap();
+    let handle = server.shutdown_handle();
+    qld_engine::trip_on_signals(&[signal::Signal::User1], move |_| handle.shutdown())
+        .expect("signal handler install");
+    let engine_ref = Arc::clone(&engine);
+    let runner = std::thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+
+    let warm = ask(&socket, "check 0,1;2,3 0,2;0,3;1,2;1,3 id=warm\n");
+    assert_eq!(warm.len(), 1);
+    assert!(warm[0].contains("\"dual\":true"), "{}", warm[0]);
+    assert!(warm[0].contains("\"cache_hit\":false"), "{}", warm[0]);
+
+    signal::raise(signal::Signal::User1).expect("raise signal");
+    let summary = runner.join().unwrap().unwrap();
+    assert_eq!(summary.connections, 1);
+    assert_eq!(summary.requests, 1);
+    assert_eq!(summary.panicked, 0);
+    // What `qld serve` does in `finish_daemon` after the drained run returns.
+    let written = engine.save_configured_cache_snapshot().unwrap().unwrap();
+    assert_eq!(written, 1);
+    drop(engine);
+    assert!(
+        snapshot.exists(),
+        "snapshot must be on disk for the restart"
+    );
+
+    // Second daemon: the permuted re-ask is served from the restored cache,
+    // and the wire-visible counters prove the hit happened after restart.
+    let engine = Arc::new(Engine::new(config_with(snapshot.clone(), 2)));
+    assert_eq!(engine.cache_restored(), 1);
+    let server = SocketServer::bind(&socket).unwrap();
+    let handle = server.shutdown_handle();
+    let engine_ref = Arc::clone(&engine);
+    let runner = std::thread::spawn(move || server.run(&engine_ref, ServeOptions::default()));
+
+    let hot = ask(&socket, "check 2,3;0,1 1,3;1,2;0,3;0,2 id=hot\n");
+    assert_eq!(hot.len(), 1);
+    assert!(hot[0].contains("\"dual\":true"), "{}", hot[0]);
+    assert!(hot[0].contains("\"cache_hit\":true"), "{}", hot[0]);
+    // A second session reads the counters only after the hit was answered
+    // (stats snapshots race in-flight requests of the same session).
+    let stats = ask(&socket, "stats id=s\n");
+    assert_eq!(stats.len(), 1);
+    assert!(stats[0].contains("\"kind\":\"stats\""), "{}", stats[0]);
+    assert!(stats[0].contains("\"hits\":1"), "{}", stats[0]);
+    assert!(stats[0].contains("\"misses\":0"), "{}", stats[0]);
+    assert!(stats[0].contains("\"entries\":1"), "{}", stats[0]);
+
+    handle.shutdown();
+    runner.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&snapshot);
+}
