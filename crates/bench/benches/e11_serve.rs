@@ -32,7 +32,14 @@ fn bench_serve(c: &mut Criterion) {
                         });
                         let mut out = Vec::with_capacity(1 << 16);
                         let summary = engine
-                            .serve_with(input.as_bytes(), &mut out, &ServeOptions { order })
+                            .serve_with(
+                                input.as_bytes(),
+                                &mut out,
+                                &ServeOptions {
+                                    order,
+                                    ..ServeOptions::default()
+                                },
+                            )
                             .expect("serve session");
                         assert_eq!(summary.requests, requests);
                         criterion::black_box(out)

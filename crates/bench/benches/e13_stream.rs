@@ -1,0 +1,158 @@
+//! E13 — the streaming job pipeline: time-to-first-result vs. time-to-last
+//! for streamed transversal enumeration and full-border identification
+//! (`stream=` requests, `qld enumerate --stream`, `mine --full`).
+//!
+//! Criterion times three shapes per workload: the latency to the *first*
+//! streamed item (the number streaming exists to shrink), a full stream
+//! drain, and the one-shot run of the same request.  Besides the Criterion
+//! timings, every run appends one JSON line to `target/e13_stream.json` —
+//! the bench's **trajectory** — so streaming-latency regressions are visible
+//! across commits.  Set `E13_SMOKE=1` to skip the Criterion measurement
+//! windows and record a single fast pass (the CI smoke mode).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use qld_engine::{ChunkPayload, Engine, EngineConfig, StreamEvent, StreamRunOptions};
+use qld_harness::{experiments, workloads};
+use std::io::Write;
+
+fn smoke() -> bool {
+    std::env::var("E13_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// A fresh cache-less single-worker engine (cached runs would measure the
+/// replay path, not the solvers).
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        workers: 1,
+        cache: false,
+        ..EngineConfig::default()
+    })
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_stream");
+    for (name, request) in workloads::streaming_workloads() {
+        let engine = engine();
+        let request_first = request.clone();
+        group.bench_with_input(
+            BenchmarkId::new("first_item", &name),
+            &request_first,
+            |b, request| {
+                b.iter(|| {
+                    let handle = engine.run_streaming(request.clone(), StreamRunOptions::default());
+                    // Wait for the first item, cancel, drain the remainder.
+                    let mut first = None;
+                    while let Some(event) = handle.next_event() {
+                        match event {
+                            StreamEvent::Chunk(frame) => {
+                                if matches!(frame.payload, ChunkPayload::Item(_)) {
+                                    first = Some(frame);
+                                    break;
+                                }
+                            }
+                            StreamEvent::Done(_) => break,
+                        }
+                    }
+                    handle.cancel_token().cancel();
+                    while let Some(event) = handle.next_event() {
+                        if matches!(event, StreamEvent::Done(_)) {
+                            break;
+                        }
+                    }
+                    black_box(first)
+                })
+            },
+        );
+        let request_full = request.clone();
+        group.bench_with_input(
+            BenchmarkId::new("full_stream", &name),
+            &request_full,
+            |b, request| {
+                b.iter(|| {
+                    let handle = engine.run_streaming(request.clone(), StreamRunOptions::default());
+                    let mut chunks = 0u64;
+                    while let Some(event) = handle.next_event() {
+                        match event {
+                            StreamEvent::Chunk(_) => chunks += 1,
+                            StreamEvent::Done(response) => {
+                                assert!(response.is_ok());
+                                break;
+                            }
+                        }
+                    }
+                    black_box(chunks)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oneshot", &name),
+            &request,
+            |b, request| b.iter(|| black_box(engine.run_one(request.clone()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_streaming
+}
+
+/// `target/e13_stream.json`, located from the bench executable's own path
+/// (`target/<profile>/deps/e13_stream-…`).
+fn trajectory_path() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    // deps -> profile -> target
+    let target = exe.parent()?.parent()?.parent()?;
+    Some(target.join("e13_stream.json"))
+}
+
+/// Runs the streaming measurements and appends one JSON line to the
+/// trajectory.
+fn record_trajectory() {
+    let metrics = experiments::measure_streaming();
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let rows: Vec<String> = metrics.iter().map(|m| m.to_json()).collect();
+    let line = format!(
+        "{{\"bench\":\"e13_stream\",\"unix_secs\":{},\"smoke\":{},\"metrics\":[{}]}}",
+        unix_secs,
+        smoke(),
+        rows.join(",")
+    );
+    for m in &metrics {
+        println!(
+            "e13   {:<42} items={:<4} first {:>10.1} us  done {:>10.1} us  ({:>5.1}% of done)  oneshot {:>10.1} us  agree={}",
+            m.name,
+            m.items,
+            m.first_item_us,
+            m.done_us,
+            100.0 * m.first_fraction(),
+            m.oneshot_us,
+            m.agree
+        );
+    }
+    match trajectory_path() {
+        Some(path) => {
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            match result {
+                Ok(()) => println!("e13   trajectory appended to {}", path.display()),
+                Err(e) => eprintln!("e13   could not write {}: {e}", path.display()),
+            }
+        }
+        None => eprintln!("e13   could not locate the target directory; line: {line}"),
+    }
+}
+
+fn main() {
+    if !smoke() {
+        benches();
+    }
+    record_trajectory();
+}

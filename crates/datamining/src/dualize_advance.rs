@@ -7,7 +7,7 @@
 //! duality calls is therefore `|IS⁺| + |IS⁻| + 1`.
 
 use crate::identification::{
-    identify_with, Identification, IdentificationInstance, NewBorderElement,
+    identify_with, Identification, IdentificationInstance, InvalidBorder, NewBorderElement,
 };
 use crate::relation::BooleanRelation;
 use qld_core::{DualError, DualitySolver, QuadLogspaceSolver};
@@ -35,6 +35,153 @@ pub struct AdvanceResult {
     pub stats: AdvanceStats,
 }
 
+/// What one identification step of an [`AdvanceLoop`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdvanceStep {
+    /// A new border element was discovered and added to the loop's families.
+    Found(NewBorderElement),
+    /// The borders are complete; the loop is finished.
+    Complete,
+    /// A *seeded* family failed validation (only possible on the first step
+    /// of a loop constructed with [`AdvanceLoop::with_seeds`] — the loop's
+    /// own additions are always valid border elements).
+    Invalid(InvalidBorder),
+}
+
+/// The dualize-and-advance loop, one identification call at a time.
+///
+/// [`dualize_and_advance_with`] drives this loop to completion; callers that
+/// need to observe (or abort between) the individual border advancements —
+/// e.g. a serving layer streaming each new border element to a client — call
+/// [`AdvanceLoop::step`] themselves.  Each step is one identification check:
+/// it either discovers a new border element (added to the growing families
+/// before the step returns) or reports completion.
+#[derive(Debug)]
+pub struct AdvanceLoop<'a> {
+    relation: &'a BooleanRelation,
+    z: usize,
+    maximal: Hypergraph,
+    minimal: Hypergraph,
+    stats: AdvanceStats,
+    finished: bool,
+    /// Set when the loop finished on an invalid seed; re-returned by every
+    /// further [`AdvanceLoop::step`].
+    invalid: Option<InvalidBorder>,
+}
+
+impl<'a> AdvanceLoop<'a> {
+    /// A loop starting from empty border families (the common case: compute
+    /// `IS⁺` and `IS⁻` from scratch).
+    pub fn new(relation: &'a BooleanRelation, z: usize) -> Self {
+        let n = relation.num_items();
+        AdvanceLoop {
+            relation,
+            z,
+            maximal: Hypergraph::new(n),
+            minimal: Hypergraph::new(n),
+            stats: AdvanceStats::default(),
+            finished: false,
+            invalid: None,
+        }
+    }
+
+    /// A loop resuming from known partial borders.  The seeds are validated
+    /// by the first [`AdvanceLoop::step`] (which returns
+    /// [`AdvanceStep::Invalid`] when a seed is not actually a border
+    /// element); both families must already live over the relation's item
+    /// universe.
+    pub fn with_seeds(
+        relation: &'a BooleanRelation,
+        z: usize,
+        minimal_infrequent: Hypergraph,
+        maximal_frequent: Hypergraph,
+    ) -> Self {
+        AdvanceLoop {
+            relation,
+            z,
+            maximal: maximal_frequent,
+            minimal: minimal_infrequent,
+            stats: AdvanceStats::default(),
+            finished: false,
+            invalid: None,
+        }
+    }
+
+    /// Runs one identification check with `solver`, growing the border
+    /// families by the discovered element (if any).  After
+    /// [`AdvanceStep::Complete`] or [`AdvanceStep::Invalid`] the loop is
+    /// finished and further calls return [`AdvanceStep::Complete`] /
+    /// the same verdict without re-running the solver.
+    pub fn step(&mut self, solver: &dyn DualitySolver) -> Result<AdvanceStep, DualError> {
+        if self.finished {
+            return Ok(match &self.invalid {
+                Some(bad) => AdvanceStep::Invalid(bad.clone()),
+                None => AdvanceStep::Complete,
+            });
+        }
+        // The instance borrows the growing border families: no per-iteration
+        // clone (this loop runs |IS⁺| + |IS⁻| + 1 times).
+        let inst = IdentificationInstance::new(self.relation, self.z, &self.minimal, &self.maximal);
+        self.stats.identification_calls += 1;
+        Ok(match identify_with(&inst, solver)? {
+            Identification::Complete => {
+                self.finished = true;
+                AdvanceStep::Complete
+            }
+            Identification::Incomplete(element) => {
+                match &element {
+                    NewBorderElement::MaximalFrequent(s) => {
+                        debug_assert!(!self.maximal.contains_edge(s), "rediscovered {s}");
+                        self.stats.maximal_found += 1;
+                        self.maximal.add_edge(s.clone());
+                    }
+                    NewBorderElement::MinimalInfrequent(s) => {
+                        debug_assert!(!self.minimal.contains_edge(s), "rediscovered {s}");
+                        self.stats.minimal_found += 1;
+                        self.minimal.add_edge(s.clone());
+                    }
+                }
+                AdvanceStep::Found(element)
+            }
+            Identification::Invalid(bad) => {
+                self.finished = true;
+                self.invalid = Some(bad.clone());
+                AdvanceStep::Invalid(bad)
+            }
+        })
+    }
+
+    /// Whether the loop has reached completion (or an invalid seed).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The maximal frequent itemsets accumulated so far.
+    pub fn maximal_frequent(&self) -> &Hypergraph {
+        &self.maximal
+    }
+
+    /// The minimal infrequent itemsets accumulated so far.
+    pub fn minimal_infrequent(&self) -> &Hypergraph {
+        &self.minimal
+    }
+
+    /// The run statistics so far.
+    pub fn stats(&self) -> AdvanceStats {
+        self.stats
+    }
+
+    /// Consumes the loop into its result (partial unless
+    /// [`AdvanceLoop::is_finished`]).
+    pub fn into_result(self) -> AdvanceResult {
+        AdvanceResult {
+            maximal_frequent: self.maximal,
+            minimal_infrequent: self.minimal,
+            stats: self.stats,
+        }
+    }
+}
+
 /// Computes both borders incrementally, using the given duality solver for each
 /// identification check.
 pub fn dualize_and_advance_with(
@@ -42,37 +189,17 @@ pub fn dualize_and_advance_with(
     z: usize,
     solver: &dyn DualitySolver,
 ) -> Result<AdvanceResult, DualError> {
-    let n = relation.num_items();
-    let mut maximal = Hypergraph::new(n);
-    let mut minimal = Hypergraph::new(n);
-    let mut stats = AdvanceStats::default();
+    let mut advance = AdvanceLoop::new(relation, z);
     loop {
-        // The instance borrows the growing border families: no per-iteration
-        // clone (this loop runs |IS⁺| + |IS⁻| + 1 times).
-        let inst = IdentificationInstance::new(relation, z, &minimal, &maximal);
-        stats.identification_calls += 1;
-        match identify_with(&inst, solver)? {
-            Identification::Complete => break,
-            Identification::Incomplete(NewBorderElement::MaximalFrequent(s)) => {
-                debug_assert!(!maximal.contains_edge(&s), "rediscovered {s}");
-                stats.maximal_found += 1;
-                maximal.add_edge(s);
-            }
-            Identification::Incomplete(NewBorderElement::MinimalInfrequent(s)) => {
-                debug_assert!(!minimal.contains_edge(&s), "rediscovered {s}");
-                stats.minimal_found += 1;
-                minimal.add_edge(s);
-            }
-            Identification::Invalid(bad) => {
+        match advance.step(solver)? {
+            AdvanceStep::Found(_) => {}
+            AdvanceStep::Complete => break,
+            AdvanceStep::Invalid(bad) => {
                 unreachable!("internally maintained borders became invalid: {bad:?}")
             }
         }
     }
-    Ok(AdvanceResult {
-        maximal_frequent: maximal,
-        minimal_infrequent: minimal,
-        stats,
-    })
+    Ok(advance.into_result())
 }
 
 /// Computes both borders incrementally with the paper's quadratic-logspace solver.
@@ -136,6 +263,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stepwise_loop_matches_the_driven_run_and_resumes_from_seeds() {
+        let m = sample();
+        let z = 2;
+        let solver = QuadLogspaceSolver::default();
+        let exact = borders_exact(&m, z);
+
+        // Drive the loop by hand: every step but the last finds an element,
+        // and the accumulated families equal the exact borders.
+        let mut advance = AdvanceLoop::new(&m, z);
+        let mut found = 0usize;
+        loop {
+            match advance.step(&solver).unwrap() {
+                AdvanceStep::Found(_) => found += 1,
+                AdvanceStep::Complete => break,
+                AdvanceStep::Invalid(bad) => panic!("unexpected invalid: {bad:?}"),
+            }
+        }
+        assert!(advance.is_finished());
+        assert_eq!(
+            found,
+            exact.maximal_frequent.num_edges() + exact.minimal_infrequent.num_edges()
+        );
+        assert_eq!(advance.stats().identification_calls, found + 1);
+        assert!(advance
+            .maximal_frequent()
+            .same_edge_set(&exact.maximal_frequent));
+        assert!(advance
+            .minimal_infrequent()
+            .same_edge_set(&exact.minimal_infrequent));
+        // A finished loop stays finished without re-running the solver.
+        assert_eq!(advance.step(&solver).unwrap(), AdvanceStep::Complete);
+
+        // Resuming from the complete borders finishes in one step.
+        let mut seeded = AdvanceLoop::with_seeds(
+            &m,
+            z,
+            exact.minimal_infrequent.clone(),
+            exact.maximal_frequent.clone(),
+        );
+        assert_eq!(seeded.step(&solver).unwrap(), AdvanceStep::Complete);
+        assert_eq!(seeded.stats().identification_calls, 1);
+
+        // An invalid seed is reported (and finishes the loop) instead of
+        // being silently adopted: {0} is frequent but not maximal in the
+        // sample at z=2.
+        let bad = Hypergraph::from_edges(4, [qld_hypergraph::vset![4; 0]]);
+        let mut invalid = AdvanceLoop::with_seeds(&m, z, Hypergraph::new(4), bad);
+        assert!(matches!(
+            invalid.step(&solver).unwrap(),
+            AdvanceStep::Invalid(InvalidBorder::NotMaximalFrequent(_))
+        ));
+        assert!(invalid.is_finished());
+        // The verdict is sticky: a finished-on-invalid loop keeps reporting
+        // Invalid (never Complete) without re-running the solver.
+        assert!(matches!(
+            invalid.step(&solver).unwrap(),
+            AdvanceStep::Invalid(InvalidBorder::NotMaximalFrequent(_))
+        ));
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub mod relation;
 
 pub use apriori::{apriori, AprioriResult};
 pub use borders::{borders_exact, Borders};
-pub use dualize_advance::{dualize_and_advance, dualize_and_advance_with, AdvanceResult};
+pub use dualize_advance::{
+    dualize_and_advance, dualize_and_advance_with, AdvanceLoop, AdvanceResult, AdvanceStep,
+};
 pub use identification::{
     identify, identify_with, Identification, IdentificationInstance, NewBorderElement,
 };

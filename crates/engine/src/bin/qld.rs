@@ -21,7 +21,7 @@
 
 use qld_engine::{
     wire, Engine, EngineConfig, FixedPolicy, OrderMode, Request, ServeOptions, SizeThresholdPolicy,
-    SolverKind, SolverPolicy,
+    SolverKind, SolverPolicy, StreamEvent, StreamRunOptions,
 };
 use qld_hypergraph::{format, Hypergraph};
 use std::io::{BufReader, Read, Write};
@@ -34,9 +34,12 @@ qld — batch query engine over the quadratic-logspace duality solvers
 
 USAGE:
   qld check <G.qld> <H.qld> [options]       decide whether G and H are dual
-  qld enumerate <G.qld> [--limit K] [opts]  enumerate minimal transversals of G
-  qld mine <REL.qld> --threshold Z [--g G.qld] [--h H.qld] [options]
+  qld enumerate <G.qld> [--limit K] [--stream] [opts]
+                                            enumerate minimal transversals of G
+  qld mine <REL.qld> --threshold Z [--g G.qld] [--h H.qld] [--full] [--stream]
                                             frequent-itemset border identification
+                                            (--full: run the whole
+                                            dualize-and-advance loop)
   qld keys <TABLE.txt> [options]            enumerate minimal keys of a relation
   qld serve [--input FILE | --socket PATH | --tcp ADDR] [options]
                                             serve wire-format request lines
@@ -53,7 +56,13 @@ OPTIONS:
                        `serve`, write it back on graceful shutdown
   --solver S           auto | bm | quadlog | quadlog-recompute  (default auto)
   --limit K            (enumerate) stop after K transversals
+  --stream             (enumerate, mine --full) stream each result the moment
+                       it is found: chunk frames, then a done frame; Ctrl-C
+                       cancels the in-flight job at its next yield boundary
+                       and still prints the done frame with the partial result
   --threshold Z        (mine) frequency threshold: frequent iff freq > Z
+  --full               (mine) run the full dualize-and-advance loop: compute
+                       both complete borders instead of one identification step
   --g FILE             (mine) known minimal infrequent itemsets
   --h FILE             (mine) known maximal frequent itemsets
   --input FILE         (serve) read request lines from FILE instead of stdin
@@ -63,6 +72,11 @@ OPTIONS:
                        bind loopback unless the network is trusted)
   --order MODE         (serve) input (default: responses in request order) or
                        arrival (stream responses as they complete)
+  --max-inflight N     (serve) per-session quota: reject (error code `quota`)
+                       any request arriving while N of the session's requests
+                       are still unanswered
+  --max-items N        (serve) per-session quota: any single request stops
+                       after yielding N result items (halted: max-items)
 
 A `--socket`/`--tcp` daemon shuts down gracefully on SIGINT or SIGTERM:
 in-flight responses are drained, the cache snapshot is written (with
@@ -71,13 +85,15 @@ in-flight responses are drained, the cache snapshot is written (with
 WIRE FORMAT (one request per line, for `serve`; full spec in docs/WIRE.md):
   check <G> <H>           e.g.  check 0,1;2,3 0,2;0,3;1,2;1,3
   enumerate <G> [limit=K]
-  mine <REL> z=<Z> [g=<G>] [h=<H>]
+  mine <REL> z=<Z> [g=<G>] [h=<H>] [full=true]
   keys <TABLE>            e.g.  keys 1,2;1,3
   stats                   engine/cache counters snapshot
+  cancel id=<N>           stop the in-flight request with sequence number N
 Every line also accepts id=<TOKEN> (echoed back as client_id),
-order=input|arrival, and solver=<NAME>.  Inline families: edges
-`;`-separated, vertices `,`-separated, optional `n=N:` prefix; `-` = no
-edges, `.` = the empty edge.  Responses are JSON lines.
+order=input|arrival, solver=<NAME>, and stream=true (incremental chunk
+frames + a done frame).  Inline families: edges `;`-separated, vertices
+`,`-separated, optional `n=N:` prefix; `-` = no edges, `.` = the empty
+edge.  Responses are JSON lines.
 ";
 
 fn main() -> ExitCode {
@@ -101,13 +117,17 @@ struct Options {
     cache_file: Option<String>,
     solver: Option<SolverKind>,
     limit: Option<usize>,
+    stream: bool,
     threshold: Option<usize>,
+    full: bool,
     g_file: Option<String>,
     h_file: Option<String>,
     input: Option<String>,
     socket: Option<String>,
     tcp: Option<String>,
     order: OrderMode,
+    max_inflight: Option<usize>,
+    max_items: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -121,13 +141,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache_file: None,
         solver: None,
         limit: None,
+        stream: false,
         threshold: None,
+        full: false,
         g_file: None,
         h_file: None,
         input: None,
         socket: None,
         tcp: None,
         order: OrderMode::Input,
+        max_inflight: None,
+        max_items: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -172,8 +196,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--limit" => opts.limit = Some(parse_num(&value_of("--limit")?, "--limit")?),
+            "--stream" => opts.stream = true,
+            "--full" => opts.full = true,
             "--threshold" => {
                 opts.threshold = Some(parse_num(&value_of("--threshold")?, "--threshold")?)
+            }
+            "--max-inflight" => {
+                opts.max_inflight = Some(parse_num(&value_of("--max-inflight")?, "--max-inflight")?)
+            }
+            "--max-items" => {
+                opts.max_items = Some(parse_num(&value_of("--max-items")?, "--max-items")? as u64)
             }
             "--g" => opts.g_file = Some(value_of("--g")?),
             "--h" => opts.h_file = Some(value_of("--h")?),
@@ -296,6 +328,44 @@ fn emit_one(engine: &Engine, request: Request) -> ExitCode {
     }
 }
 
+/// Runs one request in streaming mode: chunk frames are printed the moment
+/// the job yields them, the done frame last.  Ctrl-C (SIGINT) cancels the
+/// in-flight job cooperatively — the job stops at its next yield boundary
+/// and the done frame still arrives, carrying the partial result with
+/// `halted:"cancelled"` (a second Ctrl-C force-exits).
+fn emit_streaming(engine: &Engine, request: Request) -> ExitCode {
+    let handle = engine.run_streaming(request, StreamRunOptions::default());
+    let cancel = handle.cancel_token();
+    let armed = qld_engine::trip_on_signals(&[signal::Signal::Interrupt], move |_| {
+        eprintln!("qld: cancelling the in-flight job (next yield boundary)");
+        cancel.cancel();
+    });
+    if let Err(e) = armed {
+        eprintln!("qld: warning: Ctrl-C cancellation unavailable: {e}");
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut ok = false;
+    while let Some(event) = handle.next_event() {
+        let (line, done_ok) = match &event {
+            StreamEvent::Chunk(frame) => (frame.to_json_line(), None),
+            StreamEvent::Done(response) => (response.to_json_line(), Some(response.is_ok())),
+        };
+        if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+            return ExitCode::from(1);
+        }
+        if let Some(done_ok) = done_ok {
+            ok = done_ok;
+            break;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first().map(String::as_str) else {
         print!("{USAGE}");
@@ -319,7 +389,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 g: load_hypergraph(&g)?,
                 limit: opts.limit,
             };
-            Ok(emit_one(&engine, request))
+            Ok(if opts.stream {
+                emit_streaming(&engine, request)
+            } else {
+                emit_one(&engine, request)
+            })
         }
         "mine" => {
             let rel = one_positional(&opts, "mine <REL.qld> --threshold Z")?;
@@ -336,13 +410,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Some(path) => load_hypergraph(path)?,
                 None => Hypergraph::new(n),
             };
-            let request = Request::IdentifyItemsetBorders {
-                relation,
-                threshold,
-                minimal_infrequent,
-                maximal_frequent,
+            let request = if opts.full {
+                Request::MineBorders {
+                    relation,
+                    threshold,
+                    minimal_infrequent,
+                    maximal_frequent,
+                }
+            } else {
+                Request::IdentifyItemsetBorders {
+                    relation,
+                    threshold,
+                    minimal_infrequent,
+                    maximal_frequent,
+                }
             };
-            Ok(emit_one(&engine, request))
+            Ok(if opts.stream {
+                emit_streaming(&engine, request)
+            } else {
+                emit_one(&engine, request)
+            })
         }
         "keys" => {
             let table = one_positional(&opts, "keys <TABLE.txt>")?;
@@ -358,7 +445,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         .to_string(),
                 );
             }
-            let serve_options = ServeOptions { order: opts.order };
+            let serve_options = ServeOptions {
+                order: opts.order,
+                max_inflight: opts.max_inflight,
+                max_items: opts.max_items,
+            };
             let daemon_modes = [
                 opts.socket.is_some(),
                 opts.tcp.is_some(),

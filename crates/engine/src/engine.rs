@@ -23,6 +23,10 @@ use crate::ops;
 use crate::policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
 use crate::request::Request;
 use crate::response::{EngineError, Outcome, RequestStats, Response};
+use crate::stream::{
+    CancelToken, ChunkFrame, ChunkPayload, ResultSink, SinkDirective, StopReason, StreamEvent,
+    StreamItem, StreamProgress,
+};
 use crate::wire::{self, OrderMode};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
@@ -95,6 +99,18 @@ pub struct ServeOptions {
     /// Default response ordering; individual requests may override it with
     /// the `order=` wire keyword.
     pub order: OrderMode,
+    /// Per-session in-flight quota (`qld serve --max-inflight`): a request
+    /// arriving while this many of the session's requests are still
+    /// unanswered is rejected at admission with a `quota` error instead of
+    /// being queued.  `None` means no limit (the shared bounded job queue
+    /// still backpressures).
+    pub max_inflight: Option<usize>,
+    /// Per-request item quota (`qld serve --max-items`): any single request
+    /// of the session stops after yielding this many result items
+    /// (transversals, border advancements), answering with its partial
+    /// result marked `halted:"max-items"`, `complete:false`.  `None` means
+    /// no limit.
+    pub max_items: Option<u64>,
 }
 
 /// Summary of one serve session.
@@ -104,6 +120,51 @@ pub struct ServeSummary {
     pub requests: u64,
     /// Requests that produced an error response.
     pub errors: u64,
+}
+
+/// Options of one [`Engine::run_streaming`] call.
+#[derive(Debug, Clone, Default)]
+pub struct StreamRunOptions {
+    /// Correlation token echoed on every frame.
+    pub client_id: Option<String>,
+    /// Force a concrete solver for the request's duality calls.
+    pub solver: Option<SolverKind>,
+    /// Stop the job after this many yielded items (`halted:"max-items"`).
+    pub max_items: Option<u64>,
+}
+
+/// A live streaming job: an iterator of its frames plus the cancellation
+/// switch (see [`Engine::run_streaming`]).
+#[derive(Debug)]
+pub struct StreamHandle {
+    cancel: CancelToken,
+    events: Receiver<StreamEvent>,
+}
+
+impl StreamHandle {
+    /// The job's cancellation token (cloneable; hand it to a Ctrl-C handler).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Blocks for the next frame; `None` once the terminal response has been
+    /// consumed.
+    pub fn next_event(&self) -> Option<StreamEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Blocks for the next frame with a timeout (`None` on timeout or end of
+    /// stream — distinguish via a subsequent [`StreamHandle::next_event`]).
+    pub fn next_event_timeout(&self, timeout: Duration) -> Option<StreamEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+}
+
+impl Iterator for &StreamHandle {
+    type Item = StreamEvent;
+    fn next(&mut self) -> Option<StreamEvent> {
+        self.next_event()
+    }
 }
 
 /// What a worker should do for one job.
@@ -126,8 +187,17 @@ struct PoolJob {
     /// Client correlation token to echo back.
     client_id: Option<String>,
     payload: Payload,
-    /// Where the executing worker sends the response.
-    reply: Sender<Response>,
+    /// Whether the client asked for chunk-by-chunk streaming (`stream=`).
+    stream: bool,
+    /// Cooperative cancellation flag, observed at yield boundaries (and
+    /// before the job starts — a job whose session vanished while it sat in
+    /// the queue is dropped, not executed).
+    cancel: CancelToken,
+    /// The submitting session's per-request item quota (`--max-items`).
+    max_items: Option<u64>,
+    /// Where the executing worker sends chunk frames and the terminal
+    /// response.
+    reply: Sender<StreamEvent>,
 }
 
 /// Read-only state shared with every worker thread.
@@ -136,6 +206,10 @@ struct WorkerCtx {
     cache: Arc<QueryCache>,
     cache_enabled: bool,
     workers: usize,
+    /// When the engine was constructed (`stats` uptime reporting).
+    started: Instant,
+    /// Whether a cache snapshot was restored at construction.
+    cache_restored: bool,
 }
 
 /// The concurrent query engine.  Dropping it shuts the worker pool down
@@ -191,6 +265,8 @@ impl Engine {
             cache: Arc::clone(&cache),
             cache_enabled: config.cache,
             workers,
+            started: Instant::now(),
+            cache_restored: cache_restored > 0,
         });
         let handles = (0..workers)
             .map(|worker_index| {
@@ -285,7 +361,7 @@ impl Engine {
     /// sessions.
     pub fn run_batch(&self, requests: Vec<Request>) -> Vec<Response> {
         let total = requests.len();
-        let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+        let (reply_tx, reply_rx) = mpsc::channel::<StreamEvent>();
         for (seq, request) in requests.into_iter().enumerate() {
             let job = PoolJob {
                 seq: seq as u64,
@@ -294,6 +370,9 @@ impl Engine {
                     request,
                     solver: None,
                 },
+                stream: false,
+                cancel: CancelToken::new(),
+                max_items: None,
                 reply: reply_tx.clone(),
             };
             self.sender().send(job).expect("worker pool alive");
@@ -301,9 +380,13 @@ impl Engine {
         drop(reply_tx);
         let mut out: Vec<Option<Response>> = Vec::new();
         out.resize_with(total, || None);
-        for response in reply_rx {
-            let slot = response.id as usize;
-            out[slot] = Some(response);
+        for event in reply_rx {
+            // One-shot jobs emit no chunk frames; only terminal responses
+            // arrive here.
+            if let StreamEvent::Done(response) = event {
+                let slot = response.id as usize;
+                out[slot] = Some(response);
+            }
         }
         out.into_iter()
             .map(|slot| slot.expect("worker pool answered every request"))
@@ -315,6 +398,35 @@ impl Engine {
         self.run_batch(vec![request])
             .pop()
             .expect("one response for one request")
+    }
+
+    /// Submits one request in **streaming** mode: the returned handle yields
+    /// [`StreamEvent::Chunk`] frames as the job produces items and ends with
+    /// the [`StreamEvent::Done`] terminal response.  The handle's
+    /// [`CancelToken`] stops the job cooperatively at its next yield
+    /// boundary (the terminal response then carries the partial result,
+    /// `halted:"cancelled"`); dropping the handle mid-stream cancels the
+    /// same way, the first time the job tries to yield.
+    pub fn run_streaming(&self, request: Request, options: StreamRunOptions) -> StreamHandle {
+        let (reply_tx, reply_rx) = mpsc::channel::<StreamEvent>();
+        let cancel = CancelToken::new();
+        let job = PoolJob {
+            seq: 0,
+            client_id: options.client_id,
+            payload: Payload::Query {
+                request,
+                solver: options.solver,
+            },
+            stream: true,
+            cancel: cancel.clone(),
+            max_items: options.max_items,
+            reply: reply_tx,
+        };
+        self.sender().send(job).expect("worker pool alive");
+        StreamHandle {
+            cancel,
+            events: reply_rx,
+        }
     }
 
     /// Streams wire-format request lines from `input` to JSON-lines responses
@@ -361,28 +473,44 @@ impl Engine {
         // submitted: which responses join the ordered stream (and at which
         // position) and which are emitted on arrival.
         let emission: Mutex<HashMap<u64, Emission>> = Mutex::new(HashMap::new());
+        // The session's in-flight jobs: sequence number → cancellation token,
+        // registered at submission, removed when the terminal response is
+        // collected.  This is what a `cancel id=N` request resolves against,
+        // what `--max-inflight` admission counts, and what the abort path
+        // cancels wholesale so a disconnected session's queued jobs are
+        // dropped instead of running to completion for nobody.
+        let inflight: Mutex<HashMap<u64, CancelToken>> = Mutex::new(HashMap::new());
         // Bound on completed-but-unemitted ordered responses: one slow
         // head-of-line request must not let the reorder buffer grow with the
         // stream.  The feeder pauses once this many responses are held.
         let reorder_capacity = self.config.queue_capacity.max(1) * 4;
         let held = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
-        let (reply_tx, reply_rx) = mpsc::channel::<Response>();
+        let (reply_tx, reply_rx) = mpsc::channel::<StreamEvent>();
         thread::scope(|scope| {
             // Feeder thread: parses lines into jobs and pushes them into the
             // shared bounded queue (send blocks while all workers are busy and
             // the queue is full), pausing while the reorder buffer is at
-            // capacity.
+            // capacity.  Control commands (`cancel`) and quota rejections are
+            // answered by the feeder itself, through the same reply channel,
+            // so their responses still follow the session's emission plan.
             {
                 let emission = &emission;
+                let inflight = &inflight;
                 let read_error = &read_error;
                 let held = &held;
                 let abort = &abort;
                 let job_tx = self.sender().clone();
                 let default_order = options.order;
+                let max_inflight = options.max_inflight;
+                let max_items = options.max_items;
                 scope.spawn(move || {
                     let mut seq: u64 = 0;
                     let mut ordered: u64 = 0;
+                    let control_stats = || RequestStats {
+                        solver: "-".to_string(),
+                        ..RequestStats::default()
+                    };
                     for line in input.lines() {
                         if abort.load(Ordering::Relaxed) {
                             break;
@@ -398,32 +526,77 @@ impl Engine {
                         if trimmed.is_empty() || trimmed.starts_with('#') {
                             continue;
                         }
-                        let (client_id, order, payload) = match wire::parse_line(trimmed) {
+                        let (client_id, order, stream, action) = match wire::parse_line(trimmed) {
                             Ok(parsed) => {
-                                let payload = match parsed.command {
-                                    wire::Command::Query(request) => Payload::Query {
-                                        request,
-                                        solver: parsed.solver,
-                                    },
-                                    wire::Command::Stats => Payload::Stats,
+                                let action = match parsed.command {
+                                    wire::Command::Query(request) => {
+                                        FeedAction::Submit(Payload::Query {
+                                            request,
+                                            solver: parsed.solver,
+                                        })
+                                    }
+                                    wire::Command::Stats => FeedAction::Submit(Payload::Stats),
+                                    wire::Command::Cancel { target } => FeedAction::Cancel(target),
                                 };
-                                (parsed.id, parsed.order.unwrap_or(default_order), payload)
+                                (
+                                    parsed.id,
+                                    parsed.order.unwrap_or(default_order),
+                                    parsed.stream,
+                                    action,
+                                )
                             }
                             Err(message) => (
                                 wire::salvage_client_id(trimmed),
                                 default_order,
-                                Payload::Malformed(message),
+                                false,
+                                FeedAction::Submit(Payload::Malformed(message)),
                             ),
                         };
+                        // Cancel requests are pure control: they are resolved
+                        // and answered immediately — always on arrival, ahead
+                        // of the reorder-buffer backpressure below, because a
+                        // cancel may be the very thing that unblocks a stuck
+                        // head-of-line request.  Immediate emission keeps a
+                        // flood of cancels bounded (each is written straight
+                        // out, never buffered).
+                        if let FeedAction::Cancel(target) = action {
+                            let cancelled = match lock_ignoring_poison(inflight).get(&target) {
+                                Some(token) => {
+                                    token.cancel();
+                                    true
+                                }
+                                None => false,
+                            };
+                            lock_ignoring_poison(emission).insert(seq, Emission::Immediate);
+                            let response = Response {
+                                id: seq,
+                                client_id,
+                                outcome: Ok(Outcome::Cancel { target, cancelled }),
+                                halted: None,
+                                chunks: stream.then_some(0),
+                                stats: control_stats(),
+                            };
+                            let _ = reply_tx.send(StreamEvent::Done(response));
+                            seq += 1;
+                            continue;
+                        }
+                        // Streamed requests always emit on arrival: holding an
+                        // unbounded number of chunks for in-order emission
+                        // would defeat both the latency and the memory point
+                        // of streaming (documented in WIRE.md).
                         let plan = match order {
-                            OrderMode::Input => {
+                            OrderMode::Input if !stream => {
                                 let position = ordered;
                                 ordered += 1;
                                 Emission::Ordered(position)
                             }
-                            OrderMode::Arrival => Emission::Immediate,
+                            _ => Emission::Immediate,
                         };
                         lock_ignoring_poison(emission).insert(seq, plan);
+                        // Backpressure before anything that can occupy the
+                        // reorder buffer — including quota rejections, which
+                        // would otherwise grow `pending` without bound behind
+                        // one slow head-of-line request.
                         while held.load(Ordering::Relaxed) >= reorder_capacity
                             && !abort.load(Ordering::Relaxed)
                         {
@@ -432,10 +605,36 @@ impl Engine {
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
+                        let FeedAction::Submit(payload) = action else {
+                            unreachable!("cancel handled above")
+                        };
+                        if let Some(limit) = max_inflight {
+                            if lock_ignoring_poison(inflight).len() >= limit {
+                                let response = Response {
+                                    id: seq,
+                                    client_id,
+                                    outcome: Err(EngineError::quota(format!(
+                                        "session in-flight quota exceeded \
+                                         ({limit} request(s) already running)"
+                                    ))),
+                                    halted: None,
+                                    chunks: stream.then_some(0),
+                                    stats: control_stats(),
+                                };
+                                let _ = reply_tx.send(StreamEvent::Done(response));
+                                seq += 1;
+                                continue;
+                            }
+                        }
+                        let cancel = CancelToken::new();
+                        lock_ignoring_poison(inflight).insert(seq, cancel.clone());
                         let job = PoolJob {
                             seq,
                             client_id,
                             payload,
+                            stream,
+                            cancel,
+                            max_items,
                             reply: reply_tx.clone(),
                         };
                         if job_tx.send(job).is_err() {
@@ -448,15 +647,32 @@ impl Engine {
                     drop(reply_tx);
                 });
             }
-            // Collector (this thread): drain responses as they complete and
-            // emit them according to the session's ordering plan.
+            // Collector (this thread): drain chunk frames and terminal
+            // responses as they complete; chunks are written immediately,
+            // terminal responses follow the session's ordering plan.
             let mut next_ordered: u64 = 0;
             let mut pending: BTreeMap<u64, Response> = BTreeMap::new();
             let mut aborted = false;
-            for response in reply_rx {
+            for event in reply_rx {
                 if aborted {
                     continue; // drain in-flight work, discard
                 }
+                let response = match event {
+                    StreamEvent::Chunk(frame) => {
+                        let failed = writeln!(output, "{}", frame.to_json_line())
+                            .and_then(|()| output.flush())
+                            .err();
+                        if let Some(e) = failed {
+                            write_error = Some(e);
+                            aborted = true;
+                            abort.store(true, Ordering::Relaxed);
+                            cancel_all(&inflight);
+                        }
+                        continue;
+                    }
+                    StreamEvent::Done(response) => response,
+                };
+                lock_ignoring_poison(&inflight).remove(&response.id);
                 summary.requests += 1;
                 if !response.is_ok() {
                     summary.errors += 1;
@@ -495,6 +711,10 @@ impl Engine {
                     write_error = Some(e);
                     aborted = true;
                     abort.store(true, Ordering::Relaxed);
+                    // The session is gone: stop its queued jobs (workers
+                    // drop a cancelled job at its first yield boundary)
+                    // instead of computing results nobody will read.
+                    cancel_all(&inflight);
                 }
             }
         });
@@ -507,6 +727,21 @@ impl Engine {
         output.flush()?;
         Ok(summary)
     }
+}
+
+/// Cancels every in-flight job of an aborted session.
+fn cancel_all(inflight: &Mutex<HashMap<u64, CancelToken>>) {
+    for token in lock_ignoring_poison(inflight).values() {
+        token.cancel();
+    }
+}
+
+/// What the feeder does with one parsed line.
+enum FeedAction {
+    /// Submit a job to the worker pool.
+    Submit(Payload),
+    /// Resolve a `cancel id=N` against the session's in-flight registry.
+    Cancel(u64),
 }
 
 impl Drop for Engine {
@@ -539,7 +774,7 @@ fn worker_loop(ctx: &WorkerCtx, jobs: &Mutex<Receiver<PoolJob>>, worker_index: u
         let Ok(job) = job else { break };
         let response = answer(ctx, worker_index, &job);
         // A receiver that hung up (aborted session) just discards the answer.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(StreamEvent::Done(response));
     }
 }
 
@@ -556,6 +791,8 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
             id: job.seq,
             client_id: job.client_id.clone(),
             outcome: Err(EngineError::parse(message.clone())),
+            halted: None,
+            chunks: job.stream.then_some(0),
             stats: base_stats(),
         },
         Payload::Stats => Response {
@@ -565,19 +802,18 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
                 cache: ctx.cache.stats(),
                 workers: ctx.workers,
                 protocol: wire::PROTOCOL_VERSION,
+                uptime_ms: ctx.started.elapsed().as_millis() as u64,
+                cache_restored: ctx.cache_restored,
             }),
+            halted: None,
+            // Item-less kinds still honour the streamed framing contract:
+            // zero chunks, then this response as the `done` frame.
+            chunks: job.stream.then_some(0),
             stats: base_stats(),
         },
         Payload::Query { request, solver } => {
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                process_one(
-                    job.seq,
-                    job.client_id.clone(),
-                    request,
-                    *solver,
-                    worker_index,
-                    ctx,
-                )
+                process_one(job, request, *solver, worker_index, ctx)
             }));
             attempt.unwrap_or_else(|panic| {
                 let detail = panic
@@ -591,6 +827,11 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
                     outcome: Err(EngineError::internal(format!(
                         "worker panicked answering the request: {detail}"
                     ))),
+                    halted: None,
+                    // The chunk count is unknown after a panic; mark the
+                    // terminal frame of a streamed request anyway so the
+                    // client knows the stream ended.
+                    chunks: job.stream.then_some(0),
                     stats: base_stats(),
                 }
             })
@@ -598,10 +839,81 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
     }
 }
 
-/// Executes one typed query on a worker: cache lookup, solver dispatch, stats.
+/// The sink a worker threads through [`ops::execute_streaming`]: forwards
+/// items/progress as chunk frames when the job streams, counts items against
+/// the session's quota, and reports cancellation (explicit, or implied by a
+/// vanished frame consumer) at every yield boundary.
+struct WorkerSink<'a> {
+    job: &'a PoolJob,
+    kind: &'static str,
+    /// Chunk frames actually delivered (items + progress).
+    emitted: u64,
+    /// Result items yielded (delivered or not — the quota is about work).
+    items: u64,
+    /// The reply channel hung up mid-stream: treat as cancellation.
+    receiver_gone: bool,
+}
+
+impl<'a> WorkerSink<'a> {
+    fn new(job: &'a PoolJob, kind: &'static str) -> Self {
+        WorkerSink {
+            job,
+            kind,
+            emitted: 0,
+            items: 0,
+            receiver_gone: false,
+        }
+    }
+
+    fn directive(&self) -> SinkDirective {
+        if self.job.cancel.is_cancelled() || self.receiver_gone {
+            SinkDirective::Stop(StopReason::Cancelled)
+        } else if self.job.max_items.is_some_and(|quota| self.items >= quota) {
+            SinkDirective::Stop(StopReason::ItemQuota)
+        } else {
+            SinkDirective::Continue
+        }
+    }
+
+    fn send(&mut self, payload: ChunkPayload) {
+        if !self.job.stream || self.receiver_gone {
+            return;
+        }
+        let frame = ChunkFrame {
+            id: self.job.seq,
+            client_id: self.job.client_id.clone(),
+            seq: self.emitted,
+            kind: self.kind,
+            payload,
+        };
+        if self.job.reply.send(StreamEvent::Chunk(frame)).is_ok() {
+            self.emitted += 1;
+        } else {
+            self.receiver_gone = true;
+        }
+    }
+}
+
+impl ResultSink for WorkerSink<'_> {
+    fn item(&mut self, item: StreamItem) -> SinkDirective {
+        self.items += 1;
+        self.send(ChunkPayload::Item(item));
+        self.directive()
+    }
+
+    fn progress(&mut self, progress: StreamProgress) {
+        self.send(ChunkPayload::Progress(progress));
+    }
+
+    fn check(&self) -> SinkDirective {
+        self.directive()
+    }
+}
+
+/// Executes one typed query on a worker: cache lookup (with chunk replay for
+/// streamed hits), solver dispatch through a [`WorkerSink`], stats.
 fn process_one(
-    id: u64,
-    client_id: Option<String>,
+    job: &PoolJob,
     request: &Request,
     solver_override: Option<SolverKind>,
     worker: usize,
@@ -618,12 +930,20 @@ fn process_one(
         }
         key
     });
+    let mut sink = WorkerSink::new(job, request.kind());
     if let Some(key) = &key {
         if let Some(hit) = ctx.cache.get(key) {
+            // A streamed request served from the cache still streams: the
+            // cached items are replayed as chunk frames (in the terminal
+            // result's canonical order), subject to the same cancellation
+            // and quota checks as a fresh run.
+            let (outcome, halted) = replay_cached(hit.outcome, &mut sink);
             return Response {
-                id,
-                client_id,
-                outcome: hit.outcome,
+                id: job.seq,
+                client_id: job.client_id.clone(),
+                outcome,
+                halted,
+                chunks: job.stream.then_some(sink.emitted),
                 stats: RequestStats {
                     micros: started.elapsed().as_micros(),
                     peak_bits: hit.info.peak_bits,
@@ -643,21 +963,35 @@ fn process_one(
         }
         None => ctx.policy.as_ref(),
     };
-    let (raw_outcome, info) = ops::execute(request, policy);
-    let outcome = raw_outcome.map_err(EngineError::execute);
-    if let Some(key) = key {
-        ctx.cache.insert(
-            key,
-            CachedResult {
-                outcome: outcome.clone(),
-                info: info.clone(),
-            },
-        );
+    let execution = ops::execute_streaming(request, policy, &mut sink);
+    let halted = execution.halt;
+    let info = execution.info;
+    let outcome = execution.outcome.map_err(|message| match halted {
+        // A job stopped before it produced anything has no partial result to
+        // answer with; the error code says why.
+        Some(StopReason::Cancelled) => EngineError::cancelled(message),
+        _ => EngineError::execute(message),
+    });
+    // Only results that ran to their natural end are cacheable: a halted
+    // job's partial outcome depends on when the stop landed, which is not a
+    // property of the request.
+    if halted.is_none() {
+        if let Some(key) = key {
+            ctx.cache.insert(
+                key,
+                CachedResult {
+                    outcome: outcome.clone(),
+                    info: info.clone(),
+                },
+            );
+        }
     }
     Response {
-        id,
-        client_id,
+        id: job.seq,
+        client_id: job.client_id.clone(),
         outcome,
+        halted,
+        chunks: job.stream.then_some(sink.emitted),
         stats: RequestStats {
             micros: started.elapsed().as_micros(),
             peak_bits: info.peak_bits,
@@ -667,6 +1001,84 @@ fn process_one(
             worker,
         },
     }
+}
+
+/// Replays a cached outcome through a [`WorkerSink`] (a no-op for one-shot
+/// jobs and item-less outcomes), truncating the outcome if the sink stops
+/// the replay mid-way — a cancelled or quota-limited client sees the same
+/// prefix semantics whether the result was computed or replayed.
+fn replay_cached(
+    outcome: Result<Outcome, EngineError>,
+    sink: &mut WorkerSink<'_>,
+) -> (Result<Outcome, EngineError>, Option<StopReason>) {
+    // The historical fast hit path: nothing to forward, nothing to count —
+    // hand the cached outcome straight back.
+    if !sink.job.stream && sink.job.max_items.is_none() && !sink.job.cancel.is_cancelled() {
+        return (outcome, None);
+    }
+    match outcome {
+        Ok(Outcome::Transversals {
+            transversals,
+            complete,
+        }) => {
+            let (replayed, halted) =
+                replay_items(&transversals, sink, |t| StreamItem::Transversal(t.clone()));
+            let outcome = Ok(Outcome::Transversals {
+                transversals: transversals[..replayed].to_vec(),
+                complete: complete && halted.is_none(),
+            });
+            (outcome, halted)
+        }
+        Ok(Outcome::FullBorders {
+            maximal_frequent,
+            minimal_infrequent,
+            identification_calls,
+            complete,
+        }) => {
+            let (replayed_max, mut halted) =
+                replay_items(&maximal_frequent, sink, |s| StreamItem::BorderElement {
+                    maximal: true,
+                    itemset: s.clone(),
+                });
+            let replayed_min = if halted.is_none() {
+                let (replayed, stop) =
+                    replay_items(&minimal_infrequent, sink, |s| StreamItem::BorderElement {
+                        maximal: false,
+                        itemset: s.clone(),
+                    });
+                halted = stop;
+                replayed
+            } else {
+                0
+            };
+            let outcome = Ok(Outcome::FullBorders {
+                maximal_frequent: maximal_frequent[..replayed_max].to_vec(),
+                minimal_infrequent: minimal_infrequent[..replayed_min].to_vec(),
+                identification_calls,
+                complete: complete && halted.is_none(),
+            });
+            (outcome, halted)
+        }
+        other => (other, None),
+    }
+}
+
+/// Replays one item list through the sink, returning how many items made it
+/// and whether (and why) the sink stopped the replay.
+fn replay_items<T>(
+    items: &[T],
+    sink: &mut WorkerSink<'_>,
+    to_item: impl Fn(&T) -> StreamItem,
+) -> (usize, Option<StopReason>) {
+    for (index, entry) in items.iter().enumerate() {
+        if let SinkDirective::Stop(reason) = sink.check() {
+            return (index, Some(reason));
+        }
+        if let SinkDirective::Stop(reason) = sink.item(to_item(entry)) {
+            return (index + 1, Some(reason));
+        }
+    }
+    (items.len(), None)
 }
 
 #[cfg(test)]

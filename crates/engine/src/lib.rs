@@ -21,6 +21,13 @@
 //! * [`OrderMode`] — per-session (and per-request, via the `order=` wire
 //!   keyword) choice between in-order responses and out-of-order streaming
 //!   where a slow request never head-of-line-blocks the rest;
+//! * [`stream`] — the **streaming job pipeline** (wire protocol v2): a
+//!   `stream=` request answers as incremental `chunk` frames (one per
+//!   minimal transversal / border advancement) followed by a `done` frame,
+//!   jobs observe cooperative [`CancelToken`]s at every yield boundary
+//!   (`cancel id=N` wire request, Ctrl-C in the CLI, vanished consumers),
+//!   and [`ServeOptions`] carries the per-session quotas (`--max-inflight`
+//!   admission control, `--max-items` result caps);
 //! * [`SolverPolicy`] — pluggable routing of every duality call to a concrete
 //!   solver; the default [`SizeThresholdPolicy`] sends small instances to
 //!   [`qld_core::BorosMakinoTreeSolver`] and large ones to
@@ -69,18 +76,25 @@ pub mod policy;
 pub mod request;
 pub mod response;
 pub mod snapshot;
+pub mod stream;
 pub mod transport;
 pub mod wire;
 
 pub use cache::CacheStats;
-pub use engine::{Engine, EngineConfig, ServeOptions, ServeSummary};
-pub use ops::enumerate_transversals_with;
+pub use engine::{
+    Engine, EngineConfig, ServeOptions, ServeSummary, StreamHandle, StreamRunOptions,
+};
+pub use ops::{enumerate_transversals_with, execute_streaming, Execution};
 pub use policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
 pub use request::Request;
 pub use response::{
     BordersOutcome, EngineError, ErrorCode, Outcome, RequestStats, Response, WitnessSummary,
 };
 pub use snapshot::{RestoreStats, SnapshotError, SNAPSHOT_VERSION};
+pub use stream::{
+    CancelToken, ChunkFrame, ChunkPayload, ResultSink, SinkDirective, StopReason, StreamEvent,
+    StreamItem, StreamProgress,
+};
 pub use transport::{trip_on_signals, TcpServer, TcpShutdownHandle, TransportSummary};
 #[cfg(unix)]
 pub use transport::{ShutdownHandle, SocketServer};

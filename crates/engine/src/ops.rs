@@ -1,17 +1,33 @@
 //! Request execution: policy-routed solver dispatch and the duality-driven
 //! enumeration loops behind each request kind.
+//!
+//! Every request executes through [`execute_streaming`], which threads a
+//! [`ResultSink`] through the incremental ops: `enumerate` yields each
+//! minimal transversal the moment its duality call produces it, and the
+//! full-border `mine … full=` loop yields each border advancement of
+//! [`qld_datamining::AdvanceLoop`].  The sink is also where cooperative
+//! cancellation and per-session item quotas take effect — the ops poll it at
+//! every yield boundary and stop there, returning the partial result
+//! accumulated so far (marked incomplete, never cached).  One-shot execution
+//! ([`execute`]) is the same code run through the trivial [`NullSink`].
 
 use crate::policy::{SolverKind, SolverPolicy};
 use crate::request::Request;
 use crate::response::{BordersOutcome, Outcome, WitnessSummary};
+use crate::stream::{
+    NullSink, ResultSink, SinkDirective, StopReason, StreamItem, StreamProgress,
+    PROGRESS_EVERY_ITEMS,
+};
 use qld_core::pathnode::SpaceStrategy;
 use qld_core::{
     BorosMakinoTreeSolver, DualError, DualityResult, DualitySolver, NonDualWitness,
     QuadLogspaceSolver,
 };
-use qld_datamining::{identify_with, Identification, IdentificationInstance, NewBorderElement};
+use qld_datamining::{
+    identify_with, AdvanceLoop, AdvanceStep, Identification, IdentificationInstance,
+    NewBorderElement,
+};
 use qld_hypergraph::{Hypergraph, VertexSet};
-use qld_keys::enumerate_minimal_keys_with;
 use std::cell::{Cell, RefCell};
 
 /// Telemetry accumulated across the duality calls of one request.
@@ -98,27 +114,44 @@ impl DualitySolver for PolicySolver<'_> {
     }
 }
 
+/// How an incremental enumeration loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopEnd {
+    /// The final confirming duality call said "dual": the result is complete.
+    Complete,
+    /// The caller's `limit=` was reached.
+    LimitReached,
+    /// The sink stopped the loop (cancellation or item quota).
+    Halted(StopReason),
+}
+
 /// Enumerates minimal transversals of `g`, one duality call per transversal
 /// (plus a final confirming call), mirroring the incremental enumeration of
 /// Propositions 1.1–1.3: ask whether the known family is already `tr(g)`, and
-/// convert the witness of a "no" into a new minimal transversal.
-///
-/// Returns the transversals found and whether the enumeration is complete
-/// (`false` iff it stopped at `limit`).
-pub fn enumerate_transversals_with(
+/// convert the witness of a "no" into a new minimal transversal.  Each
+/// transversal is yielded to `sink` the moment it is found; the sink is also
+/// polled before every duality call, so cancellation takes effect within one
+/// yield boundary.
+fn enumerate_transversals_streaming(
     g: &Hypergraph,
     limit: Option<usize>,
     solver: &dyn DualitySolver,
-) -> Result<(Hypergraph, bool), DualError> {
+    info: impl Fn() -> u64,
+    sink: &mut dyn ResultSink,
+) -> Result<(Hypergraph, LoopEnd), DualError> {
     let g = g.minimize();
     let n = g.num_vertices();
     let mut known = Hypergraph::new(n);
+    let mut items: u64 = 0;
     loop {
         if limit.is_some_and(|l| known.num_edges() >= l) {
-            return Ok((known, false));
+            return Ok((known, LoopEnd::LimitReached));
+        }
+        if let SinkDirective::Stop(reason) = sink.check() {
+            return Ok((known, LoopEnd::Halted(reason)));
         }
         match solver.decide(&g, &known)? {
-            DualityResult::Dual => return Ok((known, true)),
+            DualityResult::Dual => return Ok((known, LoopEnd::Complete)),
             DualityResult::NotDual(witness) => {
                 let candidate = match witness {
                     // A transversal of g containing no known transversal.
@@ -137,7 +170,7 @@ pub fn enumerate_transversals_with(
                     // every member of `known` is a transversal of g.
                     NonDualWitness::DisjointEdges { .. } => {
                         debug_assert!(false, "disjoint-edge witness during enumeration");
-                        return Ok((known, true));
+                        return Ok((known, LoopEnd::Complete));
                     }
                 };
                 let minimal = g.minimize_transversal(&candidate);
@@ -145,12 +178,37 @@ pub fn enumerate_transversals_with(
                     // Cannot happen for valid witnesses; bail out rather than
                     // loop forever if a solver misbehaves.
                     debug_assert!(false, "witness produced an already-known transversal");
-                    return Ok((known, true));
+                    return Ok((known, LoopEnd::Complete));
                 }
+                let directive = sink.item(StreamItem::Transversal(minimal.to_indices()));
                 known.add_edge(minimal);
+                items += 1;
+                if items.is_multiple_of(PROGRESS_EVERY_ITEMS) {
+                    sink.progress(StreamProgress {
+                        items,
+                        duality_calls: info(),
+                    });
+                }
+                if let SinkDirective::Stop(reason) = directive {
+                    return Ok((known, LoopEnd::Halted(reason)));
+                }
             }
         }
     }
+}
+
+/// Enumerates minimal transversals of `g` without streaming (the historical
+/// one-shot entry point, kept for library callers).
+///
+/// Returns the transversals found and whether the enumeration is complete
+/// (`false` iff it stopped at `limit`).
+pub fn enumerate_transversals_with(
+    g: &Hypergraph,
+    limit: Option<usize>,
+    solver: &dyn DualitySolver,
+) -> Result<(Hypergraph, bool), DualError> {
+    let (found, end) = enumerate_transversals_streaming(g, limit, solver, || 0, &mut NullSink)?;
+    Ok((found, end == LoopEnd::Complete))
 }
 
 /// Sorted index rendering of a vertex set.
@@ -190,18 +248,66 @@ fn edge_lists(h: &Hypergraph) -> Vec<Vec<usize>> {
         .collect()
 }
 
-/// Executes one request with the given routing policy, returning the outcome
-/// (or a rendered error) plus per-request telemetry.
+/// One finished (or halted) execution: the outcome, its telemetry, and — when
+/// the sink stopped the job early — why.  A halted execution's outcome is the
+/// partial result accumulated up to the last yield boundary; the engine never
+/// caches it.
+pub struct Execution {
+    /// The result payload, or a rendered execution error.
+    pub outcome: Result<Outcome, String>,
+    /// Per-request telemetry.
+    pub info: ExecInfo,
+    /// Why the sink stopped the job, when it did.
+    pub halt: Option<StopReason>,
+}
+
+/// Executes one request with the given routing policy through the trivial
+/// one-shot sink, returning the outcome (or a rendered error) plus
+/// per-request telemetry.
 pub fn execute(
     request: &Request,
     policy: &dyn SolverPolicy,
 ) -> (Result<Outcome, String>, ExecInfo) {
-    let solver = PolicySolver::new(policy);
-    let outcome = execute_inner(request, &solver);
-    (outcome, solver.info())
+    let execution = execute_streaming(request, policy, &mut NullSink);
+    (execution.outcome, execution.info)
 }
 
-fn execute_inner(request: &Request, solver: &PolicySolver<'_>) -> Result<Outcome, String> {
+/// Executes one request with the given routing policy, yielding incremental
+/// results through `sink`.  A request cancelled before its first duality call
+/// answers with an error; a streaming-capable request halted mid-loop answers
+/// with its partial result, `complete: false`.
+pub fn execute_streaming(
+    request: &Request,
+    policy: &dyn SolverPolicy,
+    sink: &mut dyn ResultSink,
+) -> Execution {
+    let solver = PolicySolver::new(policy);
+    // A job cancelled while it sat in the queue (its session vanished, or a
+    // `cancel` raced ahead of the worker) is dropped before any solver work.
+    // Only *cancellation* pre-empts execution here: an exhausted item quota
+    // merely stops item-yielding loops at their own yield boundaries, so
+    // item-less requests (`check`, `keys`, …) still run to completion under
+    // any `--max-items` setting.
+    if sink.check() == SinkDirective::Stop(StopReason::Cancelled) {
+        return Execution {
+            outcome: Err("request cancelled before execution".to_string()),
+            info: solver.info(),
+            halt: Some(StopReason::Cancelled),
+        };
+    }
+    let (outcome, halt) = execute_inner(request, &solver, sink);
+    Execution {
+        outcome,
+        info: solver.info(),
+        halt,
+    }
+}
+
+fn execute_inner(
+    request: &Request,
+    solver: &PolicySolver<'_>,
+    sink: &mut dyn ResultSink,
+) -> (Result<Outcome, String>, Option<StopReason>) {
     match request {
         Request::DecideDuality { g, h } => {
             // Normalize: duality of monotone DNFs is a statement about their
@@ -209,8 +315,11 @@ fn execute_inner(request: &Request, solver: &PolicySolver<'_>) -> Result<Outcome
             // require simple inputs.
             let g = g.minimize();
             let h = h.minimize();
-            let result = solver.decide(&g, &h).map_err(|e| e.to_string())?;
-            Ok(match result {
+            let result = match solver.decide(&g, &h) {
+                Ok(result) => result,
+                Err(e) => return (Err(e.to_string()), None),
+            };
+            let outcome = match result {
                 DualityResult::Dual => Outcome::Duality {
                     dual: true,
                     witness: None,
@@ -236,15 +345,24 @@ fn execute_inner(request: &Request, solver: &PolicySolver<'_>) -> Result<Outcome
                         }
                     }),
                 },
-            })
+            };
+            (Ok(outcome), None)
         }
         Request::EnumerateTransversals { g, limit } => {
-            let (found, complete) =
-                enumerate_transversals_with(g, *limit, solver).map_err(|e| e.to_string())?;
-            Ok(Outcome::Transversals {
-                transversals: edge_lists(&found),
-                complete,
-            })
+            let calls = || solver.info().duality_calls;
+            match enumerate_transversals_streaming(g, *limit, solver, calls, sink) {
+                Ok((found, end)) => (
+                    Ok(Outcome::Transversals {
+                        transversals: edge_lists(&found),
+                        complete: end == LoopEnd::Complete,
+                    }),
+                    match end {
+                        LoopEnd::Halted(reason) => Some(reason),
+                        LoopEnd::Complete | LoopEnd::LimitReached => None,
+                    },
+                ),
+                Err(e) => (Err(e.to_string()), None),
+            }
         }
         Request::IdentifyItemsetBorders {
             relation,
@@ -257,16 +375,25 @@ fn execute_inner(request: &Request, solver: &PolicySolver<'_>) -> Result<Outcome
             // (letting them through would make the vertex-set operations in
             // the validation predicates compare sets of different widths).
             let n = relation.num_items();
-            let minimal_infrequent = fit_universe(minimal_infrequent, n, "g")?;
-            let maximal_frequent = fit_universe(maximal_frequent, n, "h")?;
+            let minimal_infrequent = match fit_universe(minimal_infrequent, n, "g") {
+                Ok(family) => family,
+                Err(e) => return (Err(e), None),
+            };
+            let maximal_frequent = match fit_universe(maximal_frequent, n, "h") {
+                Ok(family) => family,
+                Err(e) => return (Err(e), None),
+            };
             let instance = IdentificationInstance::new(
                 relation,
                 *threshold,
                 &minimal_infrequent,
                 &maximal_frequent,
             );
-            let identification = identify_with(&instance, solver).map_err(|e| e.to_string())?;
-            Ok(Outcome::Borders(match identification {
+            let identification = match identify_with(&instance, solver) {
+                Ok(identification) => identification,
+                Err(e) => return (Err(e.to_string()), None),
+            };
+            let outcome = Outcome::Borders(match identification {
                 Identification::Complete => BordersOutcome::Complete,
                 Identification::Incomplete(NewBorderElement::MaximalFrequent(s)) => {
                     BordersOutcome::NewMaximalFrequent(indices(&s))
@@ -280,15 +407,110 @@ fn execute_inner(request: &Request, solver: &PolicySolver<'_>) -> Result<Outcome
                 Identification::Invalid(
                     qld_datamining::identification::InvalidBorder::NotMinimalInfrequent(s),
                 ) => BordersOutcome::InvalidMinimalInfrequent(indices(&s)),
-            }))
+            });
+            (Ok(outcome), None)
         }
+        Request::MineBorders {
+            relation,
+            threshold,
+            minimal_infrequent,
+            maximal_frequent,
+        } => mine_borders_streaming(
+            relation,
+            *threshold,
+            minimal_infrequent,
+            maximal_frequent,
+            solver,
+            sink,
+        ),
         Request::FindMinimalKeys { instance } => {
-            let (keys, calls) =
-                enumerate_minimal_keys_with(instance, solver).map_err(|e| e.to_string())?;
-            Ok(Outcome::Keys {
-                keys: edge_lists(&keys),
-                duality_calls: calls,
-            })
+            match qld_keys::enumerate_minimal_keys_with(instance, solver) {
+                Ok((keys, calls)) => (
+                    Ok(Outcome::Keys {
+                        keys: edge_lists(&keys),
+                        duality_calls: calls,
+                    }),
+                    None,
+                ),
+                Err(e) => (Err(e.to_string()), None),
+            }
+        }
+    }
+}
+
+/// The full `dualize_and_advance` identification loop, one border element per
+/// yield: every [`AdvanceStep::Found`] is forwarded to `sink` before the next
+/// identification call, so a client sees each border advancement as it
+/// happens and a `cancel` stops the loop within one yield boundary.
+fn mine_borders_streaming(
+    relation: &qld_datamining::BooleanRelation,
+    threshold: usize,
+    minimal_infrequent: &Hypergraph,
+    maximal_frequent: &Hypergraph,
+    solver: &PolicySolver<'_>,
+    sink: &mut dyn ResultSink,
+) -> (Result<Outcome, String>, Option<StopReason>) {
+    let n = relation.num_items();
+    let minimal_infrequent = match fit_universe(minimal_infrequent, n, "g") {
+        Ok(family) => family,
+        Err(e) => return (Err(e), None),
+    };
+    let maximal_frequent = match fit_universe(maximal_frequent, n, "h") {
+        Ok(family) => family,
+        Err(e) => return (Err(e), None),
+    };
+    let mut advance =
+        AdvanceLoop::with_seeds(relation, threshold, minimal_infrequent, maximal_frequent);
+    let mut items: u64 = 0;
+    let full_borders = |advance: &AdvanceLoop<'_>, complete: bool| Outcome::FullBorders {
+        maximal_frequent: edge_lists(advance.maximal_frequent()),
+        minimal_infrequent: edge_lists(advance.minimal_infrequent()),
+        identification_calls: advance.stats().identification_calls as u64,
+        complete,
+    };
+    loop {
+        if let SinkDirective::Stop(reason) = sink.check() {
+            return (Ok(full_borders(&advance, false)), Some(reason));
+        }
+        match advance.step(solver) {
+            Ok(AdvanceStep::Complete) => return (Ok(full_borders(&advance, true)), None),
+            Ok(AdvanceStep::Invalid(bad)) => {
+                // Only a *seeded* family can be invalid; report it exactly as
+                // the one-shot identification op does.
+                let outcome = Outcome::Borders(match bad {
+                    qld_datamining::identification::InvalidBorder::NotMaximalFrequent(s) => {
+                        BordersOutcome::InvalidMaximalFrequent(indices(&s))
+                    }
+                    qld_datamining::identification::InvalidBorder::NotMinimalInfrequent(s) => {
+                        BordersOutcome::InvalidMinimalInfrequent(indices(&s))
+                    }
+                });
+                return (Ok(outcome), None);
+            }
+            Ok(AdvanceStep::Found(element)) => {
+                let item = match &element {
+                    NewBorderElement::MaximalFrequent(s) => StreamItem::BorderElement {
+                        maximal: true,
+                        itemset: indices(s),
+                    },
+                    NewBorderElement::MinimalInfrequent(s) => StreamItem::BorderElement {
+                        maximal: false,
+                        itemset: indices(s),
+                    },
+                };
+                let directive = sink.item(item);
+                items += 1;
+                if items.is_multiple_of(PROGRESS_EVERY_ITEMS) {
+                    sink.progress(StreamProgress {
+                        items,
+                        duality_calls: solver.info().duality_calls,
+                    });
+                }
+                if let SinkDirective::Stop(reason) = directive {
+                    return (Ok(full_borders(&advance, false)), Some(reason));
+                }
+            }
+            Err(e) => return (Err(e.to_string()), None),
         }
     }
 }
@@ -374,5 +596,218 @@ mod tests {
             }
         );
         assert_eq!(info.duality_calls, 1);
+    }
+
+    /// A recording sink that can stop the job after a fixed number of items.
+    struct RecordingSink {
+        items: Vec<StreamItem>,
+        progress: Vec<StreamProgress>,
+        stop_after: Option<usize>,
+    }
+
+    impl RecordingSink {
+        fn new(stop_after: Option<usize>) -> Self {
+            RecordingSink {
+                items: Vec::new(),
+                progress: Vec::new(),
+                stop_after,
+            }
+        }
+    }
+
+    impl ResultSink for RecordingSink {
+        fn item(&mut self, item: StreamItem) -> SinkDirective {
+            self.items.push(item);
+            match self.stop_after {
+                Some(n) if self.items.len() >= n => SinkDirective::Stop(StopReason::Cancelled),
+                _ => SinkDirective::Continue,
+            }
+        }
+        fn progress(&mut self, progress: StreamProgress) {
+            self.progress.push(progress);
+        }
+        fn check(&self) -> SinkDirective {
+            match self.stop_after {
+                Some(n) if self.items.len() >= n => SinkDirective::Stop(StopReason::Cancelled),
+                _ => SinkDirective::Continue,
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_enumeration_yields_every_transversal_once() {
+        let li = generators::matching_instance(5); // 32 minimal transversals
+        let mut sink = RecordingSink::new(None);
+        let policy = SizeThresholdPolicy::default();
+        let execution = execute_streaming(
+            &Request::EnumerateTransversals {
+                g: li.g.clone(),
+                limit: None,
+            },
+            &policy,
+            &mut sink,
+        );
+        assert!(execution.halt.is_none());
+        let Ok(Outcome::Transversals {
+            transversals,
+            complete,
+        }) = execution.outcome
+        else {
+            panic!("unexpected outcome");
+        };
+        assert!(complete);
+        assert_eq!(transversals.len(), 32);
+        assert_eq!(sink.items.len(), 32);
+        // Reassembling the chunks gives exactly the one-shot answer.
+        let mut streamed: Vec<Vec<usize>> = sink
+            .items
+            .iter()
+            .map(|item| match item {
+                StreamItem::Transversal(t) => t.clone(),
+                other => panic!("unexpected item {other:?}"),
+            })
+            .collect();
+        streamed.sort();
+        let mut oneshot = transversals.clone();
+        oneshot.sort();
+        assert_eq!(streamed, oneshot);
+        // 32 items at a progress cadence of 16 → two checkpoints.
+        assert_eq!(sink.progress.len(), 2);
+        assert_eq!(sink.progress[0].items, 16);
+        assert_eq!(sink.progress[1].items, 32);
+        assert!(sink.progress[1].duality_calls >= 32);
+    }
+
+    #[test]
+    fn halted_enumeration_returns_the_partial_prefix() {
+        let li = generators::matching_instance(4); // 16 minimal transversals
+        let mut sink = RecordingSink::new(Some(3));
+        let execution = execute_streaming(
+            &Request::EnumerateTransversals {
+                g: li.g.clone(),
+                limit: None,
+            },
+            &SizeThresholdPolicy::default(),
+            &mut sink,
+        );
+        assert_eq!(execution.halt, Some(StopReason::Cancelled));
+        let Ok(Outcome::Transversals {
+            transversals,
+            complete,
+        }) = execution.outcome
+        else {
+            panic!("unexpected outcome");
+        };
+        assert!(!complete);
+        assert_eq!(transversals.len(), 3);
+        assert_eq!(sink.items.len(), 3);
+    }
+
+    #[test]
+    fn pre_start_cancellation_skips_the_solvers() {
+        struct AlwaysStopped;
+        impl ResultSink for AlwaysStopped {
+            fn item(&mut self, _item: StreamItem) -> SinkDirective {
+                SinkDirective::Stop(StopReason::Cancelled)
+            }
+            fn progress(&mut self, _progress: StreamProgress) {}
+            fn check(&self) -> SinkDirective {
+                SinkDirective::Stop(StopReason::Cancelled)
+            }
+        }
+        let li = generators::matching_instance(2);
+        let execution = execute_streaming(
+            &Request::DecideDuality { g: li.g, h: li.h },
+            &SizeThresholdPolicy::default(),
+            &mut AlwaysStopped,
+        );
+        assert_eq!(execution.halt, Some(StopReason::Cancelled));
+        assert!(execution.outcome.is_err());
+        assert_eq!(execution.info.duality_calls, 0);
+    }
+
+    #[test]
+    fn mine_borders_streams_every_advancement() {
+        let relation = qld_datamining::generators::random_relation(6, 14, 0.55, 7);
+        let z = 3;
+        let exact = qld_datamining::borders_exact(&relation, z);
+        let mut sink = RecordingSink::new(None);
+        let execution = execute_streaming(
+            &Request::MineBorders {
+                relation: relation.clone(),
+                threshold: z,
+                minimal_infrequent: Hypergraph::new(6),
+                maximal_frequent: Hypergraph::new(6),
+            },
+            &SizeThresholdPolicy::default(),
+            &mut sink,
+        );
+        assert!(execution.halt.is_none());
+        let Ok(Outcome::FullBorders {
+            maximal_frequent,
+            minimal_infrequent,
+            identification_calls,
+            complete,
+        }) = execution.outcome
+        else {
+            panic!("unexpected outcome");
+        };
+        assert!(complete);
+        let expected_items =
+            exact.maximal_frequent.num_edges() + exact.minimal_infrequent.num_edges();
+        assert_eq!(sink.items.len(), expected_items);
+        assert_eq!(identification_calls, expected_items as u64 + 1);
+        assert_eq!(
+            maximal_frequent.len() + minimal_infrequent.len(),
+            expected_items
+        );
+        // Reassembling the border chunks reproduces the exact borders.
+        let mut streamed_max = Vec::new();
+        let mut streamed_min = Vec::new();
+        for item in &sink.items {
+            match item {
+                StreamItem::BorderElement { maximal, itemset } => {
+                    if *maximal {
+                        streamed_max.push(itemset.clone());
+                    } else {
+                        streamed_min.push(itemset.clone());
+                    }
+                }
+                other => panic!("unexpected item {other:?}"),
+            }
+        }
+        streamed_max.sort();
+        streamed_min.sort();
+        let mut terminal_max = maximal_frequent.clone();
+        terminal_max.sort();
+        let mut terminal_min = minimal_infrequent.clone();
+        terminal_min.sort();
+        assert_eq!(streamed_max, terminal_max);
+        assert_eq!(streamed_min, terminal_min);
+    }
+
+    #[test]
+    fn mine_borders_reports_invalid_seeds_like_the_identification_op() {
+        let relation = crate::wire::parse_relation("0,1;0,1;1,2").unwrap();
+        // {0} is frequent at z=1 (support 2) but not maximal ({0,1} is also
+        // frequent); seed it and expect the invalid verdict.
+        let bad_seed = Hypergraph::from_index_edges(3, &[&[0]]);
+        let mut sink = RecordingSink::new(None);
+        let execution = execute_streaming(
+            &Request::MineBorders {
+                relation,
+                threshold: 1,
+                minimal_infrequent: Hypergraph::new(3),
+                maximal_frequent: bad_seed,
+            },
+            &SizeThresholdPolicy::default(),
+            &mut sink,
+        );
+        assert!(execution.halt.is_none());
+        assert!(matches!(
+            execution.outcome,
+            Ok(Outcome::Borders(BordersOutcome::InvalidMaximalFrequent(_)))
+        ));
+        assert!(sink.items.is_empty());
     }
 }

@@ -62,6 +62,23 @@ pub enum Request {
         /// Known maximal frequent itemsets `H ⊆ IS⁺(M, z)`.
         maximal_frequent: Hypergraph,
     },
+    /// Run the full `dualize_and_advance` identification loop server-side
+    /// (the `mine … full=true` wire request): repeat the Proposition 1.1
+    /// check, adding each discovered border element, until both borders are
+    /// complete.  The incremental structure makes this the engine's flagship
+    /// streaming op — every advancement is a natural stream item.
+    MineBorders {
+        /// The Boolean-valued relation `M`.
+        relation: BooleanRelation,
+        /// The frequency threshold `z` (strict: frequent iff `f(U) > z`).
+        threshold: usize,
+        /// Seed minimal infrequent itemsets `G ⊆ IS⁻(M, z)` to resume from
+        /// (usually empty).
+        minimal_infrequent: Hypergraph,
+        /// Seed maximal frequent itemsets `H ⊆ IS⁺(M, z)` to resume from
+        /// (usually empty).
+        maximal_frequent: Hypergraph,
+    },
     /// Enumerate all minimal keys of an explicit relational instance
     /// (Proposition 1.2), one duality call per key.
     FindMinimalKeys {
@@ -77,6 +94,7 @@ impl Request {
             Request::DecideDuality { .. } => "check",
             Request::EnumerateTransversals { .. } => "enumerate",
             Request::IdentifyItemsetBorders { .. } => "mine",
+            Request::MineBorders { .. } => "mine_full",
             Request::FindMinimalKeys { .. } => "keys",
         }
     }
@@ -114,6 +132,23 @@ impl Request {
                 rows.sort();
                 format!(
                     "mine n={}:{} z={} g={} h={}",
+                    relation.num_items(),
+                    rows.join(";"),
+                    threshold,
+                    family_token(&minimal_infrequent.canonicalized()),
+                    family_token(&maximal_frequent.canonicalized())
+                )
+            }
+            Request::MineBorders {
+                relation,
+                threshold,
+                minimal_infrequent,
+                maximal_frequent,
+            } => {
+                let mut rows: Vec<String> = relation.rows().iter().map(set_token).collect();
+                rows.sort();
+                format!(
+                    "mine-full n={}:{} z={} g={} h={}",
                     relation.num_items(),
                     rows.join(";"),
                     threshold,

@@ -56,6 +56,29 @@ pub enum Outcome {
     },
     /// Result of `IdentifyItemsetBorders`.
     Borders(BordersOutcome),
+    /// Result of `MineBorders` (the full server-side `dualize_and_advance`
+    /// loop): both complete borders — or the partial borders accumulated up
+    /// to a cancellation/quota stop (`complete: false`).
+    FullBorders {
+        /// `IS⁺(M, z)`: the maximal frequent itemsets, canonically ordered.
+        maximal_frequent: Vec<Vec<usize>>,
+        /// `IS⁻(M, z)`: the minimal infrequent itemsets, canonically ordered.
+        minimal_infrequent: Vec<Vec<usize>>,
+        /// Identification (duality) checks the loop ran.
+        identification_calls: u64,
+        /// Whether the loop reached completion (`false` iff halted early).
+        complete: bool,
+    },
+    /// Result of a `cancel id=N` wire request: whether the target was still
+    /// in flight (and has now been asked to stop).
+    Cancel {
+        /// The session sequence number the cancel targeted.
+        target: u64,
+        /// `true` iff the target was found in flight and its cancellation
+        /// flag was raised; `false` when it had already finished (or never
+        /// existed).
+        cancelled: bool,
+    },
     /// Result of `FindMinimalKeys`.
     Keys {
         /// All minimal keys, canonically ordered.
@@ -72,6 +95,11 @@ pub enum Outcome {
         /// Wire-protocol version served by this engine
         /// ([`crate::wire::PROTOCOL_VERSION`]).
         protocol: u32,
+        /// Milliseconds since the engine (daemon) was constructed.
+        uptime_ms: u64,
+        /// Whether the engine restored entries from a cache snapshot at
+        /// startup (`--cache-file`).
+        cache_restored: bool,
     },
 }
 
@@ -85,6 +113,11 @@ pub enum ErrorCode {
     Execute,
     /// The engine itself failed (e.g. a worker panicked mid-request).
     Internal,
+    /// The request was cancelled before it produced any (partial) result.
+    Cancelled,
+    /// The request was rejected at admission by a per-session quota
+    /// (`--max-inflight`).
+    Quota,
 }
 
 impl ErrorCode {
@@ -94,6 +127,8 @@ impl ErrorCode {
             ErrorCode::Parse => "parse",
             ErrorCode::Execute => "execute",
             ErrorCode::Internal => "internal",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Quota => "quota",
         }
     }
 }
@@ -128,6 +163,22 @@ impl EngineError {
     pub fn internal(message: impl Into<String>) -> Self {
         EngineError {
             code: ErrorCode::Internal,
+            message: message.into(),
+        }
+    }
+
+    /// A cancellation that pre-empted execution entirely.
+    pub fn cancelled(message: impl Into<String>) -> Self {
+        EngineError {
+            code: ErrorCode::Cancelled,
+            message: message.into(),
+        }
+    }
+
+    /// A per-session quota rejection.
+    pub fn quota(message: impl Into<String>) -> Self {
+        EngineError {
+            code: ErrorCode::Quota,
             message: message.into(),
         }
     }
@@ -168,6 +219,14 @@ pub struct Response {
     pub client_id: Option<String>,
     /// The result payload, or the failure.
     pub outcome: Result<Outcome, EngineError>,
+    /// Why the job stopped before its natural end, if it did (a wire
+    /// `cancel`, a vanished stream consumer, or the session's `--max-items`
+    /// quota).  Rendered as the `halted` JSON field; the outcome then holds
+    /// the partial result (`complete: false`) and is never cached.
+    pub halted: Option<crate::stream::StopReason>,
+    /// `Some(k)` iff the request streamed: `k` chunk frames preceded this
+    /// terminal response, which is rendered as the `done` frame.
+    pub chunks: Option<u64>,
     /// Execution statistics.
     pub stats: RequestStats,
 }
@@ -184,6 +243,15 @@ impl Response {
         o.uint("id", self.id as u128);
         if let Some(cid) = &self.client_id {
             o.str("client_id", cid);
+        }
+        if let Some(chunks) = self.chunks {
+            // Terminal frame of a streamed request: marked so clients can
+            // tell it apart from the request's chunk frames.
+            o.str("frame", "done");
+            o.uint("chunks", chunks as u128);
+        }
+        if let Some(reason) = self.halted {
+            o.str("halted", reason.as_str());
         }
         match &self.outcome {
             Err(error) => {
@@ -254,6 +322,28 @@ impl Response {
                             }
                         }
                     }
+                    Outcome::FullBorders {
+                        maximal_frequent,
+                        minimal_infrequent,
+                        identification_calls,
+                        complete,
+                    } => {
+                        o.str("kind", "mine_full");
+                        o.bool("complete", *complete);
+                        o.uint("identification_calls", *identification_calls as u128);
+                        o.uint("count_maximal", maximal_frequent.len() as u128);
+                        o.uint("count_minimal", minimal_infrequent.len() as u128);
+                        o.raw("maximal_frequent", &json::index_matrix(maximal_frequent));
+                        o.raw(
+                            "minimal_infrequent",
+                            &json::index_matrix(minimal_infrequent),
+                        );
+                    }
+                    Outcome::Cancel { target, cancelled } => {
+                        o.str("kind", "cancel");
+                        o.uint("target", *target as u128);
+                        o.bool("cancelled", *cancelled);
+                    }
                     Outcome::Keys {
                         keys,
                         duality_calls,
@@ -267,10 +357,14 @@ impl Response {
                         cache,
                         workers,
                         protocol,
+                        uptime_ms,
+                        cache_restored,
                     } => {
                         o.str("kind", "stats");
                         o.uint("proto", *protocol as u128);
                         o.uint("workers", *workers as u128);
+                        o.uint("uptime_ms", *uptime_ms as u128);
+                        o.bool("cache_restored", *cache_restored);
                         let mut co = ObjectBuilder::new();
                         co.uint("hits", cache.hits as u128)
                             .uint("misses", cache.misses as u128)
@@ -309,6 +403,8 @@ mod tests {
                 dual: false,
                 witness: Some(WitnessSummary::NewTransversalOfG(vec![0, 2])),
             }),
+            halted: None,
+            chunks: None,
             stats: RequestStats {
                 micros: 17,
                 peak_bits: 42,
@@ -331,11 +427,71 @@ mod tests {
             id: 4,
             client_id: Some("req-7".into()),
             outcome: Err(EngineError::parse("bad input")),
+            halted: None,
+            chunks: None,
             stats: RequestStats::default(),
         };
         let line = err.to_json_line();
         assert!(line.contains("\"client_id\":\"req-7\""));
         assert!(line.contains("\"ok\":false,\"code\":\"parse\",\"error\":\"bad input\""));
+    }
+
+    #[test]
+    fn done_frames_carry_frame_chunks_and_halt_fields() {
+        let resp = Response {
+            id: 2,
+            client_id: Some("s1".into()),
+            outcome: Ok(Outcome::Transversals {
+                transversals: vec![vec![0], vec![1]],
+                complete: false,
+            }),
+            halted: Some(crate::stream::StopReason::Cancelled),
+            chunks: Some(2),
+            stats: RequestStats::default(),
+        };
+        let line = resp.to_json_line();
+        assert!(line.starts_with(
+            "{\"id\":2,\"client_id\":\"s1\",\"frame\":\"done\",\"chunks\":2,\
+             \"halted\":\"cancelled\",\"ok\":true"
+        ));
+        assert!(line.contains("\"complete\":false"));
+    }
+
+    #[test]
+    fn full_borders_and_cancel_outcomes_render() {
+        let resp = Response {
+            id: 0,
+            client_id: None,
+            outcome: Ok(Outcome::FullBorders {
+                maximal_frequent: vec![vec![0, 1]],
+                minimal_infrequent: vec![vec![2], vec![]],
+                identification_calls: 4,
+                complete: true,
+            }),
+            halted: None,
+            chunks: None,
+            stats: RequestStats::default(),
+        };
+        let line = resp.to_json_line();
+        assert!(line.contains("\"kind\":\"mine_full\""));
+        assert!(line.contains("\"identification_calls\":4"));
+        assert!(line.contains("\"count_maximal\":1,\"count_minimal\":2"));
+        assert!(line.contains("\"maximal_frequent\":[[0,1]]"));
+        assert!(line.contains("\"minimal_infrequent\":[[2],[]]"));
+
+        let resp = Response {
+            id: 5,
+            client_id: None,
+            outcome: Ok(Outcome::Cancel {
+                target: 3,
+                cancelled: true,
+            }),
+            halted: None,
+            chunks: None,
+            stats: RequestStats::default(),
+        };
+        let line = resp.to_json_line();
+        assert!(line.contains("\"kind\":\"cancel\",\"target\":3,\"cancelled\":true"));
     }
 
     #[test]
@@ -354,12 +510,18 @@ mod tests {
                 },
                 workers: 4,
                 protocol: crate::wire::PROTOCOL_VERSION,
+                uptime_ms: 1234,
+                cache_restored: true,
             }),
+            halted: None,
+            chunks: None,
             stats: RequestStats::default(),
         };
         let line = resp.to_json_line();
         assert!(line.contains("\"kind\":\"stats\""));
         assert!(line.contains("\"workers\":4"));
+        assert!(line.contains("\"uptime_ms\":1234"));
+        assert!(line.contains("\"cache_restored\":true"));
         assert!(line.contains(
             "\"cache\":{\"hits\":5,\"misses\":7,\"entries\":2,\"evictions\":1,\
              \"expirations\":0,\"capacity\":64}"
@@ -371,6 +533,10 @@ mod tests {
         assert_eq!(ErrorCode::Parse.as_str(), "parse");
         assert_eq!(ErrorCode::Execute.as_str(), "execute");
         assert_eq!(ErrorCode::Internal.as_str(), "internal");
+        assert_eq!(ErrorCode::Cancelled.as_str(), "cancelled");
+        assert_eq!(ErrorCode::Quota.as_str(), "quota");
         assert_eq!(EngineError::internal("boom").to_string(), "boom");
+        assert_eq!(EngineError::cancelled("c").code, ErrorCode::Cancelled);
+        assert_eq!(EngineError::quota("q").code, ErrorCode::Quota);
     }
 }

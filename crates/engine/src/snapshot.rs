@@ -366,11 +366,25 @@ fn encode_outcome(outcome: &Result<Outcome, EngineError>) -> Option<String> {
                 format!("ok mine invalid-min {}", encode_set(s))
             }
         },
+        Ok(Outcome::FullBorders {
+            maximal_frequent,
+            minimal_infrequent,
+            identification_calls,
+            complete,
+        }) => format!(
+            "ok mine-full {} {} {} {}",
+            u8::from(*complete),
+            identification_calls,
+            encode_family(maximal_frequent),
+            encode_family(minimal_infrequent)
+        ),
         Ok(Outcome::Keys {
             keys,
             duality_calls,
         }) => format!("ok keys {} {}", duality_calls, encode_family(keys)),
-        Ok(Outcome::Stats { .. }) => return None,
+        // Control snapshots (`stats`) and cancel acknowledgements never
+        // reach the cache.
+        Ok(Outcome::Stats { .. }) | Ok(Outcome::Cancel { .. }) => return None,
     })
 }
 
@@ -388,6 +402,8 @@ fn decode_outcome(text: &str) -> Result<Result<Outcome, EngineError>, String> {
                 "parse" => ErrorCode::Parse,
                 "execute" => ErrorCode::Execute,
                 "internal" => ErrorCode::Internal,
+                "cancelled" => ErrorCode::Cancelled,
+                "quota" => ErrorCode::Quota,
                 other => return Err(format!("unknown error code `{other}`")),
             };
             Ok(Err(EngineError {
@@ -457,6 +473,22 @@ fn decode_ok_outcome(rest: &str) -> Result<Outcome, String> {
             }
             other => return Err(format!("unknown borders tag `{other}`")),
         }),
+        "mine-full" => {
+            let complete = match next("completeness bit")? {
+                "0" => false,
+                "1" => true,
+                other => return Err(format!("invalid completeness bit `{other}`")),
+            };
+            let identification_calls: u64 = next("identification calls")?
+                .parse()
+                .map_err(|_| "invalid identification-call count".to_string())?;
+            Outcome::FullBorders {
+                maximal_frequent: decode_family(next("maximal border")?)?,
+                minimal_infrequent: decode_family(next("minimal border")?)?,
+                identification_calls,
+                complete,
+            }
+        }
         "keys" => {
             let duality_calls: usize = next("duality calls")?
                 .parse()
@@ -532,6 +564,18 @@ mod tests {
             Ok(Outcome::Borders(BordersOutcome::InvalidMinimalInfrequent(
                 vec![0, 1, 2],
             ))),
+            Ok(Outcome::FullBorders {
+                maximal_frequent: vec![vec![0, 1], vec![2]],
+                minimal_infrequent: vec![vec![0, 2], vec![]],
+                identification_calls: 5,
+                complete: true,
+            }),
+            Ok(Outcome::FullBorders {
+                maximal_frequent: vec![],
+                minimal_infrequent: vec![],
+                identification_calls: 1,
+                complete: false,
+            }),
             Ok(Outcome::Keys {
                 keys: vec![vec![0, 1], vec![2]],
                 duality_calls: 4,
@@ -553,11 +597,18 @@ mod tests {
     }
 
     #[test]
-    fn stats_outcomes_are_never_written() {
+    fn control_outcomes_are_never_written() {
         let outcome = Ok(Outcome::Stats {
             cache: crate::cache::CacheStats::default(),
             workers: 2,
             protocol: 1,
+            uptime_ms: 0,
+            cache_restored: false,
+        });
+        assert!(encode_outcome(&outcome).is_none());
+        let outcome = Ok(Outcome::Cancel {
+            target: 3,
+            cancelled: true,
         });
         assert!(encode_outcome(&outcome).is_none());
     }
@@ -570,11 +621,11 @@ mod tests {
         }
         let mut file = Vec::new();
         let written = write_snapshot(&cache, &mut file).unwrap();
-        assert_eq!(written, 14);
+        assert_eq!(written, 16);
 
         let restored = QueryCache::with_capacity(16);
         let stats = read_snapshot(&restored, file.as_slice()).unwrap();
-        assert_eq!(stats.restored, 14);
+        assert_eq!(stats.restored, 16);
         assert_eq!(stats.dropped, 0);
         for (i, outcome) in all_outcomes().into_iter().enumerate() {
             let hit = restored

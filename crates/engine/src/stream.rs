@@ -1,0 +1,309 @@
+//! The streaming job pipeline's shared vocabulary: typed chunks, the
+//! [`ResultSink`] yield interface, cooperative [`CancelToken`]s, and the
+//! frames a streaming session emits.
+//!
+//! Both of the engine's long-running ops are *incremental* algorithms —
+//! transversal enumeration produces one minimal transversal per duality call
+//! (Propositions 1.1–1.3), and full-border identification advances one border
+//! element per identification check (`dualize_and_advance`) — so a job is not
+//! a black box between submission and answer: it **yields**.  Each yield goes
+//! through a [`ResultSink`], which
+//!
+//! * forwards the element to the client as a [`ChunkFrame`] when the request
+//!   asked for streaming (`stream=` wire keyword, `qld enumerate --stream`);
+//! * counts it against the session's item quota (`--max-items`);
+//! * reports whether the job should keep going — the yield boundary is where
+//!   cooperative **cancellation** (`cancel id=N`, a dropped stream consumer,
+//!   an aborted session) takes effect.
+//!
+//! One-shot requests run through the trivial sink ([`NullSink`] semantics:
+//! nothing is forwarded, nothing stops the job), so their behaviour —
+//! response shape, cache entries, determinism — is exactly what it was before
+//! streaming existed.  The wire-level framing is specified in `docs/WIRE.md`
+//! (protocol version 2); the lifecycle diagram lives in
+//! `docs/ARCHITECTURE.md` § "Streaming & cancellation".
+
+use crate::json::{self, ObjectBuilder};
+use crate::response::Response;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How often the streaming ops emit a [`StreamProgress`] checkpoint: one
+/// progress chunk per this many yielded items.
+pub const PROGRESS_EVERY_ITEMS: u64 = 16;
+
+/// A cooperative cancellation switch shared between a running job and
+/// whoever may stop it (a `cancel id=N` wire request, the CLI's Ctrl-C
+/// handler, or the session teardown path).  Cancellation is **cooperative**:
+/// the job observes the flag at its next yield boundary and stops there —
+/// nothing is interrupted mid-duality-call.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag.  Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a job stopped before reaching its natural end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The job was cancelled (wire `cancel`, Ctrl-C, or a vanished consumer).
+    Cancelled,
+    /// The session's `--max-items` quota was exhausted.
+    ItemQuota,
+}
+
+impl StopReason {
+    /// The wire name rendered as the `halted` response field.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Cancelled => "cancelled",
+            StopReason::ItemQuota => "max-items",
+        }
+    }
+}
+
+/// What a [`ResultSink`] tells the running op after a yield.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkDirective {
+    /// Keep going.
+    Continue,
+    /// Stop at this yield boundary; the reason is surfaced on the terminal
+    /// response (`halted` field) and suppresses caching of the partial
+    /// result.
+    Stop(StopReason),
+}
+
+/// One streamed result element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamItem {
+    /// A minimal transversal, as sorted vertex indices (`enumerate`).
+    Transversal(Vec<usize>),
+    /// A border advancement of the full identification loop (`mine … full=`).
+    BorderElement {
+        /// `true` for a maximal frequent itemset, `false` for a minimal
+        /// infrequent one.
+        maximal: bool,
+        /// The itemset, as sorted item indices.
+        itemset: Vec<usize>,
+    },
+}
+
+/// A telemetry checkpoint emitted between items (every
+/// [`PROGRESS_EVERY_ITEMS`] yields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Items yielded so far.
+    pub items: u64,
+    /// `DUAL` decisions made so far.
+    pub duality_calls: u64,
+}
+
+/// Where a running op yields.  Implementations decide whether elements are
+/// forwarded (streaming) or merely counted (one-shot), and both [`item`]
+/// and [`check`] report whether the job should stop.
+///
+/// [`item`]: ResultSink::item
+/// [`check`]: ResultSink::check
+pub trait ResultSink {
+    /// Yields one result element.  The element is always part of the job's
+    /// terminal result, even when the directive says stop.
+    fn item(&mut self, item: StreamItem) -> SinkDirective;
+
+    /// Emits a telemetry checkpoint (dropped by non-streaming sinks).
+    fn progress(&mut self, progress: StreamProgress);
+
+    /// Polls for cancellation/quota at a yield boundary that produced no
+    /// item (e.g. before a duality call).
+    fn check(&self) -> SinkDirective;
+}
+
+/// The trivial sink: discards everything, never stops the job.  One-shot
+/// execution paths that predate streaming ([`crate::ops::execute`],
+/// [`crate::engine::Engine::run_batch`]) run through it unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ResultSink for NullSink {
+    fn item(&mut self, _item: StreamItem) -> SinkDirective {
+        SinkDirective::Continue
+    }
+    fn progress(&mut self, _progress: StreamProgress) {}
+    fn check(&self) -> SinkDirective {
+        SinkDirective::Continue
+    }
+}
+
+/// The payload of one chunk frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkPayload {
+    /// A result element.
+    Item(StreamItem),
+    /// A telemetry checkpoint.
+    Progress(StreamProgress),
+}
+
+/// One streamed response frame: a piece of an in-flight request's answer,
+/// correlated by the request's session `id` and ordered by the per-request
+/// chunk sequence number `seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFrame {
+    /// The request's sequence number within its session (same space as the
+    /// terminal response's `id`).
+    pub id: u64,
+    /// The caller-supplied correlation token, echoed on every frame.
+    pub client_id: Option<String>,
+    /// Position of this chunk within the request's stream, starting at 0.
+    pub seq: u64,
+    /// The request kind (`enumerate`, `mine_full`).
+    pub kind: &'static str,
+    /// What the chunk carries.
+    pub payload: ChunkPayload,
+}
+
+impl ChunkFrame {
+    /// Renders the chunk as one JSON line (without trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut o = ObjectBuilder::new();
+        o.uint("id", self.id as u128);
+        if let Some(cid) = &self.client_id {
+            o.str("client_id", cid);
+        }
+        o.str("frame", "chunk");
+        o.uint("seq", self.seq as u128);
+        o.str("kind", self.kind);
+        match &self.payload {
+            ChunkPayload::Item(item) => {
+                let mut io = ObjectBuilder::new();
+                match item {
+                    StreamItem::Transversal(t) => {
+                        io.raw("transversal", &json::index_array(t));
+                    }
+                    StreamItem::BorderElement { maximal, itemset } => {
+                        io.str(
+                            "new_border",
+                            if *maximal {
+                                "maximal_frequent"
+                            } else {
+                                "minimal_infrequent"
+                            },
+                        );
+                        io.raw("itemset", &json::index_array(itemset));
+                    }
+                }
+                o.raw("item", &io.build());
+            }
+            ChunkPayload::Progress(p) => {
+                let mut po = ObjectBuilder::new();
+                po.uint("items", p.items as u128)
+                    .uint("duality_calls", p.duality_calls as u128);
+                o.raw("progress", &po.build());
+            }
+        }
+        o.build()
+    }
+}
+
+/// One delivery from the worker pool to a session or stream consumer: a
+/// mid-stream chunk or the terminal response.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// A mid-stream frame of an in-flight request.
+    Chunk(ChunkFrame),
+    /// The request's terminal response (rendered with `frame:"done"` when
+    /// the request streamed).
+    Done(Response),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_tokens_share_state_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        clone.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn chunk_frames_render_expected_json() {
+        let frame = ChunkFrame {
+            id: 4,
+            client_id: Some("q1".into()),
+            seq: 2,
+            kind: "enumerate",
+            payload: ChunkPayload::Item(StreamItem::Transversal(vec![0, 3])),
+        };
+        assert_eq!(
+            frame.to_json_line(),
+            "{\"id\":4,\"client_id\":\"q1\",\"frame\":\"chunk\",\"seq\":2,\
+             \"kind\":\"enumerate\",\"item\":{\"transversal\":[0,3]}}"
+        );
+
+        let frame = ChunkFrame {
+            id: 0,
+            client_id: None,
+            seq: 7,
+            kind: "mine_full",
+            payload: ChunkPayload::Item(StreamItem::BorderElement {
+                maximal: false,
+                itemset: vec![],
+            }),
+        };
+        let line = frame.to_json_line();
+        assert!(line.contains("\"new_border\":\"minimal_infrequent\""));
+        assert!(line.contains("\"itemset\":[]"));
+
+        let frame = ChunkFrame {
+            id: 1,
+            client_id: None,
+            seq: 16,
+            kind: "enumerate",
+            payload: ChunkPayload::Progress(StreamProgress {
+                items: 16,
+                duality_calls: 16,
+            }),
+        };
+        assert!(frame
+            .to_json_line()
+            .contains("\"progress\":{\"items\":16,\"duality_calls\":16}"));
+    }
+
+    #[test]
+    fn null_sink_never_stops() {
+        let mut sink = NullSink;
+        assert_eq!(
+            sink.item(StreamItem::Transversal(vec![1])),
+            SinkDirective::Continue
+        );
+        assert_eq!(sink.check(), SinkDirective::Continue);
+        sink.progress(StreamProgress {
+            items: 1,
+            duality_calls: 1,
+        });
+    }
+
+    #[test]
+    fn stop_reasons_have_stable_names() {
+        assert_eq!(StopReason::Cancelled.as_str(), "cancelled");
+        assert_eq!(StopReason::ItemQuota.as_str(), "max-items");
+    }
+}

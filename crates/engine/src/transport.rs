@@ -433,16 +433,17 @@ impl<W> CountingWriter<W> {
 
 impl<W: Write> Write for CountingWriter<W> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let contains = |line: &[u8], needle: &[u8]| line.windows(needle.len()).any(|w| w == needle);
         let written = self.inner.write(buf)?;
         for &byte in &buf[..written] {
             if byte == b'\n' {
-                self.summary.requests += 1;
-                if self
-                    .line
-                    .windows(b"\"ok\":false".len())
-                    .any(|w| w == b"\"ok\":false")
-                {
-                    self.summary.errors += 1;
+                // Chunk frames are pieces of one in-flight request, not
+                // answered requests: only terminal lines are tallied.
+                if !contains(&self.line, b"\"frame\":\"chunk\"") {
+                    self.summary.requests += 1;
+                    if contains(&self.line, b"\"ok\":false") {
+                        self.summary.errors += 1;
+                    }
                 }
                 self.line.clear();
             } else {

@@ -7,17 +7,25 @@
 //! ```text
 //! check <G> <H>
 //! enumerate <G> [limit=K]
-//! mine <REL> z=<Z> [g=<G>] [h=<H>]
+//! mine <REL> z=<Z> [g=<G>] [h=<H>] [full=BOOL]
 //! keys <TABLE>
 //! stats
+//! cancel id=<N>
 //! ```
 //!
 //! Every request line additionally accepts the **envelope keywords**
 //! `id=<TOKEN>` (an opaque correlation token echoed back as `client_id`),
 //! `order=input|arrival` (per-request override of the session's response
-//! ordering, see [`crate::engine::Engine::serve_with`]), and
+//! ordering, see [`crate::engine::Engine::serve_with`]),
 //! `solver=<NAME>` (force a concrete solver for this request's duality calls,
-//! any name accepted by [`crate::policy::SolverKind::from_name`]).
+//! any name accepted by [`crate::policy::SolverKind::from_name`]), and
+//! `stream=BOOL` (answer with incremental `chunk` frames followed by a `done`
+//! frame instead of one response line — protocol version 2, see
+//! `docs/WIRE.md`).  `mine … full=true` runs the full `dualize_and_advance`
+//! identification loop server-side; `cancel id=<N>` asks the session to stop
+//! the in-flight request whose sequence number is `N` (on a `cancel` line the
+//! `id=` keyword names the *target*, so cancel requests carry no correlation
+//! token of their own).
 //!
 //! Hypergraphs (`<G>`, `<H>`) and relations (`<REL>`) are written **inline**:
 //! edges (rows) separated by `;`, vertex indices inside an edge separated by
@@ -43,8 +51,11 @@ use qld_keys::RelationInstance;
 
 /// Version of the wire protocol this engine speaks.  Reported by the `stats`
 /// request; bumped only on breaking changes (see the versioning rules in
-/// `docs/WIRE.md`).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// `docs/WIRE.md`).  Version 2 adds streaming (`stream=` requests answered as
+/// `chunk`/`done` frames), the `cancel` control request, the `mine … full=`
+/// full-border loop, and per-session quotas; version-1 one-shot traffic is
+/// served unchanged.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Response emission discipline of a serve session (the `order=` keyword).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,10 +91,17 @@ impl OrderMode {
 /// The command part of a parsed wire line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// One of the four typed solver queries.
+    /// One of the typed solver queries.
     Query(Request),
     /// The `stats` control request: a snapshot of the engine counters.
     Stats,
+    /// The `cancel id=N` control request: stop the in-flight request whose
+    /// session sequence number is `N`.
+    Cancel {
+        /// The target request's sequence number (the `id` field of its
+        /// responses).
+        target: u64,
+    },
 }
 
 /// One fully parsed wire line: the command plus its envelope options.
@@ -98,6 +116,9 @@ pub struct ParsedLine {
     /// Per-request solver override (`solver=`) applied to every duality call
     /// the request makes.
     pub solver: Option<SolverKind>,
+    /// Whether the request asked for a streamed answer (`stream=` keyword):
+    /// incremental `chunk` frames followed by a `done` frame.
+    pub stream: bool,
 }
 
 /// Splits an optional `n=<N>:` prefix off an inline family, returning the
@@ -288,6 +309,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
     let mut id: Option<String> = None;
     let mut order: Option<OrderMode> = None;
     let mut solver: Option<SolverKind> = None;
+    let mut stream = false;
     let mut rest: Vec<&str> = Vec::new();
     for t in tokens {
         if let Some(v) = t.strip_prefix("id=") {
@@ -302,6 +324,13 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
             );
         } else if let Some(v) = t.strip_prefix("solver=") {
             solver = Some(SolverKind::from_name(v).ok_or_else(|| format!("unknown solver `{v}`"))?);
+        } else if let Some(v) = t.strip_prefix("stream=") {
+            stream = match v {
+                "chunks" => true,
+                other => parse_bool(other).ok_or_else(|| {
+                    format!("invalid stream flag `{v}` (expected true|false|1|0|chunks)")
+                })?,
+            };
         } else {
             rest.push(t);
         }
@@ -329,10 +358,15 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
             })
         }
         "mine" => {
-            let [rel] = positional::<1>("mine", &rest, &["z", "g", "h"])?;
+            let [rel] = positional::<1>("mine", &rest, &["z", "g", "h", "full"])?;
             let relation = parse_relation(rel)?;
             let z = keyword(&rest, "z").ok_or_else(|| "mine requires z=<threshold>".to_string())?;
             let threshold: usize = z.parse().map_err(|_| format!("invalid threshold `{z}`"))?;
+            let full = match keyword(&rest, "full") {
+                Some(v) => parse_bool(v)
+                    .ok_or_else(|| format!("invalid full flag `{v}` (expected true|false|1|0)"))?,
+                None => false,
+            };
             let n = relation.num_items();
             let minimal_infrequent = match keyword(&rest, "g") {
                 Some(v) => parse_hypergraph(v)?,
@@ -342,11 +376,20 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
                 Some(v) => parse_hypergraph(v)?,
                 None => Hypergraph::new(n),
             };
-            Command::Query(Request::IdentifyItemsetBorders {
-                relation,
-                threshold,
-                minimal_infrequent,
-                maximal_frequent,
+            Command::Query(if full {
+                Request::MineBorders {
+                    relation,
+                    threshold,
+                    minimal_infrequent,
+                    maximal_frequent,
+                }
+            } else {
+                Request::IdentifyItemsetBorders {
+                    relation,
+                    threshold,
+                    minimal_infrequent,
+                    maximal_frequent,
+                }
             })
         }
         "keys" => {
@@ -359,9 +402,22 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
             let [] = positional::<0>("stats", &rest, &[])?;
             Command::Stats
         }
+        "cancel" => {
+            let [] = positional::<0>("cancel", &rest, &[])?;
+            // On a `cancel` line the `id=` keyword names the *target* request
+            // (the session sequence number of its responses), so it is taken
+            // out of the envelope rather than echoed as a correlation token.
+            let target = id
+                .take()
+                .ok_or_else(|| "cancel requires id=<request-number>".to_string())?;
+            let target: u64 = target
+                .parse()
+                .map_err(|_| format!("invalid cancel target `{target}` (expected a number)"))?;
+            Command::Cancel { target }
+        }
         other => {
             return Err(format!(
-                "unknown request kind `{other}` (expected check|enumerate|mine|keys|stats)"
+                "unknown request kind `{other}` (expected check|enumerate|mine|keys|stats|cancel)"
             ))
         }
     };
@@ -370,7 +426,17 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
         id,
         order,
         solver,
+        stream,
     })
+}
+
+/// Parses a wire boolean flag value (`stream=`, `full=`).
+fn parse_bool(v: &str) -> Option<bool> {
+    match v {
+        "true" | "1" => Some(true),
+        "false" | "0" => Some(false),
+        _ => None,
+    }
 }
 
 /// Best-effort recovery of the `id=` correlation token from a line that
@@ -395,6 +461,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match parse_line(line)?.command {
         Command::Query(request) => Ok(request),
         Command::Stats => Err("`stats` is a control command, not a typed request".to_string()),
+        Command::Cancel { .. } => {
+            Err("`cancel` is a control command, not a typed request".to_string())
+        }
     }
 }
 
@@ -416,6 +485,18 @@ pub fn render_request(request: &Request) -> String {
             maximal_frequent,
         } => format!(
             "mine {} z={} g={} h={}",
+            relation_to_inline(relation),
+            threshold,
+            to_inline(minimal_infrequent),
+            to_inline(maximal_frequent)
+        ),
+        Request::MineBorders {
+            relation,
+            threshold,
+            minimal_infrequent,
+            maximal_frequent,
+        } => format!(
+            "mine {} z={} g={} h={} full=true",
             relation_to_inline(relation),
             threshold,
             to_inline(minimal_infrequent),
@@ -546,6 +627,7 @@ mod tests {
         assert_eq!(pl.id.as_deref(), Some("req-1"));
         assert_eq!(pl.order, Some(OrderMode::Arrival));
         assert_eq!(pl.solver, Some(SolverKind::BmTree));
+        assert!(!pl.stream);
         assert!(matches!(pl.command, Command::Query(_)));
 
         let pl = parse_line("enumerate 0,1;2,3 limit=2 solver=quadlog").unwrap();
@@ -561,6 +643,65 @@ mod tests {
         assert!(parse_line("check 0,1 0;1 id=").is_err());
         assert!(parse_line("stats 0,1").is_err());
         assert!(parse_request("stats").is_err());
+    }
+
+    #[test]
+    fn stream_flag_parses_on_every_kind() {
+        for value in ["1", "true", "chunks"] {
+            let pl = parse_line(&format!("enumerate 0,1;2,3 stream={value}")).unwrap();
+            assert!(pl.stream, "stream={value}");
+        }
+        for value in ["0", "false"] {
+            let pl = parse_line(&format!("enumerate 0,1;2,3 stream={value}")).unwrap();
+            assert!(!pl.stream, "stream={value}");
+        }
+        let pl = parse_line("check 0,1 0;1 stream=1 id=x").unwrap();
+        assert!(pl.stream);
+        assert_eq!(pl.id.as_deref(), Some("x"));
+        assert!(parse_line("enumerate 0,1 stream=sideways").is_err());
+    }
+
+    #[test]
+    fn mine_full_parses_to_the_border_loop_request() {
+        match parse_request("mine 0,1;0,1;1,2 z=1 full=true").unwrap() {
+            Request::MineBorders {
+                threshold,
+                minimal_infrequent,
+                maximal_frequent,
+                ..
+            } => {
+                assert_eq!(threshold, 1);
+                assert!(minimal_infrequent.is_empty());
+                assert!(maximal_frequent.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // full=false (and absence) keeps the one-shot identification kind.
+        assert!(matches!(
+            parse_request("mine 0,1;0,1;1,2 z=1 full=false").unwrap(),
+            Request::IdentifyItemsetBorders { .. }
+        ));
+        // Seeds ride along in full mode.
+        match parse_request("mine n=3:0,1;1,2 z=0 h=n=3:0,1 full=1").unwrap() {
+            Request::MineBorders {
+                maximal_frequent, ..
+            } => assert_eq!(maximal_frequent.num_edges(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_request("mine 0,1 z=1 full=maybe").is_err());
+    }
+
+    #[test]
+    fn cancel_lines_parse_the_target_out_of_the_id_keyword() {
+        let pl = parse_line("cancel id=7").unwrap();
+        assert_eq!(pl.command, Command::Cancel { target: 7 });
+        // The id= keyword named the target, not a correlation token.
+        assert_eq!(pl.id, None);
+
+        assert!(parse_line("cancel").is_err(), "missing target");
+        assert!(parse_line("cancel id=abc").is_err(), "non-numeric target");
+        assert!(parse_line("cancel 3").is_err(), "positional target");
+        assert!(parse_request("cancel id=3").is_err(), "not a typed request");
     }
 
     #[test]
@@ -608,6 +749,7 @@ mod tests {
             "enumerate n=4:0,1;2,3 limit=3",
             "enumerate n=3:.;0,1",
             "mine n=3:0,1;0,1;1,2 z=1 g=n=3:- h=n=3:0,1",
+            "mine n=3:0,1;0,1;1,2 z=1 g=n=3:- h=n=3:- full=true",
             "keys 1,2;1,3",
             "keys -",
         ] {
@@ -668,8 +810,10 @@ mod tests {
                 "check n=4:0,1;2,3 n=4:0,2;0,3;1,2;1,3 id=x order=arrival solver=tree",
                 "enumerate n=4:0,1;2,3 limit=3",
                 "mine n=3:0,1;0,1;1,2 z=1 g=n=3:- h=n=3:0,1",
+                "mine n=3:0,1;0,1;1,2 z=1 full=true stream=chunks",
                 "keys 1,2;1,3",
                 "stats",
+                "cancel id=3",
             ] {
                 let cut = cut.min(line.len());
                 let _ = parse_line(&line[..cut]);

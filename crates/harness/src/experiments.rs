@@ -1,4 +1,4 @@
-//! The experiment suite (E2–E9).
+//! The experiment suite (E2–E13).
 //!
 //! Each function reproduces one of the paper claims listed in `DESIGN.md` /
 //! `EXPERIMENTS.md` and returns a [`Table`]; the `experiments` binary prints them, and
@@ -20,10 +20,10 @@ use std::time::Instant;
 
 /// Identifiers of all experiments, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
-/// Runs one experiment by identifier (`"e2"` … `"e12"`).
+/// Runs one experiment by identifier (`"e2"` … `"e13"`).
 pub fn run(id: &str) -> Option<Table> {
     match id {
         "e2" => Some(e2_tree_shape()),
@@ -37,6 +37,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e10" => Some(e10_engine_batch()),
         "e11" => Some(e11_socket_serve()),
         "e12" => Some(e12_hotpath()),
+        "e13" => Some(e13_streaming()),
         _ => None,
     }
 }
@@ -709,6 +710,171 @@ pub fn e12_hotpath() -> Table {
     table
 }
 
+/// One measured streaming run: latency to the first item vs. the last, plus
+/// the one-shot (non-streaming) wall time for the same request.
+pub struct StreamingMeasurement {
+    /// Workload label.
+    pub name: String,
+    /// Items the stream yielded.
+    pub items: usize,
+    /// Microseconds from submission to the first item chunk.
+    pub first_item_us: f64,
+    /// Microseconds from submission to the terminal `done` response.
+    pub done_us: f64,
+    /// Microseconds the same request takes one-shot (fresh engine, no cache).
+    pub oneshot_us: f64,
+    /// Whether the chunks reassembled into exactly the terminal result.
+    pub agree: bool,
+}
+
+impl StreamingMeasurement {
+    /// Time-to-first-result as a fraction of time-to-last (small is the
+    /// whole point of streaming).
+    pub fn first_fraction(&self) -> f64 {
+        if self.done_us > 0.0 {
+            self.first_item_us / self.done_us
+        } else {
+            1.0
+        }
+    }
+
+    /// One JSON object for the `e13_stream` trajectory file.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{:?},\"items\":{},\"first_item_us\":{:.1},\"done_us\":{:.1},\
+             \"oneshot_us\":{:.1},\"agree\":{}}}",
+            self.name, self.items, self.first_item_us, self.done_us, self.oneshot_us, self.agree
+        )
+    }
+}
+
+/// Runs every streaming workload through a fresh cache-less engine and
+/// measures time-to-first-item vs. time-to-last (shared by E13 and the
+/// `e13_stream` bench).
+pub fn measure_streaming() -> Vec<StreamingMeasurement> {
+    use qld_engine::{
+        ChunkPayload, Engine, EngineConfig, Outcome, StreamEvent, StreamItem, StreamRunOptions,
+    };
+
+    let mut out = Vec::new();
+    for (name, request) in workloads::streaming_workloads() {
+        // Cache off: both runs must actually execute, or the comparison is
+        // replay-vs-replay.
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            cache: false,
+            ..EngineConfig::default()
+        });
+        let started = Instant::now();
+        let handle = engine.run_streaming(request.clone(), StreamRunOptions::default());
+        let mut first_item_us = 0.0f64;
+        let mut items: Vec<StreamItem> = Vec::new();
+        let mut done = None;
+        while let Some(event) = handle.next_event() {
+            match event {
+                StreamEvent::Chunk(frame) => {
+                    if let ChunkPayload::Item(item) = frame.payload {
+                        if items.is_empty() {
+                            first_item_us = started.elapsed().as_micros() as f64;
+                        }
+                        items.push(item);
+                    }
+                }
+                StreamEvent::Done(response) => {
+                    done = Some(response);
+                    break;
+                }
+            }
+        }
+        let done_us = started.elapsed().as_micros() as f64;
+        let done = done.expect("stream ended with a done frame");
+
+        let oneshot_started = Instant::now();
+        let oneshot = engine.run_one(request);
+        let oneshot_us = oneshot_started.elapsed().as_micros() as f64;
+
+        // Reassemble the chunks and compare against the terminal result.
+        let mut streamed: Vec<String> = items.iter().map(|i| format!("{i:?}")).collect();
+        streamed.sort();
+        let mut terminal: Vec<String> = match &done.outcome {
+            Ok(Outcome::Transversals { transversals, .. }) => transversals
+                .iter()
+                .map(|t| format!("{:?}", StreamItem::Transversal(t.clone())))
+                .collect(),
+            Ok(Outcome::FullBorders {
+                maximal_frequent,
+                minimal_infrequent,
+                ..
+            }) => maximal_frequent
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{:?}",
+                        StreamItem::BorderElement {
+                            maximal: true,
+                            itemset: s.clone()
+                        }
+                    )
+                })
+                .chain(minimal_infrequent.iter().map(|s| {
+                    format!(
+                        "{:?}",
+                        StreamItem::BorderElement {
+                            maximal: false,
+                            itemset: s.clone()
+                        }
+                    )
+                }))
+                .collect(),
+            other => panic!("unexpected streaming outcome {other:?}"),
+        };
+        terminal.sort();
+        let agree =
+            done.halted.is_none() && streamed == terminal && done.outcome == oneshot.outcome;
+        out.push(StreamingMeasurement {
+            name,
+            items: items.len(),
+            first_item_us,
+            done_us,
+            oneshot_us,
+            agree,
+        });
+    }
+    out
+}
+
+/// E13 — the streaming job pipeline: time-to-first-result vs. time-to-last
+/// for streamed transversal enumeration and full-border identification, with
+/// every run cross-checked (chunks reassemble into the terminal result, which
+/// equals the one-shot answer).
+pub fn e13_streaming() -> Table {
+    let mut table = Table::new(
+        "E13",
+        "Streaming: time-to-first-item vs. time-to-last (chunks ≡ one-shot result)",
+        &[
+            "workload",
+            "items",
+            "first-item-us",
+            "done-us",
+            "first/done",
+            "oneshot-us",
+            "agree",
+        ],
+    );
+    for m in measure_streaming() {
+        table.push_row(vec![
+            m.name.clone(),
+            m.items.to_string(),
+            f2(m.first_item_us),
+            f2(m.done_us),
+            f2(m.first_fraction()),
+            f2(m.oneshot_us),
+            mark(m.agree),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -739,5 +905,23 @@ mod tests {
     fn small_table_helpers() {
         let li = qld_hypergraph::generators::matching_instance(2);
         assert!(brute_force_agrees(&li));
+    }
+
+    #[test]
+    fn e13_streams_agree_and_first_item_beats_done() {
+        let t = e13_streaming();
+        assert!(!t.is_empty());
+        assert!(all_correctness_cells_pass(&t), "\n{}", t.render());
+        for m in measure_streaming() {
+            assert!(m.agree, "{}", m.name);
+            assert!(m.items >= 12, "{}: too few items", m.name);
+            assert!(
+                m.first_item_us <= m.done_us,
+                "{}: first item after done",
+                m.name
+            );
+            let json = m.to_json();
+            assert!(json.contains("\"first_item_us\""), "{json}");
+        }
     }
 }

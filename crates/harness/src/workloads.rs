@@ -193,6 +193,57 @@ pub fn engine_wire_lines(min_requests: usize) -> Vec<String> {
         .collect()
 }
 
+/// The classical border-stress relation behind the streaming experiments
+/// (E13, the `e13_stream` bench, and the CI cancel smoke): over `2k` items,
+/// row `i` is the full universe minus the pair `{2i, 2i+1}`.  At threshold 0
+/// the maximal frequent border is the `k` rows themselves and the minimal
+/// infrequent border is the `2^k` transversals of the perfect matching — a
+/// small relation whose full-border identification runs long and yields
+/// many stream items.
+pub fn border_stress_relation(pairs: usize) -> BooleanRelation {
+    use qld_hypergraph::VertexSet;
+    let n = 2 * pairs;
+    BooleanRelation::from_rows(
+        n,
+        (0..pairs)
+            .map(|i| VertexSet::from_indices(n, (0..n).filter(|&v| v != 2 * i && v != 2 * i + 1))),
+    )
+}
+
+/// Streaming workloads (E13 and the `e13_stream` bench): long-running,
+/// many-item requests where time-to-first-result is the interesting number.
+/// Returns `(name, request)`; every request yields at least a dozen items.
+pub fn streaming_workloads() -> Vec<(String, Request)> {
+    let mut out = Vec::new();
+    for k in [4usize, 5] {
+        let li = generators::matching_instance(k);
+        out.push((
+            format!("enumerate matching({k}) [{} items]", 1usize << k),
+            Request::EnumerateTransversals {
+                g: li.g,
+                limit: None,
+            },
+        ));
+    }
+    for pairs in [4usize, 5] {
+        let relation = border_stress_relation(pairs);
+        let n = relation.num_items();
+        out.push((
+            format!(
+                "mine-full pair-complement({pairs}) [{} items]",
+                pairs + (1usize << pairs)
+            ),
+            Request::MineBorders {
+                relation,
+                threshold: 0,
+                minimal_infrequent: qld_hypergraph::Hypergraph::new(n),
+                maximal_frequent: qld_hypergraph::Hypergraph::new(n),
+            },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +284,29 @@ mod tests {
         assert!(datamining_workloads().len() >= 5);
         assert!(key_workloads().len() >= 5);
         assert!(coterie_workloads().len() >= 8);
+    }
+
+    #[test]
+    fn border_stress_relation_has_the_predicted_borders() {
+        let pairs = 3;
+        let relation = border_stress_relation(pairs);
+        assert_eq!(relation.num_items(), 2 * pairs);
+        assert_eq!(relation.num_rows(), pairs);
+        let exact = qld_datamining::borders_exact(&relation, 0);
+        assert_eq!(exact.maximal_frequent.num_edges(), pairs);
+        assert_eq!(exact.minimal_infrequent.num_edges(), 1 << pairs);
+    }
+
+    #[test]
+    fn streaming_workloads_cover_both_streaming_kinds() {
+        let workloads = streaming_workloads();
+        assert!(workloads.len() >= 3);
+        assert!(workloads
+            .iter()
+            .any(|(_, r)| matches!(r, Request::EnumerateTransversals { .. })));
+        assert!(workloads
+            .iter()
+            .any(|(_, r)| matches!(r, Request::MineBorders { .. })));
     }
 
     #[test]

@@ -197,6 +197,7 @@ mod tcp {
                 &eng_ref,
                 ServeOptions {
                     order: OrderMode::Arrival,
+                    ..ServeOptions::default()
                 },
             )
         });
@@ -265,6 +266,7 @@ fn input_order_holds_fast_responses_behind_slow_ones() {
             &mut out,
             &ServeOptions {
                 order: OrderMode::Input,
+                ..ServeOptions::default()
             },
         )
         .unwrap();
@@ -284,6 +286,7 @@ fn arrival_order_streams_fast_responses_past_slow_ones() {
             &mut out,
             &ServeOptions {
                 order: OrderMode::Arrival,
+                ..ServeOptions::default()
             },
         )
         .unwrap();
@@ -315,6 +318,7 @@ fn per_request_order_override_excludes_requests_from_the_ordered_stream() {
             &mut out,
             &ServeOptions {
                 order: OrderMode::Input,
+                ..ServeOptions::default()
             },
         )
         .unwrap();
