@@ -1,0 +1,172 @@
+//! E14 — the shard-fleet router (`qld front`): request throughput through
+//! the front socket at 1 vs. 2 backend shards, plus crash-recovery time.
+//!
+//! Criterion times a warm pass of the mixed wire workload through an
+//! in-process router backed by real `qld serve` shard processes — the hot
+//! path is the routing/relay hop itself, since the shards answer from their
+//! caches after the setup pass.  Besides the Criterion timings, every run
+//! appends one JSON line to `target/e14_front.json` — the bench's
+//! **trajectory** — covering cold-pass throughput, warm re-ask affinity, and
+//! supervisor recovery time at each shard count.  Set `E14_SMOKE=1` to skip
+//! the Criterion measurement windows and record a single fast pass (the CI
+//! smoke mode).  Both modes need Unix sockets and a built `qld` binary
+//! (`$QLD_BIN`, or a `qld` next to the `target/<profile>/` directory); when
+//! either is missing the run degrades to an empty trajectory entry.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use qld_harness::experiments;
+use std::io::Write;
+
+fn smoke() -> bool {
+    std::env::var("E14_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn bench_front(c: &mut Criterion) {
+    #[cfg(unix)]
+    bench_front_unix(c);
+    #[cfg(not(unix))]
+    let _ = c;
+}
+
+#[cfg(unix)]
+fn bench_front_unix(c: &mut Criterion) {
+    use qld_engine::SocketServer;
+    use qld_front::{policy_from_name, session_handler, Fleet, FleetConfig, Router};
+    use qld_harness::workloads;
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let Some(binary) = experiments::locate_qld_binary() else {
+        eprintln!("e14   no qld binary found (set QLD_BIN); skipping Criterion group");
+        return;
+    };
+    let lines = workloads::engine_wire_lines(20);
+
+    let mut group = c.benchmark_group("e14_front");
+    for shards in [1usize, 2] {
+        let dir =
+            std::env::temp_dir().join(format!("qld-e14-bench-{}-{}", shards, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = FleetConfig::new(shards, binary.clone(), dir.join("shards"));
+        config.probe_interval = Duration::from_millis(50);
+        config.spec.workers = Some(2);
+        let fleet = Fleet::start(config).expect("fleet start");
+        let policy = policy_from_name("hash", shards).expect("hash policy");
+        let router = Router::new(Arc::clone(&fleet), policy, true);
+        let socket = dir.join("front.sock");
+        let server = SocketServer::bind(&socket).expect("bind front socket");
+        let shutdown = server.shutdown_handle();
+        let runner = std::thread::spawn(move || server.run_with(Arc::new(session_handler(router))));
+
+        let pass = |tag: &str| -> u64 {
+            let mut stream = UnixStream::connect(&socket).expect("connect to front");
+            for (i, line) in lines.iter().enumerate() {
+                writeln!(stream, "{line} id={tag}-{i}").expect("send");
+            }
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut answered = 0u64;
+            for response in BufReader::new(stream).lines() {
+                assert!(!response.expect("response line").is_empty());
+                answered += 1;
+            }
+            answered
+        };
+
+        // Warm the shard caches so Criterion times the router hop, not the
+        // solvers.
+        assert_eq!(pass("warmup"), lines.len() as u64);
+
+        group.bench_with_input(
+            BenchmarkId::new("warm_pass", shards),
+            &shards,
+            |b, _shards| {
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    black_box(pass(&format!("r{round}")))
+                })
+            },
+        );
+
+        shutdown.shutdown();
+        let _ = runner.join();
+        fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_front
+}
+
+/// `target/e14_front.json`, located from the bench executable's own path
+/// (`target/<profile>/deps/e14_front-…`).
+fn trajectory_path() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    // deps -> profile -> target
+    let target = exe.parent()?.parent()?.parent()?;
+    Some(target.join("e14_front.json"))
+}
+
+/// Runs the fleet measurements and appends one JSON line to the trajectory.
+fn record_trajectory() {
+    let metrics = experiments::measure_fleet();
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let rows: Vec<String> = metrics.iter().map(|m| m.to_json()).collect();
+    let line = format!(
+        "{{\"bench\":\"e14_front\",\"unix_secs\":{},\"smoke\":{},\"metrics\":[{}]}}",
+        unix_secs,
+        smoke(),
+        rows.join(",")
+    );
+    for m in &metrics {
+        println!(
+            "e14   shards={} requests={} errors={} cold {:>8.1} ms ({:>7.1} req/s)  warm-hits={}  recovery {}  ok={}",
+            m.shards,
+            m.requests,
+            m.errors,
+            m.total_ms,
+            m.req_per_s,
+            m.warm_hits,
+            if m.recovery_ms < 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.1} ms", m.recovery_ms)
+            },
+            m.ok
+        );
+    }
+    if metrics.is_empty() {
+        println!("e14   no measurements (needs unix sockets and a built `qld` binary)");
+    }
+    match trajectory_path() {
+        Some(path) => {
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            match result {
+                Ok(()) => println!("e14   trajectory appended to {}", path.display()),
+                Err(e) => eprintln!("e14   could not write {}: {e}", path.display()),
+            }
+        }
+        None => eprintln!("e14   could not locate the target directory; line: {line}"),
+    }
+}
+
+fn main() {
+    if !smoke() {
+        benches();
+    }
+    record_trajectory();
+}

@@ -32,7 +32,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -200,6 +200,26 @@ struct PoolJob {
     reply: Sender<StreamEvent>,
 }
 
+/// Live load counters shared by sessions and workers, reported by the
+/// `stats` wire request (`inflight`/`sessions` fields) — the load signal a
+/// fleet router's least-loaded shard policy reads.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    /// Jobs admitted to the pool (queued or running) and not yet answered.
+    inflight: AtomicU64,
+    /// Serve sessions currently inside [`Engine::serve_with`].
+    sessions: AtomicU64,
+}
+
+/// Decrements the session gauge when a serve session ends, however it ends.
+struct SessionGuard<'a>(&'a EngineCounters);
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Read-only state shared with every worker thread.
 struct WorkerCtx {
     policy: Arc<dyn SolverPolicy>,
@@ -210,6 +230,8 @@ struct WorkerCtx {
     started: Instant,
     /// Whether a cache snapshot was restored at construction.
     cache_restored: bool,
+    /// Live load counters (`stats` reporting; shared with the engine).
+    counters: Arc<EngineCounters>,
 }
 
 /// The concurrent query engine.  Dropping it shuts the worker pool down
@@ -224,6 +246,8 @@ pub struct Engine {
     /// `Some` for the engine's lifetime; taken in `Drop` to hang up the queue.
     job_tx: Option<SyncSender<PoolJob>>,
     handles: Vec<JoinHandle<()>>,
+    /// Live load counters (shared with the worker pool for `stats`).
+    counters: Arc<EngineCounters>,
 }
 
 impl Engine {
@@ -260,6 +284,7 @@ impl Engine {
         let workers = config.workers.max(1);
         let (job_tx, job_rx) = mpsc::sync_channel::<PoolJob>(config.queue_capacity.max(1));
         let job_rx = Arc::new(Mutex::new(job_rx));
+        let counters = Arc::new(EngineCounters::default());
         let ctx = Arc::new(WorkerCtx {
             policy: Arc::clone(&config.policy),
             cache: Arc::clone(&cache),
@@ -267,6 +292,7 @@ impl Engine {
             workers,
             started: Instant::now(),
             cache_restored: cache_restored > 0,
+            counters: Arc::clone(&counters),
         });
         let handles = (0..workers)
             .map(|worker_index| {
@@ -282,6 +308,7 @@ impl Engine {
             cache_restore_error,
             job_tx: Some(job_tx),
             handles,
+            counters,
         }
     }
 
@@ -375,6 +402,7 @@ impl Engine {
                 max_items: None,
                 reply: reply_tx.clone(),
             };
+            self.counters.inflight.fetch_add(1, Ordering::Relaxed);
             self.sender().send(job).expect("worker pool alive");
         }
         drop(reply_tx);
@@ -422,6 +450,7 @@ impl Engine {
             max_items: options.max_items,
             reply: reply_tx,
         };
+        self.counters.inflight.fetch_add(1, Ordering::Relaxed);
         self.sender().send(job).expect("worker pool alive");
         StreamHandle {
             cancel,
@@ -466,6 +495,8 @@ impl Engine {
         output: &mut W,
         options: &ServeOptions,
     ) -> std::io::Result<ServeSummary> {
+        self.counters.sessions.fetch_add(1, Ordering::Relaxed);
+        let _session = SessionGuard(&self.counters);
         let mut summary = ServeSummary::default();
         let mut write_error: Option<std::io::Error> = None;
         let read_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
@@ -501,6 +532,7 @@ impl Engine {
                 let held = &held;
                 let abort = &abort;
                 let job_tx = self.sender().clone();
+                let counters = &self.counters;
                 let default_order = options.order;
                 let max_inflight = options.max_inflight;
                 let max_items = options.max_items;
@@ -637,7 +669,9 @@ impl Engine {
                             max_items,
                             reply: reply_tx.clone(),
                         };
+                        counters.inflight.fetch_add(1, Ordering::Relaxed);
                         if job_tx.send(job).is_err() {
+                            counters.inflight.fetch_sub(1, Ordering::Relaxed);
                             break;
                         }
                         seq += 1;
@@ -775,6 +809,7 @@ fn worker_loop(ctx: &WorkerCtx, jobs: &Mutex<Receiver<PoolJob>>, worker_index: u
         let response = answer(ctx, worker_index, &job);
         // A receiver that hung up (aborted session) just discards the answer.
         let _ = job.reply.send(StreamEvent::Done(response));
+        ctx.counters.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -804,6 +839,14 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
                 protocol: wire::PROTOCOL_VERSION,
                 uptime_ms: ctx.started.elapsed().as_millis() as u64,
                 cache_restored: ctx.cache_restored,
+                // The probe is itself an in-flight job: subtract it so an
+                // otherwise idle engine reports 0.
+                inflight: ctx
+                    .counters
+                    .inflight
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(1),
+                sessions: ctx.counters.sessions.load(Ordering::Relaxed),
             }),
             halted: None,
             // Item-less kinds still honour the streamed framing contract:

@@ -90,12 +90,15 @@ pub use request::Request;
 pub use response::{
     BordersOutcome, EngineError, ErrorCode, Outcome, RequestStats, Response, WitnessSummary,
 };
-pub use snapshot::{RestoreStats, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{probe_writable, RestoreStats, SnapshotError, SNAPSHOT_VERSION};
 pub use stream::{
     CancelToken, ChunkFrame, ChunkPayload, ResultSink, SinkDirective, StopReason, StreamEvent,
     StreamItem, StreamProgress,
 };
-pub use transport::{trip_on_signals, TcpServer, TcpShutdownHandle, TransportSummary};
+pub use transport::{
+    run_session_loop, trip_on_signals, SessionStream, TcpServer, TcpShutdownHandle,
+    TransportSummary,
+};
 #[cfg(unix)]
 pub use transport::{ShutdownHandle, SocketServer};
 pub use wire::{OrderMode, PROTOCOL_VERSION};

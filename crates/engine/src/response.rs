@@ -100,6 +100,12 @@ pub enum Outcome {
         /// Whether the engine restored entries from a cache snapshot at
         /// startup (`--cache-file`).
         cache_restored: bool,
+        /// Jobs admitted to the worker pool but not yet answered (queued +
+        /// running), excluding the `stats` probe itself.  The load signal a
+        /// fleet router's least-loaded shard policy reads.
+        inflight: u64,
+        /// Serve sessions currently connected to the engine.
+        sessions: u64,
     },
 }
 
@@ -359,12 +365,16 @@ impl Response {
                         protocol,
                         uptime_ms,
                         cache_restored,
+                        inflight,
+                        sessions,
                     } => {
                         o.str("kind", "stats");
                         o.uint("proto", *protocol as u128);
                         o.uint("workers", *workers as u128);
                         o.uint("uptime_ms", *uptime_ms as u128);
                         o.bool("cache_restored", *cache_restored);
+                        o.uint("inflight", *inflight as u128);
+                        o.uint("sessions", *sessions as u128);
                         let mut co = ObjectBuilder::new();
                         co.uint("hits", cache.hits as u128)
                             .uint("misses", cache.misses as u128)
@@ -512,6 +522,8 @@ mod tests {
                 protocol: crate::wire::PROTOCOL_VERSION,
                 uptime_ms: 1234,
                 cache_restored: true,
+                inflight: 3,
+                sessions: 2,
             }),
             halted: None,
             chunks: None,
@@ -522,6 +534,8 @@ mod tests {
         assert!(line.contains("\"workers\":4"));
         assert!(line.contains("\"uptime_ms\":1234"));
         assert!(line.contains("\"cache_restored\":true"));
+        assert!(line.contains("\"inflight\":3"));
+        assert!(line.contains("\"sessions\":2"));
         assert!(line.contains(
             "\"cache\":{\"hits\":5,\"misses\":7,\"entries\":2,\"evictions\":1,\
              \"expirations\":0,\"capacity\":64}"

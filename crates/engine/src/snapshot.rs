@@ -87,6 +87,35 @@ pub struct RestoreStats {
     pub dropped: u64,
 }
 
+/// Verifies that a snapshot could be written at `path`, without touching an
+/// existing snapshot.  `qld serve --cache-file` calls this at startup so a
+/// misspelled directory or a permission problem fails fast instead of
+/// surfacing only at graceful-shutdown snapshot time (when the cache it was
+/// supposed to persist is lost).
+///
+/// An existing file is probed by opening it for append (no truncation, no
+/// write); a missing one by create-and-unlinking a `.probe.<pid>` sibling —
+/// never the target path itself, so an ill-timed crash cannot leave an empty
+/// file where [`read_snapshot`] would later look for a real snapshot.
+pub fn probe_writable(path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    match std::fs::OpenOptions::new().append(true).open(path) {
+        Ok(_) => return Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let mut probe = path.as_os_str().to_os_string();
+    probe.push(format!(".probe.{}", std::process::id()));
+    let probe = std::path::PathBuf::from(probe);
+    let result = std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&probe)
+        .map(|_| ());
+    let _ = std::fs::remove_file(&probe);
+    result
+}
+
 /// Writes a snapshot of `cache`'s live entries to `out`, returning how many
 /// entries it contains.  Entries whose outcome cannot be encoded (none exist
 /// today — only query results are cached) are skipped rather than poisoning
@@ -511,6 +540,33 @@ mod tests {
     use super::*;
     use crate::cache::CachedResult;
 
+    #[test]
+    fn probe_writable_accepts_missing_and_existing_files() {
+        let dir = std::env::temp_dir();
+        let fresh = dir.join(format!("qld-probe-fresh-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&fresh);
+        probe_writable(&fresh).expect("fresh path in a writable directory");
+        assert!(!fresh.exists(), "the probe must not create the target");
+
+        let existing = dir.join(format!("qld-probe-existing-{}.snap", std::process::id()));
+        std::fs::write(&existing, "qldcache 1 0 0\n").unwrap();
+        probe_writable(&existing).expect("existing writable file");
+        assert_eq!(
+            std::fs::read_to_string(&existing).unwrap(),
+            "qldcache 1 0 0\n",
+            "probing must not modify an existing snapshot"
+        );
+        let _ = std::fs::remove_file(&existing);
+    }
+
+    #[test]
+    fn probe_writable_rejects_an_unwritable_location() {
+        let missing_dir = std::env::temp_dir()
+            .join(format!("qld-no-such-dir-{}", std::process::id()))
+            .join("cache.snap");
+        assert!(probe_writable(&missing_dir).is_err());
+    }
+
     fn cached(outcome: Result<Outcome, EngineError>) -> CachedResult {
         CachedResult {
             outcome,
@@ -604,6 +660,8 @@ mod tests {
             protocol: 1,
             uptime_ms: 0,
             cache_restored: false,
+            inflight: 0,
+            sessions: 0,
         });
         assert!(encode_outcome(&outcome).is_none());
         let outcome = Ok(Outcome::Cancel {

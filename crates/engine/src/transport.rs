@@ -46,9 +46,13 @@ pub struct TransportSummary {
 
 /// The stream operations a session transport needs beyond `Read + Write`:
 /// duplicating the handle (separate read and write sides) and half-closing.
-/// Implemented by `UnixStream` and `TcpStream`.
-trait SessionStream: Read + Write + Send + Sized + 'static {
+/// Implemented by `UnixStream` and `TcpStream`; public so other front ends
+/// (the `qld-front` fleet router) can reuse the accept-loop machinery with
+/// their own per-connection handlers.
+pub trait SessionStream: Read + Write + Send + Sized + 'static {
+    /// Duplicates the handle so one side can read while the other writes.
     fn try_clone_stream(&self) -> std::io::Result<Self>;
+    /// Half- or full-closes the stream (`shutdown(2)` semantics).
     fn shutdown_side(&self, how: Shutdown) -> std::io::Result<()>;
 }
 
@@ -71,22 +75,41 @@ impl SessionStream for TcpStream {
     }
 }
 
-/// The accept loop shared by both listeners.
-///
-/// Accepts connections until `stop` is raised, serving each on its own thread
-/// against the shared `engine`.  Per-connection I/O errors end that connection
-/// only (its answered-request counts are still aggregated), and transient
-/// `accept` failures (fd exhaustion, aborted handshakes) are retried with
-/// backoff — the loop gives up, returning the error, only when `accept` fails
-/// many times in a row.  On shutdown, live connections stop being read —
-/// their in-flight responses are still written — and are joined before the
-/// aggregate counters are returned.
+/// The accept loop shared by both listeners, specialised to engine sessions:
+/// every connection is handed to [`Engine::serve_with`] via
+/// [`serve_connection`].
 fn run_accept_loop<S: SessionStream>(
     engine: &Arc<Engine>,
     options: ServeOptions,
     stop: &Arc<AtomicBool>,
-    mut accept: impl FnMut() -> std::io::Result<S>,
+    accept: impl FnMut() -> std::io::Result<S>,
 ) -> std::io::Result<TransportSummary> {
+    let engine = Arc::clone(engine);
+    let handler = Arc::new(move |stream: S| serve_connection(&engine, stream, &options));
+    run_session_loop(stop, accept, handler)
+}
+
+/// The generic accept loop behind both listeners (and, via
+/// [`SocketServer::run_with`] / [`TcpServer::run_with`], behind non-engine
+/// front ends such as the fleet router).
+///
+/// Accepts connections until `stop` is raised, serving each on its own thread
+/// through `handler` (which returns that session's answered-request tally).
+/// Per-connection I/O errors end that connection only (its answered-request
+/// counts are still aggregated), and transient `accept` failures (fd
+/// exhaustion, aborted handshakes) are retried with backoff — the loop gives
+/// up, returning the error, only when `accept` fails many times in a row.  On
+/// shutdown, live connections stop being read — their in-flight responses are
+/// still written — and are joined before the aggregate counters are returned.
+pub fn run_session_loop<S, H>(
+    stop: &Arc<AtomicBool>,
+    mut accept: impl FnMut() -> std::io::Result<S>,
+    handler: Arc<H>,
+) -> std::io::Result<TransportSummary>
+where
+    S: SessionStream,
+    H: Fn(S) -> ServeSummary + Send + Sync + 'static,
+{
     let totals = Arc::new(Mutex::new(TransportSummary::default()));
     // Each entry: the session thread plus a read-shutdown handle for it.
     let mut sessions: Vec<(JoinHandle<()>, Option<S>)> = Vec::new();
@@ -116,10 +139,10 @@ fn run_accept_loop<S: SessionStream>(
         }
         lock_ignoring_poison(&totals).connections += 1;
         let peer = stream.try_clone_stream().ok();
-        let engine = Arc::clone(engine);
+        let handler = Arc::clone(&handler);
         let session_totals = Arc::clone(&totals);
         let handle = thread::spawn(move || {
-            let summary = serve_connection(&engine, stream, &options);
+            let summary = handler(stream);
             let mut t = lock_ignoring_poison(&session_totals);
             t.requests += summary.requests;
             t.errors += summary.errors;
@@ -307,6 +330,24 @@ impl SocketServer {
         let _ = std::fs::remove_file(&self.path);
         result
     }
+
+    /// Runs the accept loop with a caller-supplied per-connection handler
+    /// instead of an engine session — same lifecycle as [`SocketServer::run`]
+    /// (backoff, drain on shutdown, socket-file cleanup), different payload.
+    /// This is how the fleet router serves proxy sessions.
+    pub fn run_with<H>(self, handler: Arc<H>) -> std::io::Result<TransportSummary>
+    where
+        H: Fn(UnixStream) -> ServeSummary + Send + Sync + 'static,
+    {
+        let result = run_session_loop(
+            &self.stop,
+            || self.listener.accept().map(|(stream, _addr)| stream),
+            handler,
+        );
+        drop(self.listener);
+        let _ = std::fs::remove_file(&self.path);
+        result
+    }
 }
 
 /// Cooperative shutdown switch for a running [`TcpServer`].
@@ -383,6 +424,19 @@ impl TcpServer {
         run_accept_loop(engine, options, &self.stop, || {
             self.listener.accept().map(|(stream, _addr)| stream)
         })
+    }
+
+    /// Runs the accept loop with a caller-supplied per-connection handler
+    /// (see [`SocketServer::run_with`]).
+    pub fn run_with<H>(self, handler: Arc<H>) -> std::io::Result<TransportSummary>
+    where
+        H: Fn(TcpStream) -> ServeSummary + Send + Sync + 'static,
+    {
+        run_session_loop(
+            &self.stop,
+            || self.listener.accept().map(|(stream, _addr)| stream),
+            handler,
+        )
     }
 }
 

@@ -9,6 +9,8 @@
 //! qld serve [--workers N] [...]        stream wire-format requests (stdin,
 //!                                      --input FILE, or a --socket/--tcp
 //!                                      daemon) to JSON-lines responses
+//! qld front --shards N [...]           route wire requests across a
+//!                                      supervised fleet of serve shards
 //! ```
 //!
 //! All subcommands answer with JSON lines on stdout.  Common options:
@@ -43,6 +45,11 @@ USAGE:
   qld keys <TABLE.txt> [options]            enumerate minimal keys of a relation
   qld serve [--input FILE | --socket PATH | --tcp ADDR] [options]
                                             serve wire-format request lines
+  qld front (--socket PATH | --tcp ADDR) [--shards N] [options]
+                                            shard-fleet router: spawn and
+                                            supervise N `qld serve` backends
+                                            and route wire requests to them by
+                                            consistent-hashed cache key
 
 OPTIONS:
   --workers N          worker threads (default: available parallelism, cap 8)
@@ -77,10 +84,29 @@ OPTIONS:
                        are still unanswered
   --max-items N        (serve) per-session quota: any single request stops
                        after yielding N result items (halted: max-items)
+  --shards N           (front) number of backend serve shards (default 2)
+  --dir DIR            (front) directory for the shard sockets and cache
+                       snapshots (default: <socket>.shards; required with
+                       --tcp)
+  --policy P           (front) shard routing policy: hash (consistent-hash
+                       cache affinity, the default) | least-loaded | sticky
+  --shard-workers N    (front) worker threads per shard
+  --shard-bin PATH     (front) qld binary to spawn shards from (default:
+                       this executable)
+  --probe-ms MS        (front) supervisor health-probe interval (default 200)
+  --no-retry           (front) answer requests lost to a dying shard with an
+                       `internal` error instead of retrying them once on a
+                       surviving shard
 
 A `--socket`/`--tcp` daemon shuts down gracefully on SIGINT or SIGTERM:
 in-flight responses are drained, the cache snapshot is written (with
 --cache-file), and the process exits 0 after printing a final summary.
+
+A `front` daemon additionally treats SIGUSR1 as a rolling-restart request:
+shards are drained and respawned one at a time (each writes its cache
+snapshot on the way down, so it restarts hot), and with 2+ shards the fleet
+keeps answering throughout.  SIGINT/SIGTERM stop the router and gracefully
+terminate every shard.  Crashed shards are respawned automatically.
 
 WIRE FORMAT (one request per line, for `serve`; full spec in docs/WIRE.md):
   check <G> <H>           e.g.  check 0,1;2,3 0,2;0,3;1,2;1,3
@@ -128,6 +154,13 @@ struct Options {
     order: OrderMode,
     max_inflight: Option<usize>,
     max_items: Option<u64>,
+    shards: Option<usize>,
+    dir: Option<String>,
+    shard_policy: Option<String>,
+    shard_workers: Option<usize>,
+    shard_bin: Option<String>,
+    probe_ms: Option<u64>,
+    no_retry: bool,
     positional: Vec<String>,
 }
 
@@ -152,6 +185,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         order: OrderMode::Input,
         max_inflight: None,
         max_items: None,
+        shards: None,
+        dir: None,
+        shard_policy: None,
+        shard_workers: None,
+        shard_bin: None,
+        probe_ms: None,
+        no_retry: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -207,6 +247,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--max-items" => {
                 opts.max_items = Some(parse_num(&value_of("--max-items")?, "--max-items")? as u64)
             }
+            "--shards" => opts.shards = Some(parse_num(&value_of("--shards")?, "--shards")?),
+            "--dir" => opts.dir = Some(value_of("--dir")?),
+            "--policy" => opts.shard_policy = Some(value_of("--policy")?),
+            "--shard-workers" => {
+                opts.shard_workers =
+                    Some(parse_num(&value_of("--shard-workers")?, "--shard-workers")?)
+            }
+            "--shard-bin" => opts.shard_bin = Some(value_of("--shard-bin")?),
+            "--probe-ms" => {
+                opts.probe_ms = Some(parse_num(&value_of("--probe-ms")?, "--probe-ms")? as u64)
+            }
+            "--no-retry" => opts.no_retry = true,
             "--g" => opts.g_file = Some(value_of("--g")?),
             "--h" => opts.h_file = Some(value_of("--h")?),
             "--input" => opts.input = Some(value_of("--input")?),
@@ -372,6 +424,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(2));
     };
     let opts = parse_options(&args[1..])?;
+    if command == "front" {
+        // The router spawns the shard engines as child processes; it never
+        // builds an in-process engine of its own.
+        return run_front(&opts);
+    }
+    if command == "serve" {
+        // Fail fast on an unwritable snapshot location: a daemon that only
+        // discovers the problem at shutdown has already lost its cache.
+        if let Some(path) = &opts.cache_file {
+            qld_engine::probe_writable(path)
+                .map_err(|e| format!("--cache-file {path}: not writable: {e}"))?;
+        }
+    }
     let engine = engine_from(&opts);
     report_cache_restore(&engine);
     match command {
@@ -603,6 +668,122 @@ fn serve_tcp(engine: Engine, addr: &str, options: ServeOptions) -> Result<ExitCo
         .map_err(|e| format!("serve: {e}"))?;
     finish_daemon(&engine, summary);
     Ok(ExitCode::SUCCESS)
+}
+
+/// Runs the fleet router daemon: spawn and supervise the shards, then serve
+/// the router's own socket until SIGINT/SIGTERM drains it.  SIGUSR1 rolls
+/// the fleet (drain + respawn one shard at a time).
+#[cfg(unix)]
+fn run_front(opts: &Options) -> Result<ExitCode, String> {
+    use qld_front::{policy_from_name, Fleet, FleetConfig, Router};
+
+    if !opts.positional.is_empty() {
+        return Err("front takes no positional arguments".to_string());
+    }
+    if opts.socket.is_some() && opts.tcp.is_some() {
+        return Err("--socket and --tcp are mutually exclusive".to_string());
+    }
+    if opts.socket.is_none() && opts.tcp.is_none() {
+        return Err("front requires --socket PATH or --tcp ADDR".to_string());
+    }
+    let shards = opts.shards.unwrap_or(2);
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let dir = match (&opts.dir, &opts.socket) {
+        (Some(dir), _) => std::path::PathBuf::from(dir),
+        (None, Some(socket)) => std::path::PathBuf::from(format!("{socket}.shards")),
+        (None, None) => {
+            return Err("front --tcp requires --dir DIR for the shard sockets".to_string())
+        }
+    };
+    let binary = match &opts.shard_bin {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::env::current_exe()
+            .map_err(|e| format!("cannot locate the qld binary for shard spawning: {e}"))?,
+    };
+    let policy_name = opts.shard_policy.as_deref().unwrap_or("hash");
+    let policy = policy_from_name(policy_name, shards).ok_or_else(|| {
+        format!("--policy: unknown policy `{policy_name}` (hash | least-loaded | sticky)")
+    })?;
+    let mut config = FleetConfig::new(shards, binary, dir.clone());
+    config.spec.workers = opts.shard_workers;
+    if let Some(ms) = opts.probe_ms {
+        config.probe_interval = Duration::from_millis(ms.max(10));
+    }
+    let fleet = Fleet::start(config).map_err(|e| format!("front: {e}"))?;
+    eprintln!(
+        "qld front: supervising {} shard(s) under {} (policy={}, retry={})",
+        shards,
+        dir.display(),
+        policy.name(),
+        !opts.no_retry
+    );
+    let router = Router::new(Arc::clone(&fleet), policy, !opts.no_retry);
+    arm_rolling_restart(&fleet);
+    let summary = if let Some(socket) = &opts.socket {
+        let server =
+            qld_engine::SocketServer::bind(socket).map_err(|e| format!("{socket}: {e}"))?;
+        eprintln!("qld front: listening on {}", server.path().display());
+        let handle = server.shutdown_handle();
+        arm_shutdown_signals(move || handle.shutdown());
+        server
+            .run_with(Arc::new(qld_front::session_handler(router)))
+            .map_err(|e| format!("front: {e}"))?
+    } else {
+        let addr = opts.tcp.as_deref().expect("checked above");
+        let server = qld_engine::TcpServer::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+        eprintln!("qld front: listening on tcp://{}", server.local_addr());
+        let handle = server.shutdown_handle();
+        arm_shutdown_signals(move || handle.shutdown());
+        server
+            .run_with(Arc::new(qld_front::session_handler(router)))
+            .map_err(|e| format!("front: {e}"))?
+    };
+    eprintln!(
+        "qld front: {} connection(s), {} request(s), {} error(s), {} panicked session(s), {} shard respawn(s)",
+        summary.connections, summary.requests, summary.errors, summary.panicked,
+        fleet.total_respawns()
+    );
+    fleet.shutdown();
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(not(unix))]
+fn run_front(_opts: &Options) -> Result<ExitCode, String> {
+    Err("front requires a Unix platform (shards are supervised child processes)".to_string())
+}
+
+/// Arms SIGUSR1 to trigger a rolling restart of the fleet: each delivery
+/// drains and respawns the shards one at a time.  Unlike the shutdown
+/// signals, repeated deliveries are welcome — every one rolls the fleet
+/// again.
+#[cfg(unix)]
+fn arm_rolling_restart(fleet: &Arc<qld_front::Fleet>) {
+    let flag = match signal::install(signal::Signal::User1) {
+        Ok(flag) => flag,
+        Err(e) => {
+            eprintln!("qld front: warning: SIGUSR1 rolling restart unavailable: {e}");
+            return;
+        }
+    };
+    eprintln!("qld front: SIGUSR1 triggers a rolling restart of the shards");
+    let fleet = Arc::clone(fleet);
+    std::thread::spawn(move || {
+        let mut seen = 0u64;
+        loop {
+            let deliveries = flag.deliveries();
+            if deliveries > seen {
+                seen = deliveries;
+                eprintln!("qld front: SIGUSR1 received, rolling the shards");
+                match fleet.rolling_restart() {
+                    Ok(()) => eprintln!("qld front: rolling restart complete"),
+                    Err(e) => eprintln!("qld front: rolling restart failed: {e}"),
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
 }
 
 fn one_positional(opts: &Options, usage: &str) -> Result<String, String> {

@@ -1,0 +1,268 @@
+//! The shard fleet: spawning, health probing, crash respawn, rolling
+//! restarts, and graceful shutdown.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::lock_ignoring_poison;
+use crate::shard::{Shard, ShardSpec};
+
+/// Configuration of [`Fleet::start`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of backend shards to run.
+    pub shards: usize,
+    /// How to spawn each shard.
+    pub spec: ShardSpec,
+    /// Delay between supervisor ticks (health probes + crash respawn).
+    pub probe_interval: Duration,
+    /// How long a draining shard may take to exit on SIGTERM before the
+    /// supervisor escalates to SIGKILL (rolling restarts, shutdown).
+    pub drain_timeout: Duration,
+}
+
+impl FleetConfig {
+    /// A config with default timings: 200 ms probes, 10 s ready/drain grace.
+    pub fn new(shards: usize, binary: PathBuf, dir: PathBuf) -> FleetConfig {
+        FleetConfig {
+            shards,
+            spec: ShardSpec {
+                binary,
+                dir,
+                workers: None,
+                ready_timeout: Duration::from_secs(10),
+            },
+            probe_interval: Duration::from_millis(200),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running fleet of supervised `qld serve` shards.
+pub struct Fleet {
+    shards: Vec<Arc<Shard>>,
+    spec: ShardSpec,
+    probe_interval: Duration,
+    drain_timeout: Duration,
+    stop: AtomicBool,
+    /// Serializes fleet mutations (respawn, rolling restart, shutdown)
+    /// against the supervisor tick.
+    admin: Mutex<()>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Fleet {
+    /// Spawns all shards, waits until each accepts connections, and starts
+    /// the supervisor thread.  On any spawn failure the already-started
+    /// shards are torn down before the error is returned.
+    pub fn start(config: FleetConfig) -> io::Result<Arc<Fleet>> {
+        assert!(config.shards > 0, "a fleet needs at least one shard");
+        std::fs::create_dir_all(&config.spec.dir)?;
+        let shards: Vec<Arc<Shard>> = (0..config.shards)
+            .map(|i| Arc::new(Shard::new(i, &config.spec.dir)))
+            .collect();
+        for shard in &shards {
+            if let Err(err) = shard.spawn(&config.spec) {
+                for started in &shards {
+                    started.terminate(Duration::from_millis(200));
+                }
+                return Err(err);
+            }
+        }
+        let fleet = Arc::new(Fleet {
+            shards,
+            spec: config.spec,
+            probe_interval: config.probe_interval,
+            drain_timeout: config.drain_timeout,
+            stop: AtomicBool::new(false),
+            admin: Mutex::new(()),
+            supervisor: Mutex::new(None),
+        });
+        let worker = Arc::clone(&fleet);
+        let handle = std::thread::Builder::new()
+            .name("fleet-supervisor".into())
+            .spawn(move || worker.supervise())
+            .expect("spawn supervisor thread");
+        *lock_ignoring_poison(&fleet.supervisor) = Some(handle);
+        Ok(fleet)
+    }
+
+    /// Number of shards (fixed for the fleet's lifetime).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard slots, for direct inspection (tests, stats).
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// Per-shard availability snapshot.
+    pub fn availability(&self) -> Vec<bool> {
+        self.shards.iter().map(|s| s.is_available()).collect()
+    }
+
+    /// Per-shard load snapshot (in-flight jobs at the last probe).
+    pub fn loads(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.load()).collect()
+    }
+
+    /// Total successful crash respawns across the fleet.
+    pub fn total_respawns(&self) -> u64 {
+        self.shards.iter().map(|s| s.respawns()).sum()
+    }
+
+    /// Connects to shard `index`.
+    pub fn connect(&self, index: usize) -> io::Result<UnixStream> {
+        self.shards[index].connect()
+    }
+
+    /// SIGKILLs shard `index` (no snapshot write; simulates a crash).  The
+    /// supervisor respawns it within a probe interval or two.
+    pub fn kill_shard(&self, index: usize) -> io::Result<()> {
+        let _guard = lock_ignoring_poison(&self.admin);
+        self.shards[index].kill_now()
+    }
+
+    /// Restarts every shard, one at a time: marks it unavailable (routers
+    /// stop picking it), SIGTERMs it so it drains and writes its cache
+    /// snapshot, respawns it, and waits until it is ready before moving on.
+    /// With ≥ 2 shards the fleet keeps serving throughout.
+    pub fn rolling_restart(&self) -> io::Result<()> {
+        for shard in &self.shards {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let _guard = lock_ignoring_poison(&self.admin);
+            shard.terminate(self.drain_timeout);
+            shard.spawn(&self.spec)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until shard `index` is available (respawned) or the timeout
+    /// elapses; returns whether it became available.
+    pub fn wait_available(&self, index: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.shards[index].is_available() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shards[index].is_available()
+    }
+
+    /// Stops the supervisor and gracefully terminates every shard (SIGTERM →
+    /// snapshot write → exit).  Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let supervisor = lock_ignoring_poison(&self.supervisor).take();
+        if let Some(handle) = supervisor {
+            let _ = handle.join();
+        }
+        let _guard = lock_ignoring_poison(&self.admin);
+        for shard in &self.shards {
+            shard.terminate(self.drain_timeout);
+        }
+    }
+
+    /// The supervisor loop: every `probe_interval`, reap-and-respawn dead
+    /// shards and health-probe the live ones (three failed probes in a row
+    /// force a restart).
+    fn supervise(self: Arc<Fleet>) {
+        while !self.stop.load(Ordering::Acquire) {
+            // Sleep in small slices so shutdown is prompt.
+            let wake = Instant::now() + self.probe_interval;
+            while Instant::now() < wake {
+                if self.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let _guard = lock_ignoring_poison(&self.admin);
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            for shard in &self.shards {
+                if shard.reap_if_dead() {
+                    shard.set_available(false);
+                    if shard.spawn(&self.spec).is_ok() {
+                        shard.note_respawn();
+                    }
+                    // On failure the next tick tries again.
+                    continue;
+                }
+                if !shard.is_available() {
+                    continue;
+                }
+                match probe_inflight(shard) {
+                    Some(load) => {
+                        shard.set_load(load);
+                        shard.clear_strikes();
+                    }
+                    None => {
+                        if shard.strike() {
+                            // Unresponsive: force a crash-restart.  The next
+                            // tick reaps and respawns it.
+                            let _ = shard.kill_now();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One health probe: a throwaway `stats` session against the shard's socket.
+/// Returns the reported `inflight` count, or `None` when the shard does not
+/// answer within a second.
+fn probe_inflight(shard: &Shard) -> Option<u64> {
+    let stream = shard.connect().ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(1))).ok()?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(1)))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(b"stats\n").ok()?;
+    writer.flush().ok()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).ok()?;
+    parse_uint_field(&line, "\"inflight\":")
+}
+
+/// Extracts an unsigned JSON number field by textual scan (the probe avoids
+/// pulling a JSON parser into the hot supervisor loop).
+pub(crate) fn parse_uint_field(line: &str, marker: &str) -> Option<u64> {
+    let start = line.find(marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_fields_parse_out_of_json_lines() {
+        let line = r#"{"id":0,"ok":true,"kind":"stats","inflight":7,"sessions":2}"#;
+        assert_eq!(parse_uint_field(line, "\"inflight\":"), Some(7));
+        assert_eq!(parse_uint_field(line, "\"sessions\":"), Some(2));
+        assert_eq!(parse_uint_field(line, "\"absent\":"), None);
+        assert_eq!(parse_uint_field(r#"{"inflight":}"#, "\"inflight\":"), None);
+    }
+}

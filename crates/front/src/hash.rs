@@ -1,0 +1,136 @@
+//! Consistent hashing for cache affinity.
+//!
+//! The router must send every request whose canonical cache key is `K` to the
+//! same shard, so that shard's result cache (and its snapshot across
+//! restarts) accumulates all the hits for `K`.  A consistent-hash ring with
+//! virtual nodes gives that affinity while keeping the remap small when a
+//! shard leaves (crashes) or rejoins (respawns): only the keys owned by the
+//! affected shard move, everything else keeps its owner.
+
+/// 64-bit FNV-1a.  Deterministic across processes and platforms (unlike
+/// `DefaultHasher`, whose seed is randomized per process) — shard ownership
+/// must agree between router restarts and test assertions.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Number of virtual nodes per shard.  Enough to smooth the key distribution
+/// across a handful of shards without making ring construction or lookup
+/// noticeable.
+pub const VNODES_PER_SHARD: usize = 128;
+
+/// A consistent-hash ring over `shards` shard indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Builds the ring with [`VNODES_PER_SHARD`] virtual nodes per shard.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                let label = format!("shard-{shard}/vnode-{vnode}");
+                points.push((fnv1a(label.as_bytes()), shard));
+            }
+        }
+        // Ties (vanishingly unlikely) break deterministically by shard index.
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards the ring was built over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`, ignoring availability.
+    pub fn route(&self, key: &str) -> usize {
+        self.route_available(key, |_| true)
+            .expect("ring is never empty")
+    }
+
+    /// The first shard at or after `key`'s point (clockwise) for which
+    /// `available` holds.  Returns `None` when no shard is available.
+    pub fn route_available(&self, key: &str, available: impl Fn(usize) -> bool) -> Option<usize> {
+        let point = fnv1a(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        for offset in 0..self.points.len() {
+            let (_, shard) = self.points[(start + offset) % self.points.len()];
+            if available(shard) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let ring = HashRing::new(3);
+        for key in ["alpha", "beta", "gamma", "delta"] {
+            let first = ring.route(key);
+            assert!(first < 3);
+            assert_eq!(first, ring.route(key));
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_all_shards() {
+        let ring = HashRing::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[ring.route(&format!("key-{i}"))] += 1;
+        }
+        // Virtual nodes give a rough split, not a perfect one; the bound
+        // only rules out a starving or hoarding shard (fair share is 250).
+        for &c in &counts {
+            assert!(c > 100, "unbalanced ring: {counts:?}");
+            assert!(c < 500, "unbalanced ring: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn losing_a_shard_only_remaps_its_own_keys() {
+        let ring = HashRing::new(3);
+        for i in 0..500 {
+            let key = format!("key-{i}");
+            let owner = ring.route(&key);
+            let down = (owner + 1) % 3; // some *other* shard goes down
+            let rerouted = ring.route_available(&key, |s| s != down).unwrap();
+            assert_eq!(
+                rerouted, owner,
+                "key {key} moved although its owner {owner} stayed up"
+            );
+        }
+    }
+
+    #[test]
+    fn all_shards_down_routes_nowhere() {
+        let ring = HashRing::new(2);
+        assert_eq!(ring.route_available("k", |_| false), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! Pluggable shard-selection policies.
+//!
+//! Mirrors the engine's `SolverPolicy`: the router consults one
+//! [`ShardPolicy`] per request line, handing it the request's canonical cache
+//! key and a [`FleetView`] snapshot of shard availability and load.  The
+//! default [`HashAffinityPolicy`] maximizes cache hits; [`LeastLoadedPolicy`]
+//! trades affinity for load balance; [`StickySessionPolicy`] pins each client
+//! session to one shard so per-session ordering spans all its requests.
+
+use std::sync::Arc;
+
+use crate::hash::{fnv1a, HashRing};
+
+/// A point-in-time snapshot of the fleet, as seen by a routing decision.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetView<'a> {
+    /// Per-shard liveness: `false` while a shard is down, draining, or being
+    /// restarted.  Policies must never pick an unavailable shard.
+    pub available: &'a [bool],
+    /// Per-shard in-flight job counts from the supervisor's last `stats`
+    /// probe (stale by up to one probe interval).
+    pub load: &'a [u64],
+    /// An opaque token identifying the client session the request arrived
+    /// on; stable for the session's lifetime.
+    pub session: u64,
+}
+
+/// Picks the shard to answer a request.
+pub trait ShardPolicy: Send + Sync {
+    /// Chooses an available shard for the request whose canonical cache key
+    /// is `key`, or `None` when no shard is available.
+    fn choose(&self, key: &str, view: &FleetView<'_>) -> Option<usize>;
+
+    /// Short name for logs and `--policy` matching.
+    fn name(&self) -> &'static str;
+}
+
+/// Consistent-hash cache affinity (the default): every request with the same
+/// canonical cache key lands on the same shard, so that shard's cache and
+/// snapshot own the key.
+#[derive(Debug)]
+pub struct HashAffinityPolicy {
+    ring: HashRing,
+}
+
+impl HashAffinityPolicy {
+    /// Builds the ring over `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        HashAffinityPolicy {
+            ring: HashRing::new(shards),
+        }
+    }
+}
+
+impl ShardPolicy for HashAffinityPolicy {
+    fn choose(&self, key: &str, view: &FleetView<'_>) -> Option<usize> {
+        self.ring
+            .route_available(key, |s| view.available.get(s).copied().unwrap_or(false))
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Sends each request to the available shard with the fewest in-flight jobs
+/// (ties break to the lowest index).  No cache affinity — use when the
+/// workload is uncacheable and latency balance matters more.
+#[derive(Debug, Default)]
+pub struct LeastLoadedPolicy;
+
+impl ShardPolicy for LeastLoadedPolicy {
+    fn choose(&self, _key: &str, view: &FleetView<'_>) -> Option<usize> {
+        (0..view.available.len())
+            .filter(|&s| view.available[s])
+            .min_by_key(|&s| view.load.get(s).copied().unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+/// Pins every request of a client session to one shard (hashed from the
+/// session token over the same ring).  All of a session's requests share one
+/// upstream connection, so `order=input` holds across the whole session, at
+/// the cost of key-level affinity.
+#[derive(Debug)]
+pub struct StickySessionPolicy {
+    ring: HashRing,
+}
+
+impl StickySessionPolicy {
+    /// Builds the ring over `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        StickySessionPolicy {
+            ring: HashRing::new(shards),
+        }
+    }
+}
+
+impl ShardPolicy for StickySessionPolicy {
+    fn choose(&self, _key: &str, view: &FleetView<'_>) -> Option<usize> {
+        let token = format!("session-{:016x}", fnv1a(&view.session.to_le_bytes()));
+        self.ring
+            .route_available(&token, |s| view.available.get(s).copied().unwrap_or(false))
+    }
+
+    fn name(&self) -> &'static str {
+        "sticky"
+    }
+}
+
+/// Resolves a `--policy NAME` flag to a policy over `shards` shards.
+pub fn policy_from_name(name: &str, shards: usize) -> Option<Arc<dyn ShardPolicy>> {
+    match name {
+        "hash" => Some(Arc::new(HashAffinityPolicy::new(shards))),
+        "least-loaded" => Some(Arc::new(LeastLoadedPolicy)),
+        "sticky" => Some(Arc::new(StickySessionPolicy::new(shards))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(available: &'a [bool], load: &'a [u64], session: u64) -> FleetView<'a> {
+        FleetView {
+            available,
+            load,
+            session,
+        }
+    }
+
+    #[test]
+    fn hash_policy_is_stable_and_skips_unavailable_shards() {
+        let p = HashAffinityPolicy::new(3);
+        let up = [true, true, true];
+        let load = [0, 0, 0];
+        let owner = p.choose("check 0,1 0;1", &view(&up, &load, 7)).unwrap();
+        assert_eq!(
+            owner,
+            p.choose("check 0,1 0;1", &view(&up, &load, 99)).unwrap(),
+            "hash affinity must not depend on the session"
+        );
+        let mut partial = [true, true, true];
+        partial[owner] = false;
+        let fallback = p
+            .choose("check 0,1 0;1", &view(&partial, &load, 7))
+            .unwrap();
+        assert_ne!(fallback, owner);
+        assert_eq!(p.choose("k", &view(&[false, false, false], &load, 7)), None);
+    }
+
+    #[test]
+    fn least_loaded_picks_the_idle_shard() {
+        let p = LeastLoadedPolicy;
+        let up = [true, true, true];
+        assert_eq!(p.choose("k", &view(&up, &[5, 1, 9], 0)), Some(1));
+        // Ties break low; unavailable shards never win.
+        assert_eq!(p.choose("k", &view(&up, &[2, 2, 2], 0)), Some(0));
+        assert_eq!(
+            p.choose("k", &view(&[false, true, true], &[0, 4, 4], 0)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn sticky_policy_follows_the_session_not_the_key() {
+        let p = StickySessionPolicy::new(4);
+        let up = [true; 4];
+        let load = [0; 4];
+        let home = p.choose("key-a", &view(&up, &load, 42)).unwrap();
+        assert_eq!(Some(home), p.choose("key-b", &view(&up, &load, 42)));
+        assert_eq!(Some(home), p.choose("stats", &view(&up, &load, 42)));
+        // Different sessions spread over shards (at least one of a handful
+        // must land elsewhere).
+        let spread = (0..32).any(|s| p.choose("key-a", &view(&up, &load, s)) != Some(home));
+        assert!(spread, "all sessions pinned to shard {home}");
+    }
+
+    #[test]
+    fn names_resolve_and_unknown_names_do_not() {
+        for name in ["hash", "least-loaded", "sticky"] {
+            let p = policy_from_name(name, 2).expect(name);
+            assert_eq!(p.name(), name);
+        }
+        assert!(policy_from_name("round-robin", 2).is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! One supervised backend shard: a `qld serve` child process with its own
+//! Unix socket and cache snapshot file.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::lock_ignoring_poison;
+
+/// How to spawn (and respawn) every shard of a fleet.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// The `qld` binary to exec (`qld serve ...`).  Defaults to the front's
+    /// own executable — the router and the shards are the same binary.
+    pub binary: PathBuf,
+    /// Directory holding every shard's socket (`shard-<i>.sock`) and cache
+    /// snapshot (`shard-<i>.cache`).
+    pub dir: PathBuf,
+    /// Worker threads per shard (`--workers`); `None` keeps the serve
+    /// default.
+    pub workers: Option<usize>,
+    /// How long a (re)spawned shard may take to accept connections before it
+    /// is declared failed.
+    pub ready_timeout: Duration,
+}
+
+impl ShardSpec {
+    fn command(&self, shard: &Shard) -> Command {
+        let mut cmd = Command::new(&self.binary);
+        cmd.arg("serve")
+            .arg("--socket")
+            .arg(&shard.socket)
+            .arg("--cache-file")
+            .arg(&shard.cache_file)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if let Some(workers) = self.workers {
+            cmd.arg("--workers").arg(workers.to_string());
+        }
+        cmd
+    }
+}
+
+/// One shard slot: the current child process (if any) plus the routing state
+/// the supervisor and the policies read.
+#[derive(Debug)]
+pub struct Shard {
+    index: usize,
+    socket: PathBuf,
+    cache_file: PathBuf,
+    child: Mutex<Option<Child>>,
+    /// `true` while the shard accepts connections; policies must skip
+    /// unavailable shards.
+    available: AtomicBool,
+    /// In-flight jobs per the supervisor's last `stats` probe.
+    load: AtomicU64,
+    /// Bumped on every successful (re)spawn.
+    generation: AtomicU64,
+    /// Successful automatic respawns after a crash (not counting rolling
+    /// restarts).
+    respawns: AtomicU64,
+    /// Consecutive failed health probes; three strikes force a restart.
+    probe_strikes: AtomicU32,
+}
+
+impl Shard {
+    /// Creates the (not yet spawned) slot for shard `index` under `dir`.
+    pub(crate) fn new(index: usize, dir: &Path) -> Shard {
+        Shard {
+            index,
+            socket: dir.join(format!("shard-{index}.sock")),
+            cache_file: dir.join(format!("shard-{index}.cache")),
+            child: Mutex::new(None),
+            available: AtomicBool::new(false),
+            load: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            probe_strikes: AtomicU32::new(0),
+        }
+    }
+
+    /// This shard's index within the fleet.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard's Unix socket path (useful for querying it directly).
+    pub fn socket_path(&self) -> &Path {
+        &self.socket
+    }
+
+    /// The shard's cache snapshot path.
+    pub fn cache_file(&self) -> &Path {
+        &self.cache_file
+    }
+
+    /// Whether the shard currently accepts connections.
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// In-flight jobs per the last health probe (stale by one interval).
+    pub fn load(&self) -> u64 {
+        self.load.load(Ordering::Relaxed)
+    }
+
+    /// Spawn generation (0 = never spawned; bumped per successful spawn).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Successful crash respawns so far.
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Connects to the shard's socket.
+    pub fn connect(&self) -> io::Result<UnixStream> {
+        UnixStream::connect(&self.socket)
+    }
+
+    pub(crate) fn set_available(&self, available: bool) {
+        self.available.store(available, Ordering::Release);
+    }
+
+    pub(crate) fn set_load(&self, load: u64) {
+        self.load.store(load, Ordering::Relaxed);
+    }
+
+    pub(crate) fn clear_strikes(&self) {
+        self.probe_strikes.store(0, Ordering::Relaxed);
+    }
+
+    /// Records one failed probe; returns `true` when the strike budget is
+    /// exhausted and the shard should be restarted.
+    pub(crate) fn strike(&self) -> bool {
+        self.probe_strikes.fetch_add(1, Ordering::Relaxed) + 1 >= 3
+    }
+
+    pub(crate) fn note_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current child's pid, if one is running.
+    pub(crate) fn pid(&self) -> Option<i32> {
+        lock_ignoring_poison(&self.child)
+            .as_ref()
+            .map(|c| c.id() as i32)
+    }
+
+    /// `true` when the child process has exited (or never ran).  Reaps the
+    /// zombie as a side effect.
+    pub(crate) fn reap_if_dead(&self) -> bool {
+        let mut slot = lock_ignoring_poison(&self.child);
+        match slot.as_mut() {
+            None => true,
+            Some(child) => match child.try_wait() {
+                Ok(Some(_status)) => {
+                    *slot = None;
+                    true
+                }
+                Ok(None) => false,
+                // try_wait errors are unexpected; treat the child as gone so
+                // the supervisor respawns rather than wedges.
+                Err(_) => {
+                    *slot = None;
+                    true
+                }
+            },
+        }
+    }
+
+    /// Kills the child with SIGKILL immediately (no snapshot is written).
+    /// The supervisor notices the dead child and respawns it.
+    pub(crate) fn kill_now(&self) -> io::Result<()> {
+        self.set_available(false);
+        let mut slot = lock_ignoring_poison(&self.child);
+        if let Some(child) = slot.as_mut() {
+            child.kill()?;
+            let _ = child.wait();
+            *slot = None;
+        }
+        Ok(())
+    }
+
+    /// Gracefully terminates the child (SIGTERM, so the engine drains its
+    /// sessions and writes its cache snapshot), escalating to SIGKILL after
+    /// `grace`.
+    pub(crate) fn terminate(&self, grace: Duration) {
+        self.set_available(false);
+        let Some(pid) = self.pid() else { return };
+        let _ = signal::kill(pid, signal::Signal::Terminate);
+        let deadline = Instant::now() + grace;
+        loop {
+            if self.reap_if_dead() {
+                return;
+            }
+            if Instant::now() >= deadline {
+                let _ = self.kill_now();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// (Re)spawns the child and waits until its socket accepts connections.
+    /// On success the shard is marked available and its generation bumped.
+    pub(crate) fn spawn(&self, spec: &ShardSpec) -> io::Result<()> {
+        {
+            let mut slot = lock_ignoring_poison(&self.child);
+            if let Some(mut old) = slot.take() {
+                let _ = old.kill();
+                let _ = old.wait();
+            }
+            *slot = Some(spec.command(self).spawn()?);
+        }
+        let deadline = Instant::now() + spec.ready_timeout;
+        loop {
+            if self.connect().is_ok() {
+                self.clear_strikes();
+                self.set_load(0);
+                self.generation.fetch_add(1, Ordering::Relaxed);
+                self.set_available(true);
+                return Ok(());
+            }
+            if self.reap_if_dead() {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    format!("shard {} exited before accepting connections", self.index),
+                ));
+            }
+            if Instant::now() >= deadline {
+                let _ = self.kill_now();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "shard {} not ready within {:?}",
+                        self.index, spec.ready_timeout
+                    ),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

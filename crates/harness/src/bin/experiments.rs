@@ -1,4 +1,4 @@
-//! Prints the experiment tables (E2–E13).
+//! Prints the experiment tables (E2–E14).
 //!
 //! ```text
 //! cargo run --release -p qld-harness --bin experiments            # all experiments

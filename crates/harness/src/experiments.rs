@@ -1,4 +1,4 @@
-//! The experiment suite (E2–E13).
+//! The experiment suite (E2–E14).
 //!
 //! Each function reproduces one of the paper claims listed in `DESIGN.md` /
 //! `EXPERIMENTS.md` and returns a [`Table`]; the `experiments` binary prints them, and
@@ -20,10 +20,10 @@ use std::time::Instant;
 
 /// Identifiers of all experiments, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
-/// Runs one experiment by identifier (`"e2"` … `"e13"`).
+/// Runs one experiment by identifier (`"e2"` … `"e14"`).
 pub fn run(id: &str) -> Option<Table> {
     match id {
         "e2" => Some(e2_tree_shape()),
@@ -38,6 +38,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e11" => Some(e11_socket_serve()),
         "e12" => Some(e12_hotpath()),
         "e13" => Some(e13_streaming()),
+        "e14" => Some(e14_fleet()),
         _ => None,
     }
 }
@@ -870,6 +871,234 @@ pub fn e13_streaming() -> Table {
             f2(m.first_fraction()),
             f2(m.oneshot_us),
             mark(m.agree),
+        ]);
+    }
+    table
+}
+
+/// One measured fleet configuration: a cold pass, a warm re-ask pass (cache
+/// affinity), and — with two or more shards — the time to respawn a
+/// SIGKILLed shard.
+pub struct FleetMeasurement {
+    /// Backend shard processes behind the router.
+    pub shards: usize,
+    /// Requests answered in the cold pass.
+    pub requests: u64,
+    /// Error responses across both passes.
+    pub errors: u64,
+    /// Cold-pass wall time in milliseconds.
+    pub total_ms: f64,
+    /// Cold-pass throughput through the router.
+    pub req_per_s: f64,
+    /// `cache_hit:true` responses in the warm re-ask pass; with
+    /// consistent-hash affinity this equals `requests`.
+    pub warm_hits: u64,
+    /// Milliseconds from SIGKILLing a shard to its respawn accepting
+    /// connections (negative when not measured, i.e. a single shard).
+    pub recovery_ms: f64,
+    /// Every request answered, no errors, full affinity, recovery worked.
+    pub ok: bool,
+}
+
+impl FleetMeasurement {
+    /// One JSON object for the `e14_front` trajectory file.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"requests\":{},\"errors\":{},\"total_ms\":{:.1},\
+             \"req_per_s\":{:.1},\"warm_hits\":{},\"recovery_ms\":{:.1},\"ok\":{}}}",
+            self.shards,
+            self.requests,
+            self.errors,
+            self.total_ms,
+            self.req_per_s,
+            self.warm_hits,
+            self.recovery_ms,
+            self.ok
+        )
+    }
+}
+
+/// Finds the `qld` binary for spawning fleet shards: `$QLD_BIN` when set,
+/// otherwise a `qld` next to (or one level above, for `deps/` executables)
+/// the current executable.
+pub fn locate_qld_binary() -> Option<std::path::PathBuf> {
+    if let Some(path) = std::env::var_os("QLD_BIN") {
+        let path = std::path::PathBuf::from(path);
+        return path.is_file().then_some(path);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..2 {
+        let candidate = dir.join("qld");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// Measures shard-count scaling and crash recovery through an in-process
+/// router over real `qld serve` shard processes (shared by E14 and the
+/// `e14_front` bench).  Returns an empty vector when the platform has no
+/// Unix sockets or the `qld` binary cannot be found.
+pub fn measure_fleet() -> Vec<FleetMeasurement> {
+    #[cfg(unix)]
+    {
+        measure_fleet_unix()
+    }
+    #[cfg(not(unix))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(unix)]
+fn measure_fleet_unix() -> Vec<FleetMeasurement> {
+    use qld_engine::SocketServer;
+    use qld_front::{policy_from_name, session_handler, Fleet, FleetConfig, Router};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let Some(binary) = locate_qld_binary() else {
+        return Vec::new();
+    };
+    let lines = workloads::engine_wire_lines(40);
+
+    let mut out = Vec::new();
+    for shards in [1usize, 2] {
+        let dir = std::env::temp_dir().join(format!("qld-e14-{}-{}", shards, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = FleetConfig::new(shards, binary.clone(), dir.join("shards"));
+        config.probe_interval = Duration::from_millis(50);
+        config.spec.workers = Some(2);
+        let Ok(fleet) = Fleet::start(config) else {
+            continue;
+        };
+        let policy = policy_from_name("hash", shards).expect("hash policy");
+        let router = Router::new(Arc::clone(&fleet), policy, true);
+        let socket = dir.join("front.sock");
+        let Ok(server) = SocketServer::bind(&socket) else {
+            fleet.shutdown();
+            continue;
+        };
+        let shutdown = server.shutdown_handle();
+        let runner = std::thread::spawn(move || server.run_with(Arc::new(session_handler(router))));
+
+        // One pass of the workload over a fresh connection: returns
+        // (answered, errors, cache hits).
+        let pass = |tag: &str| -> (u64, u64, u64) {
+            let mut stream = UnixStream::connect(&socket).expect("connect to front");
+            for (i, line) in lines.iter().enumerate() {
+                writeln!(stream, "{line} id={tag}-{i}").expect("send");
+            }
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let (mut answered, mut errors, mut hits) = (0u64, 0u64, 0u64);
+            for response in BufReader::new(stream).lines() {
+                let response = response.expect("response line");
+                answered += 1;
+                if response.contains("\"ok\":false") {
+                    errors += 1;
+                }
+                if response.contains("\"cache_hit\":true") {
+                    hits += 1;
+                }
+            }
+            (answered, errors, hits)
+        };
+
+        let started = Instant::now();
+        let (requests, cold_errors, _) = pass("cold");
+        let elapsed = started.elapsed();
+
+        // The warm pass must hit every shard-side cache entry: affinity
+        // keeps each key on the shard that computed it.
+        let (warm_answered, warm_errors, warm_hits) = pass("warm");
+
+        // Crash recovery: SIGKILL one shard, time the supervisor respawn.
+        let (recovery_ms, recovered) = if shards >= 2 {
+            let killed_at = Instant::now();
+            let recovered =
+                fleet.kill_shard(0).is_ok() && fleet.wait_available(0, Duration::from_secs(30));
+            (killed_at.elapsed().as_secs_f64() * 1e3, recovered)
+        } else {
+            (-1.0, true)
+        };
+
+        shutdown.shutdown();
+        let _ = runner.join();
+        fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let errors = cold_errors + warm_errors;
+        out.push(FleetMeasurement {
+            shards,
+            requests,
+            errors,
+            total_ms: elapsed.as_secs_f64() * 1e3,
+            req_per_s: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+            warm_hits,
+            recovery_ms,
+            ok: requests == lines.len() as u64
+                && warm_answered == lines.len() as u64
+                && errors == 0
+                && warm_hits == lines.len() as u64
+                && recovered,
+        });
+    }
+    out
+}
+
+/// E14 — the shard-fleet router: request throughput through the front at 1
+/// vs. 2 shards, warm re-ask affinity (every key hits the shard that
+/// computed it), and supervisor crash-recovery time.
+pub fn e14_fleet() -> Table {
+    let mut table = Table::new(
+        "E14",
+        "Fleet router: shard scaling, cache affinity, crash recovery",
+        &[
+            "shards",
+            "requests",
+            "errors",
+            "total-ms",
+            "req/s",
+            "warm-hits",
+            "recovery-ms",
+            "all-ok",
+        ],
+    );
+    let measurements = measure_fleet();
+    if measurements.is_empty() {
+        table.push_row(vec![
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "(needs unix sockets and a built `qld` binary)".into(),
+        ]);
+        return table;
+    }
+    for m in measurements {
+        table.push_row(vec![
+            m.shards.to_string(),
+            m.requests.to_string(),
+            m.errors.to_string(),
+            f2(m.total_ms),
+            f2(m.req_per_s),
+            m.warm_hits.to_string(),
+            if m.recovery_ms < 0.0 {
+                "-".into()
+            } else {
+                f2(m.recovery_ms)
+            },
+            mark(m.ok),
         ]);
     }
     table

@@ -139,6 +139,14 @@ pub fn raise(signal: Signal) -> io::Result<()> {
     sys::raise(signal.number())
 }
 
+/// Sends `signal` to the process `pid` (`kill(pid, signum)`).  Used by the
+/// fleet supervisor to terminate shard children it spawned; like [`raise`],
+/// returns [`std::io::ErrorKind::Unsupported`] on platforms without the
+/// raw-syscall backend.
+pub fn kill(pid: i32, signal: Signal) -> io::Result<()> {
+    sys::kill(pid, signal.number())
+}
+
 #[cfg(all(
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
@@ -268,6 +276,11 @@ mod sys {
     pub(super) fn raise(signum: i32) -> io::Result<()> {
         let pid = unsafe { syscall4(nr::GETPID, 0, 0, 0, 0) };
         let pid = check(pid)?;
+        kill(pid as i32, signum)
+    }
+
+    /// `kill(pid, signum)`.
+    pub(super) fn kill(pid: i32, signum: i32) -> io::Result<()> {
         let ret = unsafe { syscall4(nr::KILL, pid as usize, signum as usize, 0, 0) };
         check(ret).map(|_| ())
     }
@@ -291,6 +304,13 @@ mod sys {
     }
 
     pub(super) fn raise(_signum: i32) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "signal handling is only implemented for Linux x86_64/aarch64",
+        ))
+    }
+
+    pub(super) fn kill(_pid: i32, _signum: i32) -> io::Result<()> {
         Err(io::Error::new(
             io::ErrorKind::Unsupported,
             "signal handling is only implemented for Linux x86_64/aarch64",
@@ -347,6 +367,14 @@ mod tests {
         assert_eq!(c.deliveries(), 0);
         assert!(!c.is_raised());
         assert!(a.is_raised());
+    }
+
+    #[test]
+    fn kill_by_pid_reaches_the_target_process() {
+        let flag = install(Signal::User1).expect("install SIGUSR1");
+        let before = flag.deliveries();
+        kill(std::process::id() as i32, Signal::User1).expect("kill(self, SIGUSR1)");
+        wait_for_deliveries(&flag, before + 1);
     }
 
     #[test]

@@ -538,6 +538,50 @@ mod socket {
         assert_eq!(summary.requests, 3);
     }
 
+    /// Cancel edge cases keep stable, documented response shapes: cancelling
+    /// an already-completed request, cancelling the same target twice,
+    /// cancelling a never-assigned id, and cancelling a control line (a
+    /// previous cancel) all answer `cancelled:false` — never an error, never
+    /// silence.
+    #[test]
+    fn cancel_edge_cases_answer_with_stable_shapes() {
+        let engine = Arc::new(Engine::with_defaults());
+        let (path, shutdown, runner) = spawn_server("cancel-edges", &engine);
+
+        let mut stream = UnixStream::connect(&path).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        writeln!(stream, "check 0,1 0;1 id=done").unwrap();
+        // Wait for request 0 to complete before aiming cancels at it.
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.contains("\"client_id\":\"done\""), "{first}");
+        assert!(first.contains("\"ok\":true"), "{first}");
+
+        writeln!(stream, "cancel id=0").unwrap(); // already completed
+        writeln!(stream, "cancel id=0").unwrap(); // duplicate of the above
+        writeln!(stream, "cancel id=777").unwrap(); // never assigned
+        writeln!(stream, "cancel id=1").unwrap(); // targets a cancel, not a job
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 4, "{lines:#?}");
+        for (line, (seq, target)) in lines.iter().zip([(1, 0), (2, 0), (3, 777), (4, 1)]) {
+            assert!(line.starts_with(&format!("{{\"id\":{seq},")), "{line}");
+            assert!(line.contains("\"ok\":true"), "{line}");
+            assert!(line.contains("\"kind\":\"cancel\""), "{line}");
+            assert!(
+                line.contains(&format!("\"target\":{target},\"cancelled\":false")),
+                "{line}"
+            );
+        }
+
+        shutdown.shutdown();
+        let summary = runner.join().unwrap().unwrap();
+        // check + four cancels; a no-op cancel is not an error.
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.errors, 0);
+    }
+
     #[test]
     fn disconnected_session_drops_its_queued_jobs() {
         // Regression: a session that disconnects mid-batch used to leave its

@@ -1,0 +1,473 @@
+//! End-to-end tests of the `qld front` shard-fleet router: consistent-hash
+//! cache affinity across real shard processes, byte-compatible streamed chunk
+//! relay, cancel forwarding, crash respawn hot from snapshots, and
+//! retry-once-on-reroute.
+//!
+//! The shards are real `qld serve` child processes (the binary built for this
+//! test run); the router runs in-process so the tests can reach the fleet's
+//! admin surface (`kill_shard`, `rolling_restart`, `wait_available`) directly.
+//! The CLI-level behaviours (SIGTERM, SIGUSR1) are exercised by the CI fleet
+//! smoke step.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qld_engine::{Engine, EngineConfig, ServeOptions, ShutdownHandle, SocketServer};
+use qld_front::{policy_from_name, session_handler, Fleet, FleetConfig, Router};
+
+fn qld_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_qld"))
+}
+
+/// A fresh per-test scratch directory (sockets + shard cache snapshots).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qld-front-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// An in-process router serving a real shard fleet on a Unix socket.
+struct TestFront {
+    fleet: Arc<Fleet>,
+    socket: PathBuf,
+    shutdown: ShutdownHandle,
+    runner: Option<std::thread::JoinHandle<std::io::Result<qld_engine::TransportSummary>>>,
+    dir: PathBuf,
+}
+
+impl TestFront {
+    fn start(tag: &str, shards: usize) -> TestFront {
+        TestFront::start_with_retry(tag, shards, true)
+    }
+
+    fn start_with_retry(tag: &str, shards: usize, retry: bool) -> TestFront {
+        let dir = scratch_dir(tag);
+        let mut config = FleetConfig::new(shards, qld_binary(), dir.join("shards"));
+        // Fast probes so load/crash detection does not dominate test time.
+        config.probe_interval = Duration::from_millis(50);
+        config.spec.workers = Some(2);
+        let fleet = Fleet::start(config).expect("fleet start");
+        let policy = policy_from_name("hash", shards).unwrap();
+        let router = Router::new(Arc::clone(&fleet), policy, retry);
+        let socket = dir.join("front.sock");
+        let server = SocketServer::bind(&socket).expect("bind front socket");
+        let shutdown = server.shutdown_handle();
+        let runner = std::thread::spawn(move || server.run_with(Arc::new(session_handler(router))));
+        TestFront {
+            fleet,
+            socket,
+            shutdown,
+            runner: Some(runner),
+            dir,
+        }
+    }
+
+    fn connect(&self) -> UnixStream {
+        UnixStream::connect(&self.socket).expect("connect to front")
+    }
+
+    /// One client session: write everything, half-close, read all responses.
+    fn ask(&self, lines: &str) -> Vec<String> {
+        let mut stream = self.connect();
+        stream.write_all(lines.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        BufReader::new(stream)
+            .lines()
+            .map(|line| line.unwrap())
+            .collect()
+    }
+
+    /// Probes shard `index` directly (bypassing the router) for its stats
+    /// line — the ground truth for affinity and snapshot-restore assertions.
+    fn shard_stats(&self, index: usize) -> String {
+        let mut stream = self.fleet.connect(index).expect("connect to shard");
+        stream.write_all(b"stats\n").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    /// Stops the router (collecting its summary), then the fleet.
+    fn stop(mut self) -> qld_engine::TransportSummary {
+        self.shutdown.shutdown();
+        let summary = self
+            .runner
+            .take()
+            .unwrap()
+            .join()
+            .unwrap()
+            .expect("router accept loop");
+        self.fleet.shutdown();
+        summary
+    }
+}
+
+impl Drop for TestFront {
+    fn drop(&mut self) {
+        self.shutdown.shutdown();
+        if let Some(runner) = self.runner.take() {
+            let _ = runner.join();
+        }
+        self.fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Extracts the unsigned integer following `marker` in a JSON line, e.g.
+/// `field_u64(&stats, "\"hits\":")`.
+fn field_u64(line: &str, marker: &str) -> u64 {
+    let at = line
+        .find(marker)
+        .unwrap_or_else(|| panic!("no {marker} in {line}"));
+    line[at + marker.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// The `n=2p` pair-complement relation whose full border mine needs
+/// `2^p + p + 2` identification calls — the knob for "slow enough to cancel
+/// or kill mid-flight" (p = 6 runs ≈ 1 s in a debug build).
+fn pair_complement_inline(pairs: usize) -> String {
+    let n = 2 * pairs;
+    let rows: Vec<String> = (0..pairs)
+        .map(|i| {
+            (0..n)
+                .filter(|&v| v != 2 * i && v != 2 * i + 1)
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    format!("n={n}:{}", rows.join(";"))
+}
+
+/// Cuts the volatile tail (`,"stats":{...}`, per-run micros and worker ids)
+/// off a done/response line so two runs can be compared byte-for-byte.
+fn strip_stats(line: &str) -> &str {
+    match line.find(",\"stats\":") {
+        Some(at) => &line[..at],
+        None => line,
+    }
+}
+
+/// The consistent-hash affinity contract: the same canonical key — even under
+/// a permuted re-ask from a different connection — lands on the same shard,
+/// so the second ask is a cache hit, and exactly one shard owns the entry.
+#[test]
+fn permuted_reask_hits_the_same_shards_cache() {
+    let front = TestFront::start("affinity", 2);
+
+    let first = front.ask("check 0,1;2,3 0,2;0,3;1,2;1,3 id=warm\n");
+    assert_eq!(first.len(), 1);
+    assert!(first[0].contains("\"dual\":true"), "{}", first[0]);
+    assert!(first[0].contains("\"cache_hit\":false"), "{}", first[0]);
+    assert!(first[0].contains("\"client_id\":\"warm\""), "{}", first[0]);
+
+    // Permuted edge order, separate connection: same canonical cache key.
+    let second = front.ask("check 2,3;0,1 1,3;1,2;0,3;0,2 id=hot\n");
+    assert_eq!(second.len(), 1);
+    assert!(second[0].contains("\"dual\":true"), "{}", second[0]);
+    assert!(second[0].contains("\"cache_hit\":true"), "{}", second[0]);
+
+    // Ground truth per shard: one shard saw the miss and then the hit, the
+    // other saw nothing.
+    let per_shard: Vec<(u64, u64)> = (0..2)
+        .map(|i| {
+            let stats = front.shard_stats(i);
+            (
+                field_u64(&stats, "\"hits\":"),
+                field_u64(&stats, "\"misses\":"),
+            )
+        })
+        .collect();
+    let owners: Vec<usize> = (0..2).filter(|&i| per_shard[i].1 > 0).collect();
+    assert_eq!(
+        owners.len(),
+        1,
+        "affinity split across shards: {per_shard:?}"
+    );
+    assert_eq!(
+        per_shard[owners[0]],
+        (1, 1),
+        "owner counters: {per_shard:?}"
+    );
+
+    // `stats` through the router stays protocol-shaped and carries the
+    // serving-layer gauges.
+    let stats = front.ask("stats id=s\n");
+    assert_eq!(stats.len(), 1);
+    assert!(stats[0].starts_with("{\"id\":0,"), "{}", stats[0]);
+    assert!(stats[0].contains("\"client_id\":\"s\""), "{}", stats[0]);
+    assert!(stats[0].contains("\"kind\":\"stats\""), "{}", stats[0]);
+    assert!(stats[0].contains("\"inflight\":"), "{}", stats[0]);
+    assert!(stats[0].contains("\"sessions\":"), "{}", stats[0]);
+
+    let summary = front.stop();
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.requests, 3);
+}
+
+/// Protocol transparency: a streamed session through the router produces the
+/// same bytes as the engine served directly — chunk frames identical, the
+/// done frame identical up to its volatile `stats` object.
+#[test]
+fn streamed_chunks_relay_byte_identically() {
+    let front = TestFront::start("stream", 2);
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+
+    // Each input is its own session on both sides, so the per-session ids
+    // line up and cross-request ordering cannot blur the comparison.
+    for input in [
+        "enumerate 0,1;2,3;4,5 stream=1 id=q\n",
+        "mine 0,1;0,1;1,2 z=1 stream=1 id=m\n",
+        "check 0,1;2,3 0,2;0,3;1,2;1,3 id=c\n",
+        "not a real command id=broken\n",
+    ] {
+        let via_front = front.ask(input);
+        let mut out = Vec::new();
+        engine
+            .serve_with(input.as_bytes(), &mut out, &ServeOptions::default())
+            .unwrap();
+        let direct: Vec<String> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+
+        assert_eq!(via_front.len(), direct.len(), "front: {via_front:#?}");
+        for (routed, reference) in via_front.iter().zip(&direct) {
+            if routed.contains("\"frame\":\"chunk\"") {
+                assert_eq!(routed, reference);
+            } else {
+                assert_eq!(strip_stats(routed), strip_stats(reference));
+            }
+        }
+    }
+
+    let summary = front.stop();
+    assert_eq!(summary.requests, 4);
+}
+
+/// Cancel forwarding: `cancel id=N` reaches the shard that owns request `N`,
+/// the stream halts at a yield boundary, and the ack comes back with the
+/// router-side id remapped.
+#[test]
+fn cancel_through_the_router_stops_the_shard_side_job() {
+    let front = TestFront::start("cancel", 2);
+    let mut stream = front.connect();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let rel = pair_complement_inline(6);
+    writeln!(stream, "mine {rel} z=0 full=true stream=1 id=big").unwrap();
+    let mut first = String::new();
+    reader.read_line(&mut first).unwrap();
+    assert!(first.contains("\"frame\":\"chunk\""), "{first}");
+    assert!(first.starts_with("{\"id\":0,"), "{first}");
+
+    writeln!(stream, "cancel id=0").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut saw_done = false;
+    let mut saw_ack = false;
+    for line in reader.lines() {
+        let line = line.unwrap();
+        if line.contains("\"frame\":\"done\"") {
+            assert!(line.contains("\"halted\":\"cancelled\""), "{line}");
+            assert!(line.contains("\"complete\":false"), "{line}");
+            saw_done = true;
+        }
+        if line.contains("\"kind\":\"cancel\"") {
+            assert!(line.starts_with("{\"id\":1,"), "{line}");
+            assert!(line.contains("\"target\":0"), "{line}");
+            assert!(line.contains("\"cancelled\":true"), "{line}");
+            saw_ack = true;
+        }
+    }
+    assert!(saw_done, "no done frame after cancel");
+    assert!(saw_ack, "no cancel ack");
+
+    // The shard-side job really stopped: the supervisor's load probes go
+    // back to zero well before the full mine could have finished.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while front.fleet.loads().iter().any(|&l| l > 0) {
+        assert!(Instant::now() < deadline, "shard still busy after cancel");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let summary = front.stop();
+    assert_eq!(summary.errors, 0);
+}
+
+/// Crash recovery, hot: a rolling restart snapshots every shard's cache on
+/// the way down, so even a later `kill -9` respawns into a shard that
+/// answers the warmed key from its restored snapshot.
+#[test]
+fn killed_shard_respawns_hot_from_its_snapshot() {
+    let front = TestFront::start("respawn", 2);
+
+    let warm = front.ask("check 0,1;2,3 0,2;0,3;1,2;1,3 id=warm\n");
+    assert!(warm[0].contains("\"cache_hit\":false"), "{}", warm[0]);
+    let owner = (0..2)
+        .find(|&i| field_u64(&front.shard_stats(i), "\"misses\":") > 0)
+        .expect("some shard owns the key");
+
+    // Rolling restart: graceful SIGTERM writes each shard's snapshot, and
+    // every shard comes back accepting connections.
+    front.fleet.rolling_restart().expect("rolling restart");
+    assert!(front.fleet.availability().iter().all(|&up| up));
+    let restarted = front.shard_stats(owner);
+    assert!(
+        restarted.contains("\"cache_restored\":true"),
+        "owner restarted cold: {restarted}"
+    );
+
+    let hot = front.ask("check 2,3;0,1 1,3;1,2;0,3;0,2 id=hot\n");
+    assert!(hot[0].contains("\"cache_hit\":true"), "{}", hot[0]);
+
+    // Crash path: SIGKILL gives the owner no chance to snapshot, but the
+    // supervisor respawns it from the file the rolling restart left behind.
+    let generation_before = front.fleet.shards()[owner].generation();
+    front.fleet.kill_shard(owner).expect("kill shard");
+    assert!(
+        front.fleet.wait_available(owner, Duration::from_secs(10)),
+        "owner was not respawned"
+    );
+    assert!(front.fleet.shards()[owner].generation() > generation_before);
+    assert!(front.fleet.total_respawns() >= 1);
+
+    let after_crash = front.ask("check 0,1;2,3 0,2;0,3;1,2;1,3 id=after-crash\n");
+    assert!(
+        after_crash[0].contains("\"cache_hit\":true"),
+        "respawned shard lost the snapshot: {}",
+        after_crash[0]
+    );
+
+    let summary = front.stop();
+    assert_eq!(summary.errors, 0);
+}
+
+/// Retry-once-on-reroute: killing the shard that holds a non-streamed
+/// request mid-flight re-dispatches it to the survivor, and the client sees
+/// one ordinary successful response.
+#[test]
+fn request_lost_to_a_dying_shard_is_retried_on_the_survivor() {
+    let front = TestFront::start("retry", 2);
+    let mut stream = front.connect();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+
+    let rel = pair_complement_inline(6);
+    writeln!(stream, "mine {rel} z=0 full=true id=lost").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    // Find the busy shard by direct stats probes (tighter than the
+    // supervisor's own probe cadence), then SIGKILL it under the request.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let owner = loop {
+        assert!(Instant::now() < deadline, "request never showed in flight");
+        match (0..2).find(|&i| field_u64(&front.shard_stats(i), "\"inflight\":") > 0) {
+            Some(busy) => break busy,
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    };
+    front.fleet.kill_shard(owner).expect("kill shard");
+
+    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 1, "{lines:#?}");
+    assert!(lines[0].starts_with("{\"id\":0,"), "{}", lines[0]);
+    assert!(lines[0].contains("\"client_id\":\"lost\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+    assert!(lines[0].contains("\"kind\":\"mine_full\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"complete\":true"), "{}", lines[0]);
+
+    let summary = front.stop();
+    assert_eq!(summary.errors, 0);
+}
+
+/// The same loss with retry disabled (`--no-retry`): the client gets a
+/// truthful `internal` error for the lost request instead of a silent stall.
+#[test]
+fn without_retry_a_lost_request_reports_a_stable_error() {
+    let front = TestFront::start_with_retry("no-retry", 2, false);
+    let mut stream = front.connect();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+
+    let rel = pair_complement_inline(6);
+    writeln!(stream, "mine {rel} z=0 full=true id=doomed").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let owner = loop {
+        assert!(Instant::now() < deadline, "request never showed in flight");
+        match (0..2).find(|&i| field_u64(&front.shard_stats(i), "\"inflight\":") > 0) {
+            Some(busy) => break busy,
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    };
+    front.fleet.kill_shard(owner).expect("kill shard");
+
+    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 1, "{lines:#?}");
+    assert!(
+        lines[0].contains("\"client_id\":\"doomed\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"ok\":false"), "{}", lines[0]);
+    assert!(lines[0].contains("\"code\":\"internal\""), "{}", lines[0]);
+    assert!(lines[0].contains("shard connection lost"), "{}", lines[0]);
+
+    let _ = front.stop();
+}
+
+/// The least-loaded and sticky policies also serve real traffic end-to-end
+/// (their routing logic is unit-tested; this is the wiring check).
+#[test]
+fn alternate_policies_serve_traffic() {
+    for policy_name in ["least-loaded", "sticky"] {
+        let dir = scratch_dir(&format!("policy-{policy_name}"));
+        let mut config = FleetConfig::new(2, qld_binary(), dir.join("shards"));
+        config.probe_interval = Duration::from_millis(50);
+        config.spec.workers = Some(1);
+        let fleet = Fleet::start(config).expect("fleet start");
+        let policy = policy_from_name(policy_name, 2).unwrap();
+        let router = Router::new(Arc::clone(&fleet), policy, true);
+        let socket = dir.join("front.sock");
+        let server = SocketServer::bind(&socket).expect("bind front socket");
+        let shutdown = server.shutdown_handle();
+        let runner = std::thread::spawn(move || server.run_with(Arc::new(session_handler(router))));
+
+        let mut stream = UnixStream::connect(&socket).unwrap();
+        stream
+            .write_all(b"check 0,1;2,3 0,2;0,3;1,2;1,3 id=p\nkeys 1,2;1,3 id=k\n")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let lines: Vec<String> = BufReader::new(stream).lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 2, "{policy_name}: {lines:#?}");
+        assert!(
+            lines[0].contains("\"ok\":true"),
+            "{policy_name}: {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"ok\":true"),
+            "{policy_name}: {}",
+            lines[1]
+        );
+
+        shutdown.shutdown();
+        runner.join().unwrap().unwrap();
+        fleet.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
