@@ -18,6 +18,7 @@
 //! it completes so one slow request never head-of-line-blocks the rest.
 
 use crate::cache::{CacheStats, CachedResult, QueryCache};
+use crate::fairness::UserBuckets;
 use crate::lock_ignoring_poison;
 use crate::ops;
 use crate::policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
@@ -94,7 +95,7 @@ impl std::fmt::Debug for EngineConfig {
 
 /// Options of one serve session (one stdin/stdout loop or one socket
 /// connection).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// Default response ordering; individual requests may override it with
     /// the `order=` wire keyword.
@@ -111,6 +112,19 @@ pub struct ServeOptions {
     /// result marked `halted:"max-items"`, `complete:false`.  `None` means
     /// no limit.
     pub max_items: Option<u64>,
+    /// Per-user token-bucket admission (`qld serve --user-rate`/
+    /// `--user-burst`), shared across every session of the server so one
+    /// user's flood of connections cannot starve another user.  Consulted
+    /// only for requests carrying the `auth=` wire keyword; anonymous
+    /// requests are never throttled.  `None` disables user fairness.
+    pub user_quota: Option<Arc<UserBuckets>>,
+    /// Hard cap, in bytes, on a readiness-loop session's buffered unsent
+    /// output before the connection is treated as dead (cancelled and
+    /// dropped).  A consumer that refuses to read an entire cap's worth of
+    /// responses is indistinguishable from one that is gone.  `None` uses
+    /// the 8 MiB default; ignored by the thread-per-session fallback, whose
+    /// blocking writes self-limit.
+    pub write_cap: Option<usize>,
 }
 
 /// Summary of one serve session.
@@ -168,7 +182,7 @@ impl Iterator for &StreamHandle {
 }
 
 /// What a worker should do for one job.
-enum Payload {
+pub(crate) enum Payload {
     /// Execute a typed query, optionally forcing a concrete solver.
     Query {
         request: Request,
@@ -181,7 +195,7 @@ enum Payload {
 }
 
 /// One unit of work travelling through the shared pool.
-struct PoolJob {
+pub(crate) struct PoolJob {
     /// Sequence number within the submitting session.
     seq: u64,
     /// Client correlation token to echo back.
@@ -197,18 +211,61 @@ struct PoolJob {
     max_items: Option<u64>,
     /// Where the executing worker sends chunk frames and the terminal
     /// response.
-    reply: Sender<StreamEvent>,
+    reply: ReplySender,
+}
+
+/// Where a job's frames go: the submitting session's event channel, plus an
+/// optional notifier for sessions multiplexed on a readiness loop (the loop
+/// cannot block on the channel, so each delivery pokes its waker instead;
+/// threaded sessions just block on the channel and pass `None`).
+#[derive(Clone)]
+pub(crate) struct ReplySender {
+    tx: Sender<StreamEvent>,
+    notify: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl ReplySender {
+    /// A reply channel for a session that blocks on `recv` (no notifier).
+    pub(crate) fn plain(tx: Sender<StreamEvent>) -> ReplySender {
+        ReplySender { tx, notify: None }
+    }
+
+    /// A reply channel that invokes `notify` after every delivered event.
+    pub(crate) fn notifying(tx: Sender<StreamEvent>, notify: Arc<dyn Fn() + Send + Sync>) -> Self {
+        ReplySender {
+            tx,
+            notify: Some(notify),
+        }
+    }
+
+    /// Delivers one event; `Err` means the session hung up its receiver.
+    pub(crate) fn send(&self, event: StreamEvent) -> Result<(), ()> {
+        match self.tx.send(event) {
+            Ok(()) => {
+                if let Some(notify) = &self.notify {
+                    notify();
+                }
+                Ok(())
+            }
+            Err(_) => Err(()),
+        }
+    }
 }
 
 /// Live load counters shared by sessions and workers, reported by the
 /// `stats` wire request (`inflight`/`sessions` fields) — the load signal a
 /// fleet router's least-loaded shard policy reads.
 #[derive(Debug, Default)]
-struct EngineCounters {
+pub(crate) struct EngineCounters {
     /// Jobs admitted to the pool (queued or running) and not yet answered.
     inflight: AtomicU64,
-    /// Serve sessions currently inside [`Engine::serve_with`].
+    /// Serve sessions currently inside [`Engine::serve_with`] or multiplexed
+    /// on a readiness loop.
     sessions: AtomicU64,
+    /// Transport connections currently open (accept/close boundary).
+    connections: AtomicU64,
+    /// Requests rejected by the per-user token bucket since startup.
+    throttled: AtomicU64,
 }
 
 /// Decrements the session gauge when a serve session ends, however it ends.
@@ -217,6 +274,19 @@ struct SessionGuard<'a>(&'a EngineCounters);
 impl Drop for SessionGuard<'_> {
     fn drop(&mut self) {
         self.0.sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII increment of the `connections` stats gauge: transports take one per
+/// accepted connection and drop it at close, so `stats` reports live
+/// connection counts however the session is served.
+pub(crate) struct ConnectionGuard {
+    counters: Arc<EngineCounters>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.counters.connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -383,6 +453,41 @@ impl Engine {
         self.job_tx.as_ref().expect("pool alive until drop")
     }
 
+    /// Marks one transport connection open for `stats` reporting; the
+    /// returned guard closes it.
+    pub(crate) fn track_connection(&self) -> ConnectionGuard {
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
+        ConnectionGuard {
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// Builds the non-blocking session state machine a readiness loop drives
+    /// (see [`SessionMux`]); `reply` is the session's job-reply channel,
+    /// already wired to the loop's waker.
+    pub(crate) fn session_mux(&self, options: &ServeOptions, reply: ReplySender) -> SessionMux {
+        self.counters.sessions.fetch_add(1, Ordering::Relaxed);
+        SessionMux {
+            job_tx: self.sender().clone(),
+            counters: Arc::clone(&self.counters),
+            reply,
+            default_order: options.order,
+            max_inflight: options.max_inflight,
+            max_items: options.max_items,
+            user_quota: options.user_quota.clone(),
+            reorder_capacity: self.config.queue_capacity.max(1) * 4,
+            seq: 0,
+            ordered: 0,
+            emission: HashMap::new(),
+            inflight: HashMap::new(),
+            next_ordered: 0,
+            pending: BTreeMap::new(),
+            requests: 0,
+            errors: 0,
+            pool_closed: false,
+        }
+    }
+
     /// Executes a batch of requests on the worker pool; `responses[i]` answers
     /// `requests[i]`.  Submission shares the bounded queue with any concurrent
     /// sessions.
@@ -400,7 +505,7 @@ impl Engine {
                 stream: false,
                 cancel: CancelToken::new(),
                 max_items: None,
-                reply: reply_tx.clone(),
+                reply: ReplySender::plain(reply_tx.clone()),
             };
             self.counters.inflight.fetch_add(1, Ordering::Relaxed);
             self.sender().send(job).expect("worker pool alive");
@@ -448,7 +553,7 @@ impl Engine {
             stream: true,
             cancel: cancel.clone(),
             max_items: options.max_items,
-            reply: reply_tx,
+            reply: ReplySender::plain(reply_tx),
         };
         self.counters.inflight.fetch_add(1, Ordering::Relaxed);
         self.sender().send(job).expect("worker pool alive");
@@ -536,6 +641,7 @@ impl Engine {
                 let default_order = options.order;
                 let max_inflight = options.max_inflight;
                 let max_items = options.max_items;
+                let user_quota = options.user_quota.clone();
                 scope.spawn(move || {
                     let mut seq: u64 = 0;
                     let mut ordered: u64 = 0;
@@ -558,32 +664,37 @@ impl Engine {
                         if trimmed.is_empty() || trimmed.starts_with('#') {
                             continue;
                         }
-                        let (client_id, order, stream, action) = match wire::parse_line(trimmed) {
-                            Ok(parsed) => {
-                                let action = match parsed.command {
-                                    wire::Command::Query(request) => {
-                                        FeedAction::Submit(Payload::Query {
-                                            request,
-                                            solver: parsed.solver,
-                                        })
-                                    }
-                                    wire::Command::Stats => FeedAction::Submit(Payload::Stats),
-                                    wire::Command::Cancel { target } => FeedAction::Cancel(target),
-                                };
-                                (
-                                    parsed.id,
-                                    parsed.order.unwrap_or(default_order),
-                                    parsed.stream,
-                                    action,
-                                )
-                            }
-                            Err(message) => (
-                                wire::salvage_client_id(trimmed),
-                                default_order,
-                                false,
-                                FeedAction::Submit(Payload::Malformed(message)),
-                            ),
-                        };
+                        let (client_id, order, stream, auth, action) =
+                            match wire::parse_line(trimmed) {
+                                Ok(parsed) => {
+                                    let action = match parsed.command {
+                                        wire::Command::Query(request) => {
+                                            FeedAction::Submit(Payload::Query {
+                                                request,
+                                                solver: parsed.solver,
+                                            })
+                                        }
+                                        wire::Command::Stats => FeedAction::Submit(Payload::Stats),
+                                        wire::Command::Cancel { target } => {
+                                            FeedAction::Cancel(target)
+                                        }
+                                    };
+                                    (
+                                        parsed.id,
+                                        parsed.order.unwrap_or(default_order),
+                                        parsed.stream,
+                                        parsed.auth,
+                                        action,
+                                    )
+                                }
+                                Err(message) => (
+                                    wire::salvage_client_id(trimmed),
+                                    default_order,
+                                    false,
+                                    None,
+                                    FeedAction::Submit(Payload::Malformed(message)),
+                                ),
+                            };
                         // Cancel requests are pure control: they are resolved
                         // and answered immediately — always on arrival, ahead
                         // of the reorder-buffer backpressure below, because a
@@ -640,6 +751,34 @@ impl Engine {
                         let FeedAction::Submit(payload) = action else {
                             unreachable!("cancel handled above")
                         };
+                        // Per-user fairness gates solver work at admission:
+                        // an authenticated query whose user is out of tokens
+                        // is answered with a `quota` error before it can
+                        // occupy a worker.  Control traffic (`stats`) and
+                        // malformed lines are never throttled.
+                        if let (Some(quota), Some(user), Payload::Query { .. }) =
+                            (user_quota.as_deref(), auth.as_deref(), &payload)
+                        {
+                            if !quota.admit(user) {
+                                counters.throttled.fetch_add(1, Ordering::Relaxed);
+                                let response = Response {
+                                    id: seq,
+                                    client_id,
+                                    outcome: Err(EngineError::quota(format!(
+                                        "user `{user}` exceeded the admission rate \
+                                         ({} req/s, burst {})",
+                                        quota.rate_per_sec(),
+                                        quota.burst()
+                                    ))),
+                                    halted: None,
+                                    chunks: stream.then_some(0),
+                                    stats: control_stats(),
+                                };
+                                let _ = reply_tx.send(StreamEvent::Done(response));
+                                seq += 1;
+                                continue;
+                            }
+                        }
                         if let Some(limit) = max_inflight {
                             if lock_ignoring_poison(inflight).len() >= limit {
                                 let response = Response {
@@ -667,7 +806,7 @@ impl Engine {
                             stream,
                             cancel,
                             max_items,
-                            reply: reply_tx.clone(),
+                            reply: ReplySender::plain(reply_tx.clone()),
                         };
                         counters.inflight.fetch_add(1, Ordering::Relaxed);
                         if job_tx.send(job).is_err() {
@@ -770,6 +909,300 @@ fn cancel_all(inflight: &Mutex<HashMap<u64, CancelToken>>) {
     }
 }
 
+/// What [`SessionMux::feed_line`] did with one wire line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MuxFeed {
+    /// The line was consumed: answered immediately, submitted to the pool,
+    /// or skipped (blank/comment).
+    Progress,
+    /// The line was **not** consumed: the session's reorder buffer or the
+    /// shared job queue is full.  Retry the same line once responses drain.
+    Stalled,
+    /// The worker pool hung up (the engine is shutting down); the session
+    /// cannot make progress and should be closed.
+    PoolClosed,
+}
+
+/// The non-blocking equivalent of one [`Engine::serve_with`] session: the
+/// feeder and collector halves of the threaded loop folded into a state
+/// machine a readiness loop can drive from one thread.
+///
+/// The semantics mirror `serve_with` exactly — per-session sequence numbers,
+/// the cancel/quota control paths, the `order=input` reorder buffer with its
+/// bounded capacity, immediate emission for streams — so every wire test
+/// passes unchanged over either transport.  The differences are mechanical:
+/// lines arrive via [`SessionMux::feed_line`] instead of a blocking reader,
+/// worker events via [`SessionMux::on_event`] instead of a blocking `recv`,
+/// and rendered response bytes accumulate in a caller-owned buffer instead
+/// of going straight to a socket.
+pub(crate) struct SessionMux {
+    job_tx: SyncSender<PoolJob>,
+    counters: Arc<EngineCounters>,
+    /// Template reply channel cloned into every job (already wired to the
+    /// readiness loop's waker).
+    reply: ReplySender,
+    default_order: OrderMode,
+    max_inflight: Option<usize>,
+    max_items: Option<u64>,
+    user_quota: Option<Arc<UserBuckets>>,
+    reorder_capacity: usize,
+    seq: u64,
+    ordered: u64,
+    emission: HashMap<u64, Emission>,
+    inflight: HashMap<u64, CancelToken>,
+    next_ordered: u64,
+    pending: BTreeMap<u64, Response>,
+    requests: u64,
+    errors: u64,
+    pool_closed: bool,
+}
+
+impl Drop for SessionMux {
+    fn drop(&mut self) {
+        self.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl SessionMux {
+    /// Feeds one wire line (already split, not yet trimmed).  Rendered
+    /// responses — control answers, quota rejections — are appended to `out`.
+    /// [`MuxFeed::Stalled`] means the line was not consumed and must be
+    /// re-fed after [`SessionMux::on_event`] has drained some state.
+    pub(crate) fn feed_line(&mut self, line: &str, out: &mut Vec<u8>) -> MuxFeed {
+        if self.pool_closed {
+            return MuxFeed::PoolClosed;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return MuxFeed::Progress;
+        }
+        let control_stats = || RequestStats {
+            solver: "-".to_string(),
+            ..RequestStats::default()
+        };
+        let (client_id, order, stream, auth, action) = match wire::parse_line(trimmed) {
+            Ok(parsed) => {
+                let action = match parsed.command {
+                    wire::Command::Query(request) => FeedAction::Submit(Payload::Query {
+                        request,
+                        solver: parsed.solver,
+                    }),
+                    wire::Command::Stats => FeedAction::Submit(Payload::Stats),
+                    wire::Command::Cancel { target } => FeedAction::Cancel(target),
+                };
+                (
+                    parsed.id,
+                    parsed.order.unwrap_or(self.default_order),
+                    parsed.stream,
+                    parsed.auth,
+                    action,
+                )
+            }
+            Err(message) => (
+                wire::salvage_client_id(trimmed),
+                self.default_order,
+                false,
+                None,
+                FeedAction::Submit(Payload::Malformed(message)),
+            ),
+        };
+        // Cancels resolve ahead of the reorder backpressure, exactly as in
+        // the threaded feeder: a cancel may be what unblocks a stuck
+        // head-of-line request.
+        if let FeedAction::Cancel(target) = action {
+            let cancelled = match self.inflight.get(&target) {
+                Some(token) => {
+                    token.cancel();
+                    true
+                }
+                None => false,
+            };
+            let seq = self.next_seq();
+            self.emission.insert(seq, Emission::Immediate);
+            self.finish(
+                Response {
+                    id: seq,
+                    client_id,
+                    outcome: Ok(Outcome::Cancel { target, cancelled }),
+                    halted: None,
+                    chunks: stream.then_some(0),
+                    stats: control_stats(),
+                },
+                out,
+            );
+            return MuxFeed::Progress;
+        }
+        // The threaded feeder sleeps here while the reorder buffer is at
+        // capacity; the non-blocking equivalent is to leave the line
+        // unconsumed and let the loop retry after responses drain.
+        if self.pending.len() >= self.reorder_capacity {
+            return MuxFeed::Stalled;
+        }
+        let FeedAction::Submit(payload) = action else {
+            unreachable!("cancel handled above")
+        };
+        let plan = match order {
+            OrderMode::Input if !stream => {
+                let position = self.ordered;
+                Emission::Ordered(position)
+            }
+            _ => Emission::Immediate,
+        };
+        let throttled = match (&self.user_quota, auth.as_deref(), &payload) {
+            (Some(quota), Some(user), Payload::Query { .. }) if !quota.admit(user) => {
+                Some(format!(
+                    "user `{user}` exceeded the admission rate ({} req/s, burst {})",
+                    quota.rate_per_sec(),
+                    quota.burst()
+                ))
+            }
+            _ => None,
+        };
+        if let Some(message) = throttled {
+            self.counters.throttled.fetch_add(1, Ordering::Relaxed);
+            let seq = self.next_seq();
+            self.commit_plan(seq, plan);
+            self.finish(
+                Response {
+                    id: seq,
+                    client_id,
+                    outcome: Err(EngineError::quota(message)),
+                    halted: None,
+                    chunks: stream.then_some(0),
+                    stats: control_stats(),
+                },
+                out,
+            );
+            return MuxFeed::Progress;
+        }
+        if let Some(limit) = self.max_inflight {
+            if self.inflight.len() >= limit {
+                let seq = self.next_seq();
+                self.commit_plan(seq, plan);
+                self.finish(
+                    Response {
+                        id: seq,
+                        client_id,
+                        outcome: Err(EngineError::quota(format!(
+                            "session in-flight quota exceeded \
+                             ({limit} request(s) already running)"
+                        ))),
+                        halted: None,
+                        chunks: stream.then_some(0),
+                        stats: control_stats(),
+                    },
+                    out,
+                );
+                return MuxFeed::Progress;
+            }
+        }
+        let cancel = CancelToken::new();
+        let job = PoolJob {
+            seq: self.seq,
+            client_id,
+            payload,
+            stream,
+            cancel: cancel.clone(),
+            max_items: self.max_items,
+            reply: self.reply.clone(),
+        };
+        match self.job_tx.try_send(job) {
+            Ok(()) => {
+                self.counters.inflight.fetch_add(1, Ordering::Relaxed);
+                let seq = self.next_seq();
+                self.commit_plan(seq, plan);
+                self.inflight.insert(seq, cancel);
+                MuxFeed::Progress
+            }
+            // Queue full is the readiness-loop form of the feeder blocking on
+            // `send`: nothing was committed, so the same line retries intact.
+            Err(mpsc::TrySendError::Full(_)) => MuxFeed::Stalled,
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.pool_closed = true;
+                MuxFeed::PoolClosed
+            }
+        }
+    }
+
+    /// Applies one worker event, appending any rendered output to `out` —
+    /// the collector half of the threaded loop.
+    pub(crate) fn on_event(&mut self, event: StreamEvent, out: &mut Vec<u8>) {
+        match event {
+            StreamEvent::Chunk(frame) => {
+                out.extend_from_slice(frame.to_json_line().as_bytes());
+                out.push(b'\n');
+            }
+            StreamEvent::Done(response) => {
+                self.inflight.remove(&response.id);
+                self.finish(response, out);
+            }
+        }
+    }
+
+    /// Cancels every in-flight job (the session's consumer is gone).
+    pub(crate) fn abort(&mut self) {
+        for token in self.inflight.values() {
+            token.cancel();
+        }
+    }
+
+    /// Whether every submitted request has been answered and emitted.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.inflight.is_empty() && self.pending.is_empty()
+    }
+
+    /// (requests answered, error responses) so far — the session's
+    /// contribution to a [`crate::transport::TransportSummary`].
+    pub(crate) fn tallies(&self) -> (u64, u64) {
+        (self.requests, self.errors)
+    }
+
+    /// Consumes the next session sequence number.
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    /// Registers `seq`'s emission plan, consuming an ordered position if the
+    /// plan is ordered.
+    fn commit_plan(&mut self, seq: u64, plan: Emission) {
+        if let Emission::Ordered(_) = plan {
+            self.ordered += 1;
+        }
+        self.emission.insert(seq, plan);
+    }
+
+    /// Routes one terminal response through the session's emission plan,
+    /// rendering everything that becomes emittable.
+    fn finish(&mut self, response: Response, out: &mut Vec<u8>) {
+        self.requests += 1;
+        if !response.is_ok() {
+            self.errors += 1;
+        }
+        let plan = self
+            .emission
+            .remove(&response.id)
+            .unwrap_or(Emission::Immediate);
+        match plan {
+            Emission::Immediate => render_response(&response, out),
+            Emission::Ordered(position) => {
+                self.pending.insert(position, response);
+                while let Some(next) = self.pending.remove(&self.next_ordered) {
+                    render_response(&next, out);
+                    self.next_ordered += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Appends one response as a JSON line to a session output buffer.
+fn render_response(response: &Response, out: &mut Vec<u8>) {
+    out.extend_from_slice(response.to_json_line().as_bytes());
+    out.push(b'\n');
+}
+
 /// What the feeder does with one parsed line.
 enum FeedAction {
     /// Submit a job to the worker pool.
@@ -847,6 +1280,8 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
                     .load(Ordering::Relaxed)
                     .saturating_sub(1),
                 sessions: ctx.counters.sessions.load(Ordering::Relaxed),
+                connections: ctx.counters.connections.load(Ordering::Relaxed),
+                throttled: ctx.counters.throttled.load(Ordering::Relaxed),
             }),
             halted: None,
             // Item-less kinds still honour the streamed framing contract:

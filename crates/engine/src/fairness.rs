@@ -1,0 +1,197 @@
+//! Per-user admission control: token buckets shared across all of a user's
+//! connections.
+//!
+//! The `auth=` wire keyword maps a request to a user id; every session (at a
+//! shard *and* at the front router) consults one shared [`UserBuckets`] so
+//! that a user opening a thousand connections gets the same aggregate rate as
+//! a user opening one. Anonymous requests (no `auth=`) are never throttled —
+//! the keyword is additive and wire-v2-compatible.
+//!
+//! The refill arithmetic lives in [`Bucket`], a pure value type that takes
+//! the clock as an argument, so the proptest model suite
+//! (`tests/engine_fairness.rs`) can drive it through arbitrary schedules —
+//! including a clock that jumps backwards — without sleeping.
+
+use crate::lock_ignoring_poison;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Hard bound on distinct users tracked at once. When exceeded, buckets that
+/// have refilled back to a full burst (i.e. idle users) are evicted; a user
+/// whose bucket was evicted re-enters with a full burst, which is exactly the
+/// state the bucket had when dropped.
+const MAX_TRACKED_USERS: usize = 65_536;
+
+/// The refill state of one user's token bucket: pure arithmetic over a caller
+/// supplied monotonic-nanosecond clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Tokens currently available; one request costs one token.
+    pub tokens: f64,
+    /// The clock reading at the last refill. Never moves backwards.
+    pub refilled_at_nanos: u64,
+}
+
+impl Bucket {
+    /// A bucket holding a full burst, as every user starts out.
+    pub fn full(burst: f64, now_nanos: u64) -> Bucket {
+        Bucket {
+            tokens: burst,
+            refilled_at_nanos: now_nanos,
+        }
+    }
+
+    /// Refill for the time elapsed since the last call (clamped to `burst`),
+    /// then try to take one token. A `now_nanos` at or before the last refill
+    /// mints nothing: a clock that jumps backwards cannot be exploited to
+    /// manufacture tokens, and the high-water mark is kept so tokens are not
+    /// double-minted when the clock recovers.
+    pub fn try_admit(&mut self, now_nanos: u64, rate_per_sec: f64, burst: f64) -> bool {
+        if now_nanos > self.refilled_at_nanos {
+            let elapsed = (now_nanos - self.refilled_at_nanos) as f64 / 1e9;
+            self.tokens = (self.tokens + elapsed * rate_per_sec).min(burst);
+            self.refilled_at_nanos = now_nanos;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the bucket will have refilled to a full burst by `now_nanos`
+    /// — i.e. whether its owner has been idle long enough to forget.
+    fn is_full_at(&self, now_nanos: u64, rate_per_sec: f64, burst: f64) -> bool {
+        let elapsed = now_nanos.saturating_sub(self.refilled_at_nanos) as f64 / 1e9;
+        self.tokens + elapsed * rate_per_sec >= burst
+    }
+}
+
+/// Token-bucket admission for every authenticated user, shared (behind an
+/// `Arc`) by all sessions of a server.
+#[derive(Debug)]
+pub struct UserBuckets {
+    rate_per_sec: f64,
+    burst: f64,
+    started: Instant,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl UserBuckets {
+    /// A bucket family refilling at `rate_per_sec` tokens per second with a
+    /// capacity of `burst` tokens. A burst below one token would reject every
+    /// request, so it is clamped up to 1.
+    pub fn new(rate_per_sec: f64, burst: f64) -> UserBuckets {
+        UserBuckets {
+            rate_per_sec: rate_per_sec.max(0.0),
+            burst: burst.max(1.0),
+            started: Instant::now(),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured refill rate, in tokens per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// The configured burst capacity, in tokens.
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    /// Admit or reject one request from `user`, using the real monotonic
+    /// clock.
+    pub fn admit(&self, user: &str) -> bool {
+        self.admit_at(user, self.started.elapsed().as_nanos() as u64)
+    }
+
+    /// Admit or reject one request from `user` at an explicit clock reading
+    /// (exposed for deterministic tests).
+    pub fn admit_at(&self, user: &str, now_nanos: u64) -> bool {
+        let mut buckets = lock_ignoring_poison(&self.buckets);
+        if !buckets.contains_key(user) && buckets.len() >= MAX_TRACKED_USERS {
+            let (rate, burst) = (self.rate_per_sec, self.burst);
+            buckets.retain(|_, b| !b.is_full_at(now_nanos, rate, burst));
+        }
+        let bucket = buckets
+            .entry(user.to_string())
+            .or_insert_with(|| Bucket::full(self.burst, now_nanos));
+        bucket.try_admit(now_nanos, self.rate_per_sec, self.burst)
+    }
+
+    /// How many users currently hold a tracked bucket.
+    pub fn tracked_users(&self) -> usize {
+        lock_ignoring_poison(&self.buckets).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn burst_is_spent_then_rejected() {
+        let buckets = UserBuckets::new(1.0, 3.0);
+        assert!(buckets.admit_at("alice", 0));
+        assert!(buckets.admit_at("alice", 0));
+        assert!(buckets.admit_at("alice", 0));
+        assert!(!buckets.admit_at("alice", 0));
+    }
+
+    #[test]
+    fn users_do_not_share_buckets() {
+        let buckets = UserBuckets::new(1.0, 1.0);
+        assert!(buckets.admit_at("alice", 0));
+        assert!(!buckets.admit_at("alice", 0));
+        assert!(
+            buckets.admit_at("bob", 0),
+            "alice's flood must not charge bob"
+        );
+    }
+
+    #[test]
+    fn tokens_refill_at_the_configured_rate() {
+        let buckets = UserBuckets::new(2.0, 1.0);
+        assert!(buckets.admit_at("u", 0));
+        assert!(!buckets.admit_at("u", 0));
+        // 2 tokens/sec: half a second refills the single-token burst.
+        assert!(buckets.admit_at("u", SEC / 2));
+    }
+
+    #[test]
+    fn a_backwards_clock_mints_nothing() {
+        let buckets = UserBuckets::new(1000.0, 1.0);
+        assert!(buckets.admit_at("u", 10 * SEC));
+        assert!(!buckets.admit_at("u", 10 * SEC));
+        // The clock jumping back 9 seconds must not refill anything...
+        assert!(!buckets.admit_at("u", SEC));
+        // ...and recovery is measured from the high-water mark, not the dip.
+        assert!(!buckets.admit_at("u", 10 * SEC));
+        assert!(buckets.admit_at("u", 11 * SEC));
+    }
+
+    #[test]
+    fn idle_users_are_evicted_under_pressure_and_reenter_full() {
+        let buckets = UserBuckets::new(1.0, 2.0);
+        assert!(buckets.admit_at("idle", 0));
+        assert_eq!(buckets.tracked_users(), 1);
+        // Much later the idle bucket is full again, so it is evictable; a
+        // re-appearing user starts from the same full-burst state.
+        assert!(buckets.admit_at("idle", 100 * SEC));
+        assert!(buckets.admit_at("idle", 100 * SEC));
+        assert!(!buckets.admit_at("idle", 100 * SEC));
+    }
+
+    #[test]
+    fn zero_rate_still_allows_the_burst() {
+        let buckets = UserBuckets::new(0.0, 2.0);
+        assert!(buckets.admit_at("u", 0));
+        assert!(buckets.admit_at("u", SEC));
+        assert!(!buckets.admit_at("u", 1000 * SEC));
+    }
+}

@@ -70,9 +70,12 @@
 
 pub mod cache;
 pub mod engine;
+pub mod fairness;
 pub mod json;
 pub mod ops;
 pub mod policy;
+#[cfg(unix)]
+pub(crate) mod readiness;
 pub mod request;
 pub mod response;
 pub mod snapshot;
@@ -84,6 +87,7 @@ pub use cache::CacheStats;
 pub use engine::{
     Engine, EngineConfig, ServeOptions, ServeSummary, StreamHandle, StreamRunOptions,
 };
+pub use fairness::{Bucket, UserBuckets};
 pub use ops::{enumerate_transversals_with, execute_streaming, Execution};
 pub use policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
 pub use request::Request;

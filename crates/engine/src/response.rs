@@ -106,6 +106,14 @@ pub enum Outcome {
         inflight: u64,
         /// Serve sessions currently connected to the engine.
         sessions: u64,
+        /// Transport connections currently open (readiness-loop and
+        /// thread-per-session alike).  Tracks `sessions` closely but counts
+        /// at the accept/close boundary, so the C10k soak can assert bounded
+        /// connection state.
+        connections: u64,
+        /// Requests rejected at admission by the per-user token bucket
+        /// (`auth=` + `--user-rate`/`--user-burst`) since the engine started.
+        throttled: u64,
     },
 }
 
@@ -122,7 +130,8 @@ pub enum ErrorCode {
     /// The request was cancelled before it produced any (partial) result.
     Cancelled,
     /// The request was rejected at admission by a per-session quota
-    /// (`--max-inflight`).
+    /// (`--max-inflight`) or by its user's token bucket (`auth=` +
+    /// `--user-rate`/`--user-burst`).
     Quota,
 }
 
@@ -367,6 +376,8 @@ impl Response {
                         cache_restored,
                         inflight,
                         sessions,
+                        connections,
+                        throttled,
                     } => {
                         o.str("kind", "stats");
                         o.uint("proto", *protocol as u128);
@@ -375,6 +386,8 @@ impl Response {
                         o.bool("cache_restored", *cache_restored);
                         o.uint("inflight", *inflight as u128);
                         o.uint("sessions", *sessions as u128);
+                        o.uint("connections", *connections as u128);
+                        o.uint("throttled", *throttled as u128);
                         let mut co = ObjectBuilder::new();
                         co.uint("hits", cache.hits as u128)
                             .uint("misses", cache.misses as u128)
@@ -524,6 +537,8 @@ mod tests {
                 cache_restored: true,
                 inflight: 3,
                 sessions: 2,
+                connections: 6,
+                throttled: 9,
             }),
             halted: None,
             chunks: None,
@@ -536,6 +551,8 @@ mod tests {
         assert!(line.contains("\"cache_restored\":true"));
         assert!(line.contains("\"inflight\":3"));
         assert!(line.contains("\"sessions\":2"));
+        assert!(line.contains("\"connections\":6"));
+        assert!(line.contains("\"throttled\":9"));
         assert!(line.contains(
             "\"cache\":{\"hits\":5,\"misses\":7,\"entries\":2,\"evictions\":1,\
              \"expirations\":0,\"capacity\":64}"

@@ -662,6 +662,8 @@ mod tests {
             cache_restored: false,
             inflight: 0,
             sessions: 0,
+            connections: 0,
+            throttled: 0,
         });
         assert!(encode_outcome(&outcome).is_none());
         let outcome = Ok(Outcome::Cancel {

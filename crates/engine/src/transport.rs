@@ -1,7 +1,6 @@
 //! The daemon transports: socket listeners in front of the engine.
 //!
-//! Two listeners share one session implementation, because a serve session is
-//! just a `BufRead` + `Write` pair fed to [`Engine::serve_with`]:
+//! Two listeners share one session implementation:
 //!
 //! * [`SocketServer`] — a Unix-domain-socket listener (`qld serve --socket
 //!   PATH`), Unix only;
@@ -15,6 +14,15 @@
 //! the engine's shared worker pool through the shared bounded queue, so a
 //! flood on one connection backpressures rather than starving the others, and
 //! all connections share one result cache.
+//!
+//! On Linux, [`SocketServer::run`] and [`TcpServer::run`] serve every
+//! connection from **one** epoll readiness loop (`crate::readiness`):
+//! sessions are non-blocking state machines, so thousands of idle
+//! connections cost no threads and a slow reader never pins a worker behind
+//! a blocking write.  Where epoll is unavailable the same calls fall back to
+//! the original thread-per-session accept loop ([`run_session_loop`]), which
+//! also remains the engine-independent path behind `run_with` for front ends
+//! like the fleet router.
 
 use crate::engine::{Engine, ServeOptions, ServeSummary};
 use crate::lock_ignoring_poison;
@@ -315,17 +323,23 @@ impl SocketServer {
         }
     }
 
-    /// Runs the accept loop (semantics in the module docs: per-connection
-    /// sessions, backoff on transient accept failures, drain on shutdown)
-    /// and removes the socket file afterwards.
+    /// Serves sessions until shut down (epoll readiness loop where available,
+    /// thread-per-session accept loop otherwise — see the module docs) and
+    /// removes the socket file afterwards.
     pub fn run(
         self,
         engine: &Arc<Engine>,
         options: ServeOptions,
     ) -> std::io::Result<TransportSummary> {
-        let result = run_accept_loop(engine, options, &self.stop, || {
-            self.listener.accept().map(|(stream, _addr)| stream)
-        });
+        let result =
+            match crate::readiness::serve_ready(&self.listener, &self.stop, engine, &options) {
+                Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                    run_accept_loop(engine, options, &self.stop, || {
+                        self.listener.accept().map(|(stream, _addr)| stream)
+                    })
+                }
+                outcome => outcome,
+            };
         drop(self.listener);
         let _ = std::fs::remove_file(&self.path);
         result
@@ -414,13 +428,18 @@ impl TcpServer {
         }
     }
 
-    /// Runs the accept loop (same semantics as [`SocketServer::run`], minus
-    /// the socket-file cleanup).
+    /// Serves sessions until shut down (same semantics as
+    /// [`SocketServer::run`], minus the socket-file cleanup).
     pub fn run(
         self,
         engine: &Arc<Engine>,
         options: ServeOptions,
     ) -> std::io::Result<TransportSummary> {
+        #[cfg(unix)]
+        match crate::readiness::serve_ready(&self.listener, &self.stop, engine, &options) {
+            Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {}
+            outcome => return outcome,
+        }
         run_accept_loop(engine, options, &self.stop, || {
             self.listener.accept().map(|(stream, _addr)| stream)
         })
@@ -449,6 +468,7 @@ fn serve_connection<S: SessionStream>(
     stream: S,
     options: &ServeOptions,
 ) -> ServeSummary {
+    let _connection = engine.track_connection();
     let reader = match stream.try_clone_stream() {
         Ok(clone) => BufReader::new(clone),
         Err(_) => return ServeSummary::default(),

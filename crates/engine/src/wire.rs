@@ -21,7 +21,9 @@
 //! any name accepted by [`crate::policy::SolverKind::from_name`]), and
 //! `stream=BOOL` (answer with incremental `chunk` frames followed by a `done`
 //! frame instead of one response line — protocol version 2, see
-//! `docs/WIRE.md`).  `mine … full=true` runs the full `dualize_and_advance`
+//! `docs/WIRE.md`), and `auth=<USER>` (the user id this request is accounted
+//! to for per-user token-bucket admission; anonymous requests are never
+//! throttled).  `mine … full=true` runs the full `dualize_and_advance`
 //! identification loop server-side; `cancel id=<N>` asks the session to stop
 //! the in-flight request whose sequence number is `N` (on a `cancel` line the
 //! `id=` keyword names the *target*, so cancel requests carry no correlation
@@ -119,6 +121,10 @@ pub struct ParsedLine {
     /// Whether the request asked for a streamed answer (`stream=` keyword):
     /// incremental `chunk` frames followed by a `done` frame.
     pub stream: bool,
+    /// The user id this request is accounted to (`auth=` keyword) for
+    /// per-user token-bucket admission; `None` means anonymous (never
+    /// throttled).
+    pub auth: Option<String>,
 }
 
 /// Splits an optional `n=<N>:` prefix off an inline family, returning the
@@ -310,6 +316,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
     let mut order: Option<OrderMode> = None;
     let mut solver: Option<SolverKind> = None;
     let mut stream = false;
+    let mut auth: Option<String> = None;
     let mut rest: Vec<&str> = Vec::new();
     for t in tokens {
         if let Some(v) = t.strip_prefix("id=") {
@@ -324,6 +331,11 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
             );
         } else if let Some(v) = t.strip_prefix("solver=") {
             solver = Some(SolverKind::from_name(v).ok_or_else(|| format!("unknown solver `{v}`"))?);
+        } else if let Some(v) = t.strip_prefix("auth=") {
+            if v.is_empty() {
+                return Err("empty user id in `auth=`".to_string());
+            }
+            auth = Some(v.to_string());
         } else if let Some(v) = t.strip_prefix("stream=") {
             stream = match v {
                 "chunks" => true,
@@ -427,6 +439,7 @@ pub fn parse_line(line: &str) -> Result<ParsedLine, String> {
         order,
         solver,
         stream,
+        auth,
     })
 }
 
@@ -659,6 +672,21 @@ mod tests {
         assert!(pl.stream);
         assert_eq!(pl.id.as_deref(), Some("x"));
         assert!(parse_line("enumerate 0,1 stream=sideways").is_err());
+    }
+
+    #[test]
+    fn auth_keyword_parses_on_every_kind() {
+        let pl = parse_line("check 0,1 0;1 auth=alice id=x").unwrap();
+        assert_eq!(pl.auth.as_deref(), Some("alice"));
+        assert_eq!(pl.id.as_deref(), Some("x"));
+        let pl = parse_line("enumerate 0,1;2,3 stream=1 auth=bob").unwrap();
+        assert_eq!(pl.auth.as_deref(), Some("bob"));
+        assert!(pl.stream);
+        let pl = parse_line("stats auth=carol").unwrap();
+        assert_eq!(pl.auth.as_deref(), Some("carol"));
+        // Absent auth means anonymous; empty auth is rejected outright.
+        assert_eq!(parse_line("check 0,1 0;1").unwrap().auth, None);
+        assert!(parse_line("check 0,1 0;1 auth=").is_err());
     }
 
     #[test]

@@ -84,6 +84,13 @@ OPTIONS:
                        are still unanswered
   --max-items N        (serve) per-session quota: any single request stops
                        after yielding N result items (halted: max-items)
+  --user-rate RATE     (serve, front) per-user admission quota: requests
+                       carrying auth=<user> are admitted at RATE requests
+                       per second per user (token bucket; may be fractional)
+                       and rejected with a `quota` error beyond it
+  --user-burst N       (serve, front) token-bucket burst: how many requests
+                       a user may issue at once before the rate applies
+                       (default: RATE rounded up, at least 1)
   --shards N           (front) number of backend serve shards (default 2)
   --dir DIR            (front) directory for the shard sockets and cache
                        snapshots (default: <socket>.shards; required with
@@ -154,6 +161,8 @@ struct Options {
     order: OrderMode,
     max_inflight: Option<usize>,
     max_items: Option<u64>,
+    user_rate: Option<f64>,
+    user_burst: Option<f64>,
     shards: Option<usize>,
     dir: Option<String>,
     shard_policy: Option<String>,
@@ -185,6 +194,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         order: OrderMode::Input,
         max_inflight: None,
         max_items: None,
+        user_rate: None,
+        user_burst: None,
         shards: None,
         dir: None,
         shard_policy: None,
@@ -247,6 +258,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--max-items" => {
                 opts.max_items = Some(parse_num(&value_of("--max-items")?, "--max-items")? as u64)
             }
+            "--user-rate" => {
+                opts.user_rate = Some(parse_rate(&value_of("--user-rate")?, "--user-rate")?)
+            }
+            "--user-burst" => {
+                opts.user_burst = Some(parse_rate(&value_of("--user-burst")?, "--user-burst")?)
+            }
             "--shards" => opts.shards = Some(parse_num(&value_of("--shards")?, "--shards")?),
             "--dir" => opts.dir = Some(value_of("--dir")?),
             "--policy" => opts.shard_policy = Some(value_of("--policy")?),
@@ -277,6 +294,31 @@ fn parse_num(value: &str, flag: &str) -> Result<usize, String> {
     value
         .parse()
         .map_err(|_| format!("{flag}: invalid number `{value}`"))
+}
+
+fn parse_rate(value: &str, flag: &str) -> Result<f64, String> {
+    let parsed: f64 = value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid number `{value}`"))?;
+    if parsed.is_finite() && parsed > 0.0 {
+        Ok(parsed)
+    } else {
+        Err(format!("{flag}: must be a positive number, got `{value}`"))
+    }
+}
+
+/// Builds the shared per-user admission buckets from `--user-rate` /
+/// `--user-burst`.  `--user-burst` alone is rejected: a burst without a
+/// refill rate would silently never throttle anyone.
+fn user_quota_from(opts: &Options) -> Result<Option<Arc<qld_engine::UserBuckets>>, String> {
+    match (opts.user_rate, opts.user_burst) {
+        (Some(rate), burst) => {
+            let burst = burst.unwrap_or_else(|| rate.ceil().max(1.0));
+            Ok(Some(Arc::new(qld_engine::UserBuckets::new(rate, burst))))
+        }
+        (None, Some(_)) => Err("--user-burst requires --user-rate".to_string()),
+        (None, None) => Ok(None),
+    }
 }
 
 fn engine_from(opts: &Options) -> Engine {
@@ -514,6 +556,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 order: opts.order,
                 max_inflight: opts.max_inflight,
                 max_items: opts.max_items,
+                user_quota: user_quota_from(&opts)?,
+                ..ServeOptions::default()
             };
             let daemon_modes = [
                 opts.socket.is_some(),
@@ -719,7 +763,15 @@ fn run_front(opts: &Options) -> Result<ExitCode, String> {
         policy.name(),
         !opts.no_retry
     );
-    let router = Router::new(Arc::clone(&fleet), policy, !opts.no_retry);
+    let user_quota = user_quota_from(opts)?;
+    if let Some(quota) = &user_quota {
+        eprintln!(
+            "qld front: per-user admission at {} req/s (burst {})",
+            quota.rate_per_sec(),
+            quota.burst()
+        );
+    }
+    let router = Router::with_user_quota(Arc::clone(&fleet), policy, !opts.no_retry, user_quota);
     arm_rolling_restart(&fleet);
     let summary = if let Some(socket) = &opts.socket {
         let server =

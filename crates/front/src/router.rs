@@ -23,7 +23,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use qld_engine::wire::{self, Command, ParsedLine};
-use qld_engine::{EngineError, Outcome, RequestStats, Response, ServeSummary, SessionStream};
+use qld_engine::{
+    EngineError, Outcome, RequestStats, Response, ServeSummary, SessionStream, UserBuckets,
+};
 
 use crate::fleet::Fleet;
 use crate::lock_ignoring_poison as lock;
@@ -36,16 +38,34 @@ pub struct Router {
     /// Whether a request lost to a dying shard is retried once on a
     /// surviving shard (`--no-retry` clears it).
     retry: bool,
+    /// Per-user admission buckets, shared across every client session of
+    /// the daemon: an `auth=<user>` flood is throttled at the router, before
+    /// it ever reaches a shard.
+    user_quota: Option<Arc<UserBuckets>>,
     session_tokens: AtomicU64,
 }
 
 impl Router {
     /// Builds a router over a running fleet.
     pub fn new(fleet: Arc<Fleet>, policy: Arc<dyn ShardPolicy>, retry: bool) -> Arc<Router> {
+        Router::with_user_quota(fleet, policy, retry, None)
+    }
+
+    /// Builds a router that additionally enforces per-user admission: a
+    /// query carrying `auth=<user>` is rejected with a `quota` error —
+    /// synthesized locally, never forwarded — once the user's token bucket
+    /// is empty.  Requests without `auth=` are never throttled.
+    pub fn with_user_quota(
+        fleet: Arc<Fleet>,
+        policy: Arc<dyn ShardPolicy>,
+        retry: bool,
+        user_quota: Option<Arc<UserBuckets>>,
+    ) -> Arc<Router> {
         Arc::new(Router {
             fleet,
             policy,
             retry,
+            user_quota,
             session_tokens: AtomicU64::new(0),
         })
     }
@@ -65,6 +85,7 @@ impl Router {
             fleet: Arc::clone(&self.fleet),
             policy: Arc::clone(&self.policy),
             retry: self.retry,
+            user_quota: self.user_quota.clone(),
             session: self.session_tokens.fetch_add(1, Ordering::Relaxed),
             client: Mutex::new(writer),
             abort: AtomicBool::new(false),
@@ -156,6 +177,7 @@ struct Core<S: SessionStream> {
     fleet: Arc<Fleet>,
     policy: Arc<dyn ShardPolicy>,
     retry: bool,
+    user_quota: Option<Arc<UserBuckets>>,
     session: u64,
     client: Mutex<S>,
     /// The client vanished mid-session: stop relaying, cancel shard work,
@@ -178,10 +200,24 @@ impl<S: SessionStream> Core<S> {
                 id,
                 solver,
                 stream,
+                auth,
                 ..
             }) => match command {
                 Command::Cancel { target } => self.forward_cancel(seq, line, target, stream),
                 Command::Query(request) => {
+                    if let Some(rejection) = self.admit_user(auth.as_deref()) {
+                        // Throttled at the router: the shard never sees the
+                        // line, but the rejection still consumes this `id`.
+                        self.emit_response(Response {
+                            id: seq,
+                            client_id: id,
+                            outcome: Err(rejection),
+                            halted: None,
+                            chunks: stream.then_some(0),
+                            stats: control_stats(),
+                        });
+                        return;
+                    }
                     // The affinity key is the engine's own canonical cache
                     // key (including the solver-override suffix the engine
                     // appends), so "same cache entry" implies "same shard".
@@ -203,6 +239,22 @@ impl<S: SessionStream> Core<S> {
                 self.forward(seq, line, line, client_id, false, None);
             }
         }
+    }
+
+    /// Checks the authenticated user (if any) against the router's admission
+    /// buckets.  `None` means "forward the request"; `Some(err)` is the
+    /// quota rejection to synthesize, mirroring the engine's own wording.
+    fn admit_user(&self, auth: Option<&str>) -> Option<EngineError> {
+        let quota = self.user_quota.as_ref()?;
+        let user = auth?;
+        if quota.admit(user) {
+            return None;
+        }
+        Some(EngineError::quota(format!(
+            "user `{user}` exceeded the admission rate ({} req/s, burst {})",
+            quota.rate_per_sec(),
+            quota.burst()
+        )))
     }
 
     /// Picks a shard and forwards the line, trying a second shard when the

@@ -1,0 +1,522 @@
+//! Offline stand-in for epoll bindings.
+//!
+//! The workspace builds without registry access, so instead of `mio` or
+//! `libc` this crate talks to the kernel directly: `epoll_create1`,
+//! `epoll_ctl`, and `epoll_pwait` via inline-assembly syscalls, in the same
+//! style as the `signal` shim. The surface is the minimal API the qld
+//! readiness loop needs — a level-triggered [`Epoll`] instance plus a
+//! [`raise_nofile_limit`] helper (`prlimit64`) so C10k-scale tests can claim
+//! the file-descriptor headroom they need.
+//!
+//! On platforms without these syscalls (anything that is not Linux on
+//! x86_64/aarch64) every constructor returns [`std::io::ErrorKind::Unsupported`],
+//! which callers treat as "fall back to thread-per-session".
+
+#![warn(missing_docs)]
+
+use std::io;
+
+/// Which readiness transitions a registered descriptor is watched for.
+///
+/// Hangup and error conditions (`EPOLLHUP`, `EPOLLERR`, `EPOLLRDHUP`) are
+/// always reported and do not need to be requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the descriptor becomes readable (`EPOLLIN`).
+    pub readable: bool,
+    /// Wake when the descriptor becomes writable (`EPOLLOUT`).
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Watch for readability only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Watch for writability only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Watch for both readability and writability.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report produced by [`Epoll::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// The descriptor is readable (`EPOLLIN`); after a peer hangup this
+    /// stays set until the buffered bytes (and the EOF) have been read.
+    pub readable: bool,
+    /// The descriptor is writable (`EPOLLOUT`).
+    pub writable: bool,
+    /// The peer hung up (`EPOLLHUP` or `EPOLLRDHUP`): no more data will
+    /// arrive beyond what is already buffered.
+    pub hangup: bool,
+    /// An error condition is pending on the descriptor (`EPOLLERR`).
+    pub error: bool,
+}
+
+/// A level-triggered epoll instance.
+///
+/// Level-triggered is deliberate: the readiness loop re-arms nothing and can
+/// stop mid-drain (e.g. when a session's write buffer fills) knowing the next
+/// [`Epoll::wait`] will report the descriptor again.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Epoll> {
+        sys::epoll_create1().map(|fd| Epoll { fd })
+    }
+
+    /// Register `fd` under `token` with the given interest.
+    pub fn add(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::CTL_ADD, fd, sys::mask(interest), token)
+    }
+
+    /// Change the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::CTL_MOD, fd, sys::mask(interest), token)
+    }
+
+    /// Remove `fd` from the interest set.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness, appending up to an internal batch of events to
+    /// `events` (which is cleared first). `timeout_ms` follows epoll
+    /// semantics: `-1` blocks, `0` polls. A signal interrupting the wait is
+    /// reported as zero events, not an error, so callers can treat every
+    /// return as a normal (possibly spurious) wakeup.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        events.clear();
+        sys::epoll_wait(self.fd, events, timeout_ms)?;
+        Ok(events.len())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        let _ = sys::close(self.fd);
+    }
+}
+
+/// Raise this process's soft `RLIMIT_NOFILE` toward `target` (clamped to the
+/// hard limit) and return the resulting soft limit. Needed by the C10k
+/// torture suite: a thousand-connection soak holds two descriptors per
+/// connection in one process, which overflows the common 1024 default.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    sys::raise_nofile_limit(target)
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+
+    pub const CTL_ADD: i32 = 1;
+    pub const CTL_DEL: i32 = 2;
+    pub const CTL_MOD: i32 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: usize = 0x80000;
+
+    const EINTR: i32 = 4;
+    const RLIMIT_NOFILE: usize = 7;
+
+    /// How many raw events one `epoll_wait` call can deliver. Readiness is
+    /// level-triggered, so anything beyond the batch is simply reported by
+    /// the next call.
+    const WAIT_BATCH: usize = 256;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const CLOSE: usize = 3;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const PRLIMIT64: usize = 302;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const CLOSE: usize = 57;
+        pub const PRLIMIT64: usize = 261;
+    }
+
+    /// The kernel's `struct epoll_event`: packed to 12 bytes on x86_64,
+    /// naturally aligned (16 bytes) everywhere else.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct RawEvent {
+        events: u32,
+        data: u64,
+    }
+
+    pub fn mask(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    pub fn epoll_create1() -> io::Result<i32> {
+        // SAFETY: epoll_create1 takes one integer flag and touches no memory.
+        let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let event = RawEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: the event pointer is valid for the duration of the call and
+        // matches the kernel's expected layout; DEL ignores it entirely.
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_CTL,
+                epfd as usize,
+                op as usize,
+                fd as usize,
+                &event as *const RawEvent as usize,
+                0,
+                0,
+            )
+        };
+        check(ret).map(|_| ())
+    }
+
+    pub fn epoll_wait(epfd: i32, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        let mut raw = [RawEvent { events: 0, data: 0 }; WAIT_BATCH];
+        // SAFETY: the buffer outlives the call and its length is passed
+        // alongside it; epoll_pwait with a null sigmask still requires the
+        // sigsetsize argument (8 on both supported targets).
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_PWAIT,
+                epfd as usize,
+                raw.as_mut_ptr() as usize,
+                WAIT_BATCH,
+                timeout_ms as usize,
+                0,
+                8,
+            )
+        };
+        let count = match check(ret) {
+            Ok(n) => n as usize,
+            Err(err) if err.raw_os_error() == Some(EINTR) => 0,
+            Err(err) => return Err(err),
+        };
+        for slot in raw.iter().take(count) {
+            let copied = *slot;
+            let bits = copied.events;
+            out.push(Event {
+                token: copied.data,
+                readable: bits & EPOLLIN != 0,
+                writable: bits & EPOLLOUT != 0,
+                hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                error: bits & EPOLLERR != 0,
+            });
+        }
+        Ok(())
+    }
+
+    pub fn close(fd: i32) -> io::Result<()> {
+        // SAFETY: close takes one integer argument.
+        let ret = unsafe { syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0) };
+        check(ret).map(|_| ())
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct RawLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+        let mut current = RawLimit { cur: 0, max: 0 };
+        // SAFETY: pid 0 means "this process"; a null new-limit pointer makes
+        // prlimit64 a pure read into the valid old-limit buffer.
+        let ret = unsafe {
+            syscall6(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                0,
+                &mut current as *mut RawLimit as usize,
+                0,
+                0,
+            )
+        };
+        check(ret)?;
+        let want = target.min(current.max);
+        if want <= current.cur {
+            return Ok(current.cur);
+        }
+        let new = RawLimit {
+            cur: want,
+            max: current.max,
+        };
+        // SAFETY: both limit pointers are valid; the hard limit is unchanged
+        // so no privilege is required.
+        let ret = unsafe {
+            syscall6(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                &new as *const RawLimit as usize,
+                0,
+                0,
+                0,
+            )
+        };
+        check(ret)?;
+        Ok(want)
+    }
+
+    /// Issue a raw six-argument system call.
+    ///
+    /// # Safety
+    /// The caller must uphold the contract of the specific syscall: every
+    /// pointer argument must be valid for the kernel's documented access.
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        #[cfg(target_arch = "aarch64")]
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<isize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+
+    pub const CTL_ADD: i32 = 1;
+    pub const CTL_DEL: i32 = 2;
+    pub const CTL_MOD: i32 = 3;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll readiness polling is only wired up for Linux on x86_64/aarch64",
+        )
+    }
+
+    pub fn mask(_interest: Interest) -> u32 {
+        0
+    }
+
+    pub fn epoll_create1() -> io::Result<i32> {
+        Err(unsupported())
+    }
+
+    pub fn epoll_ctl(_epfd: i32, _op: i32, _fd: i32, _events: u32, _token: u64) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub fn epoll_wait(_epfd: i32, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub fn close(_fd: i32) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub fn raise_nofile_limit(_target: u64) -> io::Result<u64> {
+        Err(unsupported())
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    fn epoll_or_skip() -> Option<Epoll> {
+        match Epoll::new() {
+            Ok(ep) => Some(ep),
+            Err(err) if err.kind() == io::ErrorKind::Unsupported => None,
+            Err(err) => panic!("epoll_create1 failed: {err}"),
+        }
+    }
+
+    fn events_for(ep: &Epoll, token: u64, timeout_ms: i32) -> Vec<Event> {
+        let mut events = Vec::new();
+        ep.wait(&mut events, timeout_ms).expect("epoll_wait");
+        events.into_iter().filter(|ev| ev.token == token).collect()
+    }
+
+    #[test]
+    fn fresh_socketpair_is_writable_but_not_readable() {
+        let Some(ep) = epoll_or_skip() else { return };
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        ep.add(a.as_raw_fd(), 7, Interest::READ_WRITE).expect("add");
+        let got = events_for(&ep, 7, 1000);
+        assert_eq!(got.len(), 1, "expected one event, got {got:?}");
+        assert!(got[0].writable);
+        assert!(!got[0].readable);
+        assert!(!got[0].hangup);
+    }
+
+    #[test]
+    fn peer_write_flips_epollin() {
+        let Some(ep) = epoll_or_skip() else { return };
+        let (a, mut b) = UnixStream::pair().expect("socketpair");
+        ep.add(a.as_raw_fd(), 1, Interest::READ).expect("add");
+        assert!(
+            events_for(&ep, 1, 0).is_empty(),
+            "nothing to read yet, and EPOLLOUT was not requested"
+        );
+        b.write_all(b"ping\n").expect("write");
+        let got = events_for(&ep, 1, 1000);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].readable);
+        // Level-triggered: the event repeats until the bytes are consumed.
+        let again = events_for(&ep, 1, 1000);
+        assert_eq!(again.len(), 1);
+        assert!(again[0].readable);
+        let mut buf = [0u8; 16];
+        let n = (&a).read(&mut buf).expect("read");
+        assert_eq!(&buf[..n], b"ping\n");
+        assert!(events_for(&ep, 1, 0).is_empty());
+    }
+
+    #[test]
+    fn peer_drop_reports_hangup() {
+        let Some(ep) = epoll_or_skip() else { return };
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        ep.add(a.as_raw_fd(), 3, Interest::READ).expect("add");
+        drop(b);
+        let got = events_for(&ep, 3, 1000);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].hangup, "expected hangup after peer close: {got:?}");
+    }
+
+    #[test]
+    fn modify_narrows_the_interest_set() {
+        let Some(ep) = epoll_or_skip() else { return };
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        ep.add(a.as_raw_fd(), 9, Interest::READ_WRITE).expect("add");
+        assert!(events_for(&ep, 9, 1000)[0].writable);
+        ep.modify(a.as_raw_fd(), 9, Interest::READ).expect("modify");
+        assert!(
+            events_for(&ep, 9, 0).is_empty(),
+            "after dropping EPOLLOUT an idle socket reports nothing"
+        );
+        ep.modify(a.as_raw_fd(), 9, Interest::READ_WRITE)
+            .expect("modify back");
+        assert!(events_for(&ep, 9, 1000)[0].writable);
+    }
+
+    #[test]
+    fn delete_silences_a_descriptor() {
+        let Some(ep) = epoll_or_skip() else { return };
+        let (a, _b) = UnixStream::pair().expect("socketpair");
+        ep.add(a.as_raw_fd(), 4, Interest::READ_WRITE).expect("add");
+        assert_eq!(events_for(&ep, 4, 1000).len(), 1);
+        ep.delete(a.as_raw_fd()).expect("delete");
+        assert!(events_for(&ep, 4, 0).is_empty());
+        // Re-adding after delete works (ADD, not MOD).
+        ep.add(a.as_raw_fd(), 5, Interest::WRITE).expect("re-add");
+        assert_eq!(events_for(&ep, 5, 1000).len(), 1);
+    }
+
+    #[test]
+    fn two_registrations_report_distinct_tokens() {
+        let Some(ep) = epoll_or_skip() else { return };
+        let (a, mut b) = UnixStream::pair().expect("socketpair");
+        let (c, mut d) = UnixStream::pair().expect("socketpair");
+        ep.add(a.as_raw_fd(), 100, Interest::READ).expect("add a");
+        ep.add(c.as_raw_fd(), 200, Interest::READ).expect("add c");
+        b.write_all(b"x").expect("write b");
+        d.write_all(b"y").expect("write d");
+        let mut events = Vec::new();
+        ep.wait(&mut events, 1000).expect("wait");
+        let mut tokens: Vec<u64> = events.iter().map(|ev| ev.token).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![100, 200]);
+    }
+
+    #[test]
+    fn nofile_limit_can_be_raised_or_is_already_high() {
+        match raise_nofile_limit(4096) {
+            Ok(soft) => assert!(soft >= 1, "soft limit should be positive, got {soft}"),
+            Err(err) if err.kind() == io::ErrorKind::Unsupported => {}
+            Err(err) => panic!("prlimit64 failed: {err}"),
+        }
+    }
+}

@@ -46,6 +46,15 @@ impl TestFront {
     }
 
     fn start_with_retry(tag: &str, shards: usize, retry: bool) -> TestFront {
+        TestFront::start_with(tag, shards, retry, None)
+    }
+
+    fn start_with(
+        tag: &str,
+        shards: usize,
+        retry: bool,
+        user_quota: Option<Arc<qld_engine::UserBuckets>>,
+    ) -> TestFront {
         let dir = scratch_dir(tag);
         let mut config = FleetConfig::new(shards, qld_binary(), dir.join("shards"));
         // Fast probes so load/crash detection does not dominate test time.
@@ -53,7 +62,7 @@ impl TestFront {
         config.spec.workers = Some(2);
         let fleet = Fleet::start(config).expect("fleet start");
         let policy = policy_from_name("hash", shards).unwrap();
-        let router = Router::new(Arc::clone(&fleet), policy, retry);
+        let router = Router::with_user_quota(Arc::clone(&fleet), policy, retry, user_quota);
         let socket = dir.join("front.sock");
         let server = SocketServer::bind(&socket).expect("bind front socket");
         let shutdown = server.shutdown_handle();
@@ -428,6 +437,119 @@ fn without_retry_a_lost_request_reports_a_stable_error() {
     assert!(lines[0].contains("shard connection lost"), "{}", lines[0]);
 
     let _ = front.stop();
+}
+
+/// A slow consumer through the router: one session starts a streamed
+/// enumerate and refuses to read while other sessions keep asking.  The
+/// router's per-session relay (and the shard's readiness loop behind it)
+/// must keep the fast sessions flowing, and the parked stream must still
+/// arrive complete and in order once the client finally drains it.
+#[test]
+fn slow_consumer_through_the_router_does_not_stall_others() {
+    let front = TestFront::start("slow-consumer", 2);
+
+    // 2^6 = 64 transversals: enough chunk frames to park meaningful output
+    // behind an unread socket, cheap enough to enumerate in a debug build.
+    let mut slow = front.connect();
+    writeln!(slow, "enumerate 0,1;2,3;4,5;6,7;8,9;10,11 stream=1 id=slow").unwrap();
+    slow.shutdown(std::net::Shutdown::Write).unwrap();
+    // Deliberately no reads from `slow` yet.
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for i in 1..=10 {
+        let fast = front.ask(&format!("check 0,{i} 0;{i} id=f{i}\n"));
+        assert_eq!(fast.len(), 1, "fast session {i}: {fast:#?}");
+        assert!(fast[0].contains("\"ok\":true"), "{}", fast[0]);
+        assert!(
+            Instant::now() < deadline,
+            "fast sessions starved by the slow consumer"
+        );
+    }
+
+    // Now drain the parked stream: every chunk, contiguous seq, then done.
+    let lines: Vec<String> = BufReader::new(slow).lines().map(|l| l.unwrap()).collect();
+    let chunks: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"frame\":\"chunk\""))
+        .collect();
+    for (expect, chunk) in chunks.iter().enumerate() {
+        assert!(
+            chunk.contains(&format!("\"seq\":{expect},")),
+            "chunk out of order: wanted seq {expect} in {chunk}"
+        );
+    }
+    let done = lines.last().expect("done frame");
+    assert!(done.contains("\"frame\":\"done\""), "{done}");
+    assert!(done.contains("\"complete\":true"), "{done}");
+    assert!(done.contains("\"count\":64"), "{done}");
+    // The done frame's own chunk tally matches what was relayed: nothing
+    // lost, nothing duplicated while the stream sat unread.
+    assert_eq!(
+        field_u64(done, "\"chunks\":"),
+        chunks.len() as u64,
+        "{done}"
+    );
+
+    let summary = front.stop();
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.requests, 11);
+}
+
+/// Per-user fairness at the router: an `auth=`-tagged flood is throttled
+/// before it reaches any shard, other users and anonymous sessions are
+/// untouched, and every rejection still consumes its client-side `id`.
+#[test]
+fn auth_flood_is_throttled_at_the_router_without_touching_shards() {
+    // Effectively no refill within the test: 2 admissions per user, period.
+    let quota = Arc::new(qld_engine::UserBuckets::new(0.000_001, 2.0));
+    let front = TestFront::start_with("auth", 2, true, Some(Arc::clone(&quota)));
+
+    // Distinct cache keys per line so "reached a shard" is visible as a
+    // cache miss in the fleet-wide counters.
+    let mut input = String::new();
+    for i in 0..6 {
+        let v = i + 1;
+        input.push_str(&format!("check 0,{v} 0;{v} auth=alice id=a{i}\n"));
+    }
+    input.push_str("check 0,7 0;7 auth=bob id=b0\n");
+    input.push_str("check 0,8 0;8 id=anon\n");
+    let lines = front.ask(&input);
+    assert_eq!(lines.len(), 8, "{lines:#?}");
+
+    let find = |tag: &str| -> &String {
+        lines
+            .iter()
+            .find(|l| l.contains(&format!("\"client_id\":\"{tag}\"")))
+            .unwrap_or_else(|| panic!("no response tagged {tag}: {lines:#?}"))
+    };
+    // alice: the burst of 2 admitted, the rest rejected with `quota`.
+    let alice_ok = (0..6)
+        .filter(|&i| find(&format!("a{i}")).contains("\"ok\":true"))
+        .count();
+    assert_eq!(alice_ok, 2, "{lines:#?}");
+    for i in 0..6 {
+        let line = find(&format!("a{i}"));
+        if !line.contains("\"ok\":true") {
+            assert!(
+                line.contains("\"code\":\"quota\"") && line.contains("`alice`"),
+                "{line}"
+            );
+        }
+    }
+    // bob and the anonymous client are untouched by alice's flood.
+    assert!(find("b0").contains("\"ok\":true"), "{}", find("b0"));
+    assert!(find("anon").contains("\"ok\":true"), "{}", find("anon"));
+
+    // The throttled lines never reached a shard: across the fleet, only the
+    // four admitted queries show up as cache misses.
+    let total_misses: u64 = (0..2)
+        .map(|i| field_u64(&front.shard_stats(i), "\"misses\":"))
+        .sum();
+    assert_eq!(total_misses, 4, "throttled requests leaked to a shard");
+
+    let summary = front.stop();
+    assert_eq!(summary.requests, 8);
+    assert_eq!(summary.errors, 4);
 }
 
 /// The least-loaded and sticky policies also serve real traffic end-to-end
