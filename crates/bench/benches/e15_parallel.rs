@@ -1,0 +1,150 @@
+//! E15 — intra-query work stealing: 1-vs-N-worker latency of the largest
+//! `QuadChain` duality queries with subtask splitting forced on
+//! (`parallel_threshold = 0`) and off (`usize::MAX`), via
+//! `qld_harness::experiments::measure_parallel`.
+//!
+//! Besides the Criterion timings, every run appends one JSON line to
+//! `target/e15_parallel.json` — the trajectory across commits.  The line also
+//! re-records this container's E10 batch throughput and E12 hot-path metrics,
+//! so the parallelism trajectory carries its own single-machine baseline.
+//! Set `E15_SMOKE=1` to skip the Criterion windows and record one fast
+//! iteration at a small scale (the CI smoke mode).
+//!
+//! On a single-CPU container the wall-time columns show parity between 1 and
+//! N workers (there is nothing to run the stolen subtasks on in parallel);
+//! the `subtasks` / `subtasks_stolen` counters still prove the split-and-steal
+//! machinery end to end, and `nproc` is recorded so readers can tell the two
+//! regimes apart.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use qld_engine::{Engine, EngineConfig, FixedPolicy, SolverKind};
+use qld_harness::experiments::measure_parallel;
+use qld_harness::{hotpath, workloads};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("E15_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn nproc() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    use qld_engine::Request;
+    use qld_hypergraph::generators;
+
+    let mut group = c.benchmark_group("e15_parallel/decide");
+    let li = generators::matching_instance(8);
+    let request = Request::DecideDuality { g: li.g, h: li.h };
+    for (tag, workers, threshold) in [
+        ("1w-seq", 1usize, usize::MAX),
+        ("1w-split", 1, 0usize),
+        ("2w-split", 2, 0),
+    ] {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            cache: false,
+            policy: Arc::new(FixedPolicy(SolverKind::QuadChain)),
+            parallel_threshold: threshold,
+            ..EngineConfig::default()
+        });
+        group.bench_function(BenchmarkId::new("matching-8", tag), |b| {
+            b.iter(|| black_box(engine.run_one(request.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_parallel
+}
+
+/// `target/e15_parallel.json`, located from the bench executable's own path
+/// (`target/<profile>/deps/e15_parallel-…`).
+fn trajectory_path() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    // deps -> profile -> target
+    let target = exe.parent()?.parent()?.parent()?;
+    Some(target.join("e15_parallel.json"))
+}
+
+/// This container's E10 batch throughput (default engine, mixed workload),
+/// re-measured so the trajectory line carries a machine baseline.
+fn e10_reqs_per_s() -> f64 {
+    let requests = workloads::engine_batch(if smoke() { 20 } else { 120 });
+    let engine = Engine::new(EngineConfig {
+        cache: false,
+        ..EngineConfig::default()
+    });
+    let count = requests.len();
+    let started = Instant::now();
+    let responses = engine.run_batch(requests);
+    assert_eq!(responses.len(), count);
+    count as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Runs the 1-vs-N measurements and appends one JSON line to the trajectory.
+fn record_trajectory() {
+    let scale = if smoke() { 6 } else { 10 };
+    let rows = measure_parallel(scale);
+    for m in &rows {
+        println!(
+            "e15   {:<16} workers={} split={:<5} wall {:>9.2} ms  subtasks {:>6} stolen {:>6}  {}",
+            m.name,
+            m.workers,
+            m.split,
+            m.wall_ms,
+            m.subtasks,
+            m.subtasks_stolen,
+            if m.matches_baseline { "ok" } else { "MISMATCH" }
+        );
+        assert!(
+            m.matches_baseline,
+            "{}: split run changed the answer",
+            m.name
+        );
+    }
+    let e10 = e10_reqs_per_s();
+    let e12 = hotpath::measure_all(if smoke() { 1 } else { 24 });
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let parallel_rows: Vec<String> = rows.iter().map(|m| m.to_json()).collect();
+    let e12_rows: Vec<String> = e12.iter().map(|m| m.to_json()).collect();
+    let line = format!(
+        "{{\"bench\":\"e15_parallel\",\"unix_secs\":{},\"smoke\":{},\"nproc\":{},\"scale\":{},\"parallel\":[{}],\"baseline_e10_reqs_per_s\":{:.1},\"baseline_e12\":[{}]}}",
+        unix_secs,
+        smoke(),
+        nproc(),
+        scale,
+        parallel_rows.join(","),
+        e10,
+        e12_rows.join(",")
+    );
+    match trajectory_path() {
+        Some(path) => {
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            match result {
+                Ok(()) => println!("e15   trajectory appended to {}", path.display()),
+                Err(e) => eprintln!("e15   could not write {}: {e}", path.display()),
+            }
+        }
+        None => eprintln!("e15   could not locate the target directory; line: {line}"),
+    }
+}
+
+fn main() {
+    if !smoke() {
+        benches();
+    }
+    record_trajectory();
+}

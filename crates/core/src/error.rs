@@ -51,6 +51,11 @@ pub enum DualError {
         /// The configured limit.
         limit: u128,
     },
+    /// The computation was cancelled before an answer was reached: a parallel
+    /// split's subtasks were skipped at a steal boundary, so no (deterministic)
+    /// result exists.  Serving layers map this to their cancellation outcome;
+    /// it never occurs without an external cancellation request.
+    Interrupted,
 }
 
 impl fmt::Display for DualError {
@@ -73,6 +78,9 @@ impl fmt::Display for DualError {
                 f,
                 "decompose would enumerate {descriptors} path descriptors, above the limit of {limit}"
             ),
+            DualError::Interrupted => {
+                write!(f, "computation cancelled before an answer was reached")
+            }
         }
     }
 }

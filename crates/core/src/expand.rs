@@ -118,19 +118,12 @@ fn singleton_in_gs(inst: &DualInstance, s: &VertexSet, v: Vertex) -> bool {
 /// module docs.
 pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
     let n = inst.num_vertices();
-    let h_inside: Vec<usize> = inst
-        .h()
-        .edges()
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| e.is_subset(s))
-        .map(|(i, _)| i)
-        .collect();
+    let h_inside = inst.h().index().edges_inside(s);
 
     // ---- marksmall -------------------------------------------------------------
     if h_inside.is_empty() {
         // case 1 / case 2
-        let empty_in_gs = inst.g().edges().iter().any(|e| !e.intersects(s));
+        let empty_in_gs = inst.g().index().first_edge_disjoint(s).is_some();
         return if empty_in_gs {
             Expansion::Done
         } else {
@@ -172,16 +165,15 @@ pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
 
     // Step 2: is I_α a new transversal of G_S with respect to H_S?  (`I_α ⊆ S_α` —
     // its members occur in edges of `H_S`, all inside `S_α` — so `(E ∩ S) ∩ I_α`
-    // simplifies to `E ∩ I_α` and no restriction needs to be materialized.)
+    // simplifies to `E ∩ I_α` and no restriction needs to be materialized.  Both
+    // "every edge meets S" and "every edge meets I_α" come from one batched pass
+    // over the G arena.)
     debug_assert!(i_alpha.is_subset(s));
-    let i_alpha_transversal = inst
-        .g()
-        .edges()
-        .iter()
-        .all(|e| e.intersects(s) && e.intersects(&i_alpha));
+    let both = inst.g().index().transversal_many(&[s, &i_alpha]);
+    let i_alpha_transversal = both[0] && both[1];
     let contains_h_edge = h_inside
         .iter()
-        .any(|&j| inst.h().edge(j).is_subset(&i_alpha));
+        .any(|&j| inst.h().index().edge_is_subset(j, &i_alpha));
     if i_alpha_transversal && !contains_h_edge {
         return Expansion::Fail {
             witness: i_alpha,
@@ -190,11 +182,7 @@ pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
     }
 
     // Step 3: a restricted G-edge disjoint from I_α? (again `E ∩ S ∩ I_α = E ∩ I_α`)
-    let g_choice = inst
-        .g()
-        .edges()
-        .iter()
-        .position(|e| !e.intersects(&i_alpha));
+    let g_choice = inst.g().index().first_edge_disjoint(&i_alpha);
     if let Some(g_edge) = g_choice {
         let ge = inst.g().edge(g_edge).intersection(s);
         debug_assert!(
@@ -227,7 +215,7 @@ pub fn expand(inst: &DualInstance, s: &VertexSet) -> Expansion {
     let h_edge = h_inside
         .iter()
         .copied()
-        .find(|&j| inst.h().edge(j).is_subset(&i_alpha))
+        .find(|&j| inst.h().index().edge_is_subset(j, &i_alpha))
         .expect("process: neither Step 3 nor Step 4 applies — impossible by case analysis");
     let he = inst.h().edge(h_edge);
     let mut children = Vec::new();

@@ -55,6 +55,7 @@ pub mod guess_check;
 pub mod instance;
 pub mod node;
 pub mod oracle;
+pub mod par;
 pub mod path;
 pub mod pathnode;
 pub mod result;
@@ -66,6 +67,7 @@ pub mod witness;
 pub use error::{DualError, Side};
 pub use instance::DualInstance;
 pub use node::{Mark, NodeAttr};
+pub use par::{InlinePool, ParallelContext, SubtaskPool, SubtaskScope};
 pub use path::PathDescriptor;
 pub use pathnode::{pathnode, PathnodeOutcome, SpaceStrategy};
 pub use result::{verify_witness, DualityResult, NonDualWitness};

@@ -234,9 +234,101 @@ fn h_edge_inside_i_alpha(
         .all(|v| i_alpha_contains(inst, s, v, meter))
 }
 
+/// [`classify`] for an oracle that holds `S_α` on the work tape: the same
+/// decision rules, answered with whole-edge word scans against the cached
+/// [`qld_hypergraph::HypergraphIndex`] instead of per-vertex membership
+/// queries.  `I_α` is computed once as an explicit bitmap (charged to the
+/// meter: `|V|` bits for the set plus `|V| · ⌈log |H|⌉` bits for the
+/// occurrence counters) and every Step-2/3/4 question becomes a batched or
+/// single-row arena scan.  The decisions — including which edge index each
+/// branch rule names — are identical to the query-driven path; the
+/// cross-checks in this module's tests enforce that.
+fn classify_materialized(inst: &DualInstance, set: &VertexSet, meter: &SpaceMeter) -> NodeClass {
+    let h = inst.h();
+    let g = inst.g();
+    let h_inside = h.index().edges_inside(set);
+    let m = h_inside.len();
+
+    if m == 0 {
+        // marksmall cases 1 and 2: done iff some G-restriction is empty.
+        return match g.index().first_edge_disjoint(set) {
+            Some(_) => NodeClass::Done,
+            None => NodeClass::Fail(FailRule::EmptyHs),
+        };
+    }
+
+    if m == 1 {
+        // marksmall cases 3 and 4.
+        let h_edge = h_inside[0];
+        for v in h.edge(h_edge).iter() {
+            if !g
+                .edges_containing(v)
+                .iter()
+                .any(|&j| g.index().edge_intersection_len(j as usize, set) == 1)
+            {
+                return NodeClass::Fail(FailRule::SingletonHs { h_edge, removed: v });
+            }
+        }
+        return NodeClass::Done;
+    }
+
+    // process: build I_α — vertices in more than m/2 of the edges of H_S.
+    let n = inst.num_vertices();
+    let scratch_bits = n as u64 * (1 + qld_logspace::bits_for(m as u64));
+    meter.charge(scratch_bits);
+    let mut freq = vec![0usize; n];
+    for &j in &h_inside {
+        for v in h.edge(j).iter() {
+            freq[v.index()] += 1;
+        }
+    }
+    let mut i_alpha = VertexSet::empty(n);
+    for (idx, &f) in freq.iter().enumerate() {
+        if f > m / 2 {
+            i_alpha.insert(Vertex::from(idx));
+        }
+    }
+    // Every member of I_α occurs in an edge of H_S ⊆ 2^S, so I_α ⊆ S and
+    // `(E ∩ S) ∩ I_α = E ∩ I_α` for every G-edge E.
+    debug_assert!(i_alpha.is_subset(set));
+
+    let class = 'class: {
+        // Step 2: I_α is a new transversal of G_S w.r.t. H_S?  "Every
+        // restriction is non-empty and meets I_α" is exactly "S and I_α are
+        // both transversals of G" — one batched arena pass.
+        let both = g.index().transversal_many(&[set, &i_alpha]);
+        if both[0] && both[1] {
+            let contains_h_edge = h_inside
+                .iter()
+                .any(|&j| h.index().edge_is_subset(j, &i_alpha));
+            if !contains_h_edge {
+                break 'class NodeClass::Fail(FailRule::FrequentSet);
+            }
+        }
+
+        // Step 3: first G-edge whose restriction misses I_α.
+        if let Some(g_edge) = g.index().first_edge_disjoint(&i_alpha) {
+            break 'class NodeClass::Branch(BranchCase::GEdgeMissesIAlpha { g_edge });
+        }
+
+        // Step 4: first H_S-edge contained in I_α.
+        let h_edge = h_inside
+            .iter()
+            .copied()
+            .find(|&j| h.index().edge_is_subset(j, &i_alpha))
+            .expect("process: neither Step 3 nor Step 4 applies — impossible by case analysis");
+        NodeClass::Branch(BranchCase::HEdgeInsideIAlpha { h_edge })
+    };
+    meter.free(scratch_bits);
+    class
+}
+
 /// Classifies the node with vertex-set oracle `s`: re-derives the `marksmall` /
 /// `process` decision of [`crate::expand::expand`] from membership queries only.
 pub fn classify(inst: &DualInstance, s: &dyn SAlphaOracle, meter: &SpaceMeter) -> NodeClass {
+    if let Some(set) = s.materialized() {
+        return classify_materialized(inst, set, meter);
+    }
     let m = count_h_inside(inst, s, meter);
 
     if m == 0 {

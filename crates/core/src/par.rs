@@ -1,0 +1,204 @@
+//! Intra-query parallelism plumbing.
+//!
+//! The decomposition's top-level branches are independent subtrees and FK-A's
+//! self-duality split yields two independent subproblems, so a large query can
+//! fan its work out instead of occupying one thread end-to-end.  This module
+//! defines the *interface* the solvers program against; the serving engine
+//! plugs its shared worker pool in behind it (work-stealing subtasks injected
+//! back into the persistent pool — no new threads per query), while library
+//! users and tests get [`InlinePool`], which runs every subtask immediately on
+//! the calling thread.
+//!
+//! Contract highlights:
+//!
+//! * **Scoped**: [`SubtaskScope::join`] returns only after every spawned
+//!   subtask has either run to completion or been skipped; no subtask outlives
+//!   the scope.
+//! * **Cancellation at steal boundaries**: a pool whose query was cancelled may
+//!   *skip* queued subtasks wholesale (they are never started); a subtask that
+//!   already started runs to completion.  [`ParallelContext::run`] surfaces a
+//!   skipped subtask as `None` so callers can abort with
+//!   [`crate::DualError::Interrupted`].
+//! * **Determinism is the caller's job**: subtasks finish in arbitrary order;
+//!   callers must merge results by spawn index (as [`ParallelContext::run`]
+//!   does) and derive any early-exit decisions from index order alone.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One bounded batch of subtasks.  Dropping a scope without calling
+/// [`SubtaskScope::join`] is a bug in the pool's caller; implementations may
+/// panic or block on drop.
+pub trait SubtaskScope {
+    /// Queues a subtask.  It may run on any pool thread, or inline on the
+    /// spawning thread during [`SubtaskScope::join`].
+    fn spawn(&mut self, task: Box<dyn FnOnce() + Send + 'static>);
+
+    /// Blocks until every subtask spawned on this scope has completed or been
+    /// skipped by cancellation.
+    fn join(&mut self);
+}
+
+/// A provider of subtask scopes, shared by every level of a query.
+pub trait SubtaskPool: Send + Sync {
+    /// Opens a new scope for one batch of subtasks.
+    fn scope(&self) -> Box<dyn SubtaskScope + '_>;
+
+    /// Whether the owning query has been cancelled.  Pools observe this at
+    /// steal boundaries: queued-but-unstarted subtasks are skipped.
+    fn is_cancelled(&self) -> bool;
+}
+
+/// The degenerate pool: subtasks run immediately on the calling thread, in
+/// spawn order, and cancellation never fires.  Semantically identical to not
+/// parallelizing at all — used by library callers, tests, and as the reference
+/// in determinism checks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InlinePool;
+
+struct InlineScope;
+
+impl SubtaskScope for InlineScope {
+    fn spawn(&mut self, task: Box<dyn FnOnce() + Send + 'static>) {
+        task();
+    }
+
+    fn join(&mut self) {}
+}
+
+impl SubtaskPool for InlinePool {
+    fn scope(&self) -> Box<dyn SubtaskScope + '_> {
+        Box::new(InlineScope)
+    }
+
+    fn is_cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// A solver's handle on intra-query parallelism: a pool plus the split
+/// threshold in *work units* (`|V| · (|G| + |H|)` for duality instances).
+/// Instances below the threshold stay sequential — the split has real
+/// coordination cost and tiny queries lose more than they gain.
+#[derive(Clone)]
+pub struct ParallelContext {
+    pool: Arc<dyn SubtaskPool>,
+    threshold: usize,
+}
+
+impl fmt::Debug for ParallelContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelContext")
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParallelContext {
+    /// Wraps a pool with a split threshold.
+    pub fn new(pool: Arc<dyn SubtaskPool>, threshold: usize) -> Self {
+        ParallelContext { pool, threshold }
+    }
+
+    /// A context that runs subtasks inline (for tests and library callers).
+    pub fn inline(threshold: usize) -> Self {
+        ParallelContext::new(Arc::new(InlinePool), threshold)
+    }
+
+    /// Whether an instance of the given work size should be split.
+    pub fn should_split(&self, work_units: usize) -> bool {
+        work_units >= self.threshold
+    }
+
+    /// The configured split threshold in work units.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Whether the owning query has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.pool.is_cancelled()
+    }
+
+    /// Runs a batch of subtasks to completion and collects their results in
+    /// spawn order.  `None` in a slot means the pool skipped that subtask
+    /// because the query was cancelled; callers should treat any `None` as
+    /// "no answer" and abort.
+    pub fn run<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<Option<T>> {
+        let count = tasks.len();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        {
+            let mut scope = self.pool.scope();
+            for (i, task) in tasks.into_iter().enumerate() {
+                let tx = tx.clone();
+                scope.spawn(Box::new(move || {
+                    let _ = tx.send((i, task()));
+                }));
+            }
+            scope.join();
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        while let Ok((i, value)) = rx.try_recv() {
+            out[i] = Some(value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_pool_runs_everything_in_order() {
+        let ctx = ParallelContext::inline(0);
+        let results = ctx.run::<usize>((0..5usize).map(|i| Box::new(move || i * i) as _).collect());
+        assert_eq!(results, vec![Some(0), Some(1), Some(4), Some(9), Some(16)]);
+        assert!(!ctx.is_cancelled());
+    }
+
+    #[test]
+    fn threshold_gates_splitting() {
+        let ctx = ParallelContext::inline(100);
+        assert!(!ctx.should_split(99));
+        assert!(ctx.should_split(100));
+        assert_eq!(ctx.threshold(), 100);
+        assert!(format!("{ctx:?}").contains("threshold"));
+    }
+
+    #[test]
+    fn skipping_pool_yields_none_slots() {
+        /// A pool that runs even-numbered spawns and skips odd ones, as a
+        /// cancelled engine pool would skip queued subtasks.
+        struct SkipOdd;
+        struct SkipOddScope {
+            n: usize,
+        }
+        impl SubtaskScope for SkipOddScope {
+            fn spawn(&mut self, task: Box<dyn FnOnce() + Send + 'static>) {
+                if self.n.is_multiple_of(2) {
+                    task();
+                }
+                self.n += 1;
+            }
+            fn join(&mut self) {}
+        }
+        impl SubtaskPool for SkipOdd {
+            fn scope(&self) -> Box<dyn SubtaskScope + '_> {
+                Box::new(SkipOddScope { n: 0 })
+            }
+            fn is_cancelled(&self) -> bool {
+                true
+            }
+        }
+        let ctx = ParallelContext::new(Arc::new(SkipOdd), 0);
+        let results = ctx.run::<usize>((0..4usize).map(|i| Box::new(move || i) as _).collect());
+        assert_eq!(results, vec![Some(0), None, Some(2), None]);
+        assert!(ctx.is_cancelled());
+    }
+}

@@ -28,7 +28,9 @@ use crate::stream::{
     CancelToken, ChunkFrame, ChunkPayload, ResultSink, SinkDirective, StopReason, StreamEvent,
     StreamItem, StreamProgress,
 };
+use crate::subtask::{EnginePool, SubtaskQueue};
 use crate::wire::{self, OrderMode};
+use qld_core::ParallelContext;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,7 +63,18 @@ pub struct EngineConfig {
     /// or version-mismatched snapshot restores nothing — the engine starts
     /// cold); [`Engine::save_cache_snapshot`] writes it back.
     pub cache_file: Option<PathBuf>,
+    /// Intra-query parallelism threshold (`qld serve --parallel-threshold`),
+    /// in work units `|V| · (|G| + |H|)`.  A duality call at least this large
+    /// splits into work-stealing subtasks on the shared pool; smaller calls
+    /// stay sequential (the split has real coordination cost).  `0` splits
+    /// everything, `usize::MAX` effectively disables splitting.
+    pub parallel_threshold: usize,
 }
+
+/// Default [`EngineConfig::parallel_threshold`]: roughly a 64-vertex instance
+/// with 512 total edges.  Below that, one solver call is cheaper than the
+/// scatter/join round-trip through the subtask queue.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 32_768;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -75,6 +88,7 @@ impl Default for EngineConfig {
             cache_ttl: None,
             policy: Arc::new(SizeThresholdPolicy::default()),
             cache_file: None,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }
@@ -89,6 +103,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("cache_ttl", &self.cache_ttl)
             .field("policy", &self.policy.name())
             .field("cache_file", &self.cache_file)
+            .field("parallel_threshold", &self.parallel_threshold)
             .finish()
     }
 }
@@ -302,6 +317,10 @@ struct WorkerCtx {
     cache_restored: bool,
     /// Live load counters (`stats` reporting; shared with the engine).
     counters: Arc<EngineCounters>,
+    /// The engine-wide subtask queue (intra-query work stealing).
+    subtasks: Arc<SubtaskQueue>,
+    /// Work-unit floor above which a duality call splits into subtasks.
+    parallel_threshold: usize,
 }
 
 /// The concurrent query engine.  Dropping it shuts the worker pool down
@@ -318,6 +337,9 @@ pub struct Engine {
     handles: Vec<JoinHandle<()>>,
     /// Live load counters (shared with the worker pool for `stats`).
     counters: Arc<EngineCounters>,
+    /// The subtask queue shared with the pool: submission sites poke it so
+    /// parked workers wake for fresh jobs, not just for subtasks.
+    subtasks: Arc<SubtaskQueue>,
 }
 
 impl Engine {
@@ -355,6 +377,7 @@ impl Engine {
         let (job_tx, job_rx) = mpsc::sync_channel::<PoolJob>(config.queue_capacity.max(1));
         let job_rx = Arc::new(Mutex::new(job_rx));
         let counters = Arc::new(EngineCounters::default());
+        let subtasks = Arc::new(SubtaskQueue::new());
         let ctx = Arc::new(WorkerCtx {
             policy: Arc::clone(&config.policy),
             cache: Arc::clone(&cache),
@@ -363,6 +386,8 @@ impl Engine {
             started: Instant::now(),
             cache_restored: cache_restored > 0,
             counters: Arc::clone(&counters),
+            subtasks: Arc::clone(&subtasks),
+            parallel_threshold: config.parallel_threshold,
         });
         let handles = (0..workers)
             .map(|worker_index| {
@@ -379,6 +404,7 @@ impl Engine {
             job_tx: Some(job_tx),
             handles,
             counters,
+            subtasks,
         }
     }
 
@@ -395,6 +421,14 @@ impl Engine {
     /// Counters of the shared result cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Intra-query subtask counters since startup: `(spawned, stolen)`.
+    /// `spawned` counts every subtask pushed to the shared queue; `stolen`
+    /// counts the ones executed by a worker other than the one that spawned
+    /// them (the rest ran inline on the owning worker at its join point).
+    pub fn subtask_stats(&self) -> (u64, u64) {
+        (self.subtasks.spawned(), self.subtasks.stolen())
     }
 
     /// How many entries [`Engine::new`] restored from the configured cache
@@ -469,6 +503,7 @@ impl Engine {
         self.counters.sessions.fetch_add(1, Ordering::Relaxed);
         SessionMux {
             job_tx: self.sender().clone(),
+            subtasks: Arc::clone(&self.subtasks),
             counters: Arc::clone(&self.counters),
             reply,
             default_order: options.order,
@@ -509,6 +544,7 @@ impl Engine {
             };
             self.counters.inflight.fetch_add(1, Ordering::Relaxed);
             self.sender().send(job).expect("worker pool alive");
+            self.subtasks.notify_workers();
         }
         drop(reply_tx);
         let mut out: Vec<Option<Response>> = Vec::new();
@@ -557,6 +593,7 @@ impl Engine {
         };
         self.counters.inflight.fetch_add(1, Ordering::Relaxed);
         self.sender().send(job).expect("worker pool alive");
+        self.subtasks.notify_workers();
         StreamHandle {
             cancel,
             events: reply_rx,
@@ -637,6 +674,7 @@ impl Engine {
                 let held = &held;
                 let abort = &abort;
                 let job_tx = self.sender().clone();
+                let subtasks = Arc::clone(&self.subtasks);
                 let counters = &self.counters;
                 let default_order = options.order;
                 let max_inflight = options.max_inflight;
@@ -813,6 +851,7 @@ impl Engine {
                             counters.inflight.fetch_sub(1, Ordering::Relaxed);
                             break;
                         }
+                        subtasks.notify_workers();
                         seq += 1;
                     }
                     // Dropping the feeder's `reply_tx` (moved in) lets the
@@ -937,6 +976,8 @@ pub(crate) enum MuxFeed {
 /// of going straight to a socket.
 pub(crate) struct SessionMux {
     job_tx: SyncSender<PoolJob>,
+    /// Pokes parked workers after each accepted job.
+    subtasks: Arc<SubtaskQueue>,
     counters: Arc<EngineCounters>,
     /// Template reply channel cloned into every job (already wired to the
     /// readiness loop's waker).
@@ -1108,6 +1149,7 @@ impl SessionMux {
         };
         match self.job_tx.try_send(job) {
             Ok(()) => {
+                self.subtasks.notify_workers();
                 self.counters.inflight.fetch_add(1, Ordering::Relaxed);
                 let seq = self.next_seq();
                 self.commit_plan(seq, plan);
@@ -1230,19 +1272,51 @@ enum Emission {
     Ordered(u64),
 }
 
-/// The persistent worker body: dequeue, execute, reply, until the engine
-/// hangs up the queue.
+/// How long one worker holds the job-queue receiver per poll.  This bounds
+/// how stale an idle worker's view of the *subtask* queue can get: a split
+/// pushed while every idle worker is inside a poll is picked up within one
+/// timeout (pushes also notify the subtask condvar, so parked non-holders
+/// wake immediately — the timeout is the backstop for the lock holder).
+const JOB_POLL: Duration = Duration::from_millis(2);
+
+/// The persistent worker body, until the engine hangs up the queue: steal
+/// and run intra-query subtasks, then poll the job queue, then execute one
+/// job, around again.
+///
+/// Subtasks are drained *first*: they subdivide queries the pool already
+/// accepted, so finishing them beats starting new work — and an idle sibling
+/// picking them up is the entire point of splitting.  Only one worker at a
+/// time polls the shared job receiver (`try_lock`); the others park on the
+/// subtask condvar so neither jobs nor subtasks are ever left waiting on a
+/// busy loop.
 fn worker_loop(ctx: &WorkerCtx, jobs: &Mutex<Receiver<PoolJob>>, worker_index: usize) {
     loop {
-        // Hold the receiver lock only for the dequeue itself.  A poisoned
-        // lock (another worker panicked mid-dequeue) is recovered: losing one
-        // worker must not kill the pool.
-        let job = { lock_ignoring_poison(jobs).recv() };
-        let Ok(job) = job else { break };
-        let response = answer(ctx, worker_index, &job);
-        // A receiver that hung up (aborted session) just discards the answer.
-        let _ = job.reply.send(StreamEvent::Done(response));
-        ctx.counters.inflight.fetch_sub(1, Ordering::Relaxed);
+        ctx.subtasks.drain_steal();
+        // A poisoned lock (another worker panicked mid-dequeue) is
+        // recovered: losing one worker must not kill the pool.
+        let polled = match jobs.try_lock() {
+            Ok(receiver) => receiver.recv_timeout(JOB_POLL),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                poisoned.into_inner().recv_timeout(JOB_POLL)
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {
+                // Another worker is polling for jobs; park until a subtask
+                // or a job submission pokes the condvar.
+                ctx.subtasks.wait_for_work(JOB_POLL);
+                continue;
+            }
+        };
+        match polled {
+            Ok(job) => {
+                let response = answer(ctx, worker_index, &job);
+                // A receiver that hung up (aborted session) just discards
+                // the answer.
+                let _ = job.reply.send(StreamEvent::Done(response));
+                ctx.counters.inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
     }
 }
 
@@ -1282,6 +1356,8 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
                 sessions: ctx.counters.sessions.load(Ordering::Relaxed),
                 connections: ctx.counters.connections.load(Ordering::Relaxed),
                 throttled: ctx.counters.throttled.load(Ordering::Relaxed),
+                subtasks: ctx.subtasks.spawned(),
+                subtasks_stolen: ctx.subtasks.stolen(),
             }),
             halted: None,
             // Item-less kinds still honour the streamed framing contract:
@@ -1441,7 +1517,18 @@ fn process_one(
         }
         None => ctx.policy.as_ref(),
     };
-    let execution = ops::execute_streaming(request, policy, &mut sink);
+    // Large duality calls may split into work-stealing subtasks on the
+    // shared pool; the job's cancel token doubles as the split's
+    // cancellation signal, so queued subtasks of a cancelled query are
+    // skipped at the steal boundary.
+    let parallel = ParallelContext::new(
+        Arc::new(EnginePool::new(
+            Arc::clone(&ctx.subtasks),
+            job.cancel.clone(),
+        )),
+        ctx.parallel_threshold,
+    );
+    let execution = ops::execute_streaming_with(request, policy, Some(&parallel), &mut sink);
     let halted = execution.halt;
     let info = execution.info;
     let outcome = execution.outcome.map_err(|message| match halted {
@@ -1697,6 +1784,104 @@ keys 1,2;1,3
         // Even a malformed line keeps its correlation token.
         assert!(lines[2].contains("\"client_id\":\"gamma\""));
         assert!(lines[2].contains("\"code\":\"parse\""));
+    }
+
+    /// Inline `.qld` wire rendering of a hypergraph's edges.
+    fn edges_text(h: &qld_hypergraph::Hypergraph) -> String {
+        h.edges()
+            .iter()
+            .map(|e| {
+                e.to_indices()
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    #[test]
+    fn intra_query_splits_show_up_in_stats() {
+        let eng = Engine::new(EngineConfig {
+            workers: 2,
+            cache: false,
+            parallel_threshold: 0, // split every routed duality call
+            ..EngineConfig::default()
+        });
+        let li = generators::matching_instance(3);
+        let input = format!(
+            "check {} {} solver=quadlog\nstats\n",
+            edges_text(&li.g),
+            edges_text(&li.h)
+        );
+        let mut out = Vec::new();
+        let summary = eng.serve(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.errors, 0);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"dual\":true"), "{}", lines[0]);
+        let stats_line = lines[1];
+        assert!(stats_line.contains("\"kind\":\"stats\""), "{stats_line}");
+        let spawned = stats_line
+            .split("\"subtasks\":")
+            .nth(1)
+            .and_then(|rest| {
+                rest.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse::<u64>()
+                    .ok()
+            })
+            .expect("stats must carry a subtasks counter");
+        assert!(
+            spawned > 0,
+            "a threshold-0 quadlog check must have split: {stats_line}"
+        );
+        assert!(stats_line.contains("\"subtasks_stolen\":"), "{stats_line}");
+    }
+
+    #[test]
+    fn parallel_answers_are_identical_across_worker_counts() {
+        // The determinism contract survives intra-query splitting: any worker
+        // count, same outcomes — including the non-duality witness.
+        let mut requests = Vec::new();
+        for k in [3, 4] {
+            let li = generators::matching_instance(k);
+            requests.push(Request::DecideDuality {
+                g: li.g.clone(),
+                h: li.h.clone(),
+            });
+            let mut broken = li.h;
+            broken.remove_edge(1);
+            requests.push(Request::DecideDuality { g: li.g, h: broken });
+        }
+        let li = generators::matching_instance(4);
+        requests.push(Request::EnumerateTransversals {
+            g: li.g,
+            limit: None,
+        });
+        let run = |workers: usize| {
+            let eng = Engine::new(EngineConfig {
+                workers,
+                cache: false,
+                parallel_threshold: 0,
+                policy: Arc::new(FixedPolicy(SolverKind::QuadChain)),
+                ..EngineConfig::default()
+            });
+            eng.run_batch(requests.clone())
+        };
+        let sequentialish = run(1);
+        let parallel = run(4);
+        assert_eq!(sequentialish.len(), parallel.len());
+        for (a, b) in sequentialish.iter().zip(&parallel) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.halted, b.halted);
+            // The metered solver telemetry is part of the contract too.
+            assert_eq!(a.stats.peak_bits, b.stats.peak_bits);
+            assert_eq!(a.stats.duality_calls, b.stats.duality_calls);
+        }
     }
 
     #[test]

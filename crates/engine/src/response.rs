@@ -114,6 +114,13 @@ pub enum Outcome {
         /// Requests rejected at admission by the per-user token bucket
         /// (`auth=` + `--user-rate`/`--user-burst`) since the engine started.
         throttled: u64,
+        /// Intra-query subtasks spawned since startup: how often large
+        /// duality calls split across the pool (`--parallel-threshold`).
+        subtasks: u64,
+        /// Subtasks picked up by a worker other than the query's owner.  The
+        /// remainder ran inline on the owning worker — always the case on a
+        /// single-worker pool.
+        subtasks_stolen: u64,
     },
 }
 
@@ -378,6 +385,8 @@ impl Response {
                         sessions,
                         connections,
                         throttled,
+                        subtasks,
+                        subtasks_stolen,
                     } => {
                         o.str("kind", "stats");
                         o.uint("proto", *protocol as u128);
@@ -388,6 +397,8 @@ impl Response {
                         o.uint("sessions", *sessions as u128);
                         o.uint("connections", *connections as u128);
                         o.uint("throttled", *throttled as u128);
+                        o.uint("subtasks", *subtasks as u128);
+                        o.uint("subtasks_stolen", *subtasks_stolen as u128);
                         let mut co = ObjectBuilder::new();
                         co.uint("hits", cache.hits as u128)
                             .uint("misses", cache.misses as u128)
@@ -539,6 +550,8 @@ mod tests {
                 sessions: 2,
                 connections: 6,
                 throttled: 9,
+                subtasks: 12,
+                subtasks_stolen: 8,
             }),
             halted: None,
             chunks: None,
@@ -553,6 +566,8 @@ mod tests {
         assert!(line.contains("\"sessions\":2"));
         assert!(line.contains("\"connections\":6"));
         assert!(line.contains("\"throttled\":9"));
+        assert!(line.contains("\"subtasks\":12"));
+        assert!(line.contains("\"subtasks_stolen\":8"));
         assert!(line.contains(
             "\"cache\":{\"hits\":5,\"misses\":7,\"entries\":2,\"evictions\":1,\
              \"expirations\":0,\"capacity\":64}"

@@ -664,6 +664,8 @@ mod tests {
             sessions: 0,
             connections: 0,
             throttled: 0,
+            subtasks: 0,
+            subtasks_stolen: 0,
         });
         assert!(encode_outcome(&outcome).is_none());
         let outcome = Ok(Outcome::Cancel {

@@ -1,0 +1,343 @@
+//! Intra-query work stealing on the persistent pool.
+//!
+//! A large query that reaches a split point (the decomposition's independent
+//! top-level subtrees, FK-A's self-duality subproblems) fans its work out as
+//! **subtasks** pushed onto one engine-wide [`SubtaskQueue`].  Idle workers
+//! steal from the queue between jobs; the worker that owns the query runs its
+//! own still-queued subtasks inline while it waits at the join, so a split
+//! never deadlocks and never costs a thread — the pool stays exactly as large
+//! as `--workers` said.
+//!
+//! Semantics (the engine-side realization of [`qld_core::SubtaskPool`]):
+//!
+//! * **Bounded scopes** — [`EngineScope::join`] returns only after every
+//!   subtask spawned on the scope has run or been skipped; subtasks never
+//!   outlive the query that spawned them.
+//! * **Cancellation at steal boundaries** — a queued subtask whose query's
+//!   [`CancelToken`] has fired is skipped (never started) by whichever thread
+//!   pops it; a subtask that already started runs to completion.  Skips
+//!   surface to the solver as `None` result slots, which it converts to
+//!   [`qld_core::DualError::Interrupted`].
+//! * **Panic isolation** — a panic inside a stolen subtask is caught on the
+//!   stealing worker (whose loop must survive), recorded on the scope, and
+//!   re-raised on the owning worker at join, where the per-job `catch_unwind`
+//!   turns it into an `internal` error response exactly as a sequential panic
+//!   would have been.
+
+use crate::lock_ignoring_poison;
+use crate::stream::CancelToken;
+use qld_core::{SubtaskPool, SubtaskScope};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One queued subtask: the work plus the scope it reports back to.
+struct Queued {
+    scope: Arc<ScopeState>,
+    task: Task,
+}
+
+impl Queued {
+    /// Runs the subtask — or skips it when its query has been cancelled —
+    /// and marks it finished on its scope either way.  Panics are recorded,
+    /// not propagated: the caller may be a stolen-work loop on another
+    /// worker whose own job must not be poisoned.
+    fn execute(self) {
+        if !self.scope.cancel.is_cancelled() {
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(self.task)) {
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                *lock_ignoring_poison(&self.scope.panicked) = Some(detail);
+            }
+        }
+        self.scope.finish_one();
+    }
+}
+
+/// The engine-wide subtask injection queue, shared by every worker.
+///
+/// Lifetime counters (`spawned`/`stolen`) feed the `stats` wire response:
+/// `subtasks` says how often queries split at all, `subtasks_stolen` how
+/// often a *different* worker picked the pieces up — the difference ran
+/// inline on the owner (always the case on a single-worker pool).
+pub(crate) struct SubtaskQueue {
+    inner: Mutex<VecDeque<Queued>>,
+    /// Signalled on every subtask push and job submission; idle workers park
+    /// here (with a timeout backstop) instead of spinning.
+    work: Condvar,
+    spawned: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl SubtaskQueue {
+    pub(crate) fn new() -> Self {
+        SubtaskQueue {
+            inner: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            spawned: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        }
+    }
+
+    /// Subtasks ever spawned (split points reached × pieces per split).
+    pub(crate) fn spawned(&self) -> u64 {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Subtasks executed (or skipped) by a worker other than their owner.
+    pub(crate) fn stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Wakes parked workers.  Job submission calls this so a freshly queued
+    /// job is picked up immediately instead of at the next poll timeout.
+    pub(crate) fn notify_workers(&self) {
+        self.work.notify_all();
+    }
+
+    fn push(&self, queued: Queued) {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+        lock_ignoring_poison(&self.inner).push_back(queued);
+        self.work.notify_all();
+    }
+
+    /// Pops the oldest queued subtask regardless of owner (the steal path).
+    fn steal_one(&self) -> Option<Queued> {
+        let queued = lock_ignoring_poison(&self.inner).pop_front()?;
+        self.stolen.fetch_add(1, Ordering::Relaxed);
+        Some(queued)
+    }
+
+    /// Pops one still-queued subtask belonging to `scope` (the owner's
+    /// help-while-joining path — not a steal).
+    fn pop_for(&self, scope: &Arc<ScopeState>) -> Option<Queued> {
+        let mut inner = lock_ignoring_poison(&self.inner);
+        let at = inner.iter().position(|q| Arc::ptr_eq(&q.scope, scope))?;
+        inner.remove(at)
+    }
+
+    /// Steals and runs queued subtasks until the queue is empty.  Called by
+    /// workers between jobs; returns how many subtasks were taken.
+    pub(crate) fn drain_steal(&self) -> u64 {
+        let mut taken = 0;
+        while let Some(queued) = self.steal_one() {
+            queued.execute();
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Parks an idle worker until work may be available.  The timeout is a
+    /// backstop against missed notifications; callers re-check on return.
+    pub(crate) fn wait_for_work(&self, timeout: Duration) {
+        let inner = lock_ignoring_poison(&self.inner);
+        if inner.is_empty() {
+            let _ = self
+                .work
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Join-side bookkeeping of one scope, shared between the owning worker and
+/// every stealer that picked one of its subtasks up.
+struct ScopeState {
+    /// The owning query's cancellation flag (skips queued subtasks).
+    cancel: CancelToken,
+    /// Subtasks spawned and not yet finished or skipped.
+    outstanding: Mutex<usize>,
+    done: Condvar,
+    /// First panic captured from a subtask, re-raised at join.
+    panicked: Mutex<Option<String>>,
+}
+
+impl ScopeState {
+    fn new(cancel: CancelToken) -> Self {
+        ScopeState {
+            cancel,
+            outstanding: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: Mutex::new(None),
+        }
+    }
+
+    fn add_one(&self) {
+        *lock_ignoring_poison(&self.outstanding) += 1;
+    }
+
+    fn finish_one(&self) {
+        let mut outstanding = lock_ignoring_poison(&self.outstanding);
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The pool handle one query programs against: every scope it opens injects
+/// into the shared queue, and cancellation follows the job's [`CancelToken`].
+pub(crate) struct EnginePool {
+    queue: Arc<SubtaskQueue>,
+    cancel: CancelToken,
+}
+
+impl EnginePool {
+    pub(crate) fn new(queue: Arc<SubtaskQueue>, cancel: CancelToken) -> Self {
+        EnginePool { queue, cancel }
+    }
+}
+
+impl SubtaskPool for EnginePool {
+    fn scope(&self) -> Box<dyn SubtaskScope + '_> {
+        Box::new(EngineScope {
+            queue: Arc::clone(&self.queue),
+            state: Arc::new(ScopeState::new(self.cancel.clone())),
+        })
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+}
+
+/// One batch of subtasks on the shared queue.
+struct EngineScope {
+    queue: Arc<SubtaskQueue>,
+    state: Arc<ScopeState>,
+}
+
+impl SubtaskScope for EngineScope {
+    fn spawn(&mut self, task: Task) {
+        self.state.add_one();
+        self.queue.push(Queued {
+            scope: Arc::clone(&self.state),
+            task,
+        });
+    }
+
+    fn join(&mut self) {
+        // Help first: run every subtask of ours that nobody has stolen yet.
+        // This is what makes a single-worker pool (and a fully busy pool)
+        // equivalent to the sequential solver rather than a deadlock.
+        while let Some(queued) = self.queue.pop_for(&self.state) {
+            queued.execute();
+        }
+        // Whatever is still outstanding was claimed by a stealer; a claimed
+        // subtask always finishes (or skips) and decrements, so this wait
+        // terminates.
+        let mut outstanding: MutexGuard<'_, usize> = lock_ignoring_poison(&self.state.outstanding);
+        while *outstanding > 0 {
+            outstanding = self
+                .state
+                .done
+                .wait(outstanding)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        drop(outstanding);
+        if let Some(detail) = lock_ignoring_poison(&self.state.panicked).take() {
+            // Re-raise on the owning worker: the per-job catch_unwind in
+            // `answer` turns this into an `internal` error response.
+            panic!("subtask panicked: {detail}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_core::ParallelContext;
+    use std::thread;
+
+    #[test]
+    fn owner_drains_its_own_subtasks_without_a_stealer() {
+        let queue = Arc::new(SubtaskQueue::new());
+        let pool = EnginePool::new(Arc::clone(&queue), CancelToken::new());
+        let ctx = ParallelContext::new(Arc::new(pool), 0);
+        let results =
+            ctx.run::<usize>((0..6usize).map(|i| Box::new(move || i * 10) as _).collect());
+        assert_eq!(
+            results,
+            (0..6usize).map(|i| Some(i * 10)).collect::<Vec<_>>()
+        );
+        assert_eq!(queue.spawned(), 6);
+        assert_eq!(queue.stolen(), 0);
+    }
+
+    #[test]
+    fn idle_thread_steals_queued_subtasks() {
+        let queue = Arc::new(SubtaskQueue::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stealer = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut taken = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    taken += queue.drain_steal();
+                    queue.wait_for_work(Duration::from_micros(200));
+                }
+                taken + queue.drain_steal()
+            })
+        };
+        let pool = EnginePool::new(Arc::clone(&queue), CancelToken::new());
+        let ctx = ParallelContext::new(Arc::new(pool), 0);
+        let results = ctx.run::<usize>(
+            (0..64usize)
+                .map(|i| {
+                    Box::new(move || {
+                        // Slow the owner down so the stealer gets a chance;
+                        // correctness must not depend on who wins, though.
+                        thread::sleep(Duration::from_micros(100));
+                        i + 1
+                    }) as _
+                })
+                .collect(),
+        );
+        stop.store(true, Ordering::Relaxed);
+        let stolen_by_thread = stealer.join().unwrap();
+        assert_eq!(
+            results,
+            (0..64usize).map(|i| Some(i + 1)).collect::<Vec<_>>()
+        );
+        assert_eq!(queue.spawned(), 64);
+        // Every piece ran exactly once, wherever it ran.
+        assert_eq!(stolen_by_thread, queue.stolen());
+        assert!(queue.stolen() <= 64);
+    }
+
+    #[test]
+    fn cancelled_scope_skips_queued_subtasks() {
+        let queue = Arc::new(SubtaskQueue::new());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let pool = EnginePool::new(Arc::clone(&queue), cancel);
+        let ctx = ParallelContext::new(Arc::new(pool), 0);
+        let results = ctx.run::<usize>((0..4usize).map(|i| Box::new(move || i) as _).collect());
+        assert_eq!(results, vec![None, None, None, None]);
+        assert!(ctx.is_cancelled());
+    }
+
+    #[test]
+    fn subtask_panic_reaches_the_owner_at_join() {
+        let queue = Arc::new(SubtaskQueue::new());
+        let pool = EnginePool::new(Arc::clone(&queue), CancelToken::new());
+        let ctx = ParallelContext::new(Arc::new(pool), 0);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            ctx.run::<usize>(vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("boom in a subtask")),
+            ])
+        }));
+        let panic = attempt.expect_err("the subtask panic must surface at join");
+        let detail = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(detail.contains("boom in a subtask"), "{detail}");
+    }
+}

@@ -15,7 +15,7 @@
 //! conditional probabilities.
 
 use crate::counterexample::witness_from_assignment;
-use qld_core::{DualError, DualInstance, DualityResult, DualitySolver};
+use qld_core::{DualError, DualInstance, DualityResult, DualitySolver, ParallelContext};
 use qld_hypergraph::{Hypergraph, Vertex, VertexSet};
 
 /// Statistics of one Fredman–Khachiyan run (used by the experiment harness).
@@ -28,13 +28,25 @@ pub struct FkStats {
 }
 
 /// The Fredman–Khachiyan algorithm A as a [`DualitySolver`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FkASolver;
+#[derive(Debug, Clone, Default)]
+pub struct FkASolver {
+    /// When set, the top-level self-duality split runs its two independent
+    /// subproblems as pool subtasks (both to completion, results merged in
+    /// subproblem order, so the counterexample and statistics are
+    /// deterministic at any worker count).
+    parallel: Option<ParallelContext>,
+}
 
 impl FkASolver {
     /// Creates the solver.
     pub fn new() -> Self {
-        FkASolver
+        FkASolver::default()
+    }
+
+    /// Enables intra-query parallelism for the top-level split.
+    pub fn with_parallel(mut self, ctx: ParallelContext) -> Self {
+        self.parallel = Some(ctx);
+        self
     }
 
     /// Decides duality and also returns recursion statistics.
@@ -46,7 +58,8 @@ impl FkASolver {
         // Validation (simplicity, common universe) is shared with the other solvers.
         let inst = DualInstance::new(g.clone(), h.clone())?;
         let mut stats = FkStats::default();
-        let counterexample = fk_counterexample(inst.g(), inst.h(), 0, &mut stats);
+        let counterexample =
+            fk_counterexample(inst.g(), inst.h(), 0, &mut stats, self.parallel.as_ref())?;
         let result = match counterexample {
             None => DualityResult::Dual,
             Some(t) => {
@@ -69,14 +82,22 @@ impl DualitySolver for FkASolver {
     }
 }
 
-/// Core recursion: returns `None` if `(f, g)` are dual, otherwise a counterexample
+/// Core recursion: returns `Ok(None)` if `(f, g)` are dual, otherwise a counterexample
 /// assignment `t` with `f(t) = g(¬t)`.
+///
+/// `par` is consulted only at depth 0: when set and the instance is large
+/// enough, the two subproblems of the frequent-variable split run as pool
+/// subtasks (see [`split_parallel`]); `Err(DualError::Interrupted)` means the
+/// pool skipped them because the owning query was cancelled.  Recursive calls
+/// always pass `None`, so the subtrees themselves are sequential and the
+/// function is infallible below the root.
 fn fk_counterexample(
     f: &Hypergraph,
     g: &Hypergraph,
     depth: usize,
     stats: &mut FkStats,
-) -> Option<VertexSet> {
+    par: Option<&ParallelContext>,
+) -> Result<Option<VertexSet>, DualError> {
     stats.calls += 1;
     stats.max_depth = stats.max_depth.max(depth);
     let n = f.num_vertices().max(g.num_vertices());
@@ -87,35 +108,43 @@ fn fk_counterexample(
     if f.is_empty() {
         // f ≡ false is dual exactly to g ≡ true.
         return if g.has_empty_edge() {
-            None
+            Ok(None)
         } else {
-            Some(VertexSet::full(n)) // f(V)=0, g(∅)=0
+            Ok(Some(VertexSet::full(n))) // f(V)=0, g(∅)=0
         };
     }
     if g.is_empty() {
         return if f.has_empty_edge() {
-            None
+            Ok(None)
         } else {
-            Some(VertexSet::empty(n)) // f(∅)=0, g(V)=0
+            Ok(Some(VertexSet::empty(n))) // f(∅)=0, g(V)=0
         };
     }
     if f.has_empty_edge() {
         // f ≡ true; dual iff g ≡ false, i.e. g empty — but g is non-empty here.
-        return Some(VertexSet::empty(n)); // f(∅)=1, g(V)=1
+        return Ok(Some(VertexSet::empty(n))); // f(∅)=1, g(V)=1
     }
     if g.has_empty_edge() {
-        return Some(VertexSet::full(n)); // f(V)=1, g(∅)=1
+        return Ok(Some(VertexSet::full(n))); // f(V)=1, g(∅)=1
     }
 
     // --- cross-intersection ------------------------------------------------------
-    for a in f.edges() {
-        for b in g.edges() {
-            if a.is_disjoint(b) {
-                // T = V − B: f(T) ⊇ A → 1, g(¬T) = g(B) ⊇ B → 1.
-                let mut b_full = b.clone();
-                b_full.grow(n);
-                return Some(b_full.complement(n));
-            }
+    // "Some f-edge is disjoint from some g-edge" is exactly "some f-edge is not a
+    // transversal of g": answer it for all f-edges in one batched pass over g's
+    // edge arena, then locate the first offending pair (same (a, b) order as the
+    // nested scan this replaces).
+    {
+        let f_refs: Vec<&VertexSet> = f.edges().iter().collect();
+        let meets_all = g.index().transversal_many(&f_refs);
+        if let Some(i) = meets_all.iter().position(|&ok| !ok) {
+            let b = g
+                .index()
+                .first_edge_disjoint(&f.edges()[i])
+                .expect("batched probe found a non-transversal f-edge");
+            // T = V − B: f(T) ⊇ A → 1, g(¬T) = g(B) ⊇ B → 1.
+            let mut b_full = g.edge(b).clone();
+            b_full.grow(n);
+            return Ok(Some(b_full.complement(n)));
         }
     }
 
@@ -127,17 +156,17 @@ fn fk_counterexample(
         .map(|e| 0.5f64.powi(e.len() as i32))
         .sum();
     if volume < 1.0 {
-        return Some(conditional_probabilities_counterexample(&f, &g, n));
+        return Ok(Some(conditional_probabilities_counterexample(&f, &g, n)));
     }
 
     // --- small base cases ----------------------------------------------------------
     if f.num_edges() <= 2 {
-        return small_side_counterexample(&f, &g, n);
+        return Ok(small_side_counterexample(&f, &g, n));
     }
     if g.num_edges() <= 2 {
         // Duality is symmetric; a counterexample for (g, f) complements into one for
         // (f, g): g(t) = f(¬t) implies f(¬t) = g(¬(¬t)).
-        return small_side_counterexample(&g, &f, n).map(|t| t.complement(n));
+        return Ok(small_side_counterexample(&g, &f, n).map(|t| t.complement(n)));
     }
 
     // --- split on the most frequent variable ---------------------------------------
@@ -145,24 +174,88 @@ fn fk_counterexample(
     let (f0, f1) = split(&f, x, n);
     let (g0, g1) = split(&g, x, n);
 
+    if depth == 0 {
+        if let Some(ctx) = par {
+            let work = n * (f.num_edges() + g.num_edges());
+            if ctx.should_split(work) {
+                return split_parallel(ctx, n, x, f0, f1, g0, g1, stats);
+            }
+        }
+    }
+
     // (i) f₀ dual to g₀ ∨ g₁ ?
     let g01 = union_minimized(&g0, &g1, n);
-    if let Some(y) = fk_counterexample(&f0, &g01, depth + 1, stats) {
+    if let Some(y) = fk_counterexample(&f0, &g01, depth + 1, stats, None)? {
         // lift: x := 0 (y never contains x because neither sub-formula mentions it).
         let mut z = y;
         z.remove(Vertex::from(x));
-        return Some(z);
+        return Ok(Some(z));
     }
     // (ii) f₀ ∨ f₁ dual to g₀ ?
     let f01 = union_minimized(&f0, &f1, n);
-    if let Some(y) = fk_counterexample(&f01, &g0, depth + 1, stats) {
+    if let Some(y) = fk_counterexample(&f01, &g0, depth + 1, stats, None)? {
         // lift: x := 1.
         let mut z = y;
         z.grow(n);
         z.insert(Vertex::from(x));
-        return Some(z);
+        return Ok(Some(z));
     }
-    None
+    Ok(None)
+}
+
+/// Runs the two subproblems of the top-level frequent-variable split as pool
+/// subtasks.  Both run to completion (no early abort), each on its own
+/// statistics, and the merge prefers subproblem (i)'s counterexample — so the
+/// returned assignment matches the sequential recursion and the merged
+/// statistics are identical at any worker count.
+#[allow(clippy::too_many_arguments)]
+fn split_parallel(
+    ctx: &ParallelContext,
+    n: usize,
+    x: usize,
+    f0: Hypergraph,
+    f1: Hypergraph,
+    g0: Hypergraph,
+    g1: Hypergraph,
+    stats: &mut FkStats,
+) -> Result<Option<VertexSet>, DualError> {
+    let g01 = union_minimized(&g0, &g1, n);
+    let f01 = union_minimized(&f0, &f1, n);
+    type SubResult = (Option<VertexSet>, FkStats);
+    let task = |a: Hypergraph, b: Hypergraph| -> Box<dyn FnOnce() -> SubResult + Send> {
+        Box::new(move || {
+            let mut sub = FkStats::default();
+            let w = fk_counterexample(&a, &b, 1, &mut sub, None)
+                .expect("sequential recursion cannot be interrupted");
+            (w, sub)
+        })
+    };
+    let slots = ctx.run(vec![task(f0, g01), task(f01, g0)]);
+    let mut results = Vec::with_capacity(2);
+    for slot in slots {
+        match slot {
+            Some(r) => results.push(r),
+            None => return Err(DualError::Interrupted),
+        }
+    }
+    let (w1, s1) = results.pop().expect("two subtasks");
+    let (w0, s0) = results.pop().expect("two subtasks");
+    stats.calls += s0.calls + s1.calls;
+    stats.max_depth = stats.max_depth.max(s0.max_depth).max(s1.max_depth);
+    if let Some(y) = w0 {
+        // lift: x := 0.
+        let mut z = y;
+        z.remove(Vertex::from(x));
+        return Ok(Some(z));
+    }
+    if let Some(y) = w1 {
+        // lift: x := 1.
+        let mut z = y;
+        z.grow(n);
+        z.insert(Vertex::from(x));
+        return Ok(Some(z));
+    }
+    Ok(None)
 }
 
 /// Splits a DNF on variable `x`: returns `(f₀, f₁)` with `f = x·f₁ ∨ f₀`.
@@ -213,24 +306,26 @@ fn most_frequent_variable(f: &Hypergraph, g: &Hypergraph, n: usize) -> usize {
 fn conditional_probabilities_counterexample(f: &Hypergraph, g: &Hypergraph, n: usize) -> VertexSet {
     let mut t = VertexSet::empty(n);
     let mut decided_false = VertexSet::empty(n);
+    // Each side needs, for every edge, its intersection sizes with *both* partial
+    // assignments: one joint arena pass per side instead of four edge-list scans.
     let expected = |t: &VertexSet, decided_false: &VertexSet| -> f64 {
         let mut total = 0.0;
-        for e in f.edges() {
-            // event: e ⊆ T.  Impossible if some vertex of e is decided false.
-            if e.intersects(decided_false) {
-                continue;
-            }
-            let undecided = e.len() - e.intersection_len(t);
-            total += 0.5f64.powi(undecided as i32);
-        }
-        for e in g.edges() {
-            // event: e ⊆ V − T.  Impossible if some vertex of e is decided true.
-            if e.intersects(t) {
-                continue;
-            }
-            let undecided = e.len() - e.intersection_len(decided_false);
-            total += 0.5f64.powi(undecided as i32);
-        }
+        f.index()
+            .for_each_intersection_pair(decided_false, t, |i, in_false, in_t| {
+                // event: e ⊆ T.  Impossible if some vertex of e is decided false.
+                if in_false == 0 {
+                    let undecided = f.index().edge_size(i) - in_t as usize;
+                    total += 0.5f64.powi(undecided as i32);
+                }
+            });
+        g.index()
+            .for_each_intersection_pair(t, decided_false, |i, in_t, in_false| {
+                // event: e ⊆ V − T.  Impossible if some vertex of e is decided true.
+                if in_t == 0 {
+                    let undecided = g.index().edge_size(i) - in_false as usize;
+                    total += 0.5f64.powi(undecided as i32);
+                }
+            });
         total
     };
     // Try each decision in place (insert, score, undo) instead of cloning the two
@@ -317,7 +412,8 @@ mod tests {
                 let broken =
                     generators::perturb(&li, generators::Perturbation::DropDualEdge, drop).unwrap();
                 let mut stats = FkStats::default();
-                let t = fk_counterexample(&broken.g, &broken.h, 0, &mut stats)
+                let t = fk_counterexample(&broken.g, &broken.h, 0, &mut stats, None)
+                    .unwrap()
                     .expect("perturbed instance must have a counterexample");
                 assert!(is_counterexample(&broken.g, &broken.h, &t));
                 assert!(stats.calls >= 1);
@@ -348,7 +444,9 @@ mod tests {
         let t = conditional_probabilities_counterexample(&f, &g, 8);
         assert!(is_counterexample(&f, &g, &t));
         let mut stats = FkStats::default();
-        let found = fk_counterexample(&f, &g, 0, &mut stats).unwrap();
+        let found = fk_counterexample(&f, &g, 0, &mut stats, None)
+            .unwrap()
+            .unwrap();
         assert!(is_counterexample(&f, &g, &found));
     }
 
@@ -369,6 +467,62 @@ mod tests {
                 assert!(!solver.is_dual(&g, &broken).unwrap());
                 assert!(!are_dual_exact(&broken, &g));
             }
+        }
+    }
+
+    /// A scope that really runs each subtask on its own OS thread — test-only;
+    /// the serving path injects subtasks into the engine's persistent pool.
+    struct ThreadPool;
+    struct ThreadScope {
+        handles: Vec<std::thread::JoinHandle<()>>,
+    }
+    impl qld_core::SubtaskScope for ThreadScope {
+        fn spawn(&mut self, task: Box<dyn FnOnce() + Send + 'static>) {
+            self.handles.push(std::thread::spawn(task));
+        }
+        fn join(&mut self) {
+            for h in self.handles.drain(..) {
+                h.join().expect("subtask panicked");
+            }
+        }
+    }
+    impl qld_core::SubtaskPool for ThreadPool {
+        fn scope(&self) -> Box<dyn qld_core::SubtaskScope + '_> {
+            Box::new(ThreadScope {
+                handles: Vec::new(),
+            })
+        }
+        fn is_cancelled(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn parallel_split_matches_sequential_answers() {
+        let sequential = FkASolver::new();
+        // Threshold 0 forces the split whenever the recursion reaches it; the
+        // inline pool (1 worker) and a real thread pool must both reproduce the
+        // sequential answer and witness, and agree on stats with each other.
+        let inline = FkASolver::new().with_parallel(ParallelContext::inline(0));
+        let threaded = FkASolver::new()
+            .with_parallel(ParallelContext::new(std::sync::Arc::new(ThreadPool), 0));
+        for li in generators::standard_corpus() {
+            let seq = sequential.decide(&li.g, &li.h).unwrap();
+            let (inl, inl_stats) = inline.decide_with_stats(&li.g, &li.h).unwrap();
+            let (thr, thr_stats) = threaded.decide_with_stats(&li.g, &li.h).unwrap();
+            assert_eq!(seq, inl, "inline split diverged on {}", li.name);
+            assert_eq!(seq, thr, "threaded split diverged on {}", li.name);
+            assert_eq!(inl_stats, thr_stats, "stats diverged on {}", li.name);
+        }
+        for k in 2..=4 {
+            let li = generators::matching_instance(k);
+            let broken =
+                generators::perturb(&li, generators::Perturbation::DropDualEdge, 1).unwrap();
+            let seq = sequential.decide(&broken.g, &broken.h).unwrap();
+            let inl = inline.decide(&broken.g, &broken.h).unwrap();
+            let thr = threaded.decide(&broken.g, &broken.h).unwrap();
+            assert_eq!(seq, inl);
+            assert_eq!(seq, thr);
         }
     }
 

@@ -53,6 +53,11 @@ USAGE:
 
 OPTIONS:
   --workers N          worker threads (default: available parallelism, cap 8)
+  --parallel-threshold N
+                       split a duality call into work-stealing subtasks on
+                       the shared pool once its work size |V|*(|G|+|H|)
+                       reaches N (default 32768; 0 = always split, a huge N
+                       disables intra-query parallelism)
   --queue CAP          bounded submission queue capacity (default 256)
   --no-cache           disable the result cache
   --cache-capacity N   LRU result-cache entry bound (default 65536)
@@ -143,6 +148,7 @@ fn main() -> ExitCode {
 /// Options shared by all subcommands.
 struct Options {
     workers: Option<usize>,
+    parallel_threshold: Option<usize>,
     queue: usize,
     cache: bool,
     cache_capacity: Option<usize>,
@@ -176,6 +182,7 @@ struct Options {
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         workers: None,
+        parallel_threshold: None,
         queue: 256,
         cache: true,
         cache_capacity: None,
@@ -215,6 +222,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--workers" => opts.workers = Some(parse_num(&value_of("--workers")?, "--workers")?),
+            "--parallel-threshold" => {
+                opts.parallel_threshold = Some(parse_num(
+                    &value_of("--parallel-threshold")?,
+                    "--parallel-threshold",
+                )?)
+            }
             "--queue" => opts.queue = parse_num(&value_of("--queue")?, "--queue")?,
             "--no-cache" => opts.cache = false,
             "--cache-capacity" => {
@@ -335,6 +348,9 @@ fn engine_from(opts: &Options) -> Engine {
         cache_ttl: opts.cache_ttl,
         policy,
         cache_file: opts.cache_file.as_ref().map(std::path::PathBuf::from),
+        parallel_threshold: opts
+            .parallel_threshold
+            .unwrap_or(defaults.parallel_threshold),
     })
 }
 

@@ -191,6 +191,46 @@ pub fn ref_minimize_transversal(edges: &[RefSet], t: &RefSet) -> RefSet {
     current
 }
 
+// ---------------------------------------------------------------------------
+// Faithful replica of the pre-wide-word arena kernels: plain zip loops over
+// the common word prefix, one full arena scan per probe, and no batched probe
+// API at all — exactly the `HypergraphIndex` paths before the wide-word PR.
+// The `words_per_edge ∈ {1, 2}` fast paths did not change in that PR, so the
+// wide measurements run at 192/320/1024 vertices (3/5/16 words per edge),
+// where only the generic path existed before.
+// ---------------------------------------------------------------------------
+
+/// Pre-wide-word `is_transversal` over a raw arena copy: per-row zip scan with
+/// a per-word early exit, one full pass per probe.
+pub fn ref_arena_is_transversal(arena: &[u64], wpe: usize, tw: &[u64]) -> bool {
+    if tw.len() >= wpe {
+        arena
+            .chunks_exact(wpe)
+            .all(|row| row.iter().zip(tw).any(|(a, b)| a & b != 0))
+    } else {
+        arena.chunks_exact(wpe).all(|row| {
+            let common = row.len().min(tw.len());
+            row[..common].iter().zip(tw).any(|(a, b)| a & b != 0)
+        })
+    }
+}
+
+/// Pre-wide-word `evaluate_dnf` over a raw arena copy: per-row zip subset scan,
+/// one full pass per probe.
+pub fn ref_arena_evaluate_dnf(arena: &[u64], wpe: usize, tw: &[u64]) -> bool {
+    if tw.len() >= wpe {
+        arena
+            .chunks_exact(wpe)
+            .any(|row| row.iter().zip(tw).all(|(a, b)| a & !b == 0))
+    } else {
+        arena.chunks_exact(wpe).any(|row| {
+            let common = row.len().min(tw.len());
+            row[..common].iter().zip(tw).all(|(a, b)| a & !b == 0)
+                && row[common..].iter().all(|&a| a == 0)
+        })
+    }
+}
+
 /// An oracle adapter that hides the backing bitmap, forcing `classify` onto the
 /// per-vertex query path — exactly what *every* oracle (including the materialized
 /// one) did before this refactor.
@@ -265,6 +305,27 @@ pub fn classify_workload_spilled() -> ClassifyWorkload {
 pub fn transversal_workload(n: usize, m: usize, seed: u64) -> (Hypergraph, Vec<VertexSet>) {
     let h = generators::random_simple_hypergraph(n, m, 2..=5, seed);
     (h, sample_sets(n, 60, seed ^ 0xABCD))
+}
+
+/// A wide-universe workload (`words_per_edge ≥ 3`): a larger hypergraph plus
+/// probes mixing repaired transversals (the full-arena-scan regime the solver
+/// loops live in), raw samples (early rejects), and edge supersets (so the
+/// DNF/covers-edge side of `classify_many` has hits to verify).
+pub fn wide_workload(n: usize, m: usize, seed: u64) -> (Hypergraph, Vec<VertexSet>) {
+    let h = generators::random_simple_hypergraph(n, m, 3..=9, seed);
+    let raw = sample_sets(n, 32, seed ^ 0xBEEF);
+    let mut probes = repair_to_transversals(&h, &raw[..raw.len() / 2]);
+    probes.extend_from_slice(&raw[raw.len() / 2..]);
+    for (i, e) in h.edges().iter().take(4).enumerate() {
+        let mut s = e.clone();
+        for v in 0..n {
+            if (v * 7 + i) % 13 == 0 {
+                s.insert(Vertex::from(v));
+            }
+        }
+        probes.push(s);
+    }
+    (h, probes)
 }
 
 // ---------------------------------------------------------------------------
@@ -422,6 +483,108 @@ pub fn measure_minimize_transversal(
     }
 }
 
+/// Flattens the cached index's edge rows into a standalone arena copy, so the
+/// reference kernels scan the *same* layout and only the loop shape differs.
+fn arena_copy(h: &Hypergraph) -> (Vec<u64>, usize) {
+    let idx = h.index();
+    let wpe = idx.words_per_edge();
+    let mut arena = Vec::with_capacity(idx.num_edges() * wpe);
+    for i in 0..idx.num_edges() {
+        arena.extend_from_slice(idx.edge_words(i));
+    }
+    (arena, wpe)
+}
+
+/// Measures the batched wide-word transversal probe: one `transversal_many`
+/// pass over the arena for the whole probe family vs. the pre-wide-word
+/// one-full-scan-per-probe zip kernel on the same arena.  Panics if the
+/// batched answers disagree with either the reference or the per-probe
+/// optimized path.
+pub fn measure_wide_transversal_batch(
+    h: &Hypergraph,
+    probes: &[VertexSet],
+    iters: usize,
+) -> HotpathMetric {
+    let idx = h.index();
+    let (arena, wpe) = arena_copy(h);
+    let refs: Vec<&VertexSet> = probes.iter().collect();
+    let batched = idx.transversal_many(&refs);
+    for (t, &got) in probes.iter().zip(&batched) {
+        assert_eq!(
+            got,
+            ref_arena_is_transversal(&arena, wpe, t.as_words()),
+            "batched transversal probe disagrees with the pre-wide-word scan"
+        );
+        assert_eq!(
+            got,
+            h.is_transversal(t),
+            "batched transversal probe disagrees with the per-probe path"
+        );
+    }
+    let optimized_ns = time_ns(iters, || {
+        black_box(idx.transversal_many(&refs));
+    });
+    let baseline_ns = time_ns(iters, || {
+        for t in probes {
+            black_box(ref_arena_is_transversal(&arena, wpe, t.as_words()));
+        }
+    });
+    HotpathMetric {
+        name: "wide-transversal-batch",
+        universe: h.num_vertices(),
+        baseline_ns,
+        optimized_ns,
+        ops_per_iter: probes.len(),
+    }
+}
+
+/// Measures the batched wide-word joint classification: one `classify_many`
+/// pass answering both monotone probes per candidate vs. the two separate
+/// full-arena zip scans (`is_transversal` + `evaluate_dnf`) the pre-wide-word
+/// call sites issued per candidate.  Panics on any disagreement.
+pub fn measure_wide_classify_batch(
+    h: &Hypergraph,
+    probes: &[VertexSet],
+    iters: usize,
+) -> HotpathMetric {
+    let idx = h.index();
+    let (arena, wpe) = arena_copy(h);
+    let refs: Vec<&VertexSet> = probes.iter().collect();
+    let classes = idx.classify_many(&refs);
+    assert!(
+        classes.iter().any(|c| c.covers_edge),
+        "wide classify workload never exercises the covers-edge side"
+    );
+    for (t, c) in probes.iter().zip(&classes) {
+        assert_eq!(
+            c.transversal,
+            ref_arena_is_transversal(&arena, wpe, t.as_words()),
+            "batched classification disagrees with the pre-wide-word transversal scan"
+        );
+        assert_eq!(
+            c.covers_edge,
+            ref_arena_evaluate_dnf(&arena, wpe, t.as_words()),
+            "batched classification disagrees with the pre-wide-word DNF scan"
+        );
+    }
+    let optimized_ns = time_ns(iters, || {
+        black_box(idx.classify_many(&refs));
+    });
+    let baseline_ns = time_ns(iters, || {
+        for t in probes {
+            black_box(ref_arena_is_transversal(&arena, wpe, t.as_words()));
+            black_box(ref_arena_evaluate_dnf(&arena, wpe, t.as_words()));
+        }
+    });
+    HotpathMetric {
+        name: "wide-classify-batch",
+        universe: h.num_vertices(),
+        baseline_ns,
+        optimized_ns,
+        ops_per_iter: probes.len(),
+    }
+}
+
 /// Measures the `full`/`complement`/`lex_cmp` kernels: word-wise vs. per-bit loops.
 pub fn measure_set_kernels(n: usize, iters: usize) -> HotpathMetric {
     let sets = sample_sets(n, 40, 0xCAFE ^ n as u64);
@@ -474,6 +637,10 @@ pub fn measure_all(iters: usize) -> Vec<HotpathMetric> {
     let spilled = classify_workload_spilled();
     let (h_small, cand_small) = transversal_workload(48, 40, 0xE12A);
     let (h_spilled, cand_spilled) = transversal_workload(96, 40, 0xE12B);
+    let (h_192, probes_192) = wide_workload(192, 2048, 0xE12C);
+    let (h_320, probes_320) = wide_workload(320, 3072, 0xE12D);
+    let (h_1024, probes_1024) = wide_workload(1024, 8192, 0xE12E);
+    let wide_iters = iters.max(1) / 8 + 1;
     vec![
         measure_classify(&small, iters),
         measure_classify(&spilled, iters.max(1) / 4 + 1),
@@ -482,6 +649,10 @@ pub fn measure_all(iters: usize) -> Vec<HotpathMetric> {
         measure_minimize_transversal(&h_small, &cand_small, iters.max(1) / 4 + 1),
         measure_set_kernels(48, iters),
         measure_set_kernels(160, iters),
+        measure_wide_transversal_batch(&h_192, &probes_192, wide_iters),
+        measure_wide_transversal_batch(&h_1024, &probes_1024, wide_iters),
+        measure_wide_classify_batch(&h_320, &probes_320, wide_iters),
+        measure_wide_classify_batch(&h_1024, &probes_1024, wide_iters),
     ]
 }
 
@@ -494,15 +665,42 @@ mod tests {
         // The measurement helpers assert agreement internally; a single fast
         // iteration exercises all of those checks.
         let metrics = measure_all(1);
-        assert_eq!(metrics.len(), 7);
+        assert_eq!(metrics.len(), 11);
         for m in &metrics {
             assert!(m.baseline_ns >= 0.0 && m.optimized_ns >= 0.0);
             assert!(m.ops_per_iter > 0);
             let json = m.to_json();
             assert!(json.contains("\"speedup\""), "{json}");
         }
-        // Both universes are represented.
+        // Inline, spilled, and wide (multi-word) universes are all represented.
         assert!(metrics.iter().any(|m| m.universe <= 64));
         assert!(metrics.iter().any(|m| m.universe > 64));
+        assert!(metrics.iter().any(|m| m.universe >= 1024));
+    }
+
+    #[test]
+    fn wide_reference_kernels_match_the_index_paths() {
+        // Small wide instance so the exhaustive cross-check stays fast: every
+        // probe must classify identically through the reference zip kernels,
+        // the per-probe index paths, and both batched probes.
+        let (h, probes) = wide_workload(192, 64, 0x51DE);
+        let idx = h.index();
+        let (arena, wpe) = arena_copy(&h);
+        assert!(wpe >= 3, "wide workload must spill past two words");
+        let refs: Vec<&VertexSet> = probes.iter().collect();
+        let batched = idx.transversal_many(&refs);
+        let classes = idx.classify_many(&refs);
+        for ((t, &tv), c) in probes.iter().zip(&batched).zip(&classes) {
+            assert_eq!(tv, ref_arena_is_transversal(&arena, wpe, t.as_words()));
+            assert_eq!(tv, c.transversal);
+            assert_eq!(
+                c.covers_edge,
+                ref_arena_evaluate_dnf(&arena, wpe, t.as_words())
+            );
+            assert_eq!(c.covers_edge, h.index().evaluate_dnf(t));
+        }
+        // Both answers occur in the workload, so the checks are not vacuous.
+        assert!(batched.iter().any(|&b| b) && batched.iter().any(|&b| !b));
+        assert!(classes.iter().any(|c| c.covers_edge));
     }
 }

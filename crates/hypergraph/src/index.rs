@@ -51,6 +51,14 @@ impl HypergraphIndex {
         let mut edge_sizes = Vec::with_capacity(num_edges);
         let mut degrees = vec![0u32; num_vertices];
         for (i, edge) in edges.iter().enumerate() {
+            // An edge built in a larger-capacity universe may carry extra
+            // words, but they must all be zero: a set bit past
+            // `words_per_edge` names a vertex outside the indexed universe,
+            // and dropping it would silently change every query answer.
+            debug_assert!(
+                edge.as_words().iter().skip(words_per_edge).all(|&w| w == 0),
+                "edge {i} has vertices beyond the {num_vertices}-vertex universe"
+            );
             let row = &mut arena[i * words_per_edge..(i + 1) * words_per_edge];
             for (w, word) in edge.as_words().iter().enumerate().take(words_per_edge) {
                 row[w] = *word;
@@ -147,13 +155,19 @@ impl HypergraphIndex {
     /// Whether edge `i` shares a vertex with `s`.
     #[inline]
     pub fn edge_intersects(&self, i: usize, s: &VertexSet) -> bool {
-        row_intersects(self.edge_words(i), s.as_words())
+        let e = self.edge_words(i);
+        let sw = s.as_words();
+        let common = e.len().min(sw.len());
+        words_intersect(&e[..common], &sw[..common])
     }
 
     /// Whether edge `i` is a subset of `s`.
     #[inline]
     pub fn edge_is_subset(&self, i: usize, s: &VertexSet) -> bool {
-        row_is_subset(self.edge_words(i), s.as_words())
+        let e = self.edge_words(i);
+        let sw = s.as_words();
+        let common = e.len().min(sw.len());
+        words_subset(&e[..common], &sw[..common]) && e[common..].iter().all(|&w| w == 0)
     }
 
     /// `|E_i ∩ s|`.
@@ -162,11 +176,24 @@ impl HypergraphIndex {
         let e = self.edge_words(i);
         let sw = s.as_words();
         let common = e.len().min(sw.len());
-        e[..common]
-            .iter()
-            .zip(&sw[..common])
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        words_and_popcount(&e[..common], &sw[..common]) as usize
+    }
+
+    /// The probe's word slice truncated/zero-padded to the arena stride, so every
+    /// row kernel runs on equal-length slices with no per-row bookkeeping.
+    /// Truncation is exact: arena rows have no bits past `words_per_edge`, so
+    /// probe words beyond the stride can neither intersect an edge nor break a
+    /// subset check.
+    #[inline]
+    fn pad_probe<'a>(&self, words: &'a [u64], scratch: &'a mut Vec<u64>) -> &'a [u64] {
+        if words.len() >= self.words_per_edge {
+            &words[..self.words_per_edge]
+        } else {
+            scratch.clear();
+            scratch.extend_from_slice(words);
+            scratch.resize(self.words_per_edge, 0);
+            scratch
+        }
     }
 
     /// Whether `t` meets every indexed edge (same conventions as
@@ -189,17 +216,12 @@ impl HypergraphIndex {
                 .chunks_exact(2)
                 .all(|row| row[0] & t0 != 0 || row[1] & t1 != 0);
         }
-        if tw.len() >= self.words_per_edge {
-            // The candidate covers the whole universe (the common case): full-row
-            // zips with no per-row length bookkeeping.
-            return self
-                .arena
-                .chunks_exact(self.words_per_edge)
-                .all(|row| row.iter().zip(tw).any(|(a, b)| a & b != 0));
-        }
+        // Wider universes: unrolled four-words-at-a-time accumulation per row.
+        let mut scratch = Vec::new();
+        let tw = self.pad_probe(tw, &mut scratch);
         self.arena
             .chunks_exact(self.words_per_edge)
-            .all(|row| row_intersects(row, tw))
+            .all(|row| words_intersect(row, tw))
     }
 
     /// Monotone DNF evaluation: whether some indexed edge (term) is contained in
@@ -217,32 +239,246 @@ impl HypergraphIndex {
                 .chunks_exact(2)
                 .any(|row| row[0] & !t0 == 0 && row[1] & !t1 == 0);
         }
+        let mut scratch = Vec::new();
+        let tw = self.pad_probe(tw, &mut scratch);
         self.arena
             .chunks_exact(self.words_per_edge)
-            .any(|row| row_is_subset(row, tw))
+            .any(|row| words_subset(row, tw))
+    }
+
+    /// Batched transversal probe: `is_transversal` for every candidate in one
+    /// pass over the edge-word arena.  Each row is loaded once and tested
+    /// against every still-alive probe, so the arena is streamed through the
+    /// cache once instead of once per candidate; a probe that misses an edge
+    /// is never tested again.  Arenas small enough to stay cache-resident
+    /// (`ARENA_STREAM_WORDS`) fall back to per-probe scans, whose per-row
+    /// early exits win when re-reading the arena costs nothing.
+    pub fn transversal_many(&self, probes: &[&VertexSet]) -> Vec<bool> {
+        if self.arena.len() <= ARENA_STREAM_WORDS {
+            return probes.iter().map(|p| self.is_transversal(p)).collect();
+        }
+        let wpe = self.words_per_edge;
+        let packed = self.pack_probes(probes);
+        let mut alive = vec![true; probes.len()];
+        let mut remaining = probes.len();
+        if remaining == 0 || self.num_edges == 0 {
+            return alive;
+        }
+        for row in self.arena.chunks_exact(wpe) {
+            for (ok, probe) in alive.iter_mut().zip(packed.chunks_exact(wpe)) {
+                if *ok && !words_intersect(row, probe) {
+                    *ok = false;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        alive
+    }
+
+    /// Batched joint classification: for every candidate, whether it meets all
+    /// edges (`transversal`, as [`Self::is_transversal`]) and whether it
+    /// contains some edge (`covers_edge`, as [`Self::evaluate_dnf`]) — both
+    /// answered in a single pass over the edge-word arena.
+    pub fn classify_many(&self, probes: &[&VertexSet]) -> Vec<ProbeClass> {
+        if self.arena.len() <= ARENA_STREAM_WORDS {
+            return probes
+                .iter()
+                .map(|p| ProbeClass {
+                    transversal: self.is_transversal(p),
+                    covers_edge: self.evaluate_dnf(p),
+                })
+                .collect();
+        }
+        let wpe = self.words_per_edge;
+        let packed = self.pack_probes(probes);
+        let mut out = vec![
+            ProbeClass {
+                transversal: true,
+                covers_edge: false,
+            };
+            probes.len()
+        ];
+        // A probe is settled once both monotone answers have flipped.
+        let mut undecided = probes.len();
+        if undecided == 0 || self.num_edges == 0 {
+            return out;
+        }
+        for row in self.arena.chunks_exact(wpe) {
+            for (class, probe) in out.iter_mut().zip(packed.chunks_exact(wpe)) {
+                if !class.transversal && class.covers_edge {
+                    continue; // both monotone answers already flipped
+                }
+                if class.transversal && !words_intersect(row, probe) {
+                    class.transversal = false;
+                }
+                if !class.covers_edge && words_subset(row, probe) {
+                    class.covers_edge = true;
+                }
+                if !class.transversal && class.covers_edge {
+                    undecided -= 1;
+                }
+            }
+            if undecided == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Indices of the edges contained in `s`, in input order (one arena pass).
+    pub fn edges_inside(&self, s: &VertexSet) -> Vec<usize> {
+        let mut scratch = Vec::new();
+        let sw = self.pad_probe(s.as_words(), &mut scratch);
+        self.arena
+            .chunks_exact(self.words_per_edge)
+            .enumerate()
+            .filter(|(_, row)| words_subset(row, sw))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// How many edges are contained in `s` (one arena pass).
+    pub fn count_edges_inside(&self, s: &VertexSet) -> usize {
+        let mut scratch = Vec::new();
+        let sw = self.pad_probe(s.as_words(), &mut scratch);
+        self.arena
+            .chunks_exact(self.words_per_edge)
+            .filter(|row| words_subset(row, sw))
+            .count()
+    }
+
+    /// The first edge (input order) disjoint from `s`, if any (one arena pass).
+    pub fn first_edge_disjoint(&self, s: &VertexSet) -> Option<usize> {
+        let mut scratch = Vec::new();
+        let sw = self.pad_probe(s.as_words(), &mut scratch);
+        self.arena
+            .chunks_exact(self.words_per_edge)
+            .position(|row| !words_intersect(row, sw))
+    }
+
+    /// Joint intersection counts against two probes in one arena pass: calls
+    /// `visit(edge, |E ∩ a|, |E ∩ b|)` for every edge, loading each row once
+    /// for both counts.  The workhorse of FK's conditional-probabilities
+    /// scoring loop, which needs both counts for every edge on every call.
+    pub fn for_each_intersection_pair(
+        &self,
+        a: &VertexSet,
+        b: &VertexSet,
+        mut visit: impl FnMut(usize, u32, u32),
+    ) {
+        let mut scratch_a = Vec::new();
+        let mut scratch_b = Vec::new();
+        let aw = self.pad_probe(a.as_words(), &mut scratch_a);
+        let bw = self.pad_probe(b.as_words(), &mut scratch_b);
+        for (i, row) in self.arena.chunks_exact(self.words_per_edge).enumerate() {
+            visit(i, words_and_popcount(row, aw), words_and_popcount(row, bw));
+        }
+    }
+
+    /// Flattens probes into a zero-padded matrix at the arena stride.
+    fn pack_probes(&self, probes: &[&VertexSet]) -> Vec<u64> {
+        let wpe = self.words_per_edge;
+        let mut packed = vec![0u64; probes.len() * wpe];
+        for (i, p) in probes.iter().enumerate() {
+            let words = p.as_words();
+            let n = words.len().min(wpe);
+            packed[i * wpe..i * wpe + n].copy_from_slice(&words[..n]);
+        }
+        packed
     }
 }
 
-/// Whether an arena row shares a set bit with `s_words` (absent words are zero).
-#[inline]
-fn row_intersects(row: &[u64], s_words: &[u64]) -> bool {
-    let common = row.len().min(s_words.len());
-    row[..common]
-        .iter()
-        .zip(&s_words[..common])
-        .any(|(a, b)| a & b != 0)
+/// Arena size (in `u64` words) below which the batched probes run per-probe
+/// scans instead of one row-major streaming pass: 256 KiB of edge words sit
+/// comfortably in a modern L2, where re-reading the arena once per probe is
+/// free and the per-probe early exits dominate.  Row-major streaming pays off
+/// once the arena spills the cache and memory traffic becomes the bottleneck.
+const ARENA_STREAM_WORDS: usize = 1 << 15;
+
+/// Joint transversal/DNF answer of one probe against the whole edge family
+/// (see [`HypergraphIndex::classify_many`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeClass {
+    /// The probe meets every edge ([`HypergraphIndex::is_transversal`]).
+    pub transversal: bool,
+    /// Some edge is contained in the probe ([`HypergraphIndex::evaluate_dnf`]).
+    pub covers_edge: bool,
 }
 
-/// Whether every set bit of an arena row also appears in `s_words` (absent words are
-/// zero, so trailing row words must be empty).
+// ---- wide-word scan kernels -------------------------------------------------
+//
+// Equal-length word loops, manually unrolled four u64s per step (u64x4): the
+// accumulator form has no per-word branch, so the compiler vectorizes the
+// AND/OR block, and the per-block early exit keeps the common dense-candidate
+// case cheap.  Callers guarantee equal lengths by padding probes to the arena
+// stride once per scan (`pad_probe`), not once per row.
+
+/// Whether two equal-length word slices share a set bit.
 #[inline]
-fn row_is_subset(row: &[u64], s_words: &[u64]) -> bool {
-    let common = row.len().min(s_words.len());
-    row[..common]
+fn words_intersect(row: &[u64], probe: &[u64]) -> bool {
+    debug_assert_eq!(row.len(), probe.len());
+    if row.len() < 4 {
+        // Short rows (3 words, 129–192 vertices): a plain zip loop with its
+        // per-word early exit beats setting up the block iterators.
+        return row.iter().zip(probe).any(|(r, p)| r & p != 0);
+    }
+    let mut r4 = row.chunks_exact(4);
+    let mut p4 = probe.chunks_exact(4);
+    for (r, p) in (&mut r4).zip(&mut p4) {
+        let acc = (r[0] & p[0]) | (r[1] & p[1]) | (r[2] & p[2]) | (r[3] & p[3]);
+        if acc != 0 {
+            return true;
+        }
+    }
+    // The remainder is at most three words, where per-word early exit beats
+    // accumulation: for dense probes the first word usually decides.
+    r4.remainder()
         .iter()
-        .zip(&s_words[..common])
-        .all(|(a, b)| a & !b == 0)
-        && row[common..].iter().all(|&a| a == 0)
+        .zip(p4.remainder())
+        .any(|(r, p)| r & p != 0)
+}
+
+/// Whether every set bit of `row` also appears in `probe` (equal lengths).
+#[inline]
+fn words_subset(row: &[u64], probe: &[u64]) -> bool {
+    debug_assert_eq!(row.len(), probe.len());
+    if row.len() < 4 {
+        return row.iter().zip(probe).all(|(r, p)| r & !p == 0);
+    }
+    let mut r4 = row.chunks_exact(4);
+    let mut p4 = probe.chunks_exact(4);
+    for (r, p) in (&mut r4).zip(&mut p4) {
+        let stray = (r[0] & !p[0]) | (r[1] & !p[1]) | (r[2] & !p[2]) | (r[3] & !p[3]);
+        if stray != 0 {
+            return false;
+        }
+    }
+    r4.remainder()
+        .iter()
+        .zip(p4.remainder())
+        .all(|(r, p)| r & !p == 0)
+}
+
+/// `popcount(row & probe)` over equal-length slices.
+#[inline]
+fn words_and_popcount(row: &[u64], probe: &[u64]) -> u32 {
+    debug_assert_eq!(row.len(), probe.len());
+    let mut r4 = row.chunks_exact(4);
+    let mut p4 = probe.chunks_exact(4);
+    let mut total = 0u32;
+    for (r, p) in (&mut r4).zip(&mut p4) {
+        total += (r[0] & p[0]).count_ones()
+            + (r[1] & p[1]).count_ones()
+            + (r[2] & p[2]).count_ones()
+            + (r[3] & p[3]).count_ones();
+    }
+    for (r, p) in r4.remainder().iter().zip(p4.remainder()) {
+        total += (r & p).count_ones();
+    }
+    total
 }
 
 #[cfg(test)]
@@ -328,6 +564,123 @@ mod tests {
         let with_empty_edge = Hypergraph::from_edges(3, [VertexSet::empty(3)]);
         assert!(!with_empty_edge.index().is_transversal(&vset![3; 0, 1, 2]));
         assert!(with_empty_edge.index().evaluate_dnf(&vset![3;]));
+    }
+
+    #[test]
+    fn batched_probes_match_per_probe_calls() {
+        // Cover several strides: 1 word, 2 words, and a wide 3-word universe.
+        for n in [5usize, 70, 140] {
+            let mut h = Hypergraph::new(n);
+            h.add_edge(VertexSet::from_indices(n, [0, 1]));
+            h.add_edge(VertexSet::from_indices(n, [1, n - 2, n - 1]));
+            h.add_edge(VertexSet::from_indices(n, [0, n - 1]));
+            let idx = h.index();
+            let probes = [
+                VertexSet::from_indices(n, [1, n - 1]),
+                VertexSet::from_indices(n, [0]),
+                VertexSet::full(n),
+                VertexSet::empty(n),
+                VertexSet::from_indices(n, [0, 1, n - 2, n - 1]),
+            ];
+            let refs: Vec<&VertexSet> = probes.iter().collect();
+            let batched = idx.transversal_many(&refs);
+            let classes = idx.classify_many(&refs);
+            for (i, p) in probes.iter().enumerate() {
+                assert_eq!(batched[i], idx.is_transversal(p), "n={n} probe {i}");
+                assert_eq!(
+                    classes[i].transversal,
+                    idx.is_transversal(p),
+                    "n={n} probe {i}"
+                );
+                assert_eq!(
+                    classes[i].covers_edge,
+                    idx.evaluate_dnf(p),
+                    "n={n} probe {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_probe_arena_scans_match_edge_loops() {
+        let n = 200; // 4-word rows: exercises the unrolled block plus remainder
+        let mut h = Hypergraph::new(n);
+        h.add_edge(VertexSet::from_indices(n, [0, 64, 128, 192]));
+        h.add_edge(VertexSet::from_indices(n, [2, 3]));
+        h.add_edge(VertexSet::from_indices(n, [63, 64, 65]));
+        h.add_edge(VertexSet::from_indices(n, [190, 199]));
+        let idx = h.index();
+        for s in [
+            VertexSet::from_indices(n, [0, 2, 3, 64, 128, 192]),
+            VertexSet::from_indices(n, [5]),
+            VertexSet::full(n),
+            VertexSet::empty(n),
+        ] {
+            let expected: Vec<usize> = h
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.is_subset(&s))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(idx.edges_inside(&s), expected);
+            assert_eq!(idx.count_edges_inside(&s), expected.len());
+            assert_eq!(
+                idx.first_edge_disjoint(&s),
+                h.edges().iter().position(|e| !e.intersects(&s))
+            );
+            let other = VertexSet::from_indices(n, [3, 65, 199]);
+            let mut seen = Vec::new();
+            idx.for_each_intersection_pair(&s, &other, |i, a, b| seen.push((i, a, b)));
+            let expected_pairs: Vec<(usize, u32, u32)> = h
+                .edges()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    (
+                        i,
+                        e.intersection_len(&s) as u32,
+                        e.intersection_len(&other) as u32,
+                    )
+                })
+                .collect();
+            assert_eq!(seen, expected_pairs);
+        }
+    }
+
+    #[test]
+    fn edge_from_larger_capacity_universe_indexes_exactly() {
+        // An edge whose VertexSet was built with more capacity words than the
+        // indexed universe needs: the extra (zero) words must be dropped
+        // without changing any answer.  (Build debug-asserts they are zero.)
+        let edges = [
+            VertexSet::from_indices(200, [0, 65, 129]),
+            VertexSet::from_indices(300, [1, 129]),
+        ];
+        let idx = HypergraphIndex::build(130, &edges);
+        assert_eq!(idx.words_per_edge(), 3);
+        for (i, e) in edges.iter().enumerate() {
+            assert_eq!(idx.edge_size(i), e.len());
+            for v in [0usize, 1, 65, 129] {
+                assert_eq!(
+                    idx.edge_contains(i, Vertex::from(v)),
+                    e.contains(Vertex::from(v))
+                );
+            }
+        }
+        assert!(idx.is_transversal(&VertexSet::from_indices(130, [129])));
+        assert!(!idx.is_transversal(&VertexSet::from_indices(130, [0])));
+        assert_eq!(idx.edges_containing(Vertex::new(129)), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the")]
+    #[cfg(debug_assertions)]
+    fn build_rejects_out_of_universe_bits() {
+        // Vertex 250 lives in word 3, past the 3-word stride of a 130-vertex
+        // universe — the silent-truncation case the build assert guards.
+        let edges = [VertexSet::from_indices(300, [0, 250])];
+        let _ = HypergraphIndex::build(130, &edges);
     }
 
     #[test]

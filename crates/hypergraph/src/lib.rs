@@ -42,6 +42,6 @@ mod vset;
 pub use dnf::MonotoneDnf;
 pub use error::HypergraphError;
 pub use hypergraph::Hypergraph;
-pub use index::HypergraphIndex;
+pub use index::{HypergraphIndex, ProbeClass};
 pub use vertex::Vertex;
 pub use vset::{VertexSet, INLINE_BITS};

@@ -137,4 +137,58 @@ proptest! {
             prop_assert_eq!(fv.contains(Vertex::from(i)), count > thr);
         }
     }
+
+    /// The batched arena-pass probes answer bit-for-bit like the per-probe
+    /// kernels, across random families and universe widths straddling the
+    /// 64→65 (1→2 word) and 128→129 (2→3 word) boundaries where the stride
+    /// specializations hand over to the wide-word kernels.
+    #[test]
+    fn batched_probes_agree_with_per_probe_kernels(
+        n_pick in 0usize..8,
+        raw_edges in prop::collection::vec(prop::collection::vec(0usize..64, 1..6usize), 1..8usize),
+        raw_probes in prop::collection::vec(prop::collection::vec(0usize..64, 0..8usize), 1..6usize),
+    ) {
+        let n = [6usize, 63, 64, 65, 127, 128, 129, 200][n_pick];
+        // Scale the raw indices into the sampled universe so every width gets
+        // bits in its top word.
+        let scale = |idx: &[usize]| -> Vec<usize> {
+            idx.iter().map(|&i| i * n.max(1) / 64).collect()
+        };
+        let h = Hypergraph::from_edges(
+            n,
+            raw_edges.iter().map(|e| VertexSet::from_indices(n, scale(e))),
+        );
+        let probes: Vec<VertexSet> = raw_probes
+            .iter()
+            .map(|p| VertexSet::from_indices(n, scale(p)))
+            .collect();
+        let refs: Vec<&VertexSet> = probes.iter().collect();
+        let idx = h.index();
+        let many = idx.transversal_many(&refs);
+        let classes = idx.classify_many(&refs);
+        for (i, p) in probes.iter().enumerate() {
+            prop_assert_eq!(many[i], idx.is_transversal(p));
+            prop_assert_eq!(classes[i].transversal, idx.is_transversal(p));
+            prop_assert_eq!(classes[i].covers_edge, idx.evaluate_dnf(p));
+            // ... and the per-probe kernels in turn match the edge-list scans.
+            prop_assert_eq!(idx.is_transversal(p), h.edges().iter().all(|e| e.intersects(p)));
+            prop_assert_eq!(idx.evaluate_dnf(p), h.edges().iter().any(|e| e.is_subset(p)));
+        }
+        // Single-probe arena scans against the same reference.
+        for p in &probes {
+            let inside: Vec<usize> = h
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.is_subset(p))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(idx.edges_inside(p), inside.clone());
+            prop_assert_eq!(idx.count_edges_inside(p), inside.len());
+            prop_assert_eq!(
+                idx.first_edge_disjoint(p),
+                h.edges().iter().position(|e| !e.intersects(p))
+            );
+        }
+    }
 }

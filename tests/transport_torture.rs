@@ -178,7 +178,11 @@ fn every_fixture_split_at_random_points_answers_byte_identically() {
         while remaining > 0 {
             // Mostly tiny splits (1..8 bytes), occasionally large ones, so
             // both mid-token and mid-frame boundaries are hit.
-            let cap = if rng.next_u64().is_multiple_of(4) { 64 } else { 8 };
+            let cap = if rng.next_u64().is_multiple_of(4) {
+                64
+            } else {
+                8
+            };
             let take = (rng.next_u64() as usize % cap + 1).min(remaining);
             chunks.push(take);
             remaining -= take;
