@@ -11,7 +11,6 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
 use qld_core::oracle::{classify, MaterializedOracle};
 use qld_harness::hotpath::{self, ref_is_transversal, ClassifyWorkload, QueryDrivenOracle, RefSet};
 use qld_logspace::SpaceMeter;
-use std::io::Write;
 
 fn smoke() -> bool {
     std::env::var("E12_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -85,15 +84,6 @@ criterion_group! {
     targets = bench_classify, bench_transversal
 }
 
-/// `target/e12_hotpath.json`, located from the bench executable's own path
-/// (`target/<profile>/deps/e12_hotpath-…`).
-fn trajectory_path() -> Option<std::path::PathBuf> {
-    let exe = std::env::current_exe().ok()?;
-    // deps -> profile -> target
-    let target = exe.parent()?.parent()?.parent()?;
-    Some(target.join("e12_hotpath.json"))
-}
-
 /// Runs the before/after measurements and appends one JSON line to the trajectory.
 fn record_trajectory() {
     let iters = if smoke() { 1 } else { 48 };
@@ -118,19 +108,9 @@ fn record_trajectory() {
             m.speedup()
         );
     }
-    match trajectory_path() {
-        Some(path) => {
-            let result = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-                .and_then(|mut f| writeln!(f, "{line}"));
-            match result {
-                Ok(()) => println!("e12   trajectory appended to {}", path.display()),
-                Err(e) => eprintln!("e12   could not write {}: {e}", path.display()),
-            }
-        }
-        None => eprintln!("e12   could not locate the target directory; line: {line}"),
+    match qld_bench::append_trajectory("e12_hotpath.json", &line) {
+        Ok(path) => println!("e12   trajectory appended to {}", path.display()),
+        Err(e) => eprintln!("e12   {e}"),
     }
 }
 

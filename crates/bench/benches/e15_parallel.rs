@@ -20,7 +20,6 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use qld_engine::{Engine, EngineConfig, FixedPolicy, SolverKind};
 use qld_harness::experiments::measure_parallel;
 use qld_harness::{hotpath, workloads};
-use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,15 +61,6 @@ criterion_group! {
     name = benches;
     config = qld_bench::quick();
     targets = bench_parallel
-}
-
-/// `target/e15_parallel.json`, located from the bench executable's own path
-/// (`target/<profile>/deps/e15_parallel-…`).
-fn trajectory_path() -> Option<std::path::PathBuf> {
-    let exe = std::env::current_exe().ok()?;
-    // deps -> profile -> target
-    let target = exe.parent()?.parent()?.parent()?;
-    Some(target.join("e15_parallel.json"))
 }
 
 /// This container's E10 batch throughput (default engine, mixed workload),
@@ -126,19 +116,9 @@ fn record_trajectory() {
         e10,
         e12_rows.join(",")
     );
-    match trajectory_path() {
-        Some(path) => {
-            let result = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-                .and_then(|mut f| writeln!(f, "{line}"));
-            match result {
-                Ok(()) => println!("e15   trajectory appended to {}", path.display()),
-                Err(e) => eprintln!("e15   could not write {}: {e}", path.display()),
-            }
-        }
-        None => eprintln!("e15   could not locate the target directory; line: {line}"),
+    match qld_bench::append_trajectory("e15_parallel.json", &line) {
+        Ok(path) => println!("e15   trajectory appended to {}", path.display()),
+        Err(e) => eprintln!("e15   {e}"),
     }
 }
 

@@ -1,0 +1,87 @@
+//! E16 — one-shot small-instance latency: the engine's in-process local route
+//! (`EngineConfig::local_threshold`, answering sub-threshold `check`s on the
+//! submitting thread) vs. the pool round-trip, via
+//! `qld_harness::experiments::measure_local`.
+//!
+//! Besides the Criterion timings, every run appends one JSON line to
+//! `target/e16_local.json` — the trajectory across commits.  The line carries
+//! a top-level `"local_beats_pool"` verdict: true iff the local route's mean
+//! one-shot latency beats the pool's on every measured sub-threshold
+//! instance.  Set `E16_SMOKE=1` to skip the Criterion windows and record one
+//! fast iteration (the CI smoke mode).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use qld_engine::{Engine, EngineConfig, Request};
+use qld_harness::experiments::measure_local;
+use qld_hypergraph::generators;
+
+fn smoke() -> bool {
+    std::env::var("E16_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn bench_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_local/check");
+    let li = generators::matching_instance(3);
+    let request = Request::DecideDuality { g: li.g, h: li.h };
+    for (tag, local_threshold) in [("pool", 0usize), ("local", usize::MAX)] {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            cache: false,
+            local_threshold,
+            ..EngineConfig::default()
+        });
+        group.bench_function(BenchmarkId::new("matching-3", tag), |b| {
+            b.iter(|| black_box(engine.run_one(request.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_local
+}
+
+/// Runs the pool-vs-local measurements and appends one JSON line to the
+/// trajectory.
+fn record_trajectory() {
+    let iters = if smoke() { 4 } else { 200 };
+    let rows = measure_local(iters);
+    for m in &rows {
+        println!(
+            "e16   {:<18} work={:<5} pool {:>8.2} us  local {:>8.2} us  speedup {:>5.2}x  {}",
+            m.name,
+            m.work,
+            m.pool_us,
+            m.local_us,
+            m.speedup(),
+            if m.matches { "ok" } else { "MISMATCH" }
+        );
+        assert!(m.matches, "{}: local route changed the answer", m.name);
+    }
+    let local_beats_pool = !rows.is_empty() && rows.iter().all(|m| m.local_us < m.pool_us);
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let row_json: Vec<String> = rows.iter().map(|m| m.to_json()).collect();
+    let line = format!(
+        "{{\"bench\":\"e16_local\",\"unix_secs\":{},\"smoke\":{},\"iters\":{},\"local_beats_pool\":{},\"routes\":[{}]}}",
+        unix_secs,
+        smoke(),
+        iters,
+        local_beats_pool,
+        row_json.join(",")
+    );
+    match qld_bench::append_trajectory("e16_local.json", &line) {
+        Ok(path) => println!("e16   trajectory appended to {}", path.display()),
+        Err(e) => eprintln!("e16   {e}"),
+    }
+}
+
+fn main() {
+    if !smoke() {
+        benches();
+    }
+    record_trajectory();
+}

@@ -18,3 +18,51 @@ pub fn quick() -> criterion::Criterion {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(900))
 }
+
+/// `target/<file_name>`, located from the bench executable's own path
+/// (`target/<profile>/deps/<bench>-…`).  `None` when the executable path is
+/// unavailable or too shallow to contain a target directory.
+pub fn trajectory_path(file_name: &str) -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    // deps -> profile -> target
+    let target = exe.parent()?.parent()?.parent()?;
+    Some(target.join(file_name))
+}
+
+/// Appends one JSON line to the `target/<file_name>` trajectory file, creating
+/// the directory if it does not exist (a wiped or redirected `target/` must
+/// not lose the measurement).  Returns the path written, or a readable
+/// single-line error that includes the path it tried and the JSON line itself,
+/// so a failed append still leaves the measurement in the bench log.
+pub fn append_trajectory(file_name: &str, line: &str) -> Result<std::path::PathBuf, String> {
+    use std::io::Write as _;
+    let path = trajectory_path(file_name)
+        .ok_or_else(|| format!("could not locate the target directory; line: {line}"))?;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("could not create {}: {e}; line: {line}", dir.display()))?;
+    }
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"))
+        .map_err(|e| format!("could not write {}: {e}; line: {line}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn append_trajectory_creates_and_appends() {
+        // The test binary also lives under target/<profile>/deps, so the
+        // helper resolves the same way it does for benches.
+        let name = format!("trajectory-helper-test-{}.json", std::process::id());
+        let path = super::append_trajectory(&name, "{\"probe\":1}").unwrap();
+        let path2 = super::append_trajectory(&name, "{\"probe\":2}").unwrap();
+        assert_eq!(path, path2);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"probe\":1}\n{\"probe\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -19,6 +19,8 @@ use crate::path::{
     PathDescriptor,
 };
 use crate::pathnode::{pathnode, PathnodeOutcome, SpaceStrategy};
+use alloc::vec;
+use alloc::vec::Vec;
 use qld_logspace::SpaceMeter;
 
 /// The output of the `decompose` algorithm: the vertices (node attributes) and edges

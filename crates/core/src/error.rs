@@ -1,7 +1,7 @@
 //! Error types for `DUAL` instances and solvers.
 
+use core::fmt;
 use qld_hypergraph::HypergraphError;
-use std::fmt;
 
 /// Which of the two hypergraphs of a `DUAL` instance an error refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,8 +85,8 @@ impl fmt::Display for DualError {
     }
 }
 
-impl std::error::Error for DualError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+impl core::error::Error for DualError {
+    fn source(&self) -> Option<&(dyn core::error::Error + 'static)> {
         match self {
             DualError::NotSimple { source, .. } => Some(source),
             _ => None,
@@ -108,14 +108,14 @@ mod tests {
             },
         };
         assert!(e.to_string().contains("H is not simple"));
-        assert!(std::error::Error::source(&e).is_some());
+        assert!(core::error::Error::source(&e).is_some());
 
         let u = DualError::UniverseMismatch {
             g_vertices: 3,
             h_vertices: 4,
         };
         assert!(u.to_string().contains("3 vs 4"));
-        assert!(std::error::Error::source(&u).is_none());
+        assert!(core::error::Error::source(&u).is_none());
 
         let t = DualError::TreeTooLarge { limit: 10 };
         assert!(t.to_string().contains("10"));

@@ -31,6 +31,8 @@
 //!   Proposition 2.1(3).
 
 use crate::instance::DualInstance;
+use alloc::vec;
+use alloc::vec::Vec;
 use qld_hypergraph::{Vertex, VertexSet};
 
 /// Why a leaf was marked `fail`; identifies which rule produced the witness.

@@ -14,6 +14,7 @@ use crate::node::Mark;
 use crate::path::{max_branching, PathDescriptor};
 use crate::pathnode::{pathnode, PathnodeOutcome, SpaceStrategy};
 use crate::solver::{preflight, Preflight};
+use alloc::vec;
 use qld_hypergraph::Hypergraph;
 use qld_logspace::SpaceMeter;
 

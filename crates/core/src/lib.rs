@@ -45,8 +45,11 @@
 //! assert!(qld_core::verify_witness(&g, &broken, witness));
 //! ```
 
+#![cfg_attr(all(not(feature = "std"), not(test)), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+extern crate alloc;
 
 pub mod decompose;
 pub mod error;
@@ -55,6 +58,7 @@ pub mod guess_check;
 pub mod instance;
 pub mod node;
 pub mod oracle;
+#[cfg(feature = "std")]
 pub mod par;
 pub mod path;
 pub mod pathnode;
@@ -67,6 +71,7 @@ pub mod witness;
 pub use error::{DualError, Side};
 pub use instance::DualInstance;
 pub use node::{Mark, NodeAttr};
+#[cfg(feature = "std")]
 pub use par::{InlinePool, ParallelContext, SubtaskPool, SubtaskScope};
 pub use path::PathDescriptor;
 pub use pathnode::{pathnode, PathnodeOutcome, SpaceStrategy};

@@ -10,8 +10,8 @@
 
 use crate::instance::DualInstance;
 use crate::path::PathDescriptor;
+use core::fmt;
 use qld_hypergraph::{Hypergraph, VertexSet};
-use std::fmt;
 
 /// The mark of a decomposition-tree node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -26,6 +26,7 @@
 use crate::expand::{BranchCase, FailRule};
 use crate::instance::DualInstance;
 use crate::node::Mark;
+use alloc::vec;
 use qld_hypergraph::{Vertex, VertexSet};
 use qld_logspace::{LogRegister, SpaceMeter};
 

@@ -6,8 +6,10 @@
 //! descriptor occupies `O(log² n)` bits — this is both the working state of the
 //! space-efficient algorithms of Section 4 and the certificate guessed in Section 5.
 
+use alloc::vec;
+use alloc::vec::Vec;
+use core::fmt;
 use serde::{Deserialize, Serialize};
-use std::fmt;
 
 /// A sequence of 1-based child indices describing a root-to-node path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]

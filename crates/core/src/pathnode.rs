@@ -22,6 +22,8 @@ use crate::oracle::{
     ChildOracle, MaterializedOracle, NodeClass, RootOracle, SAlphaOracle,
 };
 use crate::path::PathDescriptor;
+use alloc::vec;
+use alloc::vec::Vec;
 use qld_logspace::SpaceMeter;
 
 /// How `pathnode` (and the solver built on it) trades space for time.

@@ -1,7 +1,7 @@
 //! Results of duality decisions and their certificates.
 
+use core::fmt;
 use qld_hypergraph::{Hypergraph, VertexSet};
-use std::fmt;
 
 /// A proof that a pair of simple hypergraphs `(G, H)` is **not** dual.
 ///

@@ -19,6 +19,7 @@ use crate::oracle::{
     child_count, child_count_given, classify, materialize_child, materialize_witness, ChildOracle,
     MaterializedOracle, NodeClass, RootOracle, SAlphaOracle,
 };
+#[cfg(feature = "std")]
 use crate::par::ParallelContext;
 use crate::pathnode::SpaceStrategy;
 use crate::result::{DualityResult, NonDualWitness};
@@ -26,12 +27,15 @@ use crate::stats::SpaceReport;
 use crate::tree::{build_tree, BuildOptions};
 use qld_hypergraph::{Hypergraph, VertexSet};
 use qld_logspace::SpaceMeter;
+#[cfg(feature = "std")]
 use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "std")]
 use std::sync::Arc;
 
 /// One pool subtask probing a root subtree: returns the witness found (if
 /// any), the subtree's peak metered bits, and whether the body actually ran
 /// (a cancelled scope skips queued bodies).
+#[cfg(feature = "std")]
 type SubtreeProbe = Box<dyn FnOnce() -> (Option<VertexSet>, u64, bool) + Send>;
 
 /// A decision procedure for the `DUAL` problem.
@@ -137,6 +141,9 @@ pub struct QuadLogspaceSolver {
     pub strategy: SpaceStrategy,
     /// When set, `MaterializeChain` instances whose work size reaches the
     /// context's threshold split their top-level subtrees into pool subtasks.
+    /// Parallelism needs `std` (thread pools, channels); without the feature
+    /// the solver is the plain sequential traversal.
+    #[cfg(feature = "std")]
     parallel: Option<ParallelContext>,
 }
 
@@ -145,6 +152,7 @@ impl QuadLogspaceSolver {
     pub fn new(strategy: SpaceStrategy) -> Self {
         QuadLogspaceSolver {
             strategy,
+            #[cfg(feature = "std")]
             parallel: None,
         }
     }
@@ -155,6 +163,7 @@ impl QuadLogspaceSolver {
     /// identical to the sequential traversal at any worker count; see
     /// `dfs_materialized_split` in this module.  The `Recompute` strategy ignores the
     /// context and stays faithful to the paper's sequential space narrative.
+    #[cfg(feature = "std")]
     pub fn with_parallel(mut self, ctx: ParallelContext) -> Self {
         self.parallel = Some(ctx);
         self
@@ -179,22 +188,7 @@ impl QuadLogspaceSolver {
                         let root = RootOracle::new(&oriented);
                         dfs_recompute(&oriented, &root, &meter)
                     }
-                    SpaceStrategy::MaterializeChain => {
-                        let work = oriented.num_vertices()
-                            * (oriented.g().num_edges() + oriented.h().num_edges());
-                        match &self.parallel {
-                            Some(ctx) if ctx.should_split(work) => {
-                                dfs_materialized_split(Arc::new(oriented), &meter, ctx)?
-                            }
-                            _ => {
-                                let root = MaterializedOracle::new(
-                                    VertexSet::full(oriented.num_vertices()),
-                                    &meter,
-                                );
-                                dfs_materialized(&oriented, &root, &meter)
-                            }
-                        }
-                    }
+                    SpaceStrategy::MaterializeChain => self.run_materialized(oriented, &meter)?,
                 };
                 let report = SpaceReport::new(self.strategy, meter.peak_bits(), input_bits);
                 let result = match witness {
@@ -208,6 +202,44 @@ impl QuadLogspaceSolver {
             }
         }
     }
+}
+
+impl QuadLogspaceSolver {
+    /// Runs the `MaterializeChain` traversal, splitting the root's subtrees
+    /// onto the parallel context's pool when one is attached and the instance
+    /// is large enough.  Answer, witness, and reported peak space are
+    /// identical to the sequential traversal (see `dfs_materialized_split`).
+    #[cfg(feature = "std")]
+    fn run_materialized(
+        &self,
+        oriented: DualInstance,
+        meter: &SpaceMeter,
+    ) -> Result<Option<VertexSet>, DualError> {
+        let work = oriented.num_vertices() * (oriented.g().num_edges() + oriented.h().num_edges());
+        match &self.parallel {
+            Some(ctx) if ctx.should_split(work) => {
+                dfs_materialized_split(Arc::new(oriented), meter, ctx)
+            }
+            _ => Ok(run_materialized_seq(&oriented, meter)),
+        }
+    }
+
+    /// Without `std` there is no pool to split onto: always the sequential
+    /// traversal (byte-identical answers either way).
+    #[cfg(not(feature = "std"))]
+    fn run_materialized(
+        &self,
+        oriented: DualInstance,
+        meter: &SpaceMeter,
+    ) -> Result<Option<VertexSet>, DualError> {
+        Ok(run_materialized_seq(&oriented, meter))
+    }
+}
+
+/// The sequential `MaterializeChain` DFS from a fresh root oracle.
+fn run_materialized_seq(oriented: &DualInstance, meter: &SpaceMeter) -> Option<VertexSet> {
+    let root = MaterializedOracle::new(VertexSet::full(oriented.num_vertices()), meter);
+    dfs_materialized(oriented, &root, meter)
 }
 
 impl DualitySolver for QuadLogspaceSolver {
@@ -298,6 +330,7 @@ fn dfs_materialized(
 ///   skipped wholesale, surfacing here as an empty slot, and the traversal
 ///   aborts with [`DualError::Interrupted`] rather than invent a
 ///   nondeterministic answer.  Started subtasks run their subtree to the end.
+#[cfg(feature = "std")]
 fn dfs_materialized_split(
     inst: Arc<DualInstance>,
     meter: &SpaceMeter,
@@ -517,6 +550,7 @@ mod tests {
 
     #[test]
     fn parallel_split_matches_sequential_bit_for_bit() {
+        #[cfg(feature = "std")]
         use crate::par::ParallelContext;
         // Threshold 0 forces the split on every instance; the inline pool makes
         // it the 1-worker case, which must equal the sequential traversal in

@@ -26,7 +26,7 @@ impl SpaceReport {
 
     /// `log₂(n)` of the input encoding size.
     pub fn log2_input(&self) -> f64 {
-        (self.input_bits.max(2) as f64).log2()
+        log2(self.input_bits.max(2) as f64)
     }
 
     /// `log₂²(n)`, the reference curve of Theorem 4.1.
@@ -40,6 +40,39 @@ impl SpaceReport {
     pub fn ratio_to_log2_squared(&self) -> f64 {
         self.peak_bits as f64 / self.log2_squared_input()
     }
+}
+
+/// `log₂(x)` for finite positive `x`.
+///
+/// `f64::log2` lives in `std` (it lowers to a libm call), so the `no_std`
+/// build computes it directly: split the IEEE-754 exponent off, then evaluate
+/// `ln` of the mantissa `m ∈ [1, 2)` by the atanh series
+/// `ln m = 2·(z + z³/3 + z⁵/5 + …)` with `z = (m−1)/(m+1) ≤ 1/3`, which is
+/// accurate to ~1 ulp after 11 terms.  Space reports only ever take logs of
+/// positive integer encoding sizes, so no NaN/subnormal handling is needed.
+#[cfg(not(feature = "std"))]
+fn log2(x: f64) -> f64 {
+    const LOG2_E: f64 = core::f64::consts::LOG2_E;
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mantissa = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    let z = (mantissa - 1.0) / (mantissa + 1.0);
+    let z2 = z * z;
+    let mut term = z;
+    let mut ln_m = 0.0;
+    let mut k = 1u32;
+    while k <= 21 {
+        ln_m += term / f64::from(k);
+        term *= z2;
+        k += 2;
+    }
+    exp as f64 + 2.0 * ln_m * LOG2_E
+}
+
+#[cfg(feature = "std")]
+#[inline]
+fn log2(x: f64) -> f64 {
+    x.log2()
 }
 
 #[cfg(test)]

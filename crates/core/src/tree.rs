@@ -13,6 +13,8 @@ use crate::expand::{expand, Expansion};
 use crate::instance::DualInstance;
 use crate::node::{Mark, NodeAttr};
 use crate::path::PathDescriptor;
+use alloc::vec;
+use alloc::vec::Vec;
 use qld_hypergraph::VertexSet;
 
 /// Resource limits and options for [`build_tree`].
@@ -175,7 +177,7 @@ pub fn build_tree(
         parent: None,
         children: Vec::new(),
     }];
-    let mut queue = std::collections::VecDeque::from([0usize]);
+    let mut queue = alloc::collections::VecDeque::from([0usize]);
     let mut truncated = false;
 
     'bfs: while let Some(idx) = queue.pop_front() {

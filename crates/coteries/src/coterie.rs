@@ -7,8 +7,8 @@
 //! cross-intersecting hypergraph; non-domination — the property that makes a coterie
 //! availability-optimal — is self-duality `tr(C) = C` (Proposition 1.3).
 
+use core::fmt;
 use qld_hypergraph::{Hypergraph, VertexSet};
-use std::fmt;
 
 /// Why a family of vertex sets is not a coterie.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +52,7 @@ impl fmt::Display for CoterieError {
     }
 }
 
-impl std::error::Error for CoterieError {}
+impl core::error::Error for CoterieError {}
 
 /// A validated coterie over a universe of nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -94,8 +94,8 @@ pub enum CoterieCheckError {
     Solver(DualError),
 }
 
-impl std::fmt::Display for CoterieCheckError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl core::fmt::Display for CoterieCheckError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CoterieCheckError::Invalid(e) => write!(f, "invalid coterie: {e}"),
             CoterieCheckError::Solver(e) => write!(f, "duality check failed: {e}"),
@@ -103,7 +103,7 @@ impl std::fmt::Display for CoterieCheckError {
     }
 }
 
-impl std::error::Error for CoterieCheckError {}
+impl core::error::Error for CoterieCheckError {}
 
 #[cfg(test)]
 mod tests {

@@ -9,8 +9,11 @@
 //!   produced whenever the input is dominated;
 //! * [`constructions`] — majority, threshold, singleton, wheel and grid coteries.
 
+#![cfg_attr(all(not(feature = "std"), not(test)), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+extern crate alloc;
 
 pub mod constructions;
 pub mod coterie;

@@ -8,6 +8,7 @@
 //! the tests and re-used by [`crate::identification`].
 
 use crate::relation::BooleanRelation;
+use alloc::vec::Vec;
 use qld_hypergraph::{Hypergraph, VertexSet};
 
 /// The two borders of the frequent-itemset lattice.
@@ -35,8 +36,7 @@ pub fn borders_exact(relation: &BooleanRelation, z: usize) -> Borders {
     assert!(n <= 20, "exhaustive border computation limited to 20 items");
     let mut maximal = Vec::new();
     let mut minimal = Vec::new();
-    for mask in 0u64..(1u64 << n) {
-        let set = VertexSet::from_bits(n, mask);
+    for set in VertexSet::all_subsets(n) {
         if relation.is_maximal_frequent(&set, z) {
             maximal.push(set);
         } else if relation.is_minimal_infrequent(&set, z) {

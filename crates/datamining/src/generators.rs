@@ -6,6 +6,7 @@
 //! patterns — the situation in which maximal frequent itemsets are interesting.
 
 use crate::relation::BooleanRelation;
+use alloc::vec::Vec;
 use qld_hypergraph::{Vertex, VertexSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -9,9 +9,9 @@
 //! a minimal infrequent itemset missing from `G`).
 
 use crate::relation::BooleanRelation;
+use alloc::borrow::Cow;
 use qld_core::{DualError, DualityResult, DualitySolver, NonDualWitness, QuadLogspaceSolver};
 use qld_hypergraph::{Hypergraph, VertexSet};
-use std::borrow::Cow;
 
 /// Why an input family is not a valid partial border.
 #[derive(Debug, Clone, PartialEq, Eq)]

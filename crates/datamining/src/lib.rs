@@ -15,8 +15,11 @@
 //!   identification checks;
 //! * [`generators`] — synthetic relations used by tests and experiments.
 
+#![cfg_attr(all(not(feature = "std"), not(test)), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+extern crate alloc;
 
 pub mod apriori;
 pub mod borders;

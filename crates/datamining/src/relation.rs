@@ -6,8 +6,9 @@
 //! `items(t) = {A ∈ S | t[A] = 1}`; the frequency `f(U)` of an itemset `U` is the
 //! number of tuples whose itemset contains `U`, and `U` is *frequent* if `f(U) > z`.
 
+use alloc::vec::Vec;
+use core::fmt;
 use qld_hypergraph::{Vertex, VertexSet};
-use std::fmt;
 
 /// A Boolean-valued relation: a multiset of rows, each identified with its itemset.
 #[derive(Debug, Clone, PartialEq, Eq)]

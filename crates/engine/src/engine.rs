@@ -21,7 +21,9 @@ use crate::cache::{CacheStats, CachedResult, QueryCache};
 use crate::fairness::UserBuckets;
 use crate::lock_ignoring_poison;
 use crate::ops;
-use crate::policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
+use crate::policy::{
+    exec_route, ExecRoute, FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy,
+};
 use crate::request::Request;
 use crate::response::{EngineError, Outcome, RequestStats, Response};
 use crate::stream::{
@@ -69,6 +71,14 @@ pub struct EngineConfig {
     /// stay sequential (the split has real coordination cost).  `0` splits
     /// everything, `usize::MAX` effectively disables splitting.
     pub parallel_threshold: usize,
+    /// In-process ("local") execution threshold (`qld serve
+    /// --local-threshold`), in the same work units.  A one-shot `check`
+    /// request strictly below it is answered synchronously on the submitting
+    /// session's thread through the embedded solver — no pool round-trip, no
+    /// cache lookup (and no cache-key render), no cancellation window.  `0`
+    /// (the default) disables local execution: every request takes the pool
+    /// path exactly as before.  See [`crate::ExecRoute`].
+    pub local_threshold: usize,
 }
 
 /// Default [`EngineConfig::parallel_threshold`]: roughly a 64-vertex instance
@@ -89,6 +99,7 @@ impl Default for EngineConfig {
             policy: Arc::new(SizeThresholdPolicy::default()),
             cache_file: None,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            local_threshold: 0,
         }
     }
 }
@@ -104,6 +115,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("policy", &self.policy.name())
             .field("cache_file", &self.cache_file)
             .field("parallel_threshold", &self.parallel_threshold)
+            .field("local_threshold", &self.local_threshold)
             .finish()
     }
 }
@@ -510,6 +522,8 @@ impl Engine {
             max_inflight: options.max_inflight,
             max_items: options.max_items,
             user_quota: options.user_quota.clone(),
+            local_threshold: self.config.local_threshold,
+            policy: Arc::clone(&self.config.policy),
             reorder_capacity: self.config.queue_capacity.max(1) * 4,
             seq: 0,
             ordered: 0,
@@ -530,6 +544,20 @@ impl Engine {
         let total = requests.len();
         let (reply_tx, reply_rx) = mpsc::channel::<StreamEvent>();
         for (seq, request) in requests.into_iter().enumerate() {
+            // Sub-threshold one-shot queries run inline (see [`ExecRoute`]):
+            // answered on this thread through the embedded solver, no pool
+            // round-trip, no cache participation.
+            if exec_route(&request, false, self.config.local_threshold) == ExecRoute::Local {
+                let response = local_response(
+                    seq as u64,
+                    None,
+                    &request,
+                    None,
+                    self.config.policy.as_ref(),
+                );
+                let _ = reply_tx.send(StreamEvent::Done(response));
+                continue;
+            }
             let job = PoolJob {
                 seq: seq as u64,
                 client_id: None,
@@ -676,6 +704,8 @@ impl Engine {
                 let job_tx = self.sender().clone();
                 let subtasks = Arc::clone(&self.subtasks);
                 let counters = &self.counters;
+                let local_threshold = self.config.local_threshold;
+                let policy = Arc::clone(&self.config.policy);
                 let default_order = options.order;
                 let max_inflight = options.max_inflight;
                 let max_items = options.max_items;
@@ -835,6 +865,24 @@ impl Engine {
                                 continue;
                             }
                         }
+                        // Sub-threshold one-shot queries run inline on the
+                        // feeder thread (see [`ExecRoute`]), answered through
+                        // the same reply channel as quota rejections so the
+                        // session's emission plan still applies.
+                        if let Payload::Query { request, solver } = &payload {
+                            if exec_route(request, stream, local_threshold) == ExecRoute::Local {
+                                let response = local_response(
+                                    seq,
+                                    client_id,
+                                    request,
+                                    *solver,
+                                    policy.as_ref(),
+                                );
+                                let _ = reply_tx.send(StreamEvent::Done(response));
+                                seq += 1;
+                                continue;
+                            }
+                        }
                         let cancel = CancelToken::new();
                         lock_ignoring_poison(inflight).insert(seq, cancel.clone());
                         let job = PoolJob {
@@ -986,6 +1034,11 @@ pub(crate) struct SessionMux {
     max_inflight: Option<usize>,
     max_items: Option<u64>,
     user_quota: Option<Arc<UserBuckets>>,
+    /// [`EngineConfig::local_threshold`]: sub-threshold one-shot queries are
+    /// answered inline by `feed_line` instead of becoming pool jobs.
+    local_threshold: usize,
+    /// The engine's routing policy, for those inline answers.
+    policy: Arc<dyn SolverPolicy>,
     reorder_capacity: usize,
     seq: u64,
     ordered: u64,
@@ -1134,6 +1187,19 @@ impl SessionMux {
                     },
                     out,
                 );
+                return MuxFeed::Progress;
+            }
+        }
+        // Sub-threshold one-shot queries are answered inline (see
+        // [`ExecRoute`]) — no pool job, no in-flight registration; the
+        // response follows the session's emission plan like any other.
+        if let Payload::Query { request, solver } = &payload {
+            if exec_route(request, stream, self.local_threshold) == ExecRoute::Local {
+                let response =
+                    local_response(self.seq, client_id, request, *solver, self.policy.as_ref());
+                let seq = self.next_seq();
+                self.commit_plan(seq, plan);
+                self.finish(response, out);
                 return MuxFeed::Progress;
             }
         }
@@ -1289,6 +1355,77 @@ const JOB_POLL: Duration = Duration::from_millis(2);
 /// time polls the shared job receiver (`try_lock`); the others park on the
 /// subtask condvar so neither jobs nor subtasks are ever left waiting on a
 /// busy loop.
+/// Answers a local-routed query inline on the calling (session) thread.
+///
+/// This is the in-process fast path of [`ExecRoute::Local`]: the same
+/// execution pipeline as a pool worker ([`ops::execute`] through the
+/// configured policy), minus everything scheduling-related — no job queue
+/// round-trip, no cache lookup or insert (so the canonical cache key, a hex
+/// render of every edge word, is never built), no cancellation window.  The
+/// response payload is identical to what a pool worker would produce for the
+/// same request; `worker` reports shard 0, like a single-worker pool.
+///
+/// Panics are contained exactly as on a worker: a misbehaving request
+/// answers with an `internal` error instead of unwinding into the session.
+fn local_response(
+    seq: u64,
+    client_id: Option<String>,
+    request: &Request,
+    solver_override: Option<SolverKind>,
+    policy: &dyn SolverPolicy,
+) -> Response {
+    let started = Instant::now();
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let fixed;
+        let policy: &dyn SolverPolicy = match solver_override {
+            Some(kind) => {
+                fixed = FixedPolicy(kind);
+                &fixed
+            }
+            None => policy,
+        };
+        ops::execute(request, policy)
+    }));
+    match attempt {
+        Ok((outcome, info)) => Response {
+            id: seq,
+            client_id,
+            outcome: outcome.map_err(EngineError::execute),
+            halted: None,
+            chunks: None,
+            stats: RequestStats {
+                micros: started.elapsed().as_micros(),
+                peak_bits: info.peak_bits,
+                solver: info.solver,
+                duality_calls: info.duality_calls,
+                cache_hit: false,
+                worker: 0,
+            },
+        },
+        Err(panic) => {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Response {
+                id: seq,
+                client_id,
+                outcome: Err(EngineError::internal(format!(
+                    "local execution panicked answering the request: {detail}"
+                ))),
+                halted: None,
+                chunks: None,
+                stats: RequestStats {
+                    micros: started.elapsed().as_micros(),
+                    solver: "-".to_string(),
+                    ..RequestStats::default()
+                },
+            }
+        }
+    }
+}
+
 fn worker_loop(ctx: &WorkerCtx, jobs: &Mutex<Receiver<PoolJob>>, worker_index: usize) {
     loop {
         ctx.subtasks.drain_steal();
@@ -1660,6 +1797,122 @@ mod tests {
             cache,
             ..EngineConfig::default()
         })
+    }
+
+    /// An engine whose local (in-process) route takes every sub-threshold
+    /// `check`, with the given threshold.
+    fn engine_local(threshold: usize) -> Engine {
+        Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            local_threshold: threshold,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn local_route_answers_identically_to_pool() {
+        let pool = engine(2, true);
+        let local = engine_local(usize::MAX);
+        for k in 1..=4 {
+            let li = generators::matching_instance(k);
+            let request = Request::DecideDuality {
+                g: li.g.clone(),
+                h: li.h.clone(),
+            };
+            let a = pool.run_one(request.clone());
+            let b = local.run_one(request);
+            // The payload is byte-identical; only scheduling telemetry
+            // (micros, worker shard) may differ.
+            assert_eq!(a.outcome, b.outcome, "matching k={k}");
+            assert_eq!(a.halted, b.halted);
+            assert_eq!(a.chunks, b.chunks);
+            assert_eq!(a.stats.solver, b.stats.solver);
+            assert_eq!(a.stats.duality_calls, b.stats.duality_calls);
+            assert_eq!(a.stats.peak_bits, b.stats.peak_bits);
+        }
+    }
+
+    #[test]
+    fn local_route_bypasses_the_cache() {
+        let eng = engine_local(usize::MAX);
+        let li = generators::matching_instance(2);
+        let request = Request::DecideDuality { g: li.g, h: li.h };
+        let first = eng.run_one(request.clone());
+        let second = eng.run_one(request);
+        // Local answers never consult or populate the cache.
+        assert!(!first.stats.cache_hit);
+        assert!(!second.stats.cache_hit);
+        let stats = eng.cache_stats();
+        assert_eq!(stats.entries, 0, "local answers are not cached");
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn local_route_respects_the_threshold() {
+        // Threshold 1: every real instance is at least 1 work unit, so all
+        // requests take the pool path and the cache fills as usual.
+        let eng = engine_local(1);
+        let li = generators::matching_instance(2);
+        let request = Request::DecideDuality { g: li.g, h: li.h };
+        let _ = eng.run_one(request.clone());
+        let second = eng.run_one(request);
+        assert!(
+            second.stats.cache_hit,
+            "above-threshold requests still pool"
+        );
+    }
+
+    #[test]
+    fn local_route_skips_streaming_and_mining_kinds() {
+        // Streamed requests and non-`check` kinds never route local, even
+        // with the threshold wide open.
+        let li = generators::matching_instance(2);
+        assert_eq!(
+            exec_route(
+                &Request::DecideDuality {
+                    g: li.g.clone(),
+                    h: li.h.clone()
+                },
+                true, // streamed
+                usize::MAX,
+            ),
+            ExecRoute::Pool
+        );
+        assert_eq!(
+            exec_route(
+                &Request::EnumerateTransversals {
+                    g: li.g.clone(),
+                    limit: Some(1)
+                },
+                false,
+                usize::MAX,
+            ),
+            ExecRoute::Pool
+        );
+        // And the disabled default keeps even tiny checks on the pool.
+        assert_eq!(
+            exec_route(&Request::DecideDuality { g: li.g, h: li.h }, false, 0,),
+            ExecRoute::Pool
+        );
+    }
+
+    #[test]
+    fn serve_session_uses_local_route_inline() {
+        let eng = engine_local(usize::MAX);
+        let input = "check 0,1;2,3 0,2;0,3;1,2;1,3
+check 0,1;2,3 0,2;0,3;1,2
+";
+        let mut out = Vec::new();
+        let summary = eng.serve(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.errors, 0);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains(r#""dual":true"#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""dual":false"#), "{}", lines[1]);
+        // Inline answers never touch the cache.
+        assert_eq!(eng.cache_stats().entries, 0);
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub use engine::{
 };
 pub use fairness::{Bucket, UserBuckets};
 pub use ops::{enumerate_transversals_with, execute_streaming, execute_streaming_with, Execution};
-pub use policy::{FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy};
+pub use policy::{
+    exec_route, ExecRoute, FixedPolicy, SizeThresholdPolicy, SolverKind, SolverPolicy,
+};
 pub use request::Request;
 pub use response::{
     BordersOutcome, EngineError, ErrorCode, Outcome, RequestStats, Response, WitnessSummary,

@@ -7,6 +7,7 @@
 //! Boros–Makino tree solver (fast, polynomial working space) and large ones to
 //! the paper's quadratic-logspace solver (bounded working space).
 
+use crate::request::Request;
 use qld_hypergraph::Hypergraph;
 
 /// The concrete solvers the engine can dispatch to.
@@ -126,5 +127,38 @@ mod tests {
             assert_eq!(SolverKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(SolverKind::from_name("nope"), None);
+    }
+}
+
+/// Where one request executes.
+///
+/// The pool is the default: every request becomes a job on the persistent
+/// worker pool — cache consulted, cancellable, counted in-flight.  The
+/// *local* route answers a request synchronously on the thread that submitted
+/// it: no queue round-trip, no worker handoff, and **no cache participation**
+/// (the cache key — a hex render of every edge word — is never built, which
+/// is most of the fixed overhead on instances too small to ever repeat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecRoute {
+    /// Inline on the submitting session's thread.
+    Local,
+    /// The persistent worker pool.
+    Pool,
+}
+
+/// Routing decision for one request.
+///
+/// `Local` iff in-process execution is enabled (`local_threshold > 0`, see
+/// `EngineConfig::local_threshold`), the request is one-shot (streamed
+/// requests need chunk frames, which only pool jobs emit), and its
+/// [`Request::local_work`] estimate is below the threshold.  Everything else
+/// — all mining/enumeration kinds included — routes to the pool.
+pub fn exec_route(request: &Request, stream: bool, local_threshold: usize) -> ExecRoute {
+    if local_threshold == 0 || stream {
+        return ExecRoute::Pool;
+    }
+    match request.local_work() {
+        Some(work) if work < local_threshold => ExecRoute::Local,
+        _ => ExecRoute::Pool,
     }
 }

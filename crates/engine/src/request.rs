@@ -99,6 +99,24 @@ impl Request {
         }
     }
 
+    /// The work estimate consulted by in-process ("local") routing, in the
+    /// same `|V| · (|G| + |H|)` units as the parallel-split threshold —
+    /// `None` for request kinds that never route local.  Only `check` is
+    /// eligible: a duality decision's cost is readable off its sizes, whereas
+    /// enumeration and mining outputs can be exponential in the input, so a
+    /// "small" request of those kinds may still be arbitrarily expensive.
+    pub fn local_work(&self) -> Option<usize> {
+        match self {
+            Request::DecideDuality { g, h } => Some(
+                g.num_vertices()
+                    .max(h.num_vertices())
+                    .max(1)
+                    .saturating_mul((g.num_edges() + h.num_edges()).max(1)),
+            ),
+            _ => None,
+        }
+    }
+
     /// A canonical cache key: requests that denote the same instance map to
     /// the same key, so the engine's result cache deduplicates normalized
     /// instances, not raw input strings.  `check`/`enumerate` keys normalize

@@ -34,8 +34,7 @@ impl DualitySolver for AssignmentBruteSolver {
             n <= MAX_BRUTE_VERTICES,
             "brute-force assignment solver limited to {MAX_BRUTE_VERTICES} vertices"
         );
-        for mask in 0u64..(1u64 << n) {
-            let t = VertexSet::from_bits(n, mask);
+        for t in VertexSet::all_subsets(n) {
             if let Some(witness) = witness_from_assignment(inst.g(), inst.h(), &t) {
                 return Ok(DualityResult::NotDual(witness));
             }

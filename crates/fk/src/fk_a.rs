@@ -15,8 +15,22 @@
 //! conditional probabilities.
 
 use crate::counterexample::witness_from_assignment;
-use qld_core::{DualError, DualInstance, DualityResult, DualitySolver, ParallelContext};
+#[cfg(feature = "std")]
+use alloc::boxed::Box;
+use alloc::vec;
+use alloc::vec::Vec;
+#[cfg(feature = "std")]
+use qld_core::ParallelContext;
+use qld_core::{DualError, DualInstance, DualityResult, DualitySolver};
 use qld_hypergraph::{Hypergraph, Vertex, VertexSet};
+
+/// The parallel-context handle threaded through the recursion.  Without `std`
+/// no context can exist, so the stand-in is an uninhabited type and the
+/// `Option` is always `None`.
+#[cfg(feature = "std")]
+type ParCtx = ParallelContext;
+#[cfg(not(feature = "std"))]
+type ParCtx = core::convert::Infallible;
 
 /// Statistics of one Fredman–Khachiyan run (used by the experiment harness).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,7 +47,9 @@ pub struct FkASolver {
     /// When set, the top-level self-duality split runs its two independent
     /// subproblems as pool subtasks (both to completion, results merged in
     /// subproblem order, so the counterexample and statistics are
-    /// deterministic at any worker count).
+    /// deterministic at any worker count).  Parallelism needs `std` (pools,
+    /// channels); without the feature the recursion is purely sequential.
+    #[cfg(feature = "std")]
     parallel: Option<ParallelContext>,
 }
 
@@ -44,6 +60,7 @@ impl FkASolver {
     }
 
     /// Enables intra-query parallelism for the top-level split.
+    #[cfg(feature = "std")]
     pub fn with_parallel(mut self, ctx: ParallelContext) -> Self {
         self.parallel = Some(ctx);
         self
@@ -58,8 +75,11 @@ impl FkASolver {
         // Validation (simplicity, common universe) is shared with the other solvers.
         let inst = DualInstance::new(g.clone(), h.clone())?;
         let mut stats = FkStats::default();
-        let counterexample =
-            fk_counterexample(inst.g(), inst.h(), 0, &mut stats, self.parallel.as_ref())?;
+        #[cfg(feature = "std")]
+        let par = self.parallel.as_ref();
+        #[cfg(not(feature = "std"))]
+        let par = None;
+        let counterexample = fk_counterexample(inst.g(), inst.h(), 0, &mut stats, par)?;
         let result = match counterexample {
             None => DualityResult::Dual,
             Some(t) => {
@@ -96,7 +116,7 @@ fn fk_counterexample(
     g: &Hypergraph,
     depth: usize,
     stats: &mut FkStats,
-    par: Option<&ParallelContext>,
+    par: Option<&ParCtx>,
 ) -> Result<Option<VertexSet>, DualError> {
     stats.calls += 1;
     stats.max_depth = stats.max_depth.max(depth);
@@ -153,7 +173,7 @@ fn fk_counterexample(
         .edges()
         .iter()
         .chain(g.edges())
-        .map(|e| 0.5f64.powi(e.len() as i32))
+        .map(|e| pow_half(e.len()))
         .sum();
     if volume < 1.0 {
         return Ok(Some(conditional_probabilities_counterexample(&f, &g, n)));
@@ -174,6 +194,7 @@ fn fk_counterexample(
     let (f0, f1) = split(&f, x, n);
     let (g0, g1) = split(&g, x, n);
 
+    #[cfg(feature = "std")]
     if depth == 0 {
         if let Some(ctx) = par {
             let work = n * (f.num_edges() + g.num_edges());
@@ -182,6 +203,8 @@ fn fk_counterexample(
             }
         }
     }
+    #[cfg(not(feature = "std"))]
+    let _ = (depth, par);
 
     // (i) f₀ dual to g₀ ∨ g₁ ?
     let g01 = union_minimized(&g0, &g1, n);
@@ -208,6 +231,7 @@ fn fk_counterexample(
 /// statistics, and the merge prefers subproblem (i)'s counterexample — so the
 /// returned assignment matches the sequential recursion and the merged
 /// statistics are identical at any worker count.
+#[cfg(feature = "std")]
 #[allow(clippy::too_many_arguments)]
 fn split_parallel(
     ctx: &ParallelContext,
@@ -299,6 +323,20 @@ fn most_frequent_variable(f: &Hypergraph, g: &Hypergraph, n: usize) -> usize {
         .unwrap_or(0)
 }
 
+/// `2^{−k}` as an exact `f64` (powers of two are exactly representable all the
+/// way into the subnormal range).  `f64::powi` lives in `std`, and building
+/// the value from its bit pattern keeps the conditional-probabilities scores
+/// bit-identical between the `std` and `no_std` builds.
+fn pow_half(k: usize) -> f64 {
+    if k <= 1022 {
+        f64::from_bits((1023 - k as u64) << 52)
+    } else if k <= 1074 {
+        f64::from_bits(1u64 << (1074 - k))
+    } else {
+        0.0
+    }
+}
+
 /// Constructs a counterexample when `Σ 2^{−|A|} + Σ 2^{−|B|} < 1` by the method of
 /// conditional probabilities: assign variables one at a time, keeping the expected
 /// number of "violated" terms (an `f`-term fully inside `T`, or a `g`-term fully
@@ -315,7 +353,7 @@ fn conditional_probabilities_counterexample(f: &Hypergraph, g: &Hypergraph, n: u
                 // event: e ⊆ T.  Impossible if some vertex of e is decided false.
                 if in_false == 0 {
                     let undecided = f.index().edge_size(i) - in_t as usize;
-                    total += 0.5f64.powi(undecided as i32);
+                    total += pow_half(undecided);
                 }
             });
         g.index()
@@ -323,7 +361,7 @@ fn conditional_probabilities_counterexample(f: &Hypergraph, g: &Hypergraph, n: u
                 // event: e ⊆ V − T.  Impossible if some vertex of e is decided true.
                 if in_t == 0 {
                     let undecided = g.index().edge_size(i) - in_false as usize;
-                    total += 0.5f64.powi(undecided as i32);
+                    total += pow_half(undecided);
                 }
             });
         total

@@ -13,8 +13,11 @@
 //! These are the comparison points of experiment E4 and the cross-validation oracles
 //! used by the integration tests.
 
+#![cfg_attr(all(not(feature = "std"), not(test)), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+extern crate alloc;
 
 pub mod assignment;
 pub mod berge;

@@ -58,6 +58,9 @@ OPTIONS:
                        the shared pool once its work size |V|*(|G|+|H|)
                        reaches N (default 32768; 0 = always split, a huge N
                        disables intra-query parallelism)
+  --local-threshold N  answer a one-shot check request inline on its session
+                       thread (no pool round-trip, no cache) when its work
+                       size |V|*(|G|+|H|) is below N (default 0 = disabled)
   --queue CAP          bounded submission queue capacity (default 256)
   --no-cache           disable the result cache
   --cache-capacity N   LRU result-cache entry bound (default 65536)
@@ -149,6 +152,7 @@ fn main() -> ExitCode {
 struct Options {
     workers: Option<usize>,
     parallel_threshold: Option<usize>,
+    local_threshold: Option<usize>,
     queue: usize,
     cache: bool,
     cache_capacity: Option<usize>,
@@ -183,6 +187,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         workers: None,
         parallel_threshold: None,
+        local_threshold: None,
         queue: 256,
         cache: true,
         cache_capacity: None,
@@ -226,6 +231,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.parallel_threshold = Some(parse_num(
                     &value_of("--parallel-threshold")?,
                     "--parallel-threshold",
+                )?)
+            }
+            "--local-threshold" => {
+                opts.local_threshold = Some(parse_num(
+                    &value_of("--local-threshold")?,
+                    "--local-threshold",
                 )?)
             }
             "--queue" => opts.queue = parse_num(&value_of("--queue")?, "--queue")?,
@@ -351,6 +362,7 @@ fn engine_from(opts: &Options) -> Engine {
         parallel_threshold: opts
             .parallel_threshold
             .unwrap_or(defaults.parallel_threshold),
+        local_threshold: opts.local_threshold.unwrap_or(defaults.local_threshold),
     })
 }
 

@@ -1,4 +1,4 @@
-//! The experiment suite (E2–E15).
+//! The experiment suite (E2–E16).
 //!
 //! Each function reproduces one of the paper claims listed in `DESIGN.md` /
 //! `EXPERIMENTS.md` and returns a [`Table`]; the `experiments` binary prints them, and
@@ -20,10 +20,10 @@ use std::time::Instant;
 
 /// Identifiers of all experiments, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
 ];
 
-/// Runs one experiment by identifier (`"e2"` … `"e15"`).
+/// Runs one experiment by identifier (`"e2"` … `"e16"`).
 pub fn run(id: &str) -> Option<Table> {
     match id {
         "e2" => Some(e2_tree_shape()),
@@ -40,6 +40,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e13" => Some(e13_streaming()),
         "e14" => Some(e14_fleet()),
         "e15" => Some(e15_parallel()),
+        "e16" => Some(e16_local()),
         _ => None,
     }
 }
@@ -1256,6 +1257,133 @@ pub fn e15_parallel() -> Table {
     table
 }
 
+/// One small duality instance asked one-shot through both execution routes:
+/// the persistent worker pool and the in-process local route
+/// (`EngineConfig::local_threshold`).
+pub struct LocalMeasurement {
+    /// Workload label.
+    pub name: String,
+    /// The request's [`qld_engine::Request::local_work`] routing estimate.
+    pub work: usize,
+    /// Mean per-ask latency through the pool round-trip, microseconds.
+    pub pool_us: f64,
+    /// Mean per-ask latency through the in-process route, microseconds.
+    pub local_us: f64,
+    /// The local answer matched the pool answer and bypassed the cache.
+    pub matches: bool,
+}
+
+impl LocalMeasurement {
+    /// Pool latency over local latency — above 1 the local route wins.
+    pub fn speedup(&self) -> f64 {
+        self.pool_us / self.local_us.max(1e-9)
+    }
+
+    /// One JSON object for the bench trajectory file.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"work\":{},\"pool_us\":{:.2},\"local_us\":{:.2},\"speedup\":{:.2},\"matches\":{}}}",
+            self.name,
+            self.work,
+            self.pool_us,
+            self.local_us,
+            self.speedup(),
+            self.matches
+        )
+    }
+}
+
+/// Shared by E16 and the `e16_local` bench: sub-threshold one-shot duality
+/// checks on two single-worker engines that differ only in
+/// `local_threshold` — `0` (everything through the pool) vs. `usize::MAX`
+/// (every `check` answered inline on the submitting thread).  Caches are off
+/// on both, so each ask pays the full decision; the difference is purely the
+/// submission path (queue hop, worker wakeup, cache-key render).  Every local
+/// answer is cross-checked against the pool answer.
+pub fn measure_local(iters: usize) -> Vec<LocalMeasurement> {
+    use qld_engine::{Engine, EngineConfig, Request};
+    use qld_hypergraph::generators;
+
+    let mut instances: Vec<(String, Request)> = Vec::new();
+    for scale in [2usize, 3, 4] {
+        let li = generators::matching_instance(scale);
+        instances.push((
+            format!("matching-{scale}"),
+            Request::DecideDuality { g: li.g, h: li.h },
+        ));
+    }
+    let li = generators::matching_instance(3);
+    let mut broken = li.h.clone();
+    broken.remove_edge(1);
+    instances.push((
+        "matching-3-broken".to_string(),
+        Request::DecideDuality { g: li.g, h: broken },
+    ));
+
+    let make = |local_threshold: usize| {
+        Engine::new(EngineConfig {
+            workers: 1,
+            cache: false,
+            local_threshold,
+            ..EngineConfig::default()
+        })
+    };
+    let pool_engine = make(0);
+    let local_engine = make(usize::MAX);
+
+    let iters = iters.max(1);
+    let mut out = Vec::new();
+    for (name, request) in instances {
+        let work = request.local_work().unwrap_or(0);
+        // One warm-up ask per engine doubles as the agreement check.
+        let base = pool_engine.run_one(request.clone());
+        let inline = local_engine.run_one(request.clone());
+        let matches = base.is_ok() && base.outcome == inline.outcome && !inline.stats.cache_hit;
+        let time = |engine: &Engine| {
+            let started = Instant::now();
+            for _ in 0..iters {
+                let response = engine.run_one(request.clone());
+                assert!(response.is_ok(), "{name}: ask failed during timing");
+            }
+            started.elapsed().as_secs_f64() * 1e6 / iters as f64
+        };
+        let pool_us = time(&pool_engine);
+        let local_us = time(&local_engine);
+        out.push(LocalMeasurement {
+            name,
+            work,
+            pool_us,
+            local_us,
+            matches,
+        });
+    }
+    out
+}
+
+/// E16 — one-shot small-instance latency: the in-process local route
+/// (answering sub-threshold `check`s on the session thread) vs. the pool
+/// round-trip.  Agreement with the pool answer is part of the table.
+pub fn e16_local() -> Table {
+    let mut table = Table::new(
+        "E16",
+        "In-process local route vs. pool round-trip, one-shot small checks",
+        &[
+            "instance", "work", "pool-us", "local-us", "speedup", "matches",
+        ],
+    );
+    for m in measure_local(40) {
+        table.push_row(vec![
+            m.name.clone(),
+            m.work.to_string(),
+            f2(m.pool_us),
+            f2(m.local_us),
+            f2(m.speedup()),
+            mark(m.matches),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1302,6 +1430,18 @@ mod tests {
         for m in &ms {
             let json = m.to_json();
             assert!(json.contains("\"subtasks_stolen\""), "{json}");
+        }
+    }
+
+    #[test]
+    fn e16_local_route_agrees_with_pool() {
+        let ms = measure_local(3);
+        assert_eq!(ms.len(), 4);
+        for m in &ms {
+            assert!(m.matches, "{}: local answer diverged from pool", m.name);
+            assert!(m.work > 0, "{}: no local_work estimate", m.name);
+            assert!(m.pool_us > 0.0 && m.local_us > 0.0);
+            assert!(m.to_json().contains("\"speedup\""), "{}", m.to_json());
         }
     }
 

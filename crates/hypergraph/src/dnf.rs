@@ -11,7 +11,11 @@
 use crate::hypergraph::Hypergraph;
 use crate::vertex::Vertex;
 use crate::vset::VertexSet;
-use std::fmt;
+use alloc::format;
+use alloc::string::String;
+use alloc::vec;
+use alloc::vec::Vec;
+use core::fmt;
 
 /// A monotone DNF formula `t₁ ∨ t₂ ∨ …` where each term `tᵢ` is a conjunction of
 /// positive variables, represented as the set of its variable indices.
@@ -110,8 +114,7 @@ impl MonotoneDnf {
         let f_hg = self.to_hypergraph();
         let g_hg = g.to_hypergraph();
         let (f_idx, g_idx) = (f_hg.index(), g_hg.index());
-        for mask in 0u64..(1u64 << n) {
-            let x = VertexSet::from_bits(n, mask);
+        for x in VertexSet::all_subsets(n) {
             let not_x = x.complement(n);
             if f_idx.evaluate_dnf(&x) == g_idx.evaluate_dnf(&not_x) {
                 return false;

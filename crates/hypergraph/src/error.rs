@@ -1,6 +1,7 @@
 //! Error types for hypergraph validation.
 
-use std::fmt;
+use alloc::string::String;
+use core::fmt;
 
 /// Errors produced while validating hypergraphs and DNFs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +53,7 @@ impl fmt::Display for HypergraphError {
     }
 }
 
-impl std::error::Error for HypergraphError {}
+impl core::error::Error for HypergraphError {}
 
 #[cfg(test)]
 mod tests {
@@ -80,7 +81,7 @@ mod tests {
 
     #[test]
     fn is_std_error() {
-        fn assert_err<E: std::error::Error>() {}
+        fn assert_err<E: core::error::Error>() {}
         assert_err::<HypergraphError>();
     }
 }

@@ -14,6 +14,9 @@
 use crate::error::HypergraphError;
 use crate::hypergraph::Hypergraph;
 use crate::vset::VertexSet;
+use alloc::format;
+use alloc::string::{String, ToString};
+use alloc::vec::Vec;
 
 /// Serializes a hypergraph into the line-oriented text format.
 pub fn to_text(h: &Hypergraph) -> String {

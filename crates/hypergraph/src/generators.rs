@@ -9,6 +9,9 @@ use crate::hypergraph::Hypergraph;
 use crate::transversal::minimal_transversals;
 use crate::vertex::Vertex;
 use crate::vset::VertexSet;
+use alloc::format;
+use alloc::string::String;
+use alloc::vec::Vec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -181,7 +184,7 @@ pub fn self_dual_instance(k: usize) -> LabelledInstance {
 pub fn random_simple_hypergraph(
     n: usize,
     m: usize,
-    size_range: std::ops::RangeInclusive<usize>,
+    size_range: core::ops::RangeInclusive<usize>,
     seed: u64,
 ) -> Hypergraph {
     let mut rng = StdRng::seed_from_u64(seed);

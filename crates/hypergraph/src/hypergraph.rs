@@ -4,8 +4,12 @@ use crate::error::HypergraphError;
 use crate::index::HypergraphIndex;
 use crate::vertex::Vertex;
 use crate::vset::VertexSet;
-use std::fmt;
-use std::sync::OnceLock;
+use alloc::boxed::Box;
+use alloc::string::{String, ToString};
+use alloc::vec;
+use alloc::vec::Vec;
+use core::fmt;
+use oncecell::OnceCell;
 
 /// A finite hypergraph: a family of hyperedges (vertex sets) over the universe
 /// `{0, …, num_vertices-1}`.
@@ -24,7 +28,7 @@ pub struct Hypergraph {
     /// Not part of the hypergraph's value: cloning, comparing, and hashing ignore it,
     /// and any mutation resets it.  Boxed so an unbuilt cache costs one pointer, not
     /// an inline index struct, in every `Hypergraph` move.
-    index: OnceLock<Box<HypergraphIndex>>,
+    index: OnceCell<Box<HypergraphIndex>>,
 }
 
 impl Clone for Hypergraph {
@@ -34,7 +38,7 @@ impl Clone for Hypergraph {
         Hypergraph {
             num_vertices: self.num_vertices,
             edges: self.edges.clone(),
-            index: OnceLock::new(),
+            index: OnceCell::new(),
         }
     }
 }
@@ -47,8 +51,8 @@ impl PartialEq for Hypergraph {
 
 impl Eq for Hypergraph {}
 
-impl std::hash::Hash for Hypergraph {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+impl core::hash::Hash for Hypergraph {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
         self.num_vertices.hash(state);
         self.edges.hash(state);
     }
@@ -60,7 +64,7 @@ impl Hypergraph {
         Hypergraph {
             num_vertices,
             edges: Vec::new(),
-            index: OnceLock::new(),
+            index: OnceCell::new(),
         }
     }
 
@@ -136,7 +140,7 @@ impl Hypergraph {
         Hypergraph {
             num_vertices,
             edges,
-            index: OnceLock::new(),
+            index: OnceCell::new(),
         }
     }
 
@@ -171,7 +175,7 @@ impl Hypergraph {
             e.grow(self.num_vertices);
         }
         self.edges.push(edge);
-        self.index = OnceLock::new();
+        self.index = OnceCell::new();
     }
 
     /// Whether `edge` occurs in the hypergraph (as a set).
@@ -375,7 +379,7 @@ impl Hypergraph {
 
     /// Removes the edge at position `i` and returns it.
     pub fn remove_edge(&mut self, i: usize) -> VertexSet {
-        self.index = OnceLock::new();
+        self.index = OnceCell::new();
         self.edges.remove(i)
     }
 

@@ -22,6 +22,8 @@
 
 use crate::vertex::Vertex;
 use crate::vset::VertexSet;
+use alloc::vec;
+use alloc::vec::Vec;
 
 const WORD_BITS: usize = 64;
 

@@ -26,8 +26,11 @@
 //! crates (`qld-datamining`, `qld-keys`, `qld-coteries`) encode the reductions of
 //! Propositions 1.1–1.3.
 
+#![cfg_attr(all(not(feature = "std"), not(test)), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+extern crate alloc;
 
 pub mod dnf;
 pub mod error;

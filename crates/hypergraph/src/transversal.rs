@@ -9,6 +9,8 @@
 
 use crate::hypergraph::Hypergraph;
 use crate::vset::VertexSet;
+use alloc::vec;
+use alloc::vec::Vec;
 
 /// Computes the set of all minimal transversals `tr(H)` by Berge multiplication.
 ///
@@ -148,8 +150,7 @@ pub fn all_transversals_brute(h: &Hypergraph) -> Vec<VertexSet> {
     let n = h.num_vertices();
     assert!(n <= 20, "brute-force enumeration limited to 20 vertices");
     let mut out = Vec::new();
-    for mask in 0u32..(1u32 << n) {
-        let t = VertexSet::from_bits(n, mask as u64);
+    for t in VertexSet::all_subsets(n) {
         if h.is_transversal(&t) {
             out.push(t);
         }

@@ -5,7 +5,7 @@
 //! indices from being confused with edge indices or attribute positions in the
 //! surrounding code, at zero runtime cost.
 
-use std::fmt;
+use core::fmt;
 
 /// A vertex identifier.
 ///

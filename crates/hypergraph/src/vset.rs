@@ -16,8 +16,10 @@
 //! `INLINE_BITS` boundary converts inline sets to spilled ones in place.
 
 use crate::vertex::Vertex;
-use std::cmp::Ordering;
-use std::fmt;
+use alloc::vec;
+use alloc::vec::Vec;
+use core::cmp::Ordering;
+use core::fmt;
 
 const WORD_BITS: usize = 64;
 
@@ -57,7 +59,7 @@ pub struct VertexSet {
     capacity: usize,
 }
 
-impl std::cmp::Eq for VertexSet {}
+impl core::cmp::Eq for VertexSet {}
 
 /// Number of words needed for a universe of `capacity` bits (at least one).
 #[inline]
@@ -118,6 +120,22 @@ impl VertexSet {
         }
     }
 
+    /// Iterates **every** subset of an `n`-vertex universe in mask order
+    /// (`∅` first, the full set last).  This is the one shared enumeration
+    /// behind the exhaustive ground-truth loops — all transversals, semantic
+    /// DNF duality, itemset borders, minimal keys — which each add their own
+    /// (tighter) size guard before walking the `2ⁿ` sets.
+    ///
+    /// Panics if `n` exceeds 24: a larger universe means at least 16M
+    /// iterations, past which the algorithmic solvers must be used instead.
+    pub fn all_subsets(n: usize) -> impl Iterator<Item = VertexSet> + Clone {
+        assert!(
+            n <= 24,
+            "exhaustive subset enumeration limited to 24 vertices"
+        );
+        (0u64..(1u64 << n)).map(move |mask| VertexSet::from_bits(n, mask))
+    }
+
     /// The set's members as a single bitmask, when the universe fits one word.
     #[inline]
     pub fn as_bits(&self) -> Option<u64> {
@@ -132,7 +150,7 @@ impl VertexSet {
     #[inline]
     pub fn as_words(&self) -> &[u64] {
         match &self.repr {
-            Repr::Inline(w) => std::slice::from_ref(w),
+            Repr::Inline(w) => core::slice::from_ref(w),
             Repr::Spilled(words) => words,
         }
     }
@@ -140,7 +158,7 @@ impl VertexSet {
     #[inline]
     fn words_mut(&mut self) -> &mut [u64] {
         match &mut self.repr {
-            Repr::Inline(w) => std::slice::from_mut(w),
+            Repr::Inline(w) => core::slice::from_mut(w),
             Repr::Spilled(words) => words,
         }
     }
@@ -236,7 +254,7 @@ impl VertexSet {
     pub fn iter(&self) -> impl Iterator<Item = Vertex> + '_ {
         self.as_words().iter().enumerate().flat_map(|(wi, &word)| {
             let mut bits = word;
-            std::iter::from_fn(move || {
+            core::iter::from_fn(move || {
                 if bits == 0 {
                     None
                 } else {
@@ -485,8 +503,8 @@ impl PartialEq for VertexSet {
     }
 }
 
-impl std::hash::Hash for VertexSet {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+impl core::hash::Hash for VertexSet {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
         // Hash only up to the last non-zero word so that equal sets over different
         // universes (and representations) hash identically, consistent with PartialEq.
         let words = self.as_words();
@@ -570,6 +588,19 @@ mod tests {
         assert!(f.contains(Vertex::new(0)));
         assert!(f.contains(Vertex::new(9)));
         assert!(!f.contains(Vertex::new(10)));
+    }
+
+    #[test]
+    fn all_subsets_enumerates_the_lattice_once() {
+        let subsets: alloc::vec::Vec<VertexSet> = VertexSet::all_subsets(4).collect();
+        assert_eq!(subsets.len(), 16);
+        assert!(subsets[0].is_empty());
+        assert_eq!(subsets[15], VertexSet::full(4));
+        for (mask, s) in subsets.iter().enumerate() {
+            assert_eq!(s.as_bits(), Some(mask as u64));
+        }
+        // The degenerate universe still yields its one (empty) subset.
+        assert_eq!(VertexSet::all_subsets(0).count(), 1);
     }
 
     #[test]
@@ -725,8 +756,8 @@ mod tests {
         let a = VertexSet::from_indices(5, [1, 2]);
         let b = VertexSet::from_indices(100, [1, 2]);
         assert_eq!(a, b);
+        use core::hash::{Hash, Hasher};
         use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
         let mut ha = DefaultHasher::new();
         let mut hb = DefaultHasher::new();
         a.hash(&mut ha);

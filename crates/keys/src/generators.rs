@@ -1,6 +1,7 @@
 //! Synthetic relational instances for tests, examples, and experiments.
 
 use crate::instance::RelationInstance;
+use alloc::vec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

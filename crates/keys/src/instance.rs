@@ -5,8 +5,11 @@
 //! symbolic values.  A set of attributes `K` is a **key** if no two distinct rows agree
 //! on all attributes of `K`; the interesting objects are the *minimal* keys.
 
+use alloc::string::String;
+use alloc::string::ToString;
+use alloc::vec::Vec;
+use core::fmt;
 use qld_hypergraph::{Vertex, VertexSet};
-use std::fmt;
 
 /// An explicitly given relational instance: rows of symbolic (integer-coded) values
 /// over a fixed list of attributes.

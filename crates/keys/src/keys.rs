@@ -8,6 +8,7 @@
 //! connects key discovery to the `DUAL` problem.
 
 use crate::instance::RelationInstance;
+use alloc::vec::Vec;
 use qld_hypergraph::transversal::minimal_transversals;
 use qld_hypergraph::{Hypergraph, VertexSet};
 
@@ -64,8 +65,7 @@ pub fn minimal_keys_brute(r: &RelationInstance) -> Hypergraph {
         "brute-force key enumeration limited to 20 attributes"
     );
     let mut keys = Vec::new();
-    for mask in 0u64..(1u64 << n) {
-        let s = VertexSet::from_bits(n, mask);
+    for s in VertexSet::all_subsets(n) {
         if r.is_minimal_key(&s) {
             keys.push(s);
         }

@@ -11,8 +11,11 @@
 //!   (`K = tr(D(R))`?), with a concrete new minimal key recovered from the duality
 //!   witness, and the incremental enumeration of all minimal keys it enables.
 
+#![cfg_attr(all(not(feature = "std"), not(test)), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+extern crate alloc;
 
 pub mod additional_key;
 pub mod generators;

@@ -20,8 +20,11 @@
 //! `qld-core` builds the `pathnode` / `decompose` algorithms of Section 4 on top of
 //! these primitives.
 
+#![cfg_attr(all(not(feature = "std"), not(test)), no_std)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+extern crate alloc;
 
 pub mod meter;
 pub mod model;

@@ -9,8 +9,8 @@
 //! inputs (the hypergraphs `G` and `H`) are *not* charged, and neither are emitted
 //! outputs, mirroring the Turing-machine model of the paper.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use alloc::rc::Rc;
+use core::cell::RefCell;
 
 #[derive(Debug, Default)]
 struct MeterState {

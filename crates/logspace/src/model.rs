@@ -6,6 +6,8 @@
 //! can be regenerated (E1) and the partial-order claims (Theorem 5.2) can be checked
 //! programmatically.
 
+use alloc::vec;
+use alloc::vec::Vec;
 use serde::{Deserialize, Serialize};
 
 /// The complexity classes appearing in Figure 1 of the paper.

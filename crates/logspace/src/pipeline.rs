@@ -20,6 +20,7 @@
 
 use crate::meter::{bits_for, SpaceMeter};
 use crate::register::LogRegister;
+use alloc::vec::Vec;
 
 /// Read access to a (virtual) sequence of small items.
 ///

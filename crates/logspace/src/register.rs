@@ -7,6 +7,7 @@
 //! as it lives, and releases them on drop.
 
 use crate::meter::{bits_for, SpaceMeter};
+use alloc::vec::Vec;
 
 /// A single metered register holding a value in `0..=max_value`.
 #[derive(Debug)]

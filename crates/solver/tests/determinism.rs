@@ -1,0 +1,73 @@
+//! Feature-determinism: the facade's answers are byte-identical whether the
+//! solver stack is built with its default `std` feature or as `no_std` +
+//! `alloc` (`--no-default-features`).
+//!
+//! The `std` feature only adds intra-query parallelism plumbing; the decision
+//! procedures themselves are feature-free.  To catch any accidental
+//! divergence (a float shim, a collection swap, a cfg'd code path changing an
+//! answer or witness), this test renders a transcript of solver outputs over
+//! a fixed instance corpus and compares its FNV-1a digest against a golden
+//! value.  CI runs the same test twice — `cargo test -p qld-solver` and
+//! `cargo test -p qld-solver --no-default-features` — and both must see the
+//! same digest.
+
+use core::fmt::Write as _;
+
+use qld_solver::hypergraph::generators::standard_corpus;
+use qld_solver::{
+    borders_exact, BergeSolver, DualitySolver, FkASolver, QuadLogspaceSolver, SpaceStrategy,
+};
+
+/// FNV-1a over the transcript bytes: tiny, dependency-free, and stable across
+/// platforms and feature settings.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders every solver's answer (and witness, when non-dual) on every corpus
+/// instance, plus a border-mining run, into one canonical string.
+fn transcript() -> String {
+    let mut out = String::new();
+    let chain = QuadLogspaceSolver::new(SpaceStrategy::MaterializeChain);
+    let recompute = QuadLogspaceSolver::new(SpaceStrategy::Recompute);
+    let fk = FkASolver::new();
+    let berge = BergeSolver;
+    for inst in standard_corpus() {
+        for (name, result) in [
+            ("chain", chain.decide(&inst.g, &inst.h)),
+            ("recompute", recompute.decide(&inst.g, &inst.h)),
+            ("fk-a", fk.decide(&inst.g, &inst.h)),
+            ("berge", berge.decide(&inst.g, &inst.h)),
+        ] {
+            let result = result.expect("corpus instances are valid");
+            writeln!(out, "{}/{}: {:?}", inst.name, name, result).unwrap();
+        }
+    }
+    // Border mining exercises the datamining reduction end to end.
+    let rel = qld_solver::datamining::generators::random_relation(8, 24, 0.45, 7);
+    let borders = borders_exact(&rel, 6);
+    writeln!(out, "borders: {:?}", borders).unwrap();
+    out
+}
+
+#[test]
+fn transcript_digest_matches_golden() {
+    let t = transcript();
+    let digest = fnv1a(t.as_bytes());
+    // Golden digest of the transcript.  If an intentional algorithm change
+    // shifts it, re-record by running with `QLD_PRINT_DIGEST=1`; an
+    // *unintentional* shift — in particular one that appears only under
+    // `--no-default-features` — is a determinism regression.
+    if std::env::var_os("QLD_PRINT_DIGEST").is_some() {
+        eprintln!("transcript digest: {digest:#018x}");
+        eprintln!("{t}");
+    }
+    assert_eq!(digest, GOLDEN, "solver transcript diverged from golden");
+}
+
+const GOLDEN: u64 = 0x9ac1_f3b8_1fdc_48b8;

@@ -1,0 +1,200 @@
+//! Offline stand-in for a thread-safe once cell (the build environment has no
+//! access to crates.io, and `std::sync::OnceLock` is unavailable to `no_std`
+//! solver crates).
+//!
+//! This is a minimal spin-style [`OnceCell`] in the same offline-shim spirit
+//! as `shims/signal` and `shims/epoll`: exactly the surface the workspace
+//! needs — lazy one-time initialization with [`OnceCell::get_or_init`], reset
+//! by replacing the cell with [`OnceCell::new`] — and nothing more.  The
+//! `qld-hypergraph` crate uses it to cache a lazily built query index that is
+//! invalidated (cell replaced) on mutation, a contract `std::sync::OnceLock`
+//! used to provide.
+//!
+//! Synchronization model: a single atomic state word (`EMPTY → BUSY → READY`)
+//! guards an [`UnsafeCell`] slot.  Writers race through a compare-exchange on
+//! `EMPTY`; the winner runs the initializer and publishes with a `Release`
+//! store, losers spin (with a platform pause hint) until the `READY` state is
+//! visible and then read the slot.  On targets without atomic spin progress
+//! guarantees this is still correct — merely slower under contention — and on
+//! the single-threaded `wasm32-unknown-unknown` target the busy state is
+//! unobservable, so no deadlock is possible there: the one thread that set
+//! `BUSY` is the one running the initializer.
+//!
+//! The cell is deliberately *not* poison-aware: if an initializer panics, the
+//! state word stays `BUSY` forever and other threads spin.  The workspace's
+//! initializers are pure index builds that do not panic on valid inputs, and
+//! the simplicity keeps the unsafe surface auditable.
+
+#![cfg_attr(not(test), no_std)]
+#![warn(missing_docs)]
+
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicU8, Ordering};
+
+const EMPTY: u8 = 0;
+const BUSY: u8 = 1;
+const READY: u8 = 2;
+
+/// A thread-safe cell that can be written to at most once, usable from
+/// `no_std` code (the stand-in for `std::sync::OnceLock`).
+pub struct OnceCell<T> {
+    state: AtomicU8,
+    slot: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: the state machine guarantees the slot is written exactly once
+// (by the thread that wins the EMPTY→BUSY compare-exchange) before any
+// reader observes READY via an Acquire load, so shared references handed
+// out by `get`/`get_or_init` always point at fully initialized, immutable
+// data.  `T: Send` is required because the value may be dropped on a
+// different thread than the one that created it.
+unsafe impl<T: Send + Sync> Sync for OnceCell<T> {}
+unsafe impl<T: Send> Send for OnceCell<T> {}
+
+impl<T> OnceCell<T> {
+    /// Creates an empty cell.
+    #[allow(clippy::new_without_default)]
+    pub const fn new() -> Self {
+        OnceCell {
+            state: AtomicU8::new(EMPTY),
+            slot: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// The stored value, if the cell has been initialized.
+    pub fn get(&self) -> Option<&T> {
+        if self.state.load(Ordering::Acquire) == READY {
+            // SAFETY: READY is only published (Release) after the slot was
+            // fully written, and the slot is never written again.
+            Some(unsafe { (*self.slot.get()).assume_init_ref() })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the stored value, running `init` to create it if the cell is
+    /// still empty.  Exactly one caller's `init` runs; concurrent callers
+    /// spin until the winner publishes and then share the same value.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, init: F) -> &T {
+        if let Some(v) = self.get() {
+            return v;
+        }
+        match self
+            .state
+            .compare_exchange(EMPTY, BUSY, Ordering::Acquire, Ordering::Acquire)
+        {
+            Ok(_) => {
+                // This thread owns initialization.
+                let value = init();
+                // SAFETY: state is BUSY, so no other thread reads or writes
+                // the slot until READY is published below.
+                unsafe { (*self.slot.get()).write(value) };
+                self.state.store(READY, Ordering::Release);
+                // SAFETY: just initialized above.
+                unsafe { (*self.slot.get()).assume_init_ref() }
+            }
+            Err(_) => {
+                // Another thread is initializing (or already did); wait for
+                // the READY publication.
+                loop {
+                    if self.state.load(Ordering::Acquire) == READY {
+                        // SAFETY: READY implies a completed write (see `get`).
+                        return unsafe { (*self.slot.get()).assume_init_ref() };
+                    }
+                    core::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for OnceCell<T> {
+    fn drop(&mut self) {
+        if *self.state.get_mut() == READY {
+            // SAFETY: READY implies the slot holds an initialized value, and
+            // `&mut self` means no other reference to it can exist.
+            unsafe { self.slot.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OnceCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.get() {
+            Some(v) => f.debug_tuple("OnceCell").field(v).finish(),
+            None => f.write_str("OnceCell(<empty>)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::OnceCell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_empty_and_initializes_once() {
+        let cell: OnceCell<u64> = OnceCell::new();
+        assert!(cell.get().is_none());
+        assert_eq!(*cell.get_or_init(|| 41 + 1), 42);
+        // A second initializer never runs.
+        assert_eq!(*cell.get_or_init(|| unreachable!()), 42);
+        assert_eq!(cell.get(), Some(&42));
+    }
+
+    #[test]
+    fn replacing_the_cell_resets_it() {
+        let mut cell: OnceCell<u64> = OnceCell::new();
+        cell.get_or_init(|| 1);
+        cell = OnceCell::new();
+        assert!(cell.get().is_none());
+        assert_eq!(*cell.get_or_init(|| 2), 2);
+    }
+
+    #[test]
+    fn drops_the_value_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let cell: OnceCell<Probe> = OnceCell::new();
+            cell.get_or_init(|| Probe);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        // An empty cell drops nothing.
+        {
+            let _cell: OnceCell<Probe> = OnceCell::new();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_initialization_yields_one_value() {
+        for _ in 0..64 {
+            let cell = Arc::new(OnceCell::<usize>::new());
+            let runs = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let cell = Arc::clone(&cell);
+                    let runs = Arc::clone(&runs);
+                    std::thread::spawn(move || {
+                        *cell.get_or_init(|| {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            i
+                        })
+                    })
+                })
+                .collect();
+            let values: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert_eq!(runs.load(Ordering::SeqCst), 1, "one initializer ran");
+            assert!(values.windows(2).all(|w| w[0] == w[1]), "all saw one value");
+        }
+    }
+}

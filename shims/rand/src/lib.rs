@@ -7,6 +7,7 @@
 //! is deterministic in the seed and stable across runs and platforms — which is
 //! all the workloads and tests rely on.
 
+#![cfg_attr(not(test), no_std)]
 #![forbid(unsafe_code)]
 
 /// Minimal core RNG interface: a source of uniform 64-bit words.

@@ -5,6 +5,7 @@
 //! traits with blanket implementations and re-exports no-op derive macros; no
 //! actual serialization framework is included.
 
+#![cfg_attr(not(test), no_std)]
 #![forbid(unsafe_code)]
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -93,8 +93,61 @@ impl ModelLru {
     }
 }
 
+/// The hex token of a spilled set renders words low-first with trailing zero
+/// words trimmed; the exact strings at both ends of a 3-word universe pin the
+/// encoding down (a change here silently splits every persisted cache).
+#[test]
+fn spilled_tokens_trim_trailing_zero_words() {
+    let low = Hypergraph::from_edges(129, [VertexSet::from_indices(129, [0])]);
+    let high = Hypergraph::from_edges(129, [VertexSet::from_indices(129, [128])]);
+    let low_key = Request::EnumerateTransversals {
+        g: low,
+        limit: None,
+    }
+    .cache_key();
+    let high_key = Request::EnumerateTransversals {
+        g: high,
+        limit: None,
+    }
+    .cache_key();
+    assert_eq!(low_key, "enumerate n=129:1 limit=all");
+    assert_eq!(high_key, "enumerate n=129:0.0.1 limit=all");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cache keys are permutation-invariant at the word boundaries of the
+    /// set representation: re-asking the same edge family with edges in a
+    /// different order yields the byte-identical key at universes of
+    /// 63/64/65/127/128/129 vertices (inline, exactly-one-word, and spilled
+    /// multi-word sets, around both the 64- and 128-bit seams).
+    #[test]
+    fn cache_keys_canonical_at_word_boundaries(
+        raw in prop::collection::vec(prop::collection::vec(0usize..129, 1usize..6), 1usize..5),
+        rot in 0usize..4,
+    ) {
+        for n in [63usize, 64, 65, 127, 128, 129] {
+            let edges: Vec<VertexSet> = raw
+                .iter()
+                .map(|e| VertexSet::from_indices(n, e.iter().map(|&v| v % n)))
+                .collect();
+            let g = Hypergraph::from_edges(n, edges.clone());
+            let base = Request::DecideDuality { g: g.clone(), h: g.clone() }.cache_key();
+            let mut reversed = edges.clone();
+            reversed.reverse();
+            let mut rotated = edges.clone();
+            rotated.rotate_left(rot % edges.len());
+            for perm in [reversed, rotated] {
+                let pg = Hypergraph::from_edges(n, perm);
+                let key = Request::DecideDuality { g: pg.clone(), h: pg }.cache_key();
+                prop_assert!(
+                    key == base,
+                    "permuted re-ask split the cache at n={n}: {key} vs {base}"
+                );
+            }
+        }
+    }
 
     /// Cache-on and cache-off engines agree on batches with duplicates, and
     /// both agree with the exact dual for honest instances.

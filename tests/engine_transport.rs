@@ -360,3 +360,50 @@ check 0,1;2,3 0,2;0,3;1,2;1,3
         "solver overrides must not share cache entries with routed requests"
     );
 }
+
+/// The readiness-loop (socket) sessions route sub-threshold checks inline
+/// through [`qld_engine::ExecRoute::Local`], exactly like the threaded
+/// feeder: same answers, nothing cached.
+#[cfg(unix)]
+mod socket_local_route {
+    use super::*;
+    use qld_engine::SocketServer;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn socket_session_answers_local_checks_inline() {
+        let path =
+            std::env::temp_dir().join(format!("qld-test-local-route-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let eng = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            local_threshold: usize::MAX,
+            ..EngineConfig::default()
+        }));
+        let server = SocketServer::bind(&path).unwrap();
+        let handle = server.shutdown_handle();
+        let eng_ref = Arc::clone(&eng);
+        let runner = thread::spawn(move || server.run(&eng_ref, ServeOptions::default()));
+
+        let mut stream = UnixStream::connect(&path).unwrap();
+        stream
+            .write_all(
+                b"check 0,1;2,3 0,2;0,3;1,2;1,3 id=local\ncheck 0,1;2,3 0,2;0,3;1,2 id=nondual\n",
+            )
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let lines: Vec<String> = BufReader::new(stream).lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains(r#""client_id":"local""#));
+        assert!(lines[0].contains(r#""dual":true"#));
+        assert!(lines[1].contains(r#""dual":false"#));
+        // Inline answers never populate the engine cache.
+        assert_eq!(eng.cache_stats().entries, 0);
+
+        handle.shutdown();
+        let _ = UnixStream::connect(&path); // wake the accept loop
+        runner.join().unwrap().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}
