@@ -1,0 +1,90 @@
+//! E17 — single-flight request coalescing: a barrier-released stampede of K
+//! identical slow one-shot requests against a fresh cached engine, with the
+//! flight layer off vs. on, via `qld_harness::experiments::measure_coalesce`.
+//!
+//! Besides the Criterion timings, every run appends one JSON line to
+//! `target/e17_coalesce.json` — the trajectory across commits.  The line
+//! carries a top-level `"coalesce_wins"` verdict: true iff the coalesced
+//! stampede executed the solver exactly once, at least one duplicate attached
+//! to the flight, every response agreed, and the uncoalesced run executed at
+//! least as often.  Set `E17_SMOKE=1` to skip the Criterion windows and
+//! record one fast measurement (the CI smoke mode).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use qld_harness::experiments::{coalesce_wins, measure_coalesce};
+
+const K: usize = 8;
+
+fn smoke() -> bool {
+    std::env::var("E17_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn bench_stampede(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_coalesce/stampede");
+    for (tag, coalesce) in [("off", false), ("on", true)] {
+        group.bench_function(BenchmarkId::new("check-matching-3", tag), |b| {
+            b.iter(|| {
+                // A fresh engine per stampede: a warm cache would answer
+                // every duplicate without the flight layer doing anything.
+                // 5ms per duality decision keeps the Criterion window short.
+                let rows = measure_coalesce(K, 5);
+                let m = rows.into_iter().find(|m| m.coalesce == coalesce).unwrap();
+                assert!(m.matches, "a stampede answer diverged");
+                black_box(m.wall_ms)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = qld_bench::quick();
+    targets = bench_stampede
+}
+
+/// Runs the off-vs-on stampede and appends one JSON line to the trajectory.
+fn record_trajectory() {
+    let per_call_ms = if smoke() { 15 } else { 25 };
+    let rows = measure_coalesce(K, per_call_ms);
+    for m in &rows {
+        println!(
+            "e17   {:<24} K={:<2} coalesce={:<5} executions={:<2} flights={} coalesced={} \
+             p50 {:>9.1} us  p99 {:>9.1} us  {}",
+            m.name,
+            m.k,
+            m.coalesce,
+            m.executions,
+            m.flights,
+            m.coalesced,
+            m.p50_us,
+            m.p99_us,
+            if m.matches { "ok" } else { "MISMATCH" }
+        );
+        assert!(m.matches, "{}: a stampede answer diverged", m.name);
+    }
+    let wins = coalesce_wins(&rows);
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let row_json: Vec<String> = rows.iter().map(|m| m.to_json()).collect();
+    let line = format!(
+        "{{\"bench\":\"e17_coalesce\",\"unix_secs\":{},\"smoke\":{},\"k\":{},\"coalesce_wins\":{},\"runs\":[{}]}}",
+        unix_secs,
+        smoke(),
+        K,
+        wins,
+        row_json.join(",")
+    );
+    match qld_bench::append_trajectory("e17_coalesce.json", &line) {
+        Ok(path) => println!("e17   trajectory appended to {}", path.display()),
+        Err(e) => eprintln!("e17   {e}"),
+    }
+}
+
+fn main() {
+    if !smoke() {
+        benches();
+    }
+    record_trajectory();
+}

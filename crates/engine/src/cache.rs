@@ -56,9 +56,11 @@ pub struct CacheStats {
 pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
 
 /// One stored entry: the result plus its recency tick and insertion time.
+/// The result is `Arc`-shared with every hit (and with snapshot exports), so
+/// replaying a hot streamed key never deep-copies the stored chunk vectors.
 #[derive(Debug)]
 struct Entry {
-    result: CachedResult,
+    result: Arc<CachedResult>,
     /// Generation-clock value of the last touch; index into `recency`.
     tick: u64,
     /// When the entry was stored (TTL is measured from here; hits do not
@@ -136,7 +138,8 @@ impl QueryCache {
 
     /// Looks up a canonical key, counting the hit or miss.  A hit refreshes
     /// the entry's recency; an expired entry is removed and counts as a miss.
-    pub fn get(&self, key: &str) -> Option<CachedResult> {
+    /// The returned handle shares the stored result (no deep copy per hit).
+    pub fn get(&self, key: &str) -> Option<Arc<CachedResult>> {
         let mut inner = lock_ignoring_poison(&self.inner);
         let Some(entry) = inner.map.get(key) else {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -157,7 +160,7 @@ impl QueryCache {
         let (shared_key, entry) = inner.map.get_key_value(key).expect("entry checked above");
         let shared_key = Arc::clone(shared_key);
         let old_tick = entry.tick;
-        let result = entry.result.clone();
+        let result = Arc::clone(&entry.result);
         inner.map.get_mut(key).expect("entry checked above").tick = tick;
         inner.recency.remove(&old_tick);
         inner.recency.insert(tick, shared_key);
@@ -169,12 +172,12 @@ impl QueryCache {
     /// least-recently-used entry if the cache is full.  Re-inserting an
     /// existing key refreshes both its value and its recency.
     pub fn insert(&self, key: String, result: CachedResult) {
-        self.insert_stored_at(key, result, Instant::now());
+        self.insert_stored_at(key, Arc::new(result), Instant::now());
     }
 
     /// [`QueryCache::insert`] with an explicit storage instant, so snapshot
     /// restoration can backdate entries and keep their TTL clocks running.
-    fn insert_stored_at(&self, key: String, result: CachedResult, stored_at: Instant) {
+    fn insert_stored_at(&self, key: String, result: Arc<CachedResult>, stored_at: Instant) {
         if self.capacity == 0 {
             return;
         }
@@ -279,7 +282,7 @@ impl QueryCache {
                 Some(SnapshotEntry {
                     key: key.to_string(),
                     age: entry.stored_at.elapsed(),
-                    result: entry.result.clone(),
+                    result: Arc::clone(&entry.result),
                 })
             })
             .collect()
@@ -321,8 +324,8 @@ pub struct SnapshotEntry {
     pub key: String,
     /// Time since the entry was stored (TTL clocks resume from here).
     pub age: Duration,
-    /// The stored result.
-    pub result: CachedResult,
+    /// The stored result (shared with the live cache entry on export).
+    pub result: Arc<CachedResult>,
 }
 
 #[cfg(test)]
@@ -468,12 +471,12 @@ mod tests {
         let fresh = SnapshotEntry {
             key: "fresh".into(),
             age: Duration::from_millis(0),
-            result: entry(),
+            result: Arc::new(entry()),
         };
         let stale = SnapshotEntry {
             key: "stale".into(),
             age: Duration::from_millis(60),
-            result: entry(),
+            result: Arc::new(entry()),
         };
         let cache = QueryCache::with_limits(8, Some(ttl));
         assert!(cache.import_entry(fresh.clone()));
@@ -487,14 +490,14 @@ mod tests {
         assert!(no_ttl.import_entry(SnapshotEntry {
             key: "old".into(),
             age: Duration::from_millis(60),
-            result: entry(),
+            result: Arc::new(entry()),
         }));
         // The restored age keeps counting: an entry imported at half its TTL
         // expires half a TTL later.
         let half = SnapshotEntry {
             key: "half".into(),
             age: Duration::from_millis(30),
-            result: entry(),
+            result: Arc::new(entry()),
         };
         assert!(cache.import_entry(half));
         assert!(cache.get("half").is_some());
@@ -509,7 +512,7 @@ mod tests {
         assert!(!cache.import_entry(SnapshotEntry {
             key: "k".into(),
             age: Duration::ZERO,
-            result: entry(),
+            result: Arc::new(entry()),
         }));
         assert_eq!(cache.stats().entries, 0);
     }

@@ -19,6 +19,7 @@
 
 use crate::cache::{CacheStats, CachedResult, QueryCache};
 use crate::fairness::UserBuckets;
+use crate::flight::{FlightSink, FlightTable, Follower, LeadOutcome};
 use crate::lock_ignoring_poison;
 use crate::ops;
 use crate::policy::{
@@ -79,6 +80,13 @@ pub struct EngineConfig {
     /// (the default) disables local execution: every request takes the pool
     /// path exactly as before.  See [`crate::ExecRoute`].
     pub local_threshold: usize,
+    /// Single-flight request coalescing (`qld serve --no-coalesce` clears
+    /// it): identical queries arriving while the first is still executing
+    /// attach to that execution as followers instead of running the solver
+    /// again (see `engine/src/flight.rs`).  Requires the cache (the flight key
+    /// *is* the canonical cache key); with `cache: false` every request
+    /// executes individually regardless of this flag.
+    pub coalesce: bool,
 }
 
 /// Default [`EngineConfig::parallel_threshold`]: roughly a 64-vertex instance
@@ -100,6 +108,7 @@ impl Default for EngineConfig {
             cache_file: None,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             local_threshold: 0,
+            coalesce: true,
         }
     }
 }
@@ -116,6 +125,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("cache_file", &self.cache_file)
             .field("parallel_threshold", &self.parallel_threshold)
             .field("local_threshold", &self.local_threshold)
+            .field("coalesce", &self.coalesce)
             .finish()
     }
 }
@@ -221,24 +231,30 @@ pub(crate) enum Payload {
     Malformed(String),
 }
 
-/// One unit of work travelling through the shared pool.
+/// One unit of work travelling through the shared pool.  Fields are
+/// `pub(crate)` for the single-flight layer ([`crate::flight`]), which turns
+/// a job into a flight follower without re-deriving its identity.
 pub(crate) struct PoolJob {
     /// Sequence number within the submitting session.
-    seq: u64,
+    pub(crate) seq: u64,
     /// Client correlation token to echo back.
-    client_id: Option<String>,
-    payload: Payload,
+    pub(crate) client_id: Option<String>,
+    pub(crate) payload: Payload,
     /// Whether the client asked for chunk-by-chunk streaming (`stream=`).
-    stream: bool,
+    pub(crate) stream: bool,
     /// Cooperative cancellation flag, observed at yield boundaries (and
     /// before the job starts — a job whose session vanished while it sat in
     /// the queue is dropped, not executed).
-    cancel: CancelToken,
+    pub(crate) cancel: CancelToken,
     /// The submitting session's per-request item quota (`--max-items`).
-    max_items: Option<u64>,
+    pub(crate) max_items: Option<u64>,
     /// Where the executing worker sends chunk frames and the terminal
     /// response.
-    reply: ReplySender,
+    pub(crate) reply: ReplySender,
+    /// The canonical flight/cache key, pre-rendered by the submission site
+    /// when coalescing applies (`None` for control payloads or when
+    /// coalescing is off — the worker then renders the cache key itself).
+    pub(crate) key: Option<String>,
 }
 
 /// Where a job's frames go: the submitting session's event channel, plus an
@@ -295,6 +311,15 @@ pub(crate) struct EngineCounters {
     throttled: AtomicU64,
 }
 
+impl EngineCounters {
+    /// Settles one pool-admitted job on the in-flight gauge.  Workers call
+    /// it after sending a terminal response; the flight layer calls it when
+    /// delivering a worker-level follower's terminal instead.
+    pub(crate) fn job_finished(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Decrements the session gauge when a serve session ends, however it ends.
 struct SessionGuard<'a>(&'a EngineCounters);
 
@@ -333,6 +358,10 @@ struct WorkerCtx {
     subtasks: Arc<SubtaskQueue>,
     /// Work-unit floor above which a duality call splits into subtasks.
     parallel_threshold: usize,
+    /// The single-flight registry (shared with the submission sites).
+    flights: Arc<FlightTable>,
+    /// Whether workers coalesce duplicate cache misses into flights.
+    coalesce: bool,
 }
 
 /// The concurrent query engine.  Dropping it shuts the worker pool down
@@ -352,6 +381,9 @@ pub struct Engine {
     /// The subtask queue shared with the pool: submission sites poke it so
     /// parked workers wake for fresh jobs, not just for subtasks.
     subtasks: Arc<SubtaskQueue>,
+    /// The single-flight registry: submission sites attach duplicates to
+    /// in-flight executions before they ever occupy a pool slot.
+    flights: Arc<FlightTable>,
 }
 
 impl Engine {
@@ -390,6 +422,7 @@ impl Engine {
         let job_rx = Arc::new(Mutex::new(job_rx));
         let counters = Arc::new(EngineCounters::default());
         let subtasks = Arc::new(SubtaskQueue::new());
+        let flights = Arc::new(FlightTable::new(Arc::clone(&counters)));
         let ctx = Arc::new(WorkerCtx {
             policy: Arc::clone(&config.policy),
             cache: Arc::clone(&cache),
@@ -400,6 +433,8 @@ impl Engine {
             counters: Arc::clone(&counters),
             subtasks: Arc::clone(&subtasks),
             parallel_threshold: config.parallel_threshold,
+            flights: Arc::clone(&flights),
+            coalesce: config.coalesce,
         });
         let handles = (0..workers)
             .map(|worker_index| {
@@ -417,6 +452,7 @@ impl Engine {
             handles,
             counters,
             subtasks,
+            flights,
         }
     }
 
@@ -441,6 +477,19 @@ impl Engine {
     /// them (the rest ran inline on the owning worker at its join point).
     pub fn subtask_stats(&self) -> (u64, u64) {
         (self.subtasks.spawned(), self.subtasks.stolen())
+    }
+
+    /// Single-flight counters since startup: `(flights_led, coalesced)`.
+    /// `flights_led` counts executions that registered a flight (every
+    /// coalescible cache miss); `coalesced` counts the duplicate requests
+    /// that attached to one instead of executing — solver runs avoided.
+    pub fn coalesce_stats(&self) -> (u64, u64) {
+        (self.flights.led(), self.flights.coalesced())
+    }
+
+    /// Whether submission sites should render flight keys and attempt joins.
+    fn coalesce_enabled(&self) -> bool {
+        self.config.cache && self.config.coalesce
     }
 
     /// How many entries [`Engine::new`] restored from the configured cache
@@ -517,6 +566,8 @@ impl Engine {
             job_tx: self.sender().clone(),
             subtasks: Arc::clone(&self.subtasks),
             counters: Arc::clone(&self.counters),
+            flights: Arc::clone(&self.flights),
+            coalesce: self.coalesce_enabled(),
             reply,
             default_order: options.order,
             max_inflight: options.max_inflight,
@@ -558,17 +609,38 @@ impl Engine {
                 let _ = reply_tx.send(StreamEvent::Done(response));
                 continue;
             }
+            let payload = Payload::Query {
+                request,
+                solver: None,
+            };
+            let cancel = CancelToken::new();
+            // Single-flight: a request identical to one already executing
+            // (or queued) attaches to it as a follower instead of taking a
+            // pool slot — the flight delivers its terminal response.
+            let key = flight_key(&payload, self.coalesce_enabled());
+            if let Some(key) = &key {
+                let follower = Follower::new(
+                    seq as u64,
+                    None,
+                    false,
+                    cancel.clone(),
+                    None,
+                    ReplySender::plain(reply_tx.clone()),
+                    false,
+                );
+                if self.flights.try_join(key, follower) {
+                    continue;
+                }
+            }
             let job = PoolJob {
                 seq: seq as u64,
                 client_id: None,
-                payload: Payload::Query {
-                    request,
-                    solver: None,
-                },
+                payload,
                 stream: false,
-                cancel: CancelToken::new(),
+                cancel,
                 max_items: None,
                 reply: ReplySender::plain(reply_tx.clone()),
+                key,
             };
             self.counters.inflight.fetch_add(1, Ordering::Relaxed);
             self.sender().send(job).expect("worker pool alive");
@@ -607,17 +679,40 @@ impl Engine {
     pub fn run_streaming(&self, request: Request, options: StreamRunOptions) -> StreamHandle {
         let (reply_tx, reply_rx) = mpsc::channel::<StreamEvent>();
         let cancel = CancelToken::new();
+        let payload = Payload::Query {
+            request,
+            solver: options.solver,
+        };
+        // Single-flight: a duplicate of an in-flight execution subscribes to
+        // its fan-out — already-produced chunks replay first, then live
+        // ones, all under this handle's own cancel/quota.
+        let key = flight_key(&payload, self.coalesce_enabled());
+        if let Some(key) = &key {
+            let follower = Follower::new(
+                0,
+                options.client_id.clone(),
+                true,
+                cancel.clone(),
+                options.max_items,
+                ReplySender::plain(reply_tx.clone()),
+                false,
+            );
+            if self.flights.try_join(key, follower) {
+                return StreamHandle {
+                    cancel,
+                    events: reply_rx,
+                };
+            }
+        }
         let job = PoolJob {
             seq: 0,
             client_id: options.client_id,
-            payload: Payload::Query {
-                request,
-                solver: options.solver,
-            },
+            payload,
             stream: true,
             cancel: cancel.clone(),
             max_items: options.max_items,
             reply: ReplySender::plain(reply_tx),
+            key,
         };
         self.counters.inflight.fetch_add(1, Ordering::Relaxed);
         self.sender().send(job).expect("worker pool alive");
@@ -704,6 +799,8 @@ impl Engine {
                 let job_tx = self.sender().clone();
                 let subtasks = Arc::clone(&self.subtasks);
                 let counters = &self.counters;
+                let flights = Arc::clone(&self.flights);
+                let coalesce = self.coalesce_enabled();
                 let local_threshold = self.config.local_threshold;
                 let policy = Arc::clone(&self.config.policy);
                 let default_order = options.order;
@@ -884,6 +981,28 @@ impl Engine {
                             }
                         }
                         let cancel = CancelToken::new();
+                        // Single-flight: attach to an identical in-flight
+                        // query instead of submitting a duplicate job.  The
+                        // follower still registers as in flight for the
+                        // session (cancellable, counted by `--max-inflight`);
+                        // its terminal arrives via the same reply channel.
+                        let key = flight_key(&payload, coalesce);
+                        if let Some(key) = &key {
+                            let follower = Follower::new(
+                                seq,
+                                client_id.clone(),
+                                stream,
+                                cancel.clone(),
+                                max_items,
+                                ReplySender::plain(reply_tx.clone()),
+                                false,
+                            );
+                            if flights.try_join(key, follower) {
+                                lock_ignoring_poison(inflight).insert(seq, cancel);
+                                seq += 1;
+                                continue;
+                            }
+                        }
                         lock_ignoring_poison(inflight).insert(seq, cancel.clone());
                         let job = PoolJob {
                             seq,
@@ -893,6 +1012,7 @@ impl Engine {
                             cancel,
                             max_items,
                             reply: ReplySender::plain(reply_tx.clone()),
+                            key,
                         };
                         counters.inflight.fetch_add(1, Ordering::Relaxed);
                         if job_tx.send(job).is_err() {
@@ -989,6 +1109,25 @@ impl Engine {
     }
 }
 
+/// The canonical flight key of a query payload — the request's cache key
+/// plus the `solver=` override suffix, exactly as the worker's cache path
+/// renders it.  `None` for control payloads, or when coalescing is off for
+/// the engine (key rendering is not free; skip it when it buys nothing).
+fn flight_key(payload: &Payload, coalesce: bool) -> Option<String> {
+    if !coalesce {
+        return None;
+    }
+    let Payload::Query { request, solver } = payload else {
+        return None;
+    };
+    let mut key = request.cache_key();
+    if let Some(kind) = solver {
+        key.push_str(" solver=");
+        key.push_str(kind.name());
+    }
+    Some(key)
+}
+
 /// Cancels every in-flight job of an aborted session.
 fn cancel_all(inflight: &Mutex<HashMap<u64, CancelToken>>) {
     for token in lock_ignoring_poison(inflight).values() {
@@ -1027,6 +1166,11 @@ pub(crate) struct SessionMux {
     /// Pokes parked workers after each accepted job.
     subtasks: Arc<SubtaskQueue>,
     counters: Arc<EngineCounters>,
+    /// The engine's single-flight registry (duplicate queries attach to
+    /// in-flight executions instead of becoming pool jobs).
+    flights: Arc<FlightTable>,
+    /// Whether this session renders flight keys and attempts joins.
+    coalesce: bool,
     /// Template reply channel cloned into every job (already wired to the
     /// readiness loop's waker).
     reply: ReplySender,
@@ -1204,6 +1348,27 @@ impl SessionMux {
             }
         }
         let cancel = CancelToken::new();
+        // Single-flight, mirroring the threaded feeder: a duplicate of an
+        // in-flight query attaches as a follower — no pool job, no queue
+        // capacity consumed (so it cannot stall), terminal via `on_event`.
+        let key = flight_key(&payload, self.coalesce);
+        if let Some(k) = &key {
+            let follower = Follower::new(
+                self.seq,
+                client_id.clone(),
+                stream,
+                cancel.clone(),
+                self.max_items,
+                self.reply.clone(),
+                false,
+            );
+            if self.flights.try_join(k, follower) {
+                let seq = self.next_seq();
+                self.commit_plan(seq, plan);
+                self.inflight.insert(seq, cancel);
+                return MuxFeed::Progress;
+            }
+        }
         let job = PoolJob {
             seq: self.seq,
             client_id,
@@ -1212,6 +1377,7 @@ impl SessionMux {
             cancel: cancel.clone(),
             max_items: self.max_items,
             reply: self.reply.clone(),
+            key,
         };
         match self.job_tx.try_send(job) {
             Ok(()) => {
@@ -1445,11 +1611,15 @@ fn worker_loop(ctx: &WorkerCtx, jobs: &Mutex<Receiver<PoolJob>>, worker_index: u
         };
         match polled {
             Ok(job) => {
-                let response = answer(ctx, worker_index, &job);
-                // A receiver that hung up (aborted session) just discards
-                // the answer.
-                let _ = job.reply.send(StreamEvent::Done(response));
-                ctx.counters.inflight.fetch_sub(1, Ordering::Relaxed);
+                // `None` means the job attached to an identical in-flight
+                // execution as a follower: the flight delivers its terminal
+                // and settles the in-flight gauge.
+                if let Some(response) = answer(ctx, worker_index, &job) {
+                    // A receiver that hung up (aborted session) just
+                    // discards the answer.
+                    let _ = job.reply.send(StreamEvent::Done(response));
+                    ctx.counters.job_finished();
+                }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
@@ -1458,23 +1628,25 @@ fn worker_loop(ctx: &WorkerCtx, jobs: &Mutex<Receiver<PoolJob>>, worker_index: u
 }
 
 /// Executes one job on a worker, turning panics into `internal` errors so a
-/// misbehaving request cannot take a pool thread down with it.
-fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
+/// misbehaving request cannot take a pool thread down with it.  `None`
+/// means the job joined an in-flight duplicate as a follower — the flight
+/// owns its delivery, and the worker must not answer (or decrement) it.
+fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Option<Response> {
     let base_stats = || RequestStats {
         worker: worker_index,
         solver: "-".to_string(),
         ..RequestStats::default()
     };
     match &job.payload {
-        Payload::Malformed(message) => Response {
+        Payload::Malformed(message) => Some(Response {
             id: job.seq,
             client_id: job.client_id.clone(),
             outcome: Err(EngineError::parse(message.clone())),
             halted: None,
             chunks: job.stream.then_some(0),
             stats: base_stats(),
-        },
-        Payload::Stats => Response {
+        }),
+        Payload::Stats => Some(Response {
             id: job.seq,
             client_id: job.client_id.clone(),
             outcome: Ok(Outcome::Stats {
@@ -1495,13 +1667,15 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
                 throttled: ctx.counters.throttled.load(Ordering::Relaxed),
                 subtasks: ctx.subtasks.spawned(),
                 subtasks_stolen: ctx.subtasks.stolen(),
+                flights: ctx.flights.led(),
+                coalesced: ctx.flights.coalesced(),
             }),
             halted: None,
             // Item-less kinds still honour the streamed framing contract:
             // zero chunks, then this response as the `done` frame.
             chunks: job.stream.then_some(0),
             stats: base_stats(),
-        },
+        }),
         Payload::Query { request, solver } => {
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 process_one(job, request, *solver, worker_index, ctx)
@@ -1512,7 +1686,7 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "unknown panic".to_string());
-                Response {
+                Some(Response {
                     id: job.seq,
                     client_id: job.client_id.clone(),
                     outcome: Err(EngineError::internal(format!(
@@ -1524,7 +1698,7 @@ fn answer(ctx: &WorkerCtx, worker_index: usize, job: &PoolJob) -> Response {
                     // client knows the stream ended.
                     chunks: job.stream.then_some(0),
                     stats: base_stats(),
-                }
+                })
             })
         }
     }
@@ -1602,34 +1776,41 @@ impl ResultSink for WorkerSink<'_> {
 }
 
 /// Executes one typed query on a worker: cache lookup (with chunk replay for
-/// streamed hits), solver dispatch through a [`WorkerSink`], stats.
+/// streamed hits), single-flight gate, solver dispatch through a
+/// [`WorkerSink`] (solo) or [`FlightSink`] (flight leader), stats.  `None`
+/// means the job joined an active flight as a follower — the flight owns its
+/// delivery and the worker moves on to the next job.
 fn process_one(
     job: &PoolJob,
     request: &Request,
     solver_override: Option<SolverKind>,
     worker: usize,
     ctx: &WorkerCtx,
-) -> Response {
+) -> Option<Response> {
     let started = Instant::now();
     // A `solver=` override changes which solver's telemetry the caller sees,
-    // so overridden requests get their own cache entries.
-    let key = ctx.cache_enabled.then(|| {
-        let mut key = request.cache_key();
-        if let Some(kind) = solver_override {
-            key.push_str(" solver=");
-            key.push_str(kind.name());
-        }
-        key
+    // so overridden requests get their own cache entries.  Submission sites
+    // pre-render the key when coalescing applies; rendered or not, it is the
+    // same canonical string.
+    let key = job.key.clone().or_else(|| {
+        ctx.cache_enabled.then(|| {
+            let mut key = request.cache_key();
+            if let Some(kind) = solver_override {
+                key.push_str(" solver=");
+                key.push_str(kind.name());
+            }
+            key
+        })
     });
-    let mut sink = WorkerSink::new(job, request.kind());
     if let Some(key) = &key {
         if let Some(hit) = ctx.cache.get(key) {
             // A streamed request served from the cache still streams: the
             // cached items are replayed as chunk frames (in the terminal
             // result's canonical order), subject to the same cancellation
             // and quota checks as a fresh run.
-            let (outcome, halted) = replay_cached(hit.outcome, &mut sink);
-            return Response {
+            let mut sink = WorkerSink::new(job, request.kind());
+            let (outcome, halted) = replay_cached(&hit.outcome, &mut sink);
+            return Some(Response {
                 id: job.seq,
                 client_id: job.client_id.clone(),
                 outcome,
@@ -1638,14 +1819,29 @@ fn process_one(
                 stats: RequestStats {
                     micros: started.elapsed().as_micros(),
                     peak_bits: hit.info.peak_bits,
-                    solver: hit.info.solver,
+                    solver: hit.info.solver.clone(),
                     duality_calls: hit.info.duality_calls,
                     cache_hit: true,
                     worker,
                 },
-            };
+            });
         }
     }
+    // Post-miss single-flight gate: duplicates that raced past the
+    // submission-site join (or were submitted before the leader was) attach
+    // here instead of executing.
+    let lease = match (&key, ctx.coalesce) {
+        (Some(key), true) => {
+            match ctx
+                .flights
+                .lead_or_join(key, request.kind(), || Follower::from_job(job))
+            {
+                LeadOutcome::Lead(lease) => Some(lease),
+                LeadOutcome::Joined => return None,
+            }
+        }
+        _ => None,
+    };
     let fixed;
     let policy: &dyn SolverPolicy = match solver_override {
         Some(kind) => {
@@ -1665,7 +1861,15 @@ fn process_one(
         )),
         ctx.parallel_threshold,
     );
-    let execution = ops::execute_streaming_with(request, policy, Some(&parallel), &mut sink);
+    let mut solo_sink = WorkerSink::new(job, request.kind());
+    let mut flight_sink = lease
+        .as_ref()
+        .map(|lease| FlightSink::new(job, request.kind(), lease));
+    let sink: &mut dyn ResultSink = match flight_sink.as_mut() {
+        Some(sink) => sink,
+        None => &mut solo_sink,
+    };
+    let execution = ops::execute_streaming_with(request, policy, Some(&parallel), sink);
     let halted = execution.halt;
     let info = execution.info;
     let outcome = execution.outcome.map_err(|message| match halted {
@@ -1676,7 +1880,8 @@ fn process_one(
     });
     // Only results that ran to their natural end are cacheable: a halted
     // job's partial outcome depends on when the stop landed, which is not a
-    // property of the request.
+    // property of the request.  A flight whose original leader detached but
+    // that ran to completion for its followers is a natural end.
     if halted.is_none() {
         if let Some(key) = key {
             ctx.cache.insert(
@@ -1688,35 +1893,50 @@ fn process_one(
             );
         }
     }
-    Response {
+    let stats = RequestStats {
+        micros: started.elapsed().as_micros(),
+        peak_bits: info.peak_bits,
+        solver: info.solver,
+        duality_calls: info.duality_calls,
+        cache_hit: false,
+        worker,
+    };
+    let (outcome, halted, emitted) = match (lease, flight_sink) {
+        (Some(lease), Some(sink)) => {
+            // Settle the followers with the execution's results, then answer
+            // as the leader saw it (its own partial if it was promoted away).
+            let view = sink.leader_view(&outcome, halted);
+            lease.finish(&outcome, halted, &stats);
+            view
+        }
+        _ => (outcome, halted, solo_sink.emitted),
+    };
+    Some(Response {
         id: job.seq,
         client_id: job.client_id.clone(),
         outcome,
         halted,
-        chunks: job.stream.then_some(sink.emitted),
-        stats: RequestStats {
-            micros: started.elapsed().as_micros(),
-            peak_bits: info.peak_bits,
-            solver: info.solver,
-            duality_calls: info.duality_calls,
-            cache_hit: false,
-            worker,
-        },
-    }
+        chunks: job.stream.then_some(emitted),
+        stats,
+    })
 }
 
 /// Replays a cached outcome through a [`WorkerSink`] (a no-op for one-shot
 /// jobs and item-less outcomes), truncating the outcome if the sink stops
 /// the replay mid-way — a cancelled or quota-limited client sees the same
 /// prefix semantics whether the result was computed or replayed.
+///
+/// The outcome is borrowed from the `Arc`-shared cache entry: a replay
+/// clones only the prefix the client actually receives, never the stored
+/// vectors wholesale.
 fn replay_cached(
-    outcome: Result<Outcome, EngineError>,
+    outcome: &Result<Outcome, EngineError>,
     sink: &mut WorkerSink<'_>,
 ) -> (Result<Outcome, EngineError>, Option<StopReason>) {
     // The historical fast hit path: nothing to forward, nothing to count —
-    // hand the cached outcome straight back.
+    // hand the cached outcome straight back (one clone, into the response).
     if !sink.job.stream && sink.job.max_items.is_none() && !sink.job.cancel.is_cancelled() {
-        return (outcome, None);
+        return (outcome.clone(), None);
     }
     match outcome {
         Ok(Outcome::Transversals {
@@ -1724,10 +1944,10 @@ fn replay_cached(
             complete,
         }) => {
             let (replayed, halted) =
-                replay_items(&transversals, sink, |t| StreamItem::Transversal(t.clone()));
+                replay_items(transversals, sink, |t| StreamItem::Transversal(t.clone()));
             let outcome = Ok(Outcome::Transversals {
                 transversals: transversals[..replayed].to_vec(),
-                complete: complete && halted.is_none(),
+                complete: *complete && halted.is_none(),
             });
             (outcome, halted)
         }
@@ -1738,13 +1958,13 @@ fn replay_cached(
             complete,
         }) => {
             let (replayed_max, mut halted) =
-                replay_items(&maximal_frequent, sink, |s| StreamItem::BorderElement {
+                replay_items(maximal_frequent, sink, |s| StreamItem::BorderElement {
                     maximal: true,
                     itemset: s.clone(),
                 });
             let replayed_min = if halted.is_none() {
                 let (replayed, stop) =
-                    replay_items(&minimal_infrequent, sink, |s| StreamItem::BorderElement {
+                    replay_items(minimal_infrequent, sink, |s| StreamItem::BorderElement {
                         maximal: false,
                         itemset: s.clone(),
                     });
@@ -1756,12 +1976,12 @@ fn replay_cached(
             let outcome = Ok(Outcome::FullBorders {
                 maximal_frequent: maximal_frequent[..replayed_max].to_vec(),
                 minimal_infrequent: minimal_infrequent[..replayed_min].to_vec(),
-                identification_calls,
-                complete: complete && halted.is_none(),
+                identification_calls: *identification_calls,
+                complete: *complete && halted.is_none(),
             });
             (outcome, halted)
         }
-        other => (other, None),
+        other => (other.clone(), None),
     }
 }
 

@@ -71,6 +71,7 @@
 pub mod cache;
 pub mod engine;
 pub mod fairness;
+pub(crate) mod flight;
 pub mod json;
 pub mod ops;
 pub mod policy;

@@ -121,6 +121,13 @@ pub enum Outcome {
         /// remainder ran inline on the owning worker — always the case on a
         /// single-worker pool.
         subtasks_stolen: u64,
+        /// Coalesced flights led since startup: cache misses that executed
+        /// with the single-flight layer engaged (each could have absorbed
+        /// duplicates).
+        flights: u64,
+        /// Duplicate requests that attached to an in-flight execution as
+        /// followers instead of running the solver (single-flight wins).
+        coalesced: u64,
     },
 }
 
@@ -387,6 +394,8 @@ impl Response {
                         throttled,
                         subtasks,
                         subtasks_stolen,
+                        flights,
+                        coalesced,
                     } => {
                         o.str("kind", "stats");
                         o.uint("proto", *protocol as u128);
@@ -399,6 +408,8 @@ impl Response {
                         o.uint("throttled", *throttled as u128);
                         o.uint("subtasks", *subtasks as u128);
                         o.uint("subtasks_stolen", *subtasks_stolen as u128);
+                        o.uint("flights", *flights as u128);
+                        o.uint("coalesced", *coalesced as u128);
                         let mut co = ObjectBuilder::new();
                         co.uint("hits", cache.hits as u128)
                             .uint("misses", cache.misses as u128)
@@ -552,6 +563,8 @@ mod tests {
                 throttled: 9,
                 subtasks: 12,
                 subtasks_stolen: 8,
+                flights: 4,
+                coalesced: 11,
             }),
             halted: None,
             chunks: None,
@@ -568,6 +581,8 @@ mod tests {
         assert!(line.contains("\"throttled\":9"));
         assert!(line.contains("\"subtasks\":12"));
         assert!(line.contains("\"subtasks_stolen\":8"));
+        assert!(line.contains("\"flights\":4"));
+        assert!(line.contains("\"coalesced\":11"));
         assert!(line.contains(
             "\"cache\":{\"hits\":5,\"misses\":7,\"entries\":2,\"evictions\":1,\
              \"expirations\":0,\"capacity\":64}"

@@ -37,6 +37,7 @@ use crate::cache::{CachedResult, QueryCache, SnapshotEntry};
 use crate::ops::ExecInfo;
 use crate::response::{BordersOutcome, EngineError, ErrorCode, Outcome, WitnessSummary};
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Version of the snapshot format; bumped on any incompatible change.
@@ -263,14 +264,14 @@ fn parse_entry(line: &str) -> Result<SnapshotEntry, String> {
     Ok(SnapshotEntry {
         key,
         age: Duration::from_millis(age_ms),
-        result: CachedResult {
+        result: Arc::new(CachedResult {
             outcome,
             info: ExecInfo {
                 solver,
                 peak_bits,
                 duality_calls,
             },
-        },
+        }),
     })
 }
 
@@ -666,6 +667,8 @@ mod tests {
             throttled: 0,
             subtasks: 0,
             subtasks_stolen: 0,
+            flights: 0,
+            coalesced: 0,
         });
         assert!(encode_outcome(&outcome).is_none());
         let outcome = Ok(Outcome::Cancel {

@@ -62,7 +62,10 @@ OPTIONS:
                        thread (no pool round-trip, no cache) when its work
                        size |V|*(|G|+|H|) is below N (default 0 = disabled)
   --queue CAP          bounded submission queue capacity (default 256)
-  --no-cache           disable the result cache
+  --no-cache           disable the result cache (also disables single-flight
+                       request coalescing, which keys on cache keys)
+  --no-coalesce        disable single-flight coalescing of concurrent
+                       identical requests (each duplicate runs the solver)
   --cache-capacity N   LRU result-cache entry bound (default 65536)
   --cache-ttl SECS     expire cache entries SECS seconds after insertion
                        (0 = no TTL, the default)
@@ -155,6 +158,7 @@ struct Options {
     local_threshold: Option<usize>,
     queue: usize,
     cache: bool,
+    coalesce: bool,
     cache_capacity: Option<usize>,
     cache_ttl: Option<Duration>,
     cache_file: Option<String>,
@@ -190,6 +194,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         local_threshold: None,
         queue: 256,
         cache: true,
+        coalesce: true,
         cache_capacity: None,
         cache_ttl: None,
         cache_file: None,
@@ -241,6 +246,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--queue" => opts.queue = parse_num(&value_of("--queue")?, "--queue")?,
             "--no-cache" => opts.cache = false,
+            "--no-coalesce" => opts.coalesce = false,
             "--cache-capacity" => {
                 opts.cache_capacity = Some(parse_num(
                     &value_of("--cache-capacity")?,
@@ -355,6 +361,7 @@ fn engine_from(opts: &Options) -> Engine {
         workers: opts.workers.unwrap_or(defaults.workers),
         queue_capacity: opts.queue,
         cache: opts.cache,
+        coalesce: opts.coalesce,
         cache_capacity: opts.cache_capacity.unwrap_or(defaults.cache_capacity),
         cache_ttl: opts.cache_ttl,
         policy,

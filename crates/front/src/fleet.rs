@@ -201,9 +201,14 @@ impl Fleet {
                 if !shard.is_available() {
                     continue;
                 }
+                // Ticket drawn before the stats round trip: if the shard is
+                // respawned while this probe is in flight, the sample loses
+                // to the respawn's load reset instead of resurrecting the
+                // dead child's reading.
+                let ticket = shard.next_probe_seq();
                 match probe_inflight(shard) {
                     Some(load) => {
-                        shard.set_load(load);
+                        shard.apply_load_sample(ticket, load);
                         shard.clear_strikes();
                     }
                     None => {

@@ -29,6 +29,8 @@ pub mod hash;
 pub mod policy;
 
 #[cfg(unix)]
+pub(crate) mod coalesce;
+#[cfg(unix)]
 pub mod fleet;
 #[cfg(unix)]
 pub mod router;

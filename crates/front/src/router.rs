@@ -19,14 +19,19 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::Shutdown;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use qld_engine::wire::{self, Command, ParsedLine};
 use qld_engine::{
-    EngineError, Outcome, RequestStats, Response, ServeSummary, SessionStream, UserBuckets,
+    EngineError, Outcome, RequestStats, Response, ServeSummary, SessionStream, StopReason,
+    UserBuckets,
 };
 
+use crate::coalesce::{
+    follower_line, strip_leader_client_id, CoalesceSession, FrontFlights, FrontFollower,
+};
 use crate::fleet::Fleet;
 use crate::lock_ignoring_poison as lock;
 use crate::policy::{FleetView, ShardPolicy};
@@ -43,6 +48,10 @@ pub struct Router {
     /// it ever reaches a shard.
     user_quota: Option<Arc<UserBuckets>>,
     session_tokens: AtomicU64,
+    /// Router-level single-flight registry, shared by every client session:
+    /// duplicate one-shot misses reach a shard exactly once (see
+    /// [`crate::coalesce`]).
+    flights: Arc<FrontFlights>,
 }
 
 impl Router {
@@ -67,12 +76,19 @@ impl Router {
             retry,
             user_quota,
             session_tokens: AtomicU64::new(0),
+            flights: Arc::new(FrontFlights::default()),
         })
     }
 
     /// The fleet this router serves.
     pub fn fleet(&self) -> &Arc<Fleet> {
         &self.fleet
+    }
+
+    /// Router-level coalescing counters `(flights_led, followers_enrolled)`,
+    /// also spliced into relayed `stats` responses as the `front` object.
+    pub fn coalesce_stats(&self) -> (u64, u64) {
+        (self.flights.led(), self.flights.coalesced())
     }
 
     /// Serves one client connection to completion (mirrors
@@ -93,6 +109,9 @@ impl Router {
             upstreams: Mutex::new(HashMap::new()),
             readers: Mutex::new(Vec::new()),
             summary: Mutex::new(ServeSummary::default()),
+            flights: Arc::clone(&self.flights),
+            pending: Mutex::new(0),
+            pending_cv: Condvar::new(),
         });
         let mut reader = BufReader::new(stream);
         let mut seq: u64 = 0;
@@ -152,6 +171,13 @@ struct Route {
     /// `Some(target)` when the line is a forwarded `cancel` (the target in
     /// client numbering, for the synthesized response if the shard dies).
     cancel_target: Option<u64>,
+    /// `Some(key)` when this request leads a router-coalesced flight: its
+    /// terminal frame settles the flight's followers, and losing it promotes
+    /// one of them.
+    flight: Option<String>,
+    /// Whether this is a `stats` line: its terminal frame gets the router's
+    /// own `front` counters spliced in before relay.
+    is_stats: bool,
 }
 
 /// One live connection to a shard, shared by the session's writer (the
@@ -189,6 +215,13 @@ struct Core<S: SessionStream> {
     upstreams: Mutex<HashMap<usize, Arc<Upstream>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     summary: Mutex<ServeSummary>,
+    /// The daemon-wide single-flight registry (shared with every session).
+    flights: Arc<FrontFlights>,
+    /// Followers this session enrolled in other sessions' flights and has
+    /// not yet had settled: teardown must wait for them, or a leader's
+    /// delivery would race this session's closing client socket.
+    pending: Mutex<u64>,
+    pending_cv: Condvar,
 }
 
 impl<S: SessionStream> Core<S> {
@@ -226,9 +259,33 @@ impl<S: SessionStream> Core<S> {
                         key.push_str(" solver=");
                         key.push_str(kind.name());
                     }
-                    self.forward(seq, line, &key, id, stream, None);
+                    if !stream {
+                        // One-shot queries coalesce across sessions: the
+                        // first miss leads, duplicates enroll as followers
+                        // and never reach a shard.  Streamed queries pass
+                        // through — the engine's on-shard fan-out dedups
+                        // them (hash affinity lands duplicates together),
+                        // and the router never buffers chunk history.
+                        let lead = self.flights.lead_or_join(&key, || {
+                            self.pending_inc();
+                            FrontFollower {
+                                session: Arc::clone(self) as Arc<dyn CoalesceSession>,
+                                token: self.session,
+                                seq,
+                                client_id: id.clone(),
+                                raw: line.to_string(),
+                            }
+                        });
+                        if !lead {
+                            return;
+                        }
+                        let flight = Some(key.clone());
+                        self.forward(seq, line, &key, id, stream, None, flight);
+                        return;
+                    }
+                    self.forward(seq, line, &key, id, stream, None, None);
                 }
-                Command::Stats => self.forward(seq, line, "stats", id, stream, None),
+                Command::Stats => self.forward(seq, line, "stats", id, stream, None, None),
             },
             Err(_) => {
                 // Forwarded verbatim: every shard produces the identical
@@ -236,7 +293,7 @@ impl<S: SessionStream> Core<S> {
                 // raw line).  The engine treats malformed lines as
                 // unstreamed regardless of envelope, so `stream: false`.
                 let client_id = wire::salvage_client_id(line);
-                self.forward(seq, line, line, client_id, false, None);
+                self.forward(seq, line, line, client_id, false, None, None);
             }
         }
     }
@@ -260,7 +317,9 @@ impl<S: SessionStream> Core<S> {
     /// Picks a shard and forwards the line, trying a second shard when the
     /// first connect/write fails.  `reroute_from` marks this as the one
     /// retry of a request lost to a dying shard: that shard is excluded
-    /// from the pick and the new route cannot retry again.
+    /// from the pick and the new route cannot retry again.  `flight` is the
+    /// coalescing key when this line leads a router-level flight.
+    #[allow(clippy::too_many_arguments)]
     fn forward(
         self: &Arc<Self>,
         seq: u64,
@@ -269,6 +328,7 @@ impl<S: SessionStream> Core<S> {
         client_id: Option<String>,
         stream: bool,
         reroute_from: Option<usize>,
+        flight: Option<String>,
     ) {
         let retried = reroute_from.is_some();
         let mut excluded = reroute_from;
@@ -287,6 +347,8 @@ impl<S: SessionStream> Core<S> {
                     chunks_relayed: 0,
                     retried,
                     cancel_target: None,
+                    flight: flight.clone(),
+                    is_stats: key == "stats",
                 },
             );
             match self.send_on(shard, seq, line) {
@@ -302,6 +364,11 @@ impl<S: SessionStream> Core<S> {
                 }
             }
         }
+        // Total failure: the flight's followers would wait forever, so they
+        // get the same synthesized error as the leader.
+        if let Some(key) = flight.as_deref() {
+            self.fail_flight(key);
+        }
         self.emit_response(Response {
             id: seq,
             client_id,
@@ -312,6 +379,25 @@ impl<S: SessionStream> Core<S> {
             chunks: stream.then_some(0),
             stats: control_stats(),
         });
+    }
+
+    /// Settles every follower of a flight whose leader could not be
+    /// forwarded at all, mirroring the leader's "no shard" error.
+    fn fail_flight(&self, key: &str) {
+        for follower in self.flights.take(key) {
+            let line = Response {
+                id: follower.seq,
+                client_id: follower.client_id.clone(),
+                outcome: Err(EngineError::internal(
+                    "no shard available to answer the request",
+                )),
+                halted: None,
+                chunks: None,
+                stats: control_stats(),
+            }
+            .to_json_line();
+            follower.session.deliver(&line, true);
+        }
     }
 
     /// Forwards a `cancel id=N` line to the shard owning request `N`,
@@ -338,6 +424,8 @@ impl<S: SessionStream> Core<S> {
                     // is meaningless, so it never retries.
                     retried: true,
                     cancel_target: Some(target),
+                    flight: None,
+                    is_stats: false,
                 },
             );
             match self.send_on(shard, seq, &rewritten) {
@@ -352,13 +440,30 @@ impl<S: SessionStream> Core<S> {
                 }
             }
         }
+        // Not routed to any shard — but it may be waiting as a coalesced
+        // follower that never left this router.  Settling it locally is the
+        // one cancel the shards cannot do.
+        let cancelled = if let Some(follower) = self.flights.remove_follower(self.session, target) {
+            let line = Response {
+                id: follower.seq,
+                client_id: follower.client_id.clone(),
+                outcome: Err(EngineError::cancelled(
+                    "request cancelled while coalesced behind an identical in-flight query",
+                )),
+                halted: Some(StopReason::Cancelled),
+                chunks: None,
+                stats: control_stats(),
+            }
+            .to_json_line();
+            follower.session.deliver(&line, true);
+            true
+        } else {
+            false
+        };
         self.emit_response(Response {
             id: seq,
             client_id: None,
-            outcome: Ok(Outcome::Cancel {
-                target,
-                cancelled: false,
-            }),
+            outcome: Ok(Outcome::Cancel { target, cancelled }),
             halted: None,
             chunks: stream.then_some(0),
             stats: control_stats(),
@@ -495,15 +600,28 @@ impl<S: SessionStream> Core<S> {
                 && route.cancel_target.is_none()
             {
                 let raw = route.raw.clone();
+                // A flight leader keeps its flight key through the retry, so
+                // its terminal still settles the followers.
+                let key = route.flight.clone().unwrap_or_else(|| raw.clone());
                 self.forward(
                     seq,
                     &raw,
-                    &raw,
+                    &key,
                     route.client_id.clone(),
                     route.stream,
                     Some(up.shard),
+                    route.flight.clone(),
                 );
             } else {
+                // A leader lost with its retry spent does not kill the
+                // flight: a live follower is promoted and re-forwards the
+                // identical line under the same key.
+                if let Some(key) = route.flight.as_deref() {
+                    if let Some(next) = self.flights.promote(key) {
+                        let session = Arc::clone(&next.session);
+                        session.redispatch(next.seq, next.raw, key.to_string(), next.client_id);
+                    }
+                }
                 self.emit_lost(seq, &route);
             }
         }
@@ -570,10 +688,38 @@ impl<S: SessionStream> Core<S> {
         let _ = lock(&self.client).shutdown_side(Shutdown::Read);
     }
 
-    /// Session teardown: half-close every upstream so the shards drain
-    /// their in-flight work (or tear them down on abort, so the shards
-    /// cancel it), then join the relay threads.
+    fn pending_inc(&self) {
+        *lock(&self.pending) += 1;
+    }
+
+    fn pending_dec(&self) {
+        let mut pending = lock(&self.pending);
+        *pending = pending.saturating_sub(1);
+        drop(pending);
+        self.pending_cv.notify_all();
+    }
+
+    /// Blocks until every follower this session enrolled elsewhere has been
+    /// settled (delivered, released, or promoted into a route of its own).
+    /// The timeout re-checks `abort` so a vanished client never wedges
+    /// teardown behind a slow leader.
+    fn wait_pending(&self) {
+        let mut pending = lock(&self.pending);
+        while *pending > 0 && !self.abort.load(Ordering::Acquire) {
+            pending = self
+                .pending_cv
+                .wait_timeout(pending, Duration::from_millis(100))
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .0;
+        }
+    }
+
+    /// Session teardown: wait out coalesced followers riding other sessions'
+    /// flights, half-close every upstream so the shards drain their
+    /// in-flight work (or tear them down on abort, so the shards cancel
+    /// it), then join the relay threads.
     fn finish(self: &Arc<Self>) -> ServeSummary {
+        self.wait_pending();
         let aborted = self.abort.load(Ordering::Acquire);
         loop {
             let upstreams: Vec<Arc<Upstream>> = lock(&self.upstreams).values().cloned().collect();
@@ -605,6 +751,66 @@ impl<S: SessionStream> Core<S> {
         let _ = lock(&self.client).shutdown_side(Shutdown::Write);
         *lock(&self.summary)
     }
+
+    /// Settles a flight from its leader's terminal frame: every follower
+    /// gets a byte-identical line modulo its own `id`/`client_id` envelope.
+    /// A leader that was *cancelled* instead promotes a follower — the
+    /// cancel belonged to the leader's client alone, and the followers
+    /// still want the answer.
+    fn settle_flight(
+        self: &Arc<Self>,
+        key: &str,
+        leader_id: Option<&str>,
+        rest: &str,
+        frame: &str,
+        error: bool,
+    ) {
+        if frame.contains("\"halted\":\"cancelled\"") {
+            if let Some(next) = self.flights.promote(key) {
+                let session = Arc::clone(&next.session);
+                session.redispatch(next.seq, next.raw, key.to_string(), next.client_id);
+            }
+            return;
+        }
+        let followers = self.flights.take(key);
+        if followers.is_empty() {
+            return;
+        }
+        let stripped = strip_leader_client_id(rest, leader_id);
+        for follower in followers {
+            let line = follower_line(follower.seq, follower.client_id.as_deref(), stripped);
+            follower.session.deliver(&line, error);
+        }
+    }
+}
+
+impl<S: SessionStream> CoalesceSession for Core<S> {
+    fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    fn deliver(&self, line: &str, error: bool) {
+        if !self.is_aborted() {
+            if self.write_client(line).is_err() {
+                self.abort_session();
+            } else {
+                self.tally(error);
+            }
+        }
+        self.pending_dec();
+    }
+
+    fn release(&self) {
+        self.pending_dec();
+    }
+
+    fn redispatch(self: Arc<Self>, seq: u64, raw: String, key: String, client_id: Option<String>) {
+        self.forward(seq, &raw, &key, client_id, false, None, Some(key.clone()));
+        // Decrement *after* forwarding: the route (and any fresh upstream)
+        // now exists, so this session's teardown loop will drain it even if
+        // the main read loop already hit EOF.
+        self.pending_dec();
+    }
 }
 
 /// The relay loop: reads the shard session's JSON frames, rewrites the `id`
@@ -632,15 +838,34 @@ fn relay<S: SessionStream>(core: Arc<Core<S>>, up: Arc<Upstream>, stream: UnixSt
             if let Some(route) = lock(&core.routes).get_mut(&seq) {
                 route.chunks_relayed += 1;
             }
-        } else {
-            // Terminal frame: this request is settled on both sides.
-            lock(&up.map).remove(&useq);
-            lock(&core.routes).remove(&seq);
-            core.tally(frame.contains("\"ok\":false"));
+            if core.write_client(&format!("{{\"id\":{seq}{rest}")).is_err() {
+                core.abort_session();
+                break;
+            }
+            continue;
         }
-        let remapped = format!("{{\"id\":{seq}{rest}");
-        if core.write_client(&remapped).is_err() {
+        // Terminal frame: this request is settled on both sides.
+        lock(&up.map).remove(&useq);
+        let route = lock(&core.routes).remove(&seq);
+        let error = frame.contains("\"ok\":false");
+        core.tally(error);
+        let remapped = if route.as_ref().is_some_and(|r| r.is_stats) {
+            splice_front_stats(seq, rest, core.flights.led(), core.flights.coalesced())
+        } else {
+            format!("{{\"id\":{seq}{rest}")
+        };
+        let write_failed = core.write_client(&remapped).is_err();
+        if write_failed {
             core.abort_session();
+        }
+        // Settle the flight even when our own client just vanished: the
+        // followers belong to *other* sessions and still want the frame.
+        if let Some(route) = route {
+            if let Some(key) = route.flight.as_deref() {
+                core.settle_flight(key, route.client_id.as_deref(), rest, frame, error);
+            }
+        }
+        if write_failed {
             break;
         }
     }
@@ -663,6 +888,19 @@ fn split_id_prefix(frame: &str) -> Option<(u64, &str)> {
 
 fn is_chunk_frame(frame: &str) -> bool {
     frame.contains("\"frame\":\"chunk\"")
+}
+
+/// Splices the router's own coalescing counters into a relayed `stats`
+/// terminal as a trailing `front` object, so one `stats` line reports both
+/// the answering shard and the fleet front (see WIRE.md).
+fn splice_front_stats(seq: u64, rest: &str, flights: u64, coalesced: u64) -> String {
+    let line = format!("{{\"id\":{seq}{rest}");
+    match line.strip_suffix('}') {
+        Some(body) => {
+            format!("{body},\"front\":{{\"flights\":{flights},\"coalesced\":{coalesced}}}}}")
+        }
+        None => line,
+    }
 }
 
 /// Rebuilds a `cancel` line with its `id=` target pointing at `target`
@@ -723,5 +961,14 @@ mod tests {
         // Duplicate targets collapse into the single rewritten one (the
         // parser's last-wins rule makes the original ambiguity moot).
         assert_eq!(rewrite_cancel_target("cancel id=1 id=2", 9), "cancel id=9");
+    }
+
+    #[test]
+    fn front_stats_are_spliced_before_the_closing_brace() {
+        let rest = r#","ok":true,"kind":"stats","inflight":0}"#;
+        assert_eq!(
+            splice_front_stats(4, rest, 7, 19),
+            r#"{"id":4,"ok":true,"kind":"stats","inflight":0,"front":{"flights":7,"coalesced":19}}"#
+        );
     }
 }

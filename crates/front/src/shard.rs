@@ -66,6 +66,13 @@ pub struct Shard {
     respawns: AtomicU64,
     /// Consecutive failed health probes; three strikes force a restart.
     probe_strikes: AtomicU32,
+    /// Monotonic probe ticket counter: every health probe takes a ticket
+    /// before it talks to the shard.
+    probe_seq: AtomicU64,
+    /// The ticket of the newest load sample applied so far; a probe whose
+    /// ticket is not newer lost a race (to a later probe, or to a respawn
+    /// that reset the load) and its sample is discarded.
+    last_applied_probe: AtomicU64,
 }
 
 impl Shard {
@@ -81,6 +88,8 @@ impl Shard {
             generation: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
             probe_strikes: AtomicU32::new(0),
+            probe_seq: AtomicU64::new(0),
+            last_applied_probe: AtomicU64::new(0),
         }
     }
 
@@ -130,6 +139,39 @@ impl Shard {
 
     pub(crate) fn set_load(&self, load: u64) {
         self.load.store(load, Ordering::Relaxed);
+    }
+
+    /// Takes a monotonic ticket for one health probe.  The ticket is drawn
+    /// *before* the probe's stats round trip, so two overlapping probes (a
+    /// slow one straddling a supervision tick, or a probe racing a respawn)
+    /// order by when they started, not by when they happened to finish.
+    pub(crate) fn next_probe_seq(&self) -> u64 {
+        self.probe_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Applies a probe's load sample unless a newer sample (or a respawn's
+    /// load reset) already landed: `false` means the sample was stale and
+    /// discarded, so the least-loaded policy never acts on an out-of-order
+    /// reading.
+    pub(crate) fn apply_load_sample(&self, seq: u64, load: u64) -> bool {
+        let mut applied = self.last_applied_probe.load(Ordering::Acquire);
+        loop {
+            if seq <= applied {
+                return false;
+            }
+            match self.last_applied_probe.compare_exchange_weak(
+                applied,
+                seq,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.set_load(load);
+                    return true;
+                }
+                Err(current) => applied = current,
+            }
+        }
     }
 
     pub(crate) fn clear_strikes(&self) {
@@ -223,6 +265,13 @@ impl Shard {
         loop {
             if self.connect().is_ok() {
                 self.clear_strikes();
+                // The fresh child has zero in-flight jobs; claim a new probe
+                // ticket for that reset so any probe still in flight against
+                // the *previous* child reads as stale and cannot overwrite
+                // it with the dead process's load.
+                let reset_ticket = self.next_probe_seq();
+                self.last_applied_probe
+                    .fetch_max(reset_ticket, Ordering::AcqRel);
                 self.set_load(0);
                 self.generation.fetch_add(1, Ordering::Relaxed);
                 self.set_available(true);
@@ -246,5 +295,40 @@ impl Shard {
             }
             std::thread::sleep(Duration::from_millis(10));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_probe_samples_are_rejected() {
+        let shard = Shard::new(0, Path::new("/tmp/qld-shard-test"));
+        let first = shard.next_probe_seq();
+        let second = shard.next_probe_seq();
+        // The newer probe finishes first: its sample lands.
+        assert!(shard.apply_load_sample(second, 5));
+        assert_eq!(shard.load(), 5);
+        // The older probe's late sample is discarded.
+        assert!(!shard.apply_load_sample(first, 99));
+        assert_eq!(shard.load(), 5);
+        // Replaying an already-applied ticket is also stale.
+        assert!(!shard.apply_load_sample(second, 99));
+        assert_eq!(shard.load(), 5);
+        // Probing continues normally afterwards.
+        let third = shard.next_probe_seq();
+        assert!(shard.apply_load_sample(third, 2));
+        assert_eq!(shard.load(), 2);
+    }
+
+    #[test]
+    fn probe_tickets_are_monotonic_and_start_at_one() {
+        let shard = Shard::new(3, Path::new("/tmp/qld-shard-test"));
+        assert_eq!(shard.next_probe_seq(), 1);
+        assert_eq!(shard.next_probe_seq(), 2);
+        // A zero-ticket sample (impossible in practice) is always stale.
+        assert!(!shard.apply_load_sample(0, 7));
+        assert_eq!(shard.load(), 0);
     }
 }

@@ -1,4 +1,4 @@
-//! The experiment suite (E2–E16).
+//! The experiment suite (E2–E17).
 //!
 //! Each function reproduces one of the paper claims listed in `DESIGN.md` /
 //! `EXPERIMENTS.md` and returns a [`Table`]; the `experiments` binary prints them, and
@@ -20,7 +20,8 @@ use std::time::Instant;
 
 /// Identifiers of all experiments, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
+    "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by identifier (`"e2"` … `"e16"`).
@@ -41,6 +42,7 @@ pub fn run(id: &str) -> Option<Table> {
         "e14" => Some(e14_fleet()),
         "e15" => Some(e15_parallel()),
         "e16" => Some(e16_local()),
+        "e17" => Some(e17_coalesce()),
         _ => None,
     }
 }
@@ -1384,6 +1386,212 @@ pub fn e16_local() -> Table {
     table
 }
 
+/// One stampede configuration: `k` barrier-synced identical one-shot
+/// requests against a fresh engine, with the single-flight layer on or off.
+pub struct CoalesceMeasurement {
+    /// Workload label.
+    pub name: String,
+    /// Concurrent duplicate requests in the stampede.
+    pub k: usize,
+    /// Whether the single-flight layer was enabled (`EngineConfig::coalesce`).
+    pub coalesce: bool,
+    /// Solver executions the stampede caused (duality decisions the policy
+    /// was asked for — every duplicate that is neither coalesced nor a cache
+    /// hit runs the solver itself).
+    pub executions: u64,
+    /// Flights led (`Engine::coalesce_stats().0`).
+    pub flights: u64,
+    /// Followers that attached to an in-flight leader instead of executing.
+    pub coalesced: u64,
+    /// Median per-request latency across the stampede, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request latency, microseconds.
+    pub p99_us: f64,
+    /// Wall time for the whole stampede, milliseconds.
+    pub wall_ms: f64,
+    /// Every response succeeded with the same outcome as every other.
+    pub matches: bool,
+}
+
+impl CoalesceMeasurement {
+    /// One JSON object for the `e17_coalesce` trajectory file.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"k\":{},\"coalesce\":{},\"executions\":{},\"flights\":{},\
+             \"coalesced\":{},\"p50_us\":{:.1},\"p99_us\":{:.1},\"wall_ms\":{:.2},\"matches\":{}}}",
+            self.name,
+            self.k,
+            self.coalesce,
+            self.executions,
+            self.flights,
+            self.coalesced,
+            self.p50_us,
+            self.p99_us,
+            self.wall_ms,
+            self.matches
+        )
+    }
+}
+
+/// The policy behind E17's stampedes: delays every duality decision by a
+/// fixed amount (so the leader reliably holds its flight open while the
+/// duplicates arrive) and counts its calls — with one duality decision per
+/// `check`, the call count *is* the number of solver executions.
+struct StampedePolicy {
+    delay: std::time::Duration,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl qld_engine::SolverPolicy for StampedePolicy {
+    fn choose(
+        &self,
+        _g: &qld_hypergraph::Hypergraph,
+        _h: &qld_hypergraph::Hypergraph,
+    ) -> qld_engine::SolverKind {
+        self.calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::thread::sleep(self.delay);
+        qld_engine::SolverKind::BmTree
+    }
+    fn name(&self) -> &'static str {
+        "stampede"
+    }
+}
+
+/// Shared by E17 and the `e17_coalesce` bench: a stampede of `k` identical
+/// one-shot duality checks released together by a barrier against a fresh
+/// cached engine, once with the single-flight layer off and once with it on.
+/// Each execution pays a fixed `per_call_ms` decision delay, so the leader
+/// provably holds its flight open while the duplicates arrive.  With
+/// coalescing on, the first miss leads and every concurrent duplicate either
+/// attaches to the flight or hits the cache the leader filled — the solver
+/// runs exactly once.  Every response is cross-checked against every other.
+pub fn measure_coalesce(k: usize, per_call_ms: u64) -> Vec<CoalesceMeasurement> {
+    use qld_engine::{Engine, EngineConfig, Request};
+    use qld_hypergraph::generators;
+    use std::sync::{Arc, Barrier};
+
+    let li = generators::matching_instance(3);
+    let request = Request::DecideDuality { g: li.g, h: li.h };
+    let workers = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .clamp(2, 8);
+
+    let mut out = Vec::new();
+    for coalesce in [false, true] {
+        let policy = Arc::new(StampedePolicy {
+            delay: std::time::Duration::from_millis(per_call_ms),
+            calls: std::sync::atomic::AtomicU64::new(0),
+        });
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers,
+            cache: true,
+            coalesce,
+            policy: Arc::clone(&policy) as Arc<dyn qld_engine::SolverPolicy>,
+            ..EngineConfig::default()
+        }));
+        let barrier = Arc::new(Barrier::new(k));
+        let started = Instant::now();
+        let threads: Vec<_> = (0..k)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                let request = request.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let asked = Instant::now();
+                    let response = engine.run_one(request);
+                    (asked.elapsed().as_micros() as f64, response)
+                })
+            })
+            .collect();
+        let mut latencies = Vec::with_capacity(k);
+        let mut responses = Vec::with_capacity(k);
+        for t in threads {
+            let (us, response) = t.join().expect("stampede thread");
+            latencies.push(us);
+            responses.push(response);
+        }
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize];
+        let matches = responses[0].is_ok()
+            && responses
+                .iter()
+                .all(|r| r.is_ok() && r.outcome == responses[0].outcome);
+        let (flights, coalesced) = engine.coalesce_stats();
+        out.push(CoalesceMeasurement {
+            name: "check-matching-3".to_string(),
+            k,
+            coalesce,
+            executions: policy.calls.load(std::sync::atomic::Ordering::Relaxed),
+            flights,
+            coalesced,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            wall_ms,
+            matches,
+        });
+    }
+    out
+}
+
+/// Whether a pair of E17 rows (coalesce off, coalesce on) demonstrates the
+/// single-flight win: the coalesced stampede executed the solver exactly
+/// once, at least one duplicate actually attached to the flight, every
+/// response agreed, and the uncoalesced run executed at least as often.
+pub fn coalesce_wins(rows: &[CoalesceMeasurement]) -> bool {
+    let off = rows.iter().find(|m| !m.coalesce);
+    let on = rows.iter().find(|m| m.coalesce);
+    match (off, on) {
+        (Some(off), Some(on)) => {
+            on.executions == 1
+                && on.coalesced >= 1
+                && on.matches
+                && off.matches
+                && off.executions >= on.executions
+        }
+        _ => false,
+    }
+}
+
+/// E17 — single-flight request coalescing: a stampede of K identical
+/// requests with the flight layer off vs. on.  Coalesced stampedes execute
+/// the solver once; every duplicate gets a byte-identical answer.
+pub fn e17_coalesce() -> Table {
+    let mut table = Table::new(
+        "E17",
+        "Single-flight coalescing: K-duplicate stampede, flight layer off vs. on",
+        &[
+            "workload",
+            "K",
+            "coalesce",
+            "executions",
+            "flights",
+            "coalesced",
+            "p50-us",
+            "p99-us",
+            "wall-ms",
+            "matches",
+        ],
+    );
+    for m in measure_coalesce(8, 25) {
+        table.push_row(vec![
+            m.name.clone(),
+            m.k.to_string(),
+            if m.coalesce { "on" } else { "off" }.to_string(),
+            m.executions.to_string(),
+            m.flights.to_string(),
+            m.coalesced.to_string(),
+            f2(m.p50_us),
+            f2(m.p99_us),
+            f2(m.wall_ms),
+            mark(m.matches),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1442,6 +1650,25 @@ mod tests {
             assert!(m.work > 0, "{}: no local_work estimate", m.name);
             assert!(m.pool_us > 0.0 && m.local_us > 0.0);
             assert!(m.to_json().contains("\"speedup\""), "{}", m.to_json());
+        }
+    }
+
+    #[test]
+    fn e17_coalesced_stampede_executes_once() {
+        let ms = measure_coalesce(8, 25);
+        assert_eq!(ms.len(), 2);
+        let on = ms.iter().find(|m| m.coalesce).unwrap();
+        assert_eq!(on.executions, 1, "coalesced stampede ran the solver twice");
+        assert!(on.matches, "a follower's answer diverged");
+        // One flight; every duplicate either attached to it or hit the
+        // cache the leader filled — nothing executed on its own.
+        assert_eq!(on.flights, 1);
+        assert!(on.coalesced >= 1 && on.coalesced <= 7, "{}", on.coalesced);
+        assert!(coalesce_wins(&ms), "verdict did not hold: {:?}", {
+            ms.iter().map(|m| m.to_json()).collect::<Vec<_>>()
+        });
+        for m in &ms {
+            assert!(m.to_json().contains("\"executions\""), "{}", m.to_json());
         }
     }
 

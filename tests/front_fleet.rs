@@ -34,6 +34,7 @@ fn scratch_dir(tag: &str) -> PathBuf {
 /// An in-process router serving a real shard fleet on a Unix socket.
 struct TestFront {
     fleet: Arc<Fleet>,
+    router: Arc<Router>,
     socket: PathBuf,
     shutdown: ShutdownHandle,
     runner: Option<std::thread::JoinHandle<std::io::Result<qld_engine::TransportSummary>>>,
@@ -66,9 +67,12 @@ impl TestFront {
         let socket = dir.join("front.sock");
         let server = SocketServer::bind(&socket).expect("bind front socket");
         let shutdown = server.shutdown_handle();
-        let runner = std::thread::spawn(move || server.run_with(Arc::new(session_handler(router))));
+        let session_router = Arc::clone(&router);
+        let runner =
+            std::thread::spawn(move || server.run_with(Arc::new(session_handler(session_router))));
         TestFront {
             fleet,
+            router,
             socket,
             shutdown,
             runner: Some(runner),
@@ -592,4 +596,143 @@ fn alternate_policies_serve_traffic() {
         fleet.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Router-level single-flight: K client sessions stampede the same one-shot
+/// key; exactly one forwarded execution reaches a shard, every session gets
+/// a byte-identical answer (modulo its own correlation token), and the
+/// router's `front` counters are spliced into relayed `stats` lines.
+#[test]
+fn stampede_across_sessions_reaches_a_shard_exactly_once() {
+    const K: usize = 6;
+    let front = TestFront::start("stampede", 2);
+
+    // Slow enough (≈1 s in a debug build) that all K dispatches land while
+    // the leader's shard is still mining.
+    let rel = pair_complement_inline(6);
+    let barrier = Arc::new(std::sync::Barrier::new(K));
+    let mut sessions = Vec::new();
+    for i in 0..K {
+        let socket = front.socket.clone();
+        let line = format!("mine {rel} z=0 full=true id=s{i}\n");
+        let barrier = Arc::clone(&barrier);
+        sessions.push(std::thread::spawn(move || {
+            let mut stream = UnixStream::connect(&socket).unwrap();
+            barrier.wait();
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let lines: Vec<String> = BufReader::new(stream).lines().map(|l| l.unwrap()).collect();
+            assert_eq!(lines.len(), 1, "session {i}: {lines:#?}");
+            (i, lines.into_iter().next().unwrap())
+        }));
+    }
+    let answers: Vec<(usize, String)> = sessions.into_iter().map(|t| t.join().unwrap()).collect();
+
+    // One flight led, K-1 followers enrolled — and the shards agree: the
+    // fleet saw exactly one cache miss for the key.
+    assert_eq!(front.router.coalesce_stats(), (1, (K - 1) as u64));
+    let total_misses: u64 = (0..2)
+        .map(|i| field_u64(&front.shard_stats(i), "\"misses\":"))
+        .sum();
+    assert_eq!(total_misses, 1, "only the leader reached a shard");
+
+    // Byte-identical modulo the correlation token (same `id`, same stats:
+    // followers are settled from the leader's terminal frame verbatim).
+    let canonical: Vec<String> = answers
+        .iter()
+        .map(|(i, line)| line.replace(&format!(",\"client_id\":\"s{i}\""), ""))
+        .collect();
+    for (i, line) in canonical.iter().enumerate() {
+        assert_eq!(line, &canonical[0], "session {i} diverged");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"complete\":true"), "{line}");
+    }
+    for (i, line) in &answers {
+        assert!(
+            line.contains(&format!("\"client_id\":\"s{i}\"")),
+            "session {i} kept its own token: {line}"
+        );
+    }
+
+    // The relayed stats line carries the router's own coalescing ledger.
+    let stats = front.ask("stats\n");
+    assert_eq!(stats.len(), 1);
+    assert!(
+        stats[0].contains(&format!(
+            "\"front\":{{\"flights\":1,\"coalesced\":{}}}",
+            K - 1
+        )),
+        "{}",
+        stats[0]
+    );
+
+    let summary = front.stop();
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.requests, (K + 1) as u64);
+}
+
+/// Leader promotion at the router: when the flight leader's client cancels,
+/// a follower from another session is promoted — its own line is forwarded
+/// under the same flight key — and still gets the complete answer.
+#[test]
+fn cancelled_leader_promotes_a_follower_session() {
+    let front = TestFront::start("promote", 2);
+    let rel = pair_complement_inline(5);
+
+    // Session A leads the flight...
+    let mut a = front.connect();
+    let a_reader = BufReader::new(a.try_clone().unwrap());
+    writeln!(a, "mine {rel} z=0 full=true id=leader").unwrap();
+
+    // ...and session B enrolls as its follower.
+    let follower_line = format!("mine {rel} z=0 full=true id=dup\n");
+    let socket = front.socket.clone();
+    let b = std::thread::spawn(move || {
+        let mut stream = UnixStream::connect(&socket).unwrap();
+        stream.write_all(follower_line.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let lines: Vec<String> = BufReader::new(stream).lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 1, "{lines:#?}");
+        lines.into_iter().next().unwrap()
+    });
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while front.router.coalesce_stats().1 < 1 {
+        assert!(Instant::now() < deadline, "follower never enrolled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // A cancels its own request: A gets the cancelled partial + the ack,
+    // while B's request is re-forwarded as the flight's new leader.
+    writeln!(a, "cancel id=0").unwrap();
+    a.shutdown(std::net::Shutdown::Write).unwrap();
+    let a_lines: Vec<String> = a_reader.lines().map(|l| l.unwrap()).collect();
+    // The cancelled terminal and the cancel ack may arrive in either order
+    // (the shard answers the ack independently of the dying mine).
+    assert_eq!(a_lines.len(), 2, "{a_lines:#?}");
+    assert!(
+        a_lines
+            .iter()
+            .any(|l| l.starts_with("{\"id\":0,") && l.contains("\"halted\":\"cancelled\"")),
+        "{a_lines:#?}"
+    );
+    assert!(
+        a_lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"cancel\"") && l.contains("\"cancelled\":true")),
+        "{a_lines:#?}"
+    );
+
+    // B rides out the promotion to a complete, uncancelled answer.
+    let b_line = b.join().unwrap();
+    assert!(b_line.contains("\"client_id\":\"dup\""), "{b_line}");
+    assert!(b_line.contains("\"ok\":true"), "{b_line}");
+    assert!(b_line.contains("\"complete\":true"), "{b_line}");
+    assert!(!b_line.contains("\"halted\""), "{b_line}");
+
+    // Promotion hands leadership over inside the *same* flight: the ledger
+    // still shows one flight led and one follower coalesced.
+    assert_eq!(front.router.coalesce_stats(), (1, 1));
+
+    let summary = front.stop();
+    assert_eq!(summary.errors, 0);
 }
